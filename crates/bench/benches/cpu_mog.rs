@@ -1,0 +1,163 @@
+//! Criterion benches of the real (host) MoG implementations: the serial
+//! algorithm variants, precision, component counts, and the rayon
+//! multi-threaded build — actual wall time on this machine, complementing
+//! the simulator's modelled Tesla numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mogpu_frame::{Frame, Resolution, SceneBuilder};
+use mogpu_mog::{parallel::ParallelMog, MogParams, Real, SerialMog, Variant};
+
+fn frames(res: Resolution, n: usize) -> Vec<Frame<u8>> {
+    SceneBuilder::new(res).seed(5).walkers(3).build().render_sequence(n).0.into_frames()
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let res = Resolution::QVGA;
+    let fs = frames(res, 4);
+    let mut group = c.benchmark_group("serial_variants");
+    group.throughput(Throughput::Elements(res.pixels() as u64));
+    for variant in Variant::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.name()),
+            &variant,
+            |b, &variant| {
+                let mut mog = SerialMog::<f64>::new(
+                    res,
+                    MogParams::default(),
+                    variant,
+                    fs[0].as_slice(),
+                );
+                let mut i = 1;
+                b.iter(|| {
+                    let mask = mog.process(&fs[i]);
+                    i = 1 + i % (fs.len() - 1);
+                    mask
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_precision<T: Real>(c: &mut Criterion, name: &str) {
+    let res = Resolution::QVGA;
+    let fs = frames(res, 4);
+    let mut group = c.benchmark_group("serial_precision");
+    group.throughput(Throughput::Elements(res.pixels() as u64));
+    group.bench_function(name, |b| {
+        let mut mog =
+            SerialMog::<T>::new(res, MogParams::default(), Variant::Predicated, fs[0].as_slice());
+        let mut i = 1;
+        b.iter(|| {
+            let mask = mog.process(&fs[i]);
+            i = 1 + i % (fs.len() - 1);
+            mask
+        });
+    });
+    group.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    let res = Resolution::QVGA;
+    let fs = frames(res, 4);
+    let mut group = c.benchmark_group("serial_components");
+    group.throughput(Throughput::Elements(res.pixels() as u64));
+    for k in [3usize, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut mog =
+                SerialMog::<f64>::new(res, MogParams::new(k), Variant::Sorted, fs[0].as_slice());
+            let mut i = 1;
+            b.iter(|| {
+                let mask = mog.process(&fs[i]);
+                i = 1 + i % (fs.len() - 1);
+                mask
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let res = Resolution::QVGA;
+    let fs = frames(res, 4);
+    let mut group = c.benchmark_group("parallel_vs_serial");
+    group.throughput(Throughput::Elements(res.pixels() as u64));
+    group.bench_function("serial", |b| {
+        let mut mog =
+            SerialMog::<f64>::new(res, MogParams::default(), Variant::Sorted, fs[0].as_slice());
+        let mut i = 1;
+        b.iter(|| {
+            let mask = mog.process(&fs[i]);
+            i = 1 + i % (fs.len() - 1);
+            mask
+        });
+    });
+    group.bench_function("rayon", |b| {
+        let mut mog =
+            ParallelMog::<f64>::new(res, MogParams::default(), Variant::Sorted, fs[0].as_slice());
+        let mut i = 1;
+        b.iter(|| {
+            let mask = mog.process(&fs[i]);
+            i = 1 + i % (fs.len() - 1);
+            mask
+        });
+    });
+    group.finish();
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    use mogpu_mog::AdaptiveMog;
+    let res = Resolution::QVGA;
+    let fs = frames(res, 4);
+    let mut group = c.benchmark_group("adaptive_vs_fixed");
+    group.throughput(Throughput::Elements(res.pixels() as u64));
+    group.bench_function("fixed_k5", |b| {
+        let mut mog =
+            SerialMog::<f64>::new(res, MogParams::new(5), Variant::NoSort, fs[0].as_slice());
+        let mut i = 1;
+        b.iter(|| {
+            let mask = mog.process(&fs[i]);
+            i = 1 + i % (fs.len() - 1);
+            mask
+        });
+    });
+    group.bench_function("adaptive_k5", |b| {
+        let mut mog = AdaptiveMog::<f64>::new(res, MogParams::new(5), fs[0].as_slice());
+        let mut i = 1;
+        b.iter(|| {
+            let mask = mog.process(&fs[i]);
+            i = 1 + i % (fs.len() - 1);
+            mask
+        });
+    });
+    group.finish();
+}
+
+fn bench_morphology(c: &mut Criterion) {
+    use mogpu_frame::{connected_components, open3};
+    let res = Resolution::QVGA;
+    let scene = mogpu_frame::SceneBuilder::new(res).seed(3).walkers(4).build();
+    let (_, mask) = scene.render(10);
+    let mut group = c.benchmark_group("morphology");
+    group.throughput(Throughput::Elements(res.pixels() as u64));
+    group.bench_function("open3", |b| b.iter(|| open3(&mask)));
+    group.bench_function("connected_components", |b| b.iter(|| connected_components(&mask)));
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_variants(c);
+    bench_precision::<f64>(c, "double");
+    bench_precision::<f32>(c, "float");
+    bench_components(c);
+    bench_parallel(c);
+    bench_adaptive(c);
+    bench_morphology(c);
+}
+
+criterion_group! {
+    name = cpu_mog;
+    config = Criterion::default().sample_size(20);
+    targets = benches
+}
+criterion_main!(cpu_mog);

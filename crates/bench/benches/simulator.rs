@@ -1,0 +1,61 @@
+//! Criterion benches of the SIMT simulator itself: launch cost per frame
+//! for each kernel family (the interpreter's throughput bounds how large
+//! an experiment the harness can run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mogpu_core::{GpuMog, OptLevel};
+use mogpu_frame::{Frame, Resolution, SceneBuilder};
+use mogpu_mog::MogParams;
+use mogpu_sim::GpuConfig;
+
+fn frames(res: Resolution, n: usize) -> Vec<Frame<u8>> {
+    SceneBuilder::new(res).seed(6).walkers(2).build().render_sequence(n).0.into_frames()
+}
+
+fn bench_levels(c: &mut Criterion) {
+    let res = Resolution::QQVGA;
+    let fs = frames(res, 3);
+    let mut group = c.benchmark_group("sim_launch_per_frame");
+    group.throughput(Throughput::Elements(res.pixels() as u64));
+    for level in [OptLevel::A, OptLevel::C, OptLevel::F, OptLevel::Windowed { group: 4 }] {
+        group.bench_with_input(BenchmarkId::from_parameter(level.name()), &level, |b, &level| {
+            let mut gpu = GpuMog::<f64>::new(
+                res,
+                MogParams::default(),
+                level,
+                fs[0].as_slice(),
+                GpuConfig::tesla_c2075(),
+            )
+            .unwrap();
+            b.iter(|| gpu.process_all(&fs[1..]).unwrap().stats.warps);
+        });
+    }
+    group.finish();
+}
+
+fn bench_resolution_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_resolution_scaling");
+    for res in [Resolution::TINY, Resolution::QQVGA] {
+        let fs = frames(res, 2);
+        group.throughput(Throughput::Elements(res.pixels() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(res.to_string()), &res, |b, &res| {
+            let mut gpu = GpuMog::<f64>::new(
+                res,
+                MogParams::default(),
+                OptLevel::F,
+                fs[0].as_slice(),
+                GpuConfig::tesla_c2075(),
+            )
+            .unwrap();
+            b.iter(|| gpu.process_all(&fs[1..]).unwrap().stats.warps);
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = simulator;
+    config = Criterion::default().sample_size(10);
+    targets = bench_levels, bench_resolution_scaling
+}
+criterion_main!(simulator);

@@ -1,0 +1,5 @@
+//! Standalone runner for the Section II adaptive-component-count
+//! comparison (related work \[18\]).
+fn main() {
+    mogpu_bench::experiments::exp_adaptive();
+}

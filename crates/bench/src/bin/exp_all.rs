@@ -1,0 +1,30 @@
+//! Runs every experiment of the reproduction in sequence and persists the
+//! machine-readable results to `results/experiments.json` (the source of
+//! EXPERIMENTS.md's measured columns).
+use mogpu_bench::experiments as exp;
+use mogpu_bench::results::ResultsFile;
+use std::path::PathBuf;
+
+fn main() {
+    let mut results = ResultsFile::new();
+    results.record("exp_baseline", &exp::exp_baseline());
+    results.record("exp_fig6", &exp::exp_fig6());
+    results.record("exp_overlap", &exp::exp_overlap());
+    results.record("exp_fig7", &exp::exp_fig7());
+    results.record("exp_fig8", &exp::exp_fig8());
+    results.record("exp_fig10", &exp::exp_fig10());
+    results.record("exp_table4", &exp::exp_table4());
+    results.record("exp_fig11", &exp::exp_fig11());
+    results.record("exp_fig12", &exp::exp_fig12());
+    results.record("exp_ablation", &exp::exp_ablation());
+    results.record("exp_embedded", &exp::exp_embedded());
+    results.record("exp_adaptive", &exp::exp_adaptive());
+    results.record("exp_portability", &exp::exp_portability());
+
+    let path = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results/experiments.json"));
+    results.write_to(&path).expect("write results");
+    println!("wrote {}", path.display());
+}

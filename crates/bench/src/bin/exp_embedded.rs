@@ -1,0 +1,5 @@
+//! Standalone runner for the embedded-GPU future-work experiment (paper
+//! Section VI).
+fn main() {
+    mogpu_bench::experiments::exp_embedded();
+}

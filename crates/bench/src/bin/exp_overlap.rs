@@ -1,0 +1,5 @@
+//! Standalone runner for the `exp_overlap` experiment (see mogpu-bench docs
+//! and DESIGN.md's experiment index).
+fn main() {
+    mogpu_bench::experiments::exp_overlap();
+}

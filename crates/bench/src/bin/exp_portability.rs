@@ -1,0 +1,4 @@
+//! Standalone runner for the cross-generation portability study.
+fn main() {
+    mogpu_bench::experiments::exp_portability();
+}

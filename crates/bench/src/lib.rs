@@ -1,0 +1,35 @@
+//! # mogpu-bench
+//!
+//! The experiment harness reproducing **every table and figure** of the
+//! ICPP 2014 paper's evaluation on the simulated Tesla C2075. One binary
+//! per experiment (see DESIGN.md's experiment index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `exp_baseline` | Section IV-A CPU/GPU baseline numbers + Table I |
+//! | `exp_fig6` | Fig. 6 general-optimization architecture effects |
+//! | `exp_overlap` | Fig. 5 transfer/kernel overlap |
+//! | `exp_fig7` | Fig. 7 algorithm-specific optimization effects |
+//! | `exp_fig8` | Fig. 8 speedup + efficiency summary A–F |
+//! | `exp_fig10` | Fig. 10 windowed MoG group-size sweep |
+//! | `exp_table4` | Table IV MS-SSIM output quality |
+//! | `exp_fig11` | Fig. 11 3- vs 5-Gaussian study |
+//! | `exp_fig12` | Fig. 12 double- vs single-precision study |
+//! | `exp_ablation` | design-choice ablations (shared layout, latency model) |
+//! | `exp_all` | everything above, persisted to `results/experiments.json` |
+//!
+//! Experiments simulate at a reduced resolution (the functional simulator
+//! interprets every lane) and project per-frame times to the paper's
+//! full-HD setting — exact under the analytic timing model, which is
+//! linear in warp count once the machine is saturated (see
+//! [`harness::project_full_hd`]).
+
+pub mod experiments;
+pub mod harness;
+pub mod paper;
+pub mod results;
+
+pub use harness::{
+    default_params, ladder_row, project_full_hd, run_level, standard_scene, HdProjection,
+    LadderRow, SIM_FRAMES, SIM_RESOLUTION,
+};

@@ -1,0 +1,60 @@
+//! The paper's published numbers, embedded for side-by-side reporting.
+//!
+//! Sources: Section IV (measured runtimes and speedups), Figs. 6–12
+//! (profiler metrics read off the plots), Table IV (MS-SSIM).
+
+/// Seconds for 450 full-HD frames, serial double-precision 3-Gaussian CPU.
+pub const CPU_SERIAL_450_FRAMES_S: f64 = 227.3;
+/// Seconds for the "customized for SIMD" CPU build.
+pub const CPU_SIMD_450_FRAMES_S: f64 = 163.0;
+/// Seconds for the 8-thread OpenMP CPU build.
+pub const CPU_MT_450_FRAMES_S: f64 = 99.8;
+/// Seconds for the serial single-precision CPU build.
+pub const CPU_SERIAL_F32_450_FRAMES_S: f64 = 180.0;
+/// Seconds for the serial 5-Gaussian CPU build.
+pub const CPU_SERIAL_5G_450_FRAMES_S: f64 = 406.6;
+/// Seconds for the base GPU implementation (level A), 450 frames.
+pub const GPU_BASE_450_FRAMES_S: f64 = 17.5;
+
+/// Paper speedups over the serial CPU for levels A–F (Fig. 8a).
+pub const SPEEDUPS_LADDER: [(char, f64); 6] =
+    [('A', 13.0), ('B', 41.0), ('C', 57.0), ('D', 85.0), ('E', 86.0), ('F', 97.0)];
+/// Peak windowed speedup (group size 8).
+pub const SPEEDUP_WINDOWED: f64 = 101.0;
+/// Single-precision level-F speedup (Fig. 12a).
+pub const SPEEDUP_F32_LEVEL_F: f64 = 105.0;
+/// 5-Gaussian speedups: end of general opts (C) and algorithm-specific (F).
+pub const SPEEDUP_5G_GENERAL: f64 = 44.0;
+pub const SPEEDUP_5G_ALG_SPECIFIC: f64 = 92.0;
+
+/// Memory access efficiency at levels A and B (Fig. 6a).
+pub const MEM_EFF_A: f64 = 0.17;
+pub const MEM_EFF_B: f64 = 0.78;
+/// Store transactions per full-HD frame at levels A and B (Fig. 6a).
+pub const STORE_TX_A: f64 = 13.3e6;
+pub const STORE_TX_B: f64 = 2.0e6;
+
+/// Branch slots per full-HD frame at C and D (Fig. 7a).
+pub const BRANCHES_C: f64 = 6.7e6;
+pub const BRANCHES_D: f64 = 6.2e6;
+/// Branch efficiency at level E (Fig. 7a).
+pub const BRANCH_EFF_E: f64 = 0.995;
+
+/// Registers per thread (Fig. 6b / 7c), f64, 3 Gaussians.
+pub const REGISTERS: [(char, u32); 6] =
+    [('A', 30), ('B', 36), ('C', 36), ('D', 32), ('E', 33), ('F', 31)];
+/// Achieved SM occupancy the paper's profiler reports.
+pub const OCCUPANCY_ACHIEVED: [(char, f64); 4] =
+    [('C', 0.52), ('D', 0.61), ('E', 0.56), ('F', 0.65)];
+/// Windowed-kernel occupancy (Fig. 10b), group sizes 1 and 32.
+pub const OCCUPANCY_W1: f64 = 0.40;
+pub const OCCUPANCY_W32: f64 = 0.38;
+
+/// Table IV: MS-SSIM of background/foreground vs the CPU ground truth.
+pub const TABLE4_BACKGROUND: [(char, f64); 6] =
+    [('A', 0.99), ('B', 0.99), ('C', 0.99), ('D', 0.99), ('E', 0.99), ('F', 0.99)];
+pub const TABLE4_FOREGROUND: [(char, f64); 6] =
+    [('A', 0.99), ('B', 0.99), ('C', 0.96), ('D', 0.97), ('E', 0.97), ('F', 0.95)];
+
+/// Frames in the paper's measurement runs.
+pub const PAPER_FRAMES: usize = 450;

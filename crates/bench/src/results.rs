@@ -1,0 +1,89 @@
+//! Result persistence (`results/experiments.json`) and table rendering.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// Accumulates experiment outputs for the `exp_all` JSON dump.
+#[derive(Debug, Default, Serialize)]
+pub struct ResultsFile {
+    /// Arbitrary per-experiment JSON payloads keyed by experiment id.
+    pub experiments: std::collections::BTreeMap<String, serde_json::Value>,
+}
+
+impl ResultsFile {
+    /// Creates an empty results accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a serializable payload under `id`.
+    pub fn record<T: Serialize>(&mut self, id: &str, payload: &T) {
+        self.experiments
+            .insert(id.to_string(), serde_json::to_value(payload).expect("serializable"));
+    }
+
+    /// Writes the accumulated results as pretty JSON.
+    ///
+    /// # Errors
+    /// I/O errors from file creation or writing.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{}", serde_json::to_string_pretty(self).expect("serializable"))?;
+        Ok(())
+    }
+}
+
+/// Prints a horizontal rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a count with engineering suffixes (k/M).
+pub fn eng(x: f64) -> String {
+    if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eng_formats() {
+        assert_eq!(eng(13_300_000.0), "13.30M");
+        assert_eq!(eng(2_000.0), "2.0k");
+        assert_eq!(eng(42.0), "42");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.785), "78.5%");
+    }
+
+    #[test]
+    fn results_round_trip() {
+        let mut r = ResultsFile::new();
+        r.record("exp_test", &serde_json::json!({"speedup": 97.0}));
+        let dir = std::env::temp_dir().join("mogpu_results_test");
+        let path = dir.join("experiments.json");
+        r.write_to(&path).unwrap();
+        let back: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back["experiments"]["exp_test"]["speedup"], 97.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

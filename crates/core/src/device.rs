@@ -1,0 +1,100 @@
+//! Precision-generic device memory access.
+//!
+//! [`DeviceReal`] extends the algorithm-side [`Real`] trait with typed
+//! loads/stores through a [`ThreadCtx`], so every kernel exists for both
+//! the paper's default double precision and the single-precision study of
+//! Section V-C.
+//!
+//! All methods are `#[track_caller]` so the simulator's slot analysis
+//! attributes each access to the *kernel* source line, keeping warp-slot
+//! alignment correct through this dispatch layer.
+
+use mogpu_mog::Real;
+use mogpu_sim::{Buffer, ThreadCtx};
+
+/// A [`Real`] that can be moved between device memory and registers.
+pub trait DeviceReal: Real {
+    /// Loads element `idx` of `buf` from global memory.
+    #[track_caller]
+    fn ld(ctx: &mut ThreadCtx<'_>, buf: Buffer, idx: usize) -> Self;
+
+    /// Stores element `idx` of `buf` to global memory.
+    #[track_caller]
+    fn st(ctx: &mut ThreadCtx<'_>, buf: Buffer, idx: usize, v: Self);
+
+    /// Loads from block shared memory at byte offset `off`.
+    #[track_caller]
+    fn sh_ld(ctx: &mut ThreadCtx<'_>, off: usize) -> Self;
+
+    /// Stores to block shared memory at byte offset `off`.
+    #[track_caller]
+    fn sh_st(ctx: &mut ThreadCtx<'_>, off: usize, v: Self);
+
+    /// Charges `n` floating-point operations at this type's precision.
+    #[track_caller]
+    fn flop(ctx: &mut ThreadCtx<'_>, n: u32);
+}
+
+impl DeviceReal for f64 {
+    #[track_caller]
+    #[inline]
+    fn ld(ctx: &mut ThreadCtx<'_>, buf: Buffer, idx: usize) -> Self {
+        ctx.ld_f64(buf, idx)
+    }
+
+    #[track_caller]
+    #[inline]
+    fn st(ctx: &mut ThreadCtx<'_>, buf: Buffer, idx: usize, v: Self) {
+        ctx.st_f64(buf, idx, v)
+    }
+
+    #[track_caller]
+    #[inline]
+    fn sh_ld(ctx: &mut ThreadCtx<'_>, off: usize) -> Self {
+        ctx.sh_ld_f64(off)
+    }
+
+    #[track_caller]
+    #[inline]
+    fn sh_st(ctx: &mut ThreadCtx<'_>, off: usize, v: Self) {
+        ctx.sh_st_f64(off, v)
+    }
+
+    #[track_caller]
+    #[inline]
+    fn flop(ctx: &mut ThreadCtx<'_>, n: u32) {
+        ctx.flop64(n)
+    }
+}
+
+impl DeviceReal for f32 {
+    #[track_caller]
+    #[inline]
+    fn ld(ctx: &mut ThreadCtx<'_>, buf: Buffer, idx: usize) -> Self {
+        ctx.ld_f32(buf, idx)
+    }
+
+    #[track_caller]
+    #[inline]
+    fn st(ctx: &mut ThreadCtx<'_>, buf: Buffer, idx: usize, v: Self) {
+        ctx.st_f32(buf, idx, v)
+    }
+
+    #[track_caller]
+    #[inline]
+    fn sh_ld(ctx: &mut ThreadCtx<'_>, off: usize) -> Self {
+        ctx.sh_ld_f32(off)
+    }
+
+    #[track_caller]
+    #[inline]
+    fn sh_st(ctx: &mut ThreadCtx<'_>, off: usize, v: Self) {
+        ctx.sh_st_f32(off, v)
+    }
+
+    #[track_caller]
+    #[inline]
+    fn flop(ctx: &mut ThreadCtx<'_>, n: u32) {
+        ctx.flop32(n)
+    }
+}

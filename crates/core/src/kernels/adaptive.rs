@@ -1,0 +1,150 @@
+//! GPU kernel for the **adaptive component-count** MoG of the paper's
+//! Section II (\[18\]) — implemented to *validate the paper's argument
+//! against it*: in lockstep SIMT execution every warp pays for its most
+//! complex pixel, so the large average-work reduction adaptivity buys on
+//! a CPU mostly evaporates on the GPU (`exp_adaptive` quantifies this).
+//!
+//! The per-pixel logic mirrors `mogpu_mog::adaptive::step_pixel_adaptive`
+//! exactly; the component loop bound is the pixel's own `active` count, so
+//! lanes genuinely execute different trip counts — the slot model then
+//! charges the warp for the maximum, exactly as Fermi would.
+
+use super::FramePass;
+use crate::device::DeviceReal;
+use mogpu_mog::adaptive::PRUNE_WEIGHT;
+use mogpu_mog::update::MAX_K;
+use mogpu_sim::{Buffer, Kernel, KernelResources, ThreadCtx};
+
+/// Adaptive-K MoG kernel (related-work comparator).
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveKernel<T: DeviceReal> {
+    /// Frame I/O and parameters (`pass.prm.k` is `k_max`).
+    pub pass: FramePass<T>,
+    /// Per-pixel active component counts (u8, `pixels` entries).
+    pub active: Buffer,
+}
+
+impl<T: DeviceReal> Kernel for AdaptiveKernel<T> {
+    fn resources(&self) -> KernelResources {
+        self.pass.resources
+    }
+
+    fn run(&self, ctx: &mut ThreadCtx<'_>) {
+        let pass = &self.pass;
+        let i = ctx.global_thread_id();
+        ctx.int_op(2);
+        if !ctx.branch(i < pass.pixels) {
+            return;
+        }
+        let prm = &pass.prm;
+        let k_max = prm.k;
+        let p = T::from_u8(ctx.ld_u8(pass.frame, i));
+        ctx.int_op(1);
+        let mut active = ctx.ld_u8(self.active, i) as usize;
+        ctx.int_op(1);
+
+        let mut w = [T::zero(); MAX_K];
+        let mut m = [T::zero(); MAX_K];
+        let mut sd = [T::zero(); MAX_K];
+        let mut diff = [T::zero(); MAX_K];
+        let mut matched = false;
+        // Data-dependent trip count: this is where warps diverge.
+        for ki in 0..active {
+            ctx.int_op(1);
+            ctx.branch(ki < active); // divergent loop branch across lanes
+            w[ki] = pass.model.ld_w(ctx, i, ki);
+            m[ki] = pass.model.ld_m(ctx, i, ki);
+            sd[ki] = pass.model.ld_sd(ctx, i, ki);
+            let d = (m[ki] - p).abs();
+            T::flop(ctx, 2);
+            diff[ki] = d;
+            T::flop(ctx, 1);
+            if ctx.branch(d < prm.match_threshold) {
+                w[ki] = prm.alpha * w[ki] + prm.one_minus_alpha;
+                T::flop(ctx, 2);
+                let tmp = prm.one_minus_alpha / w[ki];
+                T::flop(ctx, 4);
+                m[ki] = m[ki] + tmp * (p - m[ki]);
+                T::flop(ctx, 3);
+                let dm = p - m[ki];
+                T::flop(ctx, 1);
+                let var = sd[ki] * sd[ki] + tmp * (dm * dm - sd[ki] * sd[ki]);
+                T::flop(ctx, 5);
+                sd[ki] = var.max(prm.min_var).sqrt();
+                T::flop(ctx, 5);
+                matched = true;
+            } else {
+                w[ki] = prm.alpha * w[ki];
+                T::flop(ctx, 1);
+            }
+        }
+
+        if ctx.branch(!matched) {
+            if ctx.branch(active < k_max) {
+                // Grow.
+                w[active] = prm.initial_weight;
+                m[active] = p;
+                sd[active] = prm.initial_sd;
+                diff[active] = T::zero();
+                active += 1;
+                ctx.int_op(1);
+            } else {
+                // Replace the weakest.
+                let mut weakest = 0usize;
+                for ki in 1..active {
+                    T::flop(ctx, 1);
+                    ctx.int_op(1);
+                    if w[ki] < w[weakest] {
+                        weakest = ki;
+                    }
+                }
+                w[weakest] = prm.initial_weight;
+                m[weakest] = p;
+                sd[weakest] = prm.initial_sd;
+                diff[weakest] = T::zero();
+            }
+        }
+
+        // Prune (mirrors the CPU: backwards swap-removal, keep >= 1).
+        let prune = T::from_f64(PRUNE_WEIGHT);
+        let mut ki = active;
+        while ki > 0 {
+            ki -= 1;
+            ctx.int_op(1);
+            T::flop(ctx, 1);
+            if ctx.branch(active > 1 && w[ki] < prune) {
+                active -= 1;
+                w.swap(ki, active);
+                m.swap(ki, active);
+                sd.swap(ki, active);
+                diff.swap(ki, active);
+                ctx.int_op(4);
+            }
+        }
+
+        // Store the active prefix and the new count. (Inactive slots keep
+        // stale device values; the CPU reference's inactive slots differ —
+        // only the active prefix is semantically meaningful.)
+        for ki in 0..active {
+            ctx.int_op(1);
+            ctx.branch(ki < active); // divergent loop branch
+            pass.model.st_w(ctx, i, ki, w[ki]);
+            pass.model.st_m(ctx, i, ki, m[ki]);
+            pass.model.st_sd(ctx, i, ki, sd[ki]);
+        }
+        ctx.st_u8(self.active, i, active as u8);
+
+        // Classify over the active components (no-sort decision).
+        let mut fgv = 1u8;
+        for ki in 0..active {
+            ctx.int_op(1);
+            ctx.branch(ki < active); // divergent loop branch
+            let bg = w[ki] >= prm.bg_weight && diff[ki] / sd[ki] < prm.bg_sigma_ratio;
+            T::flop(ctx, 6);
+            if bg {
+                fgv = 0;
+            }
+        }
+        ctx.st_u8(pass.fg, i, if fgv == 1 { 255 } else { 0 });
+    }
+}

@@ -1,0 +1,226 @@
+//! GPU MoG kernels, one per optimization family.
+//!
+//! Kernels deliberately use CUDA-style indexed loops (`for ki in 0..k`),
+//! mirroring the device code they model, rather than iterator chains.
+#![allow(clippy::needless_range_loop)]
+//!
+//! The per-component arithmetic mirrors `mogpu_mog::update` operation for
+//! operation, so kernel outputs are bit-identical to the CPU reference at
+//! matching optimization levels (asserted by the integration tests). Every
+//! arithmetic expression is accompanied by a `flop` charge and every
+//! data-dependent conditional goes through `ctx.branch`, which is what
+//! gives the simulator its branch-efficiency and issue-cycle counters.
+//!
+//! FLOP charging convention: add/sub/mul/compare/select = 1, division = 4,
+//! square root = 4 (SFU-assisted on Fermi).
+
+pub mod adaptive;
+pub mod morph;
+pub mod scan;
+pub mod sorted;
+pub mod tiled;
+
+pub use adaptive::AdaptiveKernel;
+pub use morph::{gpu_morph, MorphKernel, MorphOp};
+pub use scan::ScanKernel;
+pub use sorted::SortedKernel;
+pub use tiled::TiledKernel;
+
+use crate::device::DeviceReal;
+use crate::layout::DeviceModel;
+use mogpu_mog::update::MAX_K;
+use mogpu_mog::ResolvedParams;
+use mogpu_sim::{Buffer, KernelResources, ThreadCtx};
+
+/// The per-frame I/O every MoG kernel shares.
+#[derive(Debug, Clone, Copy)]
+pub struct FramePass<T: DeviceReal> {
+    /// Gaussian parameters resident in device global memory.
+    pub model: DeviceModel<T>,
+    /// Input frame (u8 luma, `pixels` bytes).
+    pub frame: Buffer,
+    /// Output foreground mask (u8, `pixels` bytes).
+    pub fg: Buffer,
+    /// Problem size.
+    pub pixels: usize,
+    /// Resolved algorithm parameters.
+    pub prm: ResolvedParams<T>,
+    /// Declared register/shared/local footprint for this variant.
+    pub resources: KernelResources,
+}
+
+/// Branchy match-and-update (Algorithm 1 lines 3–11 / Algorithm 4):
+/// loads components, updates them with per-component `if match` branches,
+/// and stores back — weights always, mean/sd only on the matched path
+/// (which is why levels A–D show reduced store efficiency under
+/// divergence). Returns `(w, m, sd, diff, matched)` register copies.
+#[allow(clippy::type_complexity)]
+pub(crate) fn update_branchy<T: DeviceReal>(
+    ctx: &mut ThreadCtx<'_>,
+    model: &DeviceModel<T>,
+    i: usize,
+    p: T,
+    prm: &ResolvedParams<T>,
+) -> ([T; MAX_K], [T; MAX_K], [T; MAX_K], [T; MAX_K], bool) {
+    let k = prm.k;
+    let mut w = [T::zero(); MAX_K];
+    let mut m = [T::zero(); MAX_K];
+    let mut sd = [T::zero(); MAX_K];
+    let mut diff = [T::zero(); MAX_K];
+    let mut matched = false;
+    for ki in 0..k {
+        ctx.int_op(1); // loop counter
+        ctx.branch(ki < k); // uniform loop branch
+        w[ki] = model.ld_w(ctx, i, ki);
+        m[ki] = model.ld_m(ctx, i, ki);
+        sd[ki] = model.ld_sd(ctx, i, ki);
+        let d = (m[ki] - p).abs();
+        T::flop(ctx, 2);
+        diff[ki] = d;
+        T::flop(ctx, 1); // compare
+        if ctx.branch(d < prm.match_threshold) {
+            w[ki] = prm.alpha * w[ki] + prm.one_minus_alpha;
+            T::flop(ctx, 2);
+            let tmp = prm.one_minus_alpha / w[ki];
+            T::flop(ctx, 4);
+            m[ki] = m[ki] + tmp * (p - m[ki]);
+            T::flop(ctx, 3);
+            let dm = p - m[ki];
+            T::flop(ctx, 1);
+            let var = sd[ki] * sd[ki] + tmp * (dm * dm - sd[ki] * sd[ki]);
+            T::flop(ctx, 5);
+            sd[ki] = var.max(prm.min_var).sqrt();
+            T::flop(ctx, 5);
+            matched = true;
+            model.st_w(ctx, i, ki, w[ki]);
+            model.st_m(ctx, i, ki, m[ki]);
+            model.st_sd(ctx, i, ki, sd[ki]);
+        } else {
+            w[ki] = prm.alpha * w[ki];
+            T::flop(ctx, 1);
+            model.st_w(ctx, i, ki, w[ki]);
+        }
+    }
+    if ctx.branch(!matched) {
+        virtual_replace(ctx, model, i, p, &mut w, &mut m, &mut sd, &mut diff, prm);
+    }
+    (w, m, sd, diff, matched)
+}
+
+/// Source-level predicated match-and-update (Algorithm 5, levels E–W):
+/// one execution path, all stores unconditional. Bit-identical parameter
+/// results to [`update_branchy`] (the predicate multiplies by exactly 0 or
+/// 1; the division guard never perturbs the selected path).
+#[allow(clippy::type_complexity)]
+pub(crate) fn update_predicated<T: DeviceReal>(
+    ctx: &mut ThreadCtx<'_>,
+    model: &DeviceModel<T>,
+    i: usize,
+    p: T,
+    prm: &ResolvedParams<T>,
+) -> ([T; MAX_K], [T; MAX_K], [T; MAX_K], [T; MAX_K], bool) {
+    let k = prm.k;
+    let mut w = [T::zero(); MAX_K];
+    let mut m = [T::zero(); MAX_K];
+    let mut sd = [T::zero(); MAX_K];
+    let mut diff = [T::zero(); MAX_K];
+    let mut matched = false;
+    for ki in 0..k {
+        ctx.int_op(1);
+        ctx.branch(ki < k); // uniform loop branch
+        w[ki] = model.ld_w(ctx, i, ki);
+        m[ki] = model.ld_m(ctx, i, ki);
+        sd[ki] = model.ld_sd(ctx, i, ki);
+        let d = (m[ki] - p).abs();
+        T::flop(ctx, 2);
+        diff[ki] = d;
+        let is_match = d < prm.match_threshold;
+        T::flop(ctx, 1); // setp, no branch
+        matched |= is_match;
+        ctx.int_op(1);
+        let mk = if is_match { T::one() } else { T::zero() };
+        T::flop(ctx, 1); // select
+        w[ki] = prm.alpha * w[ki] + mk * prm.one_minus_alpha;
+        T::flop(ctx, 3);
+        let tmp = prm.one_minus_alpha / w[ki].max(T::from_f64(1e-30));
+        T::flop(ctx, 5);
+        let m_new = m[ki] + tmp * (p - m[ki]);
+        T::flop(ctx, 3);
+        m[ki] = (T::one() - mk) * m[ki] + mk * m_new;
+        T::flop(ctx, 4);
+        let dm = p - m[ki];
+        T::flop(ctx, 1);
+        let var = sd[ki] * sd[ki] + tmp * (dm * dm - sd[ki] * sd[ki]);
+        T::flop(ctx, 5);
+        let sd_new = var.max(prm.min_var).sqrt();
+        T::flop(ctx, 5);
+        sd[ki] = (T::one() - mk) * sd[ki] + mk * sd_new;
+        T::flop(ctx, 4);
+        model.st_w(ctx, i, ki, w[ki]);
+        model.st_m(ctx, i, ki, m[ki]);
+        model.st_sd(ctx, i, ki, sd[ki]);
+    }
+    if ctx.branch(!matched) {
+        virtual_replace(ctx, model, i, p, &mut w, &mut m, &mut sd, &mut diff, prm);
+    }
+    (w, m, sd, diff, matched)
+}
+
+/// Shared-memory counterpart of [`virtual_replace`] for the tiled kernel:
+/// the weakest component (by the register copies of the just-updated
+/// weights) is overwritten in shared memory.
+pub(crate) fn virtual_replace_shared<T: DeviceReal>(
+    ctx: &mut ThreadCtx<'_>,
+    kernel: &tiled::TiledKernel<T>,
+    t: usize,
+    p: T,
+    w: &[T; MAX_K],
+) {
+    let prm = &kernel.pass.prm;
+    let k = prm.k;
+    let mut weakest = 0usize;
+    for ki in 1..k {
+        T::flop(ctx, 1);
+        ctx.int_op(1);
+        if w[ki] < w[weakest] {
+            weakest = ki;
+        }
+    }
+    T::sh_st(ctx, kernel.sh_off(t, weakest, 0), prm.initial_weight);
+    T::sh_st(ctx, kernel.sh_off(t, weakest, 1), p);
+    T::sh_st(ctx, kernel.sh_off(t, weakest, 2), prm.initial_sd);
+}
+
+/// Algorithm 1 lines 12–15: replace the smallest-weight component with a
+/// virtual component centred on the pixel. Mirrors
+/// `mogpu_mog::update::replace_weakest`; executed only by mismatching
+/// lanes (callers branch).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn virtual_replace<T: DeviceReal>(
+    ctx: &mut ThreadCtx<'_>,
+    model: &DeviceModel<T>,
+    i: usize,
+    p: T,
+    w: &mut [T; MAX_K],
+    m: &mut [T; MAX_K],
+    sd: &mut [T; MAX_K],
+    diff: &mut [T; MAX_K],
+    prm: &ResolvedParams<T>,
+) {
+    let k = prm.k;
+    let mut weakest = 0usize;
+    for ki in 1..k {
+        T::flop(ctx, 1); // compare
+        ctx.int_op(1); // select index
+        if w[ki] < w[weakest] {
+            weakest = ki;
+        }
+    }
+    w[weakest] = prm.initial_weight;
+    m[weakest] = p;
+    sd[weakest] = prm.initial_sd;
+    diff[weakest] = T::zero();
+    model.st_w(ctx, i, weakest, w[weakest]);
+    model.st_m(ctx, i, weakest, m[weakest]);
+    model.st_sd(ctx, i, weakest, sd[weakest]);
+}

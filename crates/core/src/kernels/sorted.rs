@@ -1,0 +1,97 @@
+//! Levels A–C: the direct translation of the serial algorithm — branchy
+//! updates plus rank/sort/early-exit classification.
+//!
+//! The rank, diff and sort bookkeeping arrays are dynamically indexed, so
+//! the CUDA 4.2 compiler spills them to **local memory**; this kernel
+//! reproduces that with explicit `ld_local`/`st_local` traffic (2·K
+//! slots). Dropping the sort in level D is what frees those slots and the
+//! 4 registers the paper reports.
+
+use super::{update_branchy, FramePass};
+use crate::device::DeviceReal;
+use mogpu_mog::update::MAX_K;
+use mogpu_sim::{Kernel, KernelResources, ThreadCtx};
+
+/// Sorted/branchy MoG kernel (levels A and B/C differ only in the
+/// [`crate::layout::Layout`] of the [`FramePass::model`] and in the host
+/// pipeline's overlap mode).
+#[derive(Debug, Clone, Copy)]
+pub struct SortedKernel<T: DeviceReal> {
+    /// Frame I/O and parameters.
+    pub pass: FramePass<T>,
+}
+
+impl<T: DeviceReal> Kernel for SortedKernel<T> {
+    fn resources(&self) -> KernelResources {
+        self.pass.resources
+    }
+
+    fn run(&self, ctx: &mut ThreadCtx<'_>) {
+        let pass = &self.pass;
+        let i = ctx.global_thread_id();
+        ctx.int_op(2); // blockIdx*blockDim+threadIdx
+        if !ctx.branch(i < pass.pixels) {
+            return;
+        }
+        let prm = &pass.prm;
+        let k = prm.k;
+        let p = T::from_u8(ctx.ld_u8(pass.frame, i));
+        ctx.int_op(1); // u8 -> float convert
+
+        // Phase 1: match & update (branchy), keeping register copies.
+        let (w, _m, sd, diff, _matched) =
+            update_branchy(ctx, &pass.model, i, p, prm);
+
+        // Spill diff[] to local memory (dynamically indexed later).
+        for ki in 0..k {
+            ctx.st_local(ki, diff[ki].to_f64());
+        }
+
+        // Phase 2a: rank = w/sd, spilled for the sort.
+        let mut order = [0usize; MAX_K];
+        for ki in 0..k {
+            ctx.int_op(1);
+            ctx.branch(ki < k); // uniform loop branch
+            order[ki] = ki;
+            let rank = w[ki] / sd[ki];
+            T::flop(ctx, 4);
+            ctx.st_local(k + ki, rank.to_f64());
+        }
+
+        // Phase 2b: insertion sort of component indices by descending
+        // rank. Comparison counts are data dependent => divergence, the
+        // behaviour level D eliminates.
+        for ii in 1..k {
+            let mut j = ii;
+            loop {
+                let cont = j > 0 && {
+                    let a = ctx.ld_local(k + order[j - 1]);
+                    let b = ctx.ld_local(k + order[j]);
+                    T::flop(ctx, 1); // compare
+                    a < b
+                };
+                if !ctx.branch(cont) {
+                    break;
+                }
+                order.swap(j - 1, j);
+                ctx.int_op(2);
+                j -= 1;
+            }
+        }
+
+        // Phase 2c: scan in rank order with early exit (Algorithm 2).
+        let mut fgv = 1u8;
+        for idx in 0..k {
+            let ci = order[idx];
+            ctx.int_op(1); // order[] indexing
+            let d = T::from_f64(ctx.ld_local(ci));
+            let bg = w[ci] >= prm.bg_weight && d / sd[ci] < prm.bg_sigma_ratio;
+            T::flop(ctx, 6); // cmp + div + cmp + and
+            if ctx.branch(bg) {
+                fgv = 0;
+                break;
+            }
+        }
+        ctx.st_u8(pass.fg, i, if fgv == 1 { 255 } else { 0 });
+    }
+}

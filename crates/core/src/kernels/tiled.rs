@@ -1,0 +1,165 @@
+//! Level W: the windowed/tiled MoG of Section IV-D.
+//!
+//! Frames are processed in **groups**: each block stages the Gaussian
+//! parameters of its 128-pixel tile from global memory into shared
+//! memory once, processes the tile across every frame of the group
+//! (updating parameters in shared memory), and writes the parameters back
+//! once — cutting the dominant Gaussian-parameter DRAM traffic by the
+//! group size, at the cost of shared-memory-limited occupancy
+//! (~42% instead of 67%).
+//!
+//! Shared layout is pixel-major ("AoS in shared"): thread `t`'s component
+//! `ki` parameter `param` sits at byte `((t*K + ki)*3 + param) *
+//! size_of::<T>()`. For f64 this strides 18 words per thread — gcd(18,32)
+//! = 2 banks — the mild bank conflict a straightforward port exhibits.
+//! [`TiledKernel::record_stride`] exposes the stride for the padding
+//! ablation (`exp_ablation`).
+
+use super::{virtual_replace_shared, FramePass};
+use crate::device::DeviceReal;
+use mogpu_sim::{Buffer, Kernel, KernelResources, ThreadCtx};
+
+/// Windowed MoG kernel processing `frames.len()` frames per launch.
+#[derive(Debug, Clone)]
+pub struct TiledKernel<T: DeviceReal> {
+    /// Model / parameters / resources (the `frame` and `fg` buffers of
+    /// the pass are unused; the group buffers below supersede them).
+    pub pass: FramePass<T>,
+    /// Input frames of the group, in presentation order.
+    pub frames: Vec<Buffer>,
+    /// Output masks of the group.
+    pub fgs: Vec<Buffer>,
+    /// Per-thread record stride in shared memory, in elements of `T`.
+    /// `None` packs records tightly (`K*3` elements — the paper-faithful
+    /// port; for K=3/f64 the 18-word stride costs only a 2-way bank
+    /// conflict). `Some(16)` reproduces the classic pitfall of padding
+    /// records to a power of two "for alignment": a 32-word stride maps
+    /// every lane to the same bank — quantified by `exp_ablation`.
+    pub record_stride: Option<usize>,
+}
+
+impl<T: DeviceReal> TiledKernel<T> {
+    /// Effective record stride in elements.
+    pub fn stride(&self) -> usize {
+        self.record_stride.unwrap_or(self.pass.prm.k * 3)
+    }
+
+    #[inline]
+    pub(crate) fn sh_off(&self, t: usize, ki: usize, param: usize) -> usize {
+        (t * self.stride() + ki * 3 + param) * T::BYTES
+    }
+}
+
+impl<T: DeviceReal> Kernel for TiledKernel<T> {
+    fn resources(&self) -> KernelResources {
+        self.pass.resources
+    }
+
+    fn run(&self, ctx: &mut ThreadCtx<'_>) {
+        let pass = &self.pass;
+        let i = ctx.global_thread_id();
+        let t = ctx.thread_idx();
+        ctx.int_op(2);
+        if !ctx.branch(i < pass.pixels) {
+            return;
+        }
+        let prm = pass.prm;
+        let k = prm.k;
+
+        // Stage this thread's components into shared memory.
+        for ki in 0..k {
+            ctx.int_op(1);
+            ctx.branch(ki < k); // uniform loop branch
+            let w = pass.model.ld_w(ctx, i, ki);
+            let m = pass.model.ld_m(ctx, i, ki);
+            let sd = pass.model.ld_sd(ctx, i, ki);
+            T::sh_st(ctx, self.sh_off(t, ki, 0), w);
+            T::sh_st(ctx, self.sh_off(t, ki, 1), m);
+            T::sh_st(ctx, self.sh_off(t, ki, 2), sd);
+        }
+        ctx.sync();
+
+        // Process every frame of the group against the staged model.
+        // Per-frame math is the level-F formulation (predicated update +
+        // recomputed diff) operating on shared memory.
+        for (f, (frame, fg)) in self.frames.iter().zip(&self.fgs).enumerate() {
+            ctx.int_op(1);
+            ctx.branch(f < self.frames.len()); // uniform group-loop branch
+            let p = T::from_u8(ctx.ld_u8(*frame, i));
+            ctx.int_op(1);
+
+            let mut matched = false;
+            let mut w_reg = [T::zero(); mogpu_mog::update::MAX_K];
+            for ki in 0..k {
+                ctx.int_op(1);
+                ctx.branch(ki < k); // uniform loop branch
+                let mut w = T::sh_ld(ctx, self.sh_off(t, ki, 0));
+                let mut m = T::sh_ld(ctx, self.sh_off(t, ki, 1));
+                let mut sd = T::sh_ld(ctx, self.sh_off(t, ki, 2));
+                let d = (m - p).abs();
+                T::flop(ctx, 2);
+                let is_match = d < prm.match_threshold;
+                T::flop(ctx, 1);
+                matched |= is_match;
+                ctx.int_op(1);
+                let mk = if is_match { T::one() } else { T::zero() };
+                T::flop(ctx, 1);
+                w = prm.alpha * w + mk * prm.one_minus_alpha;
+                T::flop(ctx, 3);
+                let tmp = prm.one_minus_alpha / w.max(T::from_f64(1e-30));
+                T::flop(ctx, 5);
+                let m_new = m + tmp * (p - m);
+                T::flop(ctx, 3);
+                m = (T::one() - mk) * m + mk * m_new;
+                T::flop(ctx, 4);
+                let dm = p - m;
+                T::flop(ctx, 1);
+                let var = sd * sd + tmp * (dm * dm - sd * sd);
+                T::flop(ctx, 5);
+                let sd_new = var.max(prm.min_var).sqrt();
+                T::flop(ctx, 5);
+                sd = (T::one() - mk) * sd + mk * sd_new;
+                T::flop(ctx, 4);
+                T::sh_st(ctx, self.sh_off(t, ki, 0), w);
+                T::sh_st(ctx, self.sh_off(t, ki, 1), m);
+                T::sh_st(ctx, self.sh_off(t, ki, 2), sd);
+                w_reg[ki] = w;
+            }
+            if ctx.branch(!matched) {
+                virtual_replace_shared(ctx, self, t, p, &w_reg);
+            }
+
+            // Classification (level-F style, from shared memory).
+            let mut fgv = 1u8;
+            for ki in 0..k {
+                ctx.int_op(1);
+                ctx.branch(ki < k); // uniform loop branch
+                let w = T::sh_ld(ctx, self.sh_off(t, ki, 0));
+                let m = T::sh_ld(ctx, self.sh_off(t, ki, 1));
+                let sd = T::sh_ld(ctx, self.sh_off(t, ki, 2));
+                let d = (m - p).abs();
+                T::flop(ctx, 2);
+                let bg = w >= prm.bg_weight && d / sd < prm.bg_sigma_ratio;
+                T::flop(ctx, 6);
+                if ctx.branch(bg) {
+                    fgv = 0;
+                    break;
+                }
+            }
+            ctx.st_u8(*fg, i, if fgv == 1 { 255 } else { 0 });
+        }
+        ctx.sync();
+
+        // Write the tile's parameters back to global memory.
+        for ki in 0..k {
+            ctx.int_op(1);
+            ctx.branch(ki < k); // uniform loop branch
+            let w = T::sh_ld(ctx, self.sh_off(t, ki, 0));
+            let m = T::sh_ld(ctx, self.sh_off(t, ki, 1));
+            let sd = T::sh_ld(ctx, self.sh_off(t, ki, 2));
+            pass.model.st_w(ctx, i, ki, w);
+            pass.model.st_m(ctx, i, ki, m);
+            pass.model.st_sd(ctx, i, ki, sd);
+        }
+    }
+}

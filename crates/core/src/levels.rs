@@ -1,0 +1,212 @@
+//! Optimization levels A–F and W (paper Tables II and III) and their
+//! declared kernel resource footprints.
+
+use crate::layout::Layout;
+use mogpu_sim::dma::OverlapMode;
+use mogpu_sim::KernelResources;
+use mogpu_mog::Variant;
+use serde::{Deserialize, Serialize};
+
+/// A step of the paper's optimization ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OptLevel {
+    /// Base implementation: direct CUDA translation (AoS layout, branchy
+    /// sorted algorithm, sequential transfers).
+    A,
+    /// + memory coalescing (SoA layout).
+    B,
+    /// + overlapped data transfer and kernel execution.
+    C,
+    /// + divergent-branch elimination (no rank/sort).
+    D,
+    /// + source-level predicated execution.
+    E,
+    /// + register-usage reduction (recomputed `diff`).
+    F,
+    /// Windowed/tiled MoG in shared memory over frame groups
+    /// (Section IV-D; the paper's best point is `group = 8`).
+    Windowed {
+        /// Frames per group.
+        group: usize,
+    },
+}
+
+impl OptLevel {
+    /// The six ladder levels, in paper order.
+    pub const LADDER: [OptLevel; 6] =
+        [OptLevel::A, OptLevel::B, OptLevel::C, OptLevel::D, OptLevel::E, OptLevel::F];
+
+    /// Display name ("A".."F" or "W(g)").
+    pub fn name(&self) -> String {
+        match self {
+            OptLevel::A => "A".into(),
+            OptLevel::B => "B".into(),
+            OptLevel::C => "C".into(),
+            OptLevel::D => "D".into(),
+            OptLevel::E => "E".into(),
+            OptLevel::F => "F".into(),
+            OptLevel::Windowed { group } => format!("W({group})"),
+        }
+    }
+
+    /// Gaussian-parameter memory layout at this level.
+    pub fn layout(&self) -> Layout {
+        match self {
+            OptLevel::A => Layout::Aos,
+            _ => Layout::Soa,
+        }
+    }
+
+    /// Host transfer scheduling at this level.
+    pub fn overlap(&self) -> OverlapMode {
+        match self {
+            OptLevel::A | OptLevel::B => OverlapMode::Sequential,
+            _ => OverlapMode::DoubleBuffered,
+        }
+    }
+
+    /// Frames processed per kernel launch.
+    pub fn group(&self) -> usize {
+        match self {
+            OptLevel::Windowed { group } => (*group).max(1),
+            _ => 1,
+        }
+    }
+
+    /// The CPU algorithm variant this level's kernel is functionally
+    /// equivalent to (bit-exact through E; near-exact for F/W).
+    pub fn cpu_variant(&self) -> Variant {
+        match self {
+            OptLevel::A | OptLevel::B | OptLevel::C => Variant::Sorted,
+            OptLevel::D => Variant::NoSort,
+            OptLevel::E => Variant::Predicated,
+            OptLevel::F | OptLevel::Windowed { .. } => Variant::RegisterReduced,
+        }
+    }
+
+    /// Registers per thread as `nvcc` would report.
+    ///
+    /// The double-precision 3-Gaussian values are the paper's own
+    /// (Fig. 6(b)/7(c)): A 30, B/C 36, D 32, E 33, F 31, W 31. Other
+    /// configurations scale from those measurements: single precision
+    /// halves the value-register pressure (an f64 value occupies two
+    /// 32-bit registers) plus bookkeeping, and each extra Gaussian
+    /// component adds two live f64 values.
+    pub fn registers(&self, real_bytes: usize, k: usize) -> u32 {
+        let base: u32 = match self {
+            OptLevel::A => 30,
+            OptLevel::B | OptLevel::C => 36,
+            OptLevel::D => 32,
+            OptLevel::E => 33,
+            OptLevel::F | OptLevel::Windowed { .. } => 31,
+        };
+        let extra_k = k.saturating_sub(3) as u32;
+        if real_bytes == 4 {
+            base / 2 + 6 + extra_k
+        } else {
+            base + 2 * extra_k
+        }
+    }
+
+    /// Local-memory (spill) f64 slots per thread: the sorted kernels spill
+    /// `diff[]` and `rank[]` (2·K); the tuned kernels spill nothing.
+    pub fn local_slots(&self, k: usize) -> usize {
+        match self {
+            OptLevel::A | OptLevel::B | OptLevel::C => 2 * k,
+            _ => 0,
+        }
+    }
+
+    /// Static shared memory per block: only the windowed kernel stages its
+    /// tile's parameters (threads/block x K x 3 parameters).
+    pub fn shared_bytes(&self, threads_per_block: u32, k: usize, real_bytes: usize) -> usize {
+        match self {
+            OptLevel::Windowed { .. } => threads_per_block as usize * k * 3 * real_bytes,
+            _ => 0,
+        }
+    }
+
+    /// Complete resource declaration for a launch configuration.
+    pub fn resources(&self, threads_per_block: u32, k: usize, real_bytes: usize) -> KernelResources {
+        KernelResources {
+            regs_per_thread: self.registers(real_bytes, k),
+            shared_bytes_per_block: self.shared_bytes(threads_per_block, k, real_bytes),
+            local_f64_slots: self.local_slots(k),
+        }
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_register_counts() {
+        assert_eq!(OptLevel::A.registers(8, 3), 30);
+        assert_eq!(OptLevel::B.registers(8, 3), 36);
+        assert_eq!(OptLevel::C.registers(8, 3), 36);
+        assert_eq!(OptLevel::D.registers(8, 3), 32);
+        assert_eq!(OptLevel::E.registers(8, 3), 33);
+        assert_eq!(OptLevel::F.registers(8, 3), 31);
+    }
+
+    #[test]
+    fn five_gaussians_use_more_registers() {
+        for level in OptLevel::LADDER {
+            assert!(level.registers(8, 5) > level.registers(8, 3));
+        }
+    }
+
+    #[test]
+    fn float_uses_fewer_registers() {
+        for level in OptLevel::LADDER {
+            assert!(level.registers(4, 3) < level.registers(8, 3));
+        }
+    }
+
+    #[test]
+    fn layouts_and_overlap_follow_the_ladder() {
+        assert_eq!(OptLevel::A.layout(), Layout::Aos);
+        assert_eq!(OptLevel::B.layout(), Layout::Soa);
+        assert_eq!(OptLevel::A.overlap(), OverlapMode::Sequential);
+        assert_eq!(OptLevel::B.overlap(), OverlapMode::Sequential);
+        assert_eq!(OptLevel::C.overlap(), OverlapMode::DoubleBuffered);
+        assert_eq!(OptLevel::Windowed { group: 8 }.overlap(), OverlapMode::DoubleBuffered);
+    }
+
+    #[test]
+    fn windowed_shared_footprint_matches_paper_scale() {
+        // 128 threads x 3 components x 3 params x 8 B = 9216 B: five
+        // blocks fit in 48 KB => ~42% occupancy (paper Fig. 10: ~40%).
+        let w = OptLevel::Windowed { group: 8 };
+        assert_eq!(w.shared_bytes(128, 3, 8), 9216);
+        assert_eq!(OptLevel::F.shared_bytes(128, 3, 8), 0);
+    }
+
+    #[test]
+    fn only_sorted_levels_spill() {
+        assert_eq!(OptLevel::A.local_slots(3), 6);
+        assert_eq!(OptLevel::C.local_slots(3), 6);
+        assert_eq!(OptLevel::D.local_slots(3), 0);
+        assert_eq!(OptLevel::Windowed { group: 4 }.local_slots(3), 0);
+    }
+
+    #[test]
+    fn group_clamps_to_one() {
+        assert_eq!(OptLevel::Windowed { group: 0 }.group(), 1);
+        assert_eq!(OptLevel::F.group(), 1);
+        assert_eq!(OptLevel::Windowed { group: 8 }.group(), 8);
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(OptLevel::A.name(), "A");
+        assert_eq!(OptLevel::Windowed { group: 8 }.name(), "W(8)");
+    }
+}

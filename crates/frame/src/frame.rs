@@ -1,0 +1,264 @@
+//! Row-major frame containers.
+
+use crate::resolution::Resolution;
+use serde::{Deserialize, Serialize};
+
+/// A single-channel, row-major video frame.
+///
+/// MoG background subtraction (Algorithm 1 of the paper) operates on scalar
+/// pixel values; we use 8-bit luma frames (`Frame<u8>`) for input video and
+/// `Frame<u8>` binary masks (0 = background, 255 = foreground) for output.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame<T> {
+    resolution: Resolution,
+    data: Vec<T>,
+}
+
+/// A binary foreground mask: 0 = background, 255 = foreground.
+pub type Mask = Frame<u8>;
+
+impl<T: Copy + Default> Frame<T> {
+    /// Creates a frame filled with `T::default()`.
+    pub fn new(resolution: Resolution) -> Self {
+        Frame { resolution, data: vec![T::default(); resolution.pixels()] }
+    }
+
+    /// Creates a frame filled with `value`.
+    pub fn filled(resolution: Resolution, value: T) -> Self {
+        Frame { resolution, data: vec![value; resolution.pixels()] }
+    }
+}
+
+impl<T> Frame<T> {
+    /// Wraps an existing pixel buffer.
+    ///
+    /// # Errors
+    /// Returns `Err` if `data.len() != resolution.pixels()`.
+    pub fn from_vec(resolution: Resolution, data: Vec<T>) -> Result<Self, FrameError> {
+        if data.len() != resolution.pixels() {
+            return Err(FrameError::SizeMismatch { expected: resolution.pixels(), got: data.len() });
+        }
+        Ok(Frame { resolution, data })
+    }
+
+    /// The frame's resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.resolution.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.resolution.height
+    }
+
+    /// Number of pixels.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for zero-sized frames.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the raw row-major pixel slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrow the raw row-major pixel slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the frame, returning its buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Pixel at (x, y).
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> &T {
+        &self.data[self.resolution.index(x, y)]
+    }
+
+    /// Mutable pixel at (x, y).
+    #[inline]
+    pub fn get_mut(&mut self, x: usize, y: usize) -> &mut T {
+        let i = self.resolution.index(x, y);
+        &mut self.data[i]
+    }
+
+    /// Iterator over rows as slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[T]> {
+        self.data.chunks_exact(self.resolution.width.max(1))
+    }
+
+    /// Maps every pixel through `f`, producing a new frame.
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Frame<U> {
+        Frame { resolution: self.resolution, data: self.data.iter().map(f).collect() }
+    }
+}
+
+impl Frame<u8> {
+    /// Fraction of pixels equal to 255 (useful for mask density checks).
+    pub fn fraction_set(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let set = self.data.iter().filter(|&&p| p == 255).count();
+        set as f64 / self.data.len() as f64
+    }
+
+    /// Converts the frame to `f64` grayscale in [0, 255].
+    pub fn to_f64(&self) -> Frame<f64> {
+        self.map(|&p| p as f64)
+    }
+}
+
+/// Errors constructing frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The provided buffer did not match the resolution.
+    SizeMismatch {
+        /// Pixels required by the resolution.
+        expected: usize,
+        /// Pixels provided.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::SizeMismatch { expected, got } => {
+                write!(f, "frame buffer size mismatch: expected {expected} pixels, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// An in-memory sequence of frames sharing one resolution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameSequence<T> {
+    resolution: Resolution,
+    frames: Vec<Frame<T>>,
+}
+
+impl<T> FrameSequence<T> {
+    /// Creates an empty sequence with the given resolution.
+    pub fn new(resolution: Resolution) -> Self {
+        FrameSequence { resolution, frames: Vec::new() }
+    }
+
+    /// Appends a frame.
+    ///
+    /// # Errors
+    /// Returns `Err` if the frame's resolution differs from the sequence's.
+    pub fn push(&mut self, frame: Frame<T>) -> Result<(), FrameError> {
+        if frame.resolution() != self.resolution {
+            return Err(FrameError::SizeMismatch {
+                expected: self.resolution.pixels(),
+                got: frame.len(),
+            });
+        }
+        self.frames.push(frame);
+        Ok(())
+    }
+
+    /// The shared resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if the sequence holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Borrow frame `i`.
+    pub fn frame(&self, i: usize) -> &Frame<T> {
+        &self.frames[i]
+    }
+
+    /// Iterator over frames.
+    pub fn iter(&self) -> impl Iterator<Item = &Frame<T>> {
+        self.frames.iter()
+    }
+
+    /// Consumes the sequence, returning its frames.
+    pub fn into_frames(self) -> Vec<Frame<T>> {
+        self.frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_frame_is_zeroed() {
+        let f: Frame<u8> = Frame::new(Resolution::TINY);
+        assert_eq!(f.len(), Resolution::TINY.pixels());
+        assert!(f.as_slice().iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn from_vec_validates_size() {
+        let r = Resolution::new(4, 3);
+        assert!(Frame::from_vec(r, vec![0u8; 12]).is_ok());
+        let err = Frame::from_vec(r, vec![0u8; 11]).unwrap_err();
+        assert_eq!(err, FrameError::SizeMismatch { expected: 12, got: 11 });
+    }
+
+    #[test]
+    fn get_and_set_round_trip() {
+        let mut f: Frame<u8> = Frame::new(Resolution::new(8, 8));
+        *f.get_mut(3, 5) = 200;
+        assert_eq!(*f.get(3, 5), 200);
+        assert_eq!(f.as_slice()[5 * 8 + 3], 200);
+    }
+
+    #[test]
+    fn rows_iterates_row_major() {
+        let r = Resolution::new(3, 2);
+        let f = Frame::from_vec(r, vec![1u8, 2, 3, 4, 5, 6]).unwrap();
+        let rows: Vec<&[u8]> = f.rows().collect();
+        assert_eq!(rows, vec![&[1u8, 2, 3][..], &[4u8, 5, 6][..]]);
+    }
+
+    #[test]
+    fn fraction_set_counts_255_only() {
+        let r = Resolution::new(4, 1);
+        let f = Frame::from_vec(r, vec![255u8, 0, 254, 255]).unwrap();
+        assert!((f.fraction_set() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequence_rejects_mismatched_resolution() {
+        let mut seq: FrameSequence<u8> = FrameSequence::new(Resolution::TINY);
+        seq.push(Frame::new(Resolution::TINY)).unwrap();
+        assert!(seq.push(Frame::new(Resolution::QVGA)).is_err());
+        assert_eq!(seq.len(), 1);
+    }
+
+    #[test]
+    fn map_preserves_resolution() {
+        let f: Frame<u8> = Frame::filled(Resolution::new(5, 5), 10);
+        let g = f.map(|&p| p as u16 * 2);
+        assert_eq!(g.resolution(), f.resolution());
+        assert!(g.as_slice().iter().all(|&p| p == 20));
+    }
+}

@@ -1,0 +1,29 @@
+//! # mogpu-frame
+//!
+//! Frame containers, resolutions, and synthetic video scene generation for
+//! the `mogpu` background-subtraction workspace.
+//!
+//! The ICPP 2014 paper evaluates on 450 full-HD (1920x1080) surveillance
+//! frames. Real surveillance footage is not redistributable, so this crate
+//! provides a deterministic synthetic scene generator
+//! ([`scene::SceneBuilder`]) that reproduces the *statistics* that matter to
+//! Mixture-of-Gaussians background subtraction:
+//!
+//! * per-pixel background processes (stable, noisy, bimodal "flicker"
+//!   pixels such as waving foliage or screen flicker),
+//! * moving foreground objects with known ground-truth masks,
+//! * sensor noise.
+//!
+//! All generation is seeded and reproducible.
+
+pub mod frame;
+pub mod io;
+pub mod morph;
+pub mod resolution;
+pub mod scene;
+
+pub use frame::{Frame, FrameSequence, Mask};
+pub use io::{load_pgm, read_pgm, read_y4m, save_pgm, write_pgm, write_y4m, IoError};
+pub use morph::{close3, connected_components, dilate3, erode3, open3, remove_small_blobs, Blob};
+pub use resolution::Resolution;
+pub use scene::{BackgroundKind, IlluminationEvent, MovingObject, ObjectShape, Scene, SceneBuilder};

@@ -1,0 +1,92 @@
+//! Frame resolutions used throughout the workspace.
+
+use serde::{Deserialize, Serialize};
+
+/// A frame resolution in pixels.
+///
+/// The paper's headline experiments run at [`Resolution::FULL_HD`]
+/// (1920x1080, the "full HD 1080p" of the abstract). Tests and quick
+/// experiments use the smaller presets; the simulator's analytic timing
+/// model is resolution-linear so results extrapolate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Resolution {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+}
+
+impl Resolution {
+    /// 1920x1080 — the paper's evaluation resolution.
+    pub const FULL_HD: Resolution = Resolution::new(1920, 1080);
+    /// 1280x720.
+    pub const HD: Resolution = Resolution::new(1280, 720);
+    /// 640x480.
+    pub const VGA: Resolution = Resolution::new(640, 480);
+    /// 320x240.
+    pub const QVGA: Resolution = Resolution::new(320, 240);
+    /// 160x120 — small preset for unit tests.
+    pub const QQVGA: Resolution = Resolution::new(160, 120);
+    /// 64x48 — tiny preset for property tests.
+    pub const TINY: Resolution = Resolution::new(64, 48);
+
+    /// Creates a resolution. Zero-sized resolutions are permitted (an empty
+    /// frame) but rarely useful.
+    pub const fn new(width: usize, height: usize) -> Self {
+        Resolution { width, height }
+    }
+
+    /// Total number of pixels.
+    pub const fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Converts (x, y) to a row-major linear index.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the coordinate is out of bounds.
+    #[inline]
+    pub fn index(&self, x: usize, y: usize) -> usize {
+        debug_assert!(x < self.width && y < self.height, "({x},{y}) out of {self:?}");
+        y * self.width + x
+    }
+}
+
+impl std::fmt::Display for Resolution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_hd_pixel_count_matches_paper() {
+        // The paper processes 1080x1920 frames => ~2 million threads.
+        assert_eq!(Resolution::FULL_HD.pixels(), 2_073_600);
+    }
+
+    #[test]
+    fn index_is_row_major() {
+        let r = Resolution::new(10, 4);
+        assert_eq!(r.index(0, 0), 0);
+        assert_eq!(r.index(9, 0), 9);
+        assert_eq!(r.index(0, 1), 10);
+        assert_eq!(r.index(3, 2), 23);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Resolution::VGA.to_string(), "640x480");
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn index_out_of_bounds_panics_in_debug() {
+        let r = Resolution::new(4, 4);
+        let _ = r.index(4, 0);
+    }
+}

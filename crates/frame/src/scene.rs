@@ -1,0 +1,500 @@
+//! Deterministic synthetic surveillance scenes.
+//!
+//! A scene consists of:
+//!
+//! * a **background process** per pixel — either a stable intensity with
+//!   Gaussian sensor noise, or a *bimodal* pixel that flickers between two
+//!   intensities (modelling waving foliage, screen flicker, water: the
+//!   "multi-modal background scenes" MoG is designed for),
+//! * a set of **moving foreground objects** (rectangles / ellipses) that
+//!   translate with constant velocity and wrap around frame edges,
+//! * per-frame **ground-truth masks** marking object pixels.
+//!
+//! Generation is fully determined by the seed, resolution and object list,
+//! so experiments are reproducible bit-for-bit.
+
+use crate::frame::{Frame, FrameSequence, Mask};
+use crate::resolution::Resolution;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// The per-pixel background process kind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BackgroundKind {
+    /// A stable intensity plus zero-mean Gaussian sensor noise.
+    Stable {
+        /// Mean intensity in [0, 255].
+        level: f64,
+        /// Noise standard deviation (grey levels).
+        noise_sd: f64,
+    },
+    /// A two-mode pixel alternating between `level_a` and `level_b`
+    /// with probability `p_b` of being in mode B on a given frame.
+    Bimodal {
+        /// Intensity of mode A.
+        level_a: f64,
+        /// Intensity of mode B.
+        level_b: f64,
+        /// Probability of sampling mode B.
+        p_b: f64,
+        /// Noise standard deviation around the active mode.
+        noise_sd: f64,
+    },
+}
+
+/// The footprint of a moving object.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ObjectShape {
+    /// Axis-aligned rectangle of the given size.
+    Rect {
+        /// Width in pixels.
+        w: usize,
+        /// Height in pixels.
+        h: usize,
+    },
+    /// Axis-aligned ellipse with the given semi-axes.
+    Ellipse {
+        /// Horizontal semi-axis in pixels.
+        rx: usize,
+        /// Vertical semi-axis in pixels.
+        ry: usize,
+    },
+}
+
+/// A foreground object translating across the scene.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MovingObject {
+    /// Shape and extent.
+    pub shape: ObjectShape,
+    /// Initial top-left (rect) / centre (ellipse) x position.
+    pub x0: f64,
+    /// Initial top-left (rect) / centre (ellipse) y position.
+    pub y0: f64,
+    /// Horizontal velocity in pixels/frame.
+    pub vx: f64,
+    /// Vertical velocity in pixels/frame.
+    pub vy: f64,
+    /// Object intensity in [0, 255].
+    pub level: f64,
+}
+
+impl MovingObject {
+    fn position(&self, frame_idx: usize, res: Resolution) -> (f64, f64) {
+        let w = res.width as f64;
+        let h = res.height as f64;
+        let x = (self.x0 + self.vx * frame_idx as f64).rem_euclid(w);
+        let y = (self.y0 + self.vy * frame_idx as f64).rem_euclid(h);
+        (x, y)
+    }
+
+    /// True if the object covers pixel (px, py) at `frame_idx`.
+    fn covers(&self, frame_idx: usize, res: Resolution, px: usize, py: usize) -> bool {
+        let (x, y) = self.position(frame_idx, res);
+        let (px, py) = (px as f64, py as f64);
+        match self.shape {
+            ObjectShape::Rect { w, h } => {
+                // Wrap-around aware containment on the torus.
+                let dx = (px - x).rem_euclid(res.width as f64);
+                let dy = (py - y).rem_euclid(res.height as f64);
+                dx < w as f64 && dy < h as f64
+            }
+            ObjectShape::Ellipse { rx, ry } => {
+                let half_w = res.width as f64 / 2.0;
+                let half_h = res.height as f64 / 2.0;
+                let mut dx = px - x;
+                let mut dy = py - y;
+                // Shortest displacement on the torus.
+                if dx > half_w {
+                    dx -= res.width as f64;
+                } else if dx < -half_w {
+                    dx += res.width as f64;
+                }
+                if dy > half_h {
+                    dy -= res.height as f64;
+                } else if dy < -half_h {
+                    dy += res.height as f64;
+                }
+                let (rx, ry) = (rx.max(1) as f64, ry.max(1) as f64);
+                (dx / rx).powi(2) + (dy / ry).powi(2) <= 1.0
+            }
+        }
+    }
+}
+
+/// A global illumination change (lights switching, clouds passing): the
+/// whole frame's brightness ramps by `delta` grey levels over `duration`
+/// frames starting at `start` — the classic false-positive stressor for
+/// background subtraction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IlluminationEvent {
+    /// First affected frame.
+    pub start: usize,
+    /// Frames over which the ramp completes (0 = step change).
+    pub duration: usize,
+    /// Total brightness change in grey levels (can be negative).
+    pub delta: f64,
+}
+
+impl IlluminationEvent {
+    /// Brightness offset contributed at `frame_idx`.
+    pub fn offset_at(&self, frame_idx: usize) -> f64 {
+        if frame_idx < self.start {
+            0.0
+        } else if self.duration == 0 || frame_idx >= self.start + self.duration {
+            self.delta
+        } else {
+            self.delta * (frame_idx - self.start) as f64 / self.duration as f64
+        }
+    }
+}
+
+/// Builder for a [`Scene`].
+#[derive(Debug, Clone)]
+pub struct SceneBuilder {
+    resolution: Resolution,
+    seed: u64,
+    base_level: f64,
+    noise_sd: f64,
+    bimodal_fraction: f64,
+    bimodal_contrast: f64,
+    objects: Vec<MovingObject>,
+    illumination: Option<IlluminationEvent>,
+    jitter_amplitude: f64,
+}
+
+impl SceneBuilder {
+    /// Starts a scene at the given resolution with default parameters:
+    /// base level 120, noise sd 2.0, 5% bimodal pixels, contrast 60.
+    pub fn new(resolution: Resolution) -> Self {
+        SceneBuilder {
+            resolution,
+            seed: 0x5EED_0D15_EA5E_1234,
+            base_level: 120.0,
+            noise_sd: 2.0,
+            bimodal_fraction: 0.05,
+            bimodal_contrast: 60.0,
+            objects: Vec::new(),
+            illumination: None,
+            jitter_amplitude: 0.0,
+        }
+    }
+
+    /// Sets the RNG seed (default is a fixed constant).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the mean background intensity.
+    pub fn base_level(mut self, level: f64) -> Self {
+        self.base_level = level;
+        self
+    }
+
+    /// Sets the sensor-noise standard deviation.
+    pub fn noise_sd(mut self, sd: f64) -> Self {
+        self.noise_sd = sd;
+        self
+    }
+
+    /// Sets the fraction of pixels given a bimodal (flicker) background
+    /// process. Clamped to [0, 1].
+    pub fn bimodal_fraction(mut self, frac: f64) -> Self {
+        self.bimodal_fraction = frac.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the intensity gap between the two modes of bimodal pixels.
+    pub fn bimodal_contrast(mut self, contrast: f64) -> Self {
+        self.bimodal_contrast = contrast;
+        self
+    }
+
+    /// Adds a moving foreground object.
+    pub fn object(mut self, obj: MovingObject) -> Self {
+        self.objects.push(obj);
+        self
+    }
+
+    /// Adds a global illumination event (see [`IlluminationEvent`]).
+    pub fn illumination_event(mut self, event: IlluminationEvent) -> Self {
+        self.illumination = Some(event);
+        self
+    }
+
+    /// Adds deterministic camera jitter of up to `amplitude` pixels: the
+    /// background sampling position wobbles per frame (unsteady mount),
+    /// another classic false-positive source for static-camera models.
+    pub fn jitter(mut self, amplitude: f64) -> Self {
+        self.jitter_amplitude = amplitude;
+        self
+    }
+
+    /// Adds `n` default walker objects (rectangles of ~4% frame width)
+    /// spread across the scene — a quick way to populate a surveillance
+    /// scenario.
+    pub fn walkers(mut self, n: usize) -> Self {
+        let res = self.resolution;
+        let w = (res.width / 25).max(2);
+        let h = (res.height / 10).max(2);
+        for i in 0..n {
+            let phase = i as f64 / n.max(1) as f64;
+            self.objects.push(MovingObject {
+                shape: ObjectShape::Rect { w, h },
+                x0: phase * res.width as f64,
+                y0: (0.2 + 0.6 * phase) * res.height as f64,
+                vx: if i % 2 == 0 { 1.5 } else { -2.0 },
+                vy: if i % 3 == 0 { 0.5 } else { 0.0 },
+                level: 220.0 - 40.0 * phase,
+            });
+        }
+        self
+    }
+
+    /// Builds the scene, materializing the per-pixel background processes.
+    pub fn build(self) -> Scene {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let pixels = self.resolution.pixels();
+        let mut background = Vec::with_capacity(pixels);
+        for _ in 0..pixels {
+            if rng.gen::<f64>() < self.bimodal_fraction {
+                let a = self.base_level + rng.gen_range(-20.0..20.0);
+                background.push(BackgroundKind::Bimodal {
+                    level_a: a,
+                    level_b: (a + self.bimodal_contrast).min(255.0),
+                    p_b: rng.gen_range(0.2..0.5),
+                    noise_sd: self.noise_sd,
+                });
+            } else {
+                background.push(BackgroundKind::Stable {
+                    level: self.base_level + rng.gen_range(-30.0..30.0),
+                    noise_sd: self.noise_sd,
+                });
+            }
+        }
+        Scene {
+            resolution: self.resolution,
+            seed: self.seed,
+            background,
+            objects: self.objects,
+            illumination: self.illumination,
+            jitter_amplitude: self.jitter_amplitude,
+        }
+    }
+}
+
+/// A fully specified synthetic scene: render any frame index on demand.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    resolution: Resolution,
+    seed: u64,
+    background: Vec<BackgroundKind>,
+    objects: Vec<MovingObject>,
+    illumination: Option<IlluminationEvent>,
+    jitter_amplitude: f64,
+}
+
+impl Scene {
+    /// The scene resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// The moving objects.
+    pub fn objects(&self) -> &[MovingObject] {
+        &self.objects
+    }
+
+    /// Renders frame `frame_idx` and its ground-truth foreground mask.
+    ///
+    /// Rendering is deterministic: the per-frame RNG is seeded from
+    /// `(scene seed, frame_idx)`.
+    pub fn render(&self, frame_idx: usize) -> (Frame<u8>, Mask) {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ (frame_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let res = self.resolution;
+        let mut img = Frame::<u8>::new(res);
+        let mut mask = Mask::new(res);
+        let img_data = img.as_mut_slice();
+        let mask_data = mask.as_mut_slice();
+        let illum = self.illumination.map(|e| e.offset_at(frame_idx)).unwrap_or(0.0);
+        // Deterministic sub-frame camera wobble (incommensurate phases so
+        // the path does not repeat quickly).
+        let (jx, jy) = if self.jitter_amplitude > 0.0 {
+            let t = frame_idx as f64;
+            (
+                (self.jitter_amplitude * (t * 1.7).sin()).round() as isize,
+                (self.jitter_amplitude * (t * 2.3).cos()).round() as isize,
+            )
+        } else {
+            (0, 0)
+        };
+        for y in 0..res.height {
+            for x in 0..res.width {
+                let i = res.index(x, y);
+                // Background sample, looked up at the jittered position.
+                let bx = (x as isize + jx).clamp(0, res.width as isize - 1) as usize;
+                let by = (y as isize + jy).clamp(0, res.height as isize - 1) as usize;
+                let bi = res.index(bx, by);
+                let bg = match self.background[bi] {
+                    BackgroundKind::Stable { level, noise_sd } => level + gauss(&mut rng) * noise_sd,
+                    BackgroundKind::Bimodal { level_a, level_b, p_b, noise_sd } => {
+                        let mode = if rng.gen::<f64>() < p_b { level_b } else { level_a };
+                        mode + gauss(&mut rng) * noise_sd
+                    }
+                };
+                let mut value = bg;
+                let mut fg = false;
+                for obj in &self.objects {
+                    if obj.covers(frame_idx, res, x, y) {
+                        value = obj.level + gauss(&mut rng) * 1.0;
+                        fg = true;
+                        break;
+                    }
+                }
+                img_data[i] = (value + illum).clamp(0.0, 255.0).round() as u8;
+                mask_data[i] = if fg { 255 } else { 0 };
+            }
+        }
+        (img, mask)
+    }
+
+    /// Renders frames `[0, n)` into sequences of images and ground-truth
+    /// masks.
+    pub fn render_sequence(&self, n: usize) -> (FrameSequence<u8>, FrameSequence<u8>) {
+        let mut imgs = FrameSequence::new(self.resolution);
+        let mut masks = FrameSequence::new(self.resolution);
+        for f in 0..n {
+            let (img, mask) = self.render(f);
+            imgs.push(img).expect("same resolution");
+            masks.push(mask).expect("same resolution");
+        }
+        (imgs, masks)
+    }
+}
+
+/// Standard normal sample via Box–Muller (two uniforms; we discard the
+/// second output for simplicity — generation speed is not on the critical
+/// path of the experiments).
+fn gauss<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scene() -> Scene {
+        SceneBuilder::new(Resolution::TINY)
+            .seed(42)
+            .walkers(2)
+            .build()
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let s = tiny_scene();
+        let (a, ma) = s.render(7);
+        let (b, mb) = s.render(7);
+        assert_eq!(a, b);
+        assert_eq!(ma, mb);
+    }
+
+    #[test]
+    fn different_frames_differ() {
+        let s = tiny_scene();
+        let (a, _) = s.render(0);
+        let (b, _) = s.render(1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mask_marks_object_pixels() {
+        let obj = MovingObject {
+            shape: ObjectShape::Rect { w: 4, h: 4 },
+            x0: 10.0,
+            y0: 10.0,
+            vx: 0.0,
+            vy: 0.0,
+            level: 250.0,
+        };
+        let s = SceneBuilder::new(Resolution::TINY).bimodal_fraction(0.0).object(obj).build();
+        let (img, mask) = s.render(0);
+        assert_eq!(*mask.get(11, 11), 255);
+        assert_eq!(*mask.get(30, 30), 0);
+        // Object pixels should be bright (level 250 ± noise).
+        assert!(*img.get(11, 11) > 200);
+    }
+
+    #[test]
+    fn walkers_move_between_frames() {
+        let s = tiny_scene();
+        let (_, m0) = s.render(0);
+        let (_, m50) = s.render(50);
+        assert_ne!(m0, m50, "ground-truth masks should differ as objects move");
+        assert!(m0.fraction_set() > 0.0);
+    }
+
+    #[test]
+    fn bimodal_pixels_flicker() {
+        let s = SceneBuilder::new(Resolution::new(32, 32))
+            .bimodal_fraction(1.0)
+            .bimodal_contrast(80.0)
+            .noise_sd(0.5)
+            .build();
+        // Over many frames, a fully bimodal scene must show large per-pixel
+        // intensity swings.
+        let (f0, _) = s.render(0);
+        let mut max_delta = 0i32;
+        for t in 1..20 {
+            let (ft, _) = s.render(t);
+            for (a, b) in f0.as_slice().iter().zip(ft.as_slice()) {
+                max_delta = max_delta.max((*a as i32 - *b as i32).abs());
+            }
+        }
+        assert!(max_delta > 40, "expected flicker, max delta was {max_delta}");
+    }
+
+    #[test]
+    fn ellipse_covers_centre_not_corner() {
+        let obj = MovingObject {
+            shape: ObjectShape::Ellipse { rx: 5, ry: 3 },
+            x0: 20.0,
+            y0: 20.0,
+            vx: 0.0,
+            vy: 0.0,
+            level: 240.0,
+        };
+        let res = Resolution::TINY;
+        assert!(obj.covers(0, res, 20, 20));
+        assert!(obj.covers(0, res, 24, 20));
+        assert!(!obj.covers(0, res, 26, 20));
+        assert!(!obj.covers(0, res, 24, 23));
+    }
+
+    #[test]
+    fn rect_wraps_around_edges() {
+        let obj = MovingObject {
+            shape: ObjectShape::Rect { w: 6, h: 6 },
+            x0: 62.0, // near right edge of 64-wide frame
+            y0: 0.0,
+            vx: 0.0,
+            vy: 0.0,
+            level: 240.0,
+        };
+        let res = Resolution::TINY;
+        assert!(obj.covers(0, res, 63, 2));
+        assert!(obj.covers(0, res, 1, 2), "rect should wrap to x=0..4");
+        assert!(!obj.covers(0, res, 10, 2));
+    }
+
+    #[test]
+    fn render_sequence_lengths() {
+        let s = tiny_scene();
+        let (imgs, masks) = s.render_sequence(5);
+        assert_eq!(imgs.len(), 5);
+        assert_eq!(masks.len(), 5);
+    }
+}

@@ -1,0 +1,184 @@
+//! Mean-squared error, PSNR, and binary-mask confusion measures.
+
+use mogpu_frame::Frame;
+
+/// Mean-squared error between two equally sized `u8` frames.
+///
+/// # Panics
+/// Panics if the resolutions differ.
+pub fn mse(a: &Frame<u8>, b: &Frame<u8>) -> f64 {
+    assert_eq!(a.resolution(), b.resolution(), "resolution mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum();
+    sum / a.len() as f64
+}
+
+/// Peak signal-to-noise ratio in dB (infinite for identical frames).
+pub fn psnr(a: &Frame<u8>, b: &Frame<u8>) -> f64 {
+    let e = mse(a, b);
+    if e == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0 * 255.0 / e).log10()
+    }
+}
+
+/// Confusion counts of a binary mask against a ground-truth mask
+/// (non-zero = positive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MaskConfusion {
+    /// Predicted foreground, truly foreground.
+    pub tp: usize,
+    /// Predicted foreground, truly background.
+    pub fp: usize,
+    /// Predicted background, truly foreground.
+    pub fn_: usize,
+    /// Predicted background, truly background.
+    pub tn: usize,
+}
+
+impl MaskConfusion {
+    /// `tp / (tp + fp)`; 1.0 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// `tp / (tp + fn)`; 1.0 when nothing was there to find.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Fraction of pixels classified correctly.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.fn_ + self.tn;
+        if total == 0 {
+            1.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another confusion.
+    pub fn merge(&mut self, o: &MaskConfusion) {
+        self.tp += o.tp;
+        self.fp += o.fp;
+        self.fn_ += o.fn_;
+        self.tn += o.tn;
+    }
+}
+
+/// Compares `predicted` against `truth` (non-zero pixels are foreground).
+///
+/// # Panics
+/// Panics if the resolutions differ.
+pub fn mask_confusion(predicted: &Frame<u8>, truth: &Frame<u8>) -> MaskConfusion {
+    assert_eq!(predicted.resolution(), truth.resolution(), "resolution mismatch");
+    let mut c = MaskConfusion::default();
+    for (&p, &t) in predicted.as_slice().iter().zip(truth.as_slice()) {
+        match (p != 0, t != 0) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fp += 1,
+            (false, true) => c.fn_ += 1,
+            (false, false) => c.tn += 1,
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mogpu_frame::Resolution;
+
+    fn frame(vals: &[u8], w: usize, h: usize) -> Frame<u8> {
+        Frame::from_vec(Resolution::new(w, h), vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn identical_frames_have_zero_mse_infinite_psnr() {
+        let a = frame(&[1, 2, 3, 4], 2, 2);
+        assert_eq!(mse(&a, &a), 0.0);
+        assert_eq!(psnr(&a, &a), f64::INFINITY);
+    }
+
+    #[test]
+    fn mse_of_constant_offset() {
+        let a = frame(&[10, 10, 10, 10], 2, 2);
+        let b = frame(&[13, 13, 13, 13], 2, 2);
+        assert_eq!(mse(&a, &b), 9.0);
+        let p = psnr(&a, &b);
+        assert!((p - 10.0 * (255.0f64 * 255.0 / 9.0).log10()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let pred = frame(&[255, 255, 0, 0], 2, 2);
+        let truth = frame(&[255, 0, 255, 0], 2, 2);
+        let c = mask_confusion(&pred, &truth);
+        assert_eq!(c, MaskConfusion { tp: 1, fp: 1, fn_: 1, tn: 1 });
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+        assert_eq!(c.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let t = frame(&[255, 0, 255, 0], 2, 2);
+        let c = mask_confusion(&t, &t);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn empty_prediction_of_empty_truth_is_perfect() {
+        let z = frame(&[0, 0, 0, 0], 2, 2);
+        let c = mask_confusion(&z, &z);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = MaskConfusion { tp: 1, fp: 2, fn_: 3, tn: 4 };
+        a.merge(&MaskConfusion { tp: 10, fp: 20, fn_: 30, tn: 40 });
+        assert_eq!(a, MaskConfusion { tp: 11, fp: 22, fn_: 33, tn: 44 });
+    }
+
+    #[test]
+    #[should_panic]
+    fn mse_rejects_mismatched_sizes() {
+        let a = frame(&[0; 4], 2, 2);
+        let b = frame(&[0; 6], 3, 2);
+        mse(&a, &b);
+    }
+}

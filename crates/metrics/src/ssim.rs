@@ -1,0 +1,296 @@
+//! Single-scale Structural Similarity (SSIM), Wang et al. 2004.
+//!
+//! The reference formulation: local statistics under an 11x11 Gaussian
+//! window (sigma = 1.5), stabilizers `C1 = (0.01 L)^2`, `C2 = (0.03 L)^2`
+//! with dynamic range `L = 255`, and 'valid'-mode windowing (borders where
+//! the window does not fit are skipped, as in the authors' MATLAB code).
+
+use mogpu_frame::{Frame, Resolution};
+
+/// SSIM configuration; [`SsimConfig::default`] is the reference setting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsimConfig {
+    /// Window side length (odd).
+    pub window: usize,
+    /// Gaussian sigma of the window.
+    pub sigma: f64,
+    /// Dynamic range of pixel values.
+    pub dynamic_range: f64,
+    /// Luminance stabilizer coefficient (0.01 in the paper).
+    pub k1: f64,
+    /// Contrast stabilizer coefficient (0.03 in the paper).
+    pub k2: f64,
+}
+
+impl Default for SsimConfig {
+    fn default() -> Self {
+        SsimConfig { window: 11, sigma: 1.5, dynamic_range: 255.0, k1: 0.01, k2: 0.03 }
+    }
+}
+
+impl SsimConfig {
+    fn c1(&self) -> f64 {
+        (self.k1 * self.dynamic_range).powi(2)
+    }
+
+    fn c2(&self) -> f64 {
+        (self.k2 * self.dynamic_range).powi(2)
+    }
+
+    /// The normalized 2-D Gaussian window as a flat `window*window` array.
+    pub fn kernel(&self) -> Vec<f64> {
+        let n = self.window;
+        let half = (n / 2) as isize;
+        let mut k = Vec::with_capacity(n * n);
+        let two_s2 = 2.0 * self.sigma * self.sigma;
+        for y in -half..=half {
+            for x in -half..=half {
+                k.push((-((x * x + y * y) as f64) / two_s2).exp());
+            }
+        }
+        let sum: f64 = k.iter().sum();
+        for v in &mut k {
+            *v /= sum;
+        }
+        k
+    }
+}
+
+/// Computes mean SSIM plus the per-window luminance*contrast-structure
+/// decomposition needed by MS-SSIM.
+///
+/// Returns `(mean_ssim, mean_luminance_term, mean_cs_term)` over all valid
+/// windows, or `None` if the image is smaller than the window.
+pub fn ssim_components(
+    a: &Frame<u8>,
+    b: &Frame<u8>,
+    cfg: &SsimConfig,
+) -> Option<(f64, f64, f64)> {
+    ssim_components_f64(&a.to_f64(), &b.to_f64(), cfg)
+}
+
+pub(crate) fn ssim_components_f64(
+    a: &Frame<f64>,
+    b: &Frame<f64>,
+    cfg: &SsimConfig,
+) -> Option<(f64, f64, f64)> {
+    assert_eq!(a.resolution(), b.resolution(), "resolution mismatch");
+    let w = a.width();
+    let h = a.height();
+    let n = cfg.window;
+    if w < n || h < n {
+        return None;
+    }
+    let kernel = cfg.kernel();
+    let (c1, c2) = (cfg.c1(), cfg.c2());
+    let pa = a.as_slice();
+    let pb = b.as_slice();
+
+    let mut sum_ssim = 0.0;
+    let mut sum_l = 0.0;
+    let mut sum_cs = 0.0;
+    let mut count = 0usize;
+    for wy in 0..=(h - n) {
+        for wx in 0..=(w - n) {
+            let mut mu_a = 0.0;
+            let mut mu_b = 0.0;
+            let mut aa = 0.0;
+            let mut bb = 0.0;
+            let mut ab = 0.0;
+            let mut ki = 0;
+            for dy in 0..n {
+                let row = (wy + dy) * w + wx;
+                for dx in 0..n {
+                    let kv = kernel[ki];
+                    ki += 1;
+                    let x = pa[row + dx];
+                    let y = pb[row + dx];
+                    mu_a += kv * x;
+                    mu_b += kv * y;
+                    aa += kv * x * x;
+                    bb += kv * y * y;
+                    ab += kv * x * y;
+                }
+            }
+            let var_a = (aa - mu_a * mu_a).max(0.0);
+            let var_b = (bb - mu_b * mu_b).max(0.0);
+            let cov = ab - mu_a * mu_b;
+            let l = (2.0 * mu_a * mu_b + c1) / (mu_a * mu_a + mu_b * mu_b + c1);
+            let cs = (2.0 * cov + c2) / (var_a + var_b + c2);
+            sum_ssim += l * cs;
+            sum_l += l;
+            sum_cs += cs;
+            count += 1;
+        }
+    }
+    let c = count as f64;
+    Some((sum_ssim / c, sum_l / c, sum_cs / c))
+}
+
+/// Mean SSIM of two frames under the default configuration.
+///
+/// # Panics
+/// Panics if the resolutions differ or the frames are smaller than the
+/// window.
+pub fn ssim(a: &Frame<u8>, b: &Frame<u8>) -> f64 {
+    ssim_components(a, b, &SsimConfig::default()).expect("image smaller than SSIM window").0
+}
+
+/// Per-window SSIM map (valid-mode: `(w-window+1) x (h-window+1)`).
+///
+/// # Panics
+/// Panics if the resolutions differ or the frames are smaller than the
+/// window.
+pub fn ssim_map(a: &Frame<u8>, b: &Frame<u8>, cfg: &SsimConfig) -> Frame<f64> {
+    assert_eq!(a.resolution(), b.resolution(), "resolution mismatch");
+    let w = a.width();
+    let h = a.height();
+    let n = cfg.window;
+    assert!(w >= n && h >= n, "image smaller than SSIM window");
+    let kernel = cfg.kernel();
+    let (c1, c2) = (cfg.c1(), cfg.c2());
+    let fa = a.to_f64();
+    let fb = b.to_f64();
+    let pa = fa.as_slice();
+    let pb = fb.as_slice();
+    let out_res = Resolution::new(w - n + 1, h - n + 1);
+    let mut out = Frame::<f64>::new(out_res);
+    for wy in 0..out_res.height {
+        for wx in 0..out_res.width {
+            let mut mu_a = 0.0;
+            let mut mu_b = 0.0;
+            let mut aa = 0.0;
+            let mut bb = 0.0;
+            let mut ab = 0.0;
+            let mut ki = 0;
+            for dy in 0..n {
+                let row = (wy + dy) * w + wx;
+                for dx in 0..n {
+                    let kv = kernel[ki];
+                    ki += 1;
+                    let x = pa[row + dx];
+                    let y = pb[row + dx];
+                    mu_a += kv * x;
+                    mu_b += kv * y;
+                    aa += kv * x * x;
+                    bb += kv * y * y;
+                    ab += kv * x * y;
+                }
+            }
+            let var_a = (aa - mu_a * mu_a).max(0.0);
+            let var_b = (bb - mu_b * mu_b).max(0.0);
+            let cov = ab - mu_a * mu_b;
+            *out.get_mut(wx, wy) = ((2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2))
+                / ((mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mogpu_frame::Resolution;
+
+    fn noise_frame(seed: u64, res: Resolution) -> Frame<u8> {
+        // Small deterministic LCG so the crate needs no rand dependency
+        // in unit tests.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        };
+        let data: Vec<u8> = (0..res.pixels()).map(|_| next()).collect();
+        Frame::from_vec(res, data).unwrap()
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let f = noise_frame(1, Resolution::new(32, 24));
+        let s = ssim(&f, &f);
+        assert!((s - 1.0).abs() < 1e-9, "self SSIM = {s}");
+    }
+
+    #[test]
+    fn independent_noise_scores_low() {
+        let a = noise_frame(1, Resolution::new(48, 48));
+        let b = noise_frame(2, Resolution::new(48, 48));
+        let s = ssim(&a, &b);
+        assert!(s < 0.1, "independent noise SSIM = {s}");
+    }
+
+    #[test]
+    fn small_perturbation_scores_high() {
+        let a = noise_frame(3, Resolution::new(48, 48));
+        let mut b = a.clone();
+        for (i, v) in b.as_mut_slice().iter_mut().enumerate() {
+            if i % 17 == 0 {
+                *v = v.saturating_add(2);
+            }
+        }
+        let s = ssim(&a, &b);
+        assert!(s > 0.95, "perturbed SSIM = {s}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = noise_frame(5, Resolution::new(32, 32));
+        let b = noise_frame(6, Resolution::new(32, 32));
+        assert!((ssim(&a, &b) - ssim(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_in_unit_interval_for_nonneg_cov() {
+        let a = noise_frame(7, Resolution::new(32, 32));
+        let b = noise_frame(8, Resolution::new(32, 32));
+        let s = ssim(&a, &b);
+        assert!((-1.0..=1.0 + 1e-12).contains(&s));
+    }
+
+    #[test]
+    fn constant_images_with_same_value_are_identical() {
+        let a = Frame::filled(Resolution::new(16, 16), 128u8);
+        let s = ssim(&a, &a.clone());
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_is_normalized() {
+        let k = SsimConfig::default().kernel();
+        assert_eq!(k.len(), 121);
+        let sum: f64 = k.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // Centre dominates.
+        assert!(k[60] > k[0] * 100.0);
+    }
+
+    #[test]
+    fn map_has_valid_mode_dimensions() {
+        let a = noise_frame(9, Resolution::new(30, 20));
+        let m = ssim_map(&a, &a, &SsimConfig::default());
+        assert_eq!(m.resolution(), Resolution::new(20, 10));
+        assert!(m.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn too_small_image_returns_none() {
+        let a = Frame::filled(Resolution::new(8, 8), 0u8);
+        assert!(ssim_components(&a, &a, &SsimConfig::default()).is_none());
+    }
+
+    #[test]
+    fn mask_like_inputs_behave() {
+        // Binary masks (the paper's actual comparison target).
+        let res = Resolution::new(32, 32);
+        let mut a = Frame::filled(res, 0u8);
+        for y in 10..20 {
+            for x in 10..20 {
+                *a.get_mut(x, y) = 255;
+            }
+        }
+        let mut b = a.clone();
+        *b.get_mut(15, 15) = 0; // one-pixel disagreement
+        let s = ssim(&a, &b);
+        assert!(s > 0.8 && s < 1.0, "mask SSIM = {s}");
+    }
+}

@@ -1,0 +1,341 @@
+//! Adaptive component-count MoG — the related-work approach of the
+//! paper's Section II (\[18\], Azmat et al., ICPPW 2012).
+//!
+//! Instead of a fixed K components per pixel, each pixel maintains only as
+//! many components as its background needs: stable pixels converge to one
+//! component, flickering pixels grow more (up to `k_max`). On a CPU this
+//! "boosts the performance at cost of quality loss" because the average
+//! per-pixel work drops; the paper argues it "may only yield limited
+//! benefits" on a GPU, because lockstep warps pay for the *most* complex
+//! pixel in the warp. The `exp_adaptive` experiment quantifies both sides
+//! of that argument on the simulator.
+//!
+//! Rules (a faithful simplification of \[18\]'s variable-component scheme):
+//!
+//! * **match/update** — identical arithmetic to the fixed-K branchy
+//!   update, applied to the `active` components only;
+//! * **grow** — on total mismatch with `active < k_max`, append a virtual
+//!   component (instead of replacing the weakest);
+//! * **prune** — a component whose weight decays below `prune_weight` is
+//!   removed (swap-removed with the last active component) as long as at
+//!   least one component remains;
+//! * **classify** — unconditional scan of the active components (the
+//!   no-sort decision).
+
+use crate::params::{MogParams, ResolvedParams};
+use crate::real::Real;
+use crate::update::MAX_K;
+use mogpu_frame::{Frame, Mask, Resolution};
+
+/// Weight below which a component is pruned.
+pub const PRUNE_WEIGHT: f64 = 0.01;
+
+/// Per-pixel mixture state with a variable component count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveModel<T: Real> {
+    k_max: usize,
+    pixels: usize,
+    /// Active component count per pixel (1..=k_max).
+    pub active: Vec<u8>,
+    /// Component weights, `pixels * k_max`, pixel-major.
+    pub w: Vec<T>,
+    /// Component means.
+    pub m: Vec<T>,
+    /// Component standard deviations.
+    pub sd: Vec<T>,
+}
+
+impl<T: Real> AdaptiveModel<T> {
+    /// Seeds every pixel with a single component from `first_frame`.
+    pub fn init(pixels: usize, k_max: usize, params: &MogParams, first_frame: &[u8]) -> Self {
+        assert_eq!(first_frame.len(), pixels, "seed frame size mismatch");
+        assert!((1..=MAX_K).contains(&k_max), "k_max out of range");
+        let n = pixels * k_max;
+        let mut w = vec![T::zero(); n];
+        let mut m = vec![T::zero(); n];
+        let sd = vec![T::from_f64(params.initial_sd); n];
+        for p in 0..pixels {
+            w[p * k_max] = T::one();
+            m[p * k_max] = T::from_u8(first_frame[p]);
+        }
+        AdaptiveModel { k_max, pixels, active: vec![1; pixels], w, m, sd }
+    }
+
+    /// Maximum components per pixel.
+    pub fn k_max(&self) -> usize {
+        self.k_max
+    }
+
+    /// Mean active component count over all pixels.
+    pub fn mean_active(&self) -> f64 {
+        if self.active.is_empty() {
+            return 0.0;
+        }
+        self.active.iter().map(|&a| a as f64).sum::<f64>() / self.active.len() as f64
+    }
+
+    /// Checks model invariants (active in 1..=k_max, finite parameters).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (p, &a) in self.active.iter().enumerate() {
+            if a == 0 || a as usize > self.k_max {
+                return Err(format!("active[{p}] = {a} out of 1..={}", self.k_max));
+            }
+            for i in 0..a as usize {
+                let idx = p * self.k_max + i;
+                let (wv, mv, sv) =
+                    (self.w[idx].to_f64(), self.m[idx].to_f64(), self.sd[idx].to_f64());
+                if !(0.0..=1.0 + 1e-9).contains(&wv) || !mv.is_finite() || sv <= 0.0 {
+                    return Err(format!("pixel {p} component {i}: w={wv} m={mv} sd={sv}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One pixel step of the adaptive algorithm operating on the pixel's
+/// component slices (`w/m/sd` have `k_max` slots; `active` is the current
+/// count). Returns `(foreground, new_active)`.
+pub fn step_pixel_adaptive<T: Real>(
+    p: T,
+    active: usize,
+    w: &mut [T],
+    m: &mut [T],
+    sd: &mut [T],
+    prm: &ResolvedParams<T>,
+    k_max: usize,
+) -> (bool, usize) {
+    debug_assert!(active >= 1 && active <= k_max);
+    let mut diff = [T::zero(); MAX_K];
+    let mut matched = false;
+    for i in 0..active {
+        let d = (m[i] - p).abs();
+        diff[i] = d;
+        if d < prm.match_threshold {
+            w[i] = prm.alpha * w[i] + prm.one_minus_alpha;
+            let tmp = prm.one_minus_alpha / w[i];
+            m[i] = m[i] + tmp * (p - m[i]);
+            let dm = p - m[i];
+            let var = sd[i] * sd[i] + tmp * (dm * dm - sd[i] * sd[i]);
+            sd[i] = var.max(prm.min_var).sqrt();
+            matched = true;
+        } else {
+            w[i] = prm.alpha * w[i];
+        }
+    }
+    let mut active = active;
+    if !matched {
+        if active < k_max {
+            // Grow: append a virtual component.
+            w[active] = prm.initial_weight;
+            m[active] = p;
+            sd[active] = prm.initial_sd;
+            diff[active] = T::zero();
+            active += 1;
+        } else {
+            // Full: replace the weakest, as in the fixed-K algorithm.
+            let mut weakest = 0;
+            for i in 1..active {
+                if w[i] < w[weakest] {
+                    weakest = i;
+                }
+            }
+            w[weakest] = prm.initial_weight;
+            m[weakest] = p;
+            sd[weakest] = prm.initial_sd;
+            diff[weakest] = T::zero();
+        }
+    }
+    // Prune decayed components (keep at least one). Swap-remove keeps the
+    // active prefix dense; iterate backwards so indices stay valid.
+    let prune = T::from_f64(PRUNE_WEIGHT);
+    let mut i = active;
+    while i > 0 {
+        i -= 1;
+        if active > 1 && w[i] < prune {
+            active -= 1;
+            w.swap(i, active);
+            m.swap(i, active);
+            sd.swap(i, active);
+            diff.swap(i, active);
+        }
+    }
+    // Classify over the remaining active components (no-sort decision).
+    let mut foreground = true;
+    for i in 0..active {
+        let bg = w[i] >= prm.bg_weight && diff[i] / sd[i] < prm.bg_sigma_ratio;
+        foreground &= !bg;
+    }
+    (foreground, active)
+}
+
+/// Serial adaptive-K background subtractor (the CPU side of the
+/// Section II comparison).
+#[derive(Debug, Clone)]
+pub struct AdaptiveMog<T: Real> {
+    resolution: Resolution,
+    resolved: ResolvedParams<T>,
+    model: AdaptiveModel<T>,
+}
+
+impl<T: Real> AdaptiveMog<T> {
+    /// Creates a subtractor with up to `params.k` components per pixel.
+    pub fn new(resolution: Resolution, params: MogParams, first_frame: &[u8]) -> Self {
+        params.validate().expect("invalid MoG parameters");
+        let model = AdaptiveModel::init(resolution.pixels(), params.k, &params, first_frame);
+        AdaptiveMog { resolution, resolved: params.resolve(), model }
+    }
+
+    /// The mixture model.
+    pub fn model(&self) -> &AdaptiveModel<T> {
+        &self.model
+    }
+
+    /// Processes one frame.
+    ///
+    /// # Panics
+    /// Panics on a resolution mismatch.
+    pub fn process(&mut self, frame: &Frame<u8>) -> Mask {
+        assert_eq!(frame.resolution(), self.resolution, "frame resolution mismatch");
+        let k_max = self.model.k_max;
+        let mut mask = Mask::new(self.resolution);
+        let data = frame.as_slice();
+        let out = mask.as_mut_slice();
+        for p in 0..data.len() {
+            let r = p * k_max..(p + 1) * k_max;
+            let active = self.model.active[p] as usize;
+            let (fg, new_active) = step_pixel_adaptive(
+                T::from_u8(data[p]),
+                active,
+                &mut self.model.w[r.clone()],
+                &mut self.model.m[r.clone()],
+                &mut self.model.sd[r],
+                &self.resolved,
+                k_max,
+            );
+            self.model.active[p] = new_active as u8;
+            out[p] = if fg { 255 } else { 0 };
+        }
+        mask
+    }
+
+    /// Processes a frame sequence.
+    pub fn process_all(&mut self, frames: &[Frame<u8>]) -> Vec<Mask> {
+        frames.iter().map(|f| self.process(f)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mogpu_frame::SceneBuilder;
+
+    #[test]
+    fn stable_pixels_stay_at_one_component() {
+        let prm: ResolvedParams<f64> = MogParams::new(5).resolve();
+        let mut w = vec![0.0; 5];
+        w[0] = 1.0;
+        let mut m = vec![100.0; 5];
+        let mut sd = vec![30.0; 5];
+        let mut active = 1usize;
+        for _ in 0..50 {
+            let (_, a) = step_pixel_adaptive(100.0, active, &mut w, &mut m, &mut sd, &prm, 5);
+            active = a;
+        }
+        assert_eq!(active, 1, "a stable pixel must not grow components");
+    }
+
+    #[test]
+    fn bimodal_pixels_grow_components() {
+        let prm: ResolvedParams<f64> = MogParams::new(5).resolve();
+        let mut w = vec![0.0; 5];
+        w[0] = 1.0;
+        let mut m = vec![100.0; 5];
+        let mut sd = vec![30.0; 5];
+        let mut active = 1usize;
+        for t in 0..60 {
+            let px = if t % 2 == 0 { 100.0 } else { 200.0 };
+            let (_, a) = step_pixel_adaptive(px, active, &mut w, &mut m, &mut sd, &prm, 5);
+            active = a;
+        }
+        assert!(active >= 2, "a bimodal pixel must grow, active = {active}");
+    }
+
+    #[test]
+    fn decayed_components_are_pruned() {
+        let prm: ResolvedParams<f64> = MogParams::new(5).resolve();
+        let mut w = vec![0.0; 5];
+        w[0] = 1.0;
+        let mut m = vec![100.0; 5];
+        let mut sd = vec![30.0; 5];
+        let mut active = 1usize;
+        // One outlier grows a component...
+        let (_, a) = step_pixel_adaptive(250.0, active, &mut w, &mut m, &mut sd, &prm, 5);
+        active = a;
+        assert_eq!(active, 2);
+        // ...then a long stable run decays it below the prune threshold
+        // (0.05 * 0.95^n < 0.01 after ~32 frames).
+        for _ in 0..60 {
+            let (_, a) = step_pixel_adaptive(100.0, active, &mut w, &mut m, &mut sd, &prm, 5);
+            active = a;
+        }
+        assert_eq!(active, 1, "the stale component must be pruned");
+    }
+
+    #[test]
+    fn mean_active_reflects_scene_complexity() {
+        let res = Resolution::TINY;
+        let complex = SceneBuilder::new(res).seed(1).bimodal_fraction(0.5).build();
+        let simple = SceneBuilder::new(res).seed(1).bimodal_fraction(0.0).build();
+        let run = |scene: &mogpu_frame::Scene| {
+            let (frames, _) = scene.render_sequence(40);
+            let frames = frames.into_frames();
+            let mut mog = AdaptiveMog::<f64>::new(res, MogParams::new(5), frames[0].as_slice());
+            mog.process_all(&frames[1..]);
+            mog.model().check_invariants().unwrap();
+            mog.model().mean_active()
+        };
+        let complex_k = run(&complex);
+        let simple_k = run(&simple);
+        assert!(
+            complex_k > simple_k + 0.3,
+            "complex {complex_k:.2} should exceed simple {simple_k:.2}"
+        );
+        assert!(simple_k < 2.0, "simple scene should stay near 1 component, got {simple_k:.2}");
+    }
+
+    #[test]
+    fn detection_still_works() {
+        let res = Resolution::TINY;
+        let scene = SceneBuilder::new(res).seed(3).walkers(2).build();
+        let (frames, truths) = scene.render_sequence(30);
+        let frames = frames.into_frames();
+        let truths = truths.into_frames();
+        let mut mog = AdaptiveMog::<f64>::new(res, MogParams::new(5), frames[0].as_slice());
+        let masks = mog.process_all(&frames[1..]);
+        let last = masks.last().unwrap();
+        let truth = truths.last().unwrap();
+        let mut hit = 0;
+        let mut total = 0;
+        for (d, t) in last.as_slice().iter().zip(truth.as_slice()) {
+            if *t == 255 {
+                total += 1;
+                if *d == 255 {
+                    hit += 1;
+                }
+            }
+        }
+        assert!(hit as f64 / total.max(1) as f64 > 0.6, "recall {hit}/{total}");
+    }
+
+    #[test]
+    fn invariants_hold_under_stress() {
+        let res = Resolution::TINY;
+        let scene = SceneBuilder::new(res).seed(9).walkers(4).bimodal_fraction(0.3).build();
+        let (frames, _) = scene.render_sequence(25);
+        let frames = frames.into_frames();
+        let mut mog = AdaptiveMog::<f32>::new(res, MogParams::new(4), frames[0].as_slice());
+        mog.process_all(&frames[1..]);
+        mog.model().check_invariants().unwrap();
+    }
+}

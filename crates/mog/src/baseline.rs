@@ -1,0 +1,255 @@
+//! History-based baseline background subtractors.
+//!
+//! The paper's introduction situates MoG among alternatives:
+//! "Background subtraction algorithms range from history-based
+//! realizations to adaptive learning algorithms... For scenes with static
+//! camera position, Mixture of Gaussians (MoG) is most frequently used
+//! thanks to its high quality and efficiency." These two classic baselines
+//! make that claim testable (see the `baselines_lose_on_multimodal_scenes`
+//! integration test and the `surveillance` example):
+//!
+//! * [`FrameDiff`] — threshold the absolute difference against the
+//!   previous frame. Cheap, but only detects *motion boundaries* (an
+//!   object that stops, or an interior of uniform brightness, vanishes).
+//! * [`RunningAverage`] — exponential moving average per pixel with a
+//!   fixed threshold. Handles noise, but a *single* mode: flickering
+//!   backgrounds (the multimodal scenes MoG models) become permanent
+//!   false positives.
+
+use crate::real::Real;
+use mogpu_frame::{Frame, Mask, Resolution};
+
+/// Frame-differencing subtractor: `|frame - previous| > threshold`.
+#[derive(Debug, Clone)]
+pub struct FrameDiff {
+    resolution: Resolution,
+    threshold: f64,
+    previous: Vec<u8>,
+}
+
+impl FrameDiff {
+    /// Creates a subtractor seeded with `first_frame`.
+    pub fn new(resolution: Resolution, threshold: f64, first_frame: &[u8]) -> Self {
+        assert_eq!(first_frame.len(), resolution.pixels(), "seed frame size mismatch");
+        FrameDiff { resolution, threshold, previous: first_frame.to_vec() }
+    }
+
+    /// Processes one frame.
+    ///
+    /// # Panics
+    /// Panics on resolution mismatch.
+    pub fn process(&mut self, frame: &Frame<u8>) -> Mask {
+        assert_eq!(frame.resolution(), self.resolution, "frame resolution mismatch");
+        let mut mask = Mask::new(self.resolution);
+        let out = mask.as_mut_slice();
+        for (i, (&p, prev)) in frame.as_slice().iter().zip(self.previous.iter_mut()).enumerate() {
+            let d = (p as f64 - *prev as f64).abs();
+            out[i] = if d > self.threshold { 255 } else { 0 };
+            *prev = p;
+        }
+        mask
+    }
+
+    /// Processes a frame sequence.
+    pub fn process_all(&mut self, frames: &[Frame<u8>]) -> Vec<Mask> {
+        frames.iter().map(|f| self.process(f)).collect()
+    }
+}
+
+/// Running-average subtractor: per-pixel exponential moving average with a
+/// fixed foreground threshold.
+#[derive(Debug, Clone)]
+pub struct RunningAverage<T: Real> {
+    resolution: Resolution,
+    alpha: T,
+    threshold: T,
+    mean: Vec<T>,
+}
+
+impl<T: Real> RunningAverage<T> {
+    /// Creates a subtractor seeded with `first_frame`. `alpha` is the
+    /// retention factor (close to 1 adapts slowly), `threshold` the
+    /// grey-level foreground bound.
+    pub fn new(resolution: Resolution, alpha: f64, threshold: f64, first_frame: &[u8]) -> Self {
+        assert_eq!(first_frame.len(), resolution.pixels(), "seed frame size mismatch");
+        assert!((0.0..1.0).contains(&alpha), "alpha must be in [0, 1)");
+        RunningAverage {
+            resolution,
+            alpha: T::from_f64(alpha),
+            threshold: T::from_f64(threshold),
+            mean: first_frame.iter().map(|&p| T::from_u8(p)).collect(),
+        }
+    }
+
+    /// The current background estimate.
+    pub fn background(&self) -> &[T] {
+        &self.mean
+    }
+
+    /// Processes one frame.
+    ///
+    /// # Panics
+    /// Panics on resolution mismatch.
+    pub fn process(&mut self, frame: &Frame<u8>) -> Mask {
+        assert_eq!(frame.resolution(), self.resolution, "frame resolution mismatch");
+        let one_minus = T::one() - self.alpha;
+        let mut mask = Mask::new(self.resolution);
+        let out = mask.as_mut_slice();
+        for (i, (&p, mean)) in frame.as_slice().iter().zip(self.mean.iter_mut()).enumerate() {
+            let v = T::from_u8(p);
+            let fg = (v - *mean).abs() > self.threshold;
+            // Background-gated update: foreground pixels do not pollute
+            // the model (the standard "selective update").
+            if !fg {
+                *mean = self.alpha * *mean + one_minus * v;
+            }
+            out[i] = if fg { 255 } else { 0 };
+        }
+        mask
+    }
+
+    /// Processes a frame sequence.
+    pub fn process_all(&mut self, frames: &[Frame<u8>]) -> Vec<Mask> {
+        frames.iter().map(|f| self.process(f)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mogpu_frame::SceneBuilder;
+
+    fn scene_frames(bimodal: f64, n: usize) -> (Vec<Frame<u8>>, Vec<Mask>) {
+        let scene = SceneBuilder::new(Resolution::TINY)
+            .seed(77)
+            .walkers(2)
+            .bimodal_fraction(bimodal)
+            .build();
+        let (f, t) = scene.render_sequence(n);
+        (f.into_frames(), t.into_frames())
+    }
+
+    fn recall(mask: &Mask, truth: &Mask) -> f64 {
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for (d, t) in mask.as_slice().iter().zip(truth.as_slice()) {
+            if *t == 255 {
+                total += 1;
+                if *d == 255 {
+                    hit += 1;
+                }
+            }
+        }
+        hit as f64 / total.max(1) as f64
+    }
+
+    fn false_positive_rate(mask: &Mask, truth: &Mask) -> f64 {
+        let mut fp = 0usize;
+        let mut bg = 0usize;
+        for (d, t) in mask.as_slice().iter().zip(truth.as_slice()) {
+            if *t == 0 {
+                bg += 1;
+                if *d == 255 {
+                    fp += 1;
+                }
+            }
+        }
+        fp as f64 / bg.max(1) as f64
+    }
+
+    #[test]
+    fn running_average_detects_on_simple_scenes() {
+        let (frames, truths) = scene_frames(0.0, 30);
+        let mut ra = RunningAverage::<f64>::new(
+            Resolution::TINY,
+            0.95,
+            25.0,
+            frames[0].as_slice(),
+        );
+        let masks = ra.process_all(&frames[1..]);
+        let r = recall(masks.last().unwrap(), truths.last().unwrap());
+        assert!(r > 0.7, "running average recall on simple scene: {r:.2}");
+        let fpr = false_positive_rate(masks.last().unwrap(), truths.last().unwrap());
+        assert!(fpr < 0.02, "running average FPR on simple scene: {fpr:.4}");
+    }
+
+    #[test]
+    fn running_average_false_positives_explode_on_multimodal_scenes() {
+        // The motivating comparison: 30% flicker pixels are permanent
+        // false positives for a single-mode model, while MoG absorbs them.
+        let (frames, truths) = scene_frames(0.30, 40);
+        let mut ra = RunningAverage::<f64>::new(
+            Resolution::TINY,
+            0.95,
+            25.0,
+            frames[0].as_slice(),
+        );
+        let masks = ra.process_all(&frames[1..]);
+        let fpr_ra = false_positive_rate(masks.last().unwrap(), truths.last().unwrap());
+
+        let mut mog = crate::serial::SerialMog::<f64>::new(
+            Resolution::TINY,
+            crate::params::MogParams::default(),
+            crate::update::Variant::Sorted,
+            frames[0].as_slice(),
+        );
+        let mog_masks = mog.process_all(&frames[1..]);
+        let fpr_mog = false_positive_rate(mog_masks.last().unwrap(), truths.last().unwrap());
+        assert!(
+            fpr_ra > 5.0 * fpr_mog.max(0.001),
+            "multimodal scene must hurt the baseline: RA {fpr_ra:.4} vs MoG {fpr_mog:.4}"
+        );
+    }
+
+    #[test]
+    fn frame_diff_misses_stopped_objects() {
+        // A static bright square: frame differencing sees nothing after
+        // the first frame, MoG keeps reporting it until absorbed.
+        let res = Resolution::TINY;
+        let scene = SceneBuilder::new(res)
+            .seed(5)
+            .bimodal_fraction(0.0)
+            .noise_sd(0.5)
+            .object(mogpu_frame::MovingObject {
+                shape: mogpu_frame::ObjectShape::Rect { w: 8, h: 8 },
+                x0: 20.0,
+                y0: 20.0,
+                vx: 0.0,
+                vy: 0.0,
+                level: 240.0,
+            })
+            .build();
+        let (frames, truths) = scene.render_sequence(6);
+        let frames = frames.into_frames();
+        let truths = truths.into_frames();
+        let mut fd = FrameDiff::new(res, 25.0, frames[0].as_slice());
+        let masks = fd.process_all(&frames[1..]);
+        let r = recall(masks.last().unwrap(), truths.last().unwrap());
+        assert!(r < 0.1, "frame diff must miss the static object, recall {r:.2}");
+    }
+
+    #[test]
+    fn frame_diff_sees_moving_edges() {
+        let (frames, truths) = scene_frames(0.0, 10);
+        let mut fd = FrameDiff::new(Resolution::TINY, 25.0, frames[0].as_slice());
+        let masks = fd.process_all(&frames[1..]);
+        // Some overlap with the truth (leading/trailing edges).
+        let r = recall(masks.last().unwrap(), truths.last().unwrap());
+        assert!(r > 0.05, "frame diff should catch moving edges, recall {r:.2}");
+    }
+
+    #[test]
+    fn f32_running_average_works() {
+        let (frames, _) = scene_frames(0.0, 5);
+        let mut ra =
+            RunningAverage::<f32>::new(Resolution::TINY, 0.9, 25.0, frames[0].as_slice());
+        let masks = ra.process_all(&frames[1..]);
+        assert_eq!(masks.len(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_alpha_panics() {
+        let _ = RunningAverage::<f64>::new(Resolution::TINY, 1.5, 25.0, &[0; 64 * 48]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # mogpu-mog
+//!
+//! The Mixture-of-Gaussians (MoG) background-subtraction algorithm of
+//! Stauffer & Grimson as specified by Algorithm 1 of the ICPP 2014 paper,
+//! together with the algorithm-level variants the paper derives from it:
+//!
+//! * **sorted** — the literal serial algorithm: match/update every
+//!   component, create a virtual component on total mismatch, rank by
+//!   `w/sd`, sort, and scan components in rank order for the background
+//!   decision (paper Algorithm 1 + Algorithm 2);
+//! * **no-sort** — the GPU-friendly tuning that drops ranking/sorting and
+//!   scans all components unconditionally (Algorithm 3, optimization D);
+//! * **predicated** — the source-level predicated parameter update
+//!   (Algorithm 5, optimization E), arithmetically identical to no-sort;
+//! * **register-reduced** — recomputes `diff` instead of keeping it live
+//!   (optimization F); because the mean has been updated in between, the
+//!   recomputed difference uses the *new* mean, which is the small,
+//!   quality-visible deviation the paper reports (97% -> 95% foreground
+//!   MS-SSIM).
+//!
+//! All variants are generic over [`real::Real`] (`f32`/`f64`) and a runtime
+//! component count `K` (the paper evaluates 3 and 5).
+//!
+//! The [`serial`] module gives the single-threaded reference used as the
+//! paper's ground truth; [`parallel`] is a rayon multi-threaded CPU
+//! implementation standing in for the paper's 8-thread OpenMP build.
+
+pub mod adaptive;
+pub mod baseline;
+pub mod model;
+pub mod parallel;
+pub mod params;
+pub mod real;
+pub mod serial;
+pub mod update;
+
+pub use adaptive::{AdaptiveModel, AdaptiveMog};
+pub use baseline::{FrameDiff, RunningAverage};
+pub use model::HostModel;
+pub use params::{MogParams, ResolvedParams};
+pub use real::Real;
+pub use serial::SerialMog;
+pub use update::Variant;

@@ -1,0 +1,139 @@
+//! Host-side storage of per-pixel Gaussian mixtures.
+
+use crate::params::MogParams;
+use crate::real::Real;
+
+/// All pixels' Gaussian components, pixel-major ("array of structures"):
+/// component `k` of pixel `p` lives at index `p * K + k`.
+///
+/// This is the natural CPU layout (and the layout the paper's *base* GPU
+/// implementation inherits, with its catastrophic coalescing behaviour —
+/// see `mogpu-core::layout` for the device-side alternatives).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostModel<T: Real> {
+    k: usize,
+    pixels: usize,
+    /// Component weights, `pixels * k` entries.
+    pub w: Vec<T>,
+    /// Component means.
+    pub m: Vec<T>,
+    /// Component standard deviations.
+    pub sd: Vec<T>,
+}
+
+impl<T: Real> HostModel<T> {
+    /// Creates a model for `pixels` pixels, seeding every pixel's first
+    /// component from `first_frame` (weight 1, initial sd) and leaving the
+    /// rest empty (weight 0).
+    pub fn init(pixels: usize, k: usize, params: &MogParams, first_frame: &[u8]) -> Self {
+        assert_eq!(first_frame.len(), pixels, "seed frame size mismatch");
+        let n = pixels * k;
+        let mut w = vec![T::zero(); n];
+        let mut m = vec![T::zero(); n];
+        let sd = vec![T::from_f64(params.initial_sd); n];
+        for p in 0..pixels {
+            let v = T::from_u8(first_frame[p]);
+            w[p * k] = T::one();
+            for i in 0..k {
+                m[p * k + i] = v;
+            }
+        }
+        HostModel { k, pixels, w, m, sd }
+    }
+
+    /// Component count per pixel.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Pixel count.
+    pub fn pixels(&self) -> usize {
+        self.pixels
+    }
+
+    /// Mutable component slices `(w, m, sd)` for pixel `p`.
+    pub fn pixel_mut(&mut self, p: usize) -> (&mut [T], &mut [T], &mut [T]) {
+        let r = p * self.k..(p + 1) * self.k;
+        (&mut self.w[r.clone()], &mut self.m[r.clone()], &mut self.sd[r])
+    }
+
+    /// Component slices `(w, m, sd)` for pixel `p`.
+    pub fn pixel(&self, p: usize) -> (&[T], &[T], &[T]) {
+        let r = p * self.k..(p + 1) * self.k;
+        (&self.w[r.clone()], &self.m[r.clone()], &self.sd[r])
+    }
+
+    /// Checks the model invariants (weights in [0, 1+ε], sd above zero) —
+    /// used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, &x) in self.w.iter().enumerate() {
+            let v = x.to_f64();
+            if !(0.0..=1.0 + 1e-9).contains(&v) || v.is_nan() {
+                return Err(format!("weight[{i}] = {v} out of range"));
+            }
+        }
+        for (i, &x) in self.sd.iter().enumerate() {
+            let v = x.to_f64();
+            if v <= 0.0 || v.is_nan() {
+                return Err(format!("sd[{i}] = {v} not positive"));
+            }
+        }
+        for (i, &x) in self.m.iter().enumerate() {
+            let v = x.to_f64();
+            if v.is_nan() || v.is_infinite() {
+                return Err(format!("mean[{i}] = {v} not finite"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_seeds_first_component() {
+        let frame = vec![10u8, 20, 30];
+        let model: HostModel<f64> = HostModel::init(3, 3, &MogParams::default(), &frame);
+        assert_eq!(model.pixels(), 3);
+        let (w, m, sd) = model.pixel(1);
+        assert_eq!(w, &[1.0, 0.0, 0.0]);
+        assert_eq!(m, &[20.0, 20.0, 20.0]);
+        assert_eq!(sd, &[30.0, 30.0, 30.0]);
+    }
+
+    #[test]
+    fn pixel_mut_is_disjoint_per_pixel() {
+        let frame = vec![0u8; 4];
+        let mut model: HostModel<f32> = HostModel::init(4, 2, &MogParams::new(2), &frame);
+        {
+            let (w, _, _) = model.pixel_mut(2);
+            w[1] = 0.5;
+        }
+        assert_eq!(model.pixel(2).0, &[1.0, 0.5]);
+        assert_eq!(model.pixel(1).0, &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn invariants_hold_after_init() {
+        let frame = vec![128u8; 16];
+        let model: HostModel<f64> = HostModel::init(16, 5, &MogParams::new(5), &frame);
+        assert!(model.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn invariants_catch_corruption() {
+        let frame = vec![128u8; 4];
+        let mut model: HostModel<f64> = HostModel::init(4, 3, &MogParams::default(), &frame);
+        model.sd[0] = -1.0;
+        assert!(model.check_invariants().is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn init_rejects_wrong_frame_size() {
+        let frame = vec![0u8; 3];
+        let _: HostModel<f64> = HostModel::init(4, 3, &MogParams::default(), &frame);
+    }
+}

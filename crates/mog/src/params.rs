@@ -1,0 +1,165 @@
+//! MoG tuning parameters.
+//!
+//! A note on the paper's thresholds: Algorithm 1 uses `Γ1` both as an
+//! absolute grey-level bound on the match test (line 5, `diff[k] < Γ1`)
+//! and as a ratio bound on the background test (line 24,
+//! `diff[k]/sd_k < Γ1`). A single constant cannot sensibly play both
+//! roles, so this implementation splits it into [`MogParams::match_threshold`]
+//! (grey levels) and [`MogParams::bg_sigma_ratio`] (standard deviations),
+//! which is also how the underlying Stauffer–Grimson formulation reads.
+
+use crate::real::Real;
+use serde::{Deserialize, Serialize};
+
+/// User-facing MoG configuration (always `f64`; resolve to the working
+/// precision with [`MogParams::resolve`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MogParams {
+    /// Number of Gaussian components per pixel (the paper evaluates 3
+    /// and 5).
+    pub k: usize,
+    /// Weight retention factor `α` of Algorithm 4/5: a matched component's
+    /// weight becomes `α·w + (1−α)`, an unmatched one `α·w`. Values close
+    /// to 1 adapt slowly.
+    pub alpha: f64,
+    /// Grey-level match threshold (paper line 5's `Γ1`).
+    pub match_threshold: f64,
+    /// Minimum weight for a component to be considered background (paper
+    /// line 24's `Γ2`).
+    pub bg_weight: f64,
+    /// Background closeness bound in standard deviations (paper line 24's
+    /// `Γ1` in its ratio role).
+    pub bg_sigma_ratio: f64,
+    /// Weight assigned to a freshly created virtual component.
+    pub initial_weight: f64,
+    /// Standard deviation assigned to a freshly created virtual component.
+    pub initial_sd: f64,
+    /// Floor on the standard deviation, preventing degenerate components.
+    pub min_sd: f64,
+}
+
+impl MogParams {
+    /// Paper-flavoured defaults: 3 components, slow adaptation.
+    pub fn new(k: usize) -> Self {
+        MogParams {
+            k,
+            alpha: 0.95,
+            match_threshold: 20.0,
+            bg_weight: 0.2,
+            bg_sigma_ratio: 2.5,
+            initial_weight: 0.05,
+            initial_sd: 30.0,
+            min_sd: 4.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k == 0 || self.k > 8 {
+            return Err(format!("k = {} must be in 1..=8", self.k));
+        }
+        if !(0.0..1.0).contains(&self.alpha) {
+            return Err(format!("alpha = {} must be in [0, 1)", self.alpha));
+        }
+        if self.match_threshold <= 0.0 {
+            return Err("match_threshold must be positive".into());
+        }
+        if self.initial_sd < self.min_sd {
+            return Err("initial_sd must be >= min_sd".into());
+        }
+        if self.min_sd <= 0.0 {
+            return Err("min_sd must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.bg_weight) {
+            return Err(format!("bg_weight = {} must be in [0, 1]", self.bg_weight));
+        }
+        Ok(())
+    }
+
+    /// Converts to the working precision, pre-computing derived constants.
+    pub fn resolve<T: Real>(&self) -> ResolvedParams<T> {
+        ResolvedParams {
+            k: self.k,
+            alpha: T::from_f64(self.alpha),
+            one_minus_alpha: T::from_f64(1.0 - self.alpha),
+            match_threshold: T::from_f64(self.match_threshold),
+            bg_weight: T::from_f64(self.bg_weight),
+            bg_sigma_ratio: T::from_f64(self.bg_sigma_ratio),
+            initial_weight: T::from_f64(self.initial_weight),
+            initial_sd: T::from_f64(self.initial_sd),
+            min_var: T::from_f64(self.min_sd * self.min_sd),
+        }
+    }
+}
+
+impl Default for MogParams {
+    fn default() -> Self {
+        MogParams::new(3)
+    }
+}
+
+/// [`MogParams`] resolved to working precision `T`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolvedParams<T: Real> {
+    /// Component count.
+    pub k: usize,
+    /// Weight retention factor.
+    pub alpha: T,
+    /// `1 − α`, precomputed.
+    pub one_minus_alpha: T,
+    /// Grey-level match threshold.
+    pub match_threshold: T,
+    /// Background weight threshold `Γ2`.
+    pub bg_weight: T,
+    /// Background sigma-ratio threshold.
+    pub bg_sigma_ratio: T,
+    /// Virtual-component weight.
+    pub initial_weight: T,
+    /// Virtual-component standard deviation.
+    pub initial_sd: T,
+    /// Variance floor (`min_sd²`).
+    pub min_var: T,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(MogParams::default().validate().is_ok());
+        assert!(MogParams::new(5).validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        assert!(MogParams { k: 0, ..MogParams::default() }.validate().is_err());
+        assert!(MogParams { k: 9, ..MogParams::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_alpha_rejected() {
+        assert!(MogParams { alpha: 1.0, ..MogParams::default() }.validate().is_err());
+        assert!(MogParams { alpha: -0.1, ..MogParams::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn sd_constraints() {
+        // initial_sd below the min_sd floor of 4.
+        assert!(MogParams { initial_sd: 1.0, ..MogParams::default() }.validate().is_err());
+        assert!(MogParams { min_sd: 0.0, ..MogParams::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn resolve_precomputes() {
+        let p = MogParams::default();
+        let r: ResolvedParams<f32> = p.resolve();
+        assert!((r.one_minus_alpha.to_f64() - 0.05).abs() < 1e-6);
+        assert!((r.min_var.to_f64() - 16.0).abs() < 1e-6);
+        let rr: ResolvedParams<f64> = p.resolve();
+        assert_eq!(rr.alpha, 0.95);
+    }
+}

@@ -1,0 +1,145 @@
+//! Floating-point abstraction so every MoG variant exists in both the
+//! double-precision configuration the paper defaults to and the
+//! single-precision configuration of its Section V-C study.
+
+use std::fmt::Debug;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A scalar real type (`f32` or `f64`) with the operations MoG needs.
+pub trait Real:
+    Copy
+    + PartialOrd
+    + Debug
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + 'static
+{
+    /// Size in bytes (4 or 8) — drives device memory layout and transfer
+    /// sizes.
+    const BYTES: usize;
+    /// Human-readable name for reports ("float" / "double").
+    const NAME: &'static str;
+
+    /// Exact conversion from an 8-bit pixel.
+    fn from_u8(p: u8) -> Self;
+    /// Conversion from `f64` (parameters).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Elementwise maximum.
+    fn max(self, other: Self) -> Self;
+    /// Additive identity.
+    fn zero() -> Self {
+        Self::from_f64(0.0)
+    }
+    /// Multiplicative identity.
+    fn one() -> Self {
+        Self::from_f64(1.0)
+    }
+}
+
+impl Real for f64 {
+    const BYTES: usize = 8;
+    const NAME: &'static str = "double";
+
+    #[inline]
+    fn from_u8(p: u8) -> Self {
+        p as f64
+    }
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+
+    #[inline]
+    fn max(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+}
+
+impl Real for f32 {
+    const BYTES: usize = 4;
+    const NAME: &'static str = "float";
+
+    #[inline]
+    fn from_u8(p: u8) -> Self {
+        p as f32
+    }
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+
+    #[inline]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+
+    #[inline]
+    fn max(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_roundtrip<T: Real>() {
+        assert_eq!(T::from_u8(255).to_f64(), 255.0);
+        assert_eq!(T::from_f64(-2.0).abs().to_f64(), 2.0);
+        assert_eq!(T::from_f64(9.0).sqrt().to_f64(), 3.0);
+        assert_eq!(T::zero().to_f64(), 0.0);
+        assert_eq!(T::one().to_f64(), 1.0);
+        assert_eq!(T::from_f64(1.0).max(T::from_f64(2.0)).to_f64(), 2.0);
+    }
+
+    #[test]
+    fn f64_ops() {
+        generic_roundtrip::<f64>();
+        assert_eq!(f64::BYTES, 8);
+        assert_eq!(f64::NAME, "double");
+    }
+
+    #[test]
+    fn f32_ops() {
+        generic_roundtrip::<f32>();
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(f32::NAME, "float");
+    }
+}

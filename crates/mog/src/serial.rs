@@ -1,0 +1,221 @@
+//! Single-threaded reference MoG — the paper's CPU baseline and the
+//! ground truth for every quality comparison (Table IV).
+
+use crate::model::HostModel;
+use crate::params::{MogParams, ResolvedParams};
+use crate::real::Real;
+use crate::update::{step_pixel, Variant};
+use mogpu_frame::{Frame, Mask, Resolution};
+
+/// A stateful serial background subtractor.
+///
+/// ```
+/// use mogpu_mog::{MogParams, SerialMog, Variant};
+/// use mogpu_frame::{Resolution, SceneBuilder};
+///
+/// let scene = SceneBuilder::new(Resolution::TINY).walkers(1).build();
+/// let (first, _) = scene.render(0);
+/// let mut mog = SerialMog::<f64>::new(Resolution::TINY, MogParams::default(),
+///                                     Variant::Sorted, first.as_slice());
+/// let (frame, _truth) = scene.render(1);
+/// let mask = mog.process(&frame);
+/// assert_eq!(mask.resolution(), Resolution::TINY);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SerialMog<T: Real> {
+    resolution: Resolution,
+    params: MogParams,
+    resolved: ResolvedParams<T>,
+    variant: Variant,
+    model: HostModel<T>,
+}
+
+impl<T: Real> SerialMog<T> {
+    /// Creates a subtractor seeded from `first_frame` (length must equal
+    /// the resolution's pixel count).
+    pub fn new(
+        resolution: Resolution,
+        params: MogParams,
+        variant: Variant,
+        first_frame: &[u8],
+    ) -> Self {
+        params.validate().expect("invalid MoG parameters");
+        let model = HostModel::init(resolution.pixels(), params.k, &params, first_frame);
+        SerialMog { resolution, params, resolved: params.resolve(), variant, model }
+    }
+
+    /// The active variant.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// The configuration.
+    pub fn params(&self) -> &MogParams {
+        &self.params
+    }
+
+    /// Read access to the mixture model (for tests and device upload).
+    pub fn model(&self) -> &HostModel<T> {
+        &self.model
+    }
+
+    /// Processes one frame, updating the model and returning the
+    /// foreground mask.
+    ///
+    /// # Panics
+    /// Panics if the frame resolution differs from the subtractor's.
+    pub fn process(&mut self, frame: &Frame<u8>) -> Mask {
+        assert_eq!(frame.resolution(), self.resolution, "frame resolution mismatch");
+        let mut mask = Mask::new(self.resolution);
+        let data = frame.as_slice();
+        let out = mask.as_mut_slice();
+        for p in 0..data.len() {
+            let (w, m, sd) = self.model.pixel_mut(p);
+            let fg =
+                step_pixel(self.variant, T::from_u8(data[p]), w, m, sd, &self.resolved);
+            out[p] = if fg { 255 } else { 0 };
+        }
+        mask
+    }
+
+    /// Processes a sequence of frames, returning the masks.
+    pub fn process_all(&mut self, frames: &[Frame<u8>]) -> Vec<Mask> {
+        frames.iter().map(|f| self.process(f)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mogpu_frame::SceneBuilder;
+
+    fn scene_frames(n: usize) -> (Vec<Frame<u8>>, Vec<Mask>) {
+        let scene = SceneBuilder::new(Resolution::TINY).seed(7).walkers(2).build();
+        let (f, m) = scene.render_sequence(n);
+        (f.into_frames(), m.into_frames())
+    }
+
+    #[test]
+    fn detects_moving_objects_after_warmup() {
+        let (frames, truths) = scene_frames(40);
+        let mut mog =
+            SerialMog::<f64>::new(Resolution::TINY, MogParams::default(), Variant::Sorted,
+                                  frames[0].as_slice());
+        let masks = mog.process_all(&frames[1..]);
+        // After warm-up, foreground density should be near the ground
+        // truth density (objects cover a few percent of the frame).
+        let last = masks.last().unwrap();
+        let truth = truths.last().unwrap();
+        let detected = last.fraction_set();
+        let actual = truth.fraction_set();
+        assert!(actual > 0.0);
+        assert!(
+            (detected - actual).abs() < 0.05,
+            "detected {detected:.3} vs truth {actual:.3}"
+        );
+        // Recall: most true-foreground pixels flagged.
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for (d, t) in last.as_slice().iter().zip(truth.as_slice()) {
+            if *t == 255 {
+                total += 1;
+                if *d == 255 {
+                    hit += 1;
+                }
+            }
+        }
+        assert!(hit as f64 / total as f64 > 0.7, "recall {hit}/{total}");
+    }
+
+    #[test]
+    fn static_scene_converges_to_all_background() {
+        let scene = SceneBuilder::new(Resolution::TINY).seed(3).noise_sd(1.0).build();
+        let (frames, _) = scene.render_sequence(30);
+        let frames = frames.into_frames();
+        let mut mog =
+            SerialMog::<f64>::new(Resolution::TINY, MogParams::default(), Variant::Sorted,
+                                  frames[0].as_slice());
+        let masks = mog.process_all(&frames[1..]);
+        let fg = masks.last().unwrap().fraction_set();
+        assert!(fg < 0.02, "static scene foreground fraction {fg}");
+    }
+
+    #[test]
+    fn model_invariants_hold_through_processing() {
+        let (frames, _) = scene_frames(25);
+        for variant in Variant::ALL {
+            let mut mog = SerialMog::<f64>::new(
+                Resolution::TINY,
+                MogParams::default(),
+                variant,
+                frames[0].as_slice(),
+            );
+            mog.process_all(&frames[1..]);
+            mog.model().check_invariants().unwrap_or_else(|e| panic!("{variant:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn sorted_and_nosort_masks_are_identical() {
+        let (frames, _) = scene_frames(20);
+        let mut a = SerialMog::<f64>::new(Resolution::TINY, MogParams::default(),
+                                          Variant::Sorted, frames[0].as_slice());
+        let mut b = SerialMog::<f64>::new(Resolution::TINY, MogParams::default(),
+                                          Variant::NoSort, frames[0].as_slice());
+        for f in &frames[1..] {
+            assert_eq!(a.process(f), b.process(f));
+        }
+    }
+
+    #[test]
+    fn predicated_masks_match_nosort_exactly() {
+        let (frames, _) = scene_frames(20);
+        let mut a = SerialMog::<f64>::new(Resolution::TINY, MogParams::default(),
+                                          Variant::NoSort, frames[0].as_slice());
+        let mut b = SerialMog::<f64>::new(Resolution::TINY, MogParams::default(),
+                                          Variant::Predicated, frames[0].as_slice());
+        for f in &frames[1..] {
+            assert_eq!(a.process(f), b.process(f));
+        }
+    }
+
+    #[test]
+    fn register_reduced_masks_are_nearly_identical() {
+        let (frames, _) = scene_frames(30);
+        let mut a = SerialMog::<f64>::new(Resolution::TINY, MogParams::default(),
+                                          Variant::Predicated, frames[0].as_slice());
+        let mut b = SerialMog::<f64>::new(Resolution::TINY, MogParams::default(),
+                                          Variant::RegisterReduced, frames[0].as_slice());
+        let mut differing = 0usize;
+        let mut total = 0usize;
+        for f in &frames[1..] {
+            let ma = a.process(f);
+            let mb = b.process(f);
+            total += ma.len();
+            differing +=
+                ma.as_slice().iter().zip(mb.as_slice()).filter(|(x, y)| x != y).count();
+        }
+        let rate = differing as f64 / total as f64;
+        assert!(rate < 0.02, "register-reduced deviation rate {rate}");
+    }
+
+    #[test]
+    fn five_gaussian_configuration_works() {
+        let (frames, _) = scene_frames(15);
+        let mut mog = SerialMog::<f64>::new(Resolution::TINY, MogParams::new(5),
+                                            Variant::Sorted, frames[0].as_slice());
+        let masks = mog.process_all(&frames[1..]);
+        assert_eq!(masks.len(), 14);
+        mog.model().check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_resolution_panics() {
+        let (frames, _) = scene_frames(2);
+        let mut mog = SerialMog::<f64>::new(Resolution::TINY, MogParams::default(),
+                                            Variant::Sorted, frames[0].as_slice());
+        let wrong: Frame<u8> = Frame::new(Resolution::QVGA);
+        mog.process(&wrong);
+    }
+}

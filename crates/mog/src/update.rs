@@ -1,0 +1,443 @@
+//! The canonical per-pixel MoG update/classify routines — the single
+//! source of truth for the arithmetic that both the CPU implementations
+//! (this crate) and the simulated GPU kernels (`mogpu-core`) perform.
+//!
+//! Keeping the math in pure slice-level functions lets integration tests
+//! assert bit-exact equivalence between the serial reference and the GPU
+//! kernels at matching optimization levels.
+
+use crate::params::ResolvedParams;
+use crate::real::Real;
+
+/// Maximum supported component count (the paper uses 3 and 5).
+pub const MAX_K: usize = 8;
+
+/// Which algorithmic variant of MoG to run (paper optimization levels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Algorithm 1 + 2: branchy update, rank/sort, rank-ordered background
+    /// scan with early exit (levels A-C).
+    Sorted,
+    /// Algorithm 3: branchy update, unconditional scan of all components
+    /// (level D).
+    NoSort,
+    /// Algorithm 5: predicated update, unconditional scan (level E).
+    /// Arithmetically identical to [`Variant::NoSort`].
+    Predicated,
+    /// Level F: predicated update, `diff` recomputed against the *updated*
+    /// mean during classification (the register-saving transformation; the
+    /// source of the paper's small quality delta).
+    RegisterReduced,
+}
+
+impl Variant {
+    /// All variants, in paper order.
+    pub const ALL: [Variant; 4] =
+        [Variant::Sorted, Variant::NoSort, Variant::Predicated, Variant::RegisterReduced];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::Sorted => "sorted",
+            Variant::NoSort => "no-sort",
+            Variant::Predicated => "predicated",
+            Variant::RegisterReduced => "register-reduced",
+        }
+    }
+}
+
+/// Phase 1 of Algorithm 1 (lines 3–15): match components against the
+/// pixel, update their parameters, and create a virtual component if
+/// nothing matched. Branchy formulation (levels A–D).
+///
+/// Returns the per-component `diff` values computed against the
+/// *pre-update* means (the paper keeps them live in registers until the
+/// background scan).
+#[inline]
+pub fn match_update_branchy<T: Real>(
+    p: T,
+    w: &mut [T],
+    m: &mut [T],
+    sd: &mut [T],
+    prm: &ResolvedParams<T>,
+) -> [T; MAX_K] {
+    let k = prm.k;
+    let mut diff = [T::zero(); MAX_K];
+    let mut matched = false;
+    for i in 0..k {
+        let d = (m[i] - p).abs();
+        diff[i] = d;
+        if d < prm.match_threshold {
+            // Match: pull weight toward 1, mean/variance toward the pixel.
+            w[i] = prm.alpha * w[i] + prm.one_minus_alpha;
+            let tmp = prm.one_minus_alpha / w[i];
+            m[i] = m[i] + tmp * (p - m[i]);
+            let dm = p - m[i];
+            let var = sd[i] * sd[i] + tmp * (dm * dm - sd[i] * sd[i]);
+            sd[i] = var.max(prm.min_var).sqrt();
+            matched = true;
+        } else {
+            // Non-match: decay the weight.
+            w[i] = prm.alpha * w[i];
+        }
+    }
+    if !matched {
+        replace_weakest(p, w, m, sd, &mut diff, prm);
+    }
+    diff
+}
+
+/// Phase 1 in the source-level predicated formulation of Algorithm 5
+/// (levels E–F). Produces bit-identical parameter updates to
+/// [`match_update_branchy`] — the predicate multiplies by exactly 0 or 1 —
+/// while executing a single path.
+#[inline]
+pub fn match_update_predicated<T: Real>(
+    p: T,
+    w: &mut [T],
+    m: &mut [T],
+    sd: &mut [T],
+    prm: &ResolvedParams<T>,
+) -> [T; MAX_K] {
+    let k = prm.k;
+    let mut diff = [T::zero(); MAX_K];
+    let mut matched = false;
+    for i in 0..k {
+        let d = (m[i] - p).abs();
+        diff[i] = d;
+        let is_match = d < prm.match_threshold;
+        matched |= is_match;
+        let mk = if is_match { T::one() } else { T::zero() };
+        // w = α·w + match·(1−α): same expression for both outcomes.
+        w[i] = prm.alpha * w[i] + mk * prm.one_minus_alpha;
+        // Guard the unconditional division: a non-matched component may
+        // have weight 0, and `0 * inf = NaN` would leak through the
+        // select below. A matched weight is always >= 1−α, so the guard
+        // never perturbs the matched (selected) path — updates stay
+        // bit-identical to the branchy formulation.
+        let tmp = prm.one_minus_alpha / w[i].max(T::from_f64(1e-30));
+        let m_new = m[i] + tmp * (p - m[i]);
+        m[i] = (T::one() - mk) * m[i] + mk * m_new;
+        let dm = p - m[i];
+        let var = sd[i] * sd[i] + tmp * (dm * dm - sd[i] * sd[i]);
+        let sd_new = var.max(prm.min_var).sqrt();
+        sd[i] = (T::one() - mk) * sd[i] + mk * sd_new;
+    }
+    if !matched {
+        replace_weakest(p, w, m, sd, &mut diff, prm);
+    }
+    diff
+}
+
+/// Lines 12–15 of Algorithm 1: replace the smallest-weight component with
+/// a virtual component centred on the pixel.
+#[inline]
+pub fn replace_weakest<T: Real>(
+    p: T,
+    w: &mut [T],
+    m: &mut [T],
+    sd: &mut [T],
+    diff: &mut [T; MAX_K],
+    prm: &ResolvedParams<T>,
+) {
+    let k = prm.k;
+    let mut weakest = 0;
+    for i in 1..k {
+        if w[i] < w[weakest] {
+            weakest = i;
+        }
+    }
+    w[weakest] = prm.initial_weight;
+    m[weakest] = p;
+    sd[weakest] = prm.initial_sd;
+    diff[weakest] = T::zero();
+}
+
+/// Phase 2 of Algorithm 1 (lines 16–28): rank components by `w/sd`, sort,
+/// and scan in rank order; the pixel is background if a sufficiently
+/// weighty, sufficiently close component is found (early exit on the first
+/// hit). Returns `true` for **foreground**.
+#[inline]
+pub fn classify_sorted<T: Real>(
+    diff: &[T; MAX_K],
+    w: &[T],
+    sd: &[T],
+    prm: &ResolvedParams<T>,
+) -> bool {
+    let k = prm.k;
+    // Rank = w / sd; insertion-sort component indices by descending rank
+    // (K <= 8, so O(K^2) is the natural choice — the paper's serial code
+    // does the same).
+    let mut order = [0usize; MAX_K];
+    let mut rank = [T::zero(); MAX_K];
+    for i in 0..k {
+        order[i] = i;
+        rank[i] = w[i] / sd[i];
+    }
+    for i in 1..k {
+        let mut j = i;
+        while j > 0 && rank[order[j - 1]] < rank[order[j]] {
+            order.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+    for &i in order.iter().take(k) {
+        if w[i] >= prm.bg_weight && diff[i] / sd[i] < prm.bg_sigma_ratio {
+            return false; // background
+        }
+    }
+    true
+}
+
+/// Phase 2 in the no-sort formulation of Algorithm 3 (levels D–E): scan
+/// all components unconditionally in index order. The decision ("does any
+/// component satisfy the predicate?") is order-independent, so the output
+/// is identical to [`classify_sorted`]. Returns `true` for foreground.
+#[inline]
+pub fn classify_nosort<T: Real>(
+    diff: &[T; MAX_K],
+    w: &[T],
+    sd: &[T],
+    prm: &ResolvedParams<T>,
+) -> bool {
+    let k = prm.k;
+    let mut foreground = true;
+    for i in 0..k {
+        let bg = w[i] >= prm.bg_weight && diff[i] / sd[i] < prm.bg_sigma_ratio;
+        foreground &= !bg;
+    }
+    foreground
+}
+
+/// Phase 2 at level F: like [`classify_nosort`] but `diff` is recomputed
+/// from the (already updated) mean instead of being kept live in a
+/// register — the paper's register-reduction transformation. Returns
+/// `true` for foreground.
+#[inline]
+pub fn classify_regreduced<T: Real>(
+    p: T,
+    w: &[T],
+    m: &[T],
+    sd: &[T],
+    prm: &ResolvedParams<T>,
+) -> bool {
+    let k = prm.k;
+    let mut foreground = true;
+    for i in 0..k {
+        let d = (m[i] - p).abs();
+        let bg = w[i] >= prm.bg_weight && d / sd[i] < prm.bg_sigma_ratio;
+        foreground &= !bg;
+    }
+    foreground
+}
+
+/// Runs one full pixel step (update + classify) for `variant`, mutating
+/// the component slices in place. Returns `true` for foreground.
+#[inline]
+pub fn step_pixel<T: Real>(
+    variant: Variant,
+    p: T,
+    w: &mut [T],
+    m: &mut [T],
+    sd: &mut [T],
+    prm: &ResolvedParams<T>,
+) -> bool {
+    match variant {
+        Variant::Sorted => {
+            let diff = match_update_branchy(p, w, m, sd, prm);
+            classify_sorted(&diff, w, sd, prm)
+        }
+        Variant::NoSort => {
+            let diff = match_update_branchy(p, w, m, sd, prm);
+            classify_nosort(&diff, w, sd, prm)
+        }
+        Variant::Predicated => {
+            let diff = match_update_predicated(p, w, m, sd, prm);
+            classify_nosort(&diff, w, sd, prm)
+        }
+        Variant::RegisterReduced => {
+            let _ = match_update_predicated(p, w, m, sd, prm);
+            classify_regreduced(p, w, m, sd, prm)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MogParams;
+
+    fn prm(k: usize) -> ResolvedParams<f64> {
+        MogParams::new(k).resolve()
+    }
+
+    fn fresh_model(k: usize, level: f64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mut w = vec![0.0; k];
+        w[0] = 1.0;
+        (w, vec![level; k], vec![10.0; k])
+    }
+
+    #[test]
+    fn stable_pixel_becomes_background() {
+        let p = prm(3);
+        let (mut w, mut m, mut sd) = fresh_model(3, 100.0);
+        // Feed the same value repeatedly: must settle as background.
+        let mut fg = true;
+        for _ in 0..20 {
+            fg = step_pixel(Variant::Sorted, 100.0, &mut w, &mut m, &mut sd, &p);
+        }
+        assert!(!fg);
+        assert!((m[0] - 100.0).abs() < 1e-9);
+        assert!(w[0] > 0.9);
+    }
+
+    #[test]
+    fn outlier_pixel_is_foreground() {
+        let p = prm(3);
+        let (mut w, mut m, mut sd) = fresh_model(3, 100.0);
+        for _ in 0..20 {
+            step_pixel(Variant::Sorted, 100.0, &mut w, &mut m, &mut sd, &p);
+        }
+        let fg = step_pixel(Variant::Sorted, 250.0, &mut w, &mut m, &mut sd, &p);
+        assert!(fg, "a 150-grey-level jump must be foreground");
+    }
+
+    #[test]
+    fn mismatch_creates_virtual_component() {
+        let p = prm(3);
+        let (mut w, mut m, mut sd) = fresh_model(3, 100.0);
+        step_pixel(Variant::Sorted, 250.0, &mut w, &mut m, &mut sd, &p);
+        // Some component must now be centred at 250 with initial sd/weight.
+        let j = m.iter().position(|&x| (x - 250.0).abs() < 1e-12).expect("virtual component");
+        assert_eq!(sd[j], 30.0);
+        assert_eq!(w[j], 0.05);
+    }
+
+    #[test]
+    fn persistent_new_mode_is_absorbed_into_background() {
+        // A bimodal pixel: after a new mode persists, it becomes
+        // background — the adaptive property motivating MoG.
+        let p = prm(3);
+        let (mut w, mut m, mut sd) = fresh_model(3, 100.0);
+        for _ in 0..30 {
+            step_pixel(Variant::Sorted, 100.0, &mut w, &mut m, &mut sd, &p);
+        }
+        let mut last = true;
+        for _ in 0..60 {
+            last = step_pixel(Variant::Sorted, 180.0, &mut w, &mut m, &mut sd, &p);
+        }
+        assert!(!last, "persistent mode must be absorbed (weights: {w:?})");
+    }
+
+    #[test]
+    fn predicated_update_is_bit_identical_to_branchy() {
+        let p = prm(5);
+        let pixels = [100.0, 103.0, 250.0, 99.0, 40.0, 41.0, 100.0, 180.0];
+        let (mut w1, mut m1, mut sd1) = fresh_model(5, 100.0);
+        let (mut w2, mut m2, mut sd2) = fresh_model(5, 100.0);
+        for &px in &pixels {
+            let d1 = match_update_branchy(px, &mut w1, &mut m1, &mut sd1, &p);
+            let d2 = match_update_predicated(px, &mut w2, &mut m2, &mut sd2, &p);
+            assert_eq!(d1, d2);
+            assert_eq!(w1, w2);
+            assert_eq!(m1, m2);
+            assert_eq!(sd1, sd2);
+        }
+    }
+
+    #[test]
+    fn nosort_decision_equals_sorted_decision() {
+        // The background predicate is order-independent, so dropping the
+        // sort cannot change the decision.
+        let p = prm(3);
+        let (mut w1, mut m1, mut sd1) = fresh_model(3, 100.0);
+        let (mut w2, mut m2, mut sd2) = fresh_model(3, 100.0);
+        let pixels = [100.0, 120.0, 250.0, 100.0, 97.0, 210.0, 211.0, 100.0];
+        for &px in &pixels {
+            let a = step_pixel(Variant::Sorted, px, &mut w1, &mut m1, &mut sd1, &p);
+            let b = step_pixel(Variant::NoSort, px, &mut w2, &mut m2, &mut sd2, &p);
+            assert_eq!(a, b, "decision diverged at pixel {px}");
+        }
+    }
+
+    #[test]
+    fn register_reduced_close_but_not_identical() {
+        // Level F recomputes diff against the updated mean: decisions can
+        // differ near the threshold but the steady-state behaviour holds.
+        let p = prm(3);
+        let (mut w, mut m, mut sd) = fresh_model(3, 100.0);
+        let mut fg = true;
+        for _ in 0..20 {
+            fg = step_pixel(Variant::RegisterReduced, 100.0, &mut w, &mut m, &mut sd, &p);
+        }
+        assert!(!fg);
+        assert!(step_pixel(Variant::RegisterReduced, 250.0, &mut w, &mut m, &mut sd, &p));
+    }
+
+    #[test]
+    fn sd_never_collapses_below_floor() {
+        let p = prm(3);
+        let (mut w, mut m, mut sd) = fresh_model(3, 100.0);
+        for _ in 0..500 {
+            step_pixel(Variant::Sorted, 100.0, &mut w, &mut m, &mut sd, &p);
+        }
+        for &s in &sd[..3] {
+            assert!(s >= 4.0 - 1e-12, "sd {s} fell below the floor");
+        }
+    }
+
+    #[test]
+    fn weights_stay_in_unit_interval() {
+        let p = prm(3);
+        let (mut w, mut m, mut sd) = fresh_model(3, 100.0);
+        for t in 0..300 {
+            let px = if t % 7 == 0 { 250.0 } else { 100.0 + (t % 5) as f64 };
+            step_pixel(Variant::Sorted, px, &mut w, &mut m, &mut sd, &p);
+            for &x in &w[..3] {
+                assert!((0.0..=1.0 + 1e-12).contains(&x), "weight {x} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn classify_sorted_prefers_high_rank_first() {
+        // Construct a state where only the low-rank component is close:
+        // the sorted scan must still find it (scan covers all K).
+        let p = prm(2);
+        let w = vec![0.9, 0.25];
+        let sd = vec![5.0, 10.0];
+        let diff = {
+            let mut d = [0.0; MAX_K];
+            d[0] = 50.0; // far
+            d[1] = 1.0; // close
+            d
+        };
+        assert!(!classify_sorted(&diff, &w, &sd, &p));
+        assert!(!classify_nosort(&diff, &w, &sd, &p));
+    }
+
+    #[test]
+    fn low_weight_component_cannot_be_background() {
+        let p = prm(2);
+        let w = vec![0.05, 0.1]; // all below bg_weight = 0.2
+        let sd = vec![5.0, 5.0];
+        let diff = [0.0; MAX_K];
+        assert!(classify_sorted(&diff, &w, &sd, &p));
+        assert!(classify_nosort(&diff, &w, &sd, &p));
+    }
+
+    #[test]
+    fn f32_variant_behaves() {
+        let p: ResolvedParams<f32> = MogParams::new(3).resolve();
+        let mut w = vec![0.0f32; 3];
+        w[0] = 1.0;
+        let mut m = vec![100.0f32; 3];
+        let mut sd = vec![10.0f32; 3];
+        let mut fg = true;
+        for _ in 0..20 {
+            fg = step_pixel(Variant::Predicated, 100.0f32, &mut w, &mut m, &mut sd, &p);
+        }
+        assert!(!fg);
+        assert!(step_pixel(Variant::Predicated, 250.0f32, &mut w, &mut m, &mut sd, &p));
+    }
+}

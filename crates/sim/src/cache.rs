@@ -1,0 +1,158 @@
+//! Optional L2 cache model.
+//!
+//! Fermi places a 768 KB L2 between the SMs and DRAM. The base timing
+//! model ignores it (every transaction is charged as DRAM traffic), which
+//! is accurate for MoG's streaming access pattern — each Gaussian
+//! parameter is touched once per frame and the working set (hundreds of
+//! MB at full HD) dwarfs the cache. The model here exists to *verify*
+//! that assumption and to capture the one case where L2 matters: the
+//! AoS layout of level A, whose interleaved parameter records make
+//! consecutive warp slots touch the same 128-byte lines.
+//!
+//! Enabled via [`crate::config::GpuConfig::l2_bytes`] > 0. Because blocks
+//! execute in parallel on host threads, each block simulates a *private
+//! slice* of L2 sized `l2_bytes / (SMs x resident blocks)` — a standard
+//! approximation justified by the temporal locality of interest being
+//! intra-block. The `exp_ablation` bench quantifies the effect.
+
+/// A set-associative cache with LRU replacement, tracking line-granular
+/// hits and misses.
+#[derive(Debug, Clone)]
+pub struct CacheModel {
+    /// Per-set LRU stacks of line tags (front = most recent).
+    sets: Vec<Vec<u64>>,
+    assoc: usize,
+    /// Line (and transaction segment) size in bytes.
+    line_bytes: u64,
+    /// Lines that hit.
+    pub hits: u64,
+    /// Lines that missed (and would go to DRAM).
+    pub misses: u64,
+}
+
+impl CacheModel {
+    /// Builds a cache of `capacity` bytes with `assoc`-way sets of
+    /// `line_bytes` lines. Capacity is rounded down to a whole number of
+    /// sets; a capacity smaller than one set still provides one set.
+    pub fn new(capacity: usize, assoc: usize, line_bytes: u64) -> Self {
+        let assoc = assoc.max(1);
+        let lines = (capacity as u64 / line_bytes).max(1) as usize;
+        let set_count = (lines / assoc).max(1);
+        CacheModel {
+            sets: vec![Vec::with_capacity(assoc); set_count],
+            assoc,
+            line_bytes,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Cache capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.assoc * self.line_bytes as usize
+    }
+
+    /// Accesses the line containing segment id `segment` (an address
+    /// divided by the segment size). Returns `true` on hit. Misses fill
+    /// the line (allocate-on-miss for both reads and writes, like L2).
+    pub fn access_segment(&mut self, segment: u64) -> bool {
+        let set_idx = (segment % self.sets.len() as u64) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == segment) {
+            // LRU bump.
+            let tag = set.remove(pos);
+            set.insert(0, tag);
+            self.hits += 1;
+            true
+        } else {
+            if set.len() == self.assoc {
+                set.pop();
+            }
+            set.insert(0, segment);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Hit rate over all accesses so far (1.0 when untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_misses_second_hits() {
+        let mut c = CacheModel::new(16 * 1024, 8, 128);
+        assert!(!c.access_segment(42));
+        assert!(c.access_segment(42));
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 1 set x 2 ways.
+        let mut c = CacheModel::new(256, 2, 128);
+        assert_eq!(c.sets.len(), 1);
+        c.access_segment(1);
+        c.access_segment(2);
+        c.access_segment(1); // bump 1 to MRU
+        c.access_segment(3); // evicts 2
+        assert!(c.access_segment(1), "1 was MRU and must survive");
+        assert!(!c.access_segment(2), "2 was LRU and must be gone");
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        // 2 sets x 1 way.
+        let mut c = CacheModel::new(256, 1, 128);
+        assert_eq!(c.sets.len(), 2);
+        c.access_segment(0); // set 0
+        c.access_segment(1); // set 1
+        assert!(c.access_segment(0));
+        assert!(c.access_segment(1));
+    }
+
+    #[test]
+    fn streaming_working_set_thrashes() {
+        // A working set 10x the capacity revisited in order: ~0% hits.
+        let mut c = CacheModel::new(4 * 1024, 8, 128); // 32 lines
+        for pass in 0..3 {
+            for seg in 0..320u64 {
+                c.access_segment(seg);
+            }
+            let _ = pass;
+        }
+        assert!(c.hit_rate() < 0.01, "hit rate {}", c.hit_rate());
+    }
+
+    #[test]
+    fn resident_working_set_hits_after_warmup() {
+        let mut c = CacheModel::new(4 * 1024, 8, 128); // 32 lines
+        for _ in 0..4 {
+            for seg in 0..16u64 {
+                c.access_segment(seg);
+            }
+        }
+        // 16 misses (cold) + 48 hits.
+        assert_eq!(c.misses, 16);
+        assert_eq!(c.hits, 48);
+    }
+
+    #[test]
+    fn tiny_capacity_still_works() {
+        let mut c = CacheModel::new(0, 4, 128);
+        assert!(c.capacity() >= 128);
+        c.access_segment(7);
+        assert!(c.access_segment(7));
+    }
+}

@@ -1,0 +1,342 @@
+//! Hardware configurations (Table I of the paper) and model calibration
+//! constants.
+
+use serde::{Deserialize, Serialize};
+
+/// GPU hardware description plus analytic-model calibration constants.
+///
+/// The default ([`GpuConfig::tesla_c2075`]) reproduces the paper's target,
+/// an Nvidia Tesla C2075 (Fermi, compute capability 2.0). Architectural
+/// values come from the C2075 datasheet and the CUDA C Programming Guide's
+/// CC 2.0 tables; the three starred constants below are *calibration*
+/// parameters of the timing model, tuned once so the paper's double-
+/// precision 3-Gaussian optimization trajectory (13x -> 41x -> 57x -> 85x
+/// -> 86x -> 97x) is reproduced in shape (see EXPERIMENTS.md).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Marketing name, for report headers.
+    pub name: String,
+    /// Number of streaming multiprocessors (C2075: 14).
+    pub num_sms: u32,
+    /// Scalar cores per SM (C2075: 32) — informational; the issue model
+    /// works at warp granularity.
+    pub cores_per_sm: u32,
+    /// Core clock in Hz (C2075: 1.15 GHz).
+    pub clock_hz: f64,
+    /// Lanes per warp (32 for all CUDA GPUs).
+    pub warp_size: u32,
+    /// Maximum resident threads per SM (CC 2.0: 1536).
+    pub max_threads_per_sm: u32,
+    /// Maximum resident warps per SM (CC 2.0: 48).
+    pub max_warps_per_sm: u32,
+    /// Maximum resident blocks per SM (CC 2.0: 8).
+    pub max_blocks_per_sm: u32,
+    /// 32-bit registers per SM (CC 2.0: 32768).
+    pub registers_per_sm: u32,
+    /// Register allocation granularity in registers-per-warp units
+    /// (CC 2.0 allocates per warp in units of 64 registers).
+    pub register_alloc_unit: u32,
+    /// Shared memory per SM in bytes (48 KiB in the 48/16 configuration the
+    /// paper uses).
+    pub shared_mem_per_sm: u32,
+    /// Shared-memory allocation granularity in bytes (CC 2.0: 128).
+    pub shared_alloc_unit: u32,
+    /// Shared-memory banks (CC 2.0: 32, 4-byte wide).
+    pub shared_banks: u32,
+    /// Maximum threads per block (CC 2.0: 1024).
+    pub max_threads_per_block: u32,
+    /// Global-memory transaction segment size in bytes (Fermi L1 line: 128).
+    pub segment_bytes: u64,
+    /// Peak DRAM bandwidth in bytes/s (C2075 GDDR5: 144 GB/s).
+    pub dram_peak_bw: f64,
+    /// *Calibrated:* fraction of peak DRAM bandwidth achievable by a
+    /// well-coalesced stream (DRAM efficiency; 0.80).
+    pub dram_efficiency: f64,
+    /// *Calibrated:* effective round-trip global-memory latency in core
+    /// cycles, including queueing under load (1100). Datasheet latencies
+    /// are 400-800 cycles; the higher effective value folds in memory-
+    /// controller queueing, which the paper's profiler data implies.
+    pub mem_latency_cycles: f64,
+    /// *Calibrated:* memory-level parallelism — mean outstanding
+    /// transactions per resident warp (1.0 for Fermi's single outstanding
+    /// load per warp in the common case).
+    pub mlp_per_warp: f64,
+    /// Warp instructions issued per SM per cycle (Fermi: two schedulers
+    /// feeding 32 cores amount to ~1 full-warp instruction per cycle).
+    pub issue_per_sm_per_cycle: f64,
+    /// Issue-cost multiplier for double-precision arithmetic (Fermi Tesla
+    /// runs FP64 at half the FP32 rate: 2.0).
+    pub f64_issue_cost: f64,
+    /// Number of independent DMA copy engines (C2075: 2 — simultaneous
+    /// host-to-device and device-to-host).
+    pub copy_engines: u32,
+    /// Effective PCIe bandwidth per direction in bytes/s for *pageable*
+    /// host memory. Calibrated to ~1.0 GB/s from the paper's observation
+    /// that transfers take one third of a 12.3 ms frame at level B —
+    /// the staging-copy behaviour of non-pinned `cudaMemcpy`.
+    pub pcie_bw: f64,
+    /// Effective PCIe bandwidth with page-locked (pinned) host buffers
+    /// (`cudaMallocHost`): ~6 GB/s on gen2 x16. The paper's code
+    /// evidently did not pin; `exp_overlap` quantifies what pinning would
+    /// have bought.
+    pub pcie_bw_pinned: f64,
+    /// Fixed per-transfer DMA setup latency in seconds (~20 us).
+    pub dma_latency_s: f64,
+    /// Device memory capacity in bytes (C2075: 6 GiB).
+    pub device_mem_bytes: usize,
+    /// L2 cache capacity in bytes; 0 disables the cache model (the
+    /// default — MoG streams its working set, see [`crate::cache`]).
+    pub l2_bytes: usize,
+    /// L2 associativity when enabled.
+    pub l2_assoc: usize,
+}
+
+impl GpuConfig {
+    /// The paper's GPU: Nvidia Tesla C2075 (Fermi).
+    pub fn tesla_c2075() -> Self {
+        GpuConfig {
+            name: "Nvidia Tesla C2075 (simulated)".to_string(),
+            num_sms: 14,
+            cores_per_sm: 32,
+            clock_hz: 1.15e9,
+            warp_size: 32,
+            max_threads_per_sm: 1536,
+            max_warps_per_sm: 48,
+            max_blocks_per_sm: 8,
+            registers_per_sm: 32768,
+            register_alloc_unit: 64,
+            shared_mem_per_sm: 48 * 1024,
+            shared_alloc_unit: 128,
+            shared_banks: 32,
+            max_threads_per_block: 1024,
+            segment_bytes: 128,
+            dram_peak_bw: 144.0e9,
+            dram_efficiency: 0.80,
+            mem_latency_cycles: 1100.0,
+            mlp_per_warp: 1.0,
+            issue_per_sm_per_cycle: 1.0,
+            f64_issue_cost: 2.0,
+            copy_engines: 2,
+            pcie_bw: 1.0e9,
+            pcie_bw_pinned: 6.0e9,
+            dma_latency_s: 20e-6,
+            device_mem_bytes: 6 * 1024 * 1024 * 1024,
+            l2_bytes: 0,
+            l2_assoc: 16,
+        }
+    }
+
+    /// With the 768 KB Fermi L2 cache model enabled (see
+    /// [`crate::cache`]); used by the cache ablation.
+    pub fn tesla_c2075_with_l2() -> Self {
+        GpuConfig { l2_bytes: 768 * 1024, ..Self::tesla_c2075() }
+    }
+
+    /// Peak single-precision FLOPS implied by the configuration
+    /// (2 FLOP/cycle/core fused multiply-add).
+    pub fn peak_f32_flops(&self) -> f64 {
+        self.num_sms as f64 * self.cores_per_sm as f64 * self.clock_hz * 2.0
+    }
+
+    /// A Kepler-generation Tesla K20 (the C2075's successor): double the
+    /// register file, 4x the warp slots per SM, quad schedulers, much
+    /// higher bandwidth. Used by the `exp_portability` experiment to ask
+    /// how much of the paper's optimization ladder survives a hardware
+    /// generation — register-pressure tricks stop mattering once the
+    /// register file stops being the occupancy limiter, while coalescing
+    /// and branch discipline remain.
+    pub fn tesla_k20() -> Self {
+        GpuConfig {
+            name: "Nvidia Tesla K20 (simulated)".to_string(),
+            num_sms: 13,
+            cores_per_sm: 192,
+            clock_hz: 0.706e9,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 16,
+            registers_per_sm: 65536,
+            register_alloc_unit: 256,
+            shared_mem_per_sm: 48 * 1024,
+            shared_alloc_unit: 256,
+            shared_banks: 32,
+            max_threads_per_block: 1024,
+            segment_bytes: 128,
+            dram_peak_bw: 208.0e9,
+            dram_efficiency: 0.80,
+            mem_latency_cycles: 900.0,
+            mlp_per_warp: 2.0, // Kepler sustains more outstanding misses
+            issue_per_sm_per_cycle: 4.0,
+            f64_issue_cost: 3.0, // K20 FP64 at 1/3 rate
+            copy_engines: 2,
+            pcie_bw: 2.5e9, // gen2, pageable — faster staging than the C2075 host
+            pcie_bw_pinned: 6.0e9,
+            dma_latency_s: 15e-6,
+            device_mem_bytes: 5 * 1024 * 1024 * 1024,
+            l2_bytes: 0,
+            l2_assoc: 16,
+        }
+    }
+
+    /// An embedded-class integrated GPU, modelled on a Tegra-K1-era
+    /// mobile part: one big SM at a lower clock, LPDDR3 bandwidth shared
+    /// with the CPU, and no PCIe (frames reach the GPU through the shared
+    /// memory controller, modelled as a very fast single "copy engine").
+    ///
+    /// This is the paper's *future work* target ("realize MoG on an
+    /// embedded GPU... achieving real-time performance will require to
+    /// trade off quality for speed"); the `exp_embedded` experiment
+    /// quantifies that trade-off.
+    pub fn embedded_tegra() -> Self {
+        GpuConfig {
+            name: "Embedded integrated GPU (Tegra-class, simulated)".to_string(),
+            num_sms: 1,
+            cores_per_sm: 192,
+            clock_hz: 0.85e9,
+            warp_size: 32,
+            // Resident limits of a single big mobile SM (Kepler-like).
+            max_threads_per_sm: 2048,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 16,
+            registers_per_sm: 65536,
+            register_alloc_unit: 256,
+            shared_mem_per_sm: 48 * 1024,
+            shared_alloc_unit: 256,
+            shared_banks: 32,
+            max_threads_per_block: 1024,
+            segment_bytes: 128,
+            dram_peak_bw: 14.9e9, // LPDDR3-2133, shared with the CPU
+            dram_efficiency: 0.70,
+            mem_latency_cycles: 900.0,
+            mlp_per_warp: 1.0,
+            issue_per_sm_per_cycle: 4.0, // 192 cores ~ 4 warp issues/cycle
+            f64_issue_cost: 24.0,        // mobile parts run FP64 at 1/24 rate
+            copy_engines: 1,
+            pcie_bw: 8.0e9, // zero-copy through the shared memory controller
+            pcie_bw_pinned: 8.0e9,
+            dma_latency_s: 5e-6,
+            device_mem_bytes: 2 * 1024 * 1024 * 1024,
+            l2_bytes: 0,
+            l2_assoc: 16,
+        }
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig::tesla_c2075()
+    }
+}
+
+/// CPU reference-machine description (Intel Xeon E5-2620) plus cost-model
+/// calibration.
+///
+/// The paper's speedups are ratios against a single-threaded `-O3` run on
+/// this CPU (227.3 s for 450 full-HD frames, double precision, 3
+/// Gaussians). We model CPU time from the same traced event counts the GPU
+/// model uses; `cycles_per_event` is calibrated so the modelled serial
+/// reference lands on the paper's measurement (see `exp_baseline`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Marketing name, for report headers.
+    pub name: String,
+    /// Physical cores (E5-2620: 6, 12 hyper-threads).
+    pub cores: u32,
+    /// Hardware threads used by the paper's OpenMP run (8).
+    pub threads: u32,
+    /// Clock in Hz (2.0 GHz base / 2.5 GHz turbo; the paper lists 2.5 GHz).
+    pub clock_hz: f64,
+    /// DRAM bandwidth in bytes/s (12.8 GB/s DDR3-1600 x1 channel as listed
+    /// in Table I).
+    pub dram_bw: f64,
+    /// *Calibrated:* average core cycles per traced scalar event for the
+    /// serial `-O3` build (folds in superscalar issue, cache misses and
+    /// branch-miss costs).
+    pub cycles_per_event: f64,
+    /// Extra cycles charged per mispredicted branch. A branch is treated
+    /// as mispredicted with probability `mispredict_rate` when its traced
+    /// outcomes are mixed.
+    pub branch_miss_penalty: f64,
+    /// Fraction of data-dependent branches assumed mispredicted.
+    pub mispredict_rate: f64,
+    /// SIMD width of the vectorized build (AVX on 64-bit doubles: 4; the
+    /// paper's "customized for SIMD" build gains only 1.39x, consistent
+    /// with divergence-serialized 4-wide execution).
+    pub simd_width: u32,
+    /// *Calibrated:* effective fraction of ideal SIMD speedup retained
+    /// after divergence serialization and gather/scatter overhead (0.35,
+    /// matching the paper's 227.3 s -> 163 s "customized for SIMD" gain).
+    pub simd_efficiency: f64,
+    /// Parallel efficiency of the multi-threaded (OpenMP, 8-thread) build.
+    /// Calibrated from the paper: 227.3 s / 99.8 s = 2.28x on 8 threads
+    /// => 0.285.
+    pub mt_efficiency: f64,
+    /// Extra cycles per double-precision FLOP relative to single
+    /// (calibrated ~1.0 from the paper's 227.3 s vs 180 s double/float
+    /// serial runtimes; physically it folds in the doubled cache traffic).
+    pub f64_extra_cycles: f64,
+}
+
+impl CpuConfig {
+    /// The paper's CPU: Intel Xeon E5-2620.
+    pub fn xeon_e5_2620() -> Self {
+        CpuConfig {
+            name: "Intel Xeon E5-2620 (modelled)".to_string(),
+            cores: 6,
+            threads: 8,
+            clock_hz: 2.5e9,
+            dram_bw: 12.8e9,
+            cycles_per_event: 2.30,
+            branch_miss_penalty: 15.0,
+            mispredict_rate: 0.5,
+            simd_width: 4,
+            simd_efficiency: 0.35,
+            mt_efficiency: 0.285,
+            f64_extra_cycles: 1.0,
+        }
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig::xeon_e5_2620()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c2075_matches_table_1() {
+        let g = GpuConfig::tesla_c2075();
+        // Table I: 448 cores, 1.15 GHz, 144 GB/s, ~1.03 TFLOPS single.
+        assert_eq!(g.num_sms * g.cores_per_sm, 448);
+        assert!((g.clock_hz - 1.15e9).abs() < 1.0);
+        assert!((g.dram_peak_bw - 144e9).abs() < 1.0);
+        let tflops = g.peak_f32_flops() / 1e12;
+        assert!((tflops - 1.03).abs() < 0.01, "got {tflops} TFLOPS");
+    }
+
+    #[test]
+    fn xeon_matches_table_1() {
+        let c = CpuConfig::xeon_e5_2620();
+        assert_eq!(c.cores, 6);
+        assert!((c.dram_bw - 12.8e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn embedded_preset_is_an_order_of_magnitude_weaker() {
+        let big = GpuConfig::tesla_c2075();
+        let small = GpuConfig::embedded_tegra();
+        assert!(small.peak_f32_flops() < big.peak_f32_flops() / 2.0);
+        assert!(small.dram_peak_bw < big.dram_peak_bw / 5.0);
+        assert_eq!(small.num_sms, 1);
+    }
+
+    #[test]
+    fn default_is_c2075() {
+        assert_eq!(GpuConfig::default(), GpuConfig::tesla_c2075());
+        assert_eq!(CpuConfig::default(), CpuConfig::xeon_e5_2620());
+    }
+}

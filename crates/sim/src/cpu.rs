@@ -1,0 +1,152 @@
+//! CPU reference cost model (Intel Xeon E5-2620).
+//!
+//! The paper's speedups are ratios against wall-clock times on a machine we
+//! do not have. To keep the ratios meaningful, the CPU side is modelled
+//! from the *same* scalar event counts the GPU kernels generate: a serial
+//! run performs exactly the per-lane work of the traced kernel, so
+//!
+//! ```text
+//! t_serial = (events * cycles_per_event
+//!             + branches * mispredict_rate * branch_miss_penalty
+//!             + f64_flops * f64_extra_cycles) / clock
+//!            + bytes_touched / dram_bw
+//! ```
+//!
+//! `cycles_per_event` is calibrated once so the serial double-precision
+//! 3-Gaussian MoG lands on the paper's measured 227.3 s / 450 full-HD
+//! frames; all other CPU numbers (SIMD, multi-threaded, single-precision)
+//! then follow from the model. Calibration is asserted by
+//! `exp_baseline` and the integration tests.
+
+use crate::config::CpuConfig;
+use crate::stats::KernelStats;
+use serde::{Deserialize, Serialize};
+
+/// CPU time estimates for the three builds the paper measures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuTimes {
+    /// Single-threaded `-O3` build — the paper's reference point.
+    pub serial: f64,
+    /// "Customized for SIMD" build.
+    pub simd: f64,
+    /// 8-thread OpenMP build.
+    pub multi_threaded: f64,
+}
+
+/// The CPU cost model.
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    cfg: CpuConfig,
+}
+
+impl CpuModel {
+    /// Creates a model over the given CPU description.
+    pub fn new(cfg: CpuConfig) -> Self {
+        CpuModel { cfg }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// Serial single-thread time for the workload whose scalar event
+    /// counts are `stats`.
+    pub fn serial_time(&self, stats: &KernelStats) -> f64 {
+        let c = &self.cfg;
+        let events = stats.scalar_events() as f64;
+        let cycles = events * c.cycles_per_event
+            + stats.lane_branches as f64 * c.mispredict_rate * c.branch_miss_penalty
+            + stats.flops_f64 as f64 * c.f64_extra_cycles;
+        cycles / c.clock_hz + stats.bytes_requested() as f64 / c.dram_bw
+    }
+
+    /// SIMD-customized build time.
+    pub fn simd_time(&self, stats: &KernelStats) -> f64 {
+        self.serial_time(stats) / (self.cfg.simd_width as f64 * self.cfg.simd_efficiency)
+    }
+
+    /// Multi-threaded (OpenMP-style) build time.
+    pub fn multi_threaded_time(&self, stats: &KernelStats) -> f64 {
+        self.serial_time(stats) / (self.cfg.threads as f64 * self.cfg.mt_efficiency)
+    }
+
+    /// All three CPU estimates at once.
+    pub fn times(&self, stats: &KernelStats) -> CpuTimes {
+        CpuTimes {
+            serial: self.serial_time(stats),
+            simd: self.simd_time(stats),
+            multi_threaded: self.multi_threaded_time(stats),
+        }
+    }
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel::new(CpuConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> KernelStats {
+        KernelStats {
+            int_ops: 50_000_000,
+            flops_f64: 100_000_000,
+            lane_branches: 20_000_000,
+            lane_mem_accesses: 30_000_000,
+            global_load_bytes_requested: 150_000_000,
+            global_store_bytes_requested: 150_000_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn serial_scales_linearly_with_work() {
+        let m = CpuModel::default();
+        let s1 = stats();
+        let mut s2 = stats();
+        s2.merge(&stats());
+        let t1 = m.serial_time(&s1);
+        let t2 = m.serial_time(&s2);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simd_gain_matches_paper_shape() {
+        // Paper: 227.3 s -> 163 s, a 1.39x gain.
+        let m = CpuModel::default();
+        let s = stats();
+        let gain = m.serial_time(&s) / m.simd_time(&s);
+        assert!((gain - 1.40).abs() < 0.02, "gain = {gain}");
+    }
+
+    #[test]
+    fn mt_gain_matches_paper_shape() {
+        // Paper: 227.3 s -> 99.8 s, a 2.28x gain on 8 threads.
+        let m = CpuModel::default();
+        let s = stats();
+        let gain = m.serial_time(&s) / m.multi_threaded_time(&s);
+        assert!((gain - 2.28).abs() < 0.01, "gain = {gain}");
+    }
+
+    #[test]
+    fn f64_work_is_slower_than_f32() {
+        let m = CpuModel::default();
+        let s64 = stats();
+        let mut s32 = stats();
+        s32.flops_f32 = s32.flops_f64;
+        s32.flops_f64 = 0;
+        s32.global_load_bytes_requested /= 2;
+        s32.global_store_bytes_requested /= 2;
+        assert!(m.serial_time(&s64) > m.serial_time(&s32));
+    }
+
+    #[test]
+    fn empty_workload_is_free() {
+        let m = CpuModel::default();
+        assert_eq!(m.serial_time(&KernelStats::default()), 0.0);
+    }
+}

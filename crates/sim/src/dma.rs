@@ -1,0 +1,213 @@
+//! PCIe/DMA transfer model and the host-side frame pipeline scheduler.
+//!
+//! Reproduces the paper's "overlapping data transfer and kernel execution"
+//! optimization (Fig. 5, level C): without overlap a frame costs
+//! `t_in + t_kernel + t_out`; with double buffering and the C2075's two
+//! copy engines, steady-state cost is `max(t_kernel, t_in, t_out)`.
+//!
+//! The scheduler is a small exact list-scheduling simulation rather than a
+//! closed-form formula, so pipeline fill/drain and single-copy-engine
+//! configurations are handled correctly.
+
+use crate::config::GpuConfig;
+use serde::{Deserialize, Serialize};
+
+/// Time to DMA `bytes` across PCIe in one direction from pageable host
+/// memory (the paper's configuration).
+pub fn transfer_time(bytes: usize, cfg: &GpuConfig) -> f64 {
+    if bytes == 0 {
+        return 0.0;
+    }
+    cfg.dma_latency_s + bytes as f64 / cfg.pcie_bw
+}
+
+/// Time to DMA `bytes` from page-locked (pinned) host memory — the
+/// optimization the paper left on the table (see `exp_overlap`).
+pub fn transfer_time_pinned(bytes: usize, cfg: &GpuConfig) -> f64 {
+    if bytes == 0 {
+        return 0.0;
+    }
+    cfg.dma_latency_s + bytes as f64 / cfg.pcie_bw_pinned
+}
+
+/// Whether host<->device transfers overlap kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverlapMode {
+    /// Serial: upload, kernel, download per frame (paper levels A, B).
+    Sequential,
+    /// Double-buffered streams: frame i+1 uploads and frame i-1 downloads
+    /// while kernel i runs (paper level C onward).
+    DoubleBuffered,
+}
+
+/// Result of scheduling a frame pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineTiming {
+    /// Total makespan for all frames (seconds).
+    pub total: f64,
+    /// Steady-state seconds per frame (`total / frames`).
+    pub per_frame: f64,
+    /// Fraction of the makespan during which the compute engine was busy.
+    pub kernel_utilization: f64,
+}
+
+/// Schedules `frames` identical frames through upload -> kernel ->
+/// download.
+///
+/// * `t_h2d` / `t_kernel` / `t_d2h` — per-frame stage times in seconds.
+/// * In [`OverlapMode::Sequential`], every stage of frame `i` completes
+///   before frame `i+1` starts (one stream, synchronous transfers).
+/// * In [`OverlapMode::DoubleBuffered`], stages of different frames
+///   overlap subject to: stage order within a frame; one kernel engine;
+///   `cfg.copy_engines` copy engines (2 on the C2075 — dedicated H2D and
+///   D2H; 1 engine serializes the two directions).
+pub fn pipeline_time(
+    frames: usize,
+    t_h2d: f64,
+    t_kernel: f64,
+    t_d2h: f64,
+    mode: OverlapMode,
+    cfg: &GpuConfig,
+) -> PipelineTiming {
+    if frames == 0 {
+        return PipelineTiming { total: 0.0, per_frame: 0.0, kernel_utilization: 0.0 };
+    }
+    let total = match mode {
+        OverlapMode::Sequential => frames as f64 * (t_h2d + t_kernel + t_d2h),
+        OverlapMode::DoubleBuffered => {
+            // Engine availability times.
+            let two_engines = cfg.copy_engines >= 2;
+            let mut h2d_engine = 0.0f64; // engine 0
+            let mut d2h_engine = 0.0f64; // engine 1 (aliases engine 0 if single)
+            let mut kernel_engine = 0.0f64;
+            let mut h2d_done = vec![0.0f64; frames];
+            let mut kernel_done = vec![0.0f64; frames];
+            let mut makespan: f64 = 0.0;
+            for i in 0..frames {
+                // Upload frame i.
+                let start_h2d = h2d_engine;
+                let end_h2d = start_h2d + t_h2d;
+                h2d_engine = end_h2d;
+                if !two_engines {
+                    d2h_engine = d2h_engine.max(h2d_engine);
+                }
+                h2d_done[i] = end_h2d;
+
+                // Kernel i: after its upload and the previous kernel.
+                let start_k = kernel_engine.max(h2d_done[i]);
+                let end_k = start_k + t_kernel;
+                kernel_engine = end_k;
+                kernel_done[i] = end_k;
+
+                // Download i: after kernel i, on the D2H engine.
+                let start_d2h = d2h_engine.max(kernel_done[i]);
+                let end_d2h = start_d2h + t_d2h;
+                d2h_engine = end_d2h;
+                if !two_engines {
+                    h2d_engine = h2d_engine.max(d2h_engine);
+                }
+                makespan = makespan.max(end_d2h);
+            }
+            makespan
+        }
+    };
+    let busy = frames as f64 * t_kernel;
+    PipelineTiming {
+        total,
+        per_frame: total / frames as f64,
+        kernel_utilization: if total > 0.0 { busy / total } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::tesla_c2075()
+    }
+
+    #[test]
+    fn pinned_transfers_are_faster() {
+        let c = cfg();
+        let n = 2_073_600; // one full-HD frame
+        assert!(transfer_time_pinned(n, &c) < transfer_time(n, &c) / 3.0);
+        assert_eq!(transfer_time_pinned(0, &c), 0.0);
+    }
+
+    #[test]
+    fn transfer_time_has_latency_floor() {
+        let c = cfg();
+        assert_eq!(transfer_time(0, &c), 0.0);
+        let t = transfer_time(1, &c);
+        assert!(t >= c.dma_latency_s);
+        let big = transfer_time(1_000_000_000, &c);
+        assert!((big - (c.dma_latency_s + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_is_sum_of_stages() {
+        let t = pipeline_time(10, 1.0, 2.0, 0.5, OverlapMode::Sequential, &cfg());
+        assert!((t.total - 35.0).abs() < 1e-12);
+        assert!((t.per_frame - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_hides_transfers_when_kernel_dominates() {
+        // Kernel 2 s, transfers 1 + 0.5 s: steady state = kernel-bound.
+        let n = 100;
+        let t = pipeline_time(n, 1.0, 2.0, 0.5, OverlapMode::DoubleBuffered, &cfg());
+        // Makespan ~= fill (1.0) + n * 2.0 + drain (0.5).
+        assert!((t.total - (1.0 + 200.0 + 0.5)).abs() < 1e-9);
+        assert!(t.kernel_utilization > 0.98);
+    }
+
+    #[test]
+    fn overlap_bound_by_transfers_when_kernel_small() {
+        let n = 100;
+        let t = pipeline_time(n, 2.0, 0.1, 1.0, OverlapMode::DoubleBuffered, &cfg());
+        // H2D engine is the bottleneck: per-frame -> 2.0.
+        assert!((t.per_frame - 2.0).abs() < 0.1, "per_frame = {}", t.per_frame);
+    }
+
+    #[test]
+    fn single_copy_engine_serializes_directions() {
+        let mut c = cfg();
+        c.copy_engines = 1;
+        let n = 200;
+        let two = pipeline_time(n, 1.0, 1.0, 1.0, OverlapMode::DoubleBuffered, &cfg());
+        let one = pipeline_time(n, 1.0, 1.0, 1.0, OverlapMode::DoubleBuffered, &c);
+        // With one engine, H2D+D2H = 2.0 per frame binds; with two, 1.0.
+        assert!(one.per_frame > 1.8 * two.per_frame, "one={} two={}", one.per_frame, two.per_frame);
+    }
+
+    #[test]
+    fn overlap_never_slower_than_sequential() {
+        for &(a, k, b) in &[(1.0, 2.0, 0.5), (2.0, 0.1, 1.0), (0.3, 0.3, 0.3)] {
+            let s = pipeline_time(50, a, k, b, OverlapMode::Sequential, &cfg());
+            let o = pipeline_time(50, a, k, b, OverlapMode::DoubleBuffered, &cfg());
+            assert!(o.total <= s.total + 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_frames() {
+        let t = pipeline_time(0, 1.0, 1.0, 1.0, OverlapMode::DoubleBuffered, &cfg());
+        assert_eq!(t.total, 0.0);
+    }
+
+    #[test]
+    fn reproduces_paper_one_third_transfer_observation() {
+        // Paper level B: ~12.3 ms/frame of which ~1/3 is transfer. A full
+        // HD frame is 2.07 MB each way at ~1 GB/s => ~2.1 ms per
+        // direction; kernel ~8.2 ms. Sequential ~12.4 ms; overlapped
+        // (level C) ~kernel-bound 8.2 ms.
+        let c = cfg();
+        let t_dir = transfer_time(2_073_600, &c);
+        let seq = pipeline_time(450, t_dir, 8.2e-3, t_dir, OverlapMode::Sequential, &c);
+        let ovl = pipeline_time(450, t_dir, 8.2e-3, t_dir, OverlapMode::DoubleBuffered, &c);
+        let transfer_fraction = 2.0 * t_dir / seq.per_frame;
+        assert!(transfer_fraction > 0.25 && transfer_fraction < 0.45, "{transfer_fraction}");
+        assert!((ovl.per_frame - 8.2e-3).abs() / 8.2e-3 < 0.05);
+    }
+}

@@ -1,0 +1,65 @@
+//! # mogpu-sim
+//!
+//! A from-scratch, Fermi-class **SIMT GPU simulator** used as the hardware
+//! substrate for reproducing *"A GPU-based Algorithm-specific Optimization
+//! for High-performance Background Subtraction"* (ICPP 2014).
+//!
+//! The paper runs on an Nvidia Tesla C2075; this session has no GPU, so the
+//! evaluation hardware is simulated. The simulator is **functional +
+//! analytic**:
+//!
+//! * **Functional**: kernels are ordinary Rust code written against the
+//!   [`kernel::ThreadCtx`] API. Every lane of every warp executes for real —
+//!   loads return real data, stores mutate simulated device memory — so
+//!   algorithm output (the foreground masks whose quality Table IV of the
+//!   paper measures) is exact, not approximated.
+//! * **Analytic**: while lanes execute, the context records a trace of
+//!   *events* (arithmetic, memory accesses with addresses, branches). Traces
+//!   of the 32 lanes of a warp are merged into warp-level *slots* keyed by
+//!   source location and per-lane occurrence index. From the slots the
+//!   simulator derives exactly the counters the paper reports from the
+//!   Nvidia Visual Profiler:
+//!   - **memory access efficiency** and **transaction counts** from the set
+//!     of 128-byte segments touched by each memory slot (coalescing),
+//!   - **branch efficiency** from slots whose lanes disagree on a branch
+//!     condition (divergence; divergent paths occupy distinct slots, so
+//!     serialization falls out of the slot count automatically),
+//!   - **SM occupancy** from a CUDA-style occupancy calculator over the
+//!     kernel's declared register/shared-memory footprint,
+//!
+//!   and feeds them into an analytic timing model
+//!   (compute-issue / bandwidth / latency roofline, see [`timing`]).
+//!
+//! The CPU reference of the paper (Intel Xeon E5-2620) is modelled by
+//! [`cpu::CpuModel`] from the same event counts, calibrated against the
+//! paper's measured serial runtime.
+//!
+//! ## Execution semantics and limits
+//!
+//! Blocks execute in parallel (rayon); lanes within a block execute
+//! sequentially to completion. Global stores issued during a launch are
+//! visible to *the issuing block only* (read-your-writes via a write
+//! buffer keyed by exact `(address, width)`), and are published to device
+//! memory when the launch completes — mirroring CUDA's lack of cross-block
+//! coherence guarantees. Kernels that communicate *between lanes* through
+//! shared or global memory inside one launch are not supported (MoG never
+//! does; each thread owns its pixel).
+
+pub mod cache;
+pub mod config;
+pub mod cpu;
+pub mod dma;
+pub mod kernel;
+pub mod memory;
+pub mod occupancy;
+pub mod stats;
+pub mod timing;
+pub mod trace;
+pub mod warp;
+
+pub use config::{CpuConfig, GpuConfig};
+pub use kernel::{launch, Kernel, KernelResources, LaunchConfig, LaunchError, ThreadCtx};
+pub use memory::{Buffer, DeviceMemory, MemoryError};
+pub use occupancy::{occupancy, Occupancy};
+pub use stats::{DerivedMetrics, KernelStats};
+pub use timing::{kernel_time, KernelTiming};

@@ -1,0 +1,261 @@
+//! Simulated device (GPU global) memory: a flat byte store with a bump
+//! allocator and typed host-side accessors.
+//!
+//! Kernel-side accesses go through [`crate::kernel::ThreadCtx`], which also
+//! records trace events; the accessors here are the host's view (used when
+//! initializing Gaussian parameters or reading back results without a DMA
+//! timing model — for timed transfers see [`crate::dma`]).
+
+/// A handle to an allocation in [`DeviceMemory`].
+///
+/// Buffers are plain offset/length pairs: copying one does not alias
+/// ownership, it just names the same region (like a raw device pointer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Buffer {
+    pub(crate) offset: usize,
+    pub(crate) len: usize,
+}
+
+impl Buffer {
+    /// Byte length of the allocation.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for zero-length buffers.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Device byte address of the start of the buffer.
+    pub fn addr(&self) -> u64 {
+        self.offset as u64
+    }
+
+    /// A sub-buffer covering `[byte_off, byte_off + len)`.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the buffer.
+    pub fn slice(&self, byte_off: usize, len: usize) -> Buffer {
+        assert!(byte_off + len <= self.len, "sub-buffer out of range");
+        Buffer { offset: self.offset + byte_off, len }
+    }
+}
+
+/// Errors from device memory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemoryError {
+    /// Allocation would exceed device capacity.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes still available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemoryError::OutOfMemory { requested, available } => {
+                write!(f, "device out of memory: requested {requested} B, {available} B available")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// Simulated GPU global memory.
+///
+/// Backed by a host `Vec<u8>` that grows lazily up to the configured device
+/// capacity; allocation is a bump allocator with 256-byte alignment
+/// (matching `cudaMalloc`'s alignment guarantee, which is what makes the
+/// coalescing analysis of aligned structures faithful).
+#[derive(Debug)]
+pub struct DeviceMemory {
+    data: Vec<u8>,
+    capacity: usize,
+    cursor: usize,
+}
+
+const ALLOC_ALIGN: usize = 256;
+
+impl DeviceMemory {
+    /// Creates a device memory of `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        DeviceMemory { data: Vec::new(), capacity, cursor: 0 }
+    }
+
+    /// Creates a device memory with the capacity from `cfg`.
+    pub fn with_config(cfg: &crate::config::GpuConfig) -> Self {
+        Self::new(cfg.device_mem_bytes)
+    }
+
+    /// Allocates `bytes` bytes, 256-byte aligned.
+    ///
+    /// # Errors
+    /// [`MemoryError::OutOfMemory`] if capacity would be exceeded.
+    pub fn alloc(&mut self, bytes: usize) -> Result<Buffer, MemoryError> {
+        let start = self.cursor.div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
+        let end = start.checked_add(bytes).ok_or(MemoryError::OutOfMemory {
+            requested: bytes,
+            available: self.capacity.saturating_sub(self.cursor),
+        })?;
+        if end > self.capacity {
+            return Err(MemoryError::OutOfMemory {
+                requested: bytes,
+                available: self.capacity.saturating_sub(start.min(self.capacity)),
+            });
+        }
+        if self.data.len() < end {
+            self.data.resize(end, 0);
+        }
+        self.cursor = end;
+        Ok(Buffer { offset: start, len: bytes })
+    }
+
+    /// Allocates room for `n` elements of `T` (sized by `size_of::<T>()`).
+    pub fn alloc_array<T>(&mut self, n: usize) -> Result<Buffer, MemoryError> {
+        self.alloc(n * std::mem::size_of::<T>())
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated(&self) -> usize {
+        self.cursor
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Releases every allocation (buffers become dangling; the backing
+    /// store is kept so re-allocation is cheap).
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    pub(crate) fn raw(&self) -> &[u8] {
+        &self.data
+    }
+
+    pub(crate) fn raw_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    // ---- host-side typed access (untimed, untraced) ----
+
+    /// Host-side read of an `f64` at element index `idx`.
+    pub fn read_f64(&self, buf: Buffer, idx: usize) -> f64 {
+        let o = buf.offset + idx * 8;
+        f64::from_le_bytes(self.data[o..o + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Host-side write of an `f64` at element index `idx`.
+    pub fn write_f64(&mut self, buf: Buffer, idx: usize, v: f64) {
+        let o = buf.offset + idx * 8;
+        self.data[o..o + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Host-side read of an `f32` at element index `idx`.
+    pub fn read_f32(&self, buf: Buffer, idx: usize) -> f32 {
+        let o = buf.offset + idx * 4;
+        f32::from_le_bytes(self.data[o..o + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Host-side write of an `f32` at element index `idx`.
+    pub fn write_f32(&mut self, buf: Buffer, idx: usize, v: f32) {
+        let o = buf.offset + idx * 4;
+        self.data[o..o + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Host-side read of a `u8` at element index `idx`.
+    pub fn read_u8(&self, buf: Buffer, idx: usize) -> u8 {
+        self.data[buf.offset + idx]
+    }
+
+    /// Host-side write of a `u8` at element index `idx`.
+    pub fn write_u8(&mut self, buf: Buffer, idx: usize, v: u8) {
+        self.data[buf.offset + idx] = v;
+    }
+
+    /// Copies a host byte slice into the buffer (untimed; for timed
+    /// transfers use [`crate::dma`]).
+    ///
+    /// # Panics
+    /// Panics if `src.len() != buf.len()`.
+    pub fn upload(&mut self, buf: Buffer, src: &[u8]) {
+        assert_eq!(src.len(), buf.len, "upload size mismatch");
+        self.data[buf.offset..buf.offset + buf.len].copy_from_slice(src);
+    }
+
+    /// Copies the buffer out to a host vector (untimed).
+    pub fn download(&self, buf: Buffer) -> Vec<u8> {
+        self.data[buf.offset..buf.offset + buf.len].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut m = DeviceMemory::new(1 << 20);
+        let a = m.alloc(100).unwrap();
+        let b = m.alloc(100).unwrap();
+        assert_eq!(a.addr() % 256, 0);
+        assert_eq!(b.addr() % 256, 0);
+        assert!(b.addr() >= a.addr() + 100);
+    }
+
+    #[test]
+    fn alloc_out_of_memory() {
+        let mut m = DeviceMemory::new(1000);
+        assert!(m.alloc(512).is_ok());
+        let err = m.alloc(512).unwrap_err();
+        match err {
+            MemoryError::OutOfMemory { requested, .. } => assert_eq!(requested, 512),
+        }
+    }
+
+    #[test]
+    fn typed_round_trips() {
+        let mut m = DeviceMemory::new(1 << 16);
+        let f = m.alloc_array::<f64>(4).unwrap();
+        m.write_f64(f, 2, 3.25);
+        assert_eq!(m.read_f64(f, 2), 3.25);
+        let g = m.alloc_array::<f32>(4).unwrap();
+        m.write_f32(g, 0, -1.5);
+        assert_eq!(m.read_f32(g, 0), -1.5);
+        let b = m.alloc_array::<u8>(4).unwrap();
+        m.write_u8(b, 3, 200);
+        assert_eq!(m.read_u8(b, 3), 200);
+    }
+
+    #[test]
+    fn upload_download_round_trip() {
+        let mut m = DeviceMemory::new(1 << 16);
+        let buf = m.alloc(5).unwrap();
+        m.upload(buf, &[1, 2, 3, 4, 5]);
+        assert_eq!(m.download(buf), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn reset_reclaims_space() {
+        let mut m = DeviceMemory::new(1024);
+        m.alloc(512).unwrap();
+        m.reset();
+        assert!(m.alloc(512).is_ok());
+    }
+
+    #[test]
+    fn sub_buffer_addresses() {
+        let mut m = DeviceMemory::new(1 << 16);
+        let buf = m.alloc(100).unwrap();
+        let sub = buf.slice(40, 20);
+        assert_eq!(sub.addr(), buf.addr() + 40);
+        assert_eq!(sub.len(), 20);
+    }
+}

@@ -1,0 +1,244 @@
+//! Kernel launch statistics and the derived profiler-style metrics the
+//! paper reports (branch efficiency, memory access efficiency, transaction
+//! counts).
+
+use crate::config::GpuConfig;
+use serde::{Deserialize, Serialize};
+
+/// Raw counters accumulated over every warp of a kernel launch.
+///
+/// Counter semantics follow the Nvidia Visual Profiler quantities the paper
+/// cites:
+///
+/// * *transactions* are 128-byte-segment accesses to DRAM (global + local
+///   space),
+/// * *branch slots* are warp-level branch instructions; a slot is
+///   *divergent* when its active lanes disagree on the condition,
+/// * *issue cycles* are warp-instruction issue slots weighted by class
+///   (double-precision costs [`GpuConfig::f64_issue_cost`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Weighted warp-instruction issue cycles.
+    pub issue_cycles: f64,
+    /// Warp-level instruction slots (unweighted).
+    pub warp_slots: u64,
+    /// Warps executed.
+    pub warps: u64,
+    /// Lanes (threads) executed.
+    pub lanes: u64,
+    /// Blocks executed.
+    pub blocks: u64,
+
+    /// Scalar integer operations (summed over lanes).
+    pub int_ops: u64,
+    /// Scalar single-precision FLOPs (summed over lanes).
+    pub flops_f32: u64,
+    /// Scalar double-precision FLOPs (summed over lanes).
+    pub flops_f64: u64,
+
+    /// Warp-level global/local memory instruction slots.
+    pub mem_slots: u64,
+    /// Global-memory load transactions (128 B segments).
+    pub global_load_tx: u64,
+    /// Global-memory store transactions.
+    pub global_store_tx: u64,
+    /// Local-memory (spill) load transactions.
+    pub local_load_tx: u64,
+    /// Local-memory (spill) store transactions.
+    pub local_store_tx: u64,
+    /// Bytes the lanes actually requested from global loads.
+    pub global_load_bytes_requested: u64,
+    /// Bytes the lanes actually requested in global stores.
+    pub global_store_bytes_requested: u64,
+    /// Bytes requested by local loads.
+    pub local_load_bytes_requested: u64,
+    /// Bytes requested by local stores.
+    pub local_store_bytes_requested: u64,
+
+    /// Shared-memory lane accesses.
+    pub shared_accesses: u64,
+    /// Shared-memory replays due to bank conflicts.
+    pub shared_replays: u64,
+
+    /// Warp-level branch slots.
+    pub branch_slots: u64,
+    /// Branch slots whose lanes disagreed (divergent).
+    pub divergent_branch_slots: u64,
+    /// Scalar branch executions (summed over lanes) — used by the CPU cost
+    /// model.
+    pub lane_branches: u64,
+    /// Scalar (per-lane) global/local memory accesses — used by the CPU
+    /// cost model.
+    pub lane_mem_accesses: u64,
+
+    /// Barrier slots.
+    pub sync_slots: u64,
+
+    /// L2 line hits (only counted when the cache model is enabled).
+    pub l2_hits: u64,
+    /// L2 line misses (equals the DRAM transaction count when enabled).
+    pub l2_misses: u64,
+}
+
+impl KernelStats {
+    /// Merges another launch's counters into this one.
+    pub fn merge(&mut self, o: &KernelStats) {
+        self.issue_cycles += o.issue_cycles;
+        self.warp_slots += o.warp_slots;
+        self.warps += o.warps;
+        self.lanes += o.lanes;
+        self.blocks += o.blocks;
+        self.int_ops += o.int_ops;
+        self.flops_f32 += o.flops_f32;
+        self.flops_f64 += o.flops_f64;
+        self.mem_slots += o.mem_slots;
+        self.global_load_tx += o.global_load_tx;
+        self.global_store_tx += o.global_store_tx;
+        self.local_load_tx += o.local_load_tx;
+        self.local_store_tx += o.local_store_tx;
+        self.global_load_bytes_requested += o.global_load_bytes_requested;
+        self.global_store_bytes_requested += o.global_store_bytes_requested;
+        self.local_load_bytes_requested += o.local_load_bytes_requested;
+        self.local_store_bytes_requested += o.local_store_bytes_requested;
+        self.shared_accesses += o.shared_accesses;
+        self.shared_replays += o.shared_replays;
+        self.branch_slots += o.branch_slots;
+        self.divergent_branch_slots += o.divergent_branch_slots;
+        self.lane_branches += o.lane_branches;
+        self.lane_mem_accesses += o.lane_mem_accesses;
+        self.sync_slots += o.sync_slots;
+        self.l2_hits += o.l2_hits;
+        self.l2_misses += o.l2_misses;
+    }
+
+    /// Total DRAM transactions (global + local, loads + stores).
+    pub fn total_tx(&self) -> u64 {
+        self.global_load_tx + self.global_store_tx + self.local_load_tx + self.local_store_tx
+    }
+
+    /// Total DRAM *store* transactions — the metric of Fig. 6(a).
+    pub fn store_tx(&self) -> u64 {
+        self.global_store_tx + self.local_store_tx
+    }
+
+    /// Total bytes moved across the DRAM interface (transactions x
+    /// segment size).
+    pub fn bytes_transacted(&self, cfg: &GpuConfig) -> u64 {
+        self.total_tx() * cfg.segment_bytes
+    }
+
+    /// Total bytes the lanes requested.
+    pub fn bytes_requested(&self) -> u64 {
+        self.global_load_bytes_requested
+            + self.global_store_bytes_requested
+            + self.local_load_bytes_requested
+            + self.local_store_bytes_requested
+    }
+
+    /// Branch efficiency: non-divergent branch slots / branch slots
+    /// (1.0 when no branches executed).
+    pub fn branch_efficiency(&self) -> f64 {
+        if self.branch_slots == 0 {
+            return 1.0;
+        }
+        1.0 - self.divergent_branch_slots as f64 / self.branch_slots as f64
+    }
+
+    /// Global-load efficiency: requested bytes / transacted bytes.
+    pub fn gld_efficiency(&self, cfg: &GpuConfig) -> f64 {
+        ratio(self.global_load_bytes_requested, self.global_load_tx * cfg.segment_bytes)
+    }
+
+    /// Global-store efficiency: requested bytes / transacted bytes.
+    pub fn gst_efficiency(&self, cfg: &GpuConfig) -> f64 {
+        ratio(self.global_store_bytes_requested, self.global_store_tx * cfg.segment_bytes)
+    }
+
+    /// Overall DRAM access efficiency (global + local, loads + stores):
+    /// the "memory access efficiency" of Figs. 6-8.
+    pub fn mem_access_efficiency(&self, cfg: &GpuConfig) -> f64 {
+        ratio(self.bytes_requested(), self.bytes_transacted(cfg))
+    }
+
+    /// Total scalar events — the basis of the CPU cost model: arithmetic +
+    /// per-lane memory accesses + branches. Shared-memory accesses count
+    /// as ordinary (cache-resident) accesses on a CPU.
+    pub fn scalar_events(&self) -> u64 {
+        self.int_ops
+            + self.flops_f32
+            + self.flops_f64
+            + self.lane_branches
+            + self.lane_mem_accesses
+            + self.shared_accesses
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        if num == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// A compact bundle of the derived metrics the paper plots, for report
+/// tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DerivedMetrics {
+    /// Branch efficiency in [0, 1].
+    pub branch_efficiency: f64,
+    /// Memory access efficiency in [0, 1] (can exceed 1 only if broadcast
+    /// reads alias, which MoG never does).
+    pub mem_access_efficiency: f64,
+    /// DRAM store transactions.
+    pub store_transactions: u64,
+    /// DRAM total transactions.
+    pub total_transactions: u64,
+    /// Branch slots executed.
+    pub branch_slots: u64,
+}
+
+impl DerivedMetrics {
+    /// Computes the derived metrics from raw counters.
+    pub fn from_stats(stats: &KernelStats, cfg: &GpuConfig) -> Self {
+        DerivedMetrics {
+            branch_efficiency: stats.branch_efficiency(),
+            mem_access_efficiency: stats.mem_access_efficiency(cfg),
+            store_transactions: stats.store_tx(),
+            total_transactions: stats.total_tx(),
+            branch_slots: stats.branch_slots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = KernelStats { global_load_tx: 3, issue_cycles: 1.5, ..Default::default() };
+        let b = KernelStats { global_load_tx: 4, issue_cycles: 2.5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.global_load_tx, 7);
+        assert!((a.issue_cycles - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiencies_degenerate_to_one_when_idle() {
+        let s = KernelStats::default();
+        let cfg = GpuConfig::default();
+        assert_eq!(s.branch_efficiency(), 1.0);
+        assert_eq!(s.mem_access_efficiency(&cfg), 1.0);
+    }
+
+    #[test]
+    fn store_tx_includes_local_spills() {
+        let s = KernelStats { global_store_tx: 10, local_store_tx: 5, ..Default::default() };
+        assert_eq!(s.store_tx(), 15);
+    }
+}

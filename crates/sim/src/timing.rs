@@ -1,0 +1,165 @@
+//! Analytic kernel timing model.
+//!
+//! Kernel execution time is the maximum of three bounds — a roofline over
+//! issue throughput, DRAM bandwidth, and latency tolerance:
+//!
+//! * **Issue bound** — total weighted warp-instruction issue cycles spread
+//!   over the SMs: `T_issue = issue_cycles / (SMs * issue_rate) / f`.
+//!   Divergent branches inflate `issue_cycles` because serialized paths
+//!   occupy distinct slots; double precision is weighted at half rate;
+//!   shared-memory bank-conflict replays add issue cycles.
+//! * **Bandwidth bound** — every DRAM transaction moves a 128 B segment:
+//!   `T_bw = transactions * 128 / (peak_bw * dram_efficiency)`. Poorly
+//!   coalesced kernels (level A of the paper) multiply their transaction
+//!   count and are crushed by this bound.
+//! * **Latency bound** — by Little's law, the bytes a GPU can keep *in
+//!   flight* are `resident_warps * mlp * segment` per SM; with round-trip
+//!   latency `L`, `T_lat = transactions * L / (SMs * resident_warps * mlp)
+//!   / f`. This is where **occupancy** enters: the register-usage
+//!   reductions of the paper raise resident warps and directly shrink this
+//!   bound, reproducing the C -> F speedup progression.
+//!
+//! The model deliberately has no queueing simulation; the three-way max is
+//! the standard first-order GPU performance model and captures every
+//! effect the paper's evaluation discusses.
+
+use crate::config::GpuConfig;
+use crate::occupancy::Occupancy;
+use crate::stats::KernelStats;
+use serde::{Deserialize, Serialize};
+
+/// Decomposed kernel time estimate (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelTiming {
+    /// Issue-throughput bound.
+    pub t_issue: f64,
+    /// DRAM bandwidth bound.
+    pub t_mem_bw: f64,
+    /// Memory latency-tolerance bound.
+    pub t_mem_lat: f64,
+    /// `max` of the three bounds.
+    pub total: f64,
+    /// Which bound dominated.
+    pub bound: Bound,
+}
+
+/// The dominating term of a [`KernelTiming`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    /// Instruction issue throughput.
+    Issue,
+    /// DRAM bandwidth.
+    Bandwidth,
+    /// Memory latency / occupancy.
+    Latency,
+}
+
+/// Estimates kernel execution time from launch statistics and occupancy.
+pub fn kernel_time(stats: &KernelStats, occ: &Occupancy, cfg: &GpuConfig) -> KernelTiming {
+    let sms = cfg.num_sms as f64;
+
+    let t_issue = stats.issue_cycles / (sms * cfg.issue_per_sm_per_cycle) / cfg.clock_hz;
+
+    let bytes = stats.bytes_transacted(cfg) as f64;
+    let t_mem_bw = bytes / (cfg.dram_peak_bw * cfg.dram_efficiency);
+
+    // Warps actually available to hide latency: bounded by both occupancy
+    // and the launch size (a 1-block launch cannot fill the machine).
+    let launched_warps_per_sm = (stats.warps as f64 / sms).max(1.0);
+    let warps = (occ.resident_warps as f64).min(launched_warps_per_sm);
+    let t_mem_lat = stats.total_tx() as f64 * cfg.mem_latency_cycles
+        / (sms * warps * cfg.mlp_per_warp)
+        / cfg.clock_hz;
+
+    let (total, bound) = [
+        (t_issue, Bound::Issue),
+        (t_mem_bw, Bound::Bandwidth),
+        (t_mem_lat, Bound::Latency),
+    ]
+    .into_iter()
+    .fold((0.0, Bound::Issue), |acc, x| if x.0 > acc.0 { x } else { acc });
+
+    KernelTiming { t_issue, t_mem_bw, t_mem_lat, total, bound }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::Limiter;
+
+    fn occ(warps: u32) -> Occupancy {
+        Occupancy {
+            resident_blocks: warps / 4,
+            resident_warps: warps,
+            resident_threads: warps * 32,
+            occupancy: warps as f64 / 48.0,
+            limiter: Limiter::Blocks,
+        }
+    }
+
+    fn big_launch_stats() -> KernelStats {
+        KernelStats { warps: 1_000_000, ..Default::default() }
+    }
+
+    #[test]
+    fn pure_compute_is_issue_bound() {
+        let mut s = big_launch_stats();
+        s.issue_cycles = 1e9;
+        let t = kernel_time(&s, &occ(32), &GpuConfig::default());
+        assert_eq!(t.bound, Bound::Issue);
+        // 1e9 cycles / 14 SMs / 1.15 GHz.
+        let expect = 1e9 / 14.0 / 1.15e9;
+        assert!((t.total - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn heavy_traffic_is_bandwidth_bound_when_latency_is_hidden() {
+        // With the calibrated C2075 latency (1100 cycles, mlp 1) the
+        // latency bound slightly exceeds the bandwidth bound even at full
+        // occupancy — Fermi with ECC never reaches peak DRAM bandwidth —
+        // so exercise the bandwidth path with a shorter-latency part.
+        let mut s = big_launch_stats();
+        s.global_load_tx = 100_000_000; // 12.8 GB of segments
+        let cfg = GpuConfig { mem_latency_cycles: 400.0, ..GpuConfig::default() };
+        let t = kernel_time(&s, &occ(48), &cfg);
+        assert_eq!(t.bound, Bound::Bandwidth);
+        let expect = 100_000_000.0 * 128.0 / (144e9 * 0.80);
+        assert!((t.t_mem_bw - expect).abs() / expect < 1e-12);
+        // And the C2075 default is latency-bound at the same occupancy,
+        // by a modest margin.
+        let d = kernel_time(&s, &occ(48), &GpuConfig::default());
+        assert_eq!(d.bound, Bound::Latency);
+        assert!(d.t_mem_lat / d.t_mem_bw < 1.5);
+    }
+
+    #[test]
+    fn low_occupancy_becomes_latency_bound() {
+        let mut s = big_launch_stats();
+        s.global_load_tx = 10_000_000;
+        let cfg = GpuConfig::default();
+        let low = kernel_time(&s, &occ(4), &cfg);
+        let high = kernel_time(&s, &occ(48), &cfg);
+        assert_eq!(low.bound, Bound::Latency);
+        // Raising occupancy 12x cuts the latency bound 12x.
+        assert!((low.t_mem_lat / high.t_mem_lat - 12.0).abs() < 1e-9);
+        assert!(low.total > high.total);
+    }
+
+    #[test]
+    fn small_launch_cannot_hide_latency_with_phantom_warps() {
+        // 14 warps on 14 SMs: only 1 warp/SM regardless of occupancy.
+        let mut s = KernelStats { warps: 14, ..Default::default() };
+        s.global_load_tx = 14_000;
+        let cfg = GpuConfig::default();
+        let t = kernel_time(&s, &occ(48), &cfg);
+        let expect = 14_000.0 * cfg.mem_latency_cycles / (14.0 * 1.0 * 1.0) / cfg.clock_hz;
+        assert!((t.t_mem_lat - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn zero_stats_take_zero_time() {
+        let s = KernelStats::default();
+        let t = kernel_time(&s, &occ(32), &GpuConfig::default());
+        assert_eq!(t.total, 0.0);
+    }
+}

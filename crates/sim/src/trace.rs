@@ -1,0 +1,176 @@
+//! Trace event vocabulary and the per-lane site/occurrence bookkeeping.
+//!
+//! Every [`crate::kernel::ThreadCtx`] operation records an *event*
+//! identified by its **site** — the `#[track_caller]` source location of
+//! the call — and the lane's per-site **occurrence index** (how many times
+//! this lane has executed this site). The pair `(site, occurrence)`
+//! identifies one *warp slot*: the 32 lanes of a warp executing the same
+//! static instruction for the same loop iteration land in the same slot,
+//! which is exactly the lockstep-execution alignment a real SIMT front end
+//! enforces for structured control flow.
+//!
+//! Divergence needs no special machinery: lanes that branch differently
+//! simply execute *different* sites afterwards, producing distinct slots —
+//! each of which costs full issue cycles — so divergent paths are
+//! serialized in the timing model just as Fermi serializes them.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Identifies a static instruction: the address of the `#[track_caller]`
+/// `Location` for the `ThreadCtx` call. `Location` statics have stable
+/// addresses for the program's lifetime, so pointer identity is a sound
+/// site key.
+pub type Site = usize;
+
+/// Obtains the [`Site`] for the caller of a `ThreadCtx` method.
+#[inline]
+pub(crate) fn caller_site(loc: &'static std::panic::Location<'static>) -> Site {
+    loc as *const _ as usize
+}
+
+/// Classification of an arithmetic event, used for both issue-cost
+/// weighting (Fermi FP64 runs at half rate) and FLOP accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Integer / logic / address arithmetic.
+    Int,
+    /// Single-precision floating point.
+    F32,
+    /// Double-precision floating point.
+    F64,
+}
+
+/// Memory space of an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Space {
+    /// Off-chip global memory (device DRAM through L2).
+    Global,
+    /// Off-chip *local* memory (per-thread spill space; physically DRAM,
+    /// laid out interleaved so that uniform per-lane slot accesses
+    /// coalesce — faithful to Fermi).
+    Local,
+    /// On-chip shared memory (banked, no DRAM transactions).
+    Shared,
+}
+
+/// Fast multiply-shift hasher for site pointers and slot keys. Sites are
+/// `&'static Location` addresses — already well distributed — so SipHash's
+/// DoS protection is pure overhead on this hot path (the performance-book
+/// guidance on alternative hashers).
+#[derive(Default)]
+pub struct PtrHasher(u64);
+
+impl Hasher for PtrHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Fold the high (well-mixed) bits of the product into the low bits
+        // the hash table indexes with; aligned pointers otherwise collide.
+        self.0 ^ (self.0 >> 32)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fibonacci-style mixing over 8-byte chunks; inputs are small keys.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.0 = (self.0 ^ u64::from_le_bytes(buf)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.0 = (self.0 ^ i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.0 = (self.0 ^ i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`PtrHasher`].
+pub type BuildPtrHasher = BuildHasherDefault<PtrHasher>;
+
+/// Per-lane site → occurrence-count map, cleared at the start of each lane.
+#[derive(Debug, Default)]
+pub struct SiteCounters {
+    map: std::collections::HashMap<Site, u32, BuildPtrHasher>,
+}
+
+impl SiteCounters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the occurrence index for `site` and increments it.
+    #[inline]
+    pub fn next(&mut self, site: Site) -> u32 {
+        let c = self.map.entry(site).or_insert(0);
+        let v = *c;
+        *c += 1;
+        v
+    }
+
+    /// Clears all counters (called when a new lane begins).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occurrences_increment_per_site() {
+        let mut c = SiteCounters::new();
+        let a = 0x1000;
+        let b = 0x2000;
+        assert_eq!(c.next(a), 0);
+        assert_eq!(c.next(a), 1);
+        assert_eq!(c.next(b), 0);
+        assert_eq!(c.next(a), 2);
+        c.clear();
+        assert_eq!(c.next(a), 0);
+    }
+
+    #[test]
+    fn ptr_hasher_distributes_aligned_pointers() {
+        // Aligned pointers differ only in high-ish bits; the hash must
+        // still spread them across buckets.
+        use std::hash::BuildHasher;
+        let bh = BuildPtrHasher::default();
+        let mut buckets = [0u32; 16];
+        for i in 0..1024usize {
+            let p = 0x5555_0000 + i * 64;
+            buckets[(bh.hash_one(p) % 16) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        let min = *buckets.iter().min().unwrap();
+        assert!(max < 3 * min.max(1), "poor distribution: {buckets:?}");
+    }
+
+    #[test]
+    fn caller_site_is_stable() {
+        #[track_caller]
+        fn site_of_caller() -> Site {
+            caller_site(std::panic::Location::caller())
+        }
+        // Repeated executions of one call site share a Location; a
+        // different call site differs.
+        let mut sites = Vec::new();
+        for _ in 0..2 {
+            sites.push(site_of_caller());
+        }
+        let c = site_of_caller();
+        assert_eq!(sites[0], sites[1]);
+        assert_ne!(sites[0], c);
+    }
+}

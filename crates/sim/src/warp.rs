@@ -1,0 +1,404 @@
+//! Warp-level slot accumulation: merging the 32 lanes of a warp into
+//! warp instructions and deriving coalescing / divergence / bank-conflict
+//! statistics.
+
+use crate::config::GpuConfig;
+use crate::stats::KernelStats;
+use crate::trace::{BuildPtrHasher, OpClass, Site, SiteCounters, Space};
+use std::collections::HashMap;
+
+/// One warp-level instruction slot under construction.
+#[derive(Debug)]
+enum SlotAccum {
+    Op { class: OpClass, max_count: u32, lanes: u32 },
+    Mem { space: Space, write: bool, bytes_requested: u64, accesses: Vec<(u64, u8)> },
+    Branch { taken: u32, not_taken: u32 },
+    Sync { lanes: u32 },
+}
+
+/// Accumulates the events of one warp's 32 lanes and flushes warp-level
+/// statistics into a [`KernelStats`].
+///
+/// Lanes execute sequentially; [`WarpAccumulator::begin_lane`] resets the
+/// per-lane occurrence counters, and [`WarpAccumulator::end_warp`] analyses
+/// and clears the slot table.
+#[derive(Debug)]
+pub struct WarpAccumulator {
+    occ: SiteCounters,
+    slots: HashMap<(Site, u32), SlotAccum, BuildPtrHasher>,
+    lanes_seen: u32,
+}
+
+impl WarpAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        WarpAccumulator { occ: SiteCounters::new(), slots: HashMap::default(), lanes_seen: 0 }
+    }
+
+    /// Starts recording a new lane of the current warp.
+    pub fn begin_lane(&mut self) {
+        self.occ.clear();
+        self.lanes_seen += 1;
+    }
+
+    #[inline]
+    fn key(&mut self, site: Site) -> (Site, u32) {
+        (site, self.occ.next(site))
+    }
+
+    /// Records `count` arithmetic operations of `class`.
+    #[inline]
+    pub fn record_op(&mut self, site: Site, class: OpClass, count: u32) {
+        let key = self.key(site);
+        match self.slots.entry(key).or_insert(SlotAccum::Op { class, max_count: 0, lanes: 0 }) {
+            SlotAccum::Op { max_count, lanes, .. } => {
+                *max_count = (*max_count).max(count);
+                *lanes += 1;
+            }
+            other => debug_assert!(false, "slot kind mismatch at op slot: {other:?}"),
+        }
+    }
+
+    /// Records a memory access of `width` bytes at `addr` in `space`.
+    #[inline]
+    pub fn record_mem(&mut self, site: Site, space: Space, write: bool, addr: u64, width: u8) {
+        let key = self.key(site);
+        match self.slots.entry(key).or_insert_with(|| SlotAccum::Mem {
+            space,
+            write,
+            bytes_requested: 0,
+            accesses: Vec::with_capacity(32),
+        }) {
+            SlotAccum::Mem { bytes_requested, accesses, .. } => {
+                *bytes_requested += width as u64;
+                accesses.push((addr, width));
+            }
+            other => debug_assert!(false, "slot kind mismatch at mem slot: {other:?}"),
+        }
+    }
+
+    /// Records a data-dependent branch outcome.
+    #[inline]
+    pub fn record_branch(&mut self, site: Site, taken: bool) {
+        let key = self.key(site);
+        match self.slots.entry(key).or_insert(SlotAccum::Branch { taken: 0, not_taken: 0 }) {
+            SlotAccum::Branch { taken: t, not_taken: n } => {
+                if taken {
+                    *t += 1;
+                } else {
+                    *n += 1;
+                }
+            }
+            other => debug_assert!(false, "slot kind mismatch at branch slot: {other:?}"),
+        }
+    }
+
+    /// Records a `__syncthreads()`-style barrier.
+    #[inline]
+    pub fn record_sync(&mut self, site: Site) {
+        let key = self.key(site);
+        match self.slots.entry(key).or_insert(SlotAccum::Sync { lanes: 0 }) {
+            SlotAccum::Sync { lanes } => *lanes += 1,
+            other => debug_assert!(false, "slot kind mismatch at sync slot: {other:?}"),
+        }
+    }
+
+    /// Analyses the accumulated warp and folds its statistics into `stats`,
+    /// then resets for the next warp. Convenience wrapper for the
+    /// cache-less configuration.
+    pub fn end_warp(&mut self, cfg: &GpuConfig, stats: &mut KernelStats) {
+        self.end_warp_cached(cfg, stats, None);
+    }
+
+    /// Like [`WarpAccumulator::end_warp`], filtering DRAM transactions
+    /// through an optional L2 cache slice: segments that hit do not count
+    /// as transactions.
+    pub fn end_warp_cached(
+        &mut self,
+        cfg: &GpuConfig,
+        stats: &mut KernelStats,
+        mut cache: Option<&mut crate::cache::CacheModel>,
+    ) {
+        let seg = cfg.segment_bytes;
+        let mut segments: Vec<u64> = Vec::with_capacity(64);
+        for slot in self.slots.values() {
+            match slot {
+                SlotAccum::Op { class, max_count, lanes } => {
+                    let cost = match class {
+                        OpClass::F64 => cfg.f64_issue_cost,
+                        _ => 1.0,
+                    };
+                    stats.issue_cycles += *max_count as f64 * cost;
+                    let scalar = *max_count as u64 * *lanes as u64;
+                    match class {
+                        OpClass::Int => stats.int_ops += scalar,
+                        OpClass::F32 => stats.flops_f32 += scalar,
+                        OpClass::F64 => stats.flops_f64 += scalar,
+                    }
+                }
+                SlotAccum::Mem { space, write, bytes_requested, accesses } => {
+                    stats.issue_cycles += 1.0;
+                    match space {
+                        Space::Shared => {
+                            // Bank conflicts: replays = max number of
+                            // *distinct 4-byte words* mapping to one bank.
+                            let mut per_bank: HashMap<u32, Vec<u64>, BuildPtrHasher> =
+                                HashMap::default();
+                            for &(addr, width) in accesses {
+                                let mut w = addr / 4;
+                                let end = (addr + width as u64).div_ceil(4);
+                                while w < end.max(w + 1) {
+                                    let bank = (w % cfg.shared_banks as u64) as u32;
+                                    let words = per_bank.entry(bank).or_default();
+                                    if !words.contains(&w) {
+                                        words.push(w);
+                                    }
+                                    w += 1;
+                                    if w >= end {
+                                        break;
+                                    }
+                                }
+                            }
+                            let degree =
+                                per_bank.values().map(|v| v.len()).max().unwrap_or(1) as u64;
+                            stats.shared_accesses += accesses.len() as u64;
+                            stats.shared_replays += degree.saturating_sub(1);
+                            // Each replay is an extra issue of this slot.
+                            stats.issue_cycles += degree.saturating_sub(1) as f64;
+                        }
+                        Space::Global | Space::Local => {
+                            segments.clear();
+                            for &(addr, width) in accesses {
+                                let first = addr / seg;
+                                let last = (addr + width as u64 - 1) / seg;
+                                for s in first..=last {
+                                    if !segments.contains(&s) {
+                                        segments.push(s);
+                                    }
+                                }
+                            }
+                            let tx = match cache.as_deref_mut() {
+                                Some(c) => {
+                                    let mut misses = 0u64;
+                                    for &s in segments.iter() {
+                                        if c.access_segment(s) {
+                                            stats.l2_hits += 1;
+                                        } else {
+                                            stats.l2_misses += 1;
+                                            misses += 1;
+                                        }
+                                    }
+                                    misses
+                                }
+                                None => segments.len() as u64,
+                            };
+                            stats.mem_slots += 1;
+                            stats.lane_mem_accesses += accesses.len() as u64;
+                            match (space, write) {
+                                (Space::Global, false) => {
+                                    stats.global_load_tx += tx;
+                                    stats.global_load_bytes_requested += bytes_requested;
+                                }
+                                (Space::Global, true) => {
+                                    stats.global_store_tx += tx;
+                                    stats.global_store_bytes_requested += bytes_requested;
+                                }
+                                (Space::Local, false) => {
+                                    stats.local_load_tx += tx;
+                                    stats.local_load_bytes_requested += bytes_requested;
+                                }
+                                (Space::Local, true) => {
+                                    stats.local_store_tx += tx;
+                                    stats.local_store_bytes_requested += bytes_requested;
+                                }
+                                (Space::Shared, _) => unreachable!(),
+                            }
+                        }
+                    }
+                }
+                SlotAccum::Branch { taken, not_taken } => {
+                    stats.issue_cycles += 1.0;
+                    stats.branch_slots += 1;
+                    stats.lane_branches += (*taken + *not_taken) as u64;
+                    if *taken > 0 && *not_taken > 0 {
+                        stats.divergent_branch_slots += 1;
+                    }
+                }
+                SlotAccum::Sync { .. } => {
+                    stats.issue_cycles += 1.0;
+                    stats.sync_slots += 1;
+                }
+            }
+        }
+        stats.warp_slots += self.slots.len() as u64;
+        stats.warps += 1;
+        stats.lanes += self.lanes_seen as u64;
+        self.slots.clear();
+        self.lanes_seen = 0;
+    }
+}
+
+impl Default for WarpAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::tesla_c2075()
+    }
+
+    /// Helper: run `f(lane, acc)` for `n` lanes and flush.
+    fn run_warp(n: u32, mut f: impl FnMut(u32, &mut WarpAccumulator)) -> KernelStats {
+        let mut acc = WarpAccumulator::new();
+        let mut stats = KernelStats::default();
+        for lane in 0..n {
+            acc.begin_lane();
+            f(lane, &mut acc);
+        }
+        acc.end_warp(&cfg(), &mut stats);
+        stats
+    }
+
+    const SITE_A: Site = 0x1000;
+    const SITE_B: Site = 0x2000;
+
+    #[test]
+    fn coalesced_f64_warp_access_is_two_transactions() {
+        // 32 lanes x 8 B contiguous = 256 B = 2 x 128 B segments.
+        let stats = run_warp(32, |lane, acc| {
+            acc.record_mem(SITE_A, Space::Global, false, lane as u64 * 8, 8);
+        });
+        assert_eq!(stats.global_load_tx, 2);
+        assert_eq!(stats.global_load_bytes_requested, 256);
+        assert!((stats.gld_efficiency(&cfg()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strided_aos_access_explodes_transactions() {
+        // Stride 72 B (3 Gaussians x 3 f64 params, AoS): 32 lanes span
+        // 32*72 = 2304 B => 18-19 segments.
+        let stats = run_warp(32, |lane, acc| {
+            acc.record_mem(SITE_A, Space::Global, true, lane as u64 * 72, 8);
+        });
+        assert!(stats.global_store_tx >= 18, "tx = {}", stats.global_store_tx);
+        let eff = stats.gst_efficiency(&cfg());
+        assert!(eff < 0.15, "efficiency {eff} should be poor");
+    }
+
+    #[test]
+    fn u8_coalesced_access_is_one_quarter_efficient() {
+        let stats = run_warp(32, |lane, acc| {
+            acc.record_mem(SITE_A, Space::Global, false, lane as u64, 1);
+        });
+        assert_eq!(stats.global_load_tx, 1);
+        assert!((stats.gld_efficiency(&cfg()) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_branch_is_not_divergent() {
+        let stats = run_warp(32, |_, acc| {
+            acc.record_branch(SITE_A, true);
+        });
+        assert_eq!(stats.branch_slots, 1);
+        assert_eq!(stats.divergent_branch_slots, 0);
+        assert!((stats.branch_efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_branch_is_divergent() {
+        let stats = run_warp(32, |lane, acc| {
+            acc.record_branch(SITE_A, lane % 2 == 0);
+        });
+        assert_eq!(stats.branch_slots, 1);
+        assert_eq!(stats.divergent_branch_slots, 1);
+        assert_eq!(stats.branch_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn divergent_paths_serialize_into_extra_slots() {
+        // Half the lanes do work at SITE_A, half at SITE_B: both slots
+        // must be issued (serialization).
+        let stats = run_warp(32, |lane, acc| {
+            if lane < 16 {
+                acc.record_op(SITE_A, OpClass::F32, 4);
+            } else {
+                acc.record_op(SITE_B, OpClass::F32, 4);
+            }
+        });
+        assert_eq!(stats.warp_slots, 2);
+        assert!((stats.issue_cycles - 8.0).abs() < 1e-12);
+        // Scalar FLOP count still reflects actual work: 32 lanes x 4.
+        assert_eq!(stats.flops_f32, 128);
+    }
+
+    #[test]
+    fn f64_ops_cost_double_issue() {
+        let s32 = run_warp(32, |_, acc| acc.record_op(SITE_A, OpClass::F32, 10));
+        let s64 = run_warp(32, |_, acc| acc.record_op(SITE_A, OpClass::F64, 10));
+        assert!((s64.issue_cycles - 2.0 * s32.issue_cycles).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loop_iterations_occupy_distinct_slots() {
+        // Each lane executes the same site 3 times: occurrences align
+        // across lanes => 3 slots, not 1 or 96.
+        let stats = run_warp(32, |_, acc| {
+            for _ in 0..3 {
+                acc.record_op(SITE_A, OpClass::Int, 1);
+            }
+        });
+        assert_eq!(stats.warp_slots, 3);
+        assert_eq!(stats.int_ops, 96);
+    }
+
+    #[test]
+    fn shared_conflict_free_access() {
+        // Lane i -> word i: all 32 banks hit once.
+        let stats = run_warp(32, |lane, acc| {
+            acc.record_mem(SITE_A, Space::Shared, false, lane as u64 * 4, 4);
+        });
+        assert_eq!(stats.shared_accesses, 32);
+        assert_eq!(stats.shared_replays, 0);
+    }
+
+    #[test]
+    fn shared_two_way_bank_conflict() {
+        // Lane i -> word 2*i: banks 0,2,4,... each hit twice => 1 replay.
+        let stats = run_warp(32, |lane, acc| {
+            acc.record_mem(SITE_A, Space::Shared, false, lane as u64 * 8, 4);
+        });
+        assert_eq!(stats.shared_replays, 1);
+    }
+
+    #[test]
+    fn shared_broadcast_is_conflict_free() {
+        // All lanes read the same word: broadcast, no replay.
+        let stats = run_warp(32, |_, acc| {
+            acc.record_mem(SITE_A, Space::Shared, false, 64, 4);
+        });
+        assert_eq!(stats.shared_replays, 0);
+    }
+
+    #[test]
+    fn local_space_counted_separately() {
+        let stats = run_warp(32, |lane, acc| {
+            acc.record_mem(SITE_A, Space::Local, true, lane as u64 * 8, 8);
+        });
+        assert_eq!(stats.local_store_tx, 2);
+        assert_eq!(stats.global_store_tx, 0);
+    }
+
+    #[test]
+    fn partial_warp_counts_lanes() {
+        let stats = run_warp(7, |lane, acc| {
+            acc.record_mem(SITE_A, Space::Global, false, lane as u64 * 8, 8);
+        });
+        assert_eq!(stats.lanes, 7);
+        assert_eq!(stats.global_load_tx, 1); // 56 B within one segment
+    }
+}

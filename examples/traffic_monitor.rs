@@ -1,0 +1,86 @@
+//! Traffic-monitoring scenario (the urban-traffic use case of the paper's
+//! MoG reference [20]): fast vehicles on a road with headlight-like
+//! brightness variation. Compares the 3-Gaussian and 5-Gaussian
+//! configurations of Section V-B — more components track the multimodal
+//! road surface better at a higher compute cost.
+//!
+//! Run with: `cargo run --release --example traffic_monitor`
+
+use mogpu::metrics::MaskConfusion;
+use mogpu::prelude::*;
+
+fn build_traffic_scene(resolution: Resolution) -> Scene {
+    let w = resolution.width as f64;
+    let mut builder = SceneBuilder::new(resolution)
+        .seed(1999)
+        .base_level(90.0) // asphalt
+        .bimodal_fraction(0.20) // strongly multimodal: shadows + glare
+        .bimodal_contrast(50.0)
+        .noise_sd(3.0);
+    // Vehicles: wide, fast, in two lanes moving opposite directions.
+    for lane in 0..2 {
+        for car in 0..2 {
+            builder = builder.object(MovingObject {
+                shape: ObjectShape::Rect {
+                    w: resolution.width / 8,
+                    h: resolution.height / 12,
+                },
+                x0: (car as f64) * w / 2.0,
+                y0: (0.35 + 0.25 * lane as f64) * resolution.height as f64,
+                vx: if lane == 0 { 4.0 } else { -5.0 },
+                vy: 0.0,
+                level: 200.0 + 20.0 * car as f64,
+            });
+        }
+    }
+    builder.build()
+}
+
+fn main() {
+    let resolution = Resolution::QQVGA;
+    let scene = build_traffic_scene(resolution);
+    let n_frames = 40;
+    let (frames, truths) = scene.render_sequence(n_frames);
+    let frames = frames.into_frames();
+    let truths = truths.into_frames();
+
+    println!("traffic monitor — {resolution}, {n_frames} frames, 20% multimodal road pixels");
+    println!();
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "config", "kern ms", "occup", "recall", "precision", "F1"
+    );
+
+    for k in [3usize, 5] {
+        for level in [OptLevel::C, OptLevel::F] {
+            let mut gpu = GpuMog::<f64>::new(
+                resolution,
+                MogParams::new(k),
+                level,
+                frames[0].as_slice(),
+                GpuConfig::tesla_c2075(),
+            )
+            .expect("pipeline");
+            let report = gpu.process_all(&frames[1..]).expect("processing");
+
+            let mut confusion = MaskConfusion::default();
+            for i in report.masks.len() - 12..report.masks.len() {
+                confusion.merge(&mask_confusion(&report.masks[i], &truths[i + 1]));
+            }
+            println!(
+                "{:<12} {:>9.3} {:>8.1}% {:>8.1}% {:>8.1}% {:>9.3}",
+                format!("{}G / {}", k, level.name()),
+                1e3 * report.kernel_time_per_frame(),
+                100.0 * report.occupancy.occupancy,
+                100.0 * confusion.recall(),
+                100.0 * confusion.precision(),
+                confusion.f1(),
+            );
+        }
+    }
+
+    println!();
+    println!("5-Gaussian models absorb the multimodal road surface at ~5/3 the");
+    println!("kernel cost (paper Fig. 11); the algorithm-specific optimizations");
+    println!("(level F) help both configurations.");
+}

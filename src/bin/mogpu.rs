@@ -1,0 +1,239 @@
+//! `mogpu` — command-line background subtraction on the simulated GPU.
+//!
+//! ```text
+//! mogpu info                      # print the simulated hardware
+//! mogpu demo --out demo_out       # synthetic scene -> masks (PGM + Y4M)
+//! mogpu ladder --frames 24        # climb optimization levels A..F, W(8)
+//! mogpu run -i in.y4m -o out.y4m  # subtract a real Y4M capture
+//! ```
+
+use mogpu::frame::{save_pgm, write_y4m};
+use mogpu::prelude::*;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("info") => cmd_info(),
+        Some("demo") => cmd_demo(&args[1..]),
+        Some("ladder") => cmd_ladder(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_help();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try `mogpu help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "mogpu — GPU-optimized MoG background subtraction (ICPP'14 reproduction)
+
+USAGE:
+    mogpu info
+        Print the simulated GPU/CPU hardware configuration.
+
+    mogpu demo [--out DIR] [--frames N] [--level L]
+        Render a synthetic surveillance scene, subtract its background,
+        and write input/mask PGM snapshots plus Y4M clips into DIR
+        (default: mogpu_demo). L is one of A B C D E F W8 (default F).
+
+    mogpu ladder [--frames N] [--k K] [--float]
+        Climb the paper's optimization ladder on a synthetic scene and
+        print per-level performance (default: 24 frames, K=3, double).
+
+    mogpu run --input IN.y4m [--output OUT.y4m] [--level L] [--k K] [--float]
+        Background-subtract a YUV4MPEG2 clip; writes the mask sequence
+        as Y4M when --output is given, else prints per-frame stats."
+    );
+}
+
+/// Looks up `--flag value` in an argument list.
+fn opt_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn opt_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn parse_level(s: &str) -> Result<OptLevel, String> {
+    match s.to_ascii_uppercase().as_str() {
+        "A" => Ok(OptLevel::A),
+        "B" => Ok(OptLevel::B),
+        "C" => Ok(OptLevel::C),
+        "D" => Ok(OptLevel::D),
+        "E" => Ok(OptLevel::E),
+        "F" => Ok(OptLevel::F),
+        w if w.starts_with('W') => {
+            let group: usize = w[1..].trim_start_matches('(').trim_end_matches(')').parse()
+                .map_err(|_| format!("bad windowed level {s:?}; use e.g. W8"))?;
+            Ok(OptLevel::Windowed { group })
+        }
+        _ => Err(format!("unknown level {s:?} (A..F or W<group>)")),
+    }
+}
+
+fn cmd_info() -> Result<(), String> {
+    let gpu = GpuConfig::tesla_c2075();
+    let cpu = CpuConfig::xeon_e5_2620();
+    println!("simulated GPU : {}", gpu.name);
+    println!("  SMs x cores : {} x {}", gpu.num_sms, gpu.cores_per_sm);
+    println!("  clock       : {:.2} GHz", gpu.clock_hz / 1e9);
+    println!("  peak f32    : {:.2} TFLOPS", gpu.peak_f32_flops() / 1e12);
+    println!("  DRAM        : {:.0} GB/s GDDR5", gpu.dram_peak_bw / 1e9);
+    println!("  shared/SM   : {} KB", gpu.shared_mem_per_sm / 1024);
+    println!("modelled CPU  : {}", cpu.name);
+    println!("  cores       : {} @ {:.1} GHz", cpu.cores, cpu.clock_hz / 1e9);
+    println!("  DRAM        : {:.1} GB/s DDR3", cpu.dram_bw / 1e9);
+    println!("also available: GpuConfig::embedded_tegra(), ::tesla_c2075_with_l2()");
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    let out_dir = PathBuf::from(opt_value(args, "--out").unwrap_or_else(|| "mogpu_demo".into()));
+    let n_frames: usize =
+        opt_value(args, "--frames").map(|v| v.parse().unwrap_or(40)).unwrap_or(40);
+    let level = parse_level(&opt_value(args, "--level").unwrap_or_else(|| "F".into()))?;
+
+    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+    let res = Resolution::QVGA;
+    let scene = SceneBuilder::new(res).seed(2014).walkers(4).bimodal_fraction(0.05).build();
+    let (frames_seq, _) = scene.render_sequence(n_frames);
+    let frames = frames_seq.clone().into_frames();
+
+    let mut gpu = GpuMog::<f64>::new(res, MogParams::default(), level, frames[0].as_slice(),
+                                     GpuConfig::tesla_c2075())
+        .map_err(|e| e.to_string())?;
+    let report = gpu.process_all(&frames[1..]).map_err(|e| e.to_string())?;
+
+    // Snapshots of the last frame.
+    let last = report.masks.len() - 1;
+    save_pgm(&frames[last + 1], out_dir.join("input_last.pgm")).map_err(|e| e.to_string())?;
+    save_pgm(&report.masks[last], out_dir.join("mask_last.pgm")).map_err(|e| e.to_string())?;
+    // Full clips.
+    let mut mask_seq = FrameSequence::new(res);
+    for m in &report.masks {
+        mask_seq.push(m.clone()).map_err(|e| e.to_string())?;
+    }
+    let f_in = std::fs::File::create(out_dir.join("input.y4m")).map_err(|e| e.to_string())?;
+    write_y4m(&frames_seq, 30, f_in).map_err(|e| e.to_string())?;
+    let f_out = std::fs::File::create(out_dir.join("masks.y4m")).map_err(|e| e.to_string())?;
+    write_y4m(&mask_seq, 30, f_out).map_err(|e| e.to_string())?;
+
+    println!("level {} on {res}, {} frames:", level.name(), report.frames);
+    println!("  kernel      : {:.3} ms/frame (modelled)", 1e3 * report.kernel_time_per_frame());
+    println!("  end-to-end  : {:.3} ms/frame", 1e3 * report.gpu_time_per_frame());
+    println!("  occupancy   : {:.1}%", 100.0 * report.occupancy.occupancy);
+    println!("  branch eff  : {:.1}%", 100.0 * report.metrics.branch_efficiency);
+    println!("  memory eff  : {:.1}%", 100.0 * report.metrics.mem_access_efficiency);
+    println!("wrote {}/{{input,masks}}.y4m and *_last.pgm", out_dir.display());
+    Ok(())
+}
+
+fn cmd_ladder(args: &[String]) -> Result<(), String> {
+    let n_frames: usize =
+        opt_value(args, "--frames").map(|v| v.parse().unwrap_or(24)).unwrap_or(24);
+    let k: usize = opt_value(args, "--k").map(|v| v.parse().unwrap_or(3)).unwrap_or(3);
+    let use_f32 = opt_flag(args, "--float");
+
+    let res = Resolution::QQVGA;
+    let frames = SceneBuilder::new(res)
+        .seed(7)
+        .walkers(3)
+        .build()
+        .render_sequence(n_frames)
+        .0
+        .into_frames();
+    println!(
+        "optimization ladder — {res}, {} frames, K={k}, {}",
+        n_frames - 1,
+        if use_f32 { "float" } else { "double" }
+    );
+    println!("{:<6} {:>10} {:>10} {:>9} {:>9}", "level", "kern ms", "e2e ms", "occup", "memEff");
+    for level in OptLevel::LADDER.into_iter().chain([OptLevel::Windowed { group: 8 }]) {
+        let report = if use_f32 {
+            run_level_cli::<f32>(level, k, &frames)?
+        } else {
+            run_level_cli::<f64>(level, k, &frames)?
+        };
+        println!(
+            "{:<6} {:>10.4} {:>10.4} {:>8.1}% {:>8.1}%",
+            level.name(),
+            1e3 * report.kernel_time_per_frame(),
+            1e3 * report.gpu_time_per_frame(),
+            100.0 * report.occupancy.occupancy,
+            100.0 * report.metrics.mem_access_efficiency,
+        );
+    }
+    Ok(())
+}
+
+fn run_level_cli<T: mogpu::core::DeviceReal>(
+    level: OptLevel,
+    k: usize,
+    frames: &[Frame<u8>],
+) -> Result<RunReport, String> {
+    let mut gpu = GpuMog::<T>::new(
+        frames[0].resolution(),
+        MogParams::new(k),
+        level,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .map_err(|e| e.to_string())?;
+    gpu.process_all(&frames[1..]).map_err(|e| e.to_string())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let input = opt_value(args, "--input")
+        .or_else(|| opt_value(args, "-i"))
+        .ok_or("missing --input FILE.y4m")?;
+    let output = opt_value(args, "--output").or_else(|| opt_value(args, "-o"));
+    let level = parse_level(&opt_value(args, "--level").unwrap_or_else(|| "F".into()))?;
+    let k: usize = opt_value(args, "--k").map(|v| v.parse().unwrap_or(3)).unwrap_or(3);
+    let use_f32 = opt_flag(args, "--float");
+
+    let file = std::fs::File::open(&input).map_err(|e| format!("{input}: {e}"))?;
+    let seq = mogpu::frame::read_y4m(file).map_err(|e| e.to_string())?;
+    if seq.len() < 2 {
+        return Err("need at least 2 frames (the first seeds the model)".into());
+    }
+    let res = seq.resolution();
+    let frames = seq.into_frames();
+    println!("{input}: {} frames at {res}", frames.len());
+
+    let report = if use_f32 {
+        run_level_cli::<f32>(level, k, &frames)?
+    } else {
+        run_level_cli::<f64>(level, k, &frames)?
+    };
+
+    println!("level {} results:", level.name());
+    println!("  kernel     : {:.3} ms/frame (modelled Tesla C2075)",
+        1e3 * report.kernel_time_per_frame());
+    println!("  end-to-end : {:.3} ms/frame", 1e3 * report.gpu_time_per_frame());
+    println!("  foreground : {:.2}% of pixels (mean)",
+        100.0 * report.masks.iter().map(|m| m.fraction_set()).sum::<f64>()
+            / report.masks.len() as f64);
+
+    if let Some(out) = output {
+        let mut mask_seq = FrameSequence::new(res);
+        for m in &report.masks {
+            mask_seq.push(m.clone()).map_err(|e| e.to_string())?;
+        }
+        let f = std::fs::File::create(&out).map_err(|e| format!("{out}: {e}"))?;
+        write_y4m(&mask_seq, 30, f).map_err(|e| e.to_string())?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}

@@ -1,0 +1,197 @@
+//! Cross-crate functional equivalence: every simulated GPU optimization
+//! level must reproduce the CPU reference implementation's output — the
+//! property the paper's entire optimization study rests on ("without
+//! impact to the output quality").
+
+use mogpu::prelude::*;
+
+fn scene_frames(res: Resolution, n: usize, seed: u64) -> Vec<Frame<u8>> {
+    SceneBuilder::new(res)
+        .seed(seed)
+        .walkers(3)
+        .bimodal_fraction(0.1)
+        .build()
+        .render_sequence(n)
+        .0
+        .into_frames()
+}
+
+fn gpu_masks<T: mogpu::core::DeviceReal>(
+    level: OptLevel,
+    params: MogParams,
+    frames: &[Frame<u8>],
+) -> Vec<Mask> {
+    let mut gpu = GpuMog::<T>::new(
+        frames[0].resolution(),
+        params,
+        level,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .expect("pipeline construction");
+    gpu.process_all(&frames[1..]).expect("processing").masks
+}
+
+fn cpu_masks<T: mogpu::mog::Real>(
+    variant: Variant,
+    params: MogParams,
+    frames: &[Frame<u8>],
+) -> Vec<Mask> {
+    let mut cpu =
+        SerialMog::<T>::new(frames[0].resolution(), params, variant, frames[0].as_slice());
+    cpu.process_all(&frames[1..])
+}
+
+#[test]
+fn levels_a_b_c_match_sorted_reference_bit_exactly() {
+    let frames = scene_frames(Resolution::TINY, 10, 1);
+    let reference = cpu_masks::<f64>(Variant::Sorted, MogParams::default(), &frames);
+    for level in [OptLevel::A, OptLevel::B, OptLevel::C] {
+        let gpu = gpu_masks::<f64>(level, MogParams::default(), &frames);
+        assert_eq!(gpu, reference, "level {level} diverged from the sorted CPU reference");
+    }
+}
+
+#[test]
+fn level_d_matches_nosort_reference_bit_exactly() {
+    let frames = scene_frames(Resolution::TINY, 10, 2);
+    let reference = cpu_masks::<f64>(Variant::NoSort, MogParams::default(), &frames);
+    let gpu = gpu_masks::<f64>(OptLevel::D, MogParams::default(), &frames);
+    assert_eq!(gpu, reference);
+}
+
+#[test]
+fn level_e_matches_predicated_reference_bit_exactly() {
+    let frames = scene_frames(Resolution::TINY, 10, 3);
+    let reference = cpu_masks::<f64>(Variant::Predicated, MogParams::default(), &frames);
+    let gpu = gpu_masks::<f64>(OptLevel::E, MogParams::default(), &frames);
+    assert_eq!(gpu, reference);
+}
+
+#[test]
+fn level_f_matches_register_reduced_reference_bit_exactly() {
+    let frames = scene_frames(Resolution::TINY, 10, 4);
+    let reference = cpu_masks::<f64>(Variant::RegisterReduced, MogParams::default(), &frames);
+    let gpu = gpu_masks::<f64>(OptLevel::F, MogParams::default(), &frames);
+    assert_eq!(gpu, reference);
+}
+
+#[test]
+fn windowed_groups_match_level_f_for_any_group_size() {
+    let frames = scene_frames(Resolution::TINY, 13, 5);
+    let f = gpu_masks::<f64>(OptLevel::F, MogParams::default(), &frames);
+    for group in [1, 2, 4, 8] {
+        let w = gpu_masks::<f64>(OptLevel::Windowed { group }, MogParams::default(), &frames);
+        assert_eq!(w, f, "windowed group {group} diverged (incl. remainder handling)");
+    }
+}
+
+#[test]
+fn five_gaussian_equivalence() {
+    let frames = scene_frames(Resolution::TINY, 8, 6);
+    let params = MogParams::new(5);
+    let reference = cpu_masks::<f64>(Variant::Sorted, params, &frames);
+    let gpu = gpu_masks::<f64>(OptLevel::C, params, &frames);
+    assert_eq!(gpu, reference);
+}
+
+#[test]
+fn single_precision_equivalence() {
+    let frames = scene_frames(Resolution::TINY, 8, 7);
+    let reference = cpu_masks::<f32>(Variant::Predicated, MogParams::default(), &frames);
+    let gpu = gpu_masks::<f32>(OptLevel::E, MogParams::default(), &frames);
+    assert_eq!(gpu, reference);
+}
+
+#[test]
+fn device_model_state_matches_cpu_model_state_after_run() {
+    // Not just the masks: the full Gaussian mixture state on the device
+    // must equal the CPU's after processing the same frames.
+    let frames = scene_frames(Resolution::TINY, 6, 8);
+    let params = MogParams::default();
+    let mut cpu = SerialMog::<f64>::new(
+        frames[0].resolution(),
+        params,
+        Variant::Predicated,
+        frames[0].as_slice(),
+    );
+    cpu.process_all(&frames[1..]);
+
+    let mut gpu = GpuMog::<f64>::new(
+        frames[0].resolution(),
+        params,
+        OptLevel::E,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .unwrap();
+    gpu.process_all(&frames[1..]).unwrap();
+    let device_state = gpu.download_model(frames[0].as_slice());
+
+    assert_eq!(device_state.w, cpu.model().w);
+    assert_eq!(device_state.m, cpu.model().m);
+    assert_eq!(device_state.sd, cpu.model().sd);
+}
+
+#[test]
+fn parallel_cpu_matches_gpu_for_predicated_variant() {
+    let frames = scene_frames(Resolution::TINY, 8, 9);
+    let mut par = ParallelMog::<f64>::new(
+        frames[0].resolution(),
+        MogParams::default(),
+        Variant::Predicated,
+        frames[0].as_slice(),
+    );
+    let par_masks = par.process_all(&frames[1..]);
+    let gpu = gpu_masks::<f64>(OptLevel::E, MogParams::default(), &frames);
+    assert_eq!(par_masks, gpu);
+}
+
+#[test]
+fn detection_quality_against_ground_truth() {
+    // End-to-end sanity at a realistic (QQVGA) size: the fully optimized
+    // pipeline must actually detect the walkers.
+    let res = Resolution::QQVGA;
+    let scene = SceneBuilder::new(res).seed(10).walkers(3).build();
+    let (frames, truths) = scene.render_sequence(30);
+    let frames = frames.into_frames();
+    let truths = truths.into_frames();
+    let mut gpu = GpuMog::<f64>::new(
+        res,
+        MogParams::default(),
+        OptLevel::F,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .unwrap();
+    let report = gpu.process_all(&frames[1..]).unwrap();
+    // Evaluate the last 10 frames (post warm-up).
+    let mut confusion = mogpu::metrics::MaskConfusion::default();
+    for i in report.masks.len() - 10..report.masks.len() {
+        confusion.merge(&mask_confusion(&report.masks[i], &truths[i + 1]));
+    }
+    assert!(confusion.recall() > 0.7, "recall {:.3}", confusion.recall());
+    assert!(confusion.accuracy() > 0.95, "accuracy {:.3}", confusion.accuracy());
+}
+
+#[test]
+fn adaptive_gpu_matches_adaptive_cpu() {
+    use mogpu::core::AdaptiveGpuMog;
+    use mogpu::mog::AdaptiveMog;
+    let frames = scene_frames(Resolution::TINY, 12, 12);
+    let params = MogParams::new(5);
+    let mut cpu = AdaptiveMog::<f64>::new(Resolution::TINY, params, frames[0].as_slice());
+    let cpu_masks = cpu.process_all(&frames[1..]);
+    let mut gpu = AdaptiveGpuMog::<f64>::new(
+        Resolution::TINY,
+        params,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .unwrap();
+    let report = gpu.process_all(&frames[1..]).unwrap();
+    assert_eq!(report.masks, cpu_masks);
+    // The device's mean active count matches the CPU model's.
+    assert!((gpu.mean_active() - cpu.model().mean_active()).abs() < 1e-12);
+    cpu.model().check_invariants().unwrap();
+}

@@ -1,0 +1,262 @@
+//! Architectural-trend assertions: the simulator must reproduce the
+//! *direction and rough magnitude* of every effect the paper's evaluation
+//! reports across optimization levels.
+
+use mogpu::prelude::*;
+use mogpu::core::RunReport;
+
+fn frames(n: usize) -> Vec<Frame<u8>> {
+    SceneBuilder::new(Resolution::QQVGA)
+        .seed(42)
+        .walkers(3)
+        .bimodal_fraction(0.08)
+        .build()
+        .render_sequence(n)
+        .0
+        .into_frames()
+}
+
+fn run(level: OptLevel, frames: &[Frame<u8>]) -> RunReport {
+    let mut gpu = GpuMog::<f64>::new(
+        frames[0].resolution(),
+        MogParams::default(),
+        level,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .unwrap();
+    gpu.process_all(&frames[1..]).unwrap()
+}
+
+#[test]
+fn speedup_ladder_is_monotone_through_d() {
+    // Paper Fig. 8(a): 13x -> 41x -> 57x -> 85x. Relative ordering of
+    // end-to-end per-frame time must be strictly improving A > B > C > D.
+    let fs = frames(6);
+    let a = run(OptLevel::A, &fs).gpu_time_per_frame();
+    let b = run(OptLevel::B, &fs).gpu_time_per_frame();
+    let c = run(OptLevel::C, &fs).gpu_time_per_frame();
+    let d = run(OptLevel::D, &fs).gpu_time_per_frame();
+    assert!(a > 2.0 * b, "coalescing should win ~3x: A={a:.2e} B={b:.2e}");
+    assert!(b > c, "overlap must help: B={b:.2e} C={c:.2e}");
+    assert!(c > d, "branch elimination must help: C={c:.2e} D={d:.2e}");
+}
+
+#[test]
+fn register_reduction_beats_predication_alone() {
+    // Paper: E 86x -> F 97x via occupancy.
+    let fs = frames(6);
+    let e = run(OptLevel::E, &fs);
+    let f = run(OptLevel::F, &fs);
+    assert!(e.occupancy.occupancy < f.occupancy.occupancy);
+    assert!(f.gpu_time_per_frame() <= e.gpu_time_per_frame());
+}
+
+#[test]
+fn memory_efficiency_trajectory_matches_fig6_and_fig7() {
+    let fs = frames(5);
+    let a = run(OptLevel::A, &fs);
+    let b = run(OptLevel::B, &fs);
+    let e = run(OptLevel::E, &fs);
+    // Fig 6(a): 17% -> 78%; ours must show the same multi-x jump.
+    assert!(a.metrics.mem_access_efficiency < 0.25, "A = {}", a.metrics.mem_access_efficiency);
+    assert!(b.metrics.mem_access_efficiency > 0.55, "B = {}", b.metrics.mem_access_efficiency);
+    // Fig 7(b): predication pushes efficiency near its peak.
+    assert!(e.metrics.mem_access_efficiency > b.metrics.mem_access_efficiency);
+    assert!(e.metrics.mem_access_efficiency > 0.85, "E = {}", e.metrics.mem_access_efficiency);
+}
+
+#[test]
+fn store_transactions_drop_with_coalescing() {
+    // Fig 6(a): 13.3M -> 2M per full-HD frame (a ~6.6x drop).
+    let fs = frames(5);
+    let a = run(OptLevel::A, &fs);
+    let b = run(OptLevel::B, &fs);
+    let ratio = a.metrics.store_transactions as f64 / b.metrics.store_transactions as f64;
+    assert!(ratio > 4.0 && ratio < 12.0, "store tx ratio {ratio:.1}");
+}
+
+#[test]
+fn branch_efficiency_trajectory_matches_fig7() {
+    let fs = frames(8);
+    let c = run(OptLevel::C, &fs);
+    let d = run(OptLevel::D, &fs);
+    let e = run(OptLevel::E, &fs);
+    // Fig 7(a): D executes fewer branches than C (6.7M -> 6.2M per frame
+    // in the paper) and in particular fewer *divergent* ones — the sort's
+    // data-dependent swap/scan branches are gone.
+    assert!(d.metrics.branch_slots < c.metrics.branch_slots);
+    assert!(d.stats.divergent_branch_slots < c.stats.divergent_branch_slots);
+    // E's predication removes the per-component match branches: a solid
+    // branch-efficiency jump (paper: 99.5%; at this small, object-dense
+    // test resolution the uniform-background fraction is lower, so the
+    // absolute bar is lower).
+    assert!(e.metrics.branch_efficiency > d.metrics.branch_efficiency);
+    assert!(e.metrics.branch_efficiency > 0.90, "E = {}", e.metrics.branch_efficiency);
+}
+
+#[test]
+fn occupancy_matches_paper_register_analysis() {
+    let fs = frames(3);
+    let c = run(OptLevel::C, &fs);
+    let f = run(OptLevel::F, &fs);
+    let w = run(OptLevel::Windowed { group: 4 }, &fs);
+    // C (36 regs): 7 blocks = 58.3% theoretical (paper achieved: 52%).
+    assert!((c.occupancy.occupancy - 28.0 / 48.0).abs() < 1e-9);
+    // F (31 regs): 66.7% (paper achieved: 65%).
+    assert!((f.occupancy.occupancy - 32.0 / 48.0).abs() < 1e-9);
+    // W: shared-memory limited to 5 blocks = 41.7% (paper: ~40%).
+    assert!((w.occupancy.occupancy - 20.0 / 48.0).abs() < 1e-9);
+}
+
+#[test]
+fn windowed_group_sweep_shape() {
+    // Fig 10: tiled at group 1 is *slower* than F (occupancy loss);
+    // larger groups amortize parameter traffic; benefit saturates.
+    let fs = frames(17);
+    let f = run(OptLevel::F, &fs).kernel_time_per_frame();
+    let w1 = run(OptLevel::Windowed { group: 1 }, &fs).kernel_time_per_frame();
+    let w4 = run(OptLevel::Windowed { group: 4 }, &fs).kernel_time_per_frame();
+    let w8 = run(OptLevel::Windowed { group: 8 }, &fs).kernel_time_per_frame();
+    let w16 = run(OptLevel::Windowed { group: 16 }, &fs).kernel_time_per_frame();
+    assert!(w1 > f, "tiled group 1 must lose to F: w1={w1:.2e} f={f:.2e}");
+    assert!(w4 < w1);
+    assert!(w8 < w4);
+    // Saturation: 8 -> 16 gains much less than 4 -> 8.
+    let gain_48 = w4 / w8;
+    let gain_816 = w8 / w16;
+    assert!(gain_816 < gain_48, "gain 4->8 {gain_48:.2} vs 8->16 {gain_816:.2}");
+}
+
+#[test]
+fn windowed_memory_efficiency_declines_with_group_size() {
+    // Fig 10(b): >90% at group 1 down toward 60% at 32 — the traffic mix
+    // shifts from wide parameter accesses to narrow u8 frame accesses.
+    let fs = frames(17);
+    let w1 = run(OptLevel::Windowed { group: 1 }, &fs);
+    let w8 = run(OptLevel::Windowed { group: 8 }, &fs);
+    let w16 = run(OptLevel::Windowed { group: 16 }, &fs);
+    assert!(w1.metrics.mem_access_efficiency > w8.metrics.mem_access_efficiency);
+    assert!(w8.metrics.mem_access_efficiency > w16.metrics.mem_access_efficiency);
+    assert!(w16.metrics.mem_access_efficiency < 0.75);
+}
+
+#[test]
+fn five_gaussians_cost_more_but_profit_from_the_same_optimizations() {
+    // Fig 11: 5-Gaussian MoG is slower in absolute terms at every level
+    // but still gains from the algorithm-specific steps.
+    let fs = frames(5);
+    let run_k = |level: OptLevel, k: usize| {
+        let mut gpu = GpuMog::<f64>::new(
+            fs[0].resolution(),
+            MogParams::new(k),
+            level,
+            fs[0].as_slice(),
+            GpuConfig::tesla_c2075(),
+        )
+        .unwrap();
+        gpu.process_all(&fs[1..]).unwrap()
+    };
+    let c3 = run_k(OptLevel::C, 3).kernel_time_per_frame();
+    let c5 = run_k(OptLevel::C, 5).kernel_time_per_frame();
+    let f3 = run_k(OptLevel::F, 3).kernel_time_per_frame();
+    let f5 = run_k(OptLevel::F, 5).kernel_time_per_frame();
+    assert!(c5 > 1.3 * c3, "5G must cost more: c3={c3:.2e} c5={c5:.2e}");
+    assert!(f5 > 1.3 * f3);
+    assert!(f5 < c5, "algorithm-specific opts must help 5G too");
+}
+
+#[test]
+fn single_precision_is_faster_than_double() {
+    // Fig 12: float F beats double F (105x vs 97x in the paper; our model
+    // overshoots the gap — see EXPERIMENTS.md — but the direction holds).
+    let fs = frames(5);
+    let f64_time = run(OptLevel::F, &fs).kernel_time_per_frame();
+    let mut gpu = GpuMog::<f32>::new(
+        fs[0].resolution(),
+        MogParams::default(),
+        OptLevel::F,
+        fs[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .unwrap();
+    let f32_time = gpu.process_all(&fs[1..]).unwrap().kernel_time_per_frame();
+    assert!(f32_time < f64_time, "f32 {f32_time:.2e} vs f64 {f64_time:.2e}");
+}
+
+#[test]
+fn cpu_model_reproduces_paper_cpu_numbers() {
+    // The calibrated CPU model: serial full-HD frame ~0.5 s; SIMD ~1.39x;
+    // 8-thread OpenMP ~2.28x (paper Section IV-A).
+    let fs = frames(4);
+    let report = run(OptLevel::C, &fs); // sorted kernel = serial algorithm
+    let cpu = CpuModel::default();
+    let per_frame_events_scale =
+        Resolution::FULL_HD.pixels() as f64 / Resolution::QQVGA.pixels() as f64;
+    let serial_full_hd =
+        cpu.serial_time(&report.stats) / (fs.len() - 1) as f64 * per_frame_events_scale;
+    // Paper: 227.3 s / 450 frames = 0.505 s/frame. Accept 25% tolerance —
+    // scene statistics shift the match/mismatch mix.
+    assert!(
+        (serial_full_hd - 0.505).abs() / 0.505 < 0.25,
+        "serial full-HD frame = {serial_full_hd:.3} s (paper 0.505 s)"
+    );
+    let times = cpu.times(&report.stats);
+    assert!((times.serial / times.simd - 1.40).abs() < 0.05);
+    assert!((times.serial / times.multi_threaded - 2.28).abs() < 0.05);
+}
+
+#[test]
+fn headline_speedups_have_paper_shape() {
+    // End-to-end: modelled GPU time vs modelled CPU serial time at the
+    // same frame count. Paper ladder: 13, 41, 57, 85, 86, 97. We assert
+    // bands, not exact values (see EXPERIMENTS.md for measured numbers).
+    let fs = frames(6);
+    let cpu = CpuModel::default();
+    let speedup = |level: OptLevel| {
+        let r = run(level, &fs);
+        let serial = cpu.serial_time(&r.stats) / r.frames as f64;
+        // Note: stats of the level's own kernel approximate serial CPU
+        // work only for sorted levels; use level C's stats as the serial
+        // reference for all.
+        let _ = serial;
+        r
+    };
+    let c_ref = run(OptLevel::C, &fs);
+    let serial_per_frame = cpu.serial_time(&c_ref.stats) / c_ref.frames as f64;
+    let s = |level: OptLevel| serial_per_frame / speedup(level).gpu_time_per_frame();
+    let (sa, sb, sc, sf) = (s(OptLevel::A), s(OptLevel::B), s(OptLevel::C), s(OptLevel::F));
+    assert!(sa > 5.0 && sa < 25.0, "A speedup {sa:.0} (paper 13)");
+    assert!(sb > 20.0 && sb < 60.0, "B speedup {sb:.0} (paper 41)");
+    assert!(sc > 30.0 && sc < 80.0, "C speedup {sc:.0} (paper 57)");
+    assert!(sf > 60.0 && sf < 140.0, "F speedup {sf:.0} (paper 97)");
+    assert!(sf > sc && sc > sb && sb > sa);
+}
+
+#[test]
+fn l2_cache_model_absorbs_aos_reuse() {
+    // Ablation regression: with the optional L2 model on, level A's
+    // interleaved records hit the cache heavily (consecutive warp slots
+    // touch the same 128 B lines), while the coalesced level F only
+    // benefits from load-then-store line reuse.
+    let fs = frames(4);
+    let run_cfg = |level: OptLevel, cfg: GpuConfig| {
+        let mut gpu = GpuMog::<f64>::new(
+            fs[0].resolution(),
+            MogParams::default(),
+            level,
+            fs[0].as_slice(),
+            cfg,
+        )
+        .unwrap();
+        gpu.process_all(&fs[1..]).unwrap()
+    };
+    let a_off = run_cfg(OptLevel::A, GpuConfig::tesla_c2075());
+    let a_on = run_cfg(OptLevel::A, mogpu::sim::GpuConfig::tesla_c2075_with_l2());
+    assert!(a_on.stats.total_tx() < a_off.stats.total_tx() / 5);
+    assert!(a_on.stats.l2_hits > a_on.stats.l2_misses * 5);
+    let f_off = run_cfg(OptLevel::F, GpuConfig::tesla_c2075());
+    let f_on = run_cfg(OptLevel::F, mogpu::sim::GpuConfig::tesla_c2075_with_l2());
+    assert!(f_on.stats.total_tx() < f_off.stats.total_tx());
+    assert!(f_on.stats.total_tx() > f_off.stats.total_tx() / 3);
+}

@@ -1,0 +1,105 @@
+//! Output-quality study (paper Table IV / Section V-A): MS-SSIM of every
+//! optimization level's foreground and background output against the CPU
+//! double-precision ground truth.
+//!
+//! The paper reports 99% background similarity at every level, and 95-99%
+//! foreground similarity (the small drops coming from the floating-point
+//! reordering of the algorithm-specific tunings).
+
+use mogpu::prelude::*;
+
+const FRAMES: usize = 60;
+
+struct QualityRun {
+    fg_msssim: f64,
+    bg_msssim: f64,
+}
+
+/// Runs a level and scores its masks against the f64 sorted CPU ground
+/// truth over the post-warm-up tail. "Foreground" compares the masks,
+/// "background" compares the background selections (inverted masks applied
+/// to the input frame, like the paper's background image comparison).
+fn quality_of<T: mogpu::core::DeviceReal>(level: OptLevel) -> QualityRun {
+    let res = Resolution::QVGA;
+    let scene = SceneBuilder::new(res).seed(99).walkers(4).bimodal_fraction(0.05).build();
+    let (frames, _) = scene.render_sequence(FRAMES);
+    let frames = frames.into_frames();
+
+    let mut cpu = SerialMog::<f64>::new(
+        res,
+        MogParams::default(),
+        Variant::Sorted,
+        frames[0].as_slice(),
+    );
+    let truth = cpu.process_all(&frames[1..]);
+
+    let mut gpu = GpuMog::<T>::new(
+        res,
+        MogParams::default(),
+        level,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .unwrap();
+    let report = gpu.process_all(&frames[1..]).unwrap();
+
+    // Score the last third of the sequence (post warm-up).
+    let start = truth.len() * 2 / 3;
+    let mut fg_sum = 0.0;
+    let mut bg_sum = 0.0;
+    let mut n = 0.0;
+    for i in start..truth.len() {
+        let frame = &frames[i + 1];
+        fg_sum += ms_ssim(&report.masks[i], &truth[i]).expect("QVGA supports 5 scales");
+        // Background images: input pixels where the mask says background.
+        let bg_gpu = background_image(frame, &report.masks[i]);
+        let bg_cpu = background_image(frame, &truth[i]);
+        bg_sum += ms_ssim(&bg_gpu, &bg_cpu).expect("QVGA supports 5 scales");
+        n += 1.0;
+    }
+    QualityRun { fg_msssim: fg_sum / n, bg_msssim: bg_sum / n }
+}
+
+fn background_image(frame: &Frame<u8>, mask: &Mask) -> Frame<u8> {
+    let mut out = frame.clone();
+    for (o, &m) in out.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+        if m != 0 {
+            *o = 0;
+        }
+    }
+    out
+}
+
+#[test]
+fn exact_levels_score_perfect_quality() {
+    // B and E are bit-exact vs. their CPU variants whose *decisions*
+    // equal the sorted reference, so MS-SSIM must be 1.0.
+    for level in [OptLevel::B, OptLevel::D, OptLevel::E] {
+        let q = quality_of::<f64>(level);
+        assert!(q.fg_msssim > 0.999, "level {level} fg {:.4}", q.fg_msssim);
+        assert!(q.bg_msssim > 0.999, "level {level} bg {:.4}", q.bg_msssim);
+    }
+}
+
+#[test]
+fn register_reduced_level_keeps_table_iv_quality() {
+    // Paper Table IV level F: foreground 95%, background 99%.
+    let q = quality_of::<f64>(OptLevel::F);
+    assert!(q.fg_msssim > 0.93, "F foreground MS-SSIM {:.4}", q.fg_msssim);
+    assert!(q.bg_msssim > 0.97, "F background MS-SSIM {:.4}", q.bg_msssim);
+}
+
+#[test]
+fn windowed_level_keeps_table_iv_quality() {
+    let q = quality_of::<f64>(OptLevel::Windowed { group: 8 });
+    assert!(q.fg_msssim > 0.93, "W(8) foreground MS-SSIM {:.4}", q.fg_msssim);
+    assert!(q.bg_msssim > 0.97, "W(8) background MS-SSIM {:.4}", q.bg_msssim);
+}
+
+#[test]
+fn single_precision_loses_at_most_a_few_percent() {
+    // Paper Section V-C: ~5% average foreground loss for float.
+    let q = quality_of::<f32>(OptLevel::F);
+    assert!(q.fg_msssim > 0.90, "float-F foreground MS-SSIM {:.4}", q.fg_msssim);
+    assert!(q.bg_msssim > 0.95, "float-F background MS-SSIM {:.4}", q.bg_msssim);
+}

@@ -1,0 +1,223 @@
+//! Robustness studies on the scene stressors background subtraction is
+//! known for: multimodal flicker, global illumination changes, camera
+//! jitter — and the baseline comparisons that motivate MoG in the paper's
+//! introduction ("MoG is most frequently used thanks to its high quality
+//! and efficiency").
+
+use mogpu::mog::{FrameDiff, RunningAverage};
+use mogpu::prelude::*;
+use mogpu::frame::IlluminationEvent;
+
+fn fpr(mask: &Mask, truth: &Mask) -> f64 {
+    let mut fp = 0usize;
+    let mut bg = 0usize;
+    for (d, t) in mask.as_slice().iter().zip(truth.as_slice()) {
+        if *t == 0 {
+            bg += 1;
+            if *d == 255 {
+                fp += 1;
+            }
+        }
+    }
+    fp as f64 / bg.max(1) as f64
+}
+
+#[test]
+fn mog_beats_running_average_on_multimodal_scenes() {
+    // The motivating claim: single-mode models turn flicker pixels into
+    // permanent false positives; MoG absorbs them as background modes.
+    let res = Resolution::TINY;
+    let scene = SceneBuilder::new(res)
+        .seed(404)
+        .walkers(2)
+        .bimodal_fraction(0.25)
+        .bimodal_contrast(70.0)
+        .build();
+    let (frames, truths) = scene.render_sequence(45);
+    let frames = frames.into_frames();
+    let truths = truths.into_frames();
+
+    let mut ra = RunningAverage::<f64>::new(res, 0.95, 25.0, frames[0].as_slice());
+    let ra_masks = ra.process_all(&frames[1..]);
+
+    let mut gpu = GpuMog::<f64>::new(
+        res,
+        MogParams::default(),
+        OptLevel::F,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .unwrap();
+    let mog_masks = gpu.process_all(&frames[1..]).unwrap().masks;
+
+    let last = frames.len() - 2;
+    let fpr_ra = fpr(&ra_masks[last], &truths[last + 1]);
+    let fpr_mog = fpr(&mog_masks[last], &truths[last + 1]);
+    assert!(
+        fpr_ra > 5.0 * fpr_mog.max(1e-4),
+        "RA FPR {fpr_ra:.4} should dwarf MoG FPR {fpr_mog:.4}"
+    );
+    assert!(fpr_mog < 0.03, "MoG FPR on multimodal scene: {fpr_mog:.4}");
+}
+
+#[test]
+fn illumination_change_causes_transient_then_recovery() {
+    // Lights change at frame 30 (step of +40 grey levels): MoG floods
+    // with false positives, then re-absorbs the new appearance — the
+    // adaptive behaviour its learning factor exists for.
+    let res = Resolution::TINY;
+    let scene = SceneBuilder::new(res)
+        .seed(7)
+        .bimodal_fraction(0.0)
+        .noise_sd(1.5)
+        .illumination_event(IlluminationEvent { start: 30, duration: 0, delta: 40.0 })
+        .build();
+    let (frames, _) = scene.render_sequence(120);
+    let frames = frames.into_frames();
+
+    // Faster adaptation so recovery fits the test horizon.
+    let params = MogParams { alpha: 0.85, ..MogParams::default() };
+    let mut gpu = GpuMog::<f64>::new(
+        res,
+        params,
+        OptLevel::F,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .unwrap();
+    let masks = gpu.process_all(&frames[1..]).unwrap().masks;
+
+    let before = masks[27].fraction_set(); // settled, pre-event
+    let burst = masks[30].fraction_set(); // the first post-event frame
+    let after = masks.last().unwrap().fraction_set(); // long after
+
+    assert!(before < 0.02, "settled foreground before event: {before:.3}");
+    assert!(burst > 0.5, "illumination step must flood the mask: {burst:.3}");
+    assert!(after < 0.05, "the model must re-absorb the new level: {after:.3}");
+}
+
+#[test]
+fn gradual_illumination_ramp_is_less_disruptive_than_a_step() {
+    let res = Resolution::TINY;
+    let run = |duration: usize| {
+        let scene = SceneBuilder::new(res)
+            .seed(7)
+            .bimodal_fraction(0.0)
+            .noise_sd(1.5)
+            .illumination_event(IlluminationEvent { start: 30, duration, delta: 40.0 })
+            .build();
+        let (frames, _) = scene.render_sequence(80);
+        let frames = frames.into_frames();
+        let params = MogParams { alpha: 0.85, ..MogParams::default() };
+        let mut gpu = GpuMog::<f64>::new(
+            res,
+            params,
+            OptLevel::F,
+            frames[0].as_slice(),
+            GpuConfig::tesla_c2075(),
+        )
+        .unwrap();
+        let masks = gpu.process_all(&frames[1..]).unwrap().masks;
+        // Peak foreground fraction during/after the event.
+        masks[28..50].iter().map(|m| m.fraction_set()).fold(0.0f64, f64::max)
+    };
+    let step_peak = run(0);
+    let ramp_peak = run(40); // 1 grey level per frame: inside match range
+    assert!(
+        ramp_peak < step_peak / 2.0,
+        "slow ramp (peak {ramp_peak:.3}) must disrupt less than a step (peak {step_peak:.3})"
+    );
+}
+
+#[test]
+fn camera_jitter_raises_false_positives_at_edges() {
+    // A wobbling camera makes high-contrast background edges flicker
+    // between pixels — a weakness of strictly per-pixel models the paper's
+    // fixed-camera assumption avoids.
+    let res = Resolution::TINY;
+    let run = |amplitude: f64| {
+        let scene = SceneBuilder::new(res)
+            .seed(88)
+            .bimodal_fraction(0.15) // contrast structure for edges
+            .bimodal_contrast(80.0)
+            .jitter(amplitude)
+            .build();
+        let (frames, truths) = scene.render_sequence(40);
+        let frames = frames.into_frames();
+        let truths = truths.into_frames();
+        let mut gpu = GpuMog::<f64>::new(
+            res,
+            MogParams::default(),
+            OptLevel::F,
+            frames[0].as_slice(),
+            GpuConfig::tesla_c2075(),
+        )
+        .unwrap();
+        let masks = gpu.process_all(&frames[1..]).unwrap().masks;
+        let last = masks.len() - 1;
+        fpr(&masks[last], &truths[last + 1])
+    };
+    let steady = run(0.0);
+    let shaky = run(2.0);
+    assert!(
+        shaky >= steady,
+        "jitter should not reduce false positives: steady {steady:.4} vs shaky {shaky:.4}"
+    );
+}
+
+#[test]
+fn frame_diff_baseline_misses_what_mog_catches() {
+    // A large, slowly moving object: its interior overlaps itself frame
+    // to frame, so frame differencing sees only the leading/trailing
+    // edges while MoG reports the full silhouette.
+    let res = Resolution::TINY;
+    let scene = SceneBuilder::new(res)
+        .seed(31)
+        .bimodal_fraction(0.0)
+        .noise_sd(1.0)
+        .object(mogpu::frame::MovingObject {
+            shape: mogpu::frame::ObjectShape::Rect { w: 14, h: 14 },
+            x0: 20.0,
+            y0: 15.0,
+            vx: 0.4,
+            vy: 0.0,
+            level: 230.0,
+        })
+        .build();
+    let (frames, truths) = scene.render_sequence(30);
+    let frames = frames.into_frames();
+    let truths = truths.into_frames();
+
+    let mut fd = FrameDiff::new(res, 25.0, frames[0].as_slice());
+    let fd_masks = fd.process_all(&frames[1..]);
+    // Slow adaptation (as a deployment watching for loitering would use),
+    // so the slow object is not absorbed within the horizon.
+    let params = MogParams { alpha: 0.995, ..MogParams::default() };
+    let mut gpu = GpuMog::<f64>::new(
+        res,
+        params,
+        OptLevel::F,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .unwrap();
+    let mog_masks = gpu.process_all(&frames[1..]).unwrap().masks;
+
+    let recall = |mask: &Mask, truth: &Mask| {
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for (d, t) in mask.as_slice().iter().zip(truth.as_slice()) {
+            if *t == 255 {
+                total += 1;
+                if *d == 255 {
+                    hit += 1;
+                }
+            }
+        }
+        hit as f64 / total.max(1) as f64
+    };
+    let last = frames.len() - 2;
+    let r_fd = recall(&fd_masks[last], &truths[last + 1]);
+    let r_mog = recall(&mog_masks[last], &truths[last + 1]);
+    assert!(r_mog > r_fd + 0.2, "MoG recall {r_mog:.2} vs frame-diff {r_fd:.2}");
+}
