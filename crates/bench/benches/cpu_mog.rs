@@ -8,7 +8,13 @@ use mogpu_frame::{Frame, Resolution, SceneBuilder};
 use mogpu_mog::{parallel::ParallelMog, MogParams, Real, SerialMog, Variant};
 
 fn frames(res: Resolution, n: usize) -> Vec<Frame<u8>> {
-    SceneBuilder::new(res).seed(5).walkers(3).build().render_sequence(n).0.into_frames()
+    SceneBuilder::new(res)
+        .seed(5)
+        .walkers(3)
+        .build()
+        .render_sequence(n)
+        .0
+        .into_frames()
 }
 
 fn bench_variants(c: &mut Criterion) {
@@ -21,12 +27,8 @@ fn bench_variants(c: &mut Criterion) {
             BenchmarkId::from_parameter(variant.name()),
             &variant,
             |b, &variant| {
-                let mut mog = SerialMog::<f64>::new(
-                    res,
-                    MogParams::default(),
-                    variant,
-                    fs[0].as_slice(),
-                );
+                let mut mog =
+                    SerialMog::<f64>::new(res, MogParams::default(), variant, fs[0].as_slice());
                 let mut i = 1;
                 b.iter(|| {
                     let mask = mog.process(&fs[i]);
@@ -45,8 +47,12 @@ fn bench_precision<T: Real>(c: &mut Criterion, name: &str) {
     let mut group = c.benchmark_group("serial_precision");
     group.throughput(Throughput::Elements(res.pixels() as u64));
     group.bench_function(name, |b| {
-        let mut mog =
-            SerialMog::<T>::new(res, MogParams::default(), Variant::Predicated, fs[0].as_slice());
+        let mut mog = SerialMog::<T>::new(
+            res,
+            MogParams::default(),
+            Variant::Predicated,
+            fs[0].as_slice(),
+        );
         let mut i = 1;
         b.iter(|| {
             let mask = mog.process(&fs[i]);
@@ -136,12 +142,17 @@ fn bench_adaptive(c: &mut Criterion) {
 fn bench_morphology(c: &mut Criterion) {
     use mogpu_frame::{connected_components, open3};
     let res = Resolution::QVGA;
-    let scene = mogpu_frame::SceneBuilder::new(res).seed(3).walkers(4).build();
+    let scene = mogpu_frame::SceneBuilder::new(res)
+        .seed(3)
+        .walkers(4)
+        .build();
     let (_, mask) = scene.render(10);
     let mut group = c.benchmark_group("morphology");
     group.throughput(Throughput::Elements(res.pixels() as u64));
     group.bench_function("open3", |b| b.iter(|| open3(&mask)));
-    group.bench_function("connected_components", |b| b.iter(|| connected_components(&mask)));
+    group.bench_function("connected_components", |b| {
+        b.iter(|| connected_components(&mask))
+    });
     group.finish();
 }
 

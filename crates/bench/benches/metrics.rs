@@ -23,9 +23,13 @@ fn bench_metrics(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("ssim", res.to_string()), &res, |bch, _| {
             bch.iter(|| ssim(&a, &b));
         });
-        group.bench_with_input(BenchmarkId::new("ms_ssim", res.to_string()), &res, |bch, _| {
-            bch.iter(|| ms_ssim(&a, &b));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ms_ssim", res.to_string()),
+            &res,
+            |bch, _| {
+                bch.iter(|| ms_ssim(&a, &b));
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("mask_confusion", res.to_string()),
             &res,

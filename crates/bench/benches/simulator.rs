@@ -9,7 +9,13 @@ use mogpu_mog::MogParams;
 use mogpu_sim::GpuConfig;
 
 fn frames(res: Resolution, n: usize) -> Vec<Frame<u8>> {
-    SceneBuilder::new(res).seed(6).walkers(2).build().render_sequence(n).0.into_frames()
+    SceneBuilder::new(res)
+        .seed(6)
+        .walkers(2)
+        .build()
+        .render_sequence(n)
+        .0
+        .into_frames()
 }
 
 fn bench_levels(c: &mut Criterion) {
@@ -17,18 +23,27 @@ fn bench_levels(c: &mut Criterion) {
     let fs = frames(res, 3);
     let mut group = c.benchmark_group("sim_launch_per_frame");
     group.throughput(Throughput::Elements(res.pixels() as u64));
-    for level in [OptLevel::A, OptLevel::C, OptLevel::F, OptLevel::Windowed { group: 4 }] {
-        group.bench_with_input(BenchmarkId::from_parameter(level.name()), &level, |b, &level| {
-            let mut gpu = GpuMog::<f64>::new(
-                res,
-                MogParams::default(),
-                level,
-                fs[0].as_slice(),
-                GpuConfig::tesla_c2075(),
-            )
-            .unwrap();
-            b.iter(|| gpu.process_all(&fs[1..]).unwrap().stats.warps);
-        });
+    for level in [
+        OptLevel::A,
+        OptLevel::C,
+        OptLevel::F,
+        OptLevel::Windowed { group: 4 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(level.name()),
+            &level,
+            |b, &level| {
+                let mut gpu = GpuMog::<f64>::new(
+                    res,
+                    MogParams::default(),
+                    level,
+                    fs[0].as_slice(),
+                    GpuConfig::tesla_c2075(),
+                )
+                .unwrap();
+                b.iter(|| gpu.process_all(&fs[1..]).unwrap().stats.warps);
+            },
+        );
     }
     group.finish();
 }
@@ -38,17 +53,21 @@ fn bench_resolution_scaling(c: &mut Criterion) {
     for res in [Resolution::TINY, Resolution::QQVGA] {
         let fs = frames(res, 2);
         group.throughput(Throughput::Elements(res.pixels() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(res.to_string()), &res, |b, &res| {
-            let mut gpu = GpuMog::<f64>::new(
-                res,
-                MogParams::default(),
-                OptLevel::F,
-                fs[0].as_slice(),
-                GpuConfig::tesla_c2075(),
-            )
-            .unwrap();
-            b.iter(|| gpu.process_all(&fs[1..]).unwrap().stats.warps);
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(res.to_string()),
+            &res,
+            |b, &res| {
+                let mut gpu = GpuMog::<f64>::new(
+                    res,
+                    MogParams::default(),
+                    OptLevel::F,
+                    fs[0].as_slice(),
+                    GpuConfig::tesla_c2075(),
+                )
+                .unwrap();
+                b.iter(|| gpu.process_all(&fs[1..]).unwrap().stats.warps);
+            },
+        );
     }
     group.finish();
 }

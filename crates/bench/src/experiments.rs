@@ -25,12 +25,25 @@ pub fn exp_baseline() -> serde_json::Value {
     let gpu = GpuConfig::tesla_c2075();
     let cpu_cfg = mogpu_sim::CpuConfig::xeon_e5_2620();
     println!("== E1/E11: hardware configuration (Table I) and baselines (Sec. IV-A) ==\n");
-    println!("GPU: {} — {} SMs x {} cores @ {:.2} GHz, {:.0} GB/s GDDR5",
-        gpu.name, gpu.num_sms, gpu.cores_per_sm, gpu.clock_hz / 1e9, gpu.dram_peak_bw / 1e9);
-    println!("     peak single-precision: {:.2} TFLOPS (paper: 1.03)",
-        gpu.peak_f32_flops() / 1e12);
-    println!("CPU: {} — {} cores @ {:.1} GHz, {:.1} GB/s DDR3\n",
-        cpu_cfg.name, cpu_cfg.cores, cpu_cfg.clock_hz / 1e9, cpu_cfg.dram_bw / 1e9);
+    println!(
+        "GPU: {} — {} SMs x {} cores @ {:.2} GHz, {:.0} GB/s GDDR5",
+        gpu.name,
+        gpu.num_sms,
+        gpu.cores_per_sm,
+        gpu.clock_hz / 1e9,
+        gpu.dram_peak_bw / 1e9
+    );
+    println!(
+        "     peak single-precision: {:.2} TFLOPS (paper: 1.03)",
+        gpu.peak_f32_flops() / 1e12
+    );
+    println!(
+        "CPU: {} — {} cores @ {:.1} GHz, {:.1} GB/s DDR3\n",
+        cpu_cfg.name,
+        cpu_cfg.cores,
+        cpu_cfg.clock_hz / 1e9,
+        cpu_cfg.dram_bw / 1e9
+    );
 
     let frames = standard_frames(SIM_FRAMES);
     let c = run_level::<f64>(OptLevel::C, default_params(3), &frames);
@@ -47,15 +60,32 @@ pub fn exp_baseline() -> serde_json::Value {
 
     println!("450 full-HD frames, 3 Gaussians, double precision (modelled vs paper):");
     rule(64);
-    println!("{:<28} {:>10} {:>10} {:>10}", "build", "ours [s]", "paper [s]", "ratio");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "build", "ours [s]", "paper [s]", "ratio"
+    );
     rule(64);
     for (name, ours, paper_s) in [
         ("CPU serial -O3", serial_450, paper::CPU_SERIAL_450_FRAMES_S),
-        ("CPU SIMD-customized", simd_450, paper::CPU_SIMD_450_FRAMES_S),
+        (
+            "CPU SIMD-customized",
+            simd_450,
+            paper::CPU_SIMD_450_FRAMES_S,
+        ),
         ("CPU OpenMP 8 threads", mt_450, paper::CPU_MT_450_FRAMES_S),
-        ("GPU base (level A)", a_hd.total_450_s, paper::GPU_BASE_450_FRAMES_S),
+        (
+            "GPU base (level A)",
+            a_hd.total_450_s,
+            paper::GPU_BASE_450_FRAMES_S,
+        ),
     ] {
-        println!("{:<28} {:>10.1} {:>10.1} {:>10.2}", name, ours, paper_s, ours / paper_s);
+        println!(
+            "{:<28} {:>10.1} {:>10.1} {:>10.2}",
+            name,
+            ours,
+            paper_s,
+            ours / paper_s
+        );
     }
     rule(64);
     let base_speedup = serial_450 / a_hd.total_450_s;
@@ -125,13 +155,24 @@ pub fn exp_overlap() -> serde_json::Value {
     let kernel_hd = b.kernel_time_per_frame() * scale;
     let t_dir = transfer_time(Resolution::FULL_HD.pixels(), &cfg);
     let seq = pipeline_time(450, t_dir, kernel_hd, t_dir, OverlapMode::Sequential, &cfg);
-    let ovl = pipeline_time(450, t_dir, kernel_hd, t_dir, OverlapMode::DoubleBuffered, &cfg);
+    let ovl = pipeline_time(
+        450,
+        t_dir,
+        kernel_hd,
+        t_dir,
+        OverlapMode::DoubleBuffered,
+        &cfg,
+    );
     println!("full-HD per-frame (same kernel, modelled):");
     println!("  H2D transfer      : {:.2} ms/direction", 1e3 * t_dir);
     println!("  kernel            : {:.2} ms", 1e3 * kernel_hd);
     println!("  sequential (B)    : {:.2} ms/frame", 1e3 * seq.per_frame);
     println!("  overlapped (C)    : {:.2} ms/frame", 1e3 * ovl.per_frame);
-    println!("  kernel utilization: {} -> {}", pct(seq.kernel_utilization), pct(ovl.kernel_utilization));
+    println!(
+        "  kernel utilization: {} -> {}",
+        pct(seq.kernel_utilization),
+        pct(ovl.kernel_utilization)
+    );
     let transfer_share = 2.0 * t_dir / seq.per_frame;
     println!(
         "  transfer share of sequential frame: {} (paper: ~one third)",
@@ -140,8 +181,14 @@ pub fn exp_overlap() -> serde_json::Value {
     // What pinning host buffers (cudaMallocHost) would have bought: the
     // paper's ~1 GB/s effective PCIe implies pageable staging copies.
     let t_pinned = mogpu_sim::dma::transfer_time_pinned(Resolution::FULL_HD.pixels(), &cfg);
-    let seq_pinned =
-        pipeline_time(450, t_pinned, kernel_hd, t_pinned, OverlapMode::Sequential, &cfg);
+    let seq_pinned = pipeline_time(
+        450,
+        t_pinned,
+        kernel_hd,
+        t_pinned,
+        OverlapMode::Sequential,
+        &cfg,
+    );
     println!(
         "  with pinned host memory, even sequential transfers shrink to {:.2} ms/frame",
         1e3 * seq_pinned.per_frame
@@ -214,8 +261,16 @@ pub fn exp_fig8() -> serde_json::Value {
     let c_ref = run_level::<f64>(OptLevel::C, default_params(3), &frames);
     let serial_hd = cpu_serial_hd_per_frame(&c_ref);
     let mut rows: Vec<LadderRow> = Vec::new();
-    for level in OptLevel::LADDER.into_iter().chain([OptLevel::Windowed { group: 8 }]) {
-        rows.push(ladder_row::<f64>(level, default_params(3), &frames, serial_hd));
+    for level in OptLevel::LADDER
+        .into_iter()
+        .chain([OptLevel::Windowed { group: 8 }])
+    {
+        rows.push(ladder_row::<f64>(
+            level,
+            default_params(3),
+            &frames,
+            serial_hd,
+        ));
     }
     print_ladder(&rows, &[13.0, 41.0, 57.0, 85.0, 86.0, 97.0, 101.0]);
     json!(rows)
@@ -259,8 +314,12 @@ pub fn exp_fig10() -> serde_json::Value {
     rule(58);
     println!(
         "{:<8} {:>10.2} {:>9.2} {:>8.1}x {:>8} {:>8}",
-        "F (ref)", f_row.hd.kernel_ms, f_row.hd.e2e_ms, f_row.speedup,
-        pct(f_row.mem_eff), pct(f_row.occupancy)
+        "F (ref)",
+        f_row.hd.kernel_ms,
+        f_row.hd.e2e_ms,
+        f_row.speedup,
+        pct(f_row.mem_eff),
+        pct(f_row.occupancy)
     );
     for group in [1usize, 2, 4, 8, 16, 32] {
         let row = ladder_row::<f64>(
@@ -271,8 +330,12 @@ pub fn exp_fig10() -> serde_json::Value {
         );
         println!(
             "{:<8} {:>10.2} {:>9.2} {:>8.1}x {:>8} {:>8}",
-            row.level, row.hd.kernel_ms, row.hd.e2e_ms, row.speedup,
-            pct(row.mem_eff), pct(row.occupancy)
+            row.level,
+            row.hd.kernel_ms,
+            row.hd.e2e_ms,
+            row.speedup,
+            pct(row.mem_eff),
+            pct(row.occupancy)
         );
         rows.push(row);
     }
@@ -385,9 +448,17 @@ pub fn exp_fig11() -> serde_json::Value {
         let c_ref = run_level::<f64>(OptLevel::C, default_params(k), &frames);
         let serial_hd = cpu_serial_hd_per_frame(&c_ref);
         let mut rows = Vec::new();
-        println!("{k} Gaussians (serial CPU full-HD: {:.0} ms/frame):", 1e3 * serial_hd);
+        println!(
+            "{k} Gaussians (serial CPU full-HD: {:.0} ms/frame):",
+            1e3 * serial_hd
+        );
         for level in OptLevel::LADDER {
-            rows.push(ladder_row::<f64>(level, default_params(k), &frames, serial_hd));
+            rows.push(ladder_row::<f64>(
+                level,
+                default_params(k),
+                &frames,
+                serial_hd,
+            ));
         }
         let paper_s: [f64; 6] = if k == 3 {
             [13.0, 41.0, 57.0, 85.0, 86.0, 97.0]
@@ -416,9 +487,17 @@ pub fn exp_fig12() -> serde_json::Value {
         let c_ref = run_level::<f64>(OptLevel::C, default_params(3), &frames);
         let serial_hd = cpu_serial_hd_per_frame(&c_ref);
         let mut rows = Vec::new();
-        println!("double precision (serial CPU full-HD: {:.0} ms/frame):", 1e3 * serial_hd);
+        println!(
+            "double precision (serial CPU full-HD: {:.0} ms/frame):",
+            1e3 * serial_hd
+        );
         for level in OptLevel::LADDER {
-            rows.push(ladder_row::<f64>(level, default_params(3), &frames, serial_hd));
+            rows.push(ladder_row::<f64>(
+                level,
+                default_params(3),
+                &frames,
+                serial_hd,
+            ));
         }
         print_ladder(&rows, &[13.0, 41.0, 57.0, 85.0, 86.0, 97.0]);
         out.push(json!({"precision": "double", "serial_hd_ms": 1e3 * serial_hd, "ladder": rows}));
@@ -428,11 +507,22 @@ pub fn exp_fig12() -> serde_json::Value {
         let c_ref = run_level::<f32>(OptLevel::C, default_params(3), &frames);
         let serial_hd = cpu_serial_hd_per_frame(&c_ref);
         let mut rows = Vec::new();
-        println!("single precision (serial CPU full-HD: {:.0} ms/frame):", 1e3 * serial_hd);
+        println!(
+            "single precision (serial CPU full-HD: {:.0} ms/frame):",
+            1e3 * serial_hd
+        );
         for level in OptLevel::LADDER {
-            rows.push(ladder_row::<f32>(level, default_params(3), &frames, serial_hd));
+            rows.push(ladder_row::<f32>(
+                level,
+                default_params(3),
+                &frames,
+                serial_hd,
+            ));
         }
-        print_ladder(&rows, &[f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN, 105.0]);
+        print_ladder(
+            &rows,
+            &[f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN, 105.0],
+        );
         out.push(json!({"precision": "float", "serial_hd_ms": 1e3 * serial_hd, "ladder": rows}));
     }
     println!("paper: float F = 105x (vs double 97x); float serial CPU 180 s/450\n");
@@ -453,7 +543,10 @@ pub fn exp_ablation() -> serde_json::Value {
     let group = 8;
     let mut shared_rows = Vec::new();
     println!("(a) tiled-kernel shared record stride, group {group}:");
-    println!("{:<16} {:>14} {:>12} {:>12}", "stride", "sharedReplays", "issue cyc", "kern ms");
+    println!(
+        "{:<16} {:>14} {:>12} {:>12}",
+        "stride", "sharedReplays", "issue cyc", "kern ms"
+    );
     rule(58);
     for (name, stride) in [("9 doubles", None), ("16 doubles", Some(16usize))] {
         let report = run_tiled_with_layout(&frames, res, group, stride);
@@ -517,16 +610,23 @@ pub fn exp_ablation() -> serde_json::Value {
     // quantifies the one exception — level A's interleaved AoS records,
     // where consecutive warp slots re-touch the same 128 B lines.
     println!("(c) 768 KB L2 cache model on/off:");
-    println!("{:<10} {:>12} {:>12} {:>10}", "level", "tx (off)", "tx (on)", "L2 hit%");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "level", "tx (off)", "tx (on)", "L2 hit%"
+    );
     rule(48);
     let mut cache_rows = Vec::new();
     for level in [OptLevel::A, OptLevel::F] {
-        let off = run_level_with_cfg::<f64>(
-            level, default_params(3), &frames, GpuConfig::tesla_c2075());
+        let off =
+            run_level_with_cfg::<f64>(level, default_params(3), &frames, GpuConfig::tesla_c2075());
         let on = run_level_with_cfg::<f64>(
-            level, default_params(3), &frames, GpuConfig::tesla_c2075_with_l2());
-        let hit_rate = on.stats.l2_hits as f64
-            / (on.stats.l2_hits + on.stats.l2_misses).max(1) as f64;
+            level,
+            default_params(3),
+            &frames,
+            GpuConfig::tesla_c2075_with_l2(),
+        );
+        let hit_rate =
+            on.stats.l2_hits as f64 / (on.stats.l2_hits + on.stats.l2_misses).max(1) as f64;
         println!(
             "{:<10} {:>12} {:>12} {:>10}",
             level.name(),
@@ -558,8 +658,12 @@ pub fn exp_ablation() -> serde_json::Value {
 pub fn exp_embedded() -> serde_json::Value {
     println!("== future work: MoG on an embedded integrated GPU ==\n");
     let cfg = GpuConfig::embedded_tegra();
-    println!("device: {} ({:.0} GFLOPS f32, {:.1} GB/s shared LPDDR3)\n",
-        cfg.name, cfg.peak_f32_flops() / 1e9, cfg.dram_peak_bw / 1e9);
+    println!(
+        "device: {} ({:.0} GFLOPS f32, {:.1} GB/s shared LPDDR3)\n",
+        cfg.name,
+        cfg.peak_f32_flops() / 1e9,
+        cfg.dram_peak_bw / 1e9
+    );
 
     let frames = standard_frames(17);
     let mut rows = Vec::new();
@@ -574,7 +678,11 @@ pub fn exp_embedded() -> serde_json::Value {
         ("float, 3G", 3, true, false),
         ("float, 3G, W(8)", 3, true, true),
     ] {
-        let level = if windowed { OptLevel::Windowed { group: 8 } } else { OptLevel::F };
+        let level = if windowed {
+            OptLevel::Windowed { group: 8 }
+        } else {
+            OptLevel::F
+        };
         let run = |frames: &[mogpu_frame::Frame<u8>]| {
             if f32p {
                 run_level_with_cfg::<f32>(level, default_params(k), frames, cfg.clone())
@@ -592,11 +700,18 @@ pub fn exp_embedded() -> serde_json::Value {
             let sched = pipeline_time(120, t_dir, kernel, t_dir, level.overlap(), &cfg);
             1.0 / sched.per_frame
         };
-        let (qvga, hd, fhd) =
-            (fps_at(Resolution::QVGA), fps_at(Resolution::HD), fps_at(Resolution::FULL_HD));
+        let (qvga, hd, fhd) = (
+            fps_at(Resolution::QVGA),
+            fps_at(Resolution::HD),
+            fps_at(Resolution::FULL_HD),
+        );
         println!(
             "{:<24} {:>10.0} {:>10.0} {:>10.0} {:>8}",
-            name, qvga, hd, fhd, pct(report.occupancy.occupancy)
+            name,
+            qvga,
+            hd,
+            fhd,
+            pct(report.occupancy.occupancy)
         );
         rows.push(json!({
             "config": name, "fps_qvga": qvga, "fps_720p": hd, "fps_1080p": fhd,
@@ -720,13 +835,9 @@ pub fn exp_adaptive() -> serde_json::Value {
     let fixed = run_level::<f64>(OptLevel::D, params, &frames);
 
     // Adaptive, k_max = 5.
-    let mut gpu = AdaptiveGpuMog::<f64>::new(
-        res,
-        params,
-        frames[0].as_slice(),
-        GpuConfig::tesla_c2075(),
-    )
-    .expect("pipeline");
+    let mut gpu =
+        AdaptiveGpuMog::<f64>::new(res, params, frames[0].as_slice(), GpuConfig::tesla_c2075())
+            .expect("pipeline");
     let adaptive = gpu.process_all(&frames[1..]).expect("processing");
     let mean_active = gpu.mean_active();
 
@@ -737,7 +848,10 @@ pub fn exp_adaptive() -> serde_json::Value {
     let gpu_adaptive = adaptive.kernel_time_per_frame();
 
     println!("mean active components: {mean_active:.2} of 5\n");
-    println!("{:<26} {:>12} {:>12} {:>10}", "metric", "fixed K=5", "adaptive", "gain");
+    println!(
+        "{:<26} {:>12} {:>12} {:>10}",
+        "metric", "fixed K=5", "adaptive", "gain"
+    );
     rule(64);
     println!(
         "{:<26} {:>12.3} {:>12.3} {:>9.2}x",
@@ -781,8 +895,11 @@ pub fn exp_adaptive() -> serde_json::Value {
     println!("The paper's two arguments against adaptivity on GPUs, quantified:");
     println!("  1. lockstep: warps pay for their most complex pixel — the issue-");
     println!("     cycle gain ({issue_gain:.2}x) trails the ideal {ideal:.2}x;");
-    println!("  2. unbalanced accesses cut memory efficiency ({} -> {}).",
-        pct(fixed.metrics.mem_access_efficiency), pct(adaptive.metrics.mem_access_efficiency));
+    println!(
+        "  2. unbalanced accesses cut memory efficiency ({} -> {}).",
+        pct(fixed.metrics.mem_access_efficiency),
+        pct(adaptive.metrics.mem_access_efficiency)
+    );
     println!("End-to-end, the latency-bound kernel still keeps much of the gain");
     println!("({gpu_gain:.2}x vs CPU {cpu_gain:.2}x) because partial warps issue fewer DRAM");
     println!("transactions — a nuance the first-order argument misses.\n");
@@ -801,7 +918,6 @@ pub fn exp_adaptive() -> serde_json::Value {
     })
 }
 
-
 /// Portability study: the optimization ladder re-run on a Kepler-class
 /// Tesla K20. The register-usage tricks (D -> F) were tuned to Fermi's
 /// 32 K-register SM; on Kepler the register file stops being the
@@ -817,14 +933,16 @@ pub fn exp_portability() -> serde_json::Value {
         ("Tesla K20 (Kepler)", GpuConfig::tesla_k20()),
     ] {
         println!("{name}:");
-        println!("{:<6} {:>10} {:>8} {:>10}", "level", "kern ms", "occup", "vs A");
+        println!(
+            "{:<6} {:>10} {:>8} {:>10}",
+            "level", "kern ms", "occup", "vs A"
+        );
         rule(40);
         let mut rows = Vec::new();
         let mut a_time = None;
         for level in OptLevel::LADDER {
             let r = run_level_with_cfg::<f64>(level, default_params(3), &frames, cfg.clone());
-            let scale =
-                Resolution::FULL_HD.pixels() as f64 / SIM_RESOLUTION.pixels() as f64;
+            let scale = Resolution::FULL_HD.pixels() as f64 / SIM_RESOLUTION.pixels() as f64;
             let kern_ms = 1e3 * r.kernel_time_per_frame() * scale;
             let a = *a_time.get_or_insert(kern_ms);
             println!(

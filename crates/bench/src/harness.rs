@@ -38,7 +38,10 @@ pub fn default_params(k: usize) -> MogParams {
 
 /// Renders the standard frame sequence at the simulation resolution.
 pub fn standard_frames(n: usize) -> Vec<Frame<u8>> {
-    standard_scene(SIM_RESOLUTION).render_sequence(n).0.into_frames()
+    standard_scene(SIM_RESOLUTION)
+        .render_sequence(n)
+        .0
+        .into_frames()
 }
 
 /// Runs one optimization level over a frame sequence.
@@ -92,8 +95,7 @@ pub fn project_full_hd(report: &RunReport, level: OptLevel, cfg: &GpuConfig) -> 
         kernel_ms: 1e3 * kernel_hd,
         e2e_ms: 1e3 * sched.per_frame,
         total_450_s: sched.total,
-        store_tx_per_frame: report.metrics.store_transactions as f64 / report.frames as f64
-            * scale,
+        store_tx_per_frame: report.metrics.store_transactions as f64 / report.frames as f64 * scale,
         branch_slots_per_frame: report.metrics.branch_slots as f64 / report.frames as f64 * scale,
     }
 }

@@ -17,8 +17,14 @@ pub const CPU_SERIAL_5G_450_FRAMES_S: f64 = 406.6;
 pub const GPU_BASE_450_FRAMES_S: f64 = 17.5;
 
 /// Paper speedups over the serial CPU for levels A–F (Fig. 8a).
-pub const SPEEDUPS_LADDER: [(char, f64); 6] =
-    [('A', 13.0), ('B', 41.0), ('C', 57.0), ('D', 85.0), ('E', 86.0), ('F', 97.0)];
+pub const SPEEDUPS_LADDER: [(char, f64); 6] = [
+    ('A', 13.0),
+    ('B', 41.0),
+    ('C', 57.0),
+    ('D', 85.0),
+    ('E', 86.0),
+    ('F', 97.0),
+];
 /// Peak windowed speedup (group size 8).
 pub const SPEEDUP_WINDOWED: f64 = 101.0;
 /// Single-precision level-F speedup (Fig. 12a).
@@ -41,8 +47,14 @@ pub const BRANCHES_D: f64 = 6.2e6;
 pub const BRANCH_EFF_E: f64 = 0.995;
 
 /// Registers per thread (Fig. 6b / 7c), f64, 3 Gaussians.
-pub const REGISTERS: [(char, u32); 6] =
-    [('A', 30), ('B', 36), ('C', 36), ('D', 32), ('E', 33), ('F', 31)];
+pub const REGISTERS: [(char, u32); 6] = [
+    ('A', 30),
+    ('B', 36),
+    ('C', 36),
+    ('D', 32),
+    ('E', 33),
+    ('F', 31),
+];
 /// Achieved SM occupancy the paper's profiler reports.
 pub const OCCUPANCY_ACHIEVED: [(char, f64); 4] =
     [('C', 0.52), ('D', 0.61), ('E', 0.56), ('F', 0.65)];
@@ -51,10 +63,22 @@ pub const OCCUPANCY_W1: f64 = 0.40;
 pub const OCCUPANCY_W32: f64 = 0.38;
 
 /// Table IV: MS-SSIM of background/foreground vs the CPU ground truth.
-pub const TABLE4_BACKGROUND: [(char, f64); 6] =
-    [('A', 0.99), ('B', 0.99), ('C', 0.99), ('D', 0.99), ('E', 0.99), ('F', 0.99)];
-pub const TABLE4_FOREGROUND: [(char, f64); 6] =
-    [('A', 0.99), ('B', 0.99), ('C', 0.96), ('D', 0.97), ('E', 0.97), ('F', 0.95)];
+pub const TABLE4_BACKGROUND: [(char, f64); 6] = [
+    ('A', 0.99),
+    ('B', 0.99),
+    ('C', 0.99),
+    ('D', 0.99),
+    ('E', 0.99),
+    ('F', 0.99),
+];
+pub const TABLE4_FOREGROUND: [(char, f64); 6] = [
+    ('A', 0.99),
+    ('B', 0.99),
+    ('C', 0.96),
+    ('D', 0.97),
+    ('E', 0.97),
+    ('F', 0.95),
+];
 
 /// Frames in the paper's measurement runs.
 pub const PAPER_FRAMES: usize = 450;

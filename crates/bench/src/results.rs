@@ -19,8 +19,10 @@ impl ResultsFile {
 
     /// Records a serializable payload under `id`.
     pub fn record<T: Serialize>(&mut self, id: &str, payload: &T) {
-        self.experiments
-            .insert(id.to_string(), serde_json::to_value(payload).expect("serializable"));
+        self.experiments.insert(
+            id.to_string(),
+            serde_json::to_value(payload).expect("serializable"),
+        );
     }
 
     /// Writes the accumulated results as pretty JSON.
@@ -32,7 +34,11 @@ impl ResultsFile {
             std::fs::create_dir_all(dir)?;
         }
         let mut f = std::fs::File::create(path)?;
-        writeln!(f, "{}", serde_json::to_string_pretty(self).expect("serializable"))?;
+        writeln!(
+            f,
+            "{}",
+            serde_json::to_string_pretty(self).expect("serializable")
+        )?;
         Ok(())
     }
 }

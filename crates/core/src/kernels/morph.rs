@@ -40,7 +40,11 @@ impl Kernel for MorphKernel {
     fn resources(&self) -> KernelResources {
         // A handful of address registers and the accumulator; measured
         // from comparable CUDA stencils.
-        KernelResources { regs_per_thread: 14, shared_bytes_per_block: 0, local_f64_slots: 0 }
+        KernelResources {
+            regs_per_thread: 14,
+            shared_bytes_per_block: 0,
+            local_f64_slots: 0,
+        }
     }
 
     fn run(&self, ctx: &mut ThreadCtx<'_>) {
@@ -99,7 +103,13 @@ pub fn gpu_morph(
     let input = mem.alloc(n).expect("device capacity");
     let output = mem.alloc(n).expect("device capacity");
     mem.upload(input, mask.as_slice());
-    let kernel = MorphKernel { input, output, width: res.width, height: res.height, op };
+    let kernel = MorphKernel {
+        input,
+        output,
+        width: res.width,
+        height: res.height,
+        op,
+    };
     let report = mogpu_sim::launch(
         &mut mem,
         cfg,
@@ -117,7 +127,10 @@ mod tests {
     use mogpu_sim::GpuConfig;
 
     fn test_mask() -> Mask {
-        let scene = SceneBuilder::new(Resolution::TINY).seed(31).walkers(3).build();
+        let scene = SceneBuilder::new(Resolution::TINY)
+            .seed(31)
+            .walkers(3)
+            .build();
         let (_, mask) = scene.render(5);
         mask
     }
@@ -150,8 +163,7 @@ mod tests {
             (0.25..0.40).contains(&tx_per_lane),
             "expected ~10 tx per 32-lane warp over 9 loads, got {tx_per_lane:.3}/lane"
         );
-        let (_, cached) =
-            gpu_morph(&m, MorphOp::Erode, &GpuConfig::tesla_c2075_with_l2()).unwrap();
+        let (_, cached) = gpu_morph(&m, MorphOp::Erode, &GpuConfig::tesla_c2075_with_l2()).unwrap();
         assert!(
             cached.stats.global_load_tx < no_cache.stats.global_load_tx / 4,
             "L2 must absorb the row re-touches: {} vs {}",

@@ -39,8 +39,7 @@ impl<T: DeviceReal> Kernel for SortedKernel<T> {
         ctx.int_op(1); // u8 -> float convert
 
         // Phase 1: match & update (branchy), keeping register copies.
-        let (w, _m, sd, diff, _matched) =
-            update_branchy(ctx, &pass.model, i, p, prm);
+        let (w, _m, sd, diff, _matched) = update_branchy(ctx, &pass.model, i, p, prm);
 
         // Spill diff[] to local memory (dynamically indexed later).
         for ki in 0..k {

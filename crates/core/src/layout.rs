@@ -67,7 +67,15 @@ impl<T: DeviceReal> DeviceModel<T> {
                 mem.alloc(n * T::BYTES)?,
             ),
         };
-        Ok(DeviceModel { layout, k, pixels, buf_w, buf_m, buf_sd, _marker: std::marker::PhantomData })
+        Ok(DeviceModel {
+            layout,
+            k,
+            pixels,
+            buf_w,
+            buf_m,
+            buf_sd,
+            _marker: std::marker::PhantomData,
+        })
     }
 
     /// The layout in use.
@@ -243,8 +251,7 @@ mod tests {
     fn upload_download_round_trip_soa() {
         let mut mem = DeviceMemory::new(1 << 22);
         let host = host_model(100, 3);
-        let dev: DeviceModel<f64> =
-            DeviceModel::alloc(&mut mem, Layout::Soa, 100, 3).unwrap();
+        let dev: DeviceModel<f64> = DeviceModel::alloc(&mut mem, Layout::Soa, 100, 3).unwrap();
         dev.upload(&mut mem, &host);
         let back = dev.download(&mem, &host);
         assert_eq!(host, back);
@@ -254,8 +261,7 @@ mod tests {
     fn upload_download_round_trip_aos() {
         let mut mem = DeviceMemory::new(1 << 22);
         let host = host_model(64, 5);
-        let dev: DeviceModel<f64> =
-            DeviceModel::alloc(&mut mem, Layout::Aos, 64, 5).unwrap();
+        let dev: DeviceModel<f64> = DeviceModel::alloc(&mut mem, Layout::Aos, 64, 5).unwrap();
         dev.upload(&mut mem, &host);
         let back = dev.download(&mem, &host);
         assert_eq!(host, back);
@@ -266,8 +272,7 @@ mod tests {
         let mut mem = DeviceMemory::new(1 << 22);
         let frame: Vec<u8> = (0..50).map(|i| i as u8).collect();
         let host: HostModel<f32> = HostModel::init(50, 3, &MogParams::default(), &frame);
-        let dev: DeviceModel<f32> =
-            DeviceModel::alloc(&mut mem, Layout::Soa, 50, 3).unwrap();
+        let dev: DeviceModel<f32> = DeviceModel::alloc(&mut mem, Layout::Soa, 50, 3).unwrap();
         dev.upload(&mut mem, &host);
         assert_eq!(dev.download(&mem, &host), host);
     }
@@ -275,11 +280,9 @@ mod tests {
     #[test]
     fn aos_uses_one_third_the_allocations() {
         let mut mem_aos = DeviceMemory::new(1 << 22);
-        let a: DeviceModel<f64> =
-            DeviceModel::alloc(&mut mem_aos, Layout::Aos, 128, 3).unwrap();
+        let a: DeviceModel<f64> = DeviceModel::alloc(&mut mem_aos, Layout::Aos, 128, 3).unwrap();
         let mut mem_soa = DeviceMemory::new(1 << 22);
-        let s: DeviceModel<f64> =
-            DeviceModel::alloc(&mut mem_soa, Layout::Soa, 128, 3).unwrap();
+        let s: DeviceModel<f64> = DeviceModel::alloc(&mut mem_soa, Layout::Soa, 128, 3).unwrap();
         assert_eq!(a.bytes(), s.bytes());
         assert_eq!(a.bytes(), 128 * 3 * 3 * 8);
     }
@@ -297,8 +300,7 @@ mod tests {
         // The coalescing premise: for a fixed component/parameter,
         // consecutive pixels map to consecutive element indices.
         let mut mem = DeviceMemory::new(1 << 22);
-        let dev: DeviceModel<f64> =
-            DeviceModel::alloc(&mut mem, Layout::Soa, 100, 3).unwrap();
+        let dev: DeviceModel<f64> = DeviceModel::alloc(&mut mem, Layout::Soa, 100, 3).unwrap();
         let (b0, i0) = dev.index(10, 1, 1);
         let (b1, i1) = dev.index(11, 1, 1);
         assert_eq!(b0, b1);
@@ -308,8 +310,7 @@ mod tests {
     #[test]
     fn aos_addresses_stride_by_component_record() {
         let mut mem = DeviceMemory::new(1 << 22);
-        let dev: DeviceModel<f64> =
-            DeviceModel::alloc(&mut mem, Layout::Aos, 100, 3).unwrap();
+        let dev: DeviceModel<f64> = DeviceModel::alloc(&mut mem, Layout::Aos, 100, 3).unwrap();
         let (_, i0) = dev.index(10, 0, 0);
         let (_, i1) = dev.index(11, 0, 0);
         assert_eq!(i1 - i0, 9, "AoS stride must be k*3 elements");

@@ -2,9 +2,9 @@
 //! declared kernel resource footprints.
 
 use crate::layout::Layout;
+use mogpu_mog::Variant;
 use mogpu_sim::dma::OverlapMode;
 use mogpu_sim::KernelResources;
-use mogpu_mog::Variant;
 use serde::{Deserialize, Serialize};
 
 /// A step of the paper's optimization ladder.
@@ -33,8 +33,14 @@ pub enum OptLevel {
 
 impl OptLevel {
     /// The six ladder levels, in paper order.
-    pub const LADDER: [OptLevel; 6] =
-        [OptLevel::A, OptLevel::B, OptLevel::C, OptLevel::D, OptLevel::E, OptLevel::F];
+    pub const LADDER: [OptLevel; 6] = [
+        OptLevel::A,
+        OptLevel::B,
+        OptLevel::C,
+        OptLevel::D,
+        OptLevel::E,
+        OptLevel::F,
+    ];
 
     /// Display name ("A".."F" or "W(g)").
     pub fn name(&self) -> String {
@@ -127,7 +133,12 @@ impl OptLevel {
     }
 
     /// Complete resource declaration for a launch configuration.
-    pub fn resources(&self, threads_per_block: u32, k: usize, real_bytes: usize) -> KernelResources {
+    pub fn resources(
+        &self,
+        threads_per_block: u32,
+        k: usize,
+        real_bytes: usize,
+    ) -> KernelResources {
         KernelResources {
             regs_per_thread: self.registers(real_bytes, k),
             shared_bytes_per_block: self.shared_bytes(threads_per_block, k, real_bytes),
@@ -177,7 +188,10 @@ mod tests {
         assert_eq!(OptLevel::A.overlap(), OverlapMode::Sequential);
         assert_eq!(OptLevel::B.overlap(), OverlapMode::Sequential);
         assert_eq!(OptLevel::C.overlap(), OverlapMode::DoubleBuffered);
-        assert_eq!(OptLevel::Windowed { group: 8 }.overlap(), OverlapMode::DoubleBuffered);
+        assert_eq!(
+            OptLevel::Windowed { group: 8 }.overlap(),
+            OverlapMode::DoubleBuffered
+        );
     }
 
     #[test]

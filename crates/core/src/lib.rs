@@ -29,8 +29,10 @@ pub mod kernels;
 pub mod layout;
 pub mod levels;
 pub mod pipeline;
+pub mod profile;
 
 pub use device::DeviceReal;
 pub use layout::{DeviceModel, Layout};
 pub use levels::OptLevel;
 pub use pipeline::{AdaptiveGpuMog, GpuMog, PipelineError, RunReport};
+pub use profile::{Bottleneck, LaunchProfile, ProfileMode, ProfileReport};

@@ -13,12 +13,13 @@ use crate::device::DeviceReal;
 use crate::kernels::{FramePass, ScanKernel, SortedKernel, TiledKernel};
 use crate::layout::DeviceModel;
 use crate::levels::OptLevel;
+use crate::profile::{LaunchProfile, ProfileMode, ProfileReport};
 use mogpu_frame::{Frame, Mask, Resolution};
 use mogpu_mog::{HostModel, MogParams, ResolvedParams};
-use mogpu_sim::dma::{pipeline_time, transfer_time, PipelineTiming};
+use mogpu_sim::dma::{pipeline_schedule, timing_of, transfer_time, PipelineTiming};
 use mogpu_sim::{
-    launch, Buffer, DerivedMetrics, DeviceMemory, GpuConfig, KernelStats, LaunchConfig,
-    LaunchError, MemoryError, Occupancy,
+    launch_with, Buffer, DerivedMetrics, DeviceMemory, GpuConfig, KernelStats, LaunchConfig,
+    LaunchError, LaunchOptions, LaunchReport, MemoryError, Occupancy, SiteProfile,
 };
 
 /// Threads per block, as the paper selects.
@@ -141,6 +142,8 @@ pub struct GpuMog<T: DeviceReal> {
     model: DeviceModel<T>,
     frame_bufs: Vec<Buffer>,
     fg_bufs: Vec<Buffer>,
+    profile: ProfileMode,
+    last_profile: Option<ProfileReport>,
 }
 
 impl<T: DeviceReal> GpuMog<T> {
@@ -193,12 +196,27 @@ impl<T: DeviceReal> GpuMog<T> {
             model,
             frame_bufs,
             fg_bufs,
+            profile: ProfileMode::Off,
+            last_profile: None,
         })
     }
 
     /// The configured optimization level.
     pub fn level(&self) -> OptLevel {
         self.level
+    }
+
+    /// Enables or disables profiling for subsequent `process_all` calls.
+    /// Off (the default) costs nothing; On makes every launch aggregate
+    /// per-site counters and `process_all` assemble a [`ProfileReport`].
+    pub fn set_profile_mode(&mut self, mode: ProfileMode) {
+        self.profile = mode;
+    }
+
+    /// Takes the report of the most recent profiled `process_all`.
+    /// Returns `None` when profiling was off or no run has completed.
+    pub fn take_profile_report(&mut self) -> Option<ProfileReport> {
+        self.last_profile.take()
     }
 
     /// The algorithm parameters.
@@ -208,8 +226,12 @@ impl<T: DeviceReal> GpuMog<T> {
 
     /// Downloads the current device model (verification hook).
     pub fn download_model(&self, seed_frame: &[u8]) -> HostModel<T> {
-        let template =
-            HostModel::<T>::init(self.resolution.pixels(), self.params.k, &self.params, seed_frame);
+        let template = HostModel::<T>::init(
+            self.resolution.pixels(),
+            self.params.k,
+            &self.params,
+            seed_frame,
+        );
         self.model.download(&self.mem, &template)
     }
 
@@ -220,40 +242,56 @@ impl<T: DeviceReal> GpuMog<T> {
             fg: self.fg_bufs[slot],
             pixels: self.resolution.pixels(),
             prm: self.prm,
-            resources: self.level.resources(THREADS_PER_BLOCK, self.params.k, T::BYTES),
+            resources: self
+                .level
+                .resources(THREADS_PER_BLOCK, self.params.k, T::BYTES),
         }
     }
 
     /// Processes a group of up to `level.group()` frames with one launch,
-    /// returning masks and accumulating stats/time into the totals.
+    /// returning the masks and the launch's report.
     fn process_group(
         &mut self,
         frames: &[&Frame<u8>],
-        stats: &mut KernelStats,
-        kernel_time: &mut f64,
-        occupancy: &mut Option<Occupancy>,
-    ) -> Result<Vec<Mask>, PipelineError> {
+    ) -> Result<(Vec<Mask>, LaunchReport), PipelineError> {
         let pixels = self.resolution.pixels();
         for (slot, frame) in frames.iter().enumerate() {
             self.mem.upload(self.frame_bufs[slot], frame.as_slice());
         }
         let lc = LaunchConfig::cover(pixels, THREADS_PER_BLOCK);
+        let opts = LaunchOptions {
+            profile_sites: self.profile.is_on(),
+        };
         let report = match self.level {
             OptLevel::A | OptLevel::B | OptLevel::C => {
-                let k = SortedKernel { pass: self.frame_pass(0) };
-                launch(&mut self.mem, &self.cfg, lc, &k)?
+                let k = SortedKernel {
+                    pass: self.frame_pass(0),
+                };
+                launch_with(&mut self.mem, &self.cfg, lc, &k, opts)?
             }
             OptLevel::D => {
-                let k = ScanKernel { pass: self.frame_pass(0), predicated: false, recompute_diff: false };
-                launch(&mut self.mem, &self.cfg, lc, &k)?
+                let k = ScanKernel {
+                    pass: self.frame_pass(0),
+                    predicated: false,
+                    recompute_diff: false,
+                };
+                launch_with(&mut self.mem, &self.cfg, lc, &k, opts)?
             }
             OptLevel::E => {
-                let k = ScanKernel { pass: self.frame_pass(0), predicated: true, recompute_diff: false };
-                launch(&mut self.mem, &self.cfg, lc, &k)?
+                let k = ScanKernel {
+                    pass: self.frame_pass(0),
+                    predicated: true,
+                    recompute_diff: false,
+                };
+                launch_with(&mut self.mem, &self.cfg, lc, &k, opts)?
             }
             OptLevel::F => {
-                let k = ScanKernel { pass: self.frame_pass(0), predicated: true, recompute_diff: true };
-                launch(&mut self.mem, &self.cfg, lc, &k)?
+                let k = ScanKernel {
+                    pass: self.frame_pass(0),
+                    predicated: true,
+                    recompute_diff: true,
+                };
+                launch_with(&mut self.mem, &self.cfg, lc, &k, opts)?
             }
             OptLevel::Windowed { .. } => {
                 let k = TiledKernel {
@@ -262,19 +300,16 @@ impl<T: DeviceReal> GpuMog<T> {
                     fgs: self.fg_bufs[..frames.len()].to_vec(),
                     record_stride: None,
                 };
-                launch(&mut self.mem, &self.cfg, lc, &k)?
+                launch_with(&mut self.mem, &self.cfg, lc, &k, opts)?
             }
         };
-        stats.merge(&report.stats);
-        *kernel_time += report.timing.total;
-        *occupancy = Some(report.occupancy);
 
         let mut masks = Vec::with_capacity(frames.len());
         for slot in 0..frames.len() {
             let bytes = self.mem.download(self.fg_bufs[slot]);
             masks.push(Frame::from_vec(self.resolution, bytes).expect("mask size"));
         }
-        Ok(masks)
+        Ok((masks, report))
     }
 
     /// Processes a frame sequence, returning masks plus the full
@@ -297,9 +332,28 @@ impl<T: DeviceReal> GpuMog<T> {
         let mut kernel_time = 0.0f64;
         let mut occupancy = None;
         let mut masks = Vec::with_capacity(frames.len());
+        let mut launches: Vec<LaunchProfile> = Vec::new();
+        let mut sites = SiteProfile::new();
         let frame_refs: Vec<&Frame<u8>> = frames.iter().collect();
         for chunk in frame_refs.chunks(group) {
-            masks.extend(self.process_group(chunk, &mut stats, &mut kernel_time, &mut occupancy)?);
+            let (group_masks, mut report) = self.process_group(chunk)?;
+            stats.merge(&report.stats);
+            kernel_time += report.timing.total;
+            occupancy = Some(report.occupancy);
+            if self.profile.is_on() {
+                if let Some(s) = report.sites.take() {
+                    sites.merge(&s);
+                }
+                launches.push(LaunchProfile {
+                    index: launches.len(),
+                    frames: chunk.len(),
+                    stats: report.stats.clone(),
+                    metrics: DerivedMetrics::from_stats(&report.stats, &self.cfg),
+                    occupancy: report.occupancy,
+                    timing: report.timing,
+                });
+            }
+            masks.extend(group_masks);
         }
         let occupancy = occupancy.ok_or_else(|| {
             PipelineError::Config("no frames processed; cannot report occupancy".into())
@@ -308,9 +362,12 @@ impl<T: DeviceReal> GpuMog<T> {
         let pixels = self.resolution.pixels();
         let t_h2d = transfer_time(pixels, &self.cfg);
         let t_d2h = transfer_time(pixels, &self.cfg);
-        let per_frame_kernel =
-            if frames.is_empty() { 0.0 } else { kernel_time / frames.len() as f64 };
-        let pipeline = pipeline_time(
+        let per_frame_kernel = if frames.is_empty() {
+            0.0
+        } else {
+            kernel_time / frames.len() as f64
+        };
+        let schedule = pipeline_schedule(
             frames.len(),
             t_h2d,
             per_frame_kernel,
@@ -318,7 +375,22 @@ impl<T: DeviceReal> GpuMog<T> {
             self.level.overlap(),
             &self.cfg,
         );
+        let pipeline = timing_of(&schedule);
         let metrics = DerivedMetrics::from_stats(&stats, &self.cfg);
+        self.last_profile = self.profile.is_on().then(|| {
+            ProfileReport::assemble(
+                self.level.name(),
+                self.level.overlap(),
+                stats.clone(),
+                occupancy,
+                t_h2d,
+                t_d2h,
+                schedule,
+                launches,
+                std::mem::take(&mut sites),
+                &self.cfg,
+            )
+        });
         Ok(RunReport {
             masks,
             frames: frames.len(),
@@ -364,7 +436,10 @@ mod tests {
     #[test]
     fn all_levels_produce_masks() {
         let frames = scene_frames(6);
-        for level in OptLevel::LADDER.into_iter().chain([OptLevel::Windowed { group: 4 }]) {
+        for level in OptLevel::LADDER
+            .into_iter()
+            .chain([OptLevel::Windowed { group: 4 }])
+        {
             let (report, _) = run_level(level, &frames);
             assert_eq!(report.masks.len(), 5, "level {level}");
             assert!(report.gpu_time_per_frame() > 0.0);
@@ -425,6 +500,66 @@ mod tests {
     }
 
     #[test]
+    fn profiled_run_yields_report_with_resolved_hotspots() {
+        let frames = scene_frames(5);
+        let mut gpu = GpuMog::<f64>::new(
+            Resolution::TINY,
+            MogParams::default(),
+            OptLevel::D,
+            frames[0].as_slice(),
+            GpuConfig::tesla_c2075(),
+        )
+        .unwrap();
+        // Off by default: no report.
+        gpu.process_all(&frames[1..]).unwrap();
+        assert!(gpu.take_profile_report().is_none());
+
+        gpu.set_profile_mode(crate::profile::ProfileMode::On);
+        let run = gpu.process_all(&frames[1..]).unwrap();
+        let report = gpu
+            .take_profile_report()
+            .expect("profiled run must yield a report");
+        assert_eq!(report.frames, 4);
+        assert_eq!(report.launches.len(), 4);
+        assert_eq!(report.frame_rate_history.len(), 4);
+        assert!(report.fps > 0.0);
+        assert_eq!(report.schedule.len(), 4);
+        // Profiling must not change the profiler counters.
+        assert_eq!(report.stats, run.stats);
+        // The scan kernel has many instrumented sites; all must resolve
+        // into the kernels module.
+        let resolved: Vec<&str> = report
+            .hotspots
+            .iter()
+            .filter_map(|h| h.source.as_deref())
+            .collect();
+        assert!(resolved.len() >= 3, "resolved sites: {resolved:?}");
+        for src in &resolved {
+            assert!(src.contains("kernels"), "unexpected site {src}");
+        }
+        // And the report is taken, not kept.
+        assert!(gpu.take_profile_report().is_none());
+    }
+
+    #[test]
+    fn profiling_does_not_change_masks() {
+        let frames = scene_frames(6);
+        let (plain, _) = run_level(OptLevel::F, &frames);
+        let mut gpu = GpuMog::<f64>::new(
+            Resolution::TINY,
+            MogParams::default(),
+            OptLevel::F,
+            frames[0].as_slice(),
+            GpuConfig::tesla_c2075(),
+        )
+        .unwrap();
+        gpu.set_profile_mode(crate::profile::ProfileMode::On);
+        let profiled = gpu.process_all(&frames[1..]).unwrap();
+        assert_eq!(plain.masks, profiled.masks);
+        assert_eq!(plain.stats, profiled.stats);
+    }
+
+    #[test]
     fn wrong_resolution_frame_rejected() {
         let frames = scene_frames(3);
         let mut gpu = GpuMog::<f64>::new(
@@ -436,7 +571,10 @@ mod tests {
         )
         .unwrap();
         let wrong: Frame<u8> = Frame::new(Resolution::QVGA);
-        assert!(matches!(gpu.process_all(&[wrong]), Err(PipelineError::Config(_))));
+        assert!(matches!(
+            gpu.process_all(&[wrong]),
+            Err(PipelineError::Config(_))
+        ));
     }
 
     #[test]
@@ -496,6 +634,8 @@ pub struct AdaptiveGpuMog<T: DeviceReal> {
     active: Buffer,
     frame_buf: Buffer,
     fg_buf: Buffer,
+    profile: ProfileMode,
+    last_profile: Option<ProfileReport>,
 }
 
 impl<T: DeviceReal> AdaptiveGpuMog<T> {
@@ -523,12 +663,8 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
         let fg_buf = mem.alloc(pixels)?;
         // Seed: one active component per pixel, parameters through the
         // SoA layout.
-        let host = mogpu_mog::adaptive::AdaptiveModel::<T>::init(
-            pixels,
-            params.k,
-            &params,
-            first_frame,
-        );
+        let host =
+            mogpu_mog::adaptive::AdaptiveModel::<T>::init(pixels, params.k, &params, first_frame);
         let k = params.k;
         for p in 0..pixels {
             mem.write_u8(active, p, 1);
@@ -546,7 +682,19 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
             active,
             frame_buf,
             fg_buf,
+            profile: ProfileMode::Off,
+            last_profile: None,
         })
+    }
+
+    /// Enables or disables profiling for subsequent `process_all` calls.
+    pub fn set_profile_mode(&mut self, mode: ProfileMode) {
+        self.profile = mode;
+    }
+
+    /// Takes the report of the most recent profiled `process_all`.
+    pub fn take_profile_report(&mut self) -> Option<ProfileReport> {
+        self.last_profile.take()
     }
 
     /// Mean active component count currently on the device.
@@ -570,6 +718,11 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
         let mut kernel_time = 0.0;
         let mut occupancy = None;
         let mut masks = Vec::with_capacity(frames.len());
+        let mut launches: Vec<LaunchProfile> = Vec::new();
+        let mut sites = SiteProfile::new();
+        let opts = LaunchOptions {
+            profile_sites: self.profile.is_on(),
+        };
         for frame in frames {
             if frame.resolution() != self.resolution {
                 return Err(PipelineError::Config("frame resolution mismatch".into()));
@@ -590,26 +743,43 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
                 },
                 active: self.active,
             };
-            let report = launch(
+            let mut report = launch_with(
                 &mut self.mem,
                 &self.cfg,
                 LaunchConfig::cover(pixels, THREADS_PER_BLOCK),
                 &kernel,
+                opts,
             )?;
             stats.merge(&report.stats);
             kernel_time += report.timing.total;
             occupancy = Some(report.occupancy);
+            if self.profile.is_on() {
+                if let Some(s) = report.sites.take() {
+                    sites.merge(&s);
+                }
+                launches.push(LaunchProfile {
+                    index: launches.len(),
+                    frames: 1,
+                    stats: report.stats.clone(),
+                    metrics: DerivedMetrics::from_stats(&report.stats, &self.cfg),
+                    occupancy: report.occupancy,
+                    timing: report.timing,
+                });
+            }
             masks.push(
                 Frame::from_vec(self.resolution, self.mem.download(self.fg_buf))
                     .expect("mask size"),
             );
         }
-        let occupancy = occupancy
-            .ok_or_else(|| PipelineError::Config("no frames processed".into()))?;
+        let occupancy =
+            occupancy.ok_or_else(|| PipelineError::Config("no frames processed".into()))?;
         let t_dir = transfer_time(pixels, &self.cfg);
-        let per_frame_kernel =
-            if frames.is_empty() { 0.0 } else { kernel_time / frames.len() as f64 };
-        let pipeline = pipeline_time(
+        let per_frame_kernel = if frames.is_empty() {
+            0.0
+        } else {
+            kernel_time / frames.len() as f64
+        };
+        let schedule = pipeline_schedule(
             frames.len(),
             t_dir,
             per_frame_kernel,
@@ -617,7 +787,22 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
             mogpu_sim::dma::OverlapMode::DoubleBuffered,
             &self.cfg,
         );
+        let pipeline = timing_of(&schedule);
         let metrics = DerivedMetrics::from_stats(&stats, &self.cfg);
+        self.last_profile = self.profile.is_on().then(|| {
+            ProfileReport::assemble(
+                "adaptive".to_string(),
+                mogpu_sim::dma::OverlapMode::DoubleBuffered,
+                stats.clone(),
+                occupancy,
+                t_dir,
+                t_dir,
+                schedule,
+                launches,
+                std::mem::take(&mut sites),
+                &self.cfg,
+            )
+        });
         Ok(RunReport {
             masks,
             frames: frames.len(),

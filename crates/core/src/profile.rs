@@ -1,0 +1,308 @@
+//! Machine-readable run profiling: [`ProfileMode`], [`ProfileReport`],
+//! and per-level bottleneck classification.
+//!
+//! Profiling is opt-in per pipeline via
+//! [`GpuMog::set_profile_mode`](crate::GpuMog::set_profile_mode). When
+//! off (the default), launches take the plain fast path — no site maps,
+//! no per-launch record keeping — so an unprofiled run has the same cost
+//! as before the profiler existed. When on, every launch runs with
+//! [`mogpu_sim::LaunchOptions::profile_sites`], and `process_all`
+//! additionally assembles a [`ProfileReport`] retrievable with
+//! [`GpuMog::take_profile_report`](crate::GpuMog::take_profile_report).
+
+use mogpu_sim::dma::{FrameSpans, OverlapMode, PipelineTiming};
+use mogpu_sim::profile::render_rows;
+use mogpu_sim::timing::Bound;
+use mogpu_sim::{
+    DerivedMetrics, GpuConfig, HotspotRow, KernelStats, KernelTiming, Occupancy, SiteProfile,
+};
+use serde::Serialize;
+
+/// Whether a pipeline collects profiling data.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ProfileMode {
+    /// No collection; launches take the plain fast path.
+    #[default]
+    Off,
+    /// Per-site hotspot aggregation plus per-launch records.
+    On,
+}
+
+impl ProfileMode {
+    /// True when profiling is enabled.
+    pub fn is_on(self) -> bool {
+        self == ProfileMode::On
+    }
+}
+
+/// What limits a level's end-to-end frame rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Bottleneck {
+    /// PCIe transfers take longer than the kernel (per frame, under the
+    /// level's overlap mode).
+    Transfer,
+    /// Instruction issue throughput.
+    Issue,
+    /// DRAM bandwidth.
+    Bandwidth,
+    /// Memory latency / occupancy.
+    Latency,
+}
+
+impl std::fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Bottleneck::Transfer => "transfer-bound",
+            Bottleneck::Issue => "issue-bound",
+            Bottleneck::Bandwidth => "bandwidth-bound",
+            Bottleneck::Latency => "latency-bound",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies the end-to-end bottleneck of a level: transfers if they
+/// exceed the per-frame kernel time under the level's overlap mode
+/// (serial pipelines pay both directions, double-buffered ones only the
+/// slower direction), otherwise the kernel's dominating roofline bound.
+pub fn classify_bottleneck(
+    kernel_per_frame: f64,
+    t_h2d: f64,
+    t_d2h: f64,
+    overlap: OverlapMode,
+    bound: Bound,
+) -> Bottleneck {
+    let transfer = match overlap {
+        OverlapMode::Sequential => t_h2d + t_d2h,
+        OverlapMode::DoubleBuffered => t_h2d.max(t_d2h),
+    };
+    if transfer > kernel_per_frame {
+        Bottleneck::Transfer
+    } else {
+        match bound {
+            Bound::Issue => Bottleneck::Issue,
+            Bound::Bandwidth => Bottleneck::Bandwidth,
+            Bound::Latency => Bottleneck::Latency,
+        }
+    }
+}
+
+/// Record of one kernel launch within a profiled run.
+#[derive(Debug, Clone, Serialize)]
+pub struct LaunchProfile {
+    /// Launch index within the run.
+    pub index: usize,
+    /// Frames this launch processed (1, or the group size at level W).
+    pub frames: usize,
+    /// Raw counters.
+    pub stats: KernelStats,
+    /// Derived profiler metrics.
+    pub metrics: DerivedMetrics,
+    /// Occupancy under the launch configuration.
+    pub occupancy: Occupancy,
+    /// Roofline time decomposition.
+    pub timing: KernelTiming,
+}
+
+/// The full machine-readable result of one profiled run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProfileReport {
+    /// Optimization level name ("A".."F", "W(g)", "adaptive").
+    pub level: String,
+    /// Frames processed.
+    pub frames: usize,
+    /// Transfer scheduling mode of the run.
+    pub overlap: OverlapMode,
+    /// Counters summed over all launches.
+    pub stats: KernelStats,
+    /// Derived metrics of the summed counters.
+    pub metrics: DerivedMetrics,
+    /// Kernel occupancy.
+    pub occupancy: Occupancy,
+    /// Roofline decomposition of the summed counters.
+    pub timing: KernelTiming,
+    /// End-to-end bottleneck classification.
+    pub bottleneck: Bottleneck,
+    /// Modelled host-to-device DMA seconds per frame.
+    pub h2d_per_frame: f64,
+    /// Modelled device-to-host DMA seconds per frame.
+    pub d2h_per_frame: f64,
+    /// Pipeline makespan summary.
+    pub pipeline: PipelineTiming,
+    /// Steady-state frames per second.
+    pub fps: f64,
+    /// Cumulative frame rate after each frame completes (frames so far
+    /// divided by that frame's download-done time).
+    pub frame_rate_history: Vec<f64>,
+    /// Per-frame stage intervals, exportable as a Chrome trace.
+    pub schedule: Vec<FrameSpans>,
+    /// Per-launch records.
+    pub launches: Vec<LaunchProfile>,
+    /// Source hotspots merged over all launches, ranked by issue cycles.
+    pub hotspots: Vec<HotspotRow>,
+}
+
+impl ProfileReport {
+    /// Assembles a report from the pieces a profiled `process_all`
+    /// collects.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        level: String,
+        overlap: OverlapMode,
+        stats: KernelStats,
+        occupancy: Occupancy,
+        h2d_per_frame: f64,
+        d2h_per_frame: f64,
+        schedule: Vec<FrameSpans>,
+        launches: Vec<LaunchProfile>,
+        sites: SiteProfile,
+        cfg: &GpuConfig,
+    ) -> Self {
+        let frames = schedule.len();
+        let pipeline = mogpu_sim::dma::timing_of(&schedule);
+        let timing = mogpu_sim::kernel_time(&stats, &occupancy, cfg);
+        let kernel_per_frame = if frames == 0 {
+            0.0
+        } else {
+            timing.total / frames as f64
+        };
+        let bottleneck = classify_bottleneck(
+            kernel_per_frame,
+            h2d_per_frame,
+            d2h_per_frame,
+            overlap,
+            timing.bound,
+        );
+        let frame_rate_history = schedule
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let done = f.d2h.end();
+                if done > 0.0 {
+                    (i + 1) as f64 / done
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let fps = if pipeline.per_frame > 0.0 {
+            1.0 / pipeline.per_frame
+        } else {
+            0.0
+        };
+        let metrics = DerivedMetrics::from_stats(&stats, cfg);
+        ProfileReport {
+            level,
+            frames,
+            overlap,
+            stats,
+            metrics,
+            occupancy,
+            timing,
+            bottleneck,
+            h2d_per_frame,
+            d2h_per_frame,
+            pipeline,
+            fps,
+            frame_rate_history,
+            schedule,
+            launches,
+            hotspots: sites.ranked_rows(),
+        }
+    }
+
+    /// Human-readable summary: bottleneck, roofline decomposition, frame
+    /// rate, and the top-`n` hotspot table.
+    pub fn text(&self, n: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "level {}: {} frames, {:.1} fps ({:.3} ms/frame), {}\n",
+            self.level,
+            self.frames,
+            self.fps,
+            self.pipeline.per_frame * 1e3,
+            self.bottleneck,
+        ));
+        out.push_str(&format!(
+            "  kernel bounds (run total): issue {:.3} ms, bandwidth {:.3} ms, latency {:.3} ms ({:?} binds)\n",
+            self.timing.t_issue * 1e3,
+            self.timing.t_mem_bw * 1e3,
+            self.timing.t_mem_lat * 1e3,
+            self.timing.bound,
+        ));
+        out.push_str(&format!(
+            "  transfers: h2d {:.3} ms + d2h {:.3} ms per frame ({:?}); kernel busy {:.0}% of makespan\n",
+            self.h2d_per_frame * 1e3,
+            self.d2h_per_frame * 1e3,
+            self.overlap,
+            self.pipeline.kernel_utilization * 100.0,
+        ));
+        out.push_str(&format!(
+            "  branch efficiency {:.1}%, memory access efficiency {:.1}%, {} store tx, {} total tx\n",
+            self.metrics.branch_efficiency * 100.0,
+            self.metrics.mem_access_efficiency * 100.0,
+            self.metrics.store_transactions,
+            self.metrics.total_transactions,
+        ));
+        out.push_str(&format!(
+            "  occupancy {:.0}% ({} resident warps/SM)\n",
+            self.occupancy.occupancy * 100.0,
+            self.occupancy.resident_warps,
+        ));
+        if !self.hotspots.is_empty() {
+            out.push_str(&format!("  top {} hotspots:\n", n.min(self.hotspots.len())));
+            for line in render_rows(&self.hotspots, n).lines() {
+                out.push_str("    ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_bound_when_dma_dominates() {
+        let b = classify_bottleneck(
+            1.0e-3,
+            2.0e-3,
+            2.0e-3,
+            OverlapMode::DoubleBuffered,
+            Bound::Issue,
+        );
+        assert_eq!(b, Bottleneck::Transfer);
+        // Overlap hides the slower direction only; sequential pays both.
+        let seq = classify_bottleneck(
+            3.0e-3,
+            2.0e-3,
+            2.0e-3,
+            OverlapMode::Sequential,
+            Bound::Issue,
+        );
+        assert_eq!(seq, Bottleneck::Transfer);
+        let ovl = classify_bottleneck(
+            3.0e-3,
+            2.0e-3,
+            2.0e-3,
+            OverlapMode::DoubleBuffered,
+            Bound::Issue,
+        );
+        assert_eq!(ovl, Bottleneck::Issue);
+    }
+
+    #[test]
+    fn kernel_bound_maps_through() {
+        for (bound, expect) in [
+            (Bound::Issue, Bottleneck::Issue),
+            (Bound::Bandwidth, Bottleneck::Bandwidth),
+            (Bound::Latency, Bottleneck::Latency),
+        ] {
+            let b = classify_bottleneck(5.0e-3, 1.0e-3, 1.0e-3, OverlapMode::Sequential, bound);
+            assert_eq!(b, expect);
+        }
+    }
+}

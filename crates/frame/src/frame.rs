@@ -20,12 +20,18 @@ pub type Mask = Frame<u8>;
 impl<T: Copy + Default> Frame<T> {
     /// Creates a frame filled with `T::default()`.
     pub fn new(resolution: Resolution) -> Self {
-        Frame { resolution, data: vec![T::default(); resolution.pixels()] }
+        Frame {
+            resolution,
+            data: vec![T::default(); resolution.pixels()],
+        }
     }
 
     /// Creates a frame filled with `value`.
     pub fn filled(resolution: Resolution, value: T) -> Self {
-        Frame { resolution, data: vec![value; resolution.pixels()] }
+        Frame {
+            resolution,
+            data: vec![value; resolution.pixels()],
+        }
     }
 }
 
@@ -36,7 +42,10 @@ impl<T> Frame<T> {
     /// Returns `Err` if `data.len() != resolution.pixels()`.
     pub fn from_vec(resolution: Resolution, data: Vec<T>) -> Result<Self, FrameError> {
         if data.len() != resolution.pixels() {
-            return Err(FrameError::SizeMismatch { expected: resolution.pixels(), got: data.len() });
+            return Err(FrameError::SizeMismatch {
+                expected: resolution.pixels(),
+                got: data.len(),
+            });
         }
         Ok(Frame { resolution, data })
     }
@@ -101,7 +110,10 @@ impl<T> Frame<T> {
 
     /// Maps every pixel through `f`, producing a new frame.
     pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Frame<U> {
-        Frame { resolution: self.resolution, data: self.data.iter().map(f).collect() }
+        Frame {
+            resolution: self.resolution,
+            data: self.data.iter().map(f).collect(),
+        }
     }
 }
 
@@ -137,7 +149,10 @@ impl std::fmt::Display for FrameError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FrameError::SizeMismatch { expected, got } => {
-                write!(f, "frame buffer size mismatch: expected {expected} pixels, got {got}")
+                write!(
+                    f,
+                    "frame buffer size mismatch: expected {expected} pixels, got {got}"
+                )
             }
         }
     }
@@ -155,7 +170,10 @@ pub struct FrameSequence<T> {
 impl<T> FrameSequence<T> {
     /// Creates an empty sequence with the given resolution.
     pub fn new(resolution: Resolution) -> Self {
-        FrameSequence { resolution, frames: Vec::new() }
+        FrameSequence {
+            resolution,
+            frames: Vec::new(),
+        }
     }
 
     /// Appends a frame.
@@ -220,7 +238,13 @@ mod tests {
         let r = Resolution::new(4, 3);
         assert!(Frame::from_vec(r, vec![0u8; 12]).is_ok());
         let err = Frame::from_vec(r, vec![0u8; 11]).unwrap_err();
-        assert_eq!(err, FrameError::SizeMismatch { expected: 12, got: 11 });
+        assert_eq!(
+            err,
+            FrameError::SizeMismatch {
+                expected: 12,
+                got: 11
+            }
+        );
     }
 
     #[test]

@@ -83,7 +83,9 @@ pub fn read_pgm<R: Read>(r: R) -> Result<Frame<u8>, IoError> {
     let height = read_pnm_token(&mut r)?;
     let maxval = read_pnm_token(&mut r)?;
     if maxval != 255 {
-        return Err(IoError::Format(format!("unsupported maxval {maxval} (want 255)")));
+        return Err(IoError::Format(format!(
+            "unsupported maxval {maxval} (want 255)"
+        )));
     }
     let res = Resolution::new(width, height);
     let mut data = vec![0u8; res.pixels()];
@@ -120,11 +122,14 @@ fn read_pnm_token<R: BufRead>(r: &mut R) -> Result<usize, IoError> {
             break;
         }
         if !c.is_ascii_digit() {
-            return Err(IoError::Format(format!("unexpected character {c:?} in PNM header")));
+            return Err(IoError::Format(format!(
+                "unexpected character {c:?} in PNM header"
+            )));
         }
         tok.push(c);
     }
-    tok.parse().map_err(|_| IoError::Format(format!("bad PNM integer {tok:?}")))
+    tok.parse()
+        .map_err(|_| IoError::Format(format!("bad PNM integer {tok:?}")))
 }
 
 // ---- Y4M (YUV4MPEG2) ----
@@ -141,10 +146,16 @@ pub fn write_y4m<W: Write>(seq: &FrameSequence<u8>, fps: u32, w: W) -> Result<()
     }
     let res = seq.resolution();
     if !res.width.is_multiple_of(2) || !res.height.is_multiple_of(2) {
-        return Err(IoError::Format(format!("C420 needs even dimensions, got {res}")));
+        return Err(IoError::Format(format!(
+            "C420 needs even dimensions, got {res}"
+        )));
     }
     let mut w = BufWriter::new(w);
-    writeln!(w, "YUV4MPEG2 W{} H{} F{}:1 Ip A1:1 C420", res.width, res.height, fps)?;
+    writeln!(
+        w,
+        "YUV4MPEG2 W{} H{} F{}:1 Ip A1:1 C420",
+        res.width, res.height, fps
+    )?;
     let chroma = vec![128u8; res.pixels() / 4];
     for frame in seq.iter() {
         w.write_all(b"FRAME\n")?;
@@ -198,7 +209,9 @@ pub fn read_y4m<R: Read>(r: R) -> Result<FrameSequence<u8>, IoError> {
             break; // clean EOF
         }
         if !frame_line.starts_with("FRAME") {
-            return Err(IoError::Format(format!("expected FRAME, got {frame_line:?}")));
+            return Err(IoError::Format(format!(
+                "expected FRAME, got {frame_line:?}"
+            )));
         }
         let mut luma = vec![0u8; res.pixels()];
         r.read_exact(&mut luma)?;
@@ -267,7 +280,10 @@ mod tests {
 
     #[test]
     fn y4m_round_trip() {
-        let scene = SceneBuilder::new(Resolution::new(32, 24)).seed(4).walkers(1).build();
+        let scene = SceneBuilder::new(Resolution::new(32, 24))
+            .seed(4)
+            .walkers(1)
+            .build();
         let (seq, _) = scene.render_sequence(3);
         let mut buf = Vec::new();
         write_y4m(&seq, 30, &mut buf).unwrap();
@@ -296,14 +312,20 @@ mod tests {
             s
         };
         let mut buf = Vec::new();
-        assert!(matches!(write_y4m(&seq, 30, &mut buf), Err(IoError::Format(_))));
+        assert!(matches!(
+            write_y4m(&seq, 30, &mut buf),
+            Err(IoError::Format(_))
+        ));
     }
 
     #[test]
     fn y4m_rejects_empty_sequence() {
         let seq: FrameSequence<u8> = FrameSequence::new(Resolution::new(16, 16));
         let mut buf = Vec::new();
-        assert!(matches!(write_y4m(&seq, 30, &mut buf), Err(IoError::Format(_))));
+        assert!(matches!(
+            write_y4m(&seq, 30, &mut buf),
+            Err(IoError::Format(_))
+        ));
     }
 
     #[test]

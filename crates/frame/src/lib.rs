@@ -26,4 +26,6 @@ pub use frame::{Frame, FrameSequence, Mask};
 pub use io::{load_pgm, read_pgm, read_y4m, save_pgm, write_pgm, write_y4m, IoError};
 pub use morph::{close3, connected_components, dilate3, erode3, open3, remove_small_blobs, Blob};
 pub use resolution::Resolution;
-pub use scene::{BackgroundKind, IlluminationEvent, MovingObject, ObjectShape, Scene, SceneBuilder};
+pub use scene::{
+    BackgroundKind, IlluminationEvent, MovingObject, ObjectShape, Scene, SceneBuilder,
+};

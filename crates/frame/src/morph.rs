@@ -59,8 +59,7 @@ pub fn dilate3(mask: &Mask) -> Mask {
             'probe: for dy in -1..=1 {
                 for dx in -1..=1 {
                     let (nx, ny) = (x + dx, y + dy);
-                    if nx >= 0 && ny >= 0 && nx < w && ny < h && src[(ny * w + nx) as usize] != 0
-                    {
+                    if nx >= 0 && ny >= 0 && nx < w && ny < h && src[(ny * w + nx) as usize] != 0 {
                         hit = true;
                         break 'probe;
                     }
@@ -262,26 +261,14 @@ mod tests {
 
     #[test]
     fn erosion_removes_single_pixels() {
-        let m = mask_from(&[
-            ".....",
-            ".#...",
-            "...##",
-            "...##",
-            ".....",
-        ]);
+        let m = mask_from(&[".....", ".#...", "...##", "...##", "....."]);
         let e = erode3(&m);
         assert!(e.as_slice().iter().all(|&p| p == 0), "nothing is 3x3-solid");
     }
 
     #[test]
     fn erosion_keeps_solid_interior() {
-        let m = mask_from(&[
-            "#####",
-            "#####",
-            "#####",
-            "#####",
-            "#####",
-        ]);
+        let m = mask_from(&["#####", "#####", "#####", "#####", "#####"]);
         let e = erode3(&m);
         // Interior 3x3 survives; the border (clamped to background) goes.
         assert_eq!(*e.get(2, 2), 255);
@@ -291,13 +278,7 @@ mod tests {
 
     #[test]
     fn dilation_grows_by_one() {
-        let m = mask_from(&[
-            ".....",
-            ".....",
-            "..#..",
-            ".....",
-            ".....",
-        ]);
+        let m = mask_from(&[".....", ".....", "..#..", ".....", "....."]);
         let d = dilate3(&m);
         assert_eq!(d.fraction_set(), 9.0 / 25.0);
         assert_eq!(*d.get(1, 1), 255);
@@ -306,13 +287,7 @@ mod tests {
 
     #[test]
     fn opening_removes_speckle_keeps_blobs() {
-        let m = mask_from(&[
-            "#.......",
-            "...####.",
-            "...####.",
-            "...####.",
-            "#.......",
-        ]);
+        let m = mask_from(&["#.......", "...####.", "...####.", "...####.", "#......."]);
         let o = open3(&m);
         assert_eq!(*o.get(0, 0), 0, "speckle removed");
         assert_eq!(*o.get(4, 2), 255, "blob interior kept");
@@ -320,23 +295,14 @@ mod tests {
 
     #[test]
     fn closing_fills_pinholes() {
-        let m = mask_from(&[
-            "#####",
-            "##.##",
-            "#####",
-        ]);
+        let m = mask_from(&["#####", "##.##", "#####"]);
         let c = close3(&m);
         assert_eq!(*c.get(2, 1), 255, "pinhole filled");
     }
 
     #[test]
     fn components_count_and_stats() {
-        let m = mask_from(&[
-            "##...#",
-            "##...#",
-            "......",
-            "...##.",
-        ]);
+        let m = mask_from(&["##...#", "##...#", "......", "...##."]);
         let (labels, blobs) = connected_components(&m);
         assert_eq!(blobs.len(), 3);
         // Sorted by area: the 2x2 block first.
@@ -354,11 +320,7 @@ mod tests {
     #[test]
     fn diagonal_pixels_are_one_component() {
         // 8-connectivity joins diagonals.
-        let m = mask_from(&[
-            "#..",
-            ".#.",
-            "..#",
-        ]);
+        let m = mask_from(&["#..", ".#.", "..#"]);
         let (_, blobs) = connected_components(&m);
         assert_eq!(blobs.len(), 1);
         assert_eq!(blobs[0].area, 3);
@@ -368,11 +330,7 @@ mod tests {
     fn u_shape_merges_via_union_find() {
         // The two arms get different provisional labels and must merge at
         // the bottom — the classic union-find case.
-        let m = mask_from(&[
-            "#.#",
-            "#.#",
-            "###",
-        ]);
+        let m = mask_from(&["#.#", "#.#", "###"]);
         let (_, blobs) = connected_components(&m);
         assert_eq!(blobs.len(), 1);
         assert_eq!(blobs[0].area, 7);
@@ -380,11 +338,7 @@ mod tests {
 
     #[test]
     fn remove_small_blobs_filters_by_area() {
-        let m = mask_from(&[
-            "##....",
-            "##....",
-            "....#.",
-        ]);
+        let m = mask_from(&["##....", "##....", "....#."]);
         let cleaned = remove_small_blobs(&m, 3);
         assert_eq!(*cleaned.get(0, 0), 255);
         assert_eq!(*cleaned.get(4, 2), 0);
@@ -400,12 +354,7 @@ mod tests {
 
     #[test]
     fn blob_dimensions() {
-        let m = mask_from(&[
-            "......",
-            ".####.",
-            ".####.",
-            "......",
-        ]);
+        let m = mask_from(&["......", ".####.", ".####.", "......"]);
         let (_, blobs) = connected_components(&m);
         assert_eq!(blobs[0].width(), 4);
         assert_eq!(blobs[0].height(), 2);

@@ -47,7 +47,10 @@ impl Resolution {
     /// Panics in debug builds if the coordinate is out of bounds.
     #[inline]
     pub fn index(&self, x: usize, y: usize) -> usize {
-        debug_assert!(x < self.width && y < self.height, "({x},{y}) out of {self:?}");
+        debug_assert!(
+            x < self.width && y < self.height,
+            "({x},{y}) out of {self:?}"
+        );
         y * self.width + x
     }
 }

@@ -311,13 +311,18 @@ impl Scene {
     /// Rendering is deterministic: the per-frame RNG is seeded from
     /// `(scene seed, frame_idx)`.
     pub fn render(&self, frame_idx: usize) -> (Frame<u8>, Mask) {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ (frame_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed ^ (frame_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         let res = self.resolution;
         let mut img = Frame::<u8>::new(res);
         let mut mask = Mask::new(res);
         let img_data = img.as_mut_slice();
         let mask_data = mask.as_mut_slice();
-        let illum = self.illumination.map(|e| e.offset_at(frame_idx)).unwrap_or(0.0);
+        let illum = self
+            .illumination
+            .map(|e| e.offset_at(frame_idx))
+            .unwrap_or(0.0);
         // Deterministic sub-frame camera wobble (incommensurate phases so
         // the path does not repeat quickly).
         let (jx, jy) = if self.jitter_amplitude > 0.0 {
@@ -337,9 +342,20 @@ impl Scene {
                 let by = (y as isize + jy).clamp(0, res.height as isize - 1) as usize;
                 let bi = res.index(bx, by);
                 let bg = match self.background[bi] {
-                    BackgroundKind::Stable { level, noise_sd } => level + gauss(&mut rng) * noise_sd,
-                    BackgroundKind::Bimodal { level_a, level_b, p_b, noise_sd } => {
-                        let mode = if rng.gen::<f64>() < p_b { level_b } else { level_a };
+                    BackgroundKind::Stable { level, noise_sd } => {
+                        level + gauss(&mut rng) * noise_sd
+                    }
+                    BackgroundKind::Bimodal {
+                        level_a,
+                        level_b,
+                        p_b,
+                        noise_sd,
+                    } => {
+                        let mode = if rng.gen::<f64>() < p_b {
+                            level_b
+                        } else {
+                            level_a
+                        };
                         mode + gauss(&mut rng) * noise_sd
                     }
                 };
@@ -420,7 +436,10 @@ mod tests {
             vy: 0.0,
             level: 250.0,
         };
-        let s = SceneBuilder::new(Resolution::TINY).bimodal_fraction(0.0).object(obj).build();
+        let s = SceneBuilder::new(Resolution::TINY)
+            .bimodal_fraction(0.0)
+            .object(obj)
+            .build();
         let (img, mask) = s.render(0);
         assert_eq!(*mask.get(11, 11), 255);
         assert_eq!(*mask.get(30, 30), 0);
@@ -454,7 +473,10 @@ mod tests {
                 max_delta = max_delta.max((*a as i32 - *b as i32).abs());
             }
         }
-        assert!(max_delta > 40, "expected flicker, max delta was {max_delta}");
+        assert!(
+            max_delta > 40,
+            "expected flicker, max delta was {max_delta}"
+        );
     }
 
     #[test]

@@ -101,7 +101,11 @@ impl MaskConfusion {
 /// # Panics
 /// Panics if the resolutions differ.
 pub fn mask_confusion(predicted: &Frame<u8>, truth: &Frame<u8>) -> MaskConfusion {
-    assert_eq!(predicted.resolution(), truth.resolution(), "resolution mismatch");
+    assert_eq!(
+        predicted.resolution(),
+        truth.resolution(),
+        "resolution mismatch"
+    );
     let mut c = MaskConfusion::default();
     for (&p, &t) in predicted.as_slice().iter().zip(truth.as_slice()) {
         match (p != 0, t != 0) {
@@ -144,7 +148,15 @@ mod tests {
         let pred = frame(&[255, 255, 0, 0], 2, 2);
         let truth = frame(&[255, 0, 255, 0], 2, 2);
         let c = mask_confusion(&pred, &truth);
-        assert_eq!(c, MaskConfusion { tp: 1, fp: 1, fn_: 1, tn: 1 });
+        assert_eq!(
+            c,
+            MaskConfusion {
+                tp: 1,
+                fp: 1,
+                fn_: 1,
+                tn: 1
+            }
+        );
         assert_eq!(c.precision(), 0.5);
         assert_eq!(c.recall(), 0.5);
         assert_eq!(c.f1(), 0.5);
@@ -169,9 +181,27 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = MaskConfusion { tp: 1, fp: 2, fn_: 3, tn: 4 };
-        a.merge(&MaskConfusion { tp: 10, fp: 20, fn_: 30, tn: 40 });
-        assert_eq!(a, MaskConfusion { tp: 11, fp: 22, fn_: 33, tn: 44 });
+        let mut a = MaskConfusion {
+            tp: 1,
+            fp: 2,
+            fn_: 3,
+            tn: 4,
+        };
+        a.merge(&MaskConfusion {
+            tp: 10,
+            fp: 20,
+            fn_: 30,
+            tn: 40,
+        });
+        assert_eq!(
+            a,
+            MaskConfusion {
+                tp: 11,
+                fp: 22,
+                fn_: 33,
+                tn: 44
+            }
+        );
     }
 
     #[test]

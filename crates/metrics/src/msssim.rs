@@ -99,7 +99,9 @@ mod tests {
     fn noise_frame(seed: u64, res: Resolution) -> Frame<u8> {
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(99);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u8
         };
         let data: Vec<u8> = (0..res.pixels()).map(|_| next()).collect();
@@ -116,13 +118,19 @@ mod tests {
     #[test]
     fn qvga_supports_all_five_scales() {
         assert_eq!(ms_ssim_scales(Resolution::QVGA, &SsimConfig::default()), 5);
-        assert_eq!(ms_ssim_scales(Resolution::FULL_HD, &SsimConfig::default()), 5);
+        assert_eq!(
+            ms_ssim_scales(Resolution::FULL_HD, &SsimConfig::default()),
+            5
+        );
     }
 
     #[test]
     fn tiny_images_use_fewer_scales() {
         assert_eq!(ms_ssim_scales(Resolution::TINY, &SsimConfig::default()), 3);
-        assert_eq!(ms_ssim_scales(Resolution::new(8, 8), &SsimConfig::default()), 0);
+        assert_eq!(
+            ms_ssim_scales(Resolution::new(8, 8), &SsimConfig::default()),
+            0
+        );
         let f = Frame::filled(Resolution::new(8, 8), 0u8);
         assert!(ms_ssim(&f, &f).is_none());
     }

@@ -24,7 +24,13 @@ pub struct SsimConfig {
 
 impl Default for SsimConfig {
     fn default() -> Self {
-        SsimConfig { window: 11, sigma: 1.5, dynamic_range: 255.0, k1: 0.01, k2: 0.03 }
+        SsimConfig {
+            window: 11,
+            sigma: 1.5,
+            dynamic_range: 255.0,
+            k1: 0.01,
+            k2: 0.03,
+        }
     }
 }
 
@@ -61,11 +67,7 @@ impl SsimConfig {
 ///
 /// Returns `(mean_ssim, mean_luminance_term, mean_cs_term)` over all valid
 /// windows, or `None` if the image is smaller than the window.
-pub fn ssim_components(
-    a: &Frame<u8>,
-    b: &Frame<u8>,
-    cfg: &SsimConfig,
-) -> Option<(f64, f64, f64)> {
+pub fn ssim_components(a: &Frame<u8>, b: &Frame<u8>, cfg: &SsimConfig) -> Option<(f64, f64, f64)> {
     ssim_components_f64(&a.to_f64(), &b.to_f64(), cfg)
 }
 
@@ -133,7 +135,9 @@ pub(crate) fn ssim_components_f64(
 /// Panics if the resolutions differ or the frames are smaller than the
 /// window.
 pub fn ssim(a: &Frame<u8>, b: &Frame<u8>) -> f64 {
-    ssim_components(a, b, &SsimConfig::default()).expect("image smaller than SSIM window").0
+    ssim_components(a, b, &SsimConfig::default())
+        .expect("image smaller than SSIM window")
+        .0
 }
 
 /// Per-window SSIM map (valid-mode: `(w-window+1) x (h-window+1)`).
@@ -197,7 +201,9 @@ mod tests {
         // in unit tests.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u8
         };
         let data: Vec<u8> = (0..res.pixels()).map(|_| next()).collect();

@@ -58,7 +58,14 @@ impl<T: Real> AdaptiveModel<T> {
             w[p * k_max] = T::one();
             m[p * k_max] = T::from_u8(first_frame[p]);
         }
-        AdaptiveModel { k_max, pixels, active: vec![1; pixels], w, m, sd }
+        AdaptiveModel {
+            k_max,
+            pixels,
+            active: vec![1; pixels],
+            w,
+            m,
+            sd,
+        }
     }
 
     /// Maximum components per pixel.
@@ -82,8 +89,11 @@ impl<T: Real> AdaptiveModel<T> {
             }
             for i in 0..a as usize {
                 let idx = p * self.k_max + i;
-                let (wv, mv, sv) =
-                    (self.w[idx].to_f64(), self.m[idx].to_f64(), self.sd[idx].to_f64());
+                let (wv, mv, sv) = (
+                    self.w[idx].to_f64(),
+                    self.m[idx].to_f64(),
+                    self.sd[idx].to_f64(),
+                );
                 if !(0.0..=1.0 + 1e-9).contains(&wv) || !mv.is_finite() || sv <= 0.0 {
                     return Err(format!("pixel {p} component {i}: w={wv} m={mv} sd={sv}"));
                 }
@@ -183,7 +193,11 @@ impl<T: Real> AdaptiveMog<T> {
     pub fn new(resolution: Resolution, params: MogParams, first_frame: &[u8]) -> Self {
         params.validate().expect("invalid MoG parameters");
         let model = AdaptiveModel::init(resolution.pixels(), params.k, &params, first_frame);
-        AdaptiveMog { resolution, resolved: params.resolve(), model }
+        AdaptiveMog {
+            resolution,
+            resolved: params.resolve(),
+            model,
+        }
     }
 
     /// The mixture model.
@@ -196,7 +210,11 @@ impl<T: Real> AdaptiveMog<T> {
     /// # Panics
     /// Panics on a resolution mismatch.
     pub fn process(&mut self, frame: &Frame<u8>) -> Mask {
-        assert_eq!(frame.resolution(), self.resolution, "frame resolution mismatch");
+        assert_eq!(
+            frame.resolution(),
+            self.resolution,
+            "frame resolution mismatch"
+        );
         let k_max = self.model.k_max;
         let mut mask = Mask::new(self.resolution);
         let data = frame.as_slice();
@@ -301,7 +319,10 @@ mod tests {
             complex_k > simple_k + 0.3,
             "complex {complex_k:.2} should exceed simple {simple_k:.2}"
         );
-        assert!(simple_k < 2.0, "simple scene should stay near 1 component, got {simple_k:.2}");
+        assert!(
+            simple_k < 2.0,
+            "simple scene should stay near 1 component, got {simple_k:.2}"
+        );
     }
 
     #[test]
@@ -325,13 +346,20 @@ mod tests {
                 }
             }
         }
-        assert!(hit as f64 / total.max(1) as f64 > 0.6, "recall {hit}/{total}");
+        assert!(
+            hit as f64 / total.max(1) as f64 > 0.6,
+            "recall {hit}/{total}"
+        );
     }
 
     #[test]
     fn invariants_hold_under_stress() {
         let res = Resolution::TINY;
-        let scene = SceneBuilder::new(res).seed(9).walkers(4).bimodal_fraction(0.3).build();
+        let scene = SceneBuilder::new(res)
+            .seed(9)
+            .walkers(4)
+            .bimodal_fraction(0.3)
+            .build();
         let (frames, _) = scene.render_sequence(25);
         let frames = frames.into_frames();
         let mut mog = AdaptiveMog::<f32>::new(res, MogParams::new(4), frames[0].as_slice());

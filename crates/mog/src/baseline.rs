@@ -30,8 +30,16 @@ pub struct FrameDiff {
 impl FrameDiff {
     /// Creates a subtractor seeded with `first_frame`.
     pub fn new(resolution: Resolution, threshold: f64, first_frame: &[u8]) -> Self {
-        assert_eq!(first_frame.len(), resolution.pixels(), "seed frame size mismatch");
-        FrameDiff { resolution, threshold, previous: first_frame.to_vec() }
+        assert_eq!(
+            first_frame.len(),
+            resolution.pixels(),
+            "seed frame size mismatch"
+        );
+        FrameDiff {
+            resolution,
+            threshold,
+            previous: first_frame.to_vec(),
+        }
     }
 
     /// Processes one frame.
@@ -39,10 +47,19 @@ impl FrameDiff {
     /// # Panics
     /// Panics on resolution mismatch.
     pub fn process(&mut self, frame: &Frame<u8>) -> Mask {
-        assert_eq!(frame.resolution(), self.resolution, "frame resolution mismatch");
+        assert_eq!(
+            frame.resolution(),
+            self.resolution,
+            "frame resolution mismatch"
+        );
         let mut mask = Mask::new(self.resolution);
         let out = mask.as_mut_slice();
-        for (i, (&p, prev)) in frame.as_slice().iter().zip(self.previous.iter_mut()).enumerate() {
+        for (i, (&p, prev)) in frame
+            .as_slice()
+            .iter()
+            .zip(self.previous.iter_mut())
+            .enumerate()
+        {
             let d = (p as f64 - *prev as f64).abs();
             out[i] = if d > self.threshold { 255 } else { 0 };
             *prev = p;
@@ -71,7 +88,11 @@ impl<T: Real> RunningAverage<T> {
     /// retention factor (close to 1 adapts slowly), `threshold` the
     /// grey-level foreground bound.
     pub fn new(resolution: Resolution, alpha: f64, threshold: f64, first_frame: &[u8]) -> Self {
-        assert_eq!(first_frame.len(), resolution.pixels(), "seed frame size mismatch");
+        assert_eq!(
+            first_frame.len(),
+            resolution.pixels(),
+            "seed frame size mismatch"
+        );
         assert!((0.0..1.0).contains(&alpha), "alpha must be in [0, 1)");
         RunningAverage {
             resolution,
@@ -91,11 +112,20 @@ impl<T: Real> RunningAverage<T> {
     /// # Panics
     /// Panics on resolution mismatch.
     pub fn process(&mut self, frame: &Frame<u8>) -> Mask {
-        assert_eq!(frame.resolution(), self.resolution, "frame resolution mismatch");
+        assert_eq!(
+            frame.resolution(),
+            self.resolution,
+            "frame resolution mismatch"
+        );
         let one_minus = T::one() - self.alpha;
         let mut mask = Mask::new(self.resolution);
         let out = mask.as_mut_slice();
-        for (i, (&p, mean)) in frame.as_slice().iter().zip(self.mean.iter_mut()).enumerate() {
+        for (i, (&p, mean)) in frame
+            .as_slice()
+            .iter()
+            .zip(self.mean.iter_mut())
+            .enumerate()
+        {
             let v = T::from_u8(p);
             let fg = (v - *mean).abs() > self.threshold;
             // Background-gated update: foreground pixels do not pollute
@@ -160,12 +190,7 @@ mod tests {
     #[test]
     fn running_average_detects_on_simple_scenes() {
         let (frames, truths) = scene_frames(0.0, 30);
-        let mut ra = RunningAverage::<f64>::new(
-            Resolution::TINY,
-            0.95,
-            25.0,
-            frames[0].as_slice(),
-        );
+        let mut ra = RunningAverage::<f64>::new(Resolution::TINY, 0.95, 25.0, frames[0].as_slice());
         let masks = ra.process_all(&frames[1..]);
         let r = recall(masks.last().unwrap(), truths.last().unwrap());
         assert!(r > 0.7, "running average recall on simple scene: {r:.2}");
@@ -178,12 +203,7 @@ mod tests {
         // The motivating comparison: 30% flicker pixels are permanent
         // false positives for a single-mode model, while MoG absorbs them.
         let (frames, truths) = scene_frames(0.30, 40);
-        let mut ra = RunningAverage::<f64>::new(
-            Resolution::TINY,
-            0.95,
-            25.0,
-            frames[0].as_slice(),
-        );
+        let mut ra = RunningAverage::<f64>::new(Resolution::TINY, 0.95, 25.0, frames[0].as_slice());
         let masks = ra.process_all(&frames[1..]);
         let fpr_ra = false_positive_rate(masks.last().unwrap(), truths.last().unwrap());
 
@@ -225,7 +245,10 @@ mod tests {
         let mut fd = FrameDiff::new(res, 25.0, frames[0].as_slice());
         let masks = fd.process_all(&frames[1..]);
         let r = recall(masks.last().unwrap(), truths.last().unwrap());
-        assert!(r < 0.1, "frame diff must miss the static object, recall {r:.2}");
+        assert!(
+            r < 0.1,
+            "frame diff must miss the static object, recall {r:.2}"
+        );
     }
 
     #[test]
@@ -235,14 +258,16 @@ mod tests {
         let masks = fd.process_all(&frames[1..]);
         // Some overlap with the truth (leading/trailing edges).
         let r = recall(masks.last().unwrap(), truths.last().unwrap());
-        assert!(r > 0.05, "frame diff should catch moving edges, recall {r:.2}");
+        assert!(
+            r > 0.05,
+            "frame diff should catch moving edges, recall {r:.2}"
+        );
     }
 
     #[test]
     fn f32_running_average_works() {
         let (frames, _) = scene_frames(0.0, 5);
-        let mut ra =
-            RunningAverage::<f32>::new(Resolution::TINY, 0.9, 25.0, frames[0].as_slice());
+        let mut ra = RunningAverage::<f32>::new(Resolution::TINY, 0.9, 25.0, frames[0].as_slice());
         let masks = ra.process_all(&frames[1..]);
         assert_eq!(masks.len(), 4);
     }

@@ -38,7 +38,13 @@ impl<T: Real> HostModel<T> {
                 m[p * k + i] = v;
             }
         }
-        HostModel { k, pixels, w, m, sd }
+        HostModel {
+            k,
+            pixels,
+            w,
+            m,
+            sd,
+        }
     }
 
     /// Component count per pixel.
@@ -54,7 +60,11 @@ impl<T: Real> HostModel<T> {
     /// Mutable component slices `(w, m, sd)` for pixel `p`.
     pub fn pixel_mut(&mut self, p: usize) -> (&mut [T], &mut [T], &mut [T]) {
         let r = p * self.k..(p + 1) * self.k;
-        (&mut self.w[r.clone()], &mut self.m[r.clone()], &mut self.sd[r])
+        (
+            &mut self.w[r.clone()],
+            &mut self.m[r.clone()],
+            &mut self.sd[r],
+        )
     }
 
     /// Component slices `(w, m, sd)` for pixel `p`.

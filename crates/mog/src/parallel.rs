@@ -32,7 +32,12 @@ impl<T: Real> ParallelMog<T> {
     ) -> Self {
         params.validate().expect("invalid MoG parameters");
         let model = HostModel::init(resolution.pixels(), params.k, &params, first_frame);
-        ParallelMog { resolution, resolved: params.resolve(), variant, model }
+        ParallelMog {
+            resolution,
+            resolved: params.resolve(),
+            variant,
+            model,
+        }
     }
 
     /// Read access to the mixture model.
@@ -45,7 +50,11 @@ impl<T: Real> ParallelMog<T> {
     /// # Panics
     /// Panics if the frame resolution differs from the subtractor's.
     pub fn process(&mut self, frame: &Frame<u8>) -> Mask {
-        assert_eq!(frame.resolution(), self.resolution, "frame resolution mismatch");
+        assert_eq!(
+            frame.resolution(),
+            self.resolution,
+            "frame resolution mismatch"
+        );
         let k = self.model.k();
         let mut mask = Mask::new(self.resolution);
         let data = frame.as_slice();
@@ -81,14 +90,25 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial_bit_for_bit() {
-        let scene = SceneBuilder::new(Resolution::TINY).seed(11).walkers(3).build();
+        let scene = SceneBuilder::new(Resolution::TINY)
+            .seed(11)
+            .walkers(3)
+            .build();
         let (frames, _) = scene.render_sequence(15);
         let frames = frames.into_frames();
         for variant in [Variant::Sorted, Variant::Predicated] {
-            let mut s = SerialMog::<f64>::new(Resolution::TINY, MogParams::default(), variant,
-                                              frames[0].as_slice());
-            let mut p = ParallelMog::<f64>::new(Resolution::TINY, MogParams::default(), variant,
-                                                frames[0].as_slice());
+            let mut s = SerialMog::<f64>::new(
+                Resolution::TINY,
+                MogParams::default(),
+                variant,
+                frames[0].as_slice(),
+            );
+            let mut p = ParallelMog::<f64>::new(
+                Resolution::TINY,
+                MogParams::default(),
+                variant,
+                frames[0].as_slice(),
+            );
             for f in &frames[1..] {
                 assert_eq!(s.process(f), p.process(f), "variant {variant:?}");
             }
@@ -100,11 +120,18 @@ mod tests {
 
     #[test]
     fn parallel_f32_runs() {
-        let scene = SceneBuilder::new(Resolution::TINY).seed(5).walkers(1).build();
+        let scene = SceneBuilder::new(Resolution::TINY)
+            .seed(5)
+            .walkers(1)
+            .build();
         let (frames, _) = scene.render_sequence(5);
         let frames = frames.into_frames();
-        let mut p = ParallelMog::<f32>::new(Resolution::TINY, MogParams::default(),
-                                            Variant::NoSort, frames[0].as_slice());
+        let mut p = ParallelMog::<f32>::new(
+            Resolution::TINY,
+            MogParams::default(),
+            Variant::NoSort,
+            frames[0].as_slice(),
+        );
         let masks = p.process_all(&frames[1..]);
         assert_eq!(masks.len(), 4);
         p.model().check_invariants().unwrap();

@@ -136,21 +136,51 @@ mod tests {
 
     #[test]
     fn invalid_k_rejected() {
-        assert!(MogParams { k: 0, ..MogParams::default() }.validate().is_err());
-        assert!(MogParams { k: 9, ..MogParams::default() }.validate().is_err());
+        assert!(MogParams {
+            k: 0,
+            ..MogParams::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MogParams {
+            k: 9,
+            ..MogParams::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn invalid_alpha_rejected() {
-        assert!(MogParams { alpha: 1.0, ..MogParams::default() }.validate().is_err());
-        assert!(MogParams { alpha: -0.1, ..MogParams::default() }.validate().is_err());
+        assert!(MogParams {
+            alpha: 1.0,
+            ..MogParams::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MogParams {
+            alpha: -0.1,
+            ..MogParams::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn sd_constraints() {
         // initial_sd below the min_sd floor of 4.
-        assert!(MogParams { initial_sd: 1.0, ..MogParams::default() }.validate().is_err());
-        assert!(MogParams { min_sd: 0.0, ..MogParams::default() }.validate().is_err());
+        assert!(MogParams {
+            initial_sd: 1.0,
+            ..MogParams::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MogParams {
+            min_sd: 0.0,
+            ..MogParams::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

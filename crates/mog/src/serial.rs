@@ -41,7 +41,13 @@ impl<T: Real> SerialMog<T> {
     ) -> Self {
         params.validate().expect("invalid MoG parameters");
         let model = HostModel::init(resolution.pixels(), params.k, &params, first_frame);
-        SerialMog { resolution, params, resolved: params.resolve(), variant, model }
+        SerialMog {
+            resolution,
+            params,
+            resolved: params.resolve(),
+            variant,
+            model,
+        }
     }
 
     /// The active variant.
@@ -65,14 +71,17 @@ impl<T: Real> SerialMog<T> {
     /// # Panics
     /// Panics if the frame resolution differs from the subtractor's.
     pub fn process(&mut self, frame: &Frame<u8>) -> Mask {
-        assert_eq!(frame.resolution(), self.resolution, "frame resolution mismatch");
+        assert_eq!(
+            frame.resolution(),
+            self.resolution,
+            "frame resolution mismatch"
+        );
         let mut mask = Mask::new(self.resolution);
         let data = frame.as_slice();
         let out = mask.as_mut_slice();
         for p in 0..data.len() {
             let (w, m, sd) = self.model.pixel_mut(p);
-            let fg =
-                step_pixel(self.variant, T::from_u8(data[p]), w, m, sd, &self.resolved);
+            let fg = step_pixel(self.variant, T::from_u8(data[p]), w, m, sd, &self.resolved);
             out[p] = if fg { 255 } else { 0 };
         }
         mask
@@ -90,7 +99,10 @@ mod tests {
     use mogpu_frame::SceneBuilder;
 
     fn scene_frames(n: usize) -> (Vec<Frame<u8>>, Vec<Mask>) {
-        let scene = SceneBuilder::new(Resolution::TINY).seed(7).walkers(2).build();
+        let scene = SceneBuilder::new(Resolution::TINY)
+            .seed(7)
+            .walkers(2)
+            .build();
         let (f, m) = scene.render_sequence(n);
         (f.into_frames(), m.into_frames())
     }
@@ -98,9 +110,12 @@ mod tests {
     #[test]
     fn detects_moving_objects_after_warmup() {
         let (frames, truths) = scene_frames(40);
-        let mut mog =
-            SerialMog::<f64>::new(Resolution::TINY, MogParams::default(), Variant::Sorted,
-                                  frames[0].as_slice());
+        let mut mog = SerialMog::<f64>::new(
+            Resolution::TINY,
+            MogParams::default(),
+            Variant::Sorted,
+            frames[0].as_slice(),
+        );
         let masks = mog.process_all(&frames[1..]);
         // After warm-up, foreground density should be near the ground
         // truth density (objects cover a few percent of the frame).
@@ -129,12 +144,18 @@ mod tests {
 
     #[test]
     fn static_scene_converges_to_all_background() {
-        let scene = SceneBuilder::new(Resolution::TINY).seed(3).noise_sd(1.0).build();
+        let scene = SceneBuilder::new(Resolution::TINY)
+            .seed(3)
+            .noise_sd(1.0)
+            .build();
         let (frames, _) = scene.render_sequence(30);
         let frames = frames.into_frames();
-        let mut mog =
-            SerialMog::<f64>::new(Resolution::TINY, MogParams::default(), Variant::Sorted,
-                                  frames[0].as_slice());
+        let mut mog = SerialMog::<f64>::new(
+            Resolution::TINY,
+            MogParams::default(),
+            Variant::Sorted,
+            frames[0].as_slice(),
+        );
         let masks = mog.process_all(&frames[1..]);
         let fg = masks.last().unwrap().fraction_set();
         assert!(fg < 0.02, "static scene foreground fraction {fg}");
@@ -151,17 +172,27 @@ mod tests {
                 frames[0].as_slice(),
             );
             mog.process_all(&frames[1..]);
-            mog.model().check_invariants().unwrap_or_else(|e| panic!("{variant:?}: {e}"));
+            mog.model()
+                .check_invariants()
+                .unwrap_or_else(|e| panic!("{variant:?}: {e}"));
         }
     }
 
     #[test]
     fn sorted_and_nosort_masks_are_identical() {
         let (frames, _) = scene_frames(20);
-        let mut a = SerialMog::<f64>::new(Resolution::TINY, MogParams::default(),
-                                          Variant::Sorted, frames[0].as_slice());
-        let mut b = SerialMog::<f64>::new(Resolution::TINY, MogParams::default(),
-                                          Variant::NoSort, frames[0].as_slice());
+        let mut a = SerialMog::<f64>::new(
+            Resolution::TINY,
+            MogParams::default(),
+            Variant::Sorted,
+            frames[0].as_slice(),
+        );
+        let mut b = SerialMog::<f64>::new(
+            Resolution::TINY,
+            MogParams::default(),
+            Variant::NoSort,
+            frames[0].as_slice(),
+        );
         for f in &frames[1..] {
             assert_eq!(a.process(f), b.process(f));
         }
@@ -170,10 +201,18 @@ mod tests {
     #[test]
     fn predicated_masks_match_nosort_exactly() {
         let (frames, _) = scene_frames(20);
-        let mut a = SerialMog::<f64>::new(Resolution::TINY, MogParams::default(),
-                                          Variant::NoSort, frames[0].as_slice());
-        let mut b = SerialMog::<f64>::new(Resolution::TINY, MogParams::default(),
-                                          Variant::Predicated, frames[0].as_slice());
+        let mut a = SerialMog::<f64>::new(
+            Resolution::TINY,
+            MogParams::default(),
+            Variant::NoSort,
+            frames[0].as_slice(),
+        );
+        let mut b = SerialMog::<f64>::new(
+            Resolution::TINY,
+            MogParams::default(),
+            Variant::Predicated,
+            frames[0].as_slice(),
+        );
         for f in &frames[1..] {
             assert_eq!(a.process(f), b.process(f));
         }
@@ -182,18 +221,30 @@ mod tests {
     #[test]
     fn register_reduced_masks_are_nearly_identical() {
         let (frames, _) = scene_frames(30);
-        let mut a = SerialMog::<f64>::new(Resolution::TINY, MogParams::default(),
-                                          Variant::Predicated, frames[0].as_slice());
-        let mut b = SerialMog::<f64>::new(Resolution::TINY, MogParams::default(),
-                                          Variant::RegisterReduced, frames[0].as_slice());
+        let mut a = SerialMog::<f64>::new(
+            Resolution::TINY,
+            MogParams::default(),
+            Variant::Predicated,
+            frames[0].as_slice(),
+        );
+        let mut b = SerialMog::<f64>::new(
+            Resolution::TINY,
+            MogParams::default(),
+            Variant::RegisterReduced,
+            frames[0].as_slice(),
+        );
         let mut differing = 0usize;
         let mut total = 0usize;
         for f in &frames[1..] {
             let ma = a.process(f);
             let mb = b.process(f);
             total += ma.len();
-            differing +=
-                ma.as_slice().iter().zip(mb.as_slice()).filter(|(x, y)| x != y).count();
+            differing += ma
+                .as_slice()
+                .iter()
+                .zip(mb.as_slice())
+                .filter(|(x, y)| x != y)
+                .count();
         }
         let rate = differing as f64 / total as f64;
         assert!(rate < 0.02, "register-reduced deviation rate {rate}");
@@ -202,8 +253,12 @@ mod tests {
     #[test]
     fn five_gaussian_configuration_works() {
         let (frames, _) = scene_frames(15);
-        let mut mog = SerialMog::<f64>::new(Resolution::TINY, MogParams::new(5),
-                                            Variant::Sorted, frames[0].as_slice());
+        let mut mog = SerialMog::<f64>::new(
+            Resolution::TINY,
+            MogParams::new(5),
+            Variant::Sorted,
+            frames[0].as_slice(),
+        );
         let masks = mog.process_all(&frames[1..]);
         assert_eq!(masks.len(), 14);
         mog.model().check_invariants().unwrap();
@@ -213,8 +268,12 @@ mod tests {
     #[should_panic]
     fn wrong_resolution_panics() {
         let (frames, _) = scene_frames(2);
-        let mut mog = SerialMog::<f64>::new(Resolution::TINY, MogParams::default(),
-                                            Variant::Sorted, frames[0].as_slice());
+        let mut mog = SerialMog::<f64>::new(
+            Resolution::TINY,
+            MogParams::default(),
+            Variant::Sorted,
+            frames[0].as_slice(),
+        );
         let wrong: Frame<u8> = Frame::new(Resolution::QVGA);
         mog.process(&wrong);
     }

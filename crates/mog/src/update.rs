@@ -32,8 +32,12 @@ pub enum Variant {
 
 impl Variant {
     /// All variants, in paper order.
-    pub const ALL: [Variant; 4] =
-        [Variant::Sorted, Variant::NoSort, Variant::Predicated, Variant::RegisterReduced];
+    pub const ALL: [Variant; 4] = [
+        Variant::Sorted,
+        Variant::NoSort,
+        Variant::Predicated,
+        Variant::RegisterReduced,
+    ];
 
     /// Short display name.
     pub fn name(&self) -> &'static str {
@@ -308,7 +312,10 @@ mod tests {
         let (mut w, mut m, mut sd) = fresh_model(3, 100.0);
         step_pixel(Variant::Sorted, 250.0, &mut w, &mut m, &mut sd, &p);
         // Some component must now be centred at 250 with initial sd/weight.
-        let j = m.iter().position(|&x| (x - 250.0).abs() < 1e-12).expect("virtual component");
+        let j = m
+            .iter()
+            .position(|&x| (x - 250.0).abs() < 1e-12)
+            .expect("virtual component");
         assert_eq!(sd[j], 30.0);
         assert_eq!(w[j], 0.05);
     }
@@ -371,7 +378,14 @@ mod tests {
             fg = step_pixel(Variant::RegisterReduced, 100.0, &mut w, &mut m, &mut sd, &p);
         }
         assert!(!fg);
-        assert!(step_pixel(Variant::RegisterReduced, 250.0, &mut w, &mut m, &mut sd, &p));
+        assert!(step_pixel(
+            Variant::RegisterReduced,
+            250.0,
+            &mut w,
+            &mut m,
+            &mut sd,
+            &p
+        ));
     }
 
     #[test]
@@ -391,7 +405,11 @@ mod tests {
         let p = prm(3);
         let (mut w, mut m, mut sd) = fresh_model(3, 100.0);
         for t in 0..300 {
-            let px = if t % 7 == 0 { 250.0 } else { 100.0 + (t % 5) as f64 };
+            let px = if t % 7 == 0 {
+                250.0
+            } else {
+                100.0 + (t % 5) as f64
+            };
             step_pixel(Variant::Sorted, px, &mut w, &mut m, &mut sd, &p);
             for &x in &w[..3] {
                 assert!((0.0..=1.0 + 1e-12).contains(&x), "weight {x} out of range");
@@ -438,6 +456,13 @@ mod tests {
             fg = step_pixel(Variant::Predicated, 100.0f32, &mut w, &mut m, &mut sd, &p);
         }
         assert!(!fg);
-        assert!(step_pixel(Variant::Predicated, 250.0f32, &mut w, &mut m, &mut sd, &p));
+        assert!(step_pixel(
+            Variant::Predicated,
+            250.0f32,
+            &mut w,
+            &mut m,
+            &mut sd,
+            &p
+        ));
     }
 }

@@ -1,0 +1,217 @@
+//! Chrome trace-event export of pipeline schedules.
+//!
+//! Produces the JSON object format (`{"traceEvents": [...]}`) that
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load
+//! directly: one *process* per pipeline, one *thread track* per engine
+//! (copy-in, compute, copy-out), so the overlap the double-buffered
+//! scheduler achieves — or the serial pipeline's lack of it — is visible
+//! at a glance.
+//!
+//! Event vocabulary used (see the trace-event format spec):
+//! * `ph: "X"` — complete/duration event with `ts` (start) and `dur`,
+//!   both in **microseconds**;
+//! * `ph: "M"` — metadata naming processes (`process_name`) and thread
+//!   tracks (`thread_name`).
+
+use crate::dma::FrameSpans;
+use serde::Value;
+
+/// Thread-track ids within one pipeline's process.
+const TID_COPY_IN: u64 = 0;
+const TID_COMPUTE: u64 = 1;
+const TID_COPY_OUT: u64 = 2;
+
+/// Incrementally builds one trace file from any number of pipelines
+/// (e.g. one per optimization level of the ladder).
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<Value>,
+    next_pid: u64,
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn metadata(name: &str, pid: u64, tid: u64, value: &str) -> Value {
+    obj(vec![
+        ("name", Value::String(name.to_string())),
+        ("ph", Value::String("M".to_string())),
+        ("pid", Value::U64(pid)),
+        ("tid", Value::U64(tid)),
+        (
+            "args",
+            obj(vec![("name", Value::String(value.to_string()))]),
+        ),
+    ])
+}
+
+fn duration_event(name: String, cat: &str, pid: u64, tid: u64, start_s: f64, dur_s: f64) -> Value {
+    obj(vec![
+        ("name", Value::String(name)),
+        ("cat", Value::String(cat.to_string())),
+        ("ph", Value::String("X".to_string())),
+        ("pid", Value::U64(pid)),
+        ("tid", Value::U64(tid)),
+        ("ts", Value::F64(start_s * 1e6)),
+        ("dur", Value::F64(dur_s * 1e6)),
+    ])
+}
+
+impl TraceBuilder {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one pipeline as a process named `name` with the three
+    /// engine tracks, one `ph:"X"` event per stage per frame.
+    pub fn add_pipeline(&mut self, name: &str, schedule: &[FrameSpans]) {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.events.push(metadata("process_name", pid, 0, name));
+        self.events
+            .push(metadata("thread_name", pid, TID_COPY_IN, "copy-in (H2D)"));
+        self.events
+            .push(metadata("thread_name", pid, TID_COMPUTE, "compute"));
+        self.events
+            .push(metadata("thread_name", pid, TID_COPY_OUT, "copy-out (D2H)"));
+        for (i, f) in schedule.iter().enumerate() {
+            self.events.push(duration_event(
+                format!("upload frame {i}"),
+                "dma",
+                pid,
+                TID_COPY_IN,
+                f.h2d.start,
+                f.h2d.dur,
+            ));
+            self.events.push(duration_event(
+                format!("kernel frame {i}"),
+                "kernel",
+                pid,
+                TID_COMPUTE,
+                f.kernel.start,
+                f.kernel.dur,
+            ));
+            self.events.push(duration_event(
+                format!("download frame {i}"),
+                "dma",
+                pid,
+                TID_COPY_OUT,
+                f.d2h.start,
+                f.d2h.dur,
+            ));
+        }
+    }
+
+    /// Finishes the trace as the JSON object Perfetto loads.
+    pub fn finish(self) -> Value {
+        Value::Object(vec![
+            ("traceEvents".to_string(), Value::Array(self.events)),
+            (
+                "displayTimeUnit".to_string(),
+                Value::String("ms".to_string()),
+            ),
+        ])
+    }
+}
+
+/// One-pipeline convenience wrapper around [`TraceBuilder`].
+pub fn chrome_trace(name: &str, schedule: &[FrameSpans]) -> Value {
+    let mut b = TraceBuilder::new();
+    b.add_pipeline(name, schedule);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use crate::dma::{pipeline_schedule, OverlapMode};
+
+    fn events(trace: &Value) -> &[Value] {
+        match trace {
+            Value::Object(fields) => match &fields.iter().find(|(k, _)| k == "traceEvents") {
+                Some((_, Value::Array(events))) => events,
+                _ => panic!("traceEvents missing"),
+            },
+            _ => panic!("trace must be an object"),
+        }
+    }
+
+    fn field<'a>(event: &'a Value, key: &str) -> &'a Value {
+        match event {
+            Value::Object(fields) => {
+                &fields
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .expect("field present")
+                    .1
+            }
+            _ => panic!("event must be an object"),
+        }
+    }
+
+    #[test]
+    fn trace_has_metadata_and_duration_events() {
+        let sched = pipeline_schedule(
+            3,
+            1.0,
+            2.0,
+            0.5,
+            OverlapMode::Sequential,
+            &GpuConfig::default(),
+        );
+        let trace = chrome_trace("level A", &sched);
+        let evs = events(&trace);
+        // 4 metadata + 3 frames x 3 stages.
+        assert_eq!(evs.len(), 4 + 9);
+        let durations: Vec<&Value> = evs
+            .iter()
+            .filter(|e| field(e, "ph") == &Value::String("X".into()))
+            .collect();
+        assert_eq!(durations.len(), 9);
+        for d in &durations {
+            let ts = match field(d, "ts") {
+                Value::F64(v) => *v,
+                other => panic!("ts must be f64, got {other:?}"),
+            };
+            let dur = match field(d, "dur") {
+                Value::F64(v) => *v,
+                other => panic!("dur must be f64, got {other:?}"),
+            };
+            assert!(ts >= 0.0 && dur > 0.0);
+        }
+        // Seconds became microseconds: first kernel starts at 1 s = 1e6 µs.
+        let first_kernel = durations
+            .iter()
+            .find(|d| field(d, "name") == &Value::String("kernel frame 0".into()))
+            .unwrap();
+        assert_eq!(field(first_kernel, "ts"), &Value::F64(1e6));
+        assert_eq!(field(first_kernel, "dur"), &Value::F64(2e6));
+    }
+
+    #[test]
+    fn multiple_pipelines_get_distinct_pids() {
+        let c = GpuConfig::default();
+        let a = pipeline_schedule(2, 1.0, 2.0, 0.5, OverlapMode::Sequential, &c);
+        let b = pipeline_schedule(2, 1.0, 2.0, 0.5, OverlapMode::DoubleBuffered, &c);
+        let mut builder = TraceBuilder::new();
+        builder.add_pipeline("level A", &a);
+        builder.add_pipeline("level C", &b);
+        let trace = builder.finish();
+        let pids: std::collections::HashSet<u64> = events(&trace)
+            .iter()
+            .map(|e| match field(e, "pid") {
+                Value::U64(p) => *p,
+                other => panic!("pid must be u64, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(pids.len(), 2);
+    }
+}

@@ -129,7 +129,10 @@ impl GpuConfig {
     /// With the 768 KB Fermi L2 cache model enabled (see
     /// [`crate::cache`]); used by the cache ablation.
     pub fn tesla_c2075_with_l2() -> Self {
-        GpuConfig { l2_bytes: 768 * 1024, ..Self::tesla_c2075() }
+        GpuConfig {
+            l2_bytes: 768 * 1024,
+            ..Self::tesla_c2075()
+        }
     }
 
     /// Peak single-precision FLOPS implied by the configuration

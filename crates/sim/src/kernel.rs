@@ -13,9 +13,10 @@
 use crate::config::GpuConfig;
 use crate::memory::{Buffer, DeviceMemory};
 use crate::occupancy::{occupancy, Occupancy};
+use crate::profile::SiteProfile;
 use crate::stats::KernelStats;
 use crate::timing::{kernel_time, KernelTiming};
-use crate::trace::{caller_site, BuildPtrHasher, OpClass, Space};
+use crate::trace::{BuildPtrHasher, OpClass, Space};
 use crate::warp::WarpAccumulator;
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -88,6 +89,15 @@ impl std::fmt::Display for LaunchError {
 
 impl std::error::Error for LaunchError {}
 
+/// Optional launch behaviours; [`Default`] is the plain fast path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaunchOptions {
+    /// Aggregate counters per source site and resolve `file:line` for the
+    /// hotspot table. Off by default: the plain path allocates no site map
+    /// and records events exactly as if profiling did not exist.
+    pub profile_sites: bool,
+}
+
 /// Everything a launch produces: the profiler counters, the occupancy, and
 /// the modelled execution time.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,6 +108,9 @@ pub struct LaunchReport {
     pub occupancy: Occupancy,
     /// Analytic execution-time estimate.
     pub timing: KernelTiming,
+    /// Per-site counters, present when
+    /// [`LaunchOptions::profile_sites`] was set.
+    pub sites: Option<SiteProfile>,
 }
 
 type WriteMap = HashMap<(u64, u8), u64, BuildPtrHasher>;
@@ -159,21 +172,21 @@ impl ThreadCtx<'_> {
     #[track_caller]
     #[inline]
     pub fn flop64(&mut self, n: u32) {
-        self.acc.record_op(caller_site(Location::caller()), OpClass::F64, n);
+        self.acc.record_op(Location::caller(), OpClass::F64, n);
     }
 
     /// Charges `n` single-precision floating-point operations.
     #[track_caller]
     #[inline]
     pub fn flop32(&mut self, n: u32) {
-        self.acc.record_op(caller_site(Location::caller()), OpClass::F32, n);
+        self.acc.record_op(Location::caller(), OpClass::F32, n);
     }
 
     /// Charges `n` integer/address operations.
     #[track_caller]
     #[inline]
     pub fn int_op(&mut self, n: u32) {
-        self.acc.record_op(caller_site(Location::caller()), OpClass::Int, n);
+        self.acc.record_op(Location::caller(), OpClass::Int, n);
     }
 
     /// Records a data-dependent branch and returns the condition, so
@@ -181,7 +194,7 @@ impl ThreadCtx<'_> {
     #[track_caller]
     #[inline]
     pub fn branch(&mut self, cond: bool) -> bool {
-        self.acc.record_branch(caller_site(Location::caller()), cond);
+        self.acc.record_branch(Location::caller(), cond);
         cond
     }
 
@@ -193,7 +206,7 @@ impl ThreadCtx<'_> {
     #[track_caller]
     #[inline]
     pub fn sync(&mut self) {
-        self.acc.record_sync(caller_site(Location::caller()));
+        self.acc.record_sync(Location::caller());
     }
 
     // ---- global memory ----
@@ -214,7 +227,8 @@ impl ThreadCtx<'_> {
     #[inline]
     pub fn ld_f64(&mut self, buf: Buffer, idx: usize) -> f64 {
         let addr = buf.addr() + (idx * 8) as u64;
-        self.acc.record_mem(caller_site(Location::caller()), Space::Global, false, addr, 8);
+        self.acc
+            .record_mem(Location::caller(), Space::Global, false, addr, 8);
         f64::from_le_bytes(self.read_bytes(addr, 8).to_le_bytes())
     }
 
@@ -223,8 +237,10 @@ impl ThreadCtx<'_> {
     #[inline]
     pub fn st_f64(&mut self, buf: Buffer, idx: usize, v: f64) {
         let addr = buf.addr() + (idx * 8) as u64;
-        self.acc.record_mem(caller_site(Location::caller()), Space::Global, true, addr, 8);
-        self.writes.insert((addr, 8), u64::from_le_bytes(v.to_le_bytes()));
+        self.acc
+            .record_mem(Location::caller(), Space::Global, true, addr, 8);
+        self.writes
+            .insert((addr, 8), u64::from_le_bytes(v.to_le_bytes()));
     }
 
     /// Loads an `f32` from global memory.
@@ -232,7 +248,8 @@ impl ThreadCtx<'_> {
     #[inline]
     pub fn ld_f32(&mut self, buf: Buffer, idx: usize) -> f32 {
         let addr = buf.addr() + (idx * 4) as u64;
-        self.acc.record_mem(caller_site(Location::caller()), Space::Global, false, addr, 4);
+        self.acc
+            .record_mem(Location::caller(), Space::Global, false, addr, 4);
         f32::from_le_bytes((self.read_bytes(addr, 4) as u32).to_le_bytes())
     }
 
@@ -241,8 +258,10 @@ impl ThreadCtx<'_> {
     #[inline]
     pub fn st_f32(&mut self, buf: Buffer, idx: usize, v: f32) {
         let addr = buf.addr() + (idx * 4) as u64;
-        self.acc.record_mem(caller_site(Location::caller()), Space::Global, true, addr, 4);
-        self.writes.insert((addr, 4), u32::from_le_bytes(v.to_le_bytes()) as u64);
+        self.acc
+            .record_mem(Location::caller(), Space::Global, true, addr, 4);
+        self.writes
+            .insert((addr, 4), u32::from_le_bytes(v.to_le_bytes()) as u64);
     }
 
     /// Loads a `u8` from global memory.
@@ -250,7 +269,8 @@ impl ThreadCtx<'_> {
     #[inline]
     pub fn ld_u8(&mut self, buf: Buffer, idx: usize) -> u8 {
         let addr = buf.addr() + idx as u64;
-        self.acc.record_mem(caller_site(Location::caller()), Space::Global, false, addr, 1);
+        self.acc
+            .record_mem(Location::caller(), Space::Global, false, addr, 1);
         self.read_bytes(addr, 1) as u8
     }
 
@@ -259,7 +279,8 @@ impl ThreadCtx<'_> {
     #[inline]
     pub fn st_u8(&mut self, buf: Buffer, idx: usize, v: u8) {
         let addr = buf.addr() + idx as u64;
-        self.acc.record_mem(caller_site(Location::caller()), Space::Global, true, addr, 1);
+        self.acc
+            .record_mem(Location::caller(), Space::Global, true, addr, 1);
         self.writes.insert((addr, 1), v as u64);
     }
 
@@ -278,7 +299,8 @@ impl ThreadCtx<'_> {
     #[inline]
     pub fn ld_local(&mut self, slot: usize) -> f64 {
         let addr = self.local_addr(slot);
-        self.acc.record_mem(caller_site(Location::caller()), Space::Local, false, addr, 8);
+        self.acc
+            .record_mem(Location::caller(), Space::Local, false, addr, 8);
         self.local[slot]
     }
 
@@ -287,7 +309,8 @@ impl ThreadCtx<'_> {
     #[inline]
     pub fn st_local(&mut self, slot: usize, v: f64) {
         let addr = self.local_addr(slot);
-        self.acc.record_mem(caller_site(Location::caller()), Space::Local, true, addr, 8);
+        self.acc
+            .record_mem(Location::caller(), Space::Local, true, addr, 8);
         self.local[slot] = v;
     }
 
@@ -297,7 +320,8 @@ impl ThreadCtx<'_> {
     #[track_caller]
     #[inline]
     pub fn sh_ld_f64(&mut self, off: usize) -> f64 {
-        self.acc.record_mem(caller_site(Location::caller()), Space::Shared, false, off as u64, 8);
+        self.acc
+            .record_mem(Location::caller(), Space::Shared, false, off as u64, 8);
         f64::from_le_bytes(self.shared[off..off + 8].try_into().expect("8 bytes"))
     }
 
@@ -305,7 +329,8 @@ impl ThreadCtx<'_> {
     #[track_caller]
     #[inline]
     pub fn sh_st_f64(&mut self, off: usize, v: f64) {
-        self.acc.record_mem(caller_site(Location::caller()), Space::Shared, true, off as u64, 8);
+        self.acc
+            .record_mem(Location::caller(), Space::Shared, true, off as u64, 8);
         self.shared[off..off + 8].copy_from_slice(&v.to_le_bytes());
     }
 
@@ -313,7 +338,8 @@ impl ThreadCtx<'_> {
     #[track_caller]
     #[inline]
     pub fn sh_ld_f32(&mut self, off: usize) -> f32 {
-        self.acc.record_mem(caller_site(Location::caller()), Space::Shared, false, off as u64, 4);
+        self.acc
+            .record_mem(Location::caller(), Space::Shared, false, off as u64, 4);
         f32::from_le_bytes(self.shared[off..off + 4].try_into().expect("4 bytes"))
     }
 
@@ -321,7 +347,8 @@ impl ThreadCtx<'_> {
     #[track_caller]
     #[inline]
     pub fn sh_st_f32(&mut self, off: usize, v: f32) {
-        self.acc.record_mem(caller_site(Location::caller()), Space::Shared, true, off as u64, 4);
+        self.acc
+            .record_mem(Location::caller(), Space::Shared, true, off as u64, 4);
         self.shared[off..off + 4].copy_from_slice(&v.to_le_bytes());
     }
 
@@ -329,7 +356,8 @@ impl ThreadCtx<'_> {
     #[track_caller]
     #[inline]
     pub fn sh_ld_u8(&mut self, off: usize) -> u8 {
-        self.acc.record_mem(caller_site(Location::caller()), Space::Shared, false, off as u64, 1);
+        self.acc
+            .record_mem(Location::caller(), Space::Shared, false, off as u64, 1);
         self.shared[off]
     }
 
@@ -337,7 +365,8 @@ impl ThreadCtx<'_> {
     #[track_caller]
     #[inline]
     pub fn sh_st_u8(&mut self, off: usize, v: u8) {
-        self.acc.record_mem(caller_site(Location::caller()), Space::Shared, true, off as u64, 1);
+        self.acc
+            .record_mem(Location::caller(), Space::Shared, true, off as u64, 1);
         self.shared[off] = v;
     }
 }
@@ -356,6 +385,21 @@ pub fn launch(
     cfg: &GpuConfig,
     lc: LaunchConfig,
     kernel: &dyn Kernel,
+) -> Result<LaunchReport, LaunchError> {
+    launch_with(mem, cfg, lc, kernel, LaunchOptions::default())
+}
+
+/// [`launch`] with explicit [`LaunchOptions`] — in particular per-site
+/// hotspot profiling.
+///
+/// # Errors
+/// Same as [`launch`].
+pub fn launch_with(
+    mem: &mut DeviceMemory,
+    cfg: &GpuConfig,
+    lc: LaunchConfig,
+    kernel: &dyn Kernel,
+    opts: LaunchOptions,
 ) -> Result<LaunchReport, LaunchError> {
     if lc.blocks == 0 || lc.threads_per_block == 0 {
         return Err(LaunchError::InvalidConfig(format!(
@@ -381,14 +425,18 @@ pub fn launch(
     let warps_per_block = tpb.div_ceil(cfg.warp_size) as u64;
     let snapshot: &[u8] = mem.raw();
 
-    let results: Vec<(WriteMap, KernelStats)> = (0..lc.blocks)
+    let results: Vec<(WriteMap, KernelStats, Option<SiteProfile>)> = (0..lc.blocks)
         .into_par_iter()
         .map(|b| {
             let mut writes = WriteMap::default();
             let mut shared = vec![0u8; res.shared_bytes_per_block];
             let mut local = vec![0.0f64; res.local_f64_slots];
             let mut stats = KernelStats::default();
-            let mut acc = WarpAccumulator::new();
+            let mut acc = if opts.profile_sites {
+                WarpAccumulator::with_site_profile()
+            } else {
+                WarpAccumulator::new()
+            };
             // Optional L2: each block simulates a private slice of the
             // shared cache (see crate::cache for the approximation).
             let mut cache = if cfg.l2_bytes > 0 {
@@ -427,17 +475,22 @@ pub fn launch(
                 w += 1;
             }
             stats.blocks = 1;
-            (writes, stats)
+            let sites = acc.take_site_profile();
+            (writes, stats, sites)
         })
         .collect();
 
     let mut stats = KernelStats::default();
-    for (writes, s) in &results {
+    let mut sites = opts.profile_sites.then(SiteProfile::new);
+    for (writes, s, block_sites) in &results {
         stats.merge(s);
+        if let (Some(total), Some(block)) = (&mut sites, block_sites) {
+            total.merge(block);
+        }
         let _ = writes; // applied below; keep borrow order obvious
     }
     let raw = mem.raw_mut();
-    for (writes, _) in results {
+    for (writes, _, _) in results {
         for ((addr, width), bytes) in writes {
             let a = addr as usize;
             let w = width as usize;
@@ -446,7 +499,12 @@ pub fn launch(
     }
 
     let timing = kernel_time(&stats, &occ, cfg);
-    Ok(LaunchReport { stats, occupancy: occ, timing })
+    Ok(LaunchReport {
+        stats,
+        occupancy: occ,
+        timing,
+        sites,
+    })
 }
 
 #[cfg(test)]
@@ -462,7 +520,11 @@ mod tests {
 
     impl Kernel for DoubleKernel {
         fn resources(&self) -> KernelResources {
-            KernelResources { regs_per_thread: 16, shared_bytes_per_block: 0, local_f64_slots: 0 }
+            KernelResources {
+                regs_per_thread: 16,
+                shared_bytes_per_block: 0,
+                local_f64_slots: 0,
+            }
         }
 
         fn run(&self, ctx: &mut ThreadCtx<'_>) {
@@ -521,7 +583,11 @@ mod tests {
         }
         impl Kernel for Rw {
             fn resources(&self) -> KernelResources {
-                KernelResources { regs_per_thread: 8, shared_bytes_per_block: 0, local_f64_slots: 0 }
+                KernelResources {
+                    regs_per_thread: 8,
+                    shared_bytes_per_block: 0,
+                    local_f64_slots: 0,
+                }
             }
             fn run(&self, ctx: &mut ThreadCtx<'_>) {
                 let i = ctx.global_thread_id();
@@ -543,10 +609,21 @@ mod tests {
     fn zero_grid_rejected() {
         let mut mem = DeviceMemory::new(1 << 20);
         let buf = mem.alloc_array::<f64>(1).unwrap();
-        let k = DoubleKernel { input: buf, output: buf, n: 0 };
+        let k = DoubleKernel {
+            input: buf,
+            output: buf,
+            n: 0,
+        };
         let cfg = GpuConfig::default();
-        let err =
-            launch(&mut mem, &cfg, LaunchConfig { blocks: 0, threads_per_block: 128 }, &k);
+        let err = launch(
+            &mut mem,
+            &cfg,
+            LaunchConfig {
+                blocks: 0,
+                threads_per_block: 128,
+            },
+            &k,
+        );
         assert!(matches!(err, Err(LaunchError::InvalidConfig(_))));
     }
 
@@ -554,10 +631,21 @@ mod tests {
     fn oversized_block_rejected() {
         let mut mem = DeviceMemory::new(1 << 20);
         let buf = mem.alloc_array::<f64>(1).unwrap();
-        let k = DoubleKernel { input: buf, output: buf, n: 1 };
+        let k = DoubleKernel {
+            input: buf,
+            output: buf,
+            n: 1,
+        };
         let cfg = GpuConfig::default();
-        let err =
-            launch(&mut mem, &cfg, LaunchConfig { blocks: 1, threads_per_block: 4096 }, &k);
+        let err = launch(
+            &mut mem,
+            &cfg,
+            LaunchConfig {
+                blocks: 1,
+                threads_per_block: 4096,
+            },
+            &k,
+        );
         assert!(matches!(err, Err(LaunchError::InvalidConfig(_))));
     }
 
@@ -576,7 +664,15 @@ mod tests {
         }
         let mut mem = DeviceMemory::new(1 << 20);
         let cfg = GpuConfig::default();
-        let err = launch(&mut mem, &cfg, LaunchConfig { blocks: 1, threads_per_block: 32 }, &Fat);
+        let err = launch(
+            &mut mem,
+            &cfg,
+            LaunchConfig {
+                blocks: 1,
+                threads_per_block: 32,
+            },
+            &Fat,
+        );
         assert!(matches!(err, Err(LaunchError::ResourcesExceeded(_))));
     }
 
@@ -588,7 +684,11 @@ mod tests {
         }
         impl Kernel for Diverge {
             fn resources(&self) -> KernelResources {
-                KernelResources { regs_per_thread: 8, shared_bytes_per_block: 0, local_f64_slots: 0 }
+                KernelResources {
+                    regs_per_thread: 8,
+                    shared_bytes_per_block: 0,
+                    local_f64_slots: 0,
+                }
             }
             fn run(&self, ctx: &mut ThreadCtx<'_>) {
                 let i = ctx.global_thread_id();
@@ -604,8 +704,13 @@ mod tests {
         let mut mem = DeviceMemory::new(1 << 20);
         let out = mem.alloc_array::<f64>(128).unwrap();
         let cfg = GpuConfig::default();
-        let report =
-            launch(&mut mem, &cfg, LaunchConfig::cover(128, 128), &Diverge { out }).unwrap();
+        let report = launch(
+            &mut mem,
+            &cfg,
+            LaunchConfig::cover(128, 128),
+            &Diverge { out },
+        )
+        .unwrap();
         assert_eq!(report.stats.branch_efficiency(), 0.0);
         // Serialization: both sides' flop slots issued in every warp.
         // 4 warps x 2 paths x 10 f64-flops x cost 2 = 160 cycles of flops
@@ -643,8 +748,13 @@ mod tests {
         let mut mem = DeviceMemory::new(1 << 20);
         let out = mem.alloc_array::<f64>(256).unwrap();
         let cfg = GpuConfig::default();
-        let report =
-            launch(&mut mem, &cfg, LaunchConfig::cover(256, 128), &Stage { out }).unwrap();
+        let report = launch(
+            &mut mem,
+            &cfg,
+            LaunchConfig::cover(256, 128),
+            &Stage { out },
+        )
+        .unwrap();
         for i in 0..256 {
             assert_eq!(mem.read_f64(out, i), i as f64 * 3.0);
         }
@@ -662,7 +772,11 @@ mod tests {
         }
         impl Kernel for Spill {
             fn resources(&self) -> KernelResources {
-                KernelResources { regs_per_thread: 8, shared_bytes_per_block: 0, local_f64_slots: 4 }
+                KernelResources {
+                    regs_per_thread: 8,
+                    shared_bytes_per_block: 0,
+                    local_f64_slots: 4,
+                }
             }
             fn run(&self, ctx: &mut ThreadCtx<'_>) {
                 let g = ctx.global_thread_id();
@@ -674,8 +788,7 @@ mod tests {
         let mut mem = DeviceMemory::new(1 << 20);
         let out = mem.alloc_array::<f64>(96).unwrap();
         let cfg = GpuConfig::default();
-        let report =
-            launch(&mut mem, &cfg, LaunchConfig::cover(96, 32), &Spill { out }).unwrap();
+        let report = launch(&mut mem, &cfg, LaunchConfig::cover(96, 32), &Spill { out }).unwrap();
         for i in 0..96 {
             assert_eq!(mem.read_f64(out, i), i as f64);
         }
@@ -684,6 +797,53 @@ mod tests {
         assert_eq!(report.stats.local_store_tx, 6);
         assert_eq!(report.stats.local_load_tx, 6);
         assert_eq!(report.stats.global_store_tx, 6);
+    }
+
+    #[test]
+    fn default_launch_has_no_site_profile() {
+        let n = 256;
+        let (mut mem, input, output) = setup(n);
+        let k = DoubleKernel { input, output, n };
+        let cfg = GpuConfig::default();
+        let report = launch(&mut mem, &cfg, LaunchConfig::cover(n, 128), &k).unwrap();
+        assert!(report.sites.is_none());
+    }
+
+    #[test]
+    fn profiled_launch_attributes_sites_to_source_lines() {
+        let n = 1024;
+        let (mut mem, input, output) = setup(n);
+        let k = DoubleKernel { input, output, n };
+        let cfg = GpuConfig::default();
+        let opts = LaunchOptions {
+            profile_sites: true,
+        };
+        let report = launch_with(&mut mem, &cfg, LaunchConfig::cover(n, 128), &k, opts).unwrap();
+        // Functional output must be unaffected by profiling.
+        for i in 0..n {
+            assert_eq!(mem.read_f64(output, i), 2.0 * i as f64);
+        }
+        let sites = report.sites.expect("profiled launch returns sites");
+        // DoubleKernel::run has three distinct instrumented call sites
+        // (ld_f64, flop64, st_f64) plus warp-divergence-free guards.
+        assert!(sites.len() >= 3, "expected >=3 sites, got {}", sites.len());
+        let rows = sites.ranked_rows();
+        let resolved: Vec<&str> = rows.iter().filter_map(|r| r.source.as_deref()).collect();
+        assert!(
+            resolved.len() >= 3,
+            "all real sites must resolve: {resolved:?}"
+        );
+        for src in &resolved {
+            assert!(src.contains("kernel.rs"), "unexpected site file: {src}");
+        }
+        // Site-level counters must agree with the launch-level totals.
+        let site_tx: u64 = rows.iter().map(|r| r.stats.transactions).sum();
+        assert_eq!(site_tx, report.stats.total_tx());
+        let site_cycles: f64 = rows.iter().map(|r| r.stats.issue_cycles).sum();
+        assert!((site_cycles - report.stats.issue_cycles).abs() < 1e-9);
+        // And the rendered table shows source positions, not placeholders.
+        let table = sites.hotspot_table(10);
+        assert!(table.contains("kernel.rs:"), "table:\n{table}");
     }
 
     #[test]
@@ -713,7 +873,11 @@ mod determinism_tests {
         }
         impl Kernel for Mixed {
             fn resources(&self) -> KernelResources {
-                KernelResources { regs_per_thread: 16, shared_bytes_per_block: 64, local_f64_slots: 2 }
+                KernelResources {
+                    regs_per_thread: 16,
+                    shared_bytes_per_block: 64,
+                    local_f64_slots: 2,
+                }
             }
             fn run(&self, ctx: &mut ThreadCtx<'_>) {
                 let i = ctx.global_thread_id();

@@ -46,20 +46,27 @@
 //! does; each thread owns its pixel).
 
 pub mod cache;
+pub mod chrome_trace;
 pub mod config;
 pub mod cpu;
 pub mod dma;
 pub mod kernel;
 pub mod memory;
 pub mod occupancy;
+pub mod profile;
 pub mod stats;
 pub mod timing;
 pub mod trace;
 pub mod warp;
 
 pub use config::{CpuConfig, GpuConfig};
-pub use kernel::{launch, Kernel, KernelResources, LaunchConfig, LaunchError, ThreadCtx};
+pub use kernel::{
+    launch, launch_with, Kernel, KernelResources, LaunchConfig, LaunchError, LaunchOptions,
+    LaunchReport, ThreadCtx,
+};
 pub use memory::{Buffer, DeviceMemory, MemoryError};
 pub use occupancy::{occupancy, Occupancy};
+pub use profile::{HotspotRow, SiteProfile, SiteStats};
 pub use stats::{DerivedMetrics, KernelStats};
 pub use timing::{kernel_time, KernelTiming};
+pub use trace::{site_source, SiteSource};

@@ -38,7 +38,10 @@ impl Buffer {
     /// Panics if the range exceeds the buffer.
     pub fn slice(&self, byte_off: usize, len: usize) -> Buffer {
         assert!(byte_off + len <= self.len, "sub-buffer out of range");
-        Buffer { offset: self.offset + byte_off, len }
+        Buffer {
+            offset: self.offset + byte_off,
+            len,
+        }
     }
 }
 
@@ -57,8 +60,14 @@ pub enum MemoryError {
 impl std::fmt::Display for MemoryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MemoryError::OutOfMemory { requested, available } => {
-                write!(f, "device out of memory: requested {requested} B, {available} B available")
+            MemoryError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "device out of memory: requested {requested} B, {available} B available"
+                )
             }
         }
     }
@@ -84,7 +93,11 @@ const ALLOC_ALIGN: usize = 256;
 impl DeviceMemory {
     /// Creates a device memory of `capacity` bytes.
     pub fn new(capacity: usize) -> Self {
-        DeviceMemory { data: Vec::new(), capacity, cursor: 0 }
+        DeviceMemory {
+            data: Vec::new(),
+            capacity,
+            cursor: 0,
+        }
     }
 
     /// Creates a device memory with the capacity from `cfg`.
@@ -112,7 +125,10 @@ impl DeviceMemory {
             self.data.resize(end, 0);
         }
         self.cursor = end;
-        Ok(Buffer { offset: start, len: bytes })
+        Ok(Buffer {
+            offset: start,
+            len: bytes,
+        })
     }
 
     /// Allocates room for `n` elements of `T` (sized by `size_of::<T>()`).

@@ -56,17 +56,21 @@ pub fn occupancy(cfg: &GpuConfig, lc: &LaunchConfig, res: &KernelResources) -> O
 
     // Limit 2: registers. CC 2.x allocates registers per warp in units of
     // `register_alloc_unit` (64).
-    let regs_per_warp =
-        (res.regs_per_thread * cfg.warp_size).div_ceil(cfg.register_alloc_unit) * cfg.register_alloc_unit;
+    let regs_per_warp = (res.regs_per_thread * cfg.warp_size).div_ceil(cfg.register_alloc_unit)
+        * cfg.register_alloc_unit;
     let regs_per_block = regs_per_warp * warps_per_block;
-    let limit_regs = cfg.registers_per_sm.checked_div(regs_per_block).unwrap_or(u32::MAX);
+    let limit_regs = cfg
+        .registers_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(u32::MAX);
 
     // Limit 3: shared memory, allocated in `shared_alloc_unit` granules.
-    let shared_per_block = (res.shared_bytes_per_block as u32)
-        .div_ceil(cfg.shared_alloc_unit)
-        * cfg.shared_alloc_unit;
-    let limit_shared =
-        cfg.shared_mem_per_sm.checked_div(shared_per_block).unwrap_or(u32::MAX);
+    let shared_per_block =
+        (res.shared_bytes_per_block as u32).div_ceil(cfg.shared_alloc_unit) * cfg.shared_alloc_unit;
+    let limit_shared = cfg
+        .shared_mem_per_sm
+        .checked_div(shared_per_block)
+        .unwrap_or(u32::MAX);
 
     // Limit 4: hardware block slots; also the max-threads ceiling.
     let limit_threads = cfg.max_threads_per_sm / lc.threads_per_block;
@@ -101,7 +105,10 @@ mod tests {
 
     fn occ(regs: u32, shared: usize, tpb: u32) -> Option<Occupancy> {
         let cfg = GpuConfig::tesla_c2075();
-        let lc = LaunchConfig { blocks: 1000, threads_per_block: tpb };
+        let lc = LaunchConfig {
+            blocks: 1000,
+            threads_per_block: tpb,
+        };
         let res = KernelResources {
             regs_per_thread: regs,
             shared_bytes_per_block: shared,

@@ -1,0 +1,269 @@
+//! Source-attributed hotspot profiles: per-[`Site`] counter aggregation
+//! and the ranked nvprof-style table.
+//!
+//! The warp accumulator already keys every slot by its `#[track_caller]`
+//! site (see [`crate::trace`]); profiling simply keeps those keys instead
+//! of discarding them after slot alignment. Aggregation is opt-in via
+//! [`crate::kernel::LaunchOptions::profile_sites`] — the default launch
+//! path allocates nothing and touches no site map.
+
+use crate::trace::{site_source, BuildPtrHasher, Site, SiteSource};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Counters attributed to one source site, summed over every warp slot
+/// the site produced during a launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct SiteStats {
+    /// Weighted issue cycles spent on this site's slots.
+    pub issue_cycles: f64,
+    /// Warp-level slots this site produced.
+    pub warp_slots: u64,
+    /// Branch slots.
+    pub branch_slots: u64,
+    /// Branch slots whose lanes disagreed.
+    pub divergent_branch_slots: u64,
+    /// DRAM transactions (global + local, loads + stores).
+    pub transactions: u64,
+    /// Bytes the lanes requested at this site.
+    pub bytes_requested: u64,
+    /// Shared-memory replays (bank conflicts).
+    pub shared_replays: u64,
+    /// Scalar operations (arithmetic, summed over lanes).
+    pub scalar_ops: u64,
+}
+
+impl SiteStats {
+    /// Merges another site's worth of counters into this one.
+    pub fn merge(&mut self, o: &SiteStats) {
+        self.issue_cycles += o.issue_cycles;
+        self.warp_slots += o.warp_slots;
+        self.branch_slots += o.branch_slots;
+        self.divergent_branch_slots += o.divergent_branch_slots;
+        self.transactions += o.transactions;
+        self.bytes_requested += o.bytes_requested;
+        self.shared_replays += o.shared_replays;
+        self.scalar_ops += o.scalar_ops;
+    }
+
+    /// Share of this site's branch slots that diverged (0 when the site
+    /// has no branches).
+    pub fn divergent_share(&self) -> f64 {
+        if self.branch_slots == 0 {
+            0.0
+        } else {
+            self.divergent_branch_slots as f64 / self.branch_slots as f64
+        }
+    }
+}
+
+/// Per-site counter map for one kernel launch (or several merged ones).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SiteProfile {
+    map: HashMap<Site, SiteStats, BuildPtrHasher>,
+}
+
+/// One row of the ranked hotspot table: a site resolved to its source
+/// position plus its aggregated counters.
+#[derive(Debug, Clone, Serialize)]
+pub struct HotspotRow {
+    /// `file:line` when the site was captured during a profiled launch.
+    pub source: Option<String>,
+    /// Aggregated counters.
+    pub stats: SiteStats,
+}
+
+impl SiteProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one site's slot contribution in.
+    /// Returns `true` when this is the first contribution for `site`.
+    pub(crate) fn add(&mut self, site: Site, delta: &SiteStats) -> bool {
+        match self.map.entry(site) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().merge(delta);
+                false
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(*delta);
+                true
+            }
+        }
+    }
+
+    /// Merges another profile (e.g. another block's) into this one.
+    pub fn merge(&mut self, o: &SiteProfile) {
+        for (site, stats) in &o.map {
+            self.map.entry(*site).or_default().merge(stats);
+        }
+    }
+
+    /// Number of distinct sites recorded.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no sites were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up one site's counters.
+    pub fn get(&self, site: Site) -> Option<&SiteStats> {
+        self.map.get(&site)
+    }
+
+    /// Iterates `(site, stats)` in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (Site, &SiteStats)> {
+        self.map.iter().map(|(s, v)| (*s, v))
+    }
+
+    /// Resolved rows ranked by issue cycles, descending — the hotspot
+    /// table order. Ties break on the source string so output is stable.
+    pub fn ranked_rows(&self) -> Vec<HotspotRow> {
+        let mut rows: Vec<HotspotRow> = self
+            .map
+            .iter()
+            .map(|(site, stats)| HotspotRow {
+                source: site_source(*site).map(|s: SiteSource| s.to_string()),
+                stats: *stats,
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.stats
+                .issue_cycles
+                .partial_cmp(&a.stats.issue_cycles)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.source.cmp(&b.source))
+        });
+        rows
+    }
+
+    /// Renders the top-`n` hotspot rows as an aligned text table.
+    pub fn hotspot_table(&self, n: usize) -> String {
+        render_rows(&self.ranked_rows(), n)
+    }
+}
+
+/// Renders already-ranked hotspot rows as an aligned text table — the
+/// same format as [`SiteProfile::hotspot_table`], for callers that hold
+/// rows (e.g. merged across launches) rather than a live profile.
+pub fn render_rows(rows: &[HotspotRow], n: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<52} {:>12} {:>8} {:>7} {:>10} {:>8}\n",
+        "source", "issue_cyc", "tx", "div%", "bytes_req", "replays"
+    ));
+    for row in rows.iter().take(n) {
+        let source = row.source.as_deref().unwrap_or("<unresolved>");
+        // Keep the tail of long paths — the file name is the signal.
+        let shown = if source.len() > 52 {
+            &source[source.len() - 52..]
+        } else {
+            source
+        };
+        out.push_str(&format!(
+            "{:<52} {:>12.1} {:>8} {:>6.1}% {:>10} {:>8}\n",
+            shown,
+            row.stats.issue_cycles,
+            row.stats.transactions,
+            row.stats.divergent_share() * 100.0,
+            row.stats.bytes_requested,
+            row.stats.shared_replays,
+        ));
+    }
+    out
+}
+
+impl Serialize for SiteProfile {
+    fn to_json_value(&self) -> serde::Value {
+        // Serialize as the ranked row list: sites are process-local
+        // pointers, meaningless outside this run.
+        self.ranked_rows().to_json_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_per_site() {
+        let mut p = SiteProfile::new();
+        p.add(
+            0x1000,
+            &SiteStats {
+                issue_cycles: 2.0,
+                warp_slots: 1,
+                ..Default::default()
+            },
+        );
+        p.add(
+            0x2000,
+            &SiteStats {
+                issue_cycles: 8.0,
+                warp_slots: 1,
+                ..Default::default()
+            },
+        );
+        let mut q = SiteProfile::new();
+        q.add(
+            0x1000,
+            &SiteStats {
+                issue_cycles: 3.0,
+                warp_slots: 2,
+                ..Default::default()
+            },
+        );
+        p.merge(&q);
+        assert_eq!(p.len(), 2);
+        assert!((p.get(0x1000).unwrap().issue_cycles - 5.0).abs() < 1e-12);
+        assert_eq!(p.get(0x1000).unwrap().warp_slots, 3);
+    }
+
+    #[test]
+    fn ranked_rows_sort_by_issue_cycles() {
+        let mut p = SiteProfile::new();
+        p.add(
+            0x1000,
+            &SiteStats {
+                issue_cycles: 2.0,
+                ..Default::default()
+            },
+        );
+        p.add(
+            0x2000,
+            &SiteStats {
+                issue_cycles: 8.0,
+                ..Default::default()
+            },
+        );
+        p.add(
+            0x3000,
+            &SiteStats {
+                issue_cycles: 5.0,
+                ..Default::default()
+            },
+        );
+        let rows = p.ranked_rows();
+        let cycles: Vec<f64> = rows.iter().map(|r| r.stats.issue_cycles).collect();
+        assert_eq!(cycles, vec![8.0, 5.0, 2.0]);
+        // Synthetic sites are unresolved but render without panicking.
+        assert!(p.hotspot_table(10).contains("<unresolved>"));
+    }
+
+    #[test]
+    fn divergent_share_handles_no_branches() {
+        let s = SiteStats::default();
+        assert_eq!(s.divergent_share(), 0.0);
+        let d = SiteStats {
+            branch_slots: 4,
+            divergent_branch_slots: 1,
+            ..Default::default()
+        };
+        assert!((d.divergent_share() - 0.25).abs() < 1e-12);
+    }
+}

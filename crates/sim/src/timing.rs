@@ -77,9 +77,18 @@ pub fn kernel_time(stats: &KernelStats, occ: &Occupancy, cfg: &GpuConfig) -> Ker
         (t_mem_lat, Bound::Latency),
     ]
     .into_iter()
-    .fold((0.0, Bound::Issue), |acc, x| if x.0 > acc.0 { x } else { acc });
+    .fold(
+        (0.0, Bound::Issue),
+        |acc, x| if x.0 > acc.0 { x } else { acc },
+    );
 
-    KernelTiming { t_issue, t_mem_bw, t_mem_lat, total, bound }
+    KernelTiming {
+        t_issue,
+        t_mem_bw,
+        t_mem_lat,
+        total,
+        bound,
+    }
 }
 
 #[cfg(test)]
@@ -98,7 +107,10 @@ mod tests {
     }
 
     fn big_launch_stats() -> KernelStats {
-        KernelStats { warps: 1_000_000, ..Default::default() }
+        KernelStats {
+            warps: 1_000_000,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -120,7 +132,10 @@ mod tests {
         // so exercise the bandwidth path with a shorter-latency part.
         let mut s = big_launch_stats();
         s.global_load_tx = 100_000_000; // 12.8 GB of segments
-        let cfg = GpuConfig { mem_latency_cycles: 400.0, ..GpuConfig::default() };
+        let cfg = GpuConfig {
+            mem_latency_cycles: 400.0,
+            ..GpuConfig::default()
+        };
         let t = kernel_time(&s, &occ(48), &cfg);
         assert_eq!(t.bound, Bound::Bandwidth);
         let expect = 100_000_000.0 * 128.0 / (144e9 * 0.80);
@@ -148,7 +163,10 @@ mod tests {
     #[test]
     fn small_launch_cannot_hide_latency_with_phantom_warps() {
         // 14 warps on 14 SMs: only 1 warp/SM regardless of occupancy.
-        let mut s = KernelStats { warps: 14, ..Default::default() };
+        let mut s = KernelStats {
+            warps: 14,
+            ..Default::default()
+        };
         s.global_load_tx = 14_000;
         let cfg = GpuConfig::default();
         let t = kernel_time(&s, &occ(48), &cfg);

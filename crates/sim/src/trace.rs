@@ -15,6 +15,7 @@
 //! serialized in the timing model just as Fermi serializes them.
 
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::{OnceLock, RwLock};
 
 /// Identifies a static instruction: the address of the `#[track_caller]`
 /// `Location` for the `ThreadCtx` call. `Location` statics have stable
@@ -22,10 +23,61 @@ use std::hash::{BuildHasherDefault, Hasher};
 /// site key.
 pub type Site = usize;
 
-/// Obtains the [`Site`] for the caller of a `ThreadCtx` method.
-#[inline]
-pub(crate) fn caller_site(loc: &'static std::panic::Location<'static>) -> Site {
-    loc as *const _ as usize
+/// Resolved source position of a [`Site`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteSource {
+    /// Source file path as the compiler recorded it.
+    pub file: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub column: u32,
+}
+
+impl std::fmt::Display for SiteSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.file, self.line)
+    }
+}
+
+fn site_registry() -> &'static RwLock<std::collections::HashMap<Site, SiteSource, BuildPtrHasher>> {
+    static REGISTRY: OnceLock<RwLock<std::collections::HashMap<Site, SiteSource, BuildPtrHasher>>> =
+        OnceLock::new();
+    REGISTRY.get_or_init(Default::default)
+}
+
+/// Registers a site's source position. Called only when a profiling
+/// accumulator folds a site's first slot contribution; unprofiled
+/// launches never reach the registry.
+#[cold]
+pub(crate) fn register_site(site: Site, loc: &'static std::panic::Location<'static>) {
+    let registry = site_registry();
+    if registry
+        .read()
+        .expect("site registry poisoned")
+        .contains_key(&site)
+    {
+        return;
+    }
+    registry.write().expect("site registry poisoned").insert(
+        site,
+        SiteSource {
+            file: loc.file(),
+            line: loc.line(),
+            column: loc.column(),
+        },
+    );
+}
+
+/// Resolves a site to its source position. Returns `None` for sites never
+/// executed under an active profile (including synthetic test sites), so
+/// resolution never dereferences the site value.
+pub fn site_source(site: Site) -> Option<SiteSource> {
+    site_registry()
+        .read()
+        .expect("site registry poisoned")
+        .get(&site)
+        .copied()
 }
 
 /// Classification of an arithmetic event, used for both issue-cost
@@ -158,18 +210,42 @@ mod tests {
     }
 
     #[test]
-    fn caller_site_is_stable() {
-        #[track_caller]
-        fn site_of_caller() -> Site {
-            caller_site(std::panic::Location::caller())
-        }
+    fn unknown_sites_resolve_to_none() {
+        // Synthetic site values (as the warp tests use) must not resolve —
+        // and in particular must not be dereferenced.
+        assert_eq!(site_source(0x1000), None);
+        assert_eq!(site_source(0), None);
+    }
+
+    #[track_caller]
+    fn here() -> (&'static std::panic::Location<'static>, Site) {
+        let loc = std::panic::Location::caller();
+        (loc, loc as *const _ as usize)
+    }
+
+    #[test]
+    fn registration_resolves_source_position() {
+        let (loc, site) = here();
+        // This call site is unique to this test, so it cannot have been
+        // registered by anything else.
+        assert_eq!(site_source(site), None);
+        register_site(site, loc);
+        register_site(site, loc); // idempotent
+        let src = site_source(site).expect("registered site must resolve");
+        assert!(src.file.ends_with("trace.rs"), "file = {}", src.file);
+        assert!(src.line > 0);
+        assert_eq!(format!("{src}"), format!("{}:{}", src.file, src.line));
+    }
+
+    #[test]
+    fn location_sites_are_stable() {
         // Repeated executions of one call site share a Location; a
         // different call site differs.
         let mut sites = Vec::new();
         for _ in 0..2 {
-            sites.push(site_of_caller());
+            sites.push(here().1);
         }
-        let c = site_of_caller();
+        let c = here().1;
         assert_eq!(sites[0], sites[1]);
         assert_ne!(sites[0], c);
     }

@@ -3,17 +3,33 @@
 //! statistics.
 
 use crate::config::GpuConfig;
+use crate::profile::{SiteProfile, SiteStats};
 use crate::stats::KernelStats;
 use crate::trace::{BuildPtrHasher, OpClass, Site, SiteCounters, Space};
 use std::collections::HashMap;
+use std::panic::Location;
 
 /// One warp-level instruction slot under construction.
 #[derive(Debug)]
 enum SlotAccum {
-    Op { class: OpClass, max_count: u32, lanes: u32 },
-    Mem { space: Space, write: bool, bytes_requested: u64, accesses: Vec<(u64, u8)> },
-    Branch { taken: u32, not_taken: u32 },
-    Sync { lanes: u32 },
+    Op {
+        class: OpClass,
+        max_count: u32,
+        lanes: u32,
+    },
+    Mem {
+        space: Space,
+        write: bool,
+        bytes_requested: u64,
+        accesses: Vec<(u64, u8)>,
+    },
+    Branch {
+        taken: u32,
+        not_taken: u32,
+    },
+    Sync {
+        lanes: u32,
+    },
 }
 
 /// Accumulates the events of one warp's 32 lanes and flushes warp-level
@@ -27,12 +43,35 @@ pub struct WarpAccumulator {
     occ: SiteCounters,
     slots: HashMap<(Site, u32), SlotAccum, BuildPtrHasher>,
     lanes_seen: u32,
+    /// Per-site aggregation sink; `None` (the default) skips all
+    /// attribution work.
+    site_profile: Option<SiteProfile>,
 }
 
 impl WarpAccumulator {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        WarpAccumulator { occ: SiteCounters::new(), slots: HashMap::default(), lanes_seen: 0 }
+        WarpAccumulator {
+            occ: SiteCounters::new(),
+            slots: HashMap::default(),
+            lanes_seen: 0,
+            site_profile: None,
+        }
+    }
+
+    /// Creates an accumulator that additionally attributes every slot's
+    /// counters to its source site.
+    pub fn with_site_profile() -> Self {
+        WarpAccumulator {
+            site_profile: Some(SiteProfile::new()),
+            ..Self::new()
+        }
+    }
+
+    /// Takes the accumulated per-site profile (if site profiling was
+    /// enabled), leaving an empty one behind.
+    pub fn take_site_profile(&mut self) -> Option<SiteProfile> {
+        self.site_profile.as_mut().map(std::mem::take)
     }
 
     /// Starts recording a new lane of the current warp.
@@ -48,10 +87,16 @@ impl WarpAccumulator {
 
     /// Records `count` arithmetic operations of `class`.
     #[inline]
-    pub fn record_op(&mut self, site: Site, class: OpClass, count: u32) {
-        let key = self.key(site);
-        match self.slots.entry(key).or_insert(SlotAccum::Op { class, max_count: 0, lanes: 0 }) {
-            SlotAccum::Op { max_count, lanes, .. } => {
+    pub fn record_op(&mut self, loc: &'static Location<'static>, class: OpClass, count: u32) {
+        let key = self.key(loc as *const _ as usize);
+        match self.slots.entry(key).or_insert(SlotAccum::Op {
+            class,
+            max_count: 0,
+            lanes: 0,
+        }) {
+            SlotAccum::Op {
+                max_count, lanes, ..
+            } => {
                 *max_count = (*max_count).max(count);
                 *lanes += 1;
             }
@@ -61,15 +106,26 @@ impl WarpAccumulator {
 
     /// Records a memory access of `width` bytes at `addr` in `space`.
     #[inline]
-    pub fn record_mem(&mut self, site: Site, space: Space, write: bool, addr: u64, width: u8) {
-        let key = self.key(site);
+    pub fn record_mem(
+        &mut self,
+        loc: &'static Location<'static>,
+        space: Space,
+        write: bool,
+        addr: u64,
+        width: u8,
+    ) {
+        let key = self.key(loc as *const _ as usize);
         match self.slots.entry(key).or_insert_with(|| SlotAccum::Mem {
             space,
             write,
             bytes_requested: 0,
             accesses: Vec::with_capacity(32),
         }) {
-            SlotAccum::Mem { bytes_requested, accesses, .. } => {
+            SlotAccum::Mem {
+                bytes_requested,
+                accesses,
+                ..
+            } => {
                 *bytes_requested += width as u64;
                 accesses.push((addr, width));
             }
@@ -79,10 +135,16 @@ impl WarpAccumulator {
 
     /// Records a data-dependent branch outcome.
     #[inline]
-    pub fn record_branch(&mut self, site: Site, taken: bool) {
-        let key = self.key(site);
-        match self.slots.entry(key).or_insert(SlotAccum::Branch { taken: 0, not_taken: 0 }) {
-            SlotAccum::Branch { taken: t, not_taken: n } => {
+    pub fn record_branch(&mut self, loc: &'static Location<'static>, taken: bool) {
+        let key = self.key(loc as *const _ as usize);
+        match self.slots.entry(key).or_insert(SlotAccum::Branch {
+            taken: 0,
+            not_taken: 0,
+        }) {
+            SlotAccum::Branch {
+                taken: t,
+                not_taken: n,
+            } => {
                 if taken {
                     *t += 1;
                 } else {
@@ -95,9 +157,13 @@ impl WarpAccumulator {
 
     /// Records a `__syncthreads()`-style barrier.
     #[inline]
-    pub fn record_sync(&mut self, site: Site) {
-        let key = self.key(site);
-        match self.slots.entry(key).or_insert(SlotAccum::Sync { lanes: 0 }) {
+    pub fn record_sync(&mut self, loc: &'static Location<'static>) {
+        let key = self.key(loc as *const _ as usize);
+        match self
+            .slots
+            .entry(key)
+            .or_insert(SlotAccum::Sync { lanes: 0 })
+        {
             SlotAccum::Sync { lanes } => *lanes += 1,
             other => debug_assert!(false, "slot kind mismatch at sync slot: {other:?}"),
         }
@@ -117,27 +183,64 @@ impl WarpAccumulator {
         &mut self,
         cfg: &GpuConfig,
         stats: &mut KernelStats,
+        cache: Option<&mut crate::cache::CacheModel>,
+    ) {
+        // Monomorphize so the common unprofiled path carries no
+        // per-slot attribution work at all.
+        if self.site_profile.is_some() {
+            self.end_warp_impl::<true>(cfg, stats, cache);
+        } else {
+            self.end_warp_impl::<false>(cfg, stats, cache);
+        }
+    }
+
+    fn end_warp_impl<const PROFILE: bool>(
+        &mut self,
+        cfg: &GpuConfig,
+        stats: &mut KernelStats,
         mut cache: Option<&mut crate::cache::CacheModel>,
     ) {
         let seg = cfg.segment_bytes;
         let mut segments: Vec<u64> = Vec::with_capacity(64);
-        for slot in self.slots.values() {
+        for ((site, _occ), slot) in &self.slots {
+            // Per-slot contribution, also attributed to the slot's source
+            // site when profiling is on.
+            let mut delta = SiteStats {
+                warp_slots: 1,
+                ..Default::default()
+            };
             match slot {
-                SlotAccum::Op { class, max_count, lanes } => {
+                SlotAccum::Op {
+                    class,
+                    max_count,
+                    lanes,
+                } => {
                     let cost = match class {
                         OpClass::F64 => cfg.f64_issue_cost,
                         _ => 1.0,
                     };
                     stats.issue_cycles += *max_count as f64 * cost;
                     let scalar = *max_count as u64 * *lanes as u64;
+                    if PROFILE {
+                        delta.issue_cycles = *max_count as f64 * cost;
+                        delta.scalar_ops = scalar;
+                    }
                     match class {
                         OpClass::Int => stats.int_ops += scalar,
                         OpClass::F32 => stats.flops_f32 += scalar,
                         OpClass::F64 => stats.flops_f64 += scalar,
                     }
                 }
-                SlotAccum::Mem { space, write, bytes_requested, accesses } => {
+                SlotAccum::Mem {
+                    space,
+                    write,
+                    bytes_requested,
+                    accesses,
+                } => {
                     stats.issue_cycles += 1.0;
+                    if PROFILE {
+                        delta.issue_cycles = 1.0;
+                    }
                     match space {
                         Space::Shared => {
                             // Bank conflicts: replays = max number of
@@ -165,6 +268,10 @@ impl WarpAccumulator {
                             stats.shared_replays += degree.saturating_sub(1);
                             // Each replay is an extra issue of this slot.
                             stats.issue_cycles += degree.saturating_sub(1) as f64;
+                            if PROFILE {
+                                delta.shared_replays = degree.saturating_sub(1);
+                                delta.issue_cycles += degree.saturating_sub(1) as f64;
+                            }
                         }
                         Space::Global | Space::Local => {
                             segments.clear();
@@ -194,6 +301,10 @@ impl WarpAccumulator {
                             };
                             stats.mem_slots += 1;
                             stats.lane_mem_accesses += accesses.len() as u64;
+                            if PROFILE {
+                                delta.transactions = tx;
+                                delta.bytes_requested = *bytes_requested;
+                            }
                             match (space, write) {
                                 (Space::Global, false) => {
                                     stats.global_load_tx += tx;
@@ -220,13 +331,35 @@ impl WarpAccumulator {
                     stats.issue_cycles += 1.0;
                     stats.branch_slots += 1;
                     stats.lane_branches += (*taken + *not_taken) as u64;
+                    if PROFILE {
+                        delta.issue_cycles = 1.0;
+                        delta.branch_slots = 1;
+                    }
                     if *taken > 0 && *not_taken > 0 {
                         stats.divergent_branch_slots += 1;
+                        if PROFILE {
+                            delta.divergent_branch_slots = 1;
+                        }
                     }
                 }
                 SlotAccum::Sync { .. } => {
                     stats.issue_cycles += 1.0;
                     stats.sync_slots += 1;
+                    if PROFILE {
+                        delta.issue_cycles = 1.0;
+                    }
+                }
+            }
+            if PROFILE {
+                if let Some(profile) = &mut self.site_profile {
+                    if profile.add(*site, &delta) {
+                        // First sighting of this site in the profile:
+                        // resolve its source position. Sound cast: sites
+                        // only enter `slots` through `record_*`, which
+                        // takes `&'static Location`.
+                        let loc = unsafe { &*(*site as *const Location<'static>) };
+                        crate::trace::register_site(*site, loc);
+                    }
                 }
             }
         }
@@ -264,14 +397,24 @@ mod tests {
         stats
     }
 
-    const SITE_A: Site = 0x1000;
-    const SITE_B: Site = 0x2000;
+    // Two distinct real call sites: the typed `record_*` API requires
+    // genuine `Location`s (their addresses are the site keys).
+    fn site_a() -> &'static Location<'static> {
+        Location::caller()
+    }
+    fn site_b() -> &'static Location<'static> {
+        Location::caller()
+    }
+
+    fn sid(loc: &'static Location<'static>) -> Site {
+        loc as *const _ as usize
+    }
 
     #[test]
     fn coalesced_f64_warp_access_is_two_transactions() {
         // 32 lanes x 8 B contiguous = 256 B = 2 x 128 B segments.
         let stats = run_warp(32, |lane, acc| {
-            acc.record_mem(SITE_A, Space::Global, false, lane as u64 * 8, 8);
+            acc.record_mem(site_a(), Space::Global, false, lane as u64 * 8, 8);
         });
         assert_eq!(stats.global_load_tx, 2);
         assert_eq!(stats.global_load_bytes_requested, 256);
@@ -283,9 +426,13 @@ mod tests {
         // Stride 72 B (3 Gaussians x 3 f64 params, AoS): 32 lanes span
         // 32*72 = 2304 B => 18-19 segments.
         let stats = run_warp(32, |lane, acc| {
-            acc.record_mem(SITE_A, Space::Global, true, lane as u64 * 72, 8);
+            acc.record_mem(site_a(), Space::Global, true, lane as u64 * 72, 8);
         });
-        assert!(stats.global_store_tx >= 18, "tx = {}", stats.global_store_tx);
+        assert!(
+            stats.global_store_tx >= 18,
+            "tx = {}",
+            stats.global_store_tx
+        );
         let eff = stats.gst_efficiency(&cfg());
         assert!(eff < 0.15, "efficiency {eff} should be poor");
     }
@@ -293,7 +440,7 @@ mod tests {
     #[test]
     fn u8_coalesced_access_is_one_quarter_efficient() {
         let stats = run_warp(32, |lane, acc| {
-            acc.record_mem(SITE_A, Space::Global, false, lane as u64, 1);
+            acc.record_mem(site_a(), Space::Global, false, lane as u64, 1);
         });
         assert_eq!(stats.global_load_tx, 1);
         assert!((stats.gld_efficiency(&cfg()) - 0.25).abs() < 1e-12);
@@ -302,7 +449,7 @@ mod tests {
     #[test]
     fn uniform_branch_is_not_divergent() {
         let stats = run_warp(32, |_, acc| {
-            acc.record_branch(SITE_A, true);
+            acc.record_branch(site_a(), true);
         });
         assert_eq!(stats.branch_slots, 1);
         assert_eq!(stats.divergent_branch_slots, 0);
@@ -312,7 +459,7 @@ mod tests {
     #[test]
     fn mixed_branch_is_divergent() {
         let stats = run_warp(32, |lane, acc| {
-            acc.record_branch(SITE_A, lane % 2 == 0);
+            acc.record_branch(site_a(), lane % 2 == 0);
         });
         assert_eq!(stats.branch_slots, 1);
         assert_eq!(stats.divergent_branch_slots, 1);
@@ -321,13 +468,13 @@ mod tests {
 
     #[test]
     fn divergent_paths_serialize_into_extra_slots() {
-        // Half the lanes do work at SITE_A, half at SITE_B: both slots
+        // Half the lanes do work at site_a(), half at site_b(): both slots
         // must be issued (serialization).
         let stats = run_warp(32, |lane, acc| {
             if lane < 16 {
-                acc.record_op(SITE_A, OpClass::F32, 4);
+                acc.record_op(site_a(), OpClass::F32, 4);
             } else {
-                acc.record_op(SITE_B, OpClass::F32, 4);
+                acc.record_op(site_b(), OpClass::F32, 4);
             }
         });
         assert_eq!(stats.warp_slots, 2);
@@ -338,8 +485,8 @@ mod tests {
 
     #[test]
     fn f64_ops_cost_double_issue() {
-        let s32 = run_warp(32, |_, acc| acc.record_op(SITE_A, OpClass::F32, 10));
-        let s64 = run_warp(32, |_, acc| acc.record_op(SITE_A, OpClass::F64, 10));
+        let s32 = run_warp(32, |_, acc| acc.record_op(site_a(), OpClass::F32, 10));
+        let s64 = run_warp(32, |_, acc| acc.record_op(site_a(), OpClass::F64, 10));
         assert!((s64.issue_cycles - 2.0 * s32.issue_cycles).abs() < 1e-12);
     }
 
@@ -349,7 +496,7 @@ mod tests {
         // across lanes => 3 slots, not 1 or 96.
         let stats = run_warp(32, |_, acc| {
             for _ in 0..3 {
-                acc.record_op(SITE_A, OpClass::Int, 1);
+                acc.record_op(site_a(), OpClass::Int, 1);
             }
         });
         assert_eq!(stats.warp_slots, 3);
@@ -360,7 +507,7 @@ mod tests {
     fn shared_conflict_free_access() {
         // Lane i -> word i: all 32 banks hit once.
         let stats = run_warp(32, |lane, acc| {
-            acc.record_mem(SITE_A, Space::Shared, false, lane as u64 * 4, 4);
+            acc.record_mem(site_a(), Space::Shared, false, lane as u64 * 4, 4);
         });
         assert_eq!(stats.shared_accesses, 32);
         assert_eq!(stats.shared_replays, 0);
@@ -370,7 +517,7 @@ mod tests {
     fn shared_two_way_bank_conflict() {
         // Lane i -> word 2*i: banks 0,2,4,... each hit twice => 1 replay.
         let stats = run_warp(32, |lane, acc| {
-            acc.record_mem(SITE_A, Space::Shared, false, lane as u64 * 8, 4);
+            acc.record_mem(site_a(), Space::Shared, false, lane as u64 * 8, 4);
         });
         assert_eq!(stats.shared_replays, 1);
     }
@@ -379,7 +526,7 @@ mod tests {
     fn shared_broadcast_is_conflict_free() {
         // All lanes read the same word: broadcast, no replay.
         let stats = run_warp(32, |_, acc| {
-            acc.record_mem(SITE_A, Space::Shared, false, 64, 4);
+            acc.record_mem(site_a(), Space::Shared, false, 64, 4);
         });
         assert_eq!(stats.shared_replays, 0);
     }
@@ -387,16 +534,69 @@ mod tests {
     #[test]
     fn local_space_counted_separately() {
         let stats = run_warp(32, |lane, acc| {
-            acc.record_mem(SITE_A, Space::Local, true, lane as u64 * 8, 8);
+            acc.record_mem(site_a(), Space::Local, true, lane as u64 * 8, 8);
         });
         assert_eq!(stats.local_store_tx, 2);
         assert_eq!(stats.global_store_tx, 0);
     }
 
     #[test]
+    fn site_profile_attributes_slots_to_sites() {
+        let mut acc = WarpAccumulator::with_site_profile();
+        let mut stats = KernelStats::default();
+        for lane in 0..32 {
+            acc.begin_lane();
+            // site_a(): divergent branch; site_b(): coalesced f64 store.
+            acc.record_branch(site_a(), lane % 2 == 0);
+            acc.record_mem(site_b(), Space::Global, true, lane as u64 * 8, 8);
+        }
+        acc.end_warp(&cfg(), &mut stats);
+        let profile = acc.take_site_profile().unwrap();
+        assert_eq!(profile.len(), 2);
+        let a = profile.get(sid(site_a())).unwrap();
+        assert_eq!(a.branch_slots, 1);
+        assert_eq!(a.divergent_branch_slots, 1);
+        assert_eq!(a.transactions, 0);
+        let b = profile.get(sid(site_b())).unwrap();
+        assert_eq!(b.transactions, 2); // 256 B coalesced = 2 segments
+        assert_eq!(b.bytes_requested, 256);
+        assert_eq!(b.branch_slots, 0);
+        // Site totals must sum to the whole-kernel counters.
+        assert_eq!(a.transactions + b.transactions, stats.total_tx());
+        assert!((a.issue_cycles + b.issue_cycles - stats.issue_cycles).abs() < 1e-12);
+    }
+
+    #[test]
+    fn site_profile_absent_by_default() {
+        let mut acc = WarpAccumulator::new();
+        let mut stats = KernelStats::default();
+        acc.begin_lane();
+        acc.record_op(site_a(), OpClass::Int, 1);
+        acc.end_warp(&cfg(), &mut stats);
+        assert!(acc.take_site_profile().is_none());
+    }
+
+    #[test]
+    fn site_profile_survives_multiple_warps() {
+        let mut acc = WarpAccumulator::with_site_profile();
+        let mut stats = KernelStats::default();
+        for _warp in 0..3 {
+            for _lane in 0..32 {
+                acc.begin_lane();
+                acc.record_op(site_a(), OpClass::F64, 2);
+            }
+            acc.end_warp(&cfg(), &mut stats);
+        }
+        let profile = acc.take_site_profile().unwrap();
+        let a = profile.get(sid(site_a())).unwrap();
+        assert_eq!(a.warp_slots, 3);
+        assert_eq!(a.scalar_ops, 3 * 32 * 2);
+    }
+
+    #[test]
     fn partial_warp_counts_lanes() {
         let stats = run_warp(7, |lane, acc| {
-            acc.record_mem(SITE_A, Space::Global, false, lane as u64 * 8, 8);
+            acc.record_mem(site_a(), Space::Global, false, lane as u64 * 8, 8);
         });
         assert_eq!(stats.lanes, 7);
         assert_eq!(stats.global_load_tx, 1); // 56 B within one segment

@@ -24,7 +24,10 @@ fn build_ward_scene(res: Resolution) -> Scene {
         .bimodal_contrast(90.0)
         // The patient's arm: small, slow, elliptical.
         .object(MovingObject {
-            shape: ObjectShape::Ellipse { rx: res.width / 16, ry: res.height / 20 },
+            shape: ObjectShape::Ellipse {
+                rx: res.width / 16,
+                ry: res.height / 20,
+            },
             x0: res.width as f64 * 0.45,
             y0: res.height as f64 * 0.55,
             vx: 0.4,
@@ -45,7 +48,10 @@ fn main() {
     // Slow patient motion would be absorbed by the default adaptation
     // rate (a slowly moving arm "becomes background"); clinical use wants
     // a long memory, so raise the retention factor.
-    let params = MogParams { alpha: 0.995, ..MogParams::default() };
+    let params = MogParams {
+        alpha: 0.995,
+        ..MogParams::default()
+    };
     let mut gpu = GpuMog::<f64>::new(
         res,
         params,
@@ -96,7 +102,10 @@ fn main() {
     // comparator (Section II): nearly every pixel needs one component.
     let mut adaptive = AdaptiveGpuMog::<f64>::new(
         res,
-        MogParams { alpha: 0.995, ..MogParams::new(5) },
+        MogParams {
+            alpha: 0.995,
+            ..MogParams::new(5)
+        },
         frames[0].as_slice(),
         GpuConfig::tesla_c2075(),
     )

@@ -34,22 +34,58 @@ fn main() {
     let last = report.masks.len() - 1;
     let confusion = mask_confusion(&report.masks[last], &truths[last + 1]);
 
-    println!("mogpu quickstart — level F on {resolution}, {} frames", report.frames);
+    println!(
+        "mogpu quickstart — level F on {resolution}, {} frames",
+        report.frames
+    );
     println!("-----------------------------------------------------------");
-    println!("foreground recall     : {:5.1} %", 100.0 * confusion.recall());
-    println!("foreground precision  : {:5.1} %", 100.0 * confusion.precision());
-    println!("pixel accuracy        : {:5.1} %", 100.0 * confusion.accuracy());
+    println!(
+        "foreground recall     : {:5.1} %",
+        100.0 * confusion.recall()
+    );
+    println!(
+        "foreground precision  : {:5.1} %",
+        100.0 * confusion.precision()
+    );
+    println!(
+        "pixel accuracy        : {:5.1} %",
+        100.0 * confusion.accuracy()
+    );
     println!("-----------------------------------------------------------");
-    println!("SM occupancy          : {:5.1} %", 100.0 * report.occupancy.occupancy);
-    println!("branch efficiency     : {:5.1} %", 100.0 * report.metrics.branch_efficiency);
-    println!("memory access eff.    : {:5.1} %", 100.0 * report.metrics.mem_access_efficiency);
-    println!("store transactions    : {}", report.metrics.store_transactions);
-    println!("kernel time / frame   : {:8.3} ms (modelled Tesla C2075)", 1e3 * report.kernel_time_per_frame());
-    println!("end-to-end / frame    : {:8.3} ms (incl. overlapped PCIe)", 1e3 * report.gpu_time_per_frame());
+    println!(
+        "SM occupancy          : {:5.1} %",
+        100.0 * report.occupancy.occupancy
+    );
+    println!(
+        "branch efficiency     : {:5.1} %",
+        100.0 * report.metrics.branch_efficiency
+    );
+    println!(
+        "memory access eff.    : {:5.1} %",
+        100.0 * report.metrics.mem_access_efficiency
+    );
+    println!(
+        "store transactions    : {}",
+        report.metrics.store_transactions
+    );
+    println!(
+        "kernel time / frame   : {:8.3} ms (modelled Tesla C2075)",
+        1e3 * report.kernel_time_per_frame()
+    );
+    println!(
+        "end-to-end / frame    : {:8.3} ms (incl. overlapped PCIe)",
+        1e3 * report.gpu_time_per_frame()
+    );
 
     // 5. Compare with the modelled single-thread CPU reference.
     let cpu = CpuModel::default();
     let serial_per_frame = cpu.serial_time(&report.stats) / report.frames as f64;
-    println!("CPU serial / frame    : {:8.3} ms (modelled Xeon E5-2620)", 1e3 * serial_per_frame);
-    println!("speedup               : {:8.1} x", report.speedup_over(serial_per_frame));
+    println!(
+        "CPU serial / frame    : {:8.3} ms (modelled Xeon E5-2620)",
+        1e3 * serial_per_frame
+    );
+    println!(
+        "speedup               : {:8.1} x",
+        report.speedup_over(serial_per_frame)
+    );
 }

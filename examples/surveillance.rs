@@ -34,7 +34,10 @@ fn main() {
     let cpu = CpuModel::default();
     let mut serial_per_frame = None;
 
-    for level in OptLevel::LADDER.into_iter().chain([OptLevel::Windowed { group: 8 }]) {
+    for level in OptLevel::LADDER
+        .into_iter()
+        .chain([OptLevel::Windowed { group: 8 }])
+    {
         let mut gpu = GpuMog::<f64>::new(
             resolution,
             MogParams::default(),

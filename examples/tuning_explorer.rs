@@ -30,7 +30,10 @@ fn main() {
         .0
         .into_frames();
 
-    println!("tuning explorer — {resolution}, {} frames", frames.len() - 1);
+    println!(
+        "tuning explorer — {resolution}, {} frames",
+        frames.len() - 1
+    );
     println!();
     println!("windowed MoG group-size sweep (double precision; paper Fig. 10):");
     println!(
@@ -61,7 +64,10 @@ fn main() {
 
     println!();
     println!("precision sweep at level F (paper Fig. 12):");
-    println!("{:<8} {:>9} {:>8} {:>9} {:>12}", "type", "kern ms", "occup", "memEff", "DRAM tx");
+    println!(
+        "{:<8} {:>9} {:>8} {:>9} {:>12}",
+        "type", "kern ms", "occup", "memEff", "DRAM tx"
+    );
     let d = run_level::<f64>(OptLevel::F, &frames);
     let s = run_level::<f32>(OptLevel::F, &frames);
     for (name, r) in [("double", &d), ("float", &s)] {

@@ -19,6 +19,7 @@ fn main() -> ExitCode {
         Some("demo") => cmd_demo(&args[1..]),
         Some("ladder") => cmd_ladder(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_help();
             Ok(())
@@ -47,19 +48,34 @@ USAGE:
         and write input/mask PGM snapshots plus Y4M clips into DIR
         (default: mogpu_demo). L is one of A B C D E F W8 (default F).
 
-    mogpu ladder [--frames N] [--k K] [--float]
+    mogpu ladder [--frames N] [--k K] [--float] [--json]
         Climb the paper's optimization ladder on a synthetic scene and
         print per-level performance (default: 24 frames, K=3, double).
+        --json prints the per-level profile reports as a JSON array.
 
     mogpu run --input IN.y4m [--output OUT.y4m] [--level L] [--k K] [--float]
         Background-subtract a YUV4MPEG2 clip; writes the mask sequence
-        as Y4M when --output is given, else prints per-frame stats."
+        as Y4M when --output is given, else prints per-frame stats.
+
+    mogpu profile [--level L] [--frames N] [--k K] [--float] [--top N]
+                  [--input IN.y4m]
+        Run with the source-attributed profiler on and print the hotspot
+        table, roofline bounds, and bottleneck classification (default:
+        level F on a synthetic QQVGA scene, top 10 hotspots).
+
+    Observability (demo / ladder / run / profile):
+        --report-out FILE.json   machine-readable profile report(s)
+        --trace-out FILE.json    Chrome trace of the DMA/kernel timeline
+                                 (load in chrome://tracing or Perfetto)"
     );
 }
 
 /// Looks up `--flag value` in an argument list.
 fn opt_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn opt_flag(args: &[String], flag: &str) -> bool {
@@ -75,7 +91,10 @@ fn parse_level(s: &str) -> Result<OptLevel, String> {
         "E" => Ok(OptLevel::E),
         "F" => Ok(OptLevel::F),
         w if w.starts_with('W') => {
-            let group: usize = w[1..].trim_start_matches('(').trim_end_matches(')').parse()
+            let group: usize = w[1..]
+                .trim_start_matches('(')
+                .trim_end_matches(')')
+                .parse()
                 .map_err(|_| format!("bad windowed level {s:?}; use e.g. W8"))?;
             Ok(OptLevel::Windowed { group })
         }
@@ -93,7 +112,11 @@ fn cmd_info() -> Result<(), String> {
     println!("  DRAM        : {:.0} GB/s GDDR5", gpu.dram_peak_bw / 1e9);
     println!("  shared/SM   : {} KB", gpu.shared_mem_per_sm / 1024);
     println!("modelled CPU  : {}", cpu.name);
-    println!("  cores       : {} @ {:.1} GHz", cpu.cores, cpu.clock_hz / 1e9);
+    println!(
+        "  cores       : {} @ {:.1} GHz",
+        cpu.cores,
+        cpu.clock_hz / 1e9
+    );
     println!("  DRAM        : {:.1} GB/s DDR3", cpu.dram_bw / 1e9);
     println!("also available: GpuConfig::embedded_tegra(), ::tesla_c2075_with_l2()");
     Ok(())
@@ -101,20 +124,37 @@ fn cmd_info() -> Result<(), String> {
 
 fn cmd_demo(args: &[String]) -> Result<(), String> {
     let out_dir = PathBuf::from(opt_value(args, "--out").unwrap_or_else(|| "mogpu_demo".into()));
-    let n_frames: usize =
-        opt_value(args, "--frames").map(|v| v.parse().unwrap_or(40)).unwrap_or(40);
+    let n_frames: usize = opt_value(args, "--frames")
+        .map(|v| v.parse().unwrap_or(40))
+        .unwrap_or(40);
     let level = parse_level(&opt_value(args, "--level").unwrap_or_else(|| "F".into()))?;
+    let obs = ObsFlags::parse(args)?;
 
     std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
     let res = Resolution::QVGA;
-    let scene = SceneBuilder::new(res).seed(2014).walkers(4).bimodal_fraction(0.05).build();
+    let scene = SceneBuilder::new(res)
+        .seed(2014)
+        .walkers(4)
+        .bimodal_fraction(0.05)
+        .build();
     let (frames_seq, _) = scene.render_sequence(n_frames);
     let frames = frames_seq.clone().into_frames();
 
-    let mut gpu = GpuMog::<f64>::new(res, MogParams::default(), level, frames[0].as_slice(),
-                                     GpuConfig::tesla_c2075())
-        .map_err(|e| e.to_string())?;
+    let mut gpu = GpuMog::<f64>::new(
+        res,
+        MogParams::default(),
+        level,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .map_err(|e| e.to_string())?;
+    if obs.wanted() {
+        gpu.set_profile_mode(ProfileMode::On);
+    }
     let report = gpu.process_all(&frames[1..]).map_err(|e| e.to_string())?;
+    if let Some(profile) = gpu.take_profile_report() {
+        obs.write(&[profile])?;
+    }
 
     // Snapshots of the last frame.
     let last = report.masks.len() - 1;
@@ -131,20 +171,41 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
     write_y4m(&mask_seq, 30, f_out).map_err(|e| e.to_string())?;
 
     println!("level {} on {res}, {} frames:", level.name(), report.frames);
-    println!("  kernel      : {:.3} ms/frame (modelled)", 1e3 * report.kernel_time_per_frame());
-    println!("  end-to-end  : {:.3} ms/frame", 1e3 * report.gpu_time_per_frame());
+    println!(
+        "  kernel      : {:.3} ms/frame (modelled)",
+        1e3 * report.kernel_time_per_frame()
+    );
+    println!(
+        "  end-to-end  : {:.3} ms/frame",
+        1e3 * report.gpu_time_per_frame()
+    );
     println!("  occupancy   : {:.1}%", 100.0 * report.occupancy.occupancy);
-    println!("  branch eff  : {:.1}%", 100.0 * report.metrics.branch_efficiency);
-    println!("  memory eff  : {:.1}%", 100.0 * report.metrics.mem_access_efficiency);
-    println!("wrote {}/{{input,masks}}.y4m and *_last.pgm", out_dir.display());
+    println!(
+        "  branch eff  : {:.1}%",
+        100.0 * report.metrics.branch_efficiency
+    );
+    println!(
+        "  memory eff  : {:.1}%",
+        100.0 * report.metrics.mem_access_efficiency
+    );
+    println!(
+        "wrote {}/{{input,masks}}.y4m and *_last.pgm",
+        out_dir.display()
+    );
     Ok(())
 }
 
 fn cmd_ladder(args: &[String]) -> Result<(), String> {
-    let n_frames: usize =
-        opt_value(args, "--frames").map(|v| v.parse().unwrap_or(24)).unwrap_or(24);
-    let k: usize = opt_value(args, "--k").map(|v| v.parse().unwrap_or(3)).unwrap_or(3);
+    let n_frames: usize = opt_value(args, "--frames")
+        .map(|v| v.parse().unwrap_or(24))
+        .unwrap_or(24);
+    let k: usize = opt_value(args, "--k")
+        .map(|v| v.parse().unwrap_or(3))
+        .unwrap_or(3);
     let use_f32 = opt_flag(args, "--float");
+    let json = opt_flag(args, "--json");
+    let obs = ObsFlags::parse(args)?;
+    let profile = json || obs.wanted();
 
     let res = Resolution::QQVGA;
     let frames = SceneBuilder::new(res)
@@ -154,35 +215,60 @@ fn cmd_ladder(args: &[String]) -> Result<(), String> {
         .render_sequence(n_frames)
         .0
         .into_frames();
-    println!(
-        "optimization ladder — {res}, {} frames, K={k}, {}",
-        n_frames - 1,
-        if use_f32 { "float" } else { "double" }
-    );
-    println!("{:<6} {:>10} {:>10} {:>9} {:>9}", "level", "kern ms", "e2e ms", "occup", "memEff");
-    for level in OptLevel::LADDER.into_iter().chain([OptLevel::Windowed { group: 8 }]) {
-        let report = if use_f32 {
-            run_level_cli::<f32>(level, k, &frames)?
-        } else {
-            run_level_cli::<f64>(level, k, &frames)?
-        };
+    if !json {
         println!(
-            "{:<6} {:>10.4} {:>10.4} {:>8.1}% {:>8.1}%",
-            level.name(),
-            1e3 * report.kernel_time_per_frame(),
-            1e3 * report.gpu_time_per_frame(),
-            100.0 * report.occupancy.occupancy,
-            100.0 * report.metrics.mem_access_efficiency,
+            "optimization ladder — {res}, {} frames, K={k}, {}",
+            n_frames - 1,
+            if use_f32 { "float" } else { "double" }
+        );
+        println!(
+            "{:<6} {:>10} {:>10} {:>9} {:>9}  bottleneck",
+            "level", "kern ms", "e2e ms", "occup", "memEff"
         );
     }
+    let mut profiles: Vec<ProfileReport> = Vec::new();
+    for level in OptLevel::LADDER
+        .into_iter()
+        .chain([OptLevel::Windowed { group: 8 }])
+    {
+        let (report, prof) = if use_f32 {
+            run_level_profiled::<f32>(level, k, &frames, profile)?
+        } else {
+            run_level_profiled::<f64>(level, k, &frames, profile)?
+        };
+        let bottleneck = prof
+            .as_ref()
+            .map(|p| p.bottleneck.to_string())
+            .unwrap_or_default();
+        if !json {
+            println!(
+                "{:<6} {:>10.4} {:>10.4} {:>8.1}% {:>8.1}%  {}",
+                level.name(),
+                1e3 * report.kernel_time_per_frame(),
+                1e3 * report.gpu_time_per_frame(),
+                100.0 * report.occupancy.occupancy,
+                100.0 * report.metrics.mem_access_efficiency,
+                bottleneck,
+            );
+        }
+        profiles.extend(prof);
+    }
+    if json {
+        println!(
+            "{}",
+            mogpu::json::to_string_pretty(&profiles).map_err(|e| e.to_string())?
+        );
+    }
+    obs.write(&profiles)?;
     Ok(())
 }
 
-fn run_level_cli<T: mogpu::core::DeviceReal>(
+fn run_level_profiled<T: mogpu::core::DeviceReal>(
     level: OptLevel,
     k: usize,
     frames: &[Frame<u8>],
-) -> Result<RunReport, String> {
+    profile: bool,
+) -> Result<(RunReport, Option<ProfileReport>), String> {
     let mut gpu = GpuMog::<T>::new(
         frames[0].resolution(),
         MogParams::new(k),
@@ -191,7 +277,63 @@ fn run_level_cli<T: mogpu::core::DeviceReal>(
         GpuConfig::tesla_c2075(),
     )
     .map_err(|e| e.to_string())?;
-    gpu.process_all(&frames[1..]).map_err(|e| e.to_string())
+    if profile {
+        gpu.set_profile_mode(ProfileMode::On);
+    }
+    let run = gpu.process_all(&frames[1..]).map_err(|e| e.to_string())?;
+    Ok((run, gpu.take_profile_report()))
+}
+
+/// Observability flags shared by demo / ladder / run / profile.
+struct ObsFlags {
+    report_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+}
+
+impl ObsFlags {
+    fn parse(args: &[String]) -> Result<ObsFlags, String> {
+        for flag in ["--report-out", "--trace-out"] {
+            if opt_flag(args, flag) && opt_value(args, flag).is_none() {
+                return Err(format!("{flag} requires a FILE.json value"));
+            }
+        }
+        Ok(ObsFlags {
+            report_out: opt_value(args, "--report-out").map(PathBuf::from),
+            trace_out: opt_value(args, "--trace-out").map(PathBuf::from),
+        })
+    }
+
+    /// True when any output (so profiling) is requested.
+    fn wanted(&self) -> bool {
+        self.report_out.is_some() || self.trace_out.is_some()
+    }
+
+    /// Writes the requested outputs from the collected reports.
+    fn write(&self, reports: &[ProfileReport]) -> Result<(), String> {
+        if let Some(path) = &self.report_out {
+            let json = if reports.len() == 1 {
+                mogpu::json::to_string_pretty(&reports[0]).map_err(|e| e.to_string())?
+            } else {
+                mogpu::json::to_string_pretty(&reports.to_vec()).map_err(|e| e.to_string())?
+            };
+            std::fs::write(path, json).map_err(|e| format!("{}: {e}", path.display()))?;
+            println!("wrote profile report to {}", path.display());
+        }
+        if let Some(path) = &self.trace_out {
+            let mut builder = mogpu::sim::chrome_trace::TraceBuilder::new();
+            for report in reports {
+                builder.add_pipeline(&format!("level {}", report.level), &report.schedule);
+            }
+            let json =
+                mogpu::json::to_string_pretty(&builder.finish()).map_err(|e| e.to_string())?;
+            std::fs::write(path, json).map_err(|e| format!("{}: {e}", path.display()))?;
+            println!(
+                "wrote Chrome trace to {} (load in chrome://tracing or ui.perfetto.dev)",
+                path.display()
+            );
+        }
+        Ok(())
+    }
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -200,8 +342,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .ok_or("missing --input FILE.y4m")?;
     let output = opt_value(args, "--output").or_else(|| opt_value(args, "-o"));
     let level = parse_level(&opt_value(args, "--level").unwrap_or_else(|| "F".into()))?;
-    let k: usize = opt_value(args, "--k").map(|v| v.parse().unwrap_or(3)).unwrap_or(3);
+    let k: usize = opt_value(args, "--k")
+        .map(|v| v.parse().unwrap_or(3))
+        .unwrap_or(3);
     let use_f32 = opt_flag(args, "--float");
+    let obs = ObsFlags::parse(args)?;
 
     let file = std::fs::File::open(&input).map_err(|e| format!("{input}: {e}"))?;
     let seq = mogpu::frame::read_y4m(file).map_err(|e| e.to_string())?;
@@ -212,19 +357,29 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let frames = seq.into_frames();
     println!("{input}: {} frames at {res}", frames.len());
 
-    let report = if use_f32 {
-        run_level_cli::<f32>(level, k, &frames)?
+    let (report, prof) = if use_f32 {
+        run_level_profiled::<f32>(level, k, &frames, obs.wanted())?
     } else {
-        run_level_cli::<f64>(level, k, &frames)?
+        run_level_profiled::<f64>(level, k, &frames, obs.wanted())?
     };
+    if let Some(profile) = prof {
+        obs.write(&[profile])?;
+    }
 
     println!("level {} results:", level.name());
-    println!("  kernel     : {:.3} ms/frame (modelled Tesla C2075)",
-        1e3 * report.kernel_time_per_frame());
-    println!("  end-to-end : {:.3} ms/frame", 1e3 * report.gpu_time_per_frame());
-    println!("  foreground : {:.2}% of pixels (mean)",
+    println!(
+        "  kernel     : {:.3} ms/frame (modelled Tesla C2075)",
+        1e3 * report.kernel_time_per_frame()
+    );
+    println!(
+        "  end-to-end : {:.3} ms/frame",
+        1e3 * report.gpu_time_per_frame()
+    );
+    println!(
+        "  foreground : {:.2}% of pixels (mean)",
         100.0 * report.masks.iter().map(|m| m.fraction_set()).sum::<f64>()
-            / report.masks.len() as f64);
+            / report.masks.len() as f64
+    );
 
     if let Some(out) = output {
         let mut mask_seq = FrameSequence::new(res);
@@ -235,5 +390,49 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         write_y4m(&mask_seq, 30, f).map_err(|e| e.to_string())?;
         println!("wrote {out}");
     }
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let level = parse_level(&opt_value(args, "--level").unwrap_or_else(|| "F".into()))?;
+    let n_frames: usize = opt_value(args, "--frames")
+        .map(|v| v.parse().unwrap_or(16))
+        .unwrap_or(16);
+    let k: usize = opt_value(args, "--k")
+        .map(|v| v.parse().unwrap_or(3))
+        .unwrap_or(3);
+    let use_f32 = opt_flag(args, "--float");
+    let top: usize = opt_value(args, "--top")
+        .map(|v| v.parse().unwrap_or(10))
+        .unwrap_or(10);
+    let obs = ObsFlags::parse(args)?;
+
+    let frames = match opt_value(args, "--input").or_else(|| opt_value(args, "-i")) {
+        Some(input) => {
+            let file = std::fs::File::open(&input).map_err(|e| format!("{input}: {e}"))?;
+            let seq = mogpu::frame::read_y4m(file).map_err(|e| e.to_string())?;
+            if seq.len() < 2 {
+                return Err("need at least 2 frames (the first seeds the model)".into());
+            }
+            println!("{input}: {} frames at {}", seq.len(), seq.resolution());
+            seq.into_frames()
+        }
+        None => SceneBuilder::new(Resolution::QQVGA)
+            .seed(7)
+            .walkers(3)
+            .build()
+            .render_sequence(n_frames)
+            .0
+            .into_frames(),
+    };
+
+    let (_, prof) = if use_f32 {
+        run_level_profiled::<f32>(level, k, &frames, true)?
+    } else {
+        run_level_profiled::<f64>(level, k, &frames, true)?
+    };
+    let profile = prof.expect("profiling was enabled");
+    print!("{}", profile.text(top));
+    obs.write(&[profile])?;
     Ok(())
 }

@@ -49,10 +49,13 @@ pub use mogpu_frame as frame;
 pub use mogpu_metrics as metrics;
 pub use mogpu_mog as mog;
 pub use mogpu_sim as sim;
+pub use serde_json as json;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use mogpu_core::{DeviceModel, GpuMog, Layout, OptLevel, RunReport};
+    pub use mogpu_core::{
+        DeviceModel, GpuMog, Layout, OptLevel, ProfileMode, ProfileReport, RunReport,
+    };
     pub use mogpu_frame::{
         Frame, FrameSequence, Mask, MovingObject, ObjectShape, Resolution, Scene, SceneBuilder,
     };

@@ -37,8 +37,12 @@ fn cpu_masks<T: mogpu::mog::Real>(
     params: MogParams,
     frames: &[Frame<u8>],
 ) -> Vec<Mask> {
-    let mut cpu =
-        SerialMog::<T>::new(frames[0].resolution(), params, variant, frames[0].as_slice());
+    let mut cpu = SerialMog::<T>::new(
+        frames[0].resolution(),
+        params,
+        variant,
+        frames[0].as_slice(),
+    );
     cpu.process_all(&frames[1..])
 }
 
@@ -48,7 +52,10 @@ fn levels_a_b_c_match_sorted_reference_bit_exactly() {
     let reference = cpu_masks::<f64>(Variant::Sorted, MogParams::default(), &frames);
     for level in [OptLevel::A, OptLevel::B, OptLevel::C] {
         let gpu = gpu_masks::<f64>(level, MogParams::default(), &frames);
-        assert_eq!(gpu, reference, "level {level} diverged from the sorted CPU reference");
+        assert_eq!(
+            gpu, reference,
+            "level {level} diverged from the sorted CPU reference"
+        );
     }
 }
 
@@ -82,7 +89,10 @@ fn windowed_groups_match_level_f_for_any_group_size() {
     let f = gpu_masks::<f64>(OptLevel::F, MogParams::default(), &frames);
     for group in [1, 2, 4, 8] {
         let w = gpu_masks::<f64>(OptLevel::Windowed { group }, MogParams::default(), &frames);
-        assert_eq!(w, f, "windowed group {group} diverged (incl. remainder handling)");
+        assert_eq!(
+            w, f,
+            "windowed group {group} diverged (incl. remainder handling)"
+        );
     }
 }
 
@@ -171,7 +181,11 @@ fn detection_quality_against_ground_truth() {
         confusion.merge(&mask_confusion(&report.masks[i], &truths[i + 1]));
     }
     assert!(confusion.recall() > 0.7, "recall {:.3}", confusion.recall());
-    assert!(confusion.accuracy() > 0.95, "accuracy {:.3}", confusion.accuracy());
+    assert!(
+        confusion.accuracy() > 0.95,
+        "accuracy {:.3}",
+        confusion.accuracy()
+    );
 }
 
 #[test]

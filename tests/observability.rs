@@ -1,0 +1,268 @@
+//! Integration tests for the profiler, the pipeline timeline trace, and
+//! the machine-readable run reports.
+
+use mogpu::core::{Bottleneck, ProfileMode, ProfileReport};
+use mogpu::json::Value;
+use mogpu::prelude::*;
+use mogpu::sim::chrome_trace::chrome_trace;
+
+fn scene_frames(n: usize) -> Vec<Frame<u8>> {
+    SceneBuilder::new(Resolution::TINY)
+        .seed(11)
+        .walkers(2)
+        .build()
+        .render_sequence(n)
+        .0
+        .into_frames()
+}
+
+fn profiled_run(level: OptLevel, frames: &[Frame<u8>]) -> ProfileReport {
+    let mut gpu = GpuMog::<f64>::new(
+        Resolution::TINY,
+        MogParams::default(),
+        level,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .unwrap();
+    gpu.set_profile_mode(ProfileMode::On);
+    gpu.process_all(&frames[1..]).unwrap();
+    gpu.take_profile_report().unwrap()
+}
+
+// ---- report JSON ----
+
+/// Recursively asserts a JSON tree contains no nulls (the serde shim
+/// serializes non-finite floats as null, so this doubles as a finiteness
+/// check over every metric in the report).
+fn assert_no_nulls(v: &Value, path: &str) {
+    match v {
+        Value::Null => panic!("null value at {path}"),
+        Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                assert_no_nulls(item, &format!("{path}[{i}]"));
+            }
+        }
+        Value::Object(fields) => {
+            for (k, item) in fields {
+                assert_no_nulls(item, &format!("{path}/{k}"));
+            }
+        }
+        _ => {}
+    }
+}
+
+#[test]
+fn report_json_is_finite_and_round_trips_through_text() {
+    let frames = scene_frames(5);
+    let report = profiled_run(OptLevel::F, &frames);
+    let json = mogpu::json::to_value(&report).unwrap();
+    assert_no_nulls(&json, "report");
+    let text = mogpu::json::to_string_pretty(&report).unwrap();
+    let parsed: Value = mogpu::json::from_str(&text).unwrap();
+    assert_no_nulls(&parsed, "reparsed");
+    // The human-readable rendering mentions the bottleneck and a hotspot.
+    let human = report.text(5);
+    assert!(human.contains("level F"));
+    assert!(human.contains("bound"));
+    assert!(human.contains("kernels"), "hotspots missing from:\n{human}");
+}
+
+#[test]
+fn report_reproduces_paper_trends() {
+    let frames = scene_frames(6);
+    let a = profiled_run(OptLevel::A, &frames);
+    let b = profiled_run(OptLevel::B, &frames);
+    let c = profiled_run(OptLevel::C, &frames);
+    let d = profiled_run(OptLevel::D, &frames);
+    // Coalescing (B) slashes store transactions vs the AoS baseline (A).
+    assert!(
+        b.metrics.store_transactions < a.metrics.store_transactions / 3,
+        "A: {}, B: {}",
+        a.metrics.store_transactions,
+        b.metrics.store_transactions
+    );
+    // Sort elimination (D) improves branch efficiency over C.
+    assert!(
+        d.metrics.branch_efficiency > c.metrics.branch_efficiency,
+        "C: {}, D: {}",
+        c.metrics.branch_efficiency,
+        d.metrics.branch_efficiency
+    );
+    // Overlap (C) must beat the sequential pipeline (B) end to end.
+    assert!(c.pipeline.per_frame < b.pipeline.per_frame);
+}
+
+#[test]
+fn hotspots_resolve_scan_kernel_sites() {
+    let frames = scene_frames(5);
+    let report = profiled_run(OptLevel::F, &frames);
+    let scan_sites: Vec<&str> = report
+        .hotspots
+        .iter()
+        .filter_map(|h| h.source.as_deref())
+        .filter(|s| s.contains("scan.rs") || s.contains("kernels"))
+        .collect();
+    assert!(scan_sites.len() >= 3, "kernel sites: {scan_sites:?}");
+    // Ranked by issue cycles, descending.
+    for pair in report.hotspots.windows(2) {
+        assert!(pair[0].stats.issue_cycles >= pair[1].stats.issue_cycles);
+    }
+    // History is cumulative fps: positive and finite.
+    assert_eq!(report.frame_rate_history.len(), report.frames);
+    for fps in &report.frame_rate_history {
+        assert!(fps.is_finite() && *fps > 0.0);
+    }
+}
+
+#[test]
+fn bottleneck_classification_distinguishes_levels() {
+    let frames = scene_frames(5);
+    // Level A is memory-crushed (never transfer-bound at TINY): its
+    // uncoalesced accesses dominate.
+    let a = profiled_run(OptLevel::A, &frames);
+    assert_ne!(a.bottleneck, Bottleneck::Transfer);
+    // All levels classify to something printable.
+    for level in OptLevel::LADDER {
+        let r = profiled_run(level, &frames);
+        assert!(!r.bottleneck.to_string().is_empty());
+    }
+}
+
+// ---- Chrome trace ----
+
+fn trace_events(trace: &Value) -> &[Value] {
+    match trace {
+        Value::Object(fields) => match fields.iter().find(|(k, _)| k == "traceEvents") {
+            Some((_, Value::Array(evs))) => evs,
+            _ => panic!("traceEvents missing"),
+        },
+        _ => panic!("trace must be an object"),
+    }
+}
+
+fn field<'a>(event: &'a Value, key: &str) -> Option<&'a Value> {
+    match event {
+        Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn f64_of(v: &Value) -> f64 {
+    match v {
+        Value::F64(x) => *x,
+        Value::U64(x) => *x as f64,
+        Value::I64(x) => *x as f64,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+/// Collects `(ts, dur)` intervals of `ph:"X"` events on one thread track.
+fn track_spans(events: &[Value], tid: u64) -> Vec<(f64, f64)> {
+    events
+        .iter()
+        .filter(|e| field(e, "ph") == Some(&Value::String("X".into())))
+        .filter(|e| field(e, "tid") == Some(&Value::U64(tid)))
+        .map(|e| {
+            (
+                f64_of(field(e, "ts").unwrap()),
+                f64_of(field(e, "dur").unwrap()),
+            )
+        })
+        .collect()
+}
+
+fn intervals_overlap(a: &[(f64, f64)], b: &[(f64, f64)]) -> bool {
+    a.iter()
+        .any(|&(s1, d1)| b.iter().any(|&(s2, d2)| s1 < s2 + d2 && s2 < s1 + d1))
+}
+
+#[test]
+fn level_c_trace_shows_copy_compute_overlap_and_level_a_does_not() {
+    let frames = scene_frames(4); // 3 processed frames
+    let c = profiled_run(OptLevel::C, &frames);
+    let a = profiled_run(OptLevel::A, &frames);
+    assert_eq!(c.schedule.len(), 3);
+
+    let trace_c = chrome_trace("level C", &c.schedule);
+    let evs = trace_events(&trace_c);
+    // 3 frames x 3 stages of ph:"X" + 4 metadata events.
+    assert_eq!(evs.len(), 13);
+    let h2d = track_spans(evs, 0);
+    let kernel = track_spans(evs, 1);
+    let d2h = track_spans(evs, 2);
+    assert_eq!((h2d.len(), kernel.len(), d2h.len()), (3, 3, 3));
+    // Valid trace-event fields: non-negative microsecond timestamps,
+    // positive durations, a category, and a name on every duration event.
+    for e in evs
+        .iter()
+        .filter(|e| field(e, "ph") == Some(&Value::String("X".into())))
+    {
+        assert!(f64_of(field(e, "ts").unwrap()) >= 0.0);
+        assert!(f64_of(field(e, "dur").unwrap()) > 0.0);
+        assert!(matches!(field(e, "name"), Some(Value::String(_))));
+        assert!(matches!(field(e, "cat"), Some(Value::String(_))));
+    }
+    // Double buffering: copies overlap compute.
+    assert!(
+        intervals_overlap(&h2d, &kernel) || intervals_overlap(&d2h, &kernel),
+        "level C shows no copy/compute overlap: {h2d:?} {kernel:?} {d2h:?}"
+    );
+
+    // Sequential level A: no engine ever runs concurrently with another.
+    let trace_a = chrome_trace("level A", &a.schedule);
+    let evs_a = trace_events(&trace_a);
+    let h2d_a = track_spans(evs_a, 0);
+    let kernel_a = track_spans(evs_a, 1);
+    let d2h_a = track_spans(evs_a, 2);
+    assert!(!intervals_overlap(&h2d_a, &kernel_a));
+    assert!(!intervals_overlap(&d2h_a, &kernel_a));
+    assert!(!intervals_overlap(&h2d_a, &d2h_a));
+}
+
+#[test]
+fn trace_json_serializes_with_finite_numbers() {
+    let frames = scene_frames(4);
+    let c = profiled_run(OptLevel::C, &frames);
+    let trace = chrome_trace("level C", &c.schedule);
+    let text = mogpu::json::to_string_pretty(&trace).unwrap();
+    assert!(text.contains("\"traceEvents\""));
+    assert!(
+        !text.contains("null"),
+        "non-finite value leaked into trace:\n{text}"
+    );
+    let parsed: Value = mogpu::json::from_str(&text).unwrap();
+    assert_eq!(trace_events(&parsed).len(), 13);
+}
+
+// ---- zero-overhead-when-off ----
+
+#[test]
+fn unprofiled_run_report_is_unchanged_by_profiling_support() {
+    // The plain path must produce identical masks and counters whether or
+    // not a profiled run happened in between on the same pipeline.
+    let frames = scene_frames(5);
+    let mut gpu = GpuMog::<f64>::new(
+        Resolution::TINY,
+        MogParams::default(),
+        OptLevel::D,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .unwrap();
+    let first = gpu.process_all(&frames[1..]).unwrap();
+    assert!(gpu.take_profile_report().is_none());
+
+    let mut reference = GpuMog::<f64>::new(
+        Resolution::TINY,
+        MogParams::default(),
+        OptLevel::D,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .unwrap();
+    reference.set_profile_mode(ProfileMode::On);
+    let profiled = reference.process_all(&frames[1..]).unwrap();
+    assert_eq!(first.masks, profiled.masks);
+    assert_eq!(first.stats, profiled.stats);
+}

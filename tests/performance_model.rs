@@ -2,8 +2,8 @@
 //! *direction and rough magnitude* of every effect the paper's evaluation
 //! reports across optimization levels.
 
-use mogpu::prelude::*;
 use mogpu::core::RunReport;
+use mogpu::prelude::*;
 
 fn frames(n: usize) -> Vec<Frame<u8>> {
     SceneBuilder::new(Resolution::QQVGA)
@@ -37,7 +37,10 @@ fn speedup_ladder_is_monotone_through_d() {
     let b = run(OptLevel::B, &fs).gpu_time_per_frame();
     let c = run(OptLevel::C, &fs).gpu_time_per_frame();
     let d = run(OptLevel::D, &fs).gpu_time_per_frame();
-    assert!(a > 2.0 * b, "coalescing should win ~3x: A={a:.2e} B={b:.2e}");
+    assert!(
+        a > 2.0 * b,
+        "coalescing should win ~3x: A={a:.2e} B={b:.2e}"
+    );
     assert!(b > c, "overlap must help: B={b:.2e} C={c:.2e}");
     assert!(c > d, "branch elimination must help: C={c:.2e} D={d:.2e}");
 }
@@ -59,11 +62,23 @@ fn memory_efficiency_trajectory_matches_fig6_and_fig7() {
     let b = run(OptLevel::B, &fs);
     let e = run(OptLevel::E, &fs);
     // Fig 6(a): 17% -> 78%; ours must show the same multi-x jump.
-    assert!(a.metrics.mem_access_efficiency < 0.25, "A = {}", a.metrics.mem_access_efficiency);
-    assert!(b.metrics.mem_access_efficiency > 0.55, "B = {}", b.metrics.mem_access_efficiency);
+    assert!(
+        a.metrics.mem_access_efficiency < 0.25,
+        "A = {}",
+        a.metrics.mem_access_efficiency
+    );
+    assert!(
+        b.metrics.mem_access_efficiency > 0.55,
+        "B = {}",
+        b.metrics.mem_access_efficiency
+    );
     // Fig 7(b): predication pushes efficiency near its peak.
     assert!(e.metrics.mem_access_efficiency > b.metrics.mem_access_efficiency);
-    assert!(e.metrics.mem_access_efficiency > 0.85, "E = {}", e.metrics.mem_access_efficiency);
+    assert!(
+        e.metrics.mem_access_efficiency > 0.85,
+        "E = {}",
+        e.metrics.mem_access_efficiency
+    );
 }
 
 #[test]
@@ -92,7 +107,11 @@ fn branch_efficiency_trajectory_matches_fig7() {
     // test resolution the uniform-background fraction is lower, so the
     // absolute bar is lower).
     assert!(e.metrics.branch_efficiency > d.metrics.branch_efficiency);
-    assert!(e.metrics.branch_efficiency > 0.90, "E = {}", e.metrics.branch_efficiency);
+    assert!(
+        e.metrics.branch_efficiency > 0.90,
+        "E = {}",
+        e.metrics.branch_efficiency
+    );
 }
 
 #[test]
@@ -119,13 +138,19 @@ fn windowed_group_sweep_shape() {
     let w4 = run(OptLevel::Windowed { group: 4 }, &fs).kernel_time_per_frame();
     let w8 = run(OptLevel::Windowed { group: 8 }, &fs).kernel_time_per_frame();
     let w16 = run(OptLevel::Windowed { group: 16 }, &fs).kernel_time_per_frame();
-    assert!(w1 > f, "tiled group 1 must lose to F: w1={w1:.2e} f={f:.2e}");
+    assert!(
+        w1 > f,
+        "tiled group 1 must lose to F: w1={w1:.2e} f={f:.2e}"
+    );
     assert!(w4 < w1);
     assert!(w8 < w4);
     // Saturation: 8 -> 16 gains much less than 4 -> 8.
     let gain_48 = w4 / w8;
     let gain_816 = w8 / w16;
-    assert!(gain_816 < gain_48, "gain 4->8 {gain_48:.2} vs 8->16 {gain_816:.2}");
+    assert!(
+        gain_816 < gain_48,
+        "gain 4->8 {gain_48:.2} vs 8->16 {gain_816:.2}"
+    );
 }
 
 #[test]
@@ -181,7 +206,10 @@ fn single_precision_is_faster_than_double() {
     )
     .unwrap();
     let f32_time = gpu.process_all(&fs[1..]).unwrap().kernel_time_per_frame();
-    assert!(f32_time < f64_time, "f32 {f32_time:.2e} vs f64 {f64_time:.2e}");
+    assert!(
+        f32_time < f64_time,
+        "f32 {f32_time:.2e} vs f64 {f64_time:.2e}"
+    );
 }
 
 #[test]
@@ -225,7 +253,12 @@ fn headline_speedups_have_paper_shape() {
     let c_ref = run(OptLevel::C, &fs);
     let serial_per_frame = cpu.serial_time(&c_ref.stats) / c_ref.frames as f64;
     let s = |level: OptLevel| serial_per_frame / speedup(level).gpu_time_per_frame();
-    let (sa, sb, sc, sf) = (s(OptLevel::A), s(OptLevel::B), s(OptLevel::C), s(OptLevel::F));
+    let (sa, sb, sc, sf) = (
+        s(OptLevel::A),
+        s(OptLevel::B),
+        s(OptLevel::C),
+        s(OptLevel::F),
+    );
     assert!(sa > 5.0 && sa < 25.0, "A speedup {sa:.0} (paper 13)");
     assert!(sb > 20.0 && sb < 60.0, "B speedup {sb:.0} (paper 41)");
     assert!(sc > 30.0 && sc < 80.0, "C speedup {sc:.0} (paper 57)");

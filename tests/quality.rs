@@ -21,7 +21,11 @@ struct QualityRun {
 /// to the input frame, like the paper's background image comparison).
 fn quality_of<T: mogpu::core::DeviceReal>(level: OptLevel) -> QualityRun {
     let res = Resolution::QVGA;
-    let scene = SceneBuilder::new(res).seed(99).walkers(4).bimodal_fraction(0.05).build();
+    let scene = SceneBuilder::new(res)
+        .seed(99)
+        .walkers(4)
+        .bimodal_fraction(0.05)
+        .build();
     let (frames, _) = scene.render_sequence(FRAMES);
     let frames = frames.into_frames();
 
@@ -57,7 +61,10 @@ fn quality_of<T: mogpu::core::DeviceReal>(level: OptLevel) -> QualityRun {
         bg_sum += ms_ssim(&bg_gpu, &bg_cpu).expect("QVGA supports 5 scales");
         n += 1.0;
     }
-    QualityRun { fg_msssim: fg_sum / n, bg_msssim: bg_sum / n }
+    QualityRun {
+        fg_msssim: fg_sum / n,
+        bg_msssim: bg_sum / n,
+    }
 }
 
 fn background_image(frame: &Frame<u8>, mask: &Mask) -> Frame<u8> {
@@ -85,21 +92,45 @@ fn exact_levels_score_perfect_quality() {
 fn register_reduced_level_keeps_table_iv_quality() {
     // Paper Table IV level F: foreground 95%, background 99%.
     let q = quality_of::<f64>(OptLevel::F);
-    assert!(q.fg_msssim > 0.93, "F foreground MS-SSIM {:.4}", q.fg_msssim);
-    assert!(q.bg_msssim > 0.97, "F background MS-SSIM {:.4}", q.bg_msssim);
+    assert!(
+        q.fg_msssim > 0.93,
+        "F foreground MS-SSIM {:.4}",
+        q.fg_msssim
+    );
+    assert!(
+        q.bg_msssim > 0.97,
+        "F background MS-SSIM {:.4}",
+        q.bg_msssim
+    );
 }
 
 #[test]
 fn windowed_level_keeps_table_iv_quality() {
     let q = quality_of::<f64>(OptLevel::Windowed { group: 8 });
-    assert!(q.fg_msssim > 0.93, "W(8) foreground MS-SSIM {:.4}", q.fg_msssim);
-    assert!(q.bg_msssim > 0.97, "W(8) background MS-SSIM {:.4}", q.bg_msssim);
+    assert!(
+        q.fg_msssim > 0.93,
+        "W(8) foreground MS-SSIM {:.4}",
+        q.fg_msssim
+    );
+    assert!(
+        q.bg_msssim > 0.97,
+        "W(8) background MS-SSIM {:.4}",
+        q.bg_msssim
+    );
 }
 
 #[test]
 fn single_precision_loses_at_most_a_few_percent() {
     // Paper Section V-C: ~5% average foreground loss for float.
     let q = quality_of::<f32>(OptLevel::F);
-    assert!(q.fg_msssim > 0.90, "float-F foreground MS-SSIM {:.4}", q.fg_msssim);
-    assert!(q.bg_msssim > 0.95, "float-F background MS-SSIM {:.4}", q.bg_msssim);
+    assert!(
+        q.fg_msssim > 0.90,
+        "float-F foreground MS-SSIM {:.4}",
+        q.fg_msssim
+    );
+    assert!(
+        q.bg_msssim > 0.95,
+        "float-F background MS-SSIM {:.4}",
+        q.bg_msssim
+    );
 }

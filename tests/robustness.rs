@@ -4,9 +4,9 @@
 //! introduction ("MoG is most frequently used thanks to its high quality
 //! and efficiency").
 
+use mogpu::frame::IlluminationEvent;
 use mogpu::mog::{FrameDiff, RunningAverage};
 use mogpu::prelude::*;
-use mogpu::frame::IlluminationEvent;
 
 fn fpr(mask: &Mask, truth: &Mask) -> f64 {
     let mut fp = 0usize;
@@ -70,13 +70,20 @@ fn illumination_change_causes_transient_then_recovery() {
         .seed(7)
         .bimodal_fraction(0.0)
         .noise_sd(1.5)
-        .illumination_event(IlluminationEvent { start: 30, duration: 0, delta: 40.0 })
+        .illumination_event(IlluminationEvent {
+            start: 30,
+            duration: 0,
+            delta: 40.0,
+        })
         .build();
     let (frames, _) = scene.render_sequence(120);
     let frames = frames.into_frames();
 
     // Faster adaptation so recovery fits the test horizon.
-    let params = MogParams { alpha: 0.85, ..MogParams::default() };
+    let params = MogParams {
+        alpha: 0.85,
+        ..MogParams::default()
+    };
     let mut gpu = GpuMog::<f64>::new(
         res,
         params,
@@ -91,9 +98,18 @@ fn illumination_change_causes_transient_then_recovery() {
     let burst = masks[30].fraction_set(); // the first post-event frame
     let after = masks.last().unwrap().fraction_set(); // long after
 
-    assert!(before < 0.02, "settled foreground before event: {before:.3}");
-    assert!(burst > 0.5, "illumination step must flood the mask: {burst:.3}");
-    assert!(after < 0.05, "the model must re-absorb the new level: {after:.3}");
+    assert!(
+        before < 0.02,
+        "settled foreground before event: {before:.3}"
+    );
+    assert!(
+        burst > 0.5,
+        "illumination step must flood the mask: {burst:.3}"
+    );
+    assert!(
+        after < 0.05,
+        "the model must re-absorb the new level: {after:.3}"
+    );
 }
 
 #[test]
@@ -104,11 +120,18 @@ fn gradual_illumination_ramp_is_less_disruptive_than_a_step() {
             .seed(7)
             .bimodal_fraction(0.0)
             .noise_sd(1.5)
-            .illumination_event(IlluminationEvent { start: 30, duration, delta: 40.0 })
+            .illumination_event(IlluminationEvent {
+                start: 30,
+                duration,
+                delta: 40.0,
+            })
             .build();
         let (frames, _) = scene.render_sequence(80);
         let frames = frames.into_frames();
-        let params = MogParams { alpha: 0.85, ..MogParams::default() };
+        let params = MogParams {
+            alpha: 0.85,
+            ..MogParams::default()
+        };
         let mut gpu = GpuMog::<f64>::new(
             res,
             params,
@@ -119,7 +142,10 @@ fn gradual_illumination_ramp_is_less_disruptive_than_a_step() {
         .unwrap();
         let masks = gpu.process_all(&frames[1..]).unwrap().masks;
         // Peak foreground fraction during/after the event.
-        masks[28..50].iter().map(|m| m.fraction_set()).fold(0.0f64, f64::max)
+        masks[28..50]
+            .iter()
+            .map(|m| m.fraction_set())
+            .fold(0.0f64, f64::max)
     };
     let step_peak = run(0);
     let ramp_peak = run(40); // 1 grey level per frame: inside match range
@@ -192,7 +218,10 @@ fn frame_diff_baseline_misses_what_mog_catches() {
     let fd_masks = fd.process_all(&frames[1..]);
     // Slow adaptation (as a deployment watching for loitering would use),
     // so the slow object is not absorbed within the horizon.
-    let params = MogParams { alpha: 0.995, ..MogParams::default() };
+    let params = MogParams {
+        alpha: 0.995,
+        ..MogParams::default()
+    };
     let mut gpu = GpuMog::<f64>::new(
         res,
         params,
@@ -219,5 +248,8 @@ fn frame_diff_baseline_misses_what_mog_catches() {
     let last = frames.len() - 2;
     let r_fd = recall(&fd_masks[last], &truths[last + 1]);
     let r_mog = recall(&mog_masks[last], &truths[last + 1]);
-    assert!(r_mog > r_fd + 0.2, "MoG recall {r_mog:.2} vs frame-diff {r_fd:.2}");
+    assert!(
+        r_mog > r_fd + 0.2,
+        "MoG recall {r_mog:.2} vs frame-diff {r_fd:.2}"
+    );
 }

@@ -1,0 +1,257 @@
+//! Offline stand-in for `criterion`, covering the subset this workspace
+//! uses. Real wall-clock measurement (median of N samples) with simple
+//! text output; none of criterion's statistics, HTML reports, or
+//! baseline management.
+//!
+//! `cargo test` runs `harness = false` bench binaries with `--test`;
+//! like real criterion, that mode only checks the benches execute.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark runner configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    /// `--test` mode: run every benchmark body once, skip measurement.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let sample_size = self.sample_size;
+        let test_mode = self.test_mode;
+        run_one(name, None, sample_size, test_mode, f);
+    }
+}
+
+/// Units for reporting relative throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Benchmarks `f` under `group_name/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let full = format!("{}/{}", self.name, name);
+        run_one(
+            &full,
+            self.throughput,
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            f,
+        );
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(
+            &full,
+            self.throughput,
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            |b| f(b, input),
+        );
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    /// Duration of the sample recorded by the last `iter` call.
+    sample: Duration,
+    /// When true, run the body once without timing.
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times one sample of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.sample = Duration::ZERO;
+            return;
+        }
+        let start = Instant::now();
+        black_box(f());
+        self.sample = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    test_mode: bool,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        sample: Duration::ZERO,
+        test_mode,
+    };
+    if test_mode {
+        f(&mut b);
+        println!("Testing {name} ... ok");
+        return;
+    }
+    // One warm-up run, then the timed samples.
+    f(&mut b);
+    let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        f(&mut b);
+        samples.push(b.sample);
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            format!("  {:.3} Melem/s", n as f64 / median.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+            format!(
+                "  {:.3} MiB/s",
+                n as f64 / median.as_secs_f64() / (1024.0 * 1024.0)
+            )
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<48} time: [{:>10.3?} .. {:>10.3?} .. {:>10.3?}]{rate}",
+        samples[0],
+        median,
+        samples[samples.len() - 1]
+    );
+}
+
+/// Declares a group function calling each target with a shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = unit;
+        config = Criterion::default().sample_size(3);
+        targets = target
+    }
+
+    #[test]
+    fn runner_executes_benches() {
+        unit();
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("A").id, "A");
+    }
+}

@@ -1,0 +1,132 @@
+//! Offline stand-in for `rand_chacha`: a genuine ChaCha8 keystream
+//! generator implementing the vendored `rand` traits. Deterministic per
+//! seed; the stream layout is not guaranteed bit-identical to the real
+//! crate (this workspace only relies on determinism, not cross-crate
+//! reproducibility).
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+
+/// ChaCha8-based RNG.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// ChaCha state input block: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Buffered keystream block.
+    block: [u32; 16],
+    /// Next unread index into `block` (16 = exhausted).
+    idx: usize,
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut work = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column rounds.
+            quarter_round(&mut work, 0, 4, 8, 12);
+            quarter_round(&mut work, 1, 5, 9, 13);
+            quarter_round(&mut work, 2, 6, 10, 14);
+            quarter_round(&mut work, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut work, 0, 5, 10, 15);
+            quarter_round(&mut work, 1, 6, 11, 12);
+            quarter_round(&mut work, 2, 7, 8, 13);
+            quarter_round(&mut work, 3, 4, 9, 14);
+        }
+        for (i, w) in work.iter().enumerate() {
+            self.block[i] = w.wrapping_add(self.state[i]);
+        }
+        // 64-bit block counter in words 12..14.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.idx = 0;
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        // "expand 32-byte k" constants.
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes([
+                seed[4 * i],
+                seed[4 * i + 1],
+                seed[4 * i + 2],
+                seed[4 * i + 3],
+            ]);
+        }
+        // Counter and nonce start at zero.
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(123);
+        let mut b = ChaCha8Rng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn uniform_unit_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mean: f64 = (0..10_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+}

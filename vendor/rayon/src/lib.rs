@@ -1,0 +1,166 @@
+//! Offline stand-in for `rayon`, covering the two patterns this
+//! workspace uses:
+//!
+//! 1. `(0..n).into_par_iter().map(f).collect::<Vec<_>>()` — the block
+//!    fan-out in the GPU simulator. This one is genuinely parallel
+//!    (std scoped threads, one chunk per core) because simulator test
+//!    and bench wall-time depends on it.
+//! 2. `slice.par_iter() / par_iter_mut() / par_chunks_mut(k)` with
+//!    `zip`/`for_each` — the CPU MoG pixel loop. These return ordinary
+//!    sequential iterators: zip fusion across five lock-step mutable
+//!    slices cannot be expressed without rayon's producer machinery,
+//!    and the CPU path is a correctness baseline, not a benchmark
+//!    target, in this offline build.
+
+use std::ops::Range;
+
+/// Conversion into a "parallel" iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Resulting iterator type.
+    type Iter;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+macro_rules! impl_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = ParRange<$t>;
+            fn into_par_iter(self) -> ParRange<$t> {
+                ParRange { range: self }
+            }
+        }
+    )*};
+}
+
+impl_range!(u32, u64, usize, i32, i64);
+
+/// Parallel view over an integer range.
+pub struct ParRange<I> {
+    range: Range<I>,
+}
+
+/// A mapped parallel range, ready to collect.
+pub struct ParMap<I, F> {
+    range: Range<I>,
+    f: F,
+}
+
+macro_rules! impl_par_range {
+    ($($t:ty),*) => {$(
+        impl ParRange<$t> {
+            /// Maps each index through `f`.
+            pub fn map<T, F: Fn($t) -> T + Sync>(self, f: F) -> ParMap<$t, F> {
+                ParMap { range: self.range, f }
+            }
+        }
+
+        impl<T: Send, F: Fn($t) -> T + Sync> ParMap<$t, F> {
+            /// Evaluates the map across scoped threads and collects the
+            /// results in index order.
+            pub fn collect<C: From<Vec<T>>>(self) -> C {
+                let start = self.range.start;
+                let end = self.range.end;
+                let n = end.saturating_sub(start) as usize;
+                let workers = std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+                    .min(n.max(1));
+                let f = &self.f;
+                if workers <= 1 || n <= 1 {
+                    return C::from((start..end).map(f).collect());
+                }
+                let chunk = n.div_ceil(workers);
+                let mut out: Vec<T> = Vec::with_capacity(n);
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let lo = start + (w * chunk) as $t;
+                            let hi = (lo + chunk as $t).min(end);
+                            s.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+                        })
+                        .collect();
+                    for h in handles {
+                        out.extend(h.join().expect("rayon shim worker panicked"));
+                    }
+                });
+                C::from(out)
+            }
+        }
+    )*};
+}
+
+impl_par_range!(u32, u64, usize, i32, i64);
+
+/// Sequential stand-ins for rayon's shared-slice methods.
+pub trait ParallelSlice<T> {
+    /// Sequential `iter()` under rayon's name.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    /// Sequential `chunks()` under rayon's name.
+    fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+    fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(size)
+    }
+}
+
+/// Sequential stand-ins for rayon's mutable-slice methods.
+pub trait ParallelSliceMut<T> {
+    /// Sequential `iter_mut()` under rayon's name.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    /// Sequential `chunks_mut()` under rayon's name.
+    fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(size)
+    }
+}
+
+/// Everything a `use rayon::prelude::*` consumer expects.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let v: Vec<u64> = (0u32..1000)
+            .into_par_iter()
+            .map(|i| (i as u64) * 2)
+            .collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == (i as u64) * 2));
+    }
+
+    #[test]
+    fn par_map_empty_range() {
+        let v: Vec<u32> = (5u32..5).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn slice_adapters_compose_with_zip() {
+        let mut out = [0u8; 4];
+        let src = [1u8, 2, 3, 4];
+        out.par_iter_mut()
+            .zip(src.par_iter())
+            .for_each(|(o, &s)| *o = s * 10);
+        assert_eq!(out, [10, 20, 30, 40]);
+    }
+}

@@ -1,0 +1,542 @@
+//! Offline stand-in for `serde`, API-compatible with the subset this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serialization framework under the same crate names.
+//! Unlike real serde's visitor architecture, this implementation round-
+//! trips every value through one concrete JSON-like [`Value`] tree — a
+//! deliberate simplification that keeps the derive macro dependency-free
+//! (no `syn`/`quote`) while preserving the `#[derive(Serialize,
+//! Deserialize)]` surface and externally-tagged enum representation the
+//! real crate produces.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value tree: the single wire format of this shim. Re-exported by
+/// the vendored `serde_json` as `serde_json::Value`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (serialized without a decimal point).
+    I64(i64),
+    /// Unsigned integer (serialized without a decimal point).
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, preserving insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Member lookup on objects; `None` for other kinds or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (integers widen losslessly enough for JSON use).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(i) => Some(*i as f64),
+            Value::U64(u) => Some(*u as f64),
+            Value::F64(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view of integer values.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(u) => Some(*u),
+            Value::I64(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object view (ordered key/value pairs).
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        self.as_f64() == Some(*other as f64)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Compact JSON rendering (what `serde_json::to_string` produces).
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_value(f, self, None, 0)
+    }
+}
+
+fn write_json_string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+fn write_indent(f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+    for _ in 0..depth {
+        f.write_str("  ")?;
+    }
+    Ok(())
+}
+
+/// Shared compact/pretty printer: `indent = None` is compact, `Some(())`
+/// pretty-prints with two-space indentation like serde_json.
+pub(crate) fn write_value(
+    f: &mut fmt::Formatter<'_>,
+    v: &Value,
+    pretty: Option<()>,
+    depth: usize,
+) -> fmt::Result {
+    match v {
+        Value::Null => f.write_str("null"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::I64(i) => write!(f, "{i}"),
+        Value::U64(u) => write!(f, "{u}"),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // `{:?}` prints the shortest representation that round-
+                // trips, always with a decimal point or exponent.
+                write!(f, "{x:?}")
+            } else {
+                // JSON has no NaN/Infinity; mirror serde_json's `null`
+                // for the lossy-but-parseable choice.
+                f.write_str("null")
+            }
+        }
+        Value::String(s) => write_json_string(f, s),
+        Value::Array(a) => {
+            if a.is_empty() {
+                return f.write_str("[]");
+            }
+            f.write_str("[")?;
+            for (i, x) in a.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                if pretty.is_some() {
+                    f.write_str("\n")?;
+                    write_indent(f, depth + 1)?;
+                }
+                write_value(f, x, pretty, depth + 1)?;
+            }
+            if pretty.is_some() {
+                f.write_str("\n")?;
+                write_indent(f, depth)?;
+            }
+            f.write_str("]")
+        }
+        Value::Object(m) => {
+            if m.is_empty() {
+                return f.write_str("{}");
+            }
+            f.write_str("{")?;
+            for (i, (k, x)) in m.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                if pretty.is_some() {
+                    f.write_str("\n")?;
+                    write_indent(f, depth + 1)?;
+                }
+                write_json_string(f, k)?;
+                f.write_str(if pretty.is_some() { ": " } else { ":" })?;
+                write_value(f, x, pretty, depth + 1)?;
+            }
+            if pretty.is_some() {
+                f.write_str("\n")?;
+                write_indent(f, depth)?;
+            }
+            f.write_str("}")
+        }
+    }
+}
+
+/// Display adapter that pretty-prints a [`Value`] with two-space
+/// indentation, matching `serde_json::to_string_pretty`.
+#[doc(hidden)]
+pub struct PrettyValue<'a>(pub &'a Value);
+
+impl fmt::Display for PrettyValue<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_value(f, self.0, Some(()), 0)
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` to a JSON value tree.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a JSON value tree.
+    fn from_json_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Field lookup helper used by the derive macro.
+#[doc(hidden)]
+pub fn __get_field<'a>(
+    obj: &'a [(String, Value)],
+    ty: &str,
+    key: &str,
+) -> Result<&'a Value, DeError> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::new(format!("missing field `{key}` for {ty}")))
+}
+
+macro_rules! impl_int {
+    ($($t:ty => $var:ident as $conv:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::$var(*self as $conv)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::I64(i) => Ok(*i as $t),
+                    Value::U64(u) => Ok(*u as $t),
+                    Value::F64(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    other => Err(DeError::new(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"),
+                        other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int! {
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64,
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64,
+}
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .ok_or_else(|| DeError::new(format!("expected f64, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::new("expected f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::new("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::new("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::new("expected array"))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::new("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_json_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+    )+};
+}
+
+impl_tuple! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact_json() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::U64(1)),
+            ("b".into(), Value::Array(vec![Value::F64(0.5), Value::Null])),
+        ]);
+        assert_eq!(v.to_string(), r#"{"a":1,"b":[0.5,null]}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(Value::F64(f64::INFINITY).to_string(), "null");
+        assert_eq!(Value::F64(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            Value::String("a\"b\\c\n".into()).to_string(),
+            r#""a\"b\\c\n""#
+        );
+    }
+
+    #[test]
+    fn index_and_eq() {
+        let v = Value::Object(vec![("x".into(), Value::F64(97.0))]);
+        assert_eq!(v["x"], 97.0);
+        assert!(v["missing"].is_null());
+    }
+}

@@ -1,0 +1,521 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the offline build
+//! cannot pull `syn`/`quote`). Supports the shapes this workspace uses:
+//!
+//! * structs with named fields, including generic ones (every type
+//!   parameter gets a `Serialize`/`Deserialize` bound),
+//! * tuple structs,
+//! * enums with unit, struct, and tuple variants, encoded externally
+//!   tagged exactly like real serde (`"A"`, `{"Windowed":{"group":8}}`).
+//!
+//! Attributes (`#[serde(...)]` customization) are not supported; the
+//! workspace does not use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed generic parameter.
+struct GenericParam {
+    /// Full declaration text, e.g. `T: DeviceReal` or `'a`.
+    decl: String,
+    /// Bare name used in the type position, e.g. `T` or `'a`.
+    name: String,
+    /// True for lifetime parameters (no serde bound added).
+    is_lifetime: bool,
+}
+
+/// A struct field or variant payload element.
+struct Field {
+    /// Field name (empty for tuple fields).
+    name: String,
+}
+
+enum Body {
+    /// Named-field struct.
+    Struct(Vec<Field>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    /// Enum variants: (name, payload).
+    Enum(Vec<(String, VariantBody)>),
+}
+
+enum VariantBody {
+    Unit,
+    Struct(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<GenericParam>,
+    body: Body,
+}
+
+/// Skips `#[...]` / doc-comment attributes at the cursor.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1; // '#'
+                if i < toks.len() {
+                    if let TokenTree::Punct(p2) = &toks[i] {
+                        if p2.as_char() == '!' {
+                            i += 1; // inner attribute '!'
+                        }
+                    }
+                }
+                if i < toks.len() {
+                    if let TokenTree::Group(g) = &toks[i] {
+                        if g.delimiter() == Delimiter::Bracket {
+                            i += 1; // [...]
+                            continue;
+                        }
+                    }
+                }
+                panic!("serde_derive: malformed attribute");
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parses `<...>` generics starting at the `<`; returns (params, next index).
+fn parse_generics(toks: &[TokenTree], mut i: usize) -> (Vec<GenericParam>, usize) {
+    let mut params = Vec::new();
+    let mut depth = 0usize;
+    let mut cur: Vec<String> = Vec::new();
+    loop {
+        let t = toks.get(i).expect("serde_derive: unterminated generics");
+        i += 1;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                if depth > 1 {
+                    cur.push("<".into());
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    if !cur.is_empty() {
+                        params.push(finish_param(&cur));
+                    }
+                    return (params, i);
+                }
+                cur.push(">".into());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                if !cur.is_empty() {
+                    params.push(finish_param(&cur));
+                }
+                cur = Vec::new();
+            }
+            other => cur.push(other.to_string()),
+        }
+    }
+}
+
+fn finish_param(parts: &[String]) -> GenericParam {
+    let decl = parts.join(" ").replace("' ", "'");
+    let is_lifetime = parts.first().is_some_and(|p| p == "'");
+    let name = if is_lifetime {
+        format!("'{}", parts.get(1).cloned().unwrap_or_default())
+    } else {
+        // `const N : usize` or `T : Bound` or bare `T`.
+        if parts.first().is_some_and(|p| p == "const") {
+            parts.get(1).cloned().unwrap_or_default()
+        } else {
+            parts.first().cloned().unwrap_or_default()
+        }
+    };
+    GenericParam {
+        decl,
+        name,
+        is_lifetime,
+    }
+}
+
+/// Parses the named fields of a brace-delimited body.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        i = skip_vis(&toks, i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other}"),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other}"),
+        }
+        // Skip the type: tokens until a top-level comma.
+        let mut angle = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name });
+    }
+    fields
+}
+
+/// Counts the fields of a paren-delimited tuple body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut n = 1usize;
+    let mut angle = 0i32;
+    for (i, t) in toks.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 && i + 1 < toks.len() => {
+                n += 1;
+            }
+            _ => {}
+        }
+    }
+    n
+}
+
+fn parse_enum_variants(body: TokenStream) -> Vec<(String, VariantBody)> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let vbody = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantBody::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantBody::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantBody::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push((name, vbody));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+    let (generics, ni) = match toks.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => parse_generics(&toks, i),
+        _ => (Vec::new(), i),
+    };
+    i = ni;
+    // Skip a possible where-clause up to the body group.
+    let body_group = loop {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+            {
+                let n = count_tuple_fields(g.stream());
+                return Item {
+                    name,
+                    generics,
+                    body: Body::Tuple(n),
+                };
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: `{name}` has no body"),
+        }
+    };
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_named_fields(body_group.stream())),
+        "enum" => Body::Enum(parse_enum_variants(body_group.stream())),
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+/// Renders `impl<...> Trait for Name<...>` header parts:
+/// (impl-generics, type-generics).
+fn generics_for(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_g: Vec<String> = item
+        .generics
+        .iter()
+        .map(|p| {
+            if p.is_lifetime || p.decl.starts_with("const") {
+                p.decl.clone()
+            } else if p.decl.contains(':') {
+                format!("{} + {bound}", p.decl)
+            } else {
+                format!("{}: {bound}", p.decl)
+            }
+        })
+        .collect();
+    let ty_g: Vec<String> = item.generics.iter().map(|p| p.name.clone()).collect();
+    (
+        format!("<{}>", impl_g.join(", ")),
+        format!("<{}>", ty_g.join(", ")),
+    )
+}
+
+/// `#[derive(Serialize)]` for the vendored serde shim.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (impl_g, ty_g) = generics_for(&item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__obj.push(({:?}.to_string(), ::serde::Serialize::to_json_value(&self.{})));",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __obj: Vec<(String, ::serde::Value)> = Vec::new();\n{}\n::serde::Value::Object(__obj)",
+                pushes.join("\n")
+            )
+        }
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            if *n == 1 {
+                items[0].clone()
+            } else {
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, vbody)| match vbody {
+                    VariantBody::Unit => format!(
+                        "{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),"
+                    ),
+                    VariantBody::Struct(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "__v.push(({:?}.to_string(), ::serde::Serialize::to_json_value({})));",
+                                    f.name, f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             let mut __v: Vec<(String, ::serde::Value)> = Vec::new();\n{}\n\
+                             ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Object(__v))])\n}}",
+                            binds.join(", "),
+                            pushes.join("\n")
+                        )
+                    }
+                    VariantBody::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_json_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![({vname:?}.to_string(), {payload})]),",
+                            binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    };
+    let out = format!(
+        "impl{impl_g} ::serde::Serialize for {name}{ty_g} {{\n\
+         fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    );
+    out.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// `#[derive(Deserialize)]` for the vendored serde shim.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (impl_g, ty_g) = generics_for(&item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let gets: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{}: ::serde::Deserialize::from_json_value(::serde::__get_field(__obj, {:?}, {:?})?)?,",
+                        f.name, name, f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::DeError::new(format!(\"expected object for {name}, got {{:?}}\", __v)))?;\n\
+                 Ok({name} {{\n{}\n}})",
+                gets.join("\n")
+            )
+        }
+        Body::Tuple(n) => {
+            if *n == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_json_value(__v)?))")
+            } else {
+                let gets: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_json_value(&__arr[{i}])?,"))
+                    .collect();
+                format!(
+                    "let __arr = __v.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array for {name}\"))?;\n\
+                     if __arr.len() != {n} {{ return Err(::serde::DeError::new(\"wrong tuple arity for {name}\")); }}\n\
+                     Ok({name}({}))",
+                    gets.join("\n")
+                )
+            }
+        }
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, b)| matches!(b, VariantBody::Unit))
+                .map(|(vname, _)| format!("{vname:?} => Ok({name}::{vname}),"))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(vname, vbody)| match vbody {
+                    VariantBody::Unit => None,
+                    VariantBody::Struct(fields) => {
+                        let gets: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{}: ::serde::Deserialize::from_json_value(::serde::__get_field(__fields, {:?}, {:?})?)?,",
+                                    f.name, vname, f.name
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "{vname:?} => {{\n\
+                             let __fields = __payload.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object payload for {name}::{vname}\"))?;\n\
+                             Ok({name}::{vname} {{\n{}\n}})\n}}",
+                            gets.join("\n")
+                        ))
+                    }
+                    VariantBody::Tuple(n) => {
+                        let expr = if *n == 1 {
+                            format!("Ok({name}::{vname}(::serde::Deserialize::from_json_value(__payload)?))")
+                        } else {
+                            let gets: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_json_value(&__arr[{i}])?,")
+                                })
+                                .collect();
+                            format!(
+                                "let __arr = __payload.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array payload for {name}::{vname}\"))?;\n\
+                                 Ok({name}::{vname}({}))",
+                                gets.join("\n")
+                            )
+                        };
+                        Some(format!("{vname:?} => {{ {expr} }}"))
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{}\n\
+                 other => Err(::serde::DeError::new(format!(\"unknown variant {{other:?}} for {name}\"))),\n}},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__m[0];\n\
+                 match __tag.as_str() {{\n{}\n\
+                 other => Err(::serde::DeError::new(format!(\"unknown variant {{other:?}} for {name}\"))),\n}}\n}},\n\
+                 other => Err(::serde::DeError::new(format!(\"expected string or single-key object for {name}, got {{other:?}}\"))),\n}}",
+                unit_arms.join("\n"),
+                payload_arms.join("\n")
+            )
+        }
+    };
+    let out = format!(
+        "impl{impl_g} ::serde::Deserialize for {name}{ty_g} {{\n\
+         fn from_json_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    );
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
