@@ -20,6 +20,7 @@ fn main() {
     results.record("exp_embedded", &exp::exp_embedded());
     results.record("exp_adaptive", &exp::exp_adaptive());
     results.record("exp_portability", &exp::exp_portability());
+    results.record("exp_streams", &exp::exp_streams());
 
     let path = std::env::args()
         .nth(1)

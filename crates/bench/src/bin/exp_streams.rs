@@ -1,0 +1,5 @@
+//! Standalone runner for the `exp_streams` experiment (see mogpu-bench docs
+//! and DESIGN.md's experiment index).
+fn main() {
+    mogpu_bench::experiments::exp_streams();
+}

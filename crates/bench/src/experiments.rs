@@ -967,3 +967,101 @@ pub fn exp_portability() -> serde_json::Value {
     println!("algorithm/architecture co-tuning is, as titled, architecture-specific.\n");
     json!(out)
 }
+
+/// Multi-stream scaling: N live cameras multiplexed onto one device via
+/// the CUDA-streams-style scheduler (per-stream model state, shared
+/// compute/copy engines, double-buffered frames per stream). Aggregate
+/// throughput must rise with stream count until the compute engine
+/// saturates, while per-stream device latency stays bounded by the
+/// 2-buffer cap.
+pub fn exp_streams() -> serde_json::Value {
+    use mogpu_core::MultiGpuMog;
+    println!("== multi-stream scaling: live cameras sharing one device ==\n");
+    let frames_per_stream = 13usize;
+    let res = SIM_RESOLUTION;
+    let scenes = |n: usize| -> Vec<Vec<mogpu_frame::Frame<u8>>> {
+        (0..n)
+            .map(|s| {
+                mogpu_frame::SceneBuilder::new(res)
+                    .seed(0x57_2014 + s as u64)
+                    .walkers(2 + s % 3)
+                    .bimodal_fraction(0.05)
+                    .build()
+                    .render_sequence(frames_per_stream)
+                    .0
+                    .into_frames()
+            })
+            .collect()
+    };
+    let run = |streams: &[Vec<mogpu_frame::Frame<u8>>], period: f64| {
+        let seeds: Vec<&[u8]> = streams.iter().map(|f| f[0].as_slice()).collect();
+        let mut multi = MultiGpuMog::<f64>::new(
+            res,
+            default_params(3),
+            OptLevel::F,
+            &seeds,
+            GpuConfig::tesla_c2075(),
+        )
+        .expect("multi-stream pipeline")
+        .with_arrival_period(period);
+        let frames: Vec<Vec<mogpu_frame::Frame<u8>>> =
+            streams.iter().map(|f| f[1..].to_vec()).collect();
+        multi.process_all(&frames).expect("processing")
+    };
+
+    // Calibrate the camera rate off the single-stream offline run: each
+    // camera delivers a frame every 6 kernel times, so one paced stream
+    // leaves the compute engine ~5/6 idle.
+    let one = scenes(1);
+    let offline = run(&one, 0.0);
+    let t_kernel = offline.per_stream[0].kernel_time_total / offline.per_stream[0].frames as f64;
+    let period = 6.0 * t_kernel;
+    let camera_fps = 1.0 / period;
+    println!(
+        "level F at {res}; cameras paced at {camera_fps:.0} fps (1 frame per 6 kernel times)\n"
+    );
+
+    println!(
+        "{:<9} {:>13} {:>13} {:>10} {:>13} {:>13}",
+        "streams", "aggr fps", "ideal fps", "kern busy", "lat mean ms", "lat max ms"
+    );
+    rule(76);
+    let mut rows = Vec::new();
+    for n in [1usize, 2, 4, 8, 16] {
+        let report = run(&scenes(n), period);
+        let lat_mean = report
+            .per_stream
+            .iter()
+            .map(|s| s.latency.mean)
+            .sum::<f64>()
+            / n as f64;
+        let ideal = (n as f64 * camera_fps).min(1.0 / t_kernel);
+        println!(
+            "{:<9} {:>13.0} {:>13.0} {:>10} {:>13.4} {:>13.4}",
+            n,
+            report.aggregate_fps,
+            ideal,
+            pct(report.kernel_utilization),
+            1e3 * lat_mean,
+            1e3 * report.worst_latency()
+        );
+        rows.push(json!({
+            "streams": n,
+            "aggregate_fps": report.aggregate_fps,
+            "ideal_fps": ideal,
+            "kernel_utilization": report.kernel_utilization,
+            "latency_mean_ms": 1e3 * lat_mean,
+            "latency_max_ms": 1e3 * report.worst_latency(),
+        }));
+    }
+    rule(76);
+    println!("aggregate throughput tracks n x camera rate until the compute engine");
+    println!("saturates (~6 streams at this pacing), then plateaus at 1/kernel-time.");
+    println!("Past saturation latency grows with cross-stream queueing but stays");
+    println!("bounded by the 2-buffer cap — independent of how long the run is.\n");
+    json!({
+        "camera_fps": camera_fps,
+        "kernel_s_per_frame": t_kernel,
+        "sweep": rows,
+    })
+}

@@ -16,6 +16,7 @@
 //! | `exp_fig11` | Fig. 11 3- vs 5-Gaussian study |
 //! | `exp_fig12` | Fig. 12 double- vs single-precision study |
 //! | `exp_ablation` | design-choice ablations (shared layout, latency model) |
+//! | `exp_streams` | multi-stream scaling (live cameras sharing one device) |
 //! | `exp_all` | everything above, persisted to `results/experiments.json` |
 //!
 //! Experiments simulate at a reduced resolution (the functional simulator

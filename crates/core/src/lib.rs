@@ -30,9 +30,11 @@ pub mod layout;
 pub mod levels;
 pub mod pipeline;
 pub mod profile;
+pub mod streams;
 
 pub use device::DeviceReal;
 pub use layout::{DeviceModel, Layout};
 pub use levels::OptLevel;
 pub use pipeline::{AdaptiveGpuMog, GpuMog, PipelineError, RunReport};
 pub use profile::{Bottleneck, LaunchProfile, ProfileMode, ProfileReport};
+pub use streams::{MultiGpuMog, MultiStreamReport, StreamRunReport};

@@ -73,6 +73,9 @@ pub struct RunReport {
     pub occupancy: Occupancy,
     /// Modelled kernel execution time, summed (seconds).
     pub kernel_time_total: f64,
+    /// Modelled kernel seconds attributed to each frame, in order (a
+    /// grouped level-W launch's time is split evenly across its group).
+    pub per_frame_kernel_times: Vec<f64>,
     /// Modelled per-direction DMA time per frame (seconds).
     pub h2d_per_frame: f64,
     /// Modelled device-to-host DMA time per frame (seconds).
@@ -206,6 +209,22 @@ impl<T: DeviceReal> GpuMog<T> {
         self.level
     }
 
+    /// The pipeline's frame resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Device bytes this pipeline's model and frame buffers occupy —
+    /// what a multi-stream host must budget per stream.
+    pub fn device_allocated(&self) -> usize {
+        self.mem.allocated()
+    }
+
+    /// The simulated hardware configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
     /// Enables or disables profiling for subsequent `process_all` calls.
     /// Off (the default) costs nothing; On makes every launch aggregate
     /// per-site counters and `process_all` assemble a [`ProfileReport`].
@@ -330,6 +349,7 @@ impl<T: DeviceReal> GpuMog<T> {
         let group = self.level.group();
         let mut stats = KernelStats::default();
         let mut kernel_time = 0.0f64;
+        let mut per_frame_kernel_times = Vec::with_capacity(frames.len());
         let mut occupancy = None;
         let mut masks = Vec::with_capacity(frames.len());
         let mut launches: Vec<LaunchProfile> = Vec::new();
@@ -339,6 +359,10 @@ impl<T: DeviceReal> GpuMog<T> {
             let (group_masks, mut report) = self.process_group(chunk)?;
             stats.merge(&report.stats);
             kernel_time += report.timing.total;
+            per_frame_kernel_times.extend(std::iter::repeat_n(
+                report.timing.total / chunk.len() as f64,
+                chunk.len(),
+            ));
             occupancy = Some(report.occupancy);
             if self.profile.is_on() {
                 if let Some(s) = report.sites.take() {
@@ -397,6 +421,7 @@ impl<T: DeviceReal> GpuMog<T> {
             stats,
             occupancy,
             kernel_time_total: kernel_time,
+            per_frame_kernel_times,
             h2d_per_frame: t_h2d,
             d2h_per_frame: t_d2h,
             pipeline,
@@ -716,6 +741,7 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
         let pixels = self.resolution.pixels();
         let mut stats = KernelStats::default();
         let mut kernel_time = 0.0;
+        let mut per_frame_kernel_times = Vec::with_capacity(frames.len());
         let mut occupancy = None;
         let mut masks = Vec::with_capacity(frames.len());
         let mut launches: Vec<LaunchProfile> = Vec::new();
@@ -752,6 +778,7 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
             )?;
             stats.merge(&report.stats);
             kernel_time += report.timing.total;
+            per_frame_kernel_times.push(report.timing.total);
             occupancy = Some(report.occupancy);
             if self.profile.is_on() {
                 if let Some(s) = report.sites.take() {
@@ -809,6 +836,7 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
             stats,
             occupancy,
             kernel_time_total: kernel_time,
+            per_frame_kernel_times,
             h2d_per_frame: t_dir,
             d2h_per_frame: t_dir,
             pipeline,

@@ -14,6 +14,7 @@
 //!   tracks (`thread_name`).
 
 use crate::dma::FrameSpans;
+use crate::streams::StreamSchedule;
 use serde::Value;
 
 /// Thread-track ids within one pipeline's process.
@@ -109,6 +110,63 @@ impl TraceBuilder {
         }
     }
 
+    /// Appends a multi-stream schedule as one process named `name` with
+    /// three engine tracks *per stream* (`s<i> copy-in/compute/copy-out`,
+    /// tids `3i..3i+2`), so cross-stream interleaving on the shared
+    /// engines is visible in Perfetto.
+    pub fn add_multi_stream(&mut self, name: &str, schedule: &StreamSchedule) {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.events.push(metadata("process_name", pid, 0, name));
+        for (s, frames) in schedule.streams.iter().enumerate() {
+            let base = 3 * s as u64;
+            self.events.push(metadata(
+                "thread_name",
+                pid,
+                base + TID_COPY_IN,
+                &format!("s{s} copy-in (H2D)"),
+            ));
+            self.events.push(metadata(
+                "thread_name",
+                pid,
+                base + TID_COMPUTE,
+                &format!("s{s} compute"),
+            ));
+            self.events.push(metadata(
+                "thread_name",
+                pid,
+                base + TID_COPY_OUT,
+                &format!("s{s} copy-out (D2H)"),
+            ));
+            for (i, f) in frames.iter().enumerate() {
+                self.events.push(duration_event(
+                    format!("s{s} upload frame {i}"),
+                    "dma",
+                    pid,
+                    base + TID_COPY_IN,
+                    f.h2d.start,
+                    f.h2d.dur,
+                ));
+                self.events.push(duration_event(
+                    format!("s{s} kernel frame {i}"),
+                    "kernel",
+                    pid,
+                    base + TID_COMPUTE,
+                    f.kernel.start,
+                    f.kernel.dur,
+                ));
+                self.events.push(duration_event(
+                    format!("s{s} download frame {i}"),
+                    "dma",
+                    pid,
+                    base + TID_COPY_OUT,
+                    f.d2h.start,
+                    f.d2h.dur,
+                ));
+            }
+        }
+    }
+
     /// Finishes the trace as the JSON object Perfetto loads.
     pub fn finish(self) -> Value {
         Value::Object(vec![
@@ -194,6 +252,29 @@ mod tests {
             .unwrap();
         assert_eq!(field(first_kernel, "ts"), &Value::F64(1e6));
         assert_eq!(field(first_kernel, "dur"), &Value::F64(2e6));
+    }
+
+    #[test]
+    fn multi_stream_trace_has_one_track_triple_per_stream() {
+        use crate::streams::{StageTimes, StreamInput, StreamScheduler};
+        let c = GpuConfig::default();
+        let s = StreamInput::offline(vec![StageTimes::uniform(0.5, 1.0, 0.5); 3]);
+        let sched = StreamScheduler::double_buffered().schedule(&[s.clone(), s], &c);
+        let mut b = TraceBuilder::new();
+        b.add_multi_stream("streams", &sched);
+        let trace = b.finish();
+        let evs = events(&trace);
+        // 1 process + 2 streams x (3 thread metadata + 3 frames x 3 stages).
+        assert_eq!(evs.len(), 1 + 2 * (3 + 9));
+        let tids: std::collections::HashSet<u64> = evs
+            .iter()
+            .filter(|e| field(e, "ph") == &Value::String("X".into()))
+            .map(|e| match field(e, "tid") {
+                Value::U64(t) => *t,
+                other => panic!("tid must be u64, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(tids, (0..6).collect());
     }
 
     #[test]

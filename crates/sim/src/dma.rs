@@ -10,6 +10,7 @@
 //! configurations are handled correctly.
 
 use crate::config::GpuConfig;
+use crate::streams::{StageTimes, StreamInput, StreamScheduler};
 use serde::{Deserialize, Serialize};
 
 /// Time to DMA `bytes` across PCIe in one direction from pageable host
@@ -92,7 +93,12 @@ pub struct FrameSpans {
 /// * In [`OverlapMode::DoubleBuffered`], stages of different frames
 ///   overlap subject to: stage order within a frame; one kernel engine;
 ///   `cfg.copy_engines` copy engines (2 on the C2075 — dedicated H2D and
-///   D2H; 1 engine serializes the two directions).
+///   D2H; 1 engine serializes the two directions); and **two device
+///   frame buffers**, so frame `i`'s upload waits for kernel `i-2` to
+///   consume its buffer and frame `i`'s kernel waits for download `i-2`
+///   to free its mask buffer. (An earlier version of this model let
+///   unboundedly many uploads queue ahead of the kernel — infinite
+///   device buffering, not double buffering.)
 pub fn pipeline_time(
     frames: usize,
     t_h2d: f64,
@@ -118,10 +124,10 @@ pub fn pipeline_schedule(
     mode: OverlapMode,
     cfg: &GpuConfig,
 ) -> Vec<FrameSpans> {
-    let mut spans = Vec::with_capacity(frames);
     match mode {
         OverlapMode::Sequential => {
             // One stream, synchronous transfers: a strict stage chain.
+            let mut spans = Vec::with_capacity(frames);
             let mut t = 0.0f64;
             for _ in 0..frames {
                 let h2d = Span {
@@ -139,45 +145,18 @@ pub fn pipeline_schedule(
                 t = d2h.end();
                 spans.push(FrameSpans { h2d, kernel, d2h });
             }
+            spans
         }
         OverlapMode::DoubleBuffered => {
-            // Engine availability times.
-            let two_engines = cfg.copy_engines >= 2;
-            let mut h2d_engine = 0.0f64; // engine 0
-            let mut d2h_engine = 0.0f64; // engine 1 (aliases engine 0 if single)
-            let mut kernel_engine = 0.0f64;
-            for _ in 0..frames {
-                // Upload: as soon as the copy-in engine frees up.
-                let h2d = Span {
-                    start: h2d_engine,
-                    dur: t_h2d,
-                };
-                h2d_engine = h2d.end();
-                if !two_engines {
-                    d2h_engine = d2h_engine.max(h2d_engine);
-                }
-
-                // Kernel: after its upload and the previous kernel.
-                let kernel = Span {
-                    start: kernel_engine.max(h2d.end()),
-                    dur: t_kernel,
-                };
-                kernel_engine = kernel.end();
-
-                // Download: after the kernel, on the D2H engine.
-                let d2h = Span {
-                    start: d2h_engine.max(kernel.end()),
-                    dur: t_d2h,
-                };
-                d2h_engine = d2h.end();
-                if !two_engines {
-                    h2d_engine = h2d_engine.max(d2h_engine);
-                }
-                spans.push(FrameSpans { h2d, kernel, d2h });
-            }
+            // One stream, two device buffers: the single-stream case of
+            // the multi-stream list scheduler (the single source of
+            // truth for overlapped placement).
+            let input =
+                StreamInput::offline(vec![StageTimes::uniform(t_h2d, t_kernel, t_d2h); frames]);
+            let mut sched = StreamScheduler::double_buffered().schedule(&[input], cfg);
+            sched.streams.swap_remove(0)
         }
     }
-    spans
 }
 
 /// Summarizes a schedule into the makespan/steady-state figures.
@@ -332,6 +311,55 @@ mod tests {
         for f in &sched {
             assert!(f.kernel.start >= f.h2d.end() - 1e-12);
             assert!(f.d2h.start >= f.kernel.end() - 1e-12);
+        }
+    }
+
+    /// Regression: the pre-fix scheduler let the upload engine run
+    /// unboundedly far ahead of the kernel (upload `i` started at
+    /// `i * t_h2d` regardless of kernel progress — infinite device
+    /// buffers). Double buffering must gate upload `i` on kernel `i-2`.
+    #[test]
+    fn double_buffered_uploads_are_capped_at_two_in_flight() {
+        let t_h2d = 0.01;
+        let t_kernel = 1.0;
+        let sched = pipeline_schedule(
+            12,
+            t_h2d,
+            t_kernel,
+            0.01,
+            OverlapMode::DoubleBuffered,
+            &cfg(),
+        );
+        for i in 2..sched.len() {
+            // The old schedule would have started this upload at
+            // i * t_h2d, far before kernel i-2 completed.
+            let unbounded_start = i as f64 * t_h2d;
+            assert!(
+                sched[i].h2d.start >= sched[i - 2].kernel.end() - 1e-12,
+                "upload {i} at {} ran ahead of kernel {} ending {}",
+                sched[i].h2d.start,
+                i - 2,
+                sched[i - 2].kernel.end()
+            );
+            assert!(
+                sched[i].h2d.start > unbounded_start + t_kernel / 2.0,
+                "upload {i} still queues like the unbounded model"
+            );
+            // At most 2 frames are in flight (uploaded or uploading but
+            // not yet consumed) at any upload start.
+            let in_flight = sched
+                .iter()
+                .enumerate()
+                .filter(|(j, f)| {
+                    *j != i
+                        && f.h2d.start <= sched[i].h2d.start + 1e-12
+                        && f.kernel.end() > sched[i].h2d.start + 1e-12
+                })
+                .count();
+            assert!(
+                in_flight < 2,
+                "frame {i}: {in_flight} other frames in flight"
+            );
         }
     }
 

@@ -55,6 +55,7 @@ pub mod memory;
 pub mod occupancy;
 pub mod profile;
 pub mod stats;
+pub mod streams;
 pub mod timing;
 pub mod trace;
 pub mod warp;
@@ -68,5 +69,8 @@ pub use memory::{Buffer, DeviceMemory, MemoryError};
 pub use occupancy::{occupancy, Occupancy};
 pub use profile::{HotspotRow, SiteProfile, SiteStats};
 pub use stats::{DerivedMetrics, KernelStats};
+pub use streams::{
+    LatencyStats, StageTimes, StreamInput, StreamSchedule, StreamScheduler, DOUBLE_BUFFER,
+};
 pub use timing::{kernel_time, KernelTiming};
 pub use trace::{site_source, SiteSource};

@@ -35,13 +35,39 @@ impl Buffer {
     /// A sub-buffer covering `[byte_off, byte_off + len)`.
     ///
     /// # Panics
-    /// Panics if the range exceeds the buffer.
+    /// Panics if the range exceeds the buffer (including when
+    /// `byte_off + len` overflows `usize`).
     pub fn slice(&self, byte_off: usize, len: usize) -> Buffer {
-        assert!(byte_off + len <= self.len, "sub-buffer out of range");
+        let end = byte_off
+            .checked_add(len)
+            .unwrap_or_else(|| panic!("sub-buffer range {byte_off}+{len} overflows usize"));
+        assert!(
+            end <= self.len,
+            "sub-buffer [{byte_off}, {end}) out of range for buffer of {} bytes",
+            self.len
+        );
         Buffer {
             offset: self.offset + byte_off,
             len,
         }
+    }
+
+    /// Byte offset of element `idx` of width `width`, bounds-checked
+    /// against this buffer so a mis-sized index can never silently reach
+    /// a neighboring allocation.
+    #[track_caller]
+    fn element_range(&self, idx: usize, width: usize, what: &str) -> usize {
+        let end = idx
+            .checked_mul(width)
+            .and_then(|o| o.checked_add(width))
+            .unwrap_or(usize::MAX);
+        assert!(
+            end <= self.len,
+            "{what}: element index {idx} out of bounds for buffer of {} elements ({} bytes)",
+            self.len / width,
+            self.len
+        );
+        self.offset + idx * width
     }
 }
 
@@ -111,9 +137,12 @@ impl DeviceMemory {
     /// [`MemoryError::OutOfMemory`] if capacity would be exceeded.
     pub fn alloc(&mut self, bytes: usize) -> Result<Buffer, MemoryError> {
         let start = self.cursor.div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
+        // `available` is measured from the *aligned* start: alignment
+        // padding is unusable, so reporting it as available would
+        // overstate what a retry could get.
         let end = start.checked_add(bytes).ok_or(MemoryError::OutOfMemory {
             requested: bytes,
-            available: self.capacity.saturating_sub(self.cursor),
+            available: self.capacity.saturating_sub(start.min(self.capacity)),
         })?;
         if end > self.capacity {
             return Err(MemoryError::OutOfMemory {
@@ -161,39 +190,71 @@ impl DeviceMemory {
     }
 
     // ---- host-side typed access (untimed, untraced) ----
+    //
+    // All accessors bounds-check `idx` against the buffer's length: a
+    // mis-sized buffer panics with a clear message instead of silently
+    // reading or corrupting a neighboring allocation (the bump allocator
+    // packs allocations contiguously, so an unchecked overrun would
+    // land in valid — but foreign — memory).
 
     /// Host-side read of an `f64` at element index `idx`.
+    ///
+    /// # Panics
+    /// If `idx` is out of bounds for the buffer.
+    #[track_caller]
     pub fn read_f64(&self, buf: Buffer, idx: usize) -> f64 {
-        let o = buf.offset + idx * 8;
+        let o = buf.element_range(idx, 8, "read_f64");
         f64::from_le_bytes(self.data[o..o + 8].try_into().expect("8 bytes"))
     }
 
     /// Host-side write of an `f64` at element index `idx`.
+    ///
+    /// # Panics
+    /// If `idx` is out of bounds for the buffer.
+    #[track_caller]
     pub fn write_f64(&mut self, buf: Buffer, idx: usize, v: f64) {
-        let o = buf.offset + idx * 8;
+        let o = buf.element_range(idx, 8, "write_f64");
         self.data[o..o + 8].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Host-side read of an `f32` at element index `idx`.
+    ///
+    /// # Panics
+    /// If `idx` is out of bounds for the buffer.
+    #[track_caller]
     pub fn read_f32(&self, buf: Buffer, idx: usize) -> f32 {
-        let o = buf.offset + idx * 4;
+        let o = buf.element_range(idx, 4, "read_f32");
         f32::from_le_bytes(self.data[o..o + 4].try_into().expect("4 bytes"))
     }
 
     /// Host-side write of an `f32` at element index `idx`.
+    ///
+    /// # Panics
+    /// If `idx` is out of bounds for the buffer.
+    #[track_caller]
     pub fn write_f32(&mut self, buf: Buffer, idx: usize, v: f32) {
-        let o = buf.offset + idx * 4;
+        let o = buf.element_range(idx, 4, "write_f32");
         self.data[o..o + 4].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Host-side read of a `u8` at element index `idx`.
+    ///
+    /// # Panics
+    /// If `idx` is out of bounds for the buffer.
+    #[track_caller]
     pub fn read_u8(&self, buf: Buffer, idx: usize) -> u8 {
-        self.data[buf.offset + idx]
+        let o = buf.element_range(idx, 1, "read_u8");
+        self.data[o]
     }
 
     /// Host-side write of a `u8` at element index `idx`.
+    ///
+    /// # Panics
+    /// If `idx` is out of bounds for the buffer.
+    #[track_caller]
     pub fn write_u8(&mut self, buf: Buffer, idx: usize, v: u8) {
-        self.data[buf.offset + idx] = v;
+        let o = buf.element_range(idx, 1, "write_u8");
+        self.data[o] = v;
     }
 
     /// Copies a host byte slice into the buffer (untimed; for timed
@@ -273,5 +334,87 @@ mod tests {
         let sub = buf.slice(40, 20);
         assert_eq!(sub.addr(), buf.addr() + 40);
         assert_eq!(sub.len(), 20);
+    }
+
+    /// Regression: typed accessors used to index straight into the flat
+    /// store, so an out-of-range index silently read the *next*
+    /// allocation instead of failing.
+    #[test]
+    fn typed_access_cannot_reach_neighbor_allocation() {
+        let mut m = DeviceMemory::new(1 << 16);
+        let a = m.alloc_array::<f64>(4).unwrap();
+        let b = m.alloc_array::<f64>(4).unwrap();
+        m.write_f64(b, 0, 42.0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Index 4 of `a` would land inside the alignment gap / `b`.
+            m.read_f64(a, 4)
+        }));
+        assert!(r.is_err(), "out-of-bounds read must panic, not alias");
+    }
+
+    #[test]
+    #[should_panic(expected = "write_f32: element index 8 out of bounds")]
+    fn typed_write_out_of_bounds_panics() {
+        let mut m = DeviceMemory::new(1 << 16);
+        let f = m.alloc_array::<f32>(8).unwrap();
+        m.write_f32(f, 8, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "read_u8: element index")]
+    fn u8_read_out_of_bounds_panics() {
+        let mut m = DeviceMemory::new(1 << 16);
+        let b = m.alloc(3).unwrap();
+        m.read_u8(b, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn typed_index_overflow_panics() {
+        let mut m = DeviceMemory::new(1 << 16);
+        let f = m.alloc_array::<f64>(4).unwrap();
+        // idx * 8 overflows usize; must panic cleanly, not wrap around.
+        m.read_f64(f, usize::MAX / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize")]
+    fn slice_overflow_panics() {
+        let mut m = DeviceMemory::new(1 << 16);
+        let buf = m.alloc(100).unwrap();
+        buf.slice(usize::MAX, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        let mut m = DeviceMemory::new(1 << 16);
+        let buf = m.alloc(100).unwrap();
+        buf.slice(90, 20);
+    }
+
+    /// Regression: `OutOfMemory::available` must be measured from the
+    /// 256-byte-aligned allocation start, not the raw cursor — the
+    /// alignment padding cannot be allocated, so counting it promises
+    /// space a retry can never get.
+    #[test]
+    fn out_of_memory_reports_aligned_available() {
+        let mut m = DeviceMemory::new(1000);
+        m.alloc(100).unwrap(); // cursor = 100; next aligned start = 256
+        match m.alloc(1000).unwrap_err() {
+            MemoryError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                assert_eq!(requested, 1000);
+                assert_eq!(available, 1000 - 256, "available must discount padding");
+            }
+        }
+        // Overflowing request: same aligned accounting.
+        match m.alloc(usize::MAX).unwrap_err() {
+            MemoryError::OutOfMemory { available, .. } => {
+                assert_eq!(available, 1000 - 256);
+            }
+        }
     }
 }

@@ -20,6 +20,7 @@ fn main() -> ExitCode {
         Some("ladder") => cmd_ladder(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
+        Some("streams") => cmd_streams(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_help();
             Ok(())
@@ -63,10 +64,21 @@ USAGE:
         table, roofline bounds, and bottleneck classification (default:
         level F on a synthetic QQVGA scene, top 10 hotspots).
 
-    Observability (demo / ladder / run / profile):
+    mogpu streams [--streams N] [--frames M] [--level L] [--k K] [--float]
+                  [--buffers B] [--fps R] [--json]
+        Serve N independent synthetic camera streams (distinct scenes)
+        from one simulated device, CUDA-streams style: per-stream model
+        state, shared compute/copy engines, B in-flight buffers per
+        stream (default 2 = double buffering). --fps R paces each stream
+        at R frames/s arrival (a live camera; default: offline, frames
+        available up front). Prints per-stream latency and aggregate
+        throughput; --json emits the same machine-readably.
+
+    Observability (demo / ladder / run / profile / streams):
         --report-out FILE.json   machine-readable profile report(s)
         --trace-out FILE.json    Chrome trace of the DMA/kernel timeline
-                                 (load in chrome://tracing or Perfetto)"
+                                 (streams: one track triple per stream;
+                                 load in chrome://tracing or Perfetto)"
     );
 }
 
@@ -435,4 +447,155 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     print!("{}", profile.text(top));
     obs.write(&[profile])?;
     Ok(())
+}
+
+fn cmd_streams(args: &[String]) -> Result<(), String> {
+    let n_streams: usize = opt_value(args, "--streams")
+        .map(|v| v.parse().unwrap_or(4))
+        .unwrap_or(4)
+        .max(1);
+    let n_frames: usize = opt_value(args, "--frames")
+        .map(|v| v.parse().unwrap_or(16))
+        .unwrap_or(16)
+        .max(2);
+    let level = parse_level(&opt_value(args, "--level").unwrap_or_else(|| "F".into()))?;
+    let k: usize = opt_value(args, "--k")
+        .map(|v| v.parse().unwrap_or(3))
+        .unwrap_or(3);
+    let use_f32 = opt_flag(args, "--float");
+    let buffers: usize = opt_value(args, "--buffers")
+        .map(|v| v.parse().unwrap_or(2))
+        .unwrap_or(2);
+    let fps: f64 = opt_value(args, "--fps")
+        .map(|v| v.parse().unwrap_or(0.0))
+        .unwrap_or(0.0);
+    let json = opt_flag(args, "--json");
+    let obs = ObsFlags::parse(args)?;
+
+    // One distinct synthetic scene per camera.
+    let res = Resolution::QQVGA;
+    let scenes: Vec<Vec<Frame<u8>>> = (0..n_streams)
+        .map(|s| {
+            SceneBuilder::new(res)
+                .seed(100 + s as u64)
+                .walkers(2 + s % 3)
+                .build()
+                .render_sequence(n_frames)
+                .0
+                .into_frames()
+        })
+        .collect();
+    let report = if use_f32 {
+        run_streams::<f32>(&scenes, level, k, buffers, fps)?
+    } else {
+        run_streams::<f64>(&scenes, level, k, buffers, fps)?
+    };
+
+    if json {
+        let streams: Vec<mogpu::json::Value> = report
+            .per_stream
+            .iter()
+            .enumerate()
+            .map(|(s, r)| {
+                mogpu::json::json!({
+                    "stream": s,
+                    "frames": r.frames,
+                    "kernel_s": r.kernel_time_total,
+                    "latency_mean_ms": 1e3 * r.latency.mean,
+                    "latency_max_ms": 1e3 * r.latency.max,
+                    "completion_s": r.completion,
+                    "fps": r.fps,
+                })
+            })
+            .collect();
+        let doc = mogpu::json::json!({
+            "streams": n_streams,
+            "frames_per_stream": n_frames - 1,
+            "level": level.name(),
+            "buffers_per_stream": buffers.max(1),
+            "arrival_fps": fps,
+            "total_frames": report.total_frames,
+            "makespan_s": report.makespan,
+            "aggregate_fps": report.aggregate_fps,
+            "kernel_utilization": report.kernel_utilization,
+            "per_stream": streams,
+        });
+        println!(
+            "{}",
+            mogpu::json::to_string_pretty(&doc).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "{n_streams} streams x {} frames, level {}, {} buffers/stream{}",
+            n_frames - 1,
+            level.name(),
+            buffers.max(1),
+            if fps > 0.0 {
+                format!(", arrivals at {fps:.0} fps")
+            } else {
+                ", offline".into()
+            }
+        );
+        println!(
+            "{:<8} {:>7} {:>12} {:>12} {:>10} {:>9}",
+            "stream", "frames", "lat mean ms", "lat max ms", "done s", "fps"
+        );
+        for (s, r) in report.per_stream.iter().enumerate() {
+            println!(
+                "{:<8} {:>7} {:>12.3} {:>12.3} {:>10.4} {:>9.1}",
+                format!("s{s}"),
+                r.frames,
+                1e3 * r.latency.mean,
+                1e3 * r.latency.max,
+                r.completion,
+                r.fps
+            );
+        }
+        println!(
+            "aggregate: {} frames in {:.4} s = {:.1} fps, compute engine {:.1}% busy",
+            report.total_frames,
+            report.makespan,
+            report.aggregate_fps,
+            100.0 * report.kernel_utilization
+        );
+    }
+
+    if let Some(path) = &obs.trace_out {
+        let mut builder = mogpu::sim::chrome_trace::TraceBuilder::new();
+        builder.add_multi_stream(
+            &format!("{n_streams} streams, level {}", level.name()),
+            &report.schedule,
+        );
+        let json = mogpu::json::to_string_pretty(&builder.finish()).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!(
+            "wrote Chrome trace to {} (load in chrome://tracing or ui.perfetto.dev)",
+            path.display()
+        );
+    }
+    Ok(())
+}
+
+fn run_streams<T: mogpu::core::DeviceReal>(
+    scenes: &[Vec<Frame<u8>>],
+    level: OptLevel,
+    k: usize,
+    buffers: usize,
+    fps: f64,
+) -> Result<MultiStreamReport, String> {
+    let seeds: Vec<&[u8]> = scenes.iter().map(|f| f[0].as_slice()).collect();
+    let mut multi = MultiGpuMog::<T>::new(
+        scenes[0][0].resolution(),
+        MogParams::new(k),
+        level,
+        &seeds,
+        GpuConfig::tesla_c2075(),
+    )
+    .map_err(|e| e.to_string())?
+    .with_buffers(buffers);
+    if fps > 0.0 {
+        multi = multi.with_arrival_period(1.0 / fps);
+    }
+    let frames: Vec<Vec<Frame<u8>>> = scenes.iter().map(|f| f[1..].to_vec()).collect();
+    multi.process_all(&frames).map_err(|e| e.to_string())
 }

@@ -1,0 +1,237 @@
+//! Property-based tests of the multi-stream scheduler and its host
+//! pipeline: stage ordering, engine exclusivity, the per-stream in-flight
+//! buffer cap, makespan lower bounds, and single-stream equivalence of
+//! [`MultiGpuMog`] with [`GpuMog`].
+
+use mogpu::prelude::*;
+use mogpu::sim::{StageTimes, StreamInput, StreamSchedule, StreamScheduler};
+use proptest::prelude::*;
+
+/// Float slack for schedule comparisons (starts/ends are sums of stage
+/// times, so exact equality is one rounding error away).
+const EPS: f64 = 1e-9;
+
+fn arb_inputs() -> impl Strategy<Value = Vec<StreamInput>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(
+                (1e-4f64..5e-3, 1e-4f64..5e-3, 1e-4f64..5e-3)
+                    .prop_map(|(h2d, kernel, d2h)| StageTimes { h2d, kernel, d2h }),
+                1..10,
+            ),
+            (any::<bool>(), 1e-4f64..1e-2)
+                .prop_map(|(paced, period)| if paced { period } else { 0.0 }),
+        )
+            .prop_map(|(stages, arrival_period)| StreamInput {
+                stages,
+                arrival_period,
+            }),
+        1..5,
+    )
+}
+
+fn arb_cfg() -> impl Strategy<Value = GpuConfig> {
+    (1u32..=2).prop_map(|copy_engines| {
+        let mut cfg = GpuConfig::tesla_c2075();
+        cfg.copy_engines = copy_engines;
+        cfg
+    })
+}
+
+/// All spans of one engine, as (start, end), across every stream.
+fn engine_spans(
+    sched: &StreamSchedule,
+    pick: impl Fn(&mogpu::sim::dma::FrameSpans) -> Vec<(f64, f64)>,
+) -> Vec<(f64, f64)> {
+    let mut spans: Vec<(f64, f64)> = sched.streams.iter().flatten().flat_map(pick).collect();
+    spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+    spans
+}
+
+fn assert_no_overlap(spans: &[(f64, f64)]) -> Result<(), TestCaseError> {
+    for pair in spans.windows(2) {
+        prop_assert!(
+            pair[1].0 >= pair[0].1 - EPS,
+            "spans overlap: {:?} then {:?}",
+            pair[0],
+            pair[1]
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Within every stream, every frame runs upload -> kernel -> download,
+    /// and frames of one stream pass each stage in FIFO order.
+    #[test]
+    fn stage_and_fifo_order_hold(inputs in arb_inputs(), cfg in arb_cfg(), cap in 1usize..4) {
+        let sched = StreamScheduler::new(cap).schedule(&inputs, &cfg);
+        for frames in &sched.streams {
+            for f in frames {
+                prop_assert!(f.kernel.start >= f.h2d.end() - EPS);
+                prop_assert!(f.d2h.start >= f.kernel.end() - EPS);
+            }
+            for pair in frames.windows(2) {
+                prop_assert!(pair[1].h2d.start >= pair[0].h2d.end() - EPS);
+                prop_assert!(pair[1].kernel.start >= pair[0].kernel.end() - EPS);
+                prop_assert!(pair[1].d2h.start >= pair[0].d2h.end() - EPS);
+            }
+        }
+    }
+
+    /// One compute engine: no two kernels, from any pair of streams, ever
+    /// overlap. Copies are exclusive per copy engine; with a single copy
+    /// engine, *all* transfers share it.
+    #[test]
+    fn engines_are_exclusive(inputs in arb_inputs(), cfg in arb_cfg(), cap in 1usize..4) {
+        let sched = StreamScheduler::new(cap).schedule(&inputs, &cfg);
+        assert_no_overlap(&engine_spans(&sched, |f| {
+            vec![(f.kernel.start, f.kernel.end())]
+        }))?;
+        if cfg.copy_engines >= 2 {
+            assert_no_overlap(&engine_spans(&sched, |f| vec![(f.h2d.start, f.h2d.end())]))?;
+            assert_no_overlap(&engine_spans(&sched, |f| vec![(f.d2h.start, f.d2h.end())]))?;
+        } else {
+            assert_no_overlap(&engine_spans(&sched, |f| {
+                vec![(f.h2d.start, f.h2d.end()), (f.d2h.start, f.d2h.end())]
+            }))?;
+        }
+    }
+
+    /// The in-flight cap: a stream's upload i may not begin before its
+    /// kernel i-cap has freed the input buffer, and its kernel i may not
+    /// begin before download i-cap has freed the mask buffer.
+    #[test]
+    fn in_flight_buffers_stay_capped(inputs in arb_inputs(), cfg in arb_cfg(), cap in 1usize..4) {
+        let sched = StreamScheduler::new(cap).schedule(&inputs, &cfg);
+        prop_assert_eq!(sched.buffers_per_stream, cap);
+        for frames in &sched.streams {
+            for i in cap..frames.len() {
+                prop_assert!(
+                    frames[i].h2d.start >= frames[i - cap].kernel.end() - EPS,
+                    "upload {} began before kernel {} freed its buffer",
+                    i,
+                    i - cap
+                );
+                prop_assert!(
+                    frames[i].kernel.start >= frames[i - cap].d2h.end() - EPS,
+                    "kernel {} began before download {} freed its buffer",
+                    i,
+                    i - cap
+                );
+            }
+        }
+    }
+
+    /// The makespan is at least the busiest engine's total work — no
+    /// engine can compress its serialized spans below their sum.
+    #[test]
+    fn makespan_bounds_engine_work(inputs in arb_inputs(), cfg in arb_cfg(), cap in 1usize..4) {
+        let sched = StreamScheduler::new(cap).schedule(&inputs, &cfg);
+        let kernel_work: f64 = inputs
+            .iter()
+            .flat_map(|s| s.stages.iter().map(|t| t.kernel))
+            .sum();
+        let h2d_work: f64 = inputs
+            .iter()
+            .flat_map(|s| s.stages.iter().map(|t| t.h2d))
+            .sum();
+        let d2h_work: f64 = inputs
+            .iter()
+            .flat_map(|s| s.stages.iter().map(|t| t.d2h))
+            .sum();
+        let busiest = if cfg.copy_engines >= 2 {
+            kernel_work.max(h2d_work).max(d2h_work)
+        } else {
+            kernel_work.max(h2d_work + d2h_work)
+        };
+        prop_assert!(
+            sched.makespan() >= busiest - EPS,
+            "makespan {} below busiest engine {}",
+            sched.makespan(),
+            busiest
+        );
+        // And every stream's spans lie inside [0, makespan].
+        for frames in &sched.streams {
+            for f in frames {
+                prop_assert!(f.h2d.start >= 0.0);
+                prop_assert!(f.d2h.end() <= sched.makespan() + EPS);
+            }
+        }
+    }
+}
+
+/// A one-stream [`MultiGpuMog`] is [`GpuMog`]: masks bit-identical, frame
+/// counts equal — multiplexing is purely a scheduling layer.
+#[test]
+fn single_stream_multi_matches_gpu_mog() {
+    let frames = SceneBuilder::new(Resolution::TINY)
+        .seed(42)
+        .walkers(2)
+        .build()
+        .render_sequence(9)
+        .0
+        .into_frames();
+    let mut single = GpuMog::<f64>::new(
+        Resolution::TINY,
+        MogParams::default(),
+        OptLevel::F,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .unwrap();
+    let expect = single.process_all(&frames[1..]).unwrap();
+    let mut multi = MultiGpuMog::<f64>::new(
+        Resolution::TINY,
+        MogParams::default(),
+        OptLevel::F,
+        &[frames[0].as_slice()],
+        GpuConfig::tesla_c2075(),
+    )
+    .unwrap();
+    let got = multi.process_all(&[frames[1..].to_vec()]).unwrap();
+    assert_eq!(got.per_stream[0].masks, expect.masks);
+    assert_eq!(got.total_frames, expect.frames);
+}
+
+/// The bounded-buffer fix, end to end: device sojourn latency of a long
+/// run does not exceed that of a short run by more than pipeline-fill
+/// noise, at any stream count.
+#[test]
+fn device_latency_is_independent_of_run_length() {
+    let run = |n_frames: usize, n_streams: usize| {
+        let scenes: Vec<Vec<Frame<u8>>> = (0..n_streams)
+            .map(|s| {
+                SceneBuilder::new(Resolution::TINY)
+                    .seed(7 + s as u64)
+                    .walkers(1)
+                    .build()
+                    .render_sequence(n_frames)
+                    .0
+                    .into_frames()
+            })
+            .collect();
+        let seeds: Vec<&[u8]> = scenes.iter().map(|f| f[0].as_slice()).collect();
+        let mut multi = MultiGpuMog::<f64>::new(
+            Resolution::TINY,
+            MogParams::default(),
+            OptLevel::C,
+            &seeds,
+            GpuConfig::tesla_c2075(),
+        )
+        .unwrap();
+        let frames: Vec<Vec<Frame<u8>>> = scenes.iter().map(|f| f[1..].to_vec()).collect();
+        let report = multi.process_all(&frames).unwrap();
+        report.worst_latency()
+    };
+    for n_streams in [1usize, 3] {
+        let short = run(5, n_streams);
+        let long = run(21, n_streams);
+        assert!(
+            long < 2.0 * short,
+            "{n_streams} streams: worst latency grew {short} -> {long} with run length"
+        );
+    }
+}
