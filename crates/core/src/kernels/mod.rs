@@ -21,7 +21,7 @@ pub mod sorted;
 pub mod tiled;
 
 pub use adaptive::AdaptiveKernel;
-pub use morph::{gpu_morph, MorphKernel, MorphOp};
+pub use morph::{gpu_morph, gpu_morph_with, MorphKernel, MorphOp};
 pub use scan::ScanKernel;
 pub use sorted::SortedKernel;
 pub use tiled::TiledKernel;

@@ -97,6 +97,20 @@ pub fn gpu_morph(
     op: MorphOp,
     cfg: &mogpu_sim::GpuConfig,
 ) -> Result<(mogpu_frame::Mask, mogpu_sim::kernel::LaunchReport), mogpu_sim::LaunchError> {
+    gpu_morph_with(mask, op, cfg, mogpu_sim::LaunchOptions::default())
+}
+
+/// [`gpu_morph`] with explicit [`mogpu_sim::LaunchOptions`] — used by
+/// `mogpu check` to run the stencil kernel under the sanitizer.
+///
+/// # Errors
+/// Device allocation / launch failures.
+pub fn gpu_morph_with(
+    mask: &mogpu_frame::Mask,
+    op: MorphOp,
+    cfg: &mogpu_sim::GpuConfig,
+    opts: mogpu_sim::LaunchOptions,
+) -> Result<(mogpu_frame::Mask, mogpu_sim::kernel::LaunchReport), mogpu_sim::LaunchError> {
     let res = mask.resolution();
     let n = res.pixels();
     let mut mem = mogpu_sim::DeviceMemory::with_config(cfg);
@@ -110,11 +124,12 @@ pub fn gpu_morph(
         height: res.height,
         op,
     };
-    let report = mogpu_sim::launch(
+    let report = mogpu_sim::launch_with(
         &mut mem,
         cfg,
         mogpu_sim::LaunchConfig::cover(n, crate::pipeline::THREADS_PER_BLOCK),
         &kernel,
+        opts,
     )?;
     let out = mogpu_frame::Mask::from_vec(res, mem.download(output)).expect("mask size");
     Ok((out, report))

@@ -19,7 +19,7 @@ use mogpu_mog::{HostModel, MogParams, ResolvedParams};
 use mogpu_sim::dma::{pipeline_schedule, timing_of, transfer_time, PipelineTiming};
 use mogpu_sim::{
     launch_with, Buffer, DerivedMetrics, DeviceMemory, GpuConfig, KernelStats, LaunchConfig,
-    LaunchError, LaunchOptions, LaunchReport, MemoryError, Occupancy, SiteProfile,
+    LaunchError, LaunchOptions, LaunchReport, MemoryError, Occupancy, SanReport, SiteProfile,
 };
 
 /// Threads per block, as the paper selects.
@@ -147,6 +147,8 @@ pub struct GpuMog<T: DeviceReal> {
     fg_bufs: Vec<Buffer>,
     profile: ProfileMode,
     last_profile: Option<ProfileReport>,
+    sanitize: bool,
+    last_san: Option<SanReport>,
 }
 
 impl<T: DeviceReal> GpuMog<T> {
@@ -201,6 +203,8 @@ impl<T: DeviceReal> GpuMog<T> {
             fg_bufs,
             profile: ProfileMode::Off,
             last_profile: None,
+            sanitize: false,
+            last_san: None,
         })
     }
 
@@ -236,6 +240,21 @@ impl<T: DeviceReal> GpuMog<T> {
     /// Returns `None` when profiling was off or no run has completed.
     pub fn take_profile_report(&mut self) -> Option<ProfileReport> {
         self.last_profile.take()
+    }
+
+    /// Enables or disables the sanitizer ([`mogpu_sim::sancheck`]) for
+    /// subsequent `process_all` calls. Off (the default) costs nothing;
+    /// on, every launch runs memcheck/racecheck/synccheck/initcheck and
+    /// `process_all` accumulates the findings.
+    pub fn set_sanitize(&mut self, on: bool) {
+        self.sanitize = on;
+    }
+
+    /// Takes the sanitizer report of the most recent sanitized
+    /// `process_all`. Returns `None` when sanitizing was off or no run
+    /// has completed.
+    pub fn take_san_report(&mut self) -> Option<SanReport> {
+        self.last_san.take()
     }
 
     /// The algorithm parameters.
@@ -280,6 +299,7 @@ impl<T: DeviceReal> GpuMog<T> {
         let lc = LaunchConfig::cover(pixels, THREADS_PER_BLOCK);
         let opts = LaunchOptions {
             profile_sites: self.profile.is_on(),
+            sanitize: self.sanitize,
         };
         let report = match self.level {
             OptLevel::A | OptLevel::B | OptLevel::C => {
@@ -354,9 +374,13 @@ impl<T: DeviceReal> GpuMog<T> {
         let mut masks = Vec::with_capacity(frames.len());
         let mut launches: Vec<LaunchProfile> = Vec::new();
         let mut sites = SiteProfile::new();
+        let mut san = self.sanitize.then(SanReport::new);
         let frame_refs: Vec<&Frame<u8>> = frames.iter().collect();
         for chunk in frame_refs.chunks(group) {
             let (group_masks, mut report) = self.process_group(chunk)?;
+            if let (Some(acc), Some(r)) = (san.as_mut(), report.sanitizer.take()) {
+                acc.merge(&r);
+            }
             stats.merge(&report.stats);
             kernel_time += report.timing.total;
             per_frame_kernel_times.extend(std::iter::repeat_n(
@@ -415,6 +439,7 @@ impl<T: DeviceReal> GpuMog<T> {
                 &self.cfg,
             )
         });
+        self.last_san = san;
         Ok(RunReport {
             masks,
             frames: frames.len(),
@@ -661,6 +686,8 @@ pub struct AdaptiveGpuMog<T: DeviceReal> {
     fg_buf: Buffer,
     profile: ProfileMode,
     last_profile: Option<ProfileReport>,
+    sanitize: bool,
+    last_san: Option<SanReport>,
 }
 
 impl<T: DeviceReal> AdaptiveGpuMog<T> {
@@ -709,6 +736,8 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
             fg_buf,
             profile: ProfileMode::Off,
             last_profile: None,
+            sanitize: false,
+            last_san: None,
         })
     }
 
@@ -720,6 +749,18 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
     /// Takes the report of the most recent profiled `process_all`.
     pub fn take_profile_report(&mut self) -> Option<ProfileReport> {
         self.last_profile.take()
+    }
+
+    /// Enables or disables the sanitizer for subsequent `process_all`
+    /// calls.
+    pub fn set_sanitize(&mut self, on: bool) {
+        self.sanitize = on;
+    }
+
+    /// Takes the sanitizer report of the most recent sanitized
+    /// `process_all`.
+    pub fn take_san_report(&mut self) -> Option<SanReport> {
+        self.last_san.take()
     }
 
     /// Mean active component count currently on the device.
@@ -746,8 +787,10 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
         let mut masks = Vec::with_capacity(frames.len());
         let mut launches: Vec<LaunchProfile> = Vec::new();
         let mut sites = SiteProfile::new();
+        let mut san = self.sanitize.then(SanReport::new);
         let opts = LaunchOptions {
             profile_sites: self.profile.is_on(),
+            sanitize: self.sanitize,
         };
         for frame in frames {
             if frame.resolution() != self.resolution {
@@ -776,6 +819,9 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
                 &kernel,
                 opts,
             )?;
+            if let (Some(acc), Some(r)) = (san.as_mut(), report.sanitizer.take()) {
+                acc.merge(&r);
+            }
             stats.merge(&report.stats);
             kernel_time += report.timing.total;
             per_frame_kernel_times.push(report.timing.total);
@@ -830,6 +876,7 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
                 &self.cfg,
             )
         });
+        self.last_san = san;
         Ok(RunReport {
             masks,
             frames: frames.len(),

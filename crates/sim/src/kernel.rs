@@ -11,9 +11,10 @@
 //! (`if ctx.global_thread_id() >= n { return; }`).
 
 use crate::config::GpuConfig;
-use crate::memory::{Buffer, DeviceMemory};
+use crate::memory::{Buffer, DeviceMemory, InitMask};
 use crate::occupancy::{occupancy, Occupancy};
 use crate::profile::SiteProfile;
+use crate::sancheck::{BlockSan, SanReport};
 use crate::stats::KernelStats;
 use crate::timing::{kernel_time, KernelTiming};
 use crate::trace::{BuildPtrHasher, OpClass, Space};
@@ -96,6 +97,12 @@ pub struct LaunchOptions {
     /// hotspot table. Off by default: the plain path allocates no site map
     /// and records events exactly as if profiling did not exist.
     pub profile_sites: bool,
+    /// Run the compute-sanitizer-style checks (memcheck / racecheck /
+    /// synccheck / initcheck, see [`crate::sancheck`]) and attach a
+    /// [`SanReport`] to the launch report. Off by default; when on,
+    /// out-of-bounds accesses are recorded and absorbed instead of
+    /// panicking.
+    pub sanitize: bool,
 }
 
 /// Everything a launch produces: the profiler counters, the occupancy, and
@@ -111,9 +118,92 @@ pub struct LaunchReport {
     /// Per-site counters, present when
     /// [`LaunchOptions::profile_sites`] was set.
     pub sites: Option<SiteProfile>,
+    /// Sanitizer findings, present when [`LaunchOptions::sanitize`] was
+    /// set (empty report = clean launch).
+    pub sanitizer: Option<SanReport>,
 }
 
-type WriteMap = HashMap<(u64, u8), u64, BuildPtrHasher>;
+/// Byte-granular read-your-writes overlay for one block's global stores.
+///
+/// Keyed by 8-byte-aligned cell address; each cell holds a validity mask
+/// and the written bytes, so stores and loads of *different* widths over
+/// the same address compose correctly. (Regression: the overlay used to
+/// be keyed by exact `(address, width)`, so an 8-byte store read back
+/// through a 4-byte load silently fell through to the stale pre-launch
+/// snapshot. Byte granularity also makes publishing order-independent
+/// within a block — the old map could hold overlapping entries of
+/// different widths and apply them in arbitrary hash order.)
+#[derive(Debug, Default)]
+pub(crate) struct WriteOverlay {
+    cells: HashMap<u64, OverlayCell, BuildPtrHasher>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct OverlayCell {
+    mask: u8,
+    bytes: [u8; 8],
+}
+
+impl WriteOverlay {
+    /// Records a store of `val` (little-endian access bytes) at `addr`.
+    /// An access of width <= 8 touches at most two cells.
+    fn store(&mut self, addr: u64, val: &[u8]) {
+        let mut i = 0;
+        while i < val.len() {
+            let a = addr + i as u64;
+            let base = a & !7;
+            let off = (a - base) as usize;
+            let n = (8 - off).min(val.len() - i);
+            let cell = self.cells.entry(base).or_default();
+            for j in 0..n {
+                cell.mask |= 1 << (off + j);
+            }
+            cell.bytes[off..off + n].copy_from_slice(&val[i..i + n]);
+            i += n;
+        }
+    }
+
+    /// Loads `width` bytes at `addr`: the pre-launch snapshot patched
+    /// with any bytes this block has stored.
+    fn load(&self, snapshot: &[u8], addr: u64, width: usize) -> u64 {
+        let a = addr as usize;
+        let mut out = [0u8; 8];
+        out[..width].copy_from_slice(&snapshot[a..a + width]);
+        let mut i = 0;
+        while i < width {
+            let a = addr + i as u64;
+            let base = a & !7;
+            let off = (a - base) as usize;
+            let n = (8 - off).min(width - i);
+            if let Some(cell) = self.cells.get(&base) {
+                for j in 0..n {
+                    if cell.mask & (1 << (off + j)) != 0 {
+                        out[i + j] = cell.bytes[off + j];
+                    }
+                }
+            }
+            i += n;
+        }
+        u64::from_le_bytes(out)
+    }
+
+    /// Whether this block has stored the byte at `addr` (initcheck
+    /// treats block-local stores as defining).
+    pub(crate) fn is_written(&self, addr: u64) -> bool {
+        let base = addr & !7;
+        self.cells
+            .get(&base)
+            .is_some_and(|c| c.mask & (1 << (addr - base)) != 0)
+    }
+
+    /// Applies the overlay to device memory, marking the published bytes
+    /// initialized.
+    fn publish(self, mem: &mut DeviceMemory) {
+        for (base, cell) in self.cells {
+            mem.apply_masked(base, cell.mask, cell.bytes);
+        }
+    }
+}
 
 /// Virtual base address of the per-thread local (spill) space; far above
 /// any global allocation so segment sets never collide.
@@ -129,10 +219,12 @@ pub struct ThreadCtx<'a> {
     lane: u32,
     global_warp_id: u64,
     snapshot: &'a [u8],
-    writes: &'a mut WriteMap,
+    init: &'a InitMask,
+    writes: &'a mut WriteOverlay,
     shared: &'a mut [u8],
     local: &'a mut [f64],
     acc: &'a mut WarpAccumulator,
+    san: Option<&'a mut BlockSan>,
 }
 
 impl ThreadCtx<'_> {
@@ -200,35 +292,105 @@ impl ThreadCtx<'_> {
 
     /// Records a block barrier (`__syncthreads()`).
     ///
-    /// Lanes execute sequentially to completion, so this is purely a
-    /// timing event; kernels with cross-lane data flow through shared
-    /// memory are unsupported (see crate docs).
+    /// Lanes execute sequentially to completion, so functionally the
+    /// barrier is a no-op — but it is *semantically* load-bearing: it
+    /// separates the sync epochs the sanitizer's racecheck orders
+    /// shared-memory accesses by, and it is the event synccheck audits
+    /// for barrier divergence. Kernels with cross-lane data flow through
+    /// shared memory should be validated once under
+    /// [`LaunchOptions::sanitize`], which reports both genuine races and
+    /// barrier-ordered flows the sequential-lane model cannot reproduce
+    /// (see [`crate::sancheck`]).
     #[track_caller]
     #[inline]
     pub fn sync(&mut self) {
-        self.acc.record_sync(Location::caller());
+        let loc = Location::caller();
+        self.acc.record_sync(loc);
+        if let Some(san) = self.san.as_deref_mut() {
+            san.on_sync(loc);
+        }
     }
 
     // ---- global memory ----
 
+    /// Bounds-checks a global access of `width` bytes at element `idx`
+    /// of `buf` and resolves its device byte address.
+    ///
+    /// Out of bounds: panics at the kernel call site with the buffer
+    /// identity on the plain path; under [`LaunchOptions::sanitize`]
+    /// records a memcheck finding and returns `None` so the caller
+    /// absorbs the access. Either way an overrun can never silently
+    /// reach a neighboring allocation (the kernel-side mirror of the
+    /// `DeviceMemory` typed-accessor checks).
+    #[track_caller]
+    #[inline]
+    fn check_global(&mut self, buf: Buffer, idx: usize, width: usize, store: bool) -> Option<u64> {
+        let end = idx
+            .checked_mul(width)
+            .and_then(|o| o.checked_add(width))
+            .unwrap_or(usize::MAX);
+        if end <= buf.len() {
+            return Some(buf.addr() + (idx * width) as u64);
+        }
+        let dir = if store { "store" } else { "load" };
+        let loc = Location::caller();
+        let detail = format!(
+            "global {dir} of {width} B at element {idx} is out of bounds for buffer @0x{:x} \
+             (+{} B, {} elements)",
+            buf.addr(),
+            buf.len(),
+            buf.len() / width.max(1)
+        );
+        match self.san.as_deref_mut() {
+            Some(san) => {
+                let addr = buf
+                    .addr()
+                    .saturating_add((idx as u64).saturating_mul(width as u64));
+                san.oob(loc, Space::Global, addr, width, detail);
+                None
+            }
+            None => panic!("kernel {}:{}: {detail}", loc.file(), loc.line()),
+        }
+    }
+
+    /// initcheck hook for a bounds-valid global load: every byte must be
+    /// initialized by the host, an upload, or a store of this block.
+    #[inline]
+    fn check_global_init(
+        &mut self,
+        loc: &'static Location<'static>,
+        buf: Buffer,
+        addr: u64,
+        width: usize,
+    ) {
+        if self.san.is_none() {
+            return;
+        }
+        for b in addr..addr + width as u64 {
+            if !self.init.is_init(b as usize) && !self.writes.is_written(b) {
+                if let Some(san) = self.san.as_deref_mut() {
+                    san.uninit_global(loc, buf, addr, width);
+                }
+                return;
+            }
+        }
+    }
+
     #[inline]
     fn read_bytes(&self, addr: u64, width: usize) -> u64 {
-        if let Some(&v) = self.writes.get(&(addr, width as u8)) {
-            return v;
-        }
-        let a = addr as usize;
-        let mut buf = [0u8; 8];
-        buf[..width].copy_from_slice(&self.snapshot[a..a + width]);
-        u64::from_le_bytes(buf)
+        self.writes.load(self.snapshot, addr, width)
     }
 
     /// Loads an `f64` from global memory at element index `idx` of `buf`.
     #[track_caller]
     #[inline]
     pub fn ld_f64(&mut self, buf: Buffer, idx: usize) -> f64 {
-        let addr = buf.addr() + (idx * 8) as u64;
-        self.acc
-            .record_mem(Location::caller(), Space::Global, false, addr, 8);
+        let Some(addr) = self.check_global(buf, idx, 8, false) else {
+            return 0.0;
+        };
+        let loc = Location::caller();
+        self.acc.record_mem(loc, Space::Global, false, addr, 8);
+        self.check_global_init(loc, buf, addr, 8);
         f64::from_le_bytes(self.read_bytes(addr, 8).to_le_bytes())
     }
 
@@ -236,20 +398,24 @@ impl ThreadCtx<'_> {
     #[track_caller]
     #[inline]
     pub fn st_f64(&mut self, buf: Buffer, idx: usize, v: f64) {
-        let addr = buf.addr() + (idx * 8) as u64;
+        let Some(addr) = self.check_global(buf, idx, 8, true) else {
+            return;
+        };
         self.acc
             .record_mem(Location::caller(), Space::Global, true, addr, 8);
-        self.writes
-            .insert((addr, 8), u64::from_le_bytes(v.to_le_bytes()));
+        self.writes.store(addr, &v.to_le_bytes());
     }
 
     /// Loads an `f32` from global memory.
     #[track_caller]
     #[inline]
     pub fn ld_f32(&mut self, buf: Buffer, idx: usize) -> f32 {
-        let addr = buf.addr() + (idx * 4) as u64;
-        self.acc
-            .record_mem(Location::caller(), Space::Global, false, addr, 4);
+        let Some(addr) = self.check_global(buf, idx, 4, false) else {
+            return 0.0;
+        };
+        let loc = Location::caller();
+        self.acc.record_mem(loc, Space::Global, false, addr, 4);
+        self.check_global_init(loc, buf, addr, 4);
         f32::from_le_bytes((self.read_bytes(addr, 4) as u32).to_le_bytes())
     }
 
@@ -257,20 +423,24 @@ impl ThreadCtx<'_> {
     #[track_caller]
     #[inline]
     pub fn st_f32(&mut self, buf: Buffer, idx: usize, v: f32) {
-        let addr = buf.addr() + (idx * 4) as u64;
+        let Some(addr) = self.check_global(buf, idx, 4, true) else {
+            return;
+        };
         self.acc
             .record_mem(Location::caller(), Space::Global, true, addr, 4);
-        self.writes
-            .insert((addr, 4), u32::from_le_bytes(v.to_le_bytes()) as u64);
+        self.writes.store(addr, &v.to_le_bytes());
     }
 
     /// Loads a `u8` from global memory.
     #[track_caller]
     #[inline]
     pub fn ld_u8(&mut self, buf: Buffer, idx: usize) -> u8 {
-        let addr = buf.addr() + idx as u64;
-        self.acc
-            .record_mem(Location::caller(), Space::Global, false, addr, 1);
+        let Some(addr) = self.check_global(buf, idx, 1, false) else {
+            return 0;
+        };
+        let loc = Location::caller();
+        self.acc.record_mem(loc, Space::Global, false, addr, 1);
+        self.check_global_init(loc, buf, addr, 1);
         self.read_bytes(addr, 1) as u8
     }
 
@@ -278,13 +448,39 @@ impl ThreadCtx<'_> {
     #[track_caller]
     #[inline]
     pub fn st_u8(&mut self, buf: Buffer, idx: usize, v: u8) {
-        let addr = buf.addr() + idx as u64;
+        let Some(addr) = self.check_global(buf, idx, 1, true) else {
+            return;
+        };
         self.acc
             .record_mem(Location::caller(), Space::Global, true, addr, 1);
-        self.writes.insert((addr, 1), v as u64);
+        self.writes.store(addr, &[v]);
     }
 
     // ---- local (spill) memory ----
+
+    /// Bounds-checks a local (spill) slot access: panic on the plain
+    /// path, memcheck finding + absorbed access under sanitize.
+    #[track_caller]
+    #[inline]
+    fn check_local(&mut self, slot: usize, store: bool) -> bool {
+        if slot < self.local.len() {
+            return true;
+        }
+        let dir = if store { "store" } else { "load" };
+        let loc = Location::caller();
+        let detail = format!(
+            "local {dir} of slot {slot} is out of bounds for the kernel's {} declared f64 \
+             spill slots",
+            self.local.len()
+        );
+        match self.san.as_deref_mut() {
+            Some(san) => {
+                san.oob(loc, Space::Local, slot as u64, 8, detail);
+                false
+            }
+            None => panic!("kernel {}:{}: {detail}", loc.file(), loc.line()),
+        }
+    }
 
     #[inline]
     fn local_addr(&self, slot: usize) -> u64 {
@@ -298,6 +494,9 @@ impl ThreadCtx<'_> {
     #[track_caller]
     #[inline]
     pub fn ld_local(&mut self, slot: usize) -> f64 {
+        if !self.check_local(slot, false) {
+            return 0.0;
+        }
         let addr = self.local_addr(slot);
         self.acc
             .record_mem(Location::caller(), Space::Local, false, addr, 8);
@@ -308,6 +507,9 @@ impl ThreadCtx<'_> {
     #[track_caller]
     #[inline]
     pub fn st_local(&mut self, slot: usize, v: f64) {
+        if !self.check_local(slot, true) {
+            return;
+        }
         let addr = self.local_addr(slot);
         self.acc
             .record_mem(Location::caller(), Space::Local, true, addr, 8);
@@ -316,12 +518,47 @@ impl ThreadCtx<'_> {
 
     // ---- shared memory ----
 
+    /// Bounds-checks a shared-memory access against the block's declared
+    /// allocation: panic on the plain path, memcheck finding + absorbed
+    /// access under sanitize.
+    #[track_caller]
+    #[inline]
+    fn check_shared(&mut self, off: usize, width: usize, store: bool) -> bool {
+        if off
+            .checked_add(width)
+            .is_some_and(|end| end <= self.shared.len())
+        {
+            return true;
+        }
+        let dir = if store { "store" } else { "load" };
+        let loc = Location::caller();
+        let detail = format!(
+            "shared {dir} of {width} B at byte offset {off} exceeds the block's {} B shared \
+             allocation",
+            self.shared.len()
+        );
+        match self.san.as_deref_mut() {
+            Some(san) => {
+                san.oob(loc, Space::Shared, off as u64, width, detail);
+                false
+            }
+            None => panic!("kernel {}:{}: {detail}", loc.file(), loc.line()),
+        }
+    }
+
     /// Loads an `f64` from block shared memory at byte offset `off`.
     #[track_caller]
     #[inline]
     pub fn sh_ld_f64(&mut self, off: usize) -> f64 {
+        if !self.check_shared(off, 8, false) {
+            return 0.0;
+        }
+        let loc = Location::caller();
         self.acc
-            .record_mem(Location::caller(), Space::Shared, false, off as u64, 8);
+            .record_mem(loc, Space::Shared, false, off as u64, 8);
+        if let Some(san) = self.san.as_deref_mut() {
+            san.shared_read(loc, off, 8);
+        }
         f64::from_le_bytes(self.shared[off..off + 8].try_into().expect("8 bytes"))
     }
 
@@ -329,8 +566,14 @@ impl ThreadCtx<'_> {
     #[track_caller]
     #[inline]
     pub fn sh_st_f64(&mut self, off: usize, v: f64) {
-        self.acc
-            .record_mem(Location::caller(), Space::Shared, true, off as u64, 8);
+        if !self.check_shared(off, 8, true) {
+            return;
+        }
+        let loc = Location::caller();
+        self.acc.record_mem(loc, Space::Shared, true, off as u64, 8);
+        if let Some(san) = self.san.as_deref_mut() {
+            san.shared_write(loc, off, 8);
+        }
         self.shared[off..off + 8].copy_from_slice(&v.to_le_bytes());
     }
 
@@ -338,8 +581,15 @@ impl ThreadCtx<'_> {
     #[track_caller]
     #[inline]
     pub fn sh_ld_f32(&mut self, off: usize) -> f32 {
+        if !self.check_shared(off, 4, false) {
+            return 0.0;
+        }
+        let loc = Location::caller();
         self.acc
-            .record_mem(Location::caller(), Space::Shared, false, off as u64, 4);
+            .record_mem(loc, Space::Shared, false, off as u64, 4);
+        if let Some(san) = self.san.as_deref_mut() {
+            san.shared_read(loc, off, 4);
+        }
         f32::from_le_bytes(self.shared[off..off + 4].try_into().expect("4 bytes"))
     }
 
@@ -347,8 +597,14 @@ impl ThreadCtx<'_> {
     #[track_caller]
     #[inline]
     pub fn sh_st_f32(&mut self, off: usize, v: f32) {
-        self.acc
-            .record_mem(Location::caller(), Space::Shared, true, off as u64, 4);
+        if !self.check_shared(off, 4, true) {
+            return;
+        }
+        let loc = Location::caller();
+        self.acc.record_mem(loc, Space::Shared, true, off as u64, 4);
+        if let Some(san) = self.san.as_deref_mut() {
+            san.shared_write(loc, off, 4);
+        }
         self.shared[off..off + 4].copy_from_slice(&v.to_le_bytes());
     }
 
@@ -356,8 +612,15 @@ impl ThreadCtx<'_> {
     #[track_caller]
     #[inline]
     pub fn sh_ld_u8(&mut self, off: usize) -> u8 {
+        if !self.check_shared(off, 1, false) {
+            return 0;
+        }
+        let loc = Location::caller();
         self.acc
-            .record_mem(Location::caller(), Space::Shared, false, off as u64, 1);
+            .record_mem(loc, Space::Shared, false, off as u64, 1);
+        if let Some(san) = self.san.as_deref_mut() {
+            san.shared_read(loc, off, 1);
+        }
         self.shared[off]
     }
 
@@ -365,8 +628,14 @@ impl ThreadCtx<'_> {
     #[track_caller]
     #[inline]
     pub fn sh_st_u8(&mut self, off: usize, v: u8) {
-        self.acc
-            .record_mem(Location::caller(), Space::Shared, true, off as u64, 1);
+        if !self.check_shared(off, 1, true) {
+            return;
+        }
+        let loc = Location::caller();
+        self.acc.record_mem(loc, Space::Shared, true, off as u64, 1);
+        if let Some(san) = self.san.as_deref_mut() {
+            san.shared_write(loc, off, 1);
+        }
         self.shared[off] = v;
     }
 }
@@ -424,14 +693,24 @@ pub fn launch_with(
     let tpb = lc.threads_per_block;
     let warps_per_block = tpb.div_ceil(cfg.warp_size) as u64;
     let snapshot: &[u8] = mem.raw();
+    let init: &InitMask = mem.init_mask();
 
-    let results: Vec<(WriteMap, KernelStats, Option<SiteProfile>)> = (0..lc.blocks)
+    type BlockResult = (
+        WriteOverlay,
+        KernelStats,
+        Option<SiteProfile>,
+        Option<SanReport>,
+    );
+    let results: Vec<BlockResult> = (0..lc.blocks)
         .into_par_iter()
         .map(|b| {
-            let mut writes = WriteMap::default();
+            let mut writes = WriteOverlay::default();
             let mut shared = vec![0u8; res.shared_bytes_per_block];
             let mut local = vec![0.0f64; res.local_f64_slots];
             let mut stats = KernelStats::default();
+            let mut san = opts
+                .sanitize
+                .then(|| BlockSan::new(b, tpb, res.shared_bytes_per_block));
             let mut acc = if opts.profile_sites {
                 WarpAccumulator::with_site_profile()
             } else {
@@ -455,6 +734,9 @@ pub fn launch_with(
                 let last = (first + cfg.warp_size).min(tpb);
                 for t in first..last {
                     acc.begin_lane();
+                    if let Some(s) = san.as_mut() {
+                        s.begin_thread(t);
+                    }
                     local.fill(0.0);
                     let mut ctx = ThreadCtx {
                         block_idx: b,
@@ -464,10 +746,12 @@ pub fn launch_with(
                         lane: t - first,
                         global_warp_id: b as u64 * warps_per_block + w as u64,
                         snapshot,
+                        init,
                         writes: &mut writes,
                         shared: &mut shared,
                         local: &mut local,
                         acc: &mut acc,
+                        san: san.as_mut(),
                     };
                     kernel.run(&mut ctx);
                 }
@@ -476,26 +760,28 @@ pub fn launch_with(
             }
             stats.blocks = 1;
             let sites = acc.take_site_profile();
-            (writes, stats, sites)
+            (writes, stats, sites, san.map(BlockSan::into_report))
         })
         .collect();
 
     let mut stats = KernelStats::default();
     let mut sites = opts.profile_sites.then(SiteProfile::new);
-    for (writes, s, block_sites) in &results {
+    let mut sanitizer = opts.sanitize.then(SanReport::new);
+    for (writes, s, block_sites, block_san) in &results {
         stats.merge(s);
         if let (Some(total), Some(block)) = (&mut sites, block_sites) {
             total.merge(block);
         }
+        if let (Some(total), Some(block)) = (&mut sanitizer, block_san) {
+            total.merge(block);
+        }
         let _ = writes; // applied below; keep borrow order obvious
     }
-    let raw = mem.raw_mut();
-    for (writes, _, _) in results {
-        for ((addr, width), bytes) in writes {
-            let a = addr as usize;
-            let w = width as usize;
-            raw[a..a + w].copy_from_slice(&bytes.to_le_bytes()[..w]);
-        }
+    // Publish in block order: byte-granular cells are disjoint within a
+    // block, and cross-block collisions resolve last-block-wins,
+    // deterministically.
+    for (writes, _, _, _) in results {
+        writes.publish(mem);
     }
 
     let timing = kernel_time(&stats, &occ, cfg);
@@ -504,6 +790,7 @@ pub fn launch_with(
         occupancy: occ,
         timing,
         sites,
+        sanitizer,
     })
 }
 
@@ -817,6 +1104,7 @@ mod tests {
         let cfg = GpuConfig::default();
         let opts = LaunchOptions {
             profile_sites: true,
+            ..Default::default()
         };
         let report = launch_with(&mut mem, &cfg, LaunchConfig::cover(n, 128), &k, opts).unwrap();
         // Functional output must be unaffected by profiling.
@@ -844,6 +1132,233 @@ mod tests {
         // And the rendered table shows source positions, not placeholders.
         let table = sites.hotspot_table(10);
         assert!(table.contains("kernel.rs:"), "table:\n{table}");
+    }
+
+    /// Regression for the mixed-width aliasing bug: the write overlay was
+    /// keyed by `(addr, width)`, so an 8-byte store read back through a
+    /// 4-byte or 1-byte load missed the overlay and returned the stale
+    /// pre-launch snapshot. The byte-granular overlay must return the
+    /// stored bytes at any width.
+    #[test]
+    fn mixed_width_store_is_visible_to_narrower_loads() {
+        struct MixedWidth {
+            data: Buffer,
+            out32: Buffer,
+            out8: Buffer,
+        }
+        impl Kernel for MixedWidth {
+            fn resources(&self) -> KernelResources {
+                KernelResources {
+                    regs_per_thread: 8,
+                    shared_bytes_per_block: 0,
+                    local_f64_slots: 0,
+                }
+            }
+            fn run(&self, ctx: &mut ThreadCtx<'_>) {
+                let i = ctx.global_thread_id();
+                // Store a full f64 whose byte pattern is distinguishable,
+                // then immediately read it back at narrower widths.
+                let v = f64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]);
+                ctx.st_f64(self.data, i, v);
+                let lo = ctx.ld_f32(self.data, 2 * i); // low 4 bytes
+                let b6 = ctx.ld_u8(self.data, 8 * i + 6); // byte 6
+                ctx.st_f32(self.out32, i, lo);
+                ctx.st_u8(self.out8, i, b6);
+            }
+        }
+        let mut mem = DeviceMemory::new(1 << 20);
+        let data = mem.alloc_array::<f64>(64).unwrap();
+        let out32 = mem.alloc_array::<f32>(64).unwrap();
+        let out8 = mem.alloc_array::<u8>(64).unwrap();
+        for i in 0..64 {
+            mem.write_f64(data, i, 0.0); // stale snapshot the bug exposed
+        }
+        let cfg = GpuConfig::default();
+        let k = MixedWidth { data, out32, out8 };
+        launch(&mut mem, &cfg, LaunchConfig::cover(64, 32), &k).unwrap();
+        for i in 0..64 {
+            assert_eq!(
+                mem.read_f32(out32, i),
+                f32::from_le_bytes([1, 2, 3, 4]),
+                "narrow f32 load must see the f64 store"
+            );
+            assert_eq!(mem.read_u8(out8, i), 7, "u8 load must see byte 6");
+        }
+    }
+
+    /// Narrow stores followed by a wide load must compose overlay bytes
+    /// with snapshot bytes.
+    #[test]
+    fn narrow_stores_compose_into_wider_load() {
+        struct Compose {
+            data: Buffer,
+            out: Buffer,
+        }
+        impl Kernel for Compose {
+            fn resources(&self) -> KernelResources {
+                KernelResources {
+                    regs_per_thread: 8,
+                    shared_bytes_per_block: 0,
+                    local_f64_slots: 0,
+                }
+            }
+            fn run(&self, ctx: &mut ThreadCtx<'_>) {
+                let i = ctx.global_thread_id();
+                ctx.st_u8(self.data, 8 * i, 0xAA); // patch one byte
+                let v = ctx.ld_f64(self.data, i); // rest from snapshot
+                ctx.st_f64(self.out, i, v);
+            }
+        }
+        let mut mem = DeviceMemory::new(1 << 20);
+        let data = mem.alloc_array::<f64>(32).unwrap();
+        let out = mem.alloc_array::<f64>(32).unwrap();
+        for i in 0..32 {
+            mem.write_f64(data, i, f64::from_le_bytes([0x11; 8]));
+        }
+        let cfg = GpuConfig::default();
+        launch(
+            &mut mem,
+            &cfg,
+            LaunchConfig::cover(32, 32),
+            &Compose { data, out },
+        )
+        .unwrap();
+        let expect = f64::from_le_bytes([0xAA, 0x11, 0x11, 0x11, 0x11, 0x11, 0x11, 0x11]);
+        for i in 0..32 {
+            assert_eq!(mem.read_f64(out, i), expect);
+        }
+    }
+
+    /// Kernel-side global accesses are bounds-checked against their
+    /// buffer on the plain path (mirror of the `DeviceMemory` typed
+    /// accessors): an off-by-one panics instead of touching the
+    /// neighboring allocation.
+    #[test]
+    fn out_of_bounds_global_store_panics_without_sanitizer() {
+        struct Oob {
+            buf: Buffer,
+        }
+        impl Kernel for Oob {
+            fn resources(&self) -> KernelResources {
+                KernelResources {
+                    regs_per_thread: 8,
+                    shared_bytes_per_block: 0,
+                    local_f64_slots: 0,
+                }
+            }
+            fn run(&self, ctx: &mut ThreadCtx<'_>) {
+                ctx.st_f64(self.buf, ctx.global_thread_id() + 4, 1.0);
+            }
+        }
+        let mut mem = DeviceMemory::new(1 << 20);
+        let buf = mem.alloc_array::<f64>(4).unwrap();
+        let cfg = GpuConfig::default();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            launch(
+                &mut mem,
+                &cfg,
+                LaunchConfig {
+                    blocks: 1,
+                    threads_per_block: 32,
+                },
+                &Oob { buf },
+            )
+        }));
+        assert!(r.is_err(), "OOB global store must panic on the plain path");
+    }
+
+    /// The same out-of-bounds access under `sanitize` is absorbed and
+    /// reported as a memcheck finding with a resolved source site.
+    #[test]
+    fn sanitized_launch_reports_oob_instead_of_panicking() {
+        struct Oob {
+            buf: Buffer,
+            out: Buffer,
+        }
+        impl Kernel for Oob {
+            fn resources(&self) -> KernelResources {
+                KernelResources {
+                    regs_per_thread: 8,
+                    shared_bytes_per_block: 0,
+                    local_f64_slots: 0,
+                }
+            }
+            fn run(&self, ctx: &mut ThreadCtx<'_>) {
+                let i = ctx.global_thread_id();
+                ctx.st_f64(self.buf, i + 4, 1.0); // OOB for every thread
+                ctx.st_f64(self.out, i, 2.0); // rest of the kernel still runs
+            }
+        }
+        let mut mem = DeviceMemory::new(1 << 20);
+        let buf = mem.alloc_array::<f64>(4).unwrap();
+        let out = mem.alloc_array::<f64>(32).unwrap();
+        let cfg = GpuConfig::default();
+        let report = launch_with(
+            &mut mem,
+            &cfg,
+            LaunchConfig {
+                blocks: 1,
+                threads_per_block: 32,
+            },
+            &Oob { buf, out },
+            LaunchOptions {
+                sanitize: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let san = report.sanitizer.expect("sanitized launch returns a report");
+        assert_eq!(san.len(), 1, "one deduplicated finding: {san:?}");
+        let f = &san.findings()[0];
+        assert_eq!(f.occurrences, 32);
+        assert!(f.source.as_deref().unwrap().contains("kernel.rs"));
+        // The absorbed stores must not have corrupted the neighbor.
+        for i in 0..32 {
+            assert_eq!(mem.read_f64(out, i), 2.0);
+        }
+    }
+
+    /// A clean kernel under `sanitize` yields an empty report and
+    /// identical functional output and counters.
+    #[test]
+    fn sanitize_is_transparent_for_clean_kernels() {
+        let n = 1000;
+        let (mut mem, input, output) = setup(n);
+        let k = DoubleKernel { input, output, n };
+        let cfg = GpuConfig::default();
+        let plain = launch(&mut mem, &cfg, LaunchConfig::cover(n, 128), &k).unwrap();
+        let plain_out = mem.download(output);
+
+        let (mut mem2, input2, output2) = setup(n);
+        let k2 = DoubleKernel {
+            input: input2,
+            output: output2,
+            n,
+        };
+        let report = launch_with(
+            &mut mem2,
+            &cfg,
+            LaunchConfig::cover(n, 128),
+            &k2,
+            LaunchOptions {
+                sanitize: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(report.sanitizer.as_ref().unwrap().is_clean());
+        assert_eq!(report.stats, plain.stats);
+        assert_eq!(mem2.download(output2), plain_out);
+    }
+
+    #[test]
+    fn default_launch_has_no_sanitizer_report() {
+        let n = 64;
+        let (mut mem, input, output) = setup(n);
+        let k = DoubleKernel { input, output, n };
+        let cfg = GpuConfig::default();
+        let report = launch(&mut mem, &cfg, LaunchConfig::cover(n, 64), &k).unwrap();
+        assert!(report.sanitizer.is_none());
     }
 
     #[test]

@@ -38,12 +38,21 @@
 //!
 //! Blocks execute in parallel (rayon); lanes within a block execute
 //! sequentially to completion. Global stores issued during a launch are
-//! visible to *the issuing block only* (read-your-writes via a write
-//! buffer keyed by exact `(address, width)`), and are published to device
-//! memory when the launch completes — mirroring CUDA's lack of cross-block
-//! coherence guarantees. Kernels that communicate *between lanes* through
-//! shared or global memory inside one launch are not supported (MoG never
-//! does; each thread owns its pixel).
+//! visible to *the issuing block only* (read-your-writes via a
+//! byte-granular write overlay, so a store read back at any width sees
+//! the stored bytes), and are published to device memory in block order
+//! when the launch completes — mirroring CUDA's lack of cross-block
+//! coherence guarantees. Cross-*block* communication within one launch
+//! therefore still does not work; cross-*lane* communication through
+//! shared memory works when it is barrier-ordered *forward* (a lane reads
+//! what a lower-indexed epoch wrote), and the opt-in sanitizer
+//! ([`sancheck`], enabled via [`kernel::LaunchOptions::sanitize`]) detects
+//! the patterns the sequential-lane model cannot reproduce — same-epoch
+//! races and backward barrier-ordered dataflow — instead of silently
+//! returning stale values. All kernel-facing accessors are bounds-checked
+//! against their [`memory::Buffer`] or the block's shared/local
+//! allocation: out-of-range accesses panic with the kernel's `file:line`,
+//! or are absorbed and reported as findings under the sanitizer.
 
 pub mod cache;
 pub mod chrome_trace;
@@ -54,6 +63,7 @@ pub mod kernel;
 pub mod memory;
 pub mod occupancy;
 pub mod profile;
+pub mod sancheck;
 pub mod stats;
 pub mod streams;
 pub mod timing;
@@ -68,9 +78,10 @@ pub use kernel::{
 pub use memory::{Buffer, DeviceMemory, MemoryError};
 pub use occupancy::{occupancy, Occupancy};
 pub use profile::{HotspotRow, SiteProfile, SiteStats};
+pub use sancheck::{CheckKind, Finding, SanReport};
 pub use stats::{DerivedMetrics, KernelStats};
 pub use streams::{
     LatencyStats, StageTimes, StreamInput, StreamSchedule, StreamScheduler, DOUBLE_BUFFER,
 };
 pub use timing::{kernel_time, KernelTiming};
-pub use trace::{site_source, SiteSource};
+pub use trace::{site_source, SiteSource, Space};

@@ -101,6 +101,48 @@ impl std::fmt::Display for MemoryError {
 
 impl std::error::Error for MemoryError {}
 
+/// Bit-per-byte map of device bytes that hold defined data — written by a
+/// host typed accessor, covered by an H2D [`DeviceMemory::upload`], or
+/// published by a kernel store. The sanitizer's initcheck reads loads
+/// against it; allocation alone does *not* mark bytes (fresh device memory
+/// is zeroed by the simulator but semantically undefined, as on real
+/// hardware).
+#[derive(Debug, Default)]
+pub(crate) struct InitMask {
+    bits: Vec<u64>,
+}
+
+impl InitMask {
+    /// Marks `len` bytes starting at `start` as initialized.
+    #[inline]
+    pub(crate) fn mark(&mut self, start: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let end = start + len;
+        let need = end.div_ceil(64);
+        if self.bits.len() < need {
+            self.bits.resize(need, 0);
+        }
+        for b in start..end {
+            self.bits[b / 64] |= 1 << (b % 64);
+        }
+    }
+
+    /// Whether `byte` has ever been initialized.
+    #[inline]
+    pub(crate) fn is_init(&self, byte: usize) -> bool {
+        self.bits
+            .get(byte / 64)
+            .is_some_and(|w| w & (1 << (byte % 64)) != 0)
+    }
+
+    /// Forgets all marks (keeps the backing storage).
+    pub(crate) fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
 /// Simulated GPU global memory.
 ///
 /// Backed by a host `Vec<u8>` that grows lazily up to the configured device
@@ -112,6 +154,7 @@ pub struct DeviceMemory {
     data: Vec<u8>,
     capacity: usize,
     cursor: usize,
+    init: InitMask,
 }
 
 const ALLOC_ALIGN: usize = 256;
@@ -123,6 +166,7 @@ impl DeviceMemory {
             data: Vec::new(),
             capacity,
             cursor: 0,
+            init: InitMask::default(),
         }
     }
 
@@ -176,17 +220,36 @@ impl DeviceMemory {
     }
 
     /// Releases every allocation (buffers become dangling; the backing
-    /// store is kept so re-allocation is cheap).
+    /// store is kept so re-allocation is cheap). Initialization marks are
+    /// dropped with the allocations: re-allocated regions are undefined
+    /// again.
     pub fn reset(&mut self) {
         self.cursor = 0;
+        self.init.clear();
     }
 
     pub(crate) fn raw(&self) -> &[u8] {
         &self.data
     }
 
-    pub(crate) fn raw_mut(&mut self) -> &mut [u8] {
-        &mut self.data
+    /// The initialized-byte map (consulted by the sanitizer's initcheck).
+    pub(crate) fn init_mask(&self) -> &InitMask {
+        &self.init
+    }
+
+    /// Applies one write-overlay cell — up to 8 bytes at 8-byte-aligned
+    /// `base`, valid where `mask` has a bit set — and marks the bytes
+    /// initialized. Only masked bytes are touched, so a cell straddling
+    /// the end of the backing store is safe as long as its masked bytes
+    /// came from a bounds-checked kernel store.
+    pub(crate) fn apply_masked(&mut self, base: u64, mask: u8, bytes: [u8; 8]) {
+        let base = base as usize;
+        for (j, &v) in bytes.iter().enumerate() {
+            if mask & (1 << j) != 0 {
+                self.data[base + j] = v;
+                self.init.mark(base + j, 1);
+            }
+        }
     }
 
     // ---- host-side typed access (untimed, untraced) ----
@@ -215,6 +278,7 @@ impl DeviceMemory {
     pub fn write_f64(&mut self, buf: Buffer, idx: usize, v: f64) {
         let o = buf.element_range(idx, 8, "write_f64");
         self.data[o..o + 8].copy_from_slice(&v.to_le_bytes());
+        self.init.mark(o, 8);
     }
 
     /// Host-side read of an `f32` at element index `idx`.
@@ -235,6 +299,7 @@ impl DeviceMemory {
     pub fn write_f32(&mut self, buf: Buffer, idx: usize, v: f32) {
         let o = buf.element_range(idx, 4, "write_f32");
         self.data[o..o + 4].copy_from_slice(&v.to_le_bytes());
+        self.init.mark(o, 4);
     }
 
     /// Host-side read of a `u8` at element index `idx`.
@@ -255,6 +320,7 @@ impl DeviceMemory {
     pub fn write_u8(&mut self, buf: Buffer, idx: usize, v: u8) {
         let o = buf.element_range(idx, 1, "write_u8");
         self.data[o] = v;
+        self.init.mark(o, 1);
     }
 
     /// Copies a host byte slice into the buffer (untimed; for timed
@@ -265,6 +331,7 @@ impl DeviceMemory {
     pub fn upload(&mut self, buf: Buffer, src: &[u8]) {
         assert_eq!(src.len(), buf.len, "upload size mismatch");
         self.data[buf.offset..buf.offset + buf.len].copy_from_slice(src);
+        self.init.mark(buf.offset, buf.len);
     }
 
     /// Copies the buffer out to a host vector (untimed).
@@ -391,6 +458,46 @@ mod tests {
         let mut m = DeviceMemory::new(1 << 16);
         let buf = m.alloc(100).unwrap();
         buf.slice(90, 20);
+    }
+
+    #[test]
+    fn init_mask_tracks_host_writes_uploads_and_reset() {
+        let mut m = DeviceMemory::new(1 << 16);
+        let a = m.alloc_array::<f64>(4).unwrap();
+        let o = a.addr() as usize;
+        // Allocation alone leaves bytes undefined.
+        assert!(!m.init_mask().is_init(o));
+        m.write_f64(a, 1, 7.0);
+        assert!(!m.init_mask().is_init(o));
+        for b in o + 8..o + 16 {
+            assert!(m.init_mask().is_init(b));
+        }
+        let u = m.alloc(5).unwrap();
+        m.upload(u, &[1, 2, 3, 4, 5]);
+        for b in 0..5 {
+            assert!(m.init_mask().is_init(u.addr() as usize + b));
+        }
+        m.reset();
+        assert!(!m.init_mask().is_init(o + 8));
+        assert!(!m.init_mask().is_init(u.addr() as usize));
+    }
+
+    #[test]
+    fn apply_masked_writes_only_masked_bytes_and_marks_them() {
+        let mut m = DeviceMemory::new(1 << 16);
+        let a = m.alloc(8).unwrap();
+        m.upload(a, &[9; 8]);
+        let base = a.addr();
+        m.apply_masked(base, 0b0000_0110, [0, 11, 22, 0, 0, 0, 0, 0]);
+        assert_eq!(m.download(a), vec![9, 11, 22, 9, 9, 9, 9, 9]);
+        assert!(m.init_mask().is_init(base as usize + 1));
+    }
+
+    #[test]
+    fn init_mask_out_of_range_is_uninitialized() {
+        let m = InitMask::default();
+        assert!(!m.is_init(0));
+        assert!(!m.is_init(1 << 30));
     }
 
     /// Regression: `OutOfMemory::available` must be measured from the

@@ -76,6 +76,14 @@ pub fn occupancy(cfg: &GpuConfig, lc: &LaunchConfig, res: &KernelResources) -> O
     let limit_threads = cfg.max_threads_per_sm / lc.threads_per_block;
     let limit_blocks = cfg.max_blocks_per_sm;
 
+    // When two limits tie, the reported limiter is the *first* minimum in
+    // a fixed priority order: Warps > Registers > SharedMemory > Blocks.
+    // The order ranks how actionable each resource is for a kernel author
+    // (block shape, then register pressure, then shared footprint, with
+    // the fixed hardware block-slot cap last). Note `min_by_key` would
+    // return the *last* minimum on ties — an implementation accident this
+    // code deliberately avoids (e.g. the paper's level F ties Registers
+    // and Blocks at 8 blocks and must report Registers).
     let (resident_blocks, limiter) = [
         (limit_warps.min(limit_threads), Limiter::Warps),
         (limit_regs, Limiter::Registers),
@@ -83,7 +91,7 @@ pub fn occupancy(cfg: &GpuConfig, lc: &LaunchConfig, res: &KernelResources) -> O
         (limit_blocks, Limiter::Blocks),
     ]
     .into_iter()
-    .min_by_key(|&(blocks, _)| blocks)
+    .reduce(|best, cand| if cand.0 < best.0 { cand } else { best })
     .expect("non-empty");
 
     if resident_blocks == 0 {
@@ -154,6 +162,10 @@ mod tests {
         let o = occ(31, 0, 128).unwrap();
         assert_eq!(o.resident_blocks, 8);
         assert!((o.occupancy - 32.0 / 48.0).abs() < 1e-12);
+        // Registers and Blocks tie at 8 resident blocks; the documented
+        // priority order pins the report to Registers (the actionable
+        // one — the hardware slot cap cannot be tuned away).
+        assert_eq!(o.limiter, Limiter::Registers);
     }
 
     #[test]

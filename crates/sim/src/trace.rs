@@ -46,9 +46,10 @@ fn site_registry() -> &'static RwLock<std::collections::HashMap<Site, SiteSource
     REGISTRY.get_or_init(Default::default)
 }
 
-/// Registers a site's source position. Called only when a profiling
-/// accumulator folds a site's first slot contribution; unprofiled
-/// launches never reach the registry.
+/// Registers a site's source position. Called when a profiling
+/// accumulator folds a site's first slot contribution, and when the
+/// sanitizer ([`crate::sancheck`]) records a finding at a site; plain
+/// unprofiled launches never reach the registry.
 #[cold]
 pub(crate) fn register_site(site: Site, loc: &'static std::panic::Location<'static>) {
     let registry = site_registry();

@@ -21,6 +21,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("streams") => cmd_streams(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_help();
             Ok(())
@@ -73,6 +74,13 @@ USAGE:
         at R frames/s arrival (a live camera; default: offline, frames
         available up front). Prints per-stream latency and aggregate
         throughput; --json emits the same machine-readably.
+
+    mogpu check [--frames N] [--k K] [--float] [--json]
+        Run every shipped kernel (levels A..F, W8, adaptive, morph) under
+        the sanitizer (memcheck / racecheck / synccheck / initcheck) on a
+        synthetic scene and report findings with file:line attribution.
+        Exits nonzero on any finding; --json emits machine-readable
+        per-target reports (default: 8 frames, K=3, double).
 
     Observability (demo / ladder / run / profile / streams):
         --report-out FILE.json   machine-readable profile report(s)
@@ -574,6 +582,143 @@ fn cmd_streams(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let n_frames: usize = opt_value(args, "--frames")
+        .map(|v| v.parse().unwrap_or(8))
+        .unwrap_or(8)
+        .max(2);
+    let k: usize = opt_value(args, "--k")
+        .map(|v| v.parse().unwrap_or(3))
+        .unwrap_or(3);
+    let use_f32 = opt_flag(args, "--float");
+    let json = opt_flag(args, "--json");
+
+    let res = Resolution::QQVGA;
+    let scene = SceneBuilder::new(res).seed(7).walkers(3).build();
+    let frames = scene.render_sequence(n_frames).0.into_frames();
+    let (_, truth_mask) = scene.render(n_frames / 2);
+
+    let mut results: Vec<(String, mogpu::sim::SanReport)> = Vec::new();
+    for level in OptLevel::LADDER
+        .into_iter()
+        .chain([OptLevel::Windowed { group: 8 }])
+    {
+        let report = if use_f32 {
+            check_level::<f32>(level, k, &frames)?
+        } else {
+            check_level::<f64>(level, k, &frames)?
+        };
+        results.push((format!("level {}", level.name()), report));
+    }
+    results.push(("adaptive".into(), check_adaptive(k, &frames, use_f32)?));
+    for (name, op) in [
+        ("morph erode", mogpu::core::kernels::MorphOp::Erode),
+        ("morph dilate", mogpu::core::kernels::MorphOp::Dilate),
+    ] {
+        let (_, report) = mogpu::core::kernels::gpu_morph_with(
+            &truth_mask,
+            op,
+            &GpuConfig::tesla_c2075(),
+            mogpu::sim::LaunchOptions {
+                sanitize: true,
+                ..Default::default()
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        results.push((
+            name.into(),
+            report.sanitizer.expect("sanitize was requested"),
+        ));
+    }
+
+    let total: usize = results.iter().map(|(_, r)| r.len()).sum();
+    if json {
+        let targets: Vec<mogpu::json::Value> = results
+            .iter()
+            .map(|(name, report)| {
+                mogpu::json::json!({
+                    "target": name.as_str(),
+                    "report": report,
+                })
+            })
+            .collect();
+        let doc = mogpu::json::json!({
+            "frames": n_frames - 1,
+            "k": k,
+            "clean": total == 0,
+            "findings": total as u64,
+            "targets": targets,
+        });
+        println!(
+            "{}",
+            mogpu::json::to_string_pretty(&doc).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "sanitizer sweep — {res}, {} frames, K={k}, {}",
+            n_frames - 1,
+            if use_f32 { "float" } else { "double" }
+        );
+        for (name, report) in &results {
+            if report.is_clean() {
+                println!("{name:<14} clean");
+            } else {
+                println!("{name:<14} {} finding(s):", report.len());
+                print!("{}", report.table());
+            }
+        }
+    }
+    if total > 0 {
+        return Err(format!("sanitizer reported {total} finding(s)"));
+    }
+    Ok(())
+}
+
+fn check_level<T: mogpu::core::DeviceReal>(
+    level: OptLevel,
+    k: usize,
+    frames: &[Frame<u8>],
+) -> Result<mogpu::sim::SanReport, String> {
+    let mut gpu = GpuMog::<T>::new(
+        frames[0].resolution(),
+        MogParams::new(k),
+        level,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .map_err(|e| e.to_string())?;
+    gpu.set_sanitize(true);
+    gpu.process_all(&frames[1..]).map_err(|e| e.to_string())?;
+    Ok(gpu.take_san_report().expect("sanitize was on"))
+}
+
+fn check_adaptive(
+    k: usize,
+    frames: &[Frame<u8>],
+    use_f32: bool,
+) -> Result<mogpu::sim::SanReport, String> {
+    fn go<T: mogpu::core::DeviceReal>(
+        k: usize,
+        frames: &[Frame<u8>],
+    ) -> Result<mogpu::sim::SanReport, String> {
+        let mut gpu = mogpu::core::AdaptiveGpuMog::<T>::new(
+            frames[0].resolution(),
+            MogParams::new(k),
+            frames[0].as_slice(),
+            GpuConfig::tesla_c2075(),
+        )
+        .map_err(|e| e.to_string())?;
+        gpu.set_sanitize(true);
+        gpu.process_all(&frames[1..]).map_err(|e| e.to_string())?;
+        Ok(gpu.take_san_report().expect("sanitize was on"))
+    }
+    if use_f32 {
+        go::<f32>(k, frames)
+    } else {
+        go::<f64>(k, frames)
+    }
 }
 
 fn run_streams<T: mogpu::core::DeviceReal>(

@@ -63,5 +63,5 @@ pub mod prelude {
     pub use mogpu_metrics::{mask_confusion, ms_ssim, ssim};
     pub use mogpu_mog::{parallel::ParallelMog, MogParams, SerialMog, Variant};
     pub use mogpu_sim::cpu::CpuModel;
-    pub use mogpu_sim::{CpuConfig, GpuConfig};
+    pub use mogpu_sim::{CheckKind, CpuConfig, Finding, GpuConfig, SanReport};
 }
