@@ -1,0 +1,460 @@
+//! Performance-regression baselines: `mogpu bench record` / `bench check`.
+//!
+//! A [`Baseline`] freezes the reproduced headline numbers — per ladder
+//! level (A–F and W(8)): modelled full-HD fps, speedup over the serial
+//! CPU reference, memory access efficiency, store transactions per frame,
+//! and occupancy; plus the multi-stream aggregate — together with the
+//! per-metric tolerances a later [`check`] applies. The workload is the
+//! deterministic [`harness::standard_scene`](crate::harness) sequence, so
+//! an unmodified rerun reproduces the recorded values exactly and any
+//! diff beyond tolerance is a real model/code change, not noise. The
+//! check is two-sided on purpose: silent *improvements* also invalidate
+//! the reproduced paper numbers and must be re-recorded deliberately.
+
+use crate::harness::{
+    cpu_serial_hd_per_frame, default_params, ladder_row, run_level, standard_scene,
+    standard_scene_seeded, SIM_RESOLUTION,
+};
+use mogpu_core::{MultiGpuMog, OptLevel};
+use mogpu_frame::Frame;
+use mogpu_sim::GpuConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Format version of baseline files.
+pub const BASELINE_SCHEMA: u32 = 1;
+
+/// Default baseline location relative to the repository root.
+pub const DEFAULT_BASELINE_PATH: &str = "results/baselines/default.json";
+
+/// Workload shape a baseline is measured over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchConfig {
+    /// Frames rendered per run (the first seeds the model).
+    pub frames: usize,
+    /// Gaussian components per pixel.
+    pub k: usize,
+    /// Streams in the multi-stream run.
+    pub streams: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        // Small enough for a CI gate (seconds), large enough that one
+        // frame's counters cannot hide in pipeline fill/drain effects.
+        BenchConfig {
+            frames: 9,
+            k: 3,
+            streams: 3,
+        }
+    }
+}
+
+/// Per-metric drift tolerances. Relative tolerances are fractions of the
+/// recorded value; absolute ones are plain differences. The simulator is
+/// deterministic, so these only need to absorb cross-platform libm
+/// differences — they are *not* a noise budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tolerances {
+    /// Relative tolerance on modelled full-HD fps.
+    pub fps_rel: f64,
+    /// Relative tolerance on speedup over the serial CPU reference.
+    pub speedup_rel: f64,
+    /// Absolute tolerance on memory access efficiency (a [0, 1] ratio).
+    pub mem_eff_abs: f64,
+    /// Relative tolerance on store transactions per frame.
+    pub store_tx_rel: f64,
+    /// Absolute tolerance on occupancy (a [0, 1] ratio).
+    pub occupancy_abs: f64,
+    /// Absolute tolerance on multi-stream kernel utilization.
+    pub utilization_abs: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            fps_rel: 0.02,
+            speedup_rel: 0.02,
+            mem_eff_abs: 0.005,
+            store_tx_rel: 0.01,
+            occupancy_abs: 0.001,
+            utilization_abs: 0.02,
+        }
+    }
+}
+
+/// Recorded numbers of one ladder level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelRecord {
+    /// Modelled full-HD frames per second.
+    pub fps: f64,
+    /// Speedup over the modelled serial CPU.
+    pub speedup: f64,
+    /// Memory access efficiency in [0, 1].
+    pub mem_access_efficiency: f64,
+    /// DRAM store transactions per full-HD frame.
+    pub store_tx_per_frame: f64,
+    /// Theoretical SM occupancy in [0, 1].
+    pub occupancy: f64,
+}
+
+/// Recorded numbers of the multi-stream run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamRecord {
+    /// Streams multiplexed onto the device.
+    pub streams: usize,
+    /// Frames processed per stream.
+    pub frames_per_stream: usize,
+    /// Aggregate throughput across streams (simulated-resolution fps).
+    pub aggregate_fps: f64,
+    /// Compute-engine busy fraction of the makespan.
+    pub kernel_utilization: f64,
+}
+
+/// A tolerance-annotated performance baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Baseline file format version ([`BASELINE_SCHEMA`]).
+    pub schema: u32,
+    /// Workload shape the numbers were measured over.
+    pub config: BenchConfig,
+    /// Per-metric drift tolerances [`check`] applies.
+    pub tolerances: Tolerances,
+    /// Ladder levels keyed by level name ("A".."F", "W(8)").
+    pub levels: BTreeMap<String, LevelRecord>,
+    /// Multi-stream aggregate.
+    pub multi_stream: StreamRecord,
+}
+
+/// One compared metric in a [`check`] outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricDiff {
+    /// Metric id, e.g. `"F.fps"` or `"streams.aggregate_fps"`.
+    pub metric: String,
+    /// Recorded value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// `current - baseline`.
+    pub delta: f64,
+    /// Allowed drift (relative fraction or absolute difference).
+    pub tolerance: f64,
+    /// `"relative"` or `"absolute"`.
+    pub kind: String,
+    /// Whether the drift is within tolerance.
+    pub pass: bool,
+}
+
+/// Outcome of diffing a fresh measurement against a baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct CheckReport {
+    /// True when every metric is within tolerance.
+    pub pass: bool,
+    /// Per-metric comparison, in deterministic order.
+    pub diffs: Vec<MetricDiff>,
+}
+
+/// Measures a fresh [`Baseline`] over the standard deterministic
+/// workload: the full ladder A–F plus W(8), and a level-F multi-stream
+/// run with per-stream scene variants.
+pub fn measure(cfg: &BenchConfig, tolerances: Tolerances) -> Baseline {
+    let frames = standard_scene(SIM_RESOLUTION)
+        .render_sequence(cfg.frames)
+        .0
+        .into_frames();
+    let c_report = run_level::<f64>(OptLevel::C, default_params(cfg.k), &frames);
+    let serial = cpu_serial_hd_per_frame(&c_report);
+    let mut levels = BTreeMap::new();
+    for level in OptLevel::LADDER
+        .into_iter()
+        .chain([OptLevel::Windowed { group: 8 }])
+    {
+        let row = ladder_row::<f64>(level, default_params(cfg.k), &frames, serial);
+        levels.insert(
+            row.level.clone(),
+            LevelRecord {
+                fps: 1e3 / row.hd.e2e_ms,
+                speedup: row.speedup,
+                mem_access_efficiency: row.mem_eff,
+                store_tx_per_frame: row.hd.store_tx_per_frame,
+                occupancy: row.occupancy,
+            },
+        );
+    }
+
+    // Multi-stream: distinct scene per camera (varied seed), level F.
+    let scenes: Vec<Vec<Frame<u8>>> = (0..cfg.streams)
+        .map(|s| {
+            standard_scene_seeded(SIM_RESOLUTION, 0x1CC_2014 + 1 + s as u64)
+                .render_sequence(cfg.frames)
+                .0
+                .into_frames()
+        })
+        .collect();
+    let seeds: Vec<&[u8]> = scenes.iter().map(|f| f[0].as_slice()).collect();
+    let mut multi = MultiGpuMog::<f64>::new(
+        SIM_RESOLUTION,
+        default_params(cfg.k),
+        OptLevel::F,
+        &seeds,
+        GpuConfig::tesla_c2075(),
+    )
+    .expect("multi-stream construction");
+    let inputs: Vec<Vec<Frame<u8>>> = scenes.iter().map(|f| f[1..].to_vec()).collect();
+    let r = multi.process_all(&inputs).expect("multi-stream run");
+
+    Baseline {
+        schema: BASELINE_SCHEMA,
+        config: *cfg,
+        tolerances,
+        levels,
+        multi_stream: StreamRecord {
+            streams: cfg.streams,
+            frames_per_stream: cfg.frames.saturating_sub(1),
+            aggregate_fps: r.aggregate_fps,
+            kernel_utilization: r.kernel_utilization,
+        },
+    }
+}
+
+/// Writes a baseline as canonical pretty JSON (byte-stable for git).
+///
+/// # Errors
+/// I/O errors from directory creation or writing.
+pub fn write_baseline(b: &Baseline, path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let text = serde_json::to_string_canonical_pretty(b).expect("serializable");
+    std::fs::write(path, format!("{text}\n"))
+}
+
+/// Reads and validates a baseline file.
+///
+/// # Errors
+/// Missing file, malformed JSON, or an unsupported schema version.
+pub fn read_baseline(path: &Path) -> Result<Baseline, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    let b: Baseline = serde_json::from_str(&text)
+        .map_err(|e| format!("malformed baseline {}: {e}", path.display()))?;
+    if b.schema != BASELINE_SCHEMA {
+        return Err(format!(
+            "baseline {} has schema {}, this binary supports {}",
+            path.display(),
+            b.schema,
+            BASELINE_SCHEMA
+        ));
+    }
+    Ok(b)
+}
+
+fn diff(metric: String, base: f64, cur: f64, tolerance: f64, relative: bool) -> MetricDiff {
+    let delta = cur - base;
+    let allowed = if relative {
+        tolerance * base.abs().max(1e-12)
+    } else {
+        tolerance
+    };
+    MetricDiff {
+        metric,
+        baseline: base,
+        current: cur,
+        delta,
+        tolerance,
+        kind: if relative { "relative" } else { "absolute" }.to_string(),
+        // NaN anywhere (delta or allowed) must fail the comparison.
+        pass: delta.is_finite() && delta.abs() <= allowed,
+    }
+}
+
+/// Diffs a fresh measurement against a recorded baseline using the
+/// baseline's tolerances. Two-sided: regressions *and* unexplained
+/// improvements both fail, since either means the recorded numbers no
+/// longer describe the code.
+pub fn check(baseline: &Baseline, current: &Baseline) -> CheckReport {
+    let t = baseline.tolerances;
+    let mut diffs = Vec::new();
+    for (level, b) in &baseline.levels {
+        let c = current.levels.get(level).copied().unwrap_or(LevelRecord {
+            fps: f64::NAN,
+            speedup: f64::NAN,
+            mem_access_efficiency: f64::NAN,
+            store_tx_per_frame: f64::NAN,
+            occupancy: f64::NAN,
+        });
+        diffs.push(diff(format!("{level}.fps"), b.fps, c.fps, t.fps_rel, true));
+        diffs.push(diff(
+            format!("{level}.speedup"),
+            b.speedup,
+            c.speedup,
+            t.speedup_rel,
+            true,
+        ));
+        diffs.push(diff(
+            format!("{level}.mem_access_efficiency"),
+            b.mem_access_efficiency,
+            c.mem_access_efficiency,
+            t.mem_eff_abs,
+            false,
+        ));
+        diffs.push(diff(
+            format!("{level}.store_tx_per_frame"),
+            b.store_tx_per_frame,
+            c.store_tx_per_frame,
+            t.store_tx_rel,
+            true,
+        ));
+        diffs.push(diff(
+            format!("{level}.occupancy"),
+            b.occupancy,
+            c.occupancy,
+            t.occupancy_abs,
+            false,
+        ));
+    }
+    diffs.push(diff(
+        "streams.aggregate_fps".to_string(),
+        baseline.multi_stream.aggregate_fps,
+        current.multi_stream.aggregate_fps,
+        t.fps_rel,
+        true,
+    ));
+    diffs.push(diff(
+        "streams.kernel_utilization".to_string(),
+        baseline.multi_stream.kernel_utilization,
+        current.multi_stream.kernel_utilization,
+        t.utilization_abs,
+        false,
+    ));
+    CheckReport {
+        pass: diffs.iter().all(|d| d.pass),
+        diffs,
+    }
+}
+
+/// Renders a check outcome as a human-readable table.
+pub fn render_table(report: &CheckReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<30} {:>14} {:>14} {:>10} {:>10}  {}\n",
+        "metric", "baseline", "current", "delta", "tol", "status"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(88)));
+    for d in &report.diffs {
+        let delta = if d.kind == "relative" && d.baseline.abs() > 1e-12 {
+            format!("{:+.2}%", 100.0 * d.delta / d.baseline)
+        } else {
+            format!("{:+.4}", d.delta)
+        };
+        let tol = if d.kind == "relative" {
+            format!("±{:.1}%", 100.0 * d.tolerance)
+        } else {
+            format!("±{}", d.tolerance)
+        };
+        out.push_str(&format!(
+            "{:<30} {:>14.4} {:>14.4} {:>10} {:>10}  {}\n",
+            d.metric,
+            d.baseline,
+            d.current,
+            delta,
+            tol,
+            if d.pass { "ok" } else { "FAIL" }
+        ));
+    }
+    out.push_str(&format!(
+        "{}\n{}",
+        "-".repeat(88),
+        if report.pass {
+            "all metrics within tolerance"
+        } else {
+            "REGRESSION: at least one metric drifted beyond tolerance"
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> BenchConfig {
+        BenchConfig {
+            frames: 4,
+            k: 3,
+            streams: 2,
+        }
+    }
+
+    #[test]
+    fn unmodified_rerun_passes() {
+        let cfg = tiny_cfg();
+        let recorded = measure(&cfg, Tolerances::default());
+        let fresh = measure(&cfg, Tolerances::default());
+        let report = check(&recorded, &fresh);
+        assert!(report.pass, "{}", render_table(&report));
+        // Determinism means the diffs are exactly zero, not merely small.
+        for d in &report.diffs {
+            assert_eq!(d.delta, 0.0, "{}", d.metric);
+        }
+    }
+
+    #[test]
+    fn seeded_fps_regression_fails() {
+        let cfg = tiny_cfg();
+        let mut recorded = measure(&cfg, Tolerances::default());
+        let fresh = measure(&cfg, Tolerances::default());
+        // Inflate recorded level-F fps by 10%: the fresh run now reads as
+        // a 10% regression and must fail the 2% gate.
+        recorded.levels.get_mut("F").unwrap().fps *= 1.1;
+        let report = check(&recorded, &fresh);
+        assert!(!report.pass);
+        let failed: Vec<&str> = report
+            .diffs
+            .iter()
+            .filter(|d| !d.pass)
+            .map(|d| d.metric.as_str())
+            .collect();
+        assert_eq!(failed, ["F.fps"]);
+        assert!(render_table(&report).contains("FAIL"));
+    }
+
+    #[test]
+    fn improvements_also_fail_the_two_sided_gate() {
+        let cfg = tiny_cfg();
+        let mut recorded = measure(&cfg, Tolerances::default());
+        let fresh = measure(&cfg, Tolerances::default());
+        recorded.levels.get_mut("A").unwrap().speedup *= 0.9;
+        let report = check(&recorded, &fresh);
+        assert!(!report.pass);
+    }
+
+    #[test]
+    fn baseline_round_trips_canonically() {
+        let cfg = tiny_cfg();
+        let b = measure(&cfg, Tolerances::default());
+        let dir = std::env::temp_dir().join("mogpu_baseline_test");
+        let path = dir.join("default.json");
+        write_baseline(&b, &path).unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        let back = read_baseline(&path).unwrap();
+        assert_eq!(back, b);
+        // Re-writing the parsed baseline reproduces identical bytes.
+        write_baseline(&back, &path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), first);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let cfg = tiny_cfg();
+        let mut b = measure(&cfg, Tolerances::default());
+        b.schema = 99;
+        let dir = std::env::temp_dir().join("mogpu_baseline_schema_test");
+        let path = dir.join("bad.json");
+        write_baseline(&b, &path).unwrap();
+        assert!(read_baseline(&path).unwrap_err().contains("schema"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -22,8 +22,14 @@ pub const SIM_FRAMES: usize = 33;
 /// The standard surveillance workload of the experiments: multimodal
 /// background (5% flicker pixels), three walkers, moderate sensor noise.
 pub fn standard_scene(res: Resolution) -> Scene {
+    standard_scene_seeded(res, 0x1CC_2014)
+}
+
+/// The standard workload content with a caller-chosen RNG seed — distinct
+/// per-camera variants for multi-stream runs.
+pub fn standard_scene_seeded(res: Resolution, seed: u64) -> Scene {
     SceneBuilder::new(res)
-        .seed(0x1CC_2014)
+        .seed(seed)
         .walkers(3)
         .bimodal_fraction(0.05)
         .bimodal_contrast(60.0)

@@ -25,11 +25,13 @@
 //! linear in warp count once the machine is saturated (see
 //! [`harness::project_full_hd`]).
 
+pub mod baseline;
 pub mod experiments;
 pub mod harness;
 pub mod paper;
 pub mod results;
 
+pub use baseline::{Baseline, BenchConfig, CheckReport, MetricDiff, Tolerances};
 pub use harness::{
     default_params, ladder_row, project_full_hd, run_level, standard_scene, HdProjection,
     LadderRow, SIM_FRAMES, SIM_RESOLUTION,

@@ -25,7 +25,9 @@ impl ResultsFile {
         );
     }
 
-    /// Writes the accumulated results as pretty JSON.
+    /// Writes the accumulated results as canonical pretty JSON (keys
+    /// recursively sorted), so regenerating `results/experiments.json`
+    /// diffs byte-stably in git.
     ///
     /// # Errors
     /// I/O errors from file creation or writing.
@@ -37,7 +39,7 @@ impl ResultsFile {
         writeln!(
             f,
             "{}",
-            serde_json::to_string_pretty(self).expect("serializable")
+            serde_json::to_string_canonical_pretty(self).expect("serializable")
         )?;
         Ok(())
     }

@@ -17,6 +17,7 @@ use crate::profile::{LaunchProfile, ProfileMode, ProfileReport};
 use mogpu_frame::{Frame, Mask, Resolution};
 use mogpu_mog::{HostModel, MogParams, ResolvedParams};
 use mogpu_sim::dma::{pipeline_schedule, timing_of, transfer_time, PipelineTiming};
+use mogpu_sim::telemetry::{sample_schedule, PipelineTelemetry, TelemetryConfig};
 use mogpu_sim::{
     launch_with, Buffer, DerivedMetrics, DeviceMemory, GpuConfig, KernelStats, LaunchConfig,
     LaunchError, LaunchOptions, LaunchReport, MemoryError, Occupancy, SanReport, SiteProfile,
@@ -84,6 +85,10 @@ pub struct RunReport {
     pub pipeline: PipelineTiming,
     /// Derived profiler metrics (branch/memory efficiency, transactions).
     pub metrics: DerivedMetrics,
+    /// Time-resolved per-SM and device-wide counter series over the
+    /// run's pipeline schedule (always collected; the aggregate counters
+    /// distributed over the scheduled spans).
+    pub telemetry: PipelineTelemetry,
 }
 
 impl RunReport {
@@ -425,6 +430,13 @@ impl<T: DeviceReal> GpuMog<T> {
         );
         let pipeline = timing_of(&schedule);
         let metrics = DerivedMetrics::from_stats(&stats, &self.cfg);
+        let telemetry = sample_schedule(
+            &schedule,
+            &stats,
+            &occupancy,
+            &self.cfg,
+            &TelemetryConfig::default(),
+        );
         self.last_profile = self.profile.is_on().then(|| {
             ProfileReport::assemble(
                 self.level.name(),
@@ -451,6 +463,7 @@ impl<T: DeviceReal> GpuMog<T> {
             d2h_per_frame: t_d2h,
             pipeline,
             metrics,
+            telemetry,
         })
     }
 }
@@ -862,6 +875,13 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
         );
         let pipeline = timing_of(&schedule);
         let metrics = DerivedMetrics::from_stats(&stats, &self.cfg);
+        let telemetry = sample_schedule(
+            &schedule,
+            &stats,
+            &occupancy,
+            &self.cfg,
+            &TelemetryConfig::default(),
+        );
         self.last_profile = self.profile.is_on().then(|| {
             ProfileReport::assemble(
                 "adaptive".to_string(),
@@ -888,6 +908,7 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
             d2h_per_frame: t_dir,
             pipeline,
             metrics,
+            telemetry,
         })
     }
 }

@@ -12,6 +12,7 @@
 
 use mogpu_sim::dma::{FrameSpans, OverlapMode, PipelineTiming};
 use mogpu_sim::profile::render_rows;
+use mogpu_sim::telemetry::{sample_pipeline, KernelSlice, PipelineTelemetry, TelemetryConfig};
 use mogpu_sim::timing::Bound;
 use mogpu_sim::{
     DerivedMetrics, GpuConfig, HotspotRow, KernelStats, KernelTiming, Occupancy, SiteProfile,
@@ -140,6 +141,9 @@ pub struct ProfileReport {
     pub launches: Vec<LaunchProfile>,
     /// Source hotspots merged over all launches, ranked by issue cycles.
     pub hotspots: Vec<HotspotRow>,
+    /// Time-resolved per-SM and device-wide counter series over the
+    /// pipeline schedule (same clock as `schedule` / the Chrome trace).
+    pub telemetry: PipelineTelemetry,
 }
 
 impl ProfileReport {
@@ -191,6 +195,35 @@ impl ProfileReport {
             0.0
         };
         let metrics = DerivedMetrics::from_stats(&stats, cfg);
+        // Launch l's counters are attributed to the next `launches[l]
+        // .frames` kernel spans of the schedule, an even share to each
+        // (one grouped launch spans several scheduled frame slots).
+        let telemetry = {
+            let mut slices = Vec::with_capacity(frames);
+            let mut frame = 0;
+            for lp in &launches {
+                let share = if lp.frames > 0 {
+                    1.0 / lp.frames as f64
+                } else {
+                    0.0
+                };
+                for _ in 0..lp.frames {
+                    if let Some(f) = schedule.get(frame) {
+                        slices.push(KernelSlice::from_stats(
+                            f.kernel,
+                            &lp.stats,
+                            &lp.occupancy,
+                            cfg,
+                            share,
+                        ));
+                    }
+                    frame += 1;
+                }
+            }
+            let copies: Vec<mogpu_sim::dma::Span> =
+                schedule.iter().flat_map(|f| [f.h2d, f.d2h]).collect();
+            sample_pipeline(&slices, &copies, cfg, &TelemetryConfig::default())
+        };
         ProfileReport {
             level,
             frames,
@@ -208,6 +241,7 @@ impl ProfileReport {
             schedule,
             launches,
             hotspots: sites.ranked_rows(),
+            telemetry,
         }
     }
 

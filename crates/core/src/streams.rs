@@ -25,6 +25,7 @@ use mogpu_mog::MogParams;
 use mogpu_sim::streams::{
     LatencyStats, StageTimes, StreamInput, StreamSchedule, StreamScheduler, DOUBLE_BUFFER,
 };
+use mogpu_sim::telemetry::{sample_streams, PipelineTelemetry, TelemetryConfig};
 use mogpu_sim::GpuConfig;
 use rayon::prelude::*;
 use std::sync::Mutex;
@@ -62,6 +63,10 @@ pub struct MultiStreamReport {
     pub aggregate_fps: f64,
     /// Fraction of the makespan the compute engine was busy.
     pub kernel_utilization: f64,
+    /// Time-resolved per-SM and device-wide counter series over the
+    /// shared-engine schedule (every stream's launches and copies on one
+    /// clock).
+    pub telemetry: PipelineTelemetry,
 }
 
 impl MultiStreamReport {
@@ -237,6 +242,14 @@ impl<T: DeviceReal> MultiGpuMog<T> {
             })
             .collect();
         let schedule = StreamScheduler::new(self.buffers_per_stream).schedule(&inputs, &self.cfg);
+        let per_stream_counters: Vec<(&mogpu_sim::KernelStats, &mogpu_sim::Occupancy)> =
+            reports.iter().map(|r| (&r.stats, &r.occupancy)).collect();
+        let telemetry = sample_streams(
+            &schedule,
+            &per_stream_counters,
+            &self.cfg,
+            &TelemetryConfig::default(),
+        );
 
         let per_stream = reports
             .into_iter()
@@ -266,6 +279,7 @@ impl<T: DeviceReal> MultiGpuMog<T> {
             aggregate_fps: schedule.aggregate_fps(),
             kernel_utilization: schedule.kernel_utilization(),
             schedule,
+            telemetry,
         })
     }
 }

@@ -15,6 +15,7 @@
 
 use crate::dma::FrameSpans;
 use crate::streams::StreamSchedule;
+use crate::telemetry::PipelineTelemetry;
 use serde::Value;
 
 /// Thread-track ids within one pipeline's process.
@@ -71,8 +72,9 @@ impl TraceBuilder {
     }
 
     /// Appends one pipeline as a process named `name` with the three
-    /// engine tracks, one `ph:"X"` event per stage per frame.
-    pub fn add_pipeline(&mut self, name: &str, schedule: &[FrameSpans]) {
+    /// engine tracks, one `ph:"X"` event per stage per frame. Returns the
+    /// pipeline's process id for [`TraceBuilder::add_counters`].
+    pub fn add_pipeline(&mut self, name: &str, schedule: &[FrameSpans]) -> u64 {
         let pid = self.next_pid;
         self.next_pid += 1;
         self.events.push(metadata("process_name", pid, 0, name));
@@ -108,13 +110,15 @@ impl TraceBuilder {
                 f.d2h.dur,
             ));
         }
+        pid
     }
 
     /// Appends a multi-stream schedule as one process named `name` with
     /// three engine tracks *per stream* (`s<i> copy-in/compute/copy-out`,
     /// tids `3i..3i+2`), so cross-stream interleaving on the shared
-    /// engines is visible in Perfetto.
-    pub fn add_multi_stream(&mut self, name: &str, schedule: &StreamSchedule) {
+    /// engines is visible in Perfetto. Returns the process id for
+    /// [`TraceBuilder::add_counters`].
+    pub fn add_multi_stream(&mut self, name: &str, schedule: &StreamSchedule) -> u64 {
         let pid = self.next_pid;
         self.next_pid += 1;
         self.events.push(metadata("process_name", pid, 0, name));
@@ -164,6 +168,62 @@ impl TraceBuilder {
                     f.d2h.dur,
                 ));
             }
+        }
+        pid
+    }
+
+    /// Merges telemetry counter tracks (`ph:"C"`) into the process `pid`
+    /// returned by [`TraceBuilder::add_pipeline`] /
+    /// [`TraceBuilder::add_multi_stream`], one sample per quantum plus a
+    /// closing sample at the makespan, so counters and timeline share one
+    /// clock in Perfetto. Counters are opt-in: traces without telemetry
+    /// keep their exact event shape.
+    pub fn add_counters(&mut self, pid: u64, telemetry: &PipelineTelemetry) {
+        let n = telemetry.samples();
+        if n == 0 {
+            return;
+        }
+        let mut counter = |name: &str, args: Vec<(&str, f64)>, ts_s: f64| {
+            self.events.push(obj(vec![
+                ("name", Value::String(name.to_string())),
+                ("ph", Value::String("C".to_string())),
+                ("pid", Value::U64(pid)),
+                ("ts", Value::F64(ts_s * 1e6)),
+                (
+                    "args",
+                    obj(args.into_iter().map(|(k, v)| (k, Value::F64(v))).collect()),
+                ),
+            ]));
+        };
+        // One sample per quantum at the quantum's start, plus a final
+        // sample at the makespan repeating the last value so the series
+        // extends to the end of the timeline.
+        for q in 0..=n {
+            let (idx, ts) = if q == n {
+                (n - 1, telemetry.makespan)
+            } else {
+                (q, telemetry.quantum_start(q))
+            };
+            let sms = telemetry.num_sms.max(1) as f64;
+            let occupancy = telemetry.sm.iter().map(|s| s.occupancy[idx]).sum::<f64>() / sms;
+            let active = telemetry.sm.iter().map(|s| s.active[idx]).sum::<f64>() / sms;
+            counter("SM occupancy (mean)", vec![("occupancy", occupancy)], ts);
+            counter("SMs active (fraction)", vec![("active", active)], ts);
+            counter(
+                "DRAM bandwidth (GB/s)",
+                vec![("gbps", telemetry.dram_bandwidth[idx] / 1e9)],
+                ts,
+            );
+            counter(
+                "L2 hit rate",
+                vec![("rate", telemetry.l2_hit_rate[idx])],
+                ts,
+            );
+            counter(
+                "copy engines (utilization)",
+                vec![("utilization", telemetry.copy_engine_utilization[idx])],
+                ts,
+            );
         }
     }
 
@@ -275,6 +335,54 @@ mod tests {
             })
             .collect();
         assert_eq!(tids, (0..6).collect());
+    }
+
+    #[test]
+    fn counters_share_the_pipeline_clock() {
+        use crate::occupancy::{Limiter, Occupancy};
+        use crate::stats::KernelStats;
+        use crate::telemetry::{sample_schedule, TelemetryConfig};
+        let cfg = GpuConfig::default();
+        let sched = pipeline_schedule(3, 1.0, 2.0, 0.5, OverlapMode::Sequential, &cfg);
+        let stats = KernelStats {
+            blocks: 150,
+            global_load_tx: 1000,
+            issue_cycles: 1e6,
+            ..Default::default()
+        };
+        let occ = Occupancy {
+            resident_blocks: 8,
+            resident_warps: 32,
+            resident_threads: 1024,
+            occupancy: 32.0 / 48.0,
+            limiter: Limiter::Blocks,
+        };
+        let telemetry =
+            sample_schedule(&sched, &stats, &occ, &cfg, &TelemetryConfig { samples: 8 });
+        let mut b = TraceBuilder::new();
+        let pid = b.add_pipeline("level A", &sched);
+        b.add_counters(pid, &telemetry);
+        let trace = b.finish();
+        let evs = events(&trace);
+        let counters: Vec<&Value> = evs
+            .iter()
+            .filter(|e| field(e, "ph") == &Value::String("C".into()))
+            .collect();
+        // 5 counter tracks x (8 quanta + closing sample).
+        assert_eq!(counters.len(), 5 * 9);
+        let makespan_us = telemetry.makespan * 1e6;
+        for c in &counters {
+            assert_eq!(field(c, "pid"), &Value::U64(pid));
+            let ts = match field(c, "ts") {
+                Value::F64(v) => *v,
+                other => panic!("ts must be f64, got {other:?}"),
+            };
+            assert!((0.0..=makespan_us + 1e-6).contains(&ts));
+        }
+        // Timeline events and counters agree on the clock: the last
+        // counter sample sits at the end of the last span.
+        let last_d2h_end = (sched.last().unwrap().d2h.end()) * 1e6;
+        assert!((makespan_us - last_d2h_end).abs() < 1e-6);
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod profile;
 pub mod sancheck;
 pub mod stats;
 pub mod streams;
+pub mod telemetry;
 pub mod timing;
 pub mod trace;
 pub mod warp;
@@ -83,5 +84,6 @@ pub use stats::{DerivedMetrics, KernelStats};
 pub use streams::{
     LatencyStats, StageTimes, StreamInput, StreamSchedule, StreamScheduler, DOUBLE_BUFFER,
 };
+pub use telemetry::{KernelSlice, PipelineTelemetry, SmSeries, TelemetryConfig};
 pub use timing::{kernel_time, KernelTiming};
 pub use trace::{site_source, SiteSource, Space};

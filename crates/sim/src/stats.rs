@@ -82,33 +82,65 @@ pub struct KernelStats {
 
 impl KernelStats {
     /// Merges another launch's counters into this one.
+    ///
+    /// The exhaustive destructuring (no `..` rest pattern) is deliberate:
+    /// adding a counter field to [`KernelStats`] without merging it here
+    /// becomes a compile error instead of a silently dropped counter.
     pub fn merge(&mut self, o: &KernelStats) {
-        self.issue_cycles += o.issue_cycles;
-        self.warp_slots += o.warp_slots;
-        self.warps += o.warps;
-        self.lanes += o.lanes;
-        self.blocks += o.blocks;
-        self.int_ops += o.int_ops;
-        self.flops_f32 += o.flops_f32;
-        self.flops_f64 += o.flops_f64;
-        self.mem_slots += o.mem_slots;
-        self.global_load_tx += o.global_load_tx;
-        self.global_store_tx += o.global_store_tx;
-        self.local_load_tx += o.local_load_tx;
-        self.local_store_tx += o.local_store_tx;
-        self.global_load_bytes_requested += o.global_load_bytes_requested;
-        self.global_store_bytes_requested += o.global_store_bytes_requested;
-        self.local_load_bytes_requested += o.local_load_bytes_requested;
-        self.local_store_bytes_requested += o.local_store_bytes_requested;
-        self.shared_accesses += o.shared_accesses;
-        self.shared_replays += o.shared_replays;
-        self.branch_slots += o.branch_slots;
-        self.divergent_branch_slots += o.divergent_branch_slots;
-        self.lane_branches += o.lane_branches;
-        self.lane_mem_accesses += o.lane_mem_accesses;
-        self.sync_slots += o.sync_slots;
-        self.l2_hits += o.l2_hits;
-        self.l2_misses += o.l2_misses;
+        let KernelStats {
+            issue_cycles,
+            warp_slots,
+            warps,
+            lanes,
+            blocks,
+            int_ops,
+            flops_f32,
+            flops_f64,
+            mem_slots,
+            global_load_tx,
+            global_store_tx,
+            local_load_tx,
+            local_store_tx,
+            global_load_bytes_requested,
+            global_store_bytes_requested,
+            local_load_bytes_requested,
+            local_store_bytes_requested,
+            shared_accesses,
+            shared_replays,
+            branch_slots,
+            divergent_branch_slots,
+            lane_branches,
+            lane_mem_accesses,
+            sync_slots,
+            l2_hits,
+            l2_misses,
+        } = o;
+        self.issue_cycles += issue_cycles;
+        self.warp_slots += warp_slots;
+        self.warps += warps;
+        self.lanes += lanes;
+        self.blocks += blocks;
+        self.int_ops += int_ops;
+        self.flops_f32 += flops_f32;
+        self.flops_f64 += flops_f64;
+        self.mem_slots += mem_slots;
+        self.global_load_tx += global_load_tx;
+        self.global_store_tx += global_store_tx;
+        self.local_load_tx += local_load_tx;
+        self.local_store_tx += local_store_tx;
+        self.global_load_bytes_requested += global_load_bytes_requested;
+        self.global_store_bytes_requested += global_store_bytes_requested;
+        self.local_load_bytes_requested += local_load_bytes_requested;
+        self.local_store_bytes_requested += local_store_bytes_requested;
+        self.shared_accesses += shared_accesses;
+        self.shared_replays += shared_replays;
+        self.branch_slots += branch_slots;
+        self.divergent_branch_slots += divergent_branch_slots;
+        self.lane_branches += lane_branches;
+        self.lane_mem_accesses += lane_mem_accesses;
+        self.sync_slots += sync_slots;
+        self.l2_hits += l2_hits;
+        self.l2_misses += l2_misses;
     }
 
     /// Total DRAM transactions (global + local, loads + stores).
@@ -258,6 +290,41 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.global_load_tx, 7);
         assert!((a.issue_cycles - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_self_doubles_every_counter() {
+        // Walks the serialized field map so the assertion covers every
+        // field, present and future, without naming them: merge(self)
+        // must double each counter (all seeded distinct and nonzero, so a
+        // field merged from the wrong source cannot pass by accident).
+        let names: Vec<String> = serde_json::to_value(&KernelStats::default())
+            .unwrap()
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect();
+        let v = serde_json::Value::Object(
+            names
+                .iter()
+                .enumerate()
+                .map(|(i, name)| (name.clone(), serde_json::Value::U64((i as u64 + 1) * 3)))
+                .collect(),
+        );
+        let seed: KernelStats = serde_json::from_value(v).unwrap();
+        let mut merged = seed.clone();
+        merged.merge(&seed);
+        let before = serde_json::to_value(&seed).unwrap();
+        let after = serde_json::to_value(&merged).unwrap();
+        for name in &names {
+            let b = before.get(name).unwrap().as_f64().unwrap();
+            let a = after.get(name).unwrap().as_f64().unwrap();
+            assert!(
+                (a - 2.0 * b).abs() < 1e-9,
+                "field {name}: merged {a} != 2 x {b}"
+            );
+        }
     }
 
     #[test]

@@ -22,6 +22,8 @@ fn main() -> ExitCode {
         Some("profile") => cmd_profile(&args[1..]),
         Some("streams") => cmd_streams(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_help();
             Ok(())
@@ -41,6 +43,18 @@ fn print_help() {
     println!(
         "mogpu — GPU-optimized MoG background subtraction (ICPP'14 reproduction)
 
+COMMANDS:
+    info      Print the simulated GPU/CPU hardware configuration
+    demo      Render a synthetic scene and write input/mask clips
+    ladder    Climb optimization levels A..F, W(8) and print a table
+    run       Background-subtract a Y4M clip (or a synthetic scene)
+    profile   Hotspot table, roofline bounds, bottleneck classification
+    streams   Serve N camera streams from one device, CUDA-streams style
+    check     Sanitizer sweep over every shipped kernel
+    metrics   Emit time-resolved telemetry in Prometheus text format
+    bench     Record / check the performance-regression baseline
+    help      Show this help
+
 USAGE:
     mogpu info
         Print the simulated GPU/CPU hardware configuration.
@@ -55,9 +69,12 @@ USAGE:
         print per-level performance (default: 24 frames, K=3, double).
         --json prints the per-level profile reports as a JSON array.
 
-    mogpu run --input IN.y4m [--output OUT.y4m] [--level L] [--k K] [--float]
+    mogpu run [--input IN.y4m] [--output OUT.y4m] [--level L] [--k K]
+              [--frames N] [--float]
         Background-subtract a YUV4MPEG2 clip; writes the mask sequence
         as Y4M when --output is given, else prints per-frame stats.
+        Without --input, runs on a synthetic scene of N frames
+        (default 16) — handy for exercising the observability outputs.
 
     mogpu profile [--level L] [--frames N] [--k K] [--float] [--top N]
                   [--input IN.y4m]
@@ -82,11 +99,32 @@ USAGE:
         Exits nonzero on any finding; --json emits machine-readable
         per-target reports (default: 8 frames, K=3, double).
 
+    mogpu metrics [--level L] [--frames N] [--k K] [--float] [--out FILE]
+        Run a profiled synthetic workload and emit its time-resolved
+        telemetry (per-SM occupancy/IPC/warps, DRAM bandwidth, L2 hit
+        rate, copy-engine utilization) in Prometheus text exposition
+        format, to stdout or to --out FILE.prom.
+
+    mogpu bench record [--out FILE.json] [--frames N] [--k K] [--streams S]
+        Measure the ladder (A..F, W8) and a multi-stream run over the
+        standard deterministic workload and write a tolerance-annotated
+        performance baseline (default: results/baselines/default.json).
+
+    mogpu bench check [--baseline FILE.json] [--json]
+        Re-measure with the baseline's recorded workload shape and diff
+        against it metric by metric. Prints a table (or JSON with
+        --json) and exits nonzero if any metric drifts beyond its
+        tolerance — regressions and unexplained improvements both fail.
+
     Observability (demo / ladder / run / profile / streams):
-        --report-out FILE.json   machine-readable profile report(s)
+        --report-out FILE.json   machine-readable profile report(s),
+                                 embedded time-resolved telemetry included
         --trace-out FILE.json    Chrome trace of the DMA/kernel timeline
-                                 (streams: one track triple per stream;
-                                 load in chrome://tracing or Perfetto)"
+                                 plus telemetry counter tracks (streams:
+                                 one track triple per stream; load in
+                                 chrome://tracing or Perfetto)
+        --metrics-out FILE.prom  telemetry in Prometheus text format
+                                 (ladder: all levels in one exposition)"
     );
 }
 
@@ -111,11 +149,14 @@ fn parse_level(s: &str) -> Result<OptLevel, String> {
         "E" => Ok(OptLevel::E),
         "F" => Ok(OptLevel::F),
         w if w.starts_with('W') => {
-            let group: usize = w[1..]
-                .trim_start_matches('(')
-                .trim_end_matches(')')
-                .parse()
-                .map_err(|_| format!("bad windowed level {s:?}; use e.g. W8"))?;
+            let digits = w[1..].trim_start_matches('(').trim_end_matches(')');
+            let group: usize = if digits.is_empty() {
+                8 // bare "W" means the paper's default group size
+            } else {
+                digits
+                    .parse()
+                    .map_err(|_| format!("bad windowed level {s:?}; use e.g. W8"))?
+            };
             Ok(OptLevel::Windowed { group })
         }
         _ => Err(format!("unknown level {s:?} (A..F or W<group>)")),
@@ -304,28 +345,30 @@ fn run_level_profiled<T: mogpu::core::DeviceReal>(
     Ok((run, gpu.take_profile_report()))
 }
 
-/// Observability flags shared by demo / ladder / run / profile.
+/// Observability flags shared by demo / ladder / run / profile / streams.
 struct ObsFlags {
     report_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 impl ObsFlags {
     fn parse(args: &[String]) -> Result<ObsFlags, String> {
-        for flag in ["--report-out", "--trace-out"] {
+        for flag in ["--report-out", "--trace-out", "--metrics-out"] {
             if opt_flag(args, flag) && opt_value(args, flag).is_none() {
-                return Err(format!("{flag} requires a FILE.json value"));
+                return Err(format!("{flag} requires a FILE value"));
             }
         }
         Ok(ObsFlags {
             report_out: opt_value(args, "--report-out").map(PathBuf::from),
             trace_out: opt_value(args, "--trace-out").map(PathBuf::from),
+            metrics_out: opt_value(args, "--metrics-out").map(PathBuf::from),
         })
     }
 
     /// True when any output (so profiling) is requested.
     fn wanted(&self) -> bool {
-        self.report_out.is_some() || self.trace_out.is_some()
+        self.report_out.is_some() || self.trace_out.is_some() || self.metrics_out.is_some()
     }
 
     /// Writes the requested outputs from the collected reports.
@@ -342,7 +385,9 @@ impl ObsFlags {
         if let Some(path) = &self.trace_out {
             let mut builder = mogpu::sim::chrome_trace::TraceBuilder::new();
             for report in reports {
-                builder.add_pipeline(&format!("level {}", report.level), &report.schedule);
+                let pid =
+                    builder.add_pipeline(&format!("level {}", report.level), &report.schedule);
+                builder.add_counters(pid, &report.telemetry);
             }
             let json =
                 mogpu::json::to_string_pretty(&builder.finish()).map_err(|e| e.to_string())?;
@@ -352,14 +397,21 @@ impl ObsFlags {
                 path.display()
             );
         }
+        if let Some(path) = &self.metrics_out {
+            let pipelines: Vec<(String, &mogpu::sim::PipelineTelemetry)> = reports
+                .iter()
+                .map(|r| (format!("level {}", r.level), &r.telemetry))
+                .collect();
+            let text = mogpu::sim::telemetry::prometheus(&pipelines);
+            std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+            println!("wrote Prometheus metrics to {}", path.display());
+        }
         Ok(())
     }
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let input = opt_value(args, "--input")
-        .or_else(|| opt_value(args, "-i"))
-        .ok_or("missing --input FILE.y4m")?;
+    let input = opt_value(args, "--input").or_else(|| opt_value(args, "-i"));
     let output = opt_value(args, "--output").or_else(|| opt_value(args, "-o"));
     let level = parse_level(&opt_value(args, "--level").unwrap_or_else(|| "F".into()))?;
     let k: usize = opt_value(args, "--k")
@@ -368,14 +420,35 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let use_f32 = opt_flag(args, "--float");
     let obs = ObsFlags::parse(args)?;
 
-    let file = std::fs::File::open(&input).map_err(|e| format!("{input}: {e}"))?;
-    let seq = mogpu::frame::read_y4m(file).map_err(|e| e.to_string())?;
-    if seq.len() < 2 {
-        return Err("need at least 2 frames (the first seeds the model)".into());
-    }
-    let res = seq.resolution();
-    let frames = seq.into_frames();
-    println!("{input}: {} frames at {res}", frames.len());
+    let frames = match &input {
+        Some(input) => {
+            let file = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
+            let seq = mogpu::frame::read_y4m(file).map_err(|e| e.to_string())?;
+            if seq.len() < 2 {
+                return Err("need at least 2 frames (the first seeds the model)".into());
+            }
+            println!("{input}: {} frames at {}", seq.len(), seq.resolution());
+            seq.into_frames()
+        }
+        None => {
+            // No capture given: fall back to the synthetic surveillance
+            // scene so observability outputs can be exercised standalone.
+            let n_frames: usize = opt_value(args, "--frames")
+                .map(|v| v.parse().unwrap_or(16))
+                .unwrap_or(16)
+                .max(2);
+            let res = Resolution::QQVGA;
+            println!("no --input given: synthetic scene, {n_frames} frames at {res}");
+            SceneBuilder::new(res)
+                .seed(7)
+                .walkers(3)
+                .build()
+                .render_sequence(n_frames)
+                .0
+                .into_frames()
+        }
+    };
+    let res = frames[0].resolution();
 
     let (report, prof) = if use_f32 {
         run_level_profiled::<f32>(level, k, &frames, obs.wanted())?
@@ -570,16 +643,131 @@ fn cmd_streams(args: &[String]) -> Result<(), String> {
 
     if let Some(path) = &obs.trace_out {
         let mut builder = mogpu::sim::chrome_trace::TraceBuilder::new();
-        builder.add_multi_stream(
+        let pid = builder.add_multi_stream(
             &format!("{n_streams} streams, level {}", level.name()),
             &report.schedule,
         );
+        builder.add_counters(pid, &report.telemetry);
         let json = mogpu::json::to_string_pretty(&builder.finish()).map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| format!("{}: {e}", path.display()))?;
         println!(
             "wrote Chrome trace to {} (load in chrome://tracing or ui.perfetto.dev)",
             path.display()
         );
+    }
+    if let Some(path) = &obs.metrics_out {
+        let label = format!("{n_streams} streams, level {}", level.name());
+        let text = mogpu::sim::telemetry::prometheus(&[(label, &report.telemetry)]);
+        std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("wrote Prometheus metrics to {}", path.display());
+    }
+    Ok(())
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let level = parse_level(&opt_value(args, "--level").unwrap_or_else(|| "F".into()))?;
+    let n_frames: usize = opt_value(args, "--frames")
+        .map(|v| v.parse().unwrap_or(16))
+        .unwrap_or(16)
+        .max(2);
+    let k: usize = opt_value(args, "--k")
+        .map(|v| v.parse().unwrap_or(3))
+        .unwrap_or(3);
+    let use_f32 = opt_flag(args, "--float");
+    let out = opt_value(args, "--out").map(PathBuf::from);
+
+    let frames = SceneBuilder::new(Resolution::QQVGA)
+        .seed(7)
+        .walkers(3)
+        .build()
+        .render_sequence(n_frames)
+        .0
+        .into_frames();
+    let (_, prof) = if use_f32 {
+        run_level_profiled::<f32>(level, k, &frames, true)?
+    } else {
+        run_level_profiled::<f64>(level, k, &frames, true)?
+    };
+    let profile = prof.expect("profiling was enabled");
+    let text = mogpu::sim::telemetry::prometheus(&[(
+        format!("level {}", profile.level),
+        &profile.telemetry,
+    )]);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+            println!("wrote Prometheus metrics to {}", path.display());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("record") => cmd_bench_record(&args[1..]),
+        Some("check") => cmd_bench_check(&args[1..]),
+        _ => Err("usage: mogpu bench record|check (see `mogpu help`)".into()),
+    }
+}
+
+fn cmd_bench_record(args: &[String]) -> Result<(), String> {
+    let out = PathBuf::from(
+        opt_value(args, "--out")
+            .unwrap_or_else(|| mogpu::bench::baseline::DEFAULT_BASELINE_PATH.into()),
+    );
+    let mut cfg = mogpu::bench::BenchConfig::default();
+    if let Some(v) = opt_value(args, "--frames") {
+        cfg.frames = v.parse().map_err(|_| format!("bad --frames {v:?}"))?;
+    }
+    if let Some(v) = opt_value(args, "--k") {
+        cfg.k = v.parse().map_err(|_| format!("bad --k {v:?}"))?;
+    }
+    if let Some(v) = opt_value(args, "--streams") {
+        cfg.streams = v.parse().map_err(|_| format!("bad --streams {v:?}"))?;
+    }
+    cfg.frames = cfg.frames.max(2);
+    cfg.streams = cfg.streams.max(1);
+
+    let baseline = mogpu::bench::baseline::measure(&cfg, mogpu::bench::Tolerances::default());
+    mogpu::bench::baseline::write_baseline(&baseline, &out)
+        .map_err(|e| format!("{}: {e}", out.display()))?;
+    println!(
+        "recorded baseline ({} ladder levels + {}-stream run, {} frames, K={}) to {}",
+        baseline.levels.len(),
+        cfg.streams,
+        cfg.frames - 1,
+        cfg.k,
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_bench_check(args: &[String]) -> Result<(), String> {
+    let path = PathBuf::from(
+        opt_value(args, "--baseline")
+            .unwrap_or_else(|| mogpu::bench::baseline::DEFAULT_BASELINE_PATH.into()),
+    );
+    let json = opt_flag(args, "--json");
+
+    let baseline = mogpu::bench::baseline::read_baseline(&path)?;
+    // Re-measure with the *baseline's* recorded workload shape so the
+    // comparison is apples to apples even if the defaults have moved.
+    let current = mogpu::bench::baseline::measure(&baseline.config, baseline.tolerances);
+    let report = mogpu::bench::baseline::check(&baseline, &current);
+    if json {
+        println!(
+            "{}",
+            mogpu::json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("{}", mogpu::bench::baseline::render_table(&report));
+    }
+    if !report.pass {
+        return Err(format!(
+            "performance drifted beyond tolerance of {}",
+            path.display()
+        ));
     }
     Ok(())
 }

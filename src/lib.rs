@@ -17,7 +17,9 @@
 //! * [`core`] — the paper's contribution: GPU kernels for optimization
 //!   levels A–F and the windowed/tiled variant, plus the host pipeline,
 //! * [`metrics`] — SSIM / MS-SSIM / mask-accuracy metrics for the quality
-//!   study.
+//!   study,
+//! * [`bench`] — the experiment harness and the performance-regression
+//!   baseline gate (`mogpu bench record` / `bench check`).
 //!
 //! ## Quickstart
 //!
@@ -44,6 +46,7 @@
 //! assert_eq!(report.masks.len(), 7);
 //! ```
 
+pub use mogpu_bench as bench;
 pub use mogpu_core as core;
 pub use mogpu_frame as frame;
 pub use mogpu_metrics as metrics;

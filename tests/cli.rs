@@ -1,0 +1,132 @@
+//! End-to-end tests of the `mogpu` binary: help coverage, error paths,
+//! the Prometheus metrics output, and the bench regression gate.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn mogpu(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mogpu"))
+        .args(args)
+        .output()
+        .expect("spawn mogpu")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mogpu_cli_{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn no_args_prints_help_listing_every_subcommand() {
+    let out = mogpu(&[]);
+    assert!(out.status.success(), "no-arg invocation must exit 0");
+    let help = stdout(&out);
+    for cmd in [
+        "info", "demo", "ladder", "run", "profile", "streams", "check", "metrics", "bench", "help",
+    ] {
+        assert!(
+            help.contains(&format!("\n    {cmd} ")),
+            "help does not list subcommand {cmd:?}:\n{help}"
+        );
+    }
+    assert_eq!(stdout(&mogpu(&["help"])), help);
+}
+
+#[test]
+fn unknown_command_fails_with_a_pointer_to_help() {
+    let out = mogpu(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("unknown command"), "stderr: {err}");
+    assert!(err.contains("mogpu help"), "stderr: {err}");
+}
+
+#[test]
+fn run_without_input_writes_prometheus_metrics() {
+    let dir = temp_dir("metrics");
+    let prom = dir.join("m.prom");
+    let out = mogpu(&[
+        "run",
+        "--level",
+        "W",
+        "--frames",
+        "5",
+        "--metrics-out",
+        prom.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&prom).unwrap();
+    assert!(text.starts_with("# HELP "), "exposition head: {text:?}");
+    assert!(text.contains("# TYPE mogpu_sm_occupancy gauge"));
+    assert!(text.contains("mogpu_dram_bandwidth_bytes_per_second{pipeline=\"level W(8)\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_subcommand_emits_an_exposition_to_stdout() {
+    let out = mogpu(&["metrics", "--frames", "4", "--level", "C"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.starts_with("# HELP "));
+    assert!(text.contains("# TYPE mogpu_dram_bytes_total counter"));
+}
+
+#[test]
+fn bench_check_passes_on_an_unmodified_rerun_and_fails_on_a_seeded_regression() {
+    let dir = temp_dir("bench");
+    let baseline = dir.join("baseline.json");
+    let path = baseline.to_str().unwrap();
+
+    let rec = mogpu(&[
+        "bench",
+        "record",
+        "--frames",
+        "2",
+        "--streams",
+        "2",
+        "--out",
+        path,
+    ]);
+    assert!(
+        rec.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&rec.stderr)
+    );
+
+    // Unmodified rerun: every metric diffs at exactly zero.
+    let ok = mogpu(&["bench", "check", "--baseline", path]);
+    assert!(ok.status.success(), "table:\n{}", stdout(&ok));
+    assert!(stdout(&ok).contains("all metrics within tolerance"));
+
+    // Seed a 10% fps regression into the recorded numbers: the fresh
+    // measurement now reads 10% below baseline and must fail the gate.
+    let mut b = mogpu::bench::baseline::read_baseline(&baseline).unwrap();
+    b.levels.get_mut("F").unwrap().fps *= 1.1;
+    mogpu::bench::baseline::write_baseline(&b, &baseline).unwrap();
+    let bad = mogpu(&["bench", "check", "--baseline", path]);
+    assert!(!bad.status.success(), "gate passed a seeded regression");
+    assert!(stdout(&bad).contains("FAIL"), "table:\n{}", stdout(&bad));
+
+    // --json mirrors the verdict machine-readably.
+    let json_out = mogpu(&["bench", "check", "--baseline", path, "--json"]);
+    assert!(!json_out.status.success());
+    let doc: mogpu::json::Value = mogpu::json::from_str(stdout(&json_out).trim()).unwrap();
+    assert_eq!(doc["pass"], mogpu::json::Value::Bool(false));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_without_a_subcommand_errors() {
+    let out = mogpu(&["bench"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("record|check"));
+}

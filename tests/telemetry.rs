@@ -1,0 +1,401 @@
+//! Integration tests for the time-resolved telemetry subsystem: the
+//! Prometheus text exposition (parsed back with a small round-trip
+//! parser), the series embedded in run reports, the Chrome-trace counter
+//! tracks, and the byte-stable canonical serialization.
+
+use mogpu::json::Value;
+use mogpu::prelude::*;
+use mogpu::sim::telemetry::prometheus;
+use std::collections::BTreeMap;
+
+fn scene_frames(n: usize) -> Vec<Frame<u8>> {
+    SceneBuilder::new(Resolution::TINY)
+        .seed(11)
+        .walkers(2)
+        .build()
+        .render_sequence(n)
+        .0
+        .into_frames()
+}
+
+fn run(level: OptLevel, frames: &[Frame<u8>]) -> RunReport {
+    let mut gpu = GpuMog::<f64>::new(
+        Resolution::TINY,
+        MogParams::default(),
+        level,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .unwrap();
+    gpu.process_all(&frames[1..]).unwrap()
+}
+
+fn profiled_run(level: OptLevel, frames: &[Frame<u8>]) -> ProfileReport {
+    let mut gpu = GpuMog::<f64>::new(
+        Resolution::TINY,
+        MogParams::default(),
+        level,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .unwrap();
+    gpu.set_profile_mode(ProfileMode::On);
+    gpu.process_all(&frames[1..]).unwrap();
+    gpu.take_profile_report().unwrap()
+}
+
+// ---- a small Prometheus text-format parser for round-trip checks ----
+
+#[derive(Debug)]
+struct Sample {
+    labels: BTreeMap<String, String>,
+    value: f64,
+}
+
+#[derive(Debug, Default)]
+struct Exposition {
+    /// `# HELP` texts keyed by metric name.
+    help: BTreeMap<String, String>,
+    /// `# TYPE` values ("gauge" / "counter") keyed by metric name.
+    types: BTreeMap<String, String>,
+    /// Samples keyed by metric name, in exposition order.
+    samples: BTreeMap<String, Vec<Sample>>,
+}
+
+/// Unescapes a Prometheus label value: `\\`, `\"`, and `\n`.
+fn unescape(s: &str) -> String {
+    let mut out = String::new();
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                other => panic!("bad escape \\{other:?} in label value {s:?}"),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Splits `name{l1="v1",l2="v2"} value` into its parts, honoring escapes.
+fn parse_sample_line(line: &str) -> (String, Sample) {
+    let brace = line.find('{');
+    let (name, rest) = match brace {
+        Some(i) => (&line[..i], &line[i..]),
+        None => {
+            let mut it = line.splitn(2, ' ');
+            let name = it.next().unwrap();
+            let value: f64 = it.next().expect("value").trim().parse().expect("f64");
+            return (
+                name.to_string(),
+                Sample {
+                    labels: BTreeMap::new(),
+                    value,
+                },
+            );
+        }
+    };
+    assert!(rest.starts_with('{'), "malformed sample line {line:?}");
+    // Scan the label block char by char; a raw '}' only terminates it
+    // outside a quoted value.
+    let mut labels = BTreeMap::new();
+    let mut chars = rest.char_indices().skip(1).peekable();
+    let mut end = None;
+    loop {
+        // Label name up to '='.
+        let mut label = String::new();
+        loop {
+            match chars.next() {
+                Some((i, '}')) => {
+                    assert!(label.is_empty(), "dangling label name in {line:?}");
+                    end = Some(i);
+                    break;
+                }
+                Some((_, '=')) => break,
+                Some((_, c)) => label.push(c),
+                None => panic!("unterminated label block in {line:?}"),
+            }
+        }
+        if label.is_empty() {
+            break;
+        }
+        assert_eq!(chars.next().map(|(_, c)| c), Some('"'), "in {line:?}");
+        let mut raw = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '\\')) => {
+                    raw.push('\\');
+                    raw.push(chars.next().expect("escaped char").1);
+                }
+                Some((_, '"')) => break,
+                Some((_, c)) => raw.push(c),
+                None => panic!("unterminated label value in {line:?}"),
+            }
+        }
+        labels.insert(label, unescape(&raw));
+        if let Some(&(_, ',')) = chars.peek() {
+            chars.next();
+        }
+    }
+    let end = end.expect("label block must close");
+    let value_text = rest[end + 1..].trim();
+    let value: f64 = value_text.parse().unwrap_or_else(|_| {
+        assert_eq!(value_text, "NaN", "unparsable value in {line:?}");
+        f64::NAN
+    });
+    (name.to_string(), Sample { labels, value })
+}
+
+/// Parses a full exposition, asserting the structural invariants: every
+/// line is a comment or a sample, and each metric's `# HELP` and
+/// `# TYPE` appear exactly once, before its first sample.
+fn parse_exposition(text: &str) -> Exposition {
+    let mut exp = Exposition::default();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let mut it = rest.splitn(2, ' ');
+            let name = it.next().unwrap().to_string();
+            let help = it.next().expect("help text").to_string();
+            assert!(
+                exp.help.insert(name.clone(), help).is_none(),
+                "duplicate # HELP for {name}"
+            );
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.splitn(2, ' ');
+            let name = it.next().unwrap().to_string();
+            let ty = it.next().expect("type").to_string();
+            assert!(
+                ["gauge", "counter"].contains(&ty.as_str()),
+                "bad type {ty:?} for {name}"
+            );
+            assert!(
+                exp.types.insert(name.clone(), ty).is_none(),
+                "duplicate # TYPE for {name}"
+            );
+        } else {
+            assert!(!line.starts_with('#'), "unrecognized comment {line:?}");
+            let (name, sample) = parse_sample_line(line);
+            assert!(
+                exp.help.contains_key(&name) && exp.types.contains_key(&name),
+                "sample for {name} before its # HELP/# TYPE"
+            );
+            exp.samples.entry(name).or_default().push(sample);
+        }
+    }
+    exp
+}
+
+// ---- exposition round trip ----
+
+#[test]
+fn prometheus_round_trips_and_matches_the_report_series() {
+    let frames = scene_frames(10);
+    let report = run(OptLevel::Windowed { group: 8 }, &frames);
+    let t = &report.telemetry;
+    let text = prometheus(&[("level W(8)".to_string(), t)]);
+    let exp = parse_exposition(&text);
+
+    // Every emitted metric carries help and type.
+    for name in exp.samples.keys() {
+        assert!(name.starts_with("mogpu_"), "unprefixed metric {name}");
+    }
+    assert_eq!(exp.types["mogpu_sm_occupancy"], "gauge");
+    assert_eq!(exp.types["mogpu_dram_bytes_total"], "counter");
+
+    // Per-SM gauge samples reproduce the serialized series bit for bit:
+    // both sides print through the same shortest-round-trip formatter.
+    let occ = &exp.samples["mogpu_sm_occupancy"];
+    assert_eq!(occ.len(), t.sm.len() * t.samples());
+    for s in occ {
+        let sm: usize = s.labels["sm"].parse().unwrap();
+        let q: usize = s.labels["q"].parse().unwrap();
+        assert_eq!(s.labels["pipeline"], "level W(8)");
+        assert!(
+            s.value == t.sm[sm].occupancy[q],
+            "sm {sm} q {q}: {} != {}",
+            s.value,
+            t.sm[sm].occupancy[q]
+        );
+    }
+    let bw = &exp.samples["mogpu_dram_bandwidth_bytes_per_second"];
+    assert_eq!(bw.len(), t.samples());
+    for s in bw {
+        let q: usize = s.labels["q"].parse().unwrap();
+        assert!(s.value == t.dram_bandwidth[q]);
+    }
+}
+
+#[test]
+fn telemetry_series_integrate_back_to_the_aggregate_counters() {
+    // The acceptance bar of the subsystem: the time-resolved series must
+    // be consistent with the aggregate report to 1e-9 relative error.
+    let frames = scene_frames(10);
+    let report = run(OptLevel::Windowed { group: 8 }, &frames);
+    let t = &report.telemetry;
+    let cfg = GpuConfig::tesla_c2075();
+
+    let total = report.stats.bytes_transacted(&cfg) as f64;
+    assert!(total > 0.0);
+    assert!(
+        (t.total_dram_bytes() - total).abs() / total < 1e-9,
+        "series integrate to {} DRAM bytes, aggregate says {total}",
+        t.total_dram_bytes()
+    );
+    assert!(
+        (t.mean_busy_occupancy() - report.occupancy.occupancy).abs() < 1e-9,
+        "busy-weighted occupancy {} vs aggregate {}",
+        t.mean_busy_occupancy(),
+        report.occupancy.occupancy
+    );
+}
+
+#[test]
+fn dram_byte_counter_is_monotone_in_time() {
+    let frames = scene_frames(8);
+    let a = run(OptLevel::A, &frames);
+    let f = run(OptLevel::F, &frames);
+    let text = prometheus(&[
+        ("level A".to_string(), &a.telemetry),
+        ("level F".to_string(), &f.telemetry),
+    ]);
+    let exp = parse_exposition(&text);
+    // Group the counter samples per pipeline, order by the q label.
+    let mut per_pipeline: BTreeMap<String, Vec<(usize, f64)>> = BTreeMap::new();
+    for s in &exp.samples["mogpu_dram_bytes_total"] {
+        per_pipeline
+            .entry(s.labels["pipeline"].clone())
+            .or_default()
+            .push((s.labels["q"].parse().unwrap(), s.value));
+    }
+    assert_eq!(per_pipeline.len(), 2);
+    for (pipeline, mut samples) in per_pipeline {
+        samples.sort_by_key(|&(q, _)| q);
+        for w in samples.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1,
+                "{pipeline}: counter decreases at q {}",
+                w[1].0
+            );
+        }
+        assert!(samples.last().unwrap().1 > 0.0, "{pipeline}: empty counter");
+    }
+}
+
+#[test]
+fn hostile_pipeline_labels_survive_the_round_trip() {
+    let frames = scene_frames(4);
+    let report = run(OptLevel::C, &frames);
+    let evil = "cam\\era \"7\"\nbasement";
+    let text = prometheus(&[(evil.to_string(), &report.telemetry)]);
+    let exp = parse_exposition(&text);
+    for samples in exp.samples.values() {
+        for s in samples {
+            assert_eq!(s.labels["pipeline"], evil);
+        }
+    }
+}
+
+// ---- embedded report series and Chrome-trace counters ----
+
+#[test]
+fn profile_report_embeds_the_telemetry_series_as_json() {
+    let frames = scene_frames(6);
+    let report = profiled_run(OptLevel::F, &frames);
+    let json = mogpu::json::to_value(&report).unwrap();
+    let t = &json["telemetry"];
+    assert_eq!(
+        t["num_sms"],
+        Value::U64(GpuConfig::tesla_c2075().num_sms as u64)
+    );
+    let sm = t["sm"].as_array().expect("per-SM series array");
+    assert_eq!(sm.len(), GpuConfig::tesla_c2075().num_sms as usize);
+    // The serialized series deserializes back to the identical value.
+    let back: mogpu::sim::PipelineTelemetry =
+        mogpu::json::from_value(t.clone()).expect("telemetry round-trips");
+    assert_eq!(back.samples(), report.telemetry.samples());
+    assert_eq!(back.sm[0].occupancy, report.telemetry.sm[0].occupancy);
+    assert_eq!(back.dram_bandwidth, report.telemetry.dram_bandwidth);
+}
+
+#[test]
+fn chrome_trace_gains_counter_tracks_on_the_same_clock() {
+    let frames = scene_frames(6);
+    let report = profiled_run(OptLevel::C, &frames);
+    let mut builder = mogpu::sim::chrome_trace::TraceBuilder::new();
+    let pid = builder.add_pipeline("level C", &report.schedule);
+    builder.add_counters(pid, &report.telemetry);
+    let trace = mogpu::json::to_value(&builder.finish()).unwrap();
+    let events = trace["traceEvents"].as_array().unwrap();
+    let counters: Vec<&Value> = events
+        .iter()
+        .filter(|e| e["ph"] == Value::String("C".into()))
+        .collect();
+    assert!(!counters.is_empty(), "no counter events in trace");
+    let makespan_us = 1e6 * report.telemetry.makespan;
+    for e in &counters {
+        assert_eq!(e["pid"], Value::U64(pid));
+        let ts = e["ts"].as_f64().expect("numeric ts");
+        assert!(
+            ts >= 0.0 && ts <= makespan_us + 1e-9,
+            "counter ts {ts} outside [0, {makespan_us}]"
+        );
+    }
+}
+
+#[test]
+fn multi_stream_report_carries_device_wide_telemetry() {
+    let frames_a = scene_frames(6);
+    let frames_b = SceneBuilder::new(Resolution::TINY)
+        .seed(12)
+        .walkers(3)
+        .build()
+        .render_sequence(6)
+        .0
+        .into_frames();
+    let seeds: Vec<&[u8]> = vec![frames_a[0].as_slice(), frames_b[0].as_slice()];
+    let mut multi = MultiGpuMog::<f64>::new(
+        Resolution::TINY,
+        MogParams::default(),
+        OptLevel::F,
+        &seeds,
+        GpuConfig::tesla_c2075(),
+    )
+    .unwrap();
+    let inputs = vec![frames_a[1..].to_vec(), frames_b[1..].to_vec()];
+    let report = multi.process_all(&inputs).unwrap();
+    let t = &report.telemetry;
+    assert!(t.samples() > 0);
+    assert!((t.makespan - report.makespan).abs() < 1e-12);
+    for q in 0..t.samples() {
+        assert!((0.0..=1.0).contains(&t.copy_engine_utilization[q]));
+        assert!((0.0..=1.0).contains(&t.l2_hit_rate[q]));
+    }
+    // Both streams' kernels hit DRAM, so the device-wide series is live.
+    assert!(t.total_dram_bytes() > 0.0);
+}
+
+// ---- deterministic serialization ----
+
+#[test]
+fn canonical_report_serialization_is_byte_stable() {
+    let frames = scene_frames(6);
+    let first =
+        mogpu::json::to_string_canonical_pretty(&profiled_run(OptLevel::F, &frames)).unwrap();
+    let second =
+        mogpu::json::to_string_canonical_pretty(&profiled_run(OptLevel::F, &frames)).unwrap();
+    assert_eq!(first, second);
+    // Canonical form sorts keys: reserializing a parsed document is a
+    // fixed point.
+    let parsed: Value = mogpu::json::from_str(&first).unwrap();
+    assert_eq!(
+        mogpu::json::to_string_canonical_pretty(&parsed).unwrap(),
+        first
+    );
+}

@@ -103,6 +103,22 @@ impl Value {
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
     }
+
+    /// Recursively sorts object keys (stable, so duplicate keys keep
+    /// their relative order). Struct serialization already emits fields
+    /// in declaration order; sorting on top makes the rendered text
+    /// independent of insertion order everywhere — the canonical form
+    /// used for files under `results/` so their diffs are byte-stable.
+    pub fn sort_keys(&mut self) {
+        match self {
+            Value::Array(a) => a.iter_mut().for_each(Value::sort_keys),
+            Value::Object(m) => {
+                m.iter_mut().for_each(|(_, v)| v.sort_keys());
+                m.sort_by(|(a, _), (b, _)| a.cmp(b));
+            }
+            _ => {}
+        }
+    }
 }
 
 impl std::ops::Index<&str> for Value {

@@ -52,6 +52,25 @@ pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Strin
     Ok(serde::PrettyValue(&value.to_json_value()).to_string())
 }
 
+/// Canonical compact JSON text: object keys recursively sorted, floats
+/// in shortest-round-trip form. Two structurally equal values always
+/// render to identical bytes.
+pub fn to_string_canonical<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut v = value.to_json_value();
+    v.sort_keys();
+    Ok(v.to_string())
+}
+
+/// Canonical two-space-indented JSON text (sorted keys), for files that
+/// are checked into git and must diff byte-stably.
+pub fn to_string_canonical_pretty<T: serde::Serialize + ?Sized>(
+    value: &T,
+) -> Result<String, Error> {
+    let mut v = value.to_json_value();
+    v.sort_keys();
+    Ok(serde::PrettyValue(&v).to_string())
+}
+
 /// Parses JSON text into a `Deserialize` type (commonly [`Value`]).
 pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
     let mut p = Parser {
@@ -331,5 +350,28 @@ mod tests {
     #[test]
     fn rejects_trailing_garbage() {
         assert!(from_str::<Value>("{} x").is_err());
+    }
+
+    #[test]
+    fn canonical_is_insertion_order_independent() {
+        let a = json!({"b": 1u64, "a": [json!({"y": 2u64, "x": 3u64})]});
+        let b = json!({"a": [json!({"x": 3u64, "y": 2u64})], "b": 1u64});
+        assert_eq!(
+            to_string_canonical(&a).unwrap(),
+            to_string_canonical(&b).unwrap()
+        );
+        assert_eq!(
+            to_string_canonical(&a).unwrap(),
+            r#"{"a":[{"x":3,"y":2}],"b":1}"#
+        );
+        assert_eq!(
+            to_string_canonical_pretty(&a).unwrap(),
+            to_string_canonical_pretty(&b).unwrap()
+        );
+        // Repeated rendering is byte-identical.
+        assert_eq!(
+            to_string_canonical_pretty(&a).unwrap(),
+            to_string_canonical_pretty(&a).unwrap()
+        );
     }
 }
