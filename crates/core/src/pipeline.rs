@@ -150,6 +150,7 @@ pub struct GpuMog<T: DeviceReal> {
     model: DeviceModel<T>,
     frame_bufs: Vec<Buffer>,
     fg_bufs: Vec<Buffer>,
+    threads_per_block: u32,
     profile: ProfileMode,
     last_profile: Option<ProfileReport>,
     sanitize: bool,
@@ -206,6 +207,7 @@ impl<T: DeviceReal> GpuMog<T> {
             model,
             frame_bufs,
             fg_bufs,
+            threads_per_block: THREADS_PER_BLOCK,
             profile: ProfileMode::Off,
             last_profile: None,
             sanitize: false,
@@ -232,6 +234,16 @@ impl<T: DeviceReal> GpuMog<T> {
     /// The simulated hardware configuration.
     pub fn config(&self) -> &GpuConfig {
         &self.cfg
+    }
+
+    /// Overrides the launch block size (default
+    /// [`THREADS_PER_BLOCK`]). Oversized blocks can make the kernel
+    /// unlaunchable — `process_all` then fails with
+    /// `LaunchError::ResourcesExceeded` wrapped in
+    /// [`PipelineError::Launch`], which `mogpu advise` surfaces as a
+    /// structured diagnostic.
+    pub fn set_threads_per_block(&mut self, tpb: u32) {
+        self.threads_per_block = tpb.max(1);
     }
 
     /// Enables or disables profiling for subsequent `process_all` calls.
@@ -287,7 +299,7 @@ impl<T: DeviceReal> GpuMog<T> {
             prm: self.prm,
             resources: self
                 .level
-                .resources(THREADS_PER_BLOCK, self.params.k, T::BYTES),
+                .resources(self.threads_per_block, self.params.k, T::BYTES),
         }
     }
 
@@ -301,7 +313,7 @@ impl<T: DeviceReal> GpuMog<T> {
         for (slot, frame) in frames.iter().enumerate() {
             self.mem.upload(self.frame_bufs[slot], frame.as_slice());
         }
-        let lc = LaunchConfig::cover(pixels, THREADS_PER_BLOCK);
+        let lc = LaunchConfig::cover(pixels, self.threads_per_block);
         let opts = LaunchOptions {
             profile_sites: self.profile.is_on(),
             sanitize: self.sanitize,

@@ -10,8 +10,12 @@
 //! additionally assembles a [`ProfileReport`] retrievable with
 //! [`GpuMog::take_profile_report`](crate::GpuMog::take_profile_report).
 
+use mogpu_sim::advisor::{advise, roofline, AdvisorInput, Advisory, Roofline};
 use mogpu_sim::dma::{FrameSpans, OverlapMode, PipelineTiming};
 use mogpu_sim::profile::render_rows;
+use mogpu_sim::stallreasons::{
+    dma_starvation, kernel_stalls, site_stalls, SiteStallRow, StallBreakdown,
+};
 use mogpu_sim::telemetry::{sample_pipeline, KernelSlice, PipelineTelemetry, TelemetryConfig};
 use mogpu_sim::timing::Bound;
 use mogpu_sim::{
@@ -144,6 +148,19 @@ pub struct ProfileReport {
     /// Time-resolved per-SM and device-wide counter series over the
     /// pipeline schedule (same clock as `schedule` / the Chrome trace).
     pub telemetry: PipelineTelemetry,
+    /// Stall-reason decomposition of the modelled kernel time (buckets
+    /// sum to `timing.total`).
+    pub stalls: StallBreakdown,
+    /// The kernel decomposition distributed over source sites (rows sum
+    /// to `timing.total`).
+    pub site_stalls: Vec<SiteStallRow>,
+    /// Compute-engine idle seconds over the run (DMA/overlap
+    /// starvation) — a pipeline-level stall outside the kernel identity.
+    pub dma_starvation: f64,
+    /// Roofline placement of the summed counters.
+    pub roofline: Roofline,
+    /// Ranked recommendations from the rules engine.
+    pub advisories: Vec<Advisory>,
 }
 
 impl ProfileReport {
@@ -224,6 +241,26 @@ impl ProfileReport {
                 schedule.iter().flat_map(|f| [f.h2d, f.d2h]).collect();
             sample_pipeline(&slices, &copies, cfg, &TelemetryConfig::default())
         };
+        let hotspots = sites.ranked_rows();
+        let stalls = kernel_stalls(&stats, &timing, &occupancy);
+        let site_stall_rows = site_stalls(&hotspots, &stats, &timing, &occupancy);
+        let starvation = dma_starvation(&schedule);
+        let roof = roofline(&stats, &timing, cfg);
+        let advisories = advise(&AdvisorInput {
+            stats: &stats,
+            metrics: &metrics,
+            occupancy: &occupancy,
+            timing: &timing,
+            stalls: &stalls,
+            roofline: &roof,
+            hotspots: &hotspots,
+            overlap,
+            h2d_per_frame,
+            d2h_per_frame,
+            dma_starvation: starvation,
+            frames,
+            cfg,
+        });
         ProfileReport {
             level,
             frames,
@@ -240,8 +277,13 @@ impl ProfileReport {
             frame_rate_history,
             schedule,
             launches,
-            hotspots: sites.ranked_rows(),
+            hotspots,
             telemetry,
+            stalls,
+            site_stalls: site_stall_rows,
+            dma_starvation: starvation,
+            roofline: roof,
+            advisories,
         }
     }
 
@@ -279,10 +321,28 @@ impl ProfileReport {
             self.metrics.total_transactions,
         ));
         out.push_str(&format!(
-            "  occupancy {:.0}% ({} resident warps/SM)\n",
+            "  occupancy {:.0}% ({} resident warps/SM, {:?}-limited)\n",
             self.occupancy.occupancy * 100.0,
             self.occupancy.resident_warps,
+            self.occupancy.limiter,
         ));
+        let (reason, secs) = self.stalls.dominant();
+        out.push_str(&format!(
+            "  stalls: {} dominates at {:.3} ms of {:.3} ms; DMA starvation {:.3} ms\n",
+            reason,
+            secs * 1e3,
+            self.stalls.sum() * 1e3,
+            self.dma_starvation * 1e3,
+        ));
+        if let Some(top) = self.advisories.first() {
+            out.push_str(&format!(
+                "  advisor: {:?} ({}) — est. {:.3} ms saved ({:.2}x)\n",
+                top.transform,
+                top.rule,
+                top.estimated_benefit_s * 1e3,
+                top.estimated_speedup,
+            ));
+        }
         if !self.hotspots.is_empty() {
             out.push_str(&format!("  top {} hotspots:\n", n.min(self.hotspots.len())));
             for line in render_rows(&self.hotspots, n).lines() {

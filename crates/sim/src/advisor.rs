@@ -1,0 +1,670 @@
+//! Guided-analysis advisor: a roofline placement plus a deterministic
+//! rules engine that turns the profiler's evidence — [`KernelStats`],
+//! [`DerivedMetrics`], the stall-reason decomposition of
+//! [`crate::stallreasons`], and the pipeline schedule — into ranked,
+//! actionable [`Advisory`] records, the way Nsight Compute's guided
+//! analysis maps metrics to recommended transforms.
+//!
+//! Every rule is a pure function of its evidence: given the same report
+//! it fires (or not) with the same estimated benefit, and advisories are
+//! ranked by that benefit with the rule id as a stable tie-break. The
+//! benefit of each transform is *estimated from the analytic timing
+//! model itself* — the rule builds the counterfactual counter set its
+//! transform would produce and re-evaluates
+//! [`crate::timing::kernel_time`], so the advisor's ranking reproduces
+//! the paper's optimization ladder because the model that ranks the
+//! advice is the model that generated the measurements.
+//!
+//! Rule ordering mirrors the paper's diagnosis sequence (Section IV):
+//! coalescing before overlap before divergence work before occupancy
+//! before tiling. Two orderings are encoded as gates rather than
+//! benefit magnitudes, both with an engineering rationale the paper
+//! shares: *predication* is only recommended once the rank-sort's
+//! data-dependent control flow is gone (the sort dominates divergence
+//! until then, and predicating it is not meaningful), and *shared-memory
+//! tiling* is only recommended once register pressure no longer caps
+//! occupancy (tiling spends shared memory, which lowers occupancy
+//! further — raise the ceiling first).
+
+use crate::config::GpuConfig;
+use crate::dma::OverlapMode;
+use crate::occupancy::{Limiter, Occupancy};
+use crate::profile::HotspotRow;
+use crate::stallreasons::StallBreakdown;
+use crate::stats::{DerivedMetrics, KernelStats};
+use crate::timing::{kernel_time, Bound, KernelTiming};
+use serde::Serialize;
+
+/// Where a kernel sits against the machine's compute and memory ceilings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Roofline {
+    /// Scalar floating-point operations executed (f32 + f64).
+    pub flops: f64,
+    /// Bytes moved across the DRAM interface.
+    pub dram_bytes: f64,
+    /// FLOPs per DRAM byte.
+    pub arithmetic_intensity: f64,
+    /// FLOPs per second the kernel achieved under the modelled time.
+    pub achieved_flops: f64,
+    /// Compute ceiling, derated by the kernel's f64 issue mix.
+    pub peak_compute_flops: f64,
+    /// Memory ceiling: effective DRAM bandwidth (bytes/s).
+    pub peak_memory_bw: f64,
+    /// Intensity where the two ceilings meet (FLOPs/byte).
+    pub ridge_intensity: f64,
+    /// The ceiling above this kernel's intensity (FLOPs/s).
+    pub ceiling_flops: f64,
+    /// True when the kernel sits under the compute ceiling (right of the
+    /// ridge), false when the memory slope bounds it.
+    pub compute_bound: bool,
+}
+
+/// Places a kernel on the roofline derived from [`GpuConfig`] peaks.
+pub fn roofline(stats: &KernelStats, timing: &KernelTiming, cfg: &GpuConfig) -> Roofline {
+    let f32s = stats.flops_f32 as f64;
+    let f64s = stats.flops_f64 as f64;
+    let flops = f32s + f64s;
+    // Derate the f32 peak by the kernel's average issue cost per FLOP:
+    // a pure-f64 kernel sees 1/f64_issue_cost of the single-precision
+    // rate, matching the issue weighting of the timing model.
+    let mix = if flops > 0.0 {
+        (f32s + f64s * cfg.f64_issue_cost) / flops
+    } else {
+        1.0
+    };
+    let peak_compute_flops = cfg.peak_f32_flops() / mix;
+    let peak_memory_bw = cfg.dram_peak_bw * cfg.dram_efficiency;
+    let dram_bytes = stats.bytes_transacted(cfg) as f64;
+    let arithmetic_intensity = flops / dram_bytes.max(1.0);
+    let achieved_flops = if timing.total > 0.0 {
+        flops / timing.total
+    } else {
+        0.0
+    };
+    let ridge_intensity = peak_compute_flops / peak_memory_bw;
+    let memory_ceiling = arithmetic_intensity * peak_memory_bw;
+    let compute_bound = peak_compute_flops <= memory_ceiling;
+    Roofline {
+        flops,
+        dram_bytes,
+        arithmetic_intensity,
+        achieved_flops,
+        peak_compute_flops,
+        peak_memory_bw,
+        ridge_intensity,
+        ceiling_flops: peak_compute_flops.min(memory_ceiling),
+        compute_bound,
+    }
+}
+
+/// The source-level transform an advisory recommends — the paper's
+/// optimization vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Transform {
+    /// Restructure AoS layouts to SoA so warps touch full segments
+    /// (paper level A -> B).
+    CoalesceMemory,
+    /// Double-buffer DMA against kernel execution (B -> C).
+    OverlapTransfers,
+    /// Replace the data-dependent rank sort with an unconditional scan
+    /// (C -> D).
+    RemoveRankSort,
+    /// Predicate the divergent update paths (D -> E).
+    PredicateBranches,
+    /// Trade registers for recomputation to raise occupancy (E -> F).
+    ReduceRegisters,
+    /// Stage frame groups through shared memory (F -> W).
+    TileSharedMemory,
+    /// Pad or re-stride shared records to avoid bank conflicts.
+    PadSharedMemory,
+    /// Shrink the launch footprint (block size, registers, shared bytes)
+    /// until the kernel becomes resident at all.
+    ShrinkLaunchFootprint,
+}
+
+/// One named evidence metric backing an advisory.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Evidence {
+    /// Metric name, e.g. `mem_access_efficiency`.
+    pub metric: String,
+    /// Observed value.
+    pub value: f64,
+}
+
+impl Evidence {
+    fn new(metric: &str, value: f64) -> Self {
+        Evidence {
+            metric: metric.to_string(),
+            value,
+        }
+    }
+}
+
+/// One ranked recommendation from the rules engine.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Advisory {
+    /// Stable rule identifier, e.g. `coalesce-global-memory`.
+    pub rule: String,
+    /// Recommended source transform.
+    pub transform: Transform,
+    /// Human-readable diagnosis.
+    pub finding: String,
+    /// The metrics that fired the rule.
+    pub evidence: Vec<Evidence>,
+    /// `file:line` sites implicated by the evidence (may be empty for
+    /// whole-pipeline findings such as transfer overlap).
+    pub sites: Vec<String>,
+    /// Modelled seconds the transform saves over the profiled run.
+    pub estimated_benefit_s: f64,
+    /// Modelled speedup of the affected stage (kernel, or pipeline for
+    /// transfer rules).
+    pub estimated_speedup: f64,
+}
+
+/// Everything the rules engine reads. All references borrow from the
+/// profile report being analyzed.
+#[derive(Debug, Clone, Copy)]
+pub struct AdvisorInput<'a> {
+    /// Summed launch counters.
+    pub stats: &'a KernelStats,
+    /// Derived profiler metrics of those counters.
+    pub metrics: &'a DerivedMetrics,
+    /// Kernel occupancy.
+    pub occupancy: &'a Occupancy,
+    /// Roofline timing decomposition.
+    pub timing: &'a KernelTiming,
+    /// Stall-reason decomposition of the modelled time.
+    pub stalls: &'a StallBreakdown,
+    /// Roofline placement.
+    pub roofline: &'a Roofline,
+    /// Ranked source hotspots.
+    pub hotspots: &'a [HotspotRow],
+    /// Transfer scheduling mode of the run.
+    pub overlap: OverlapMode,
+    /// Modelled host-to-device seconds per frame.
+    pub h2d_per_frame: f64,
+    /// Modelled device-to-host seconds per frame.
+    pub d2h_per_frame: f64,
+    /// Compute-engine idle seconds over the run (DMA starvation).
+    pub dma_starvation: f64,
+    /// Frames in the run.
+    pub frames: usize,
+    /// Device model.
+    pub cfg: &'a GpuConfig,
+}
+
+/// Assumed traffic-reduction factor of shared-memory frame tiling: the
+/// paper's windowed kernel reuses model parameters across a group of
+/// this many frames.
+const TILE_GROUP: f64 = 8.0;
+
+/// Fraction of a divergent region's serialized issue that source-level
+/// predication removes (both paths still execute; the branch overhead
+/// and half the duplicated control flow fold away).
+const PREDICATION_RECOVERY: f64 = 0.5;
+
+fn speedup(old: f64, new: f64) -> f64 {
+    if new > 0.0 {
+        old / new
+    } else {
+        1.0
+    }
+}
+
+fn retime(stats: &KernelStats, occ: &Occupancy, cfg: &GpuConfig) -> f64 {
+    kernel_time(stats, occ, cfg).total
+}
+
+/// Top sites by a ranking key, rendered as `file:line` strings.
+fn top_sites<F: Fn(&HotspotRow) -> u64>(hotspots: &[HotspotRow], key: F, n: usize) -> Vec<String> {
+    let mut ranked: Vec<&HotspotRow> = hotspots.iter().filter(|r| key(r) > 0).collect();
+    ranked.sort_by(|a, b| key(b).cmp(&key(a)).then_with(|| a.source.cmp(&b.source)));
+    ranked
+        .into_iter()
+        .take(n)
+        .filter_map(|r| r.source.clone())
+        .collect()
+}
+
+/// Ideal fully-coalesced transaction count for a byte demand.
+fn ideal_tx(bytes_requested: u64, segment: u64) -> u64 {
+    bytes_requested.div_ceil(segment.max(1))
+}
+
+/// Runs every rule and returns the advisories ranked by estimated
+/// benefit (descending; rule id breaks ties), deterministically.
+pub fn advise(input: &AdvisorInput) -> Vec<Advisory> {
+    let mut out = Vec::new();
+    let stats = input.stats;
+    let cfg = input.cfg;
+    let timing = input.timing;
+    let occ = input.occupancy;
+    let seg = cfg.segment_bytes;
+
+    // --- coalesce-global-memory: uncoalesced access patterns multiply
+    // the transaction count; model the SoA layout as every class moving
+    // its ideal segment count.
+    if input.metrics.mem_access_efficiency < 0.5 {
+        let mut c = stats.clone();
+        c.global_load_tx = ideal_tx(c.global_load_bytes_requested, seg);
+        c.global_store_tx = ideal_tx(c.global_store_bytes_requested, seg);
+        c.local_load_tx = ideal_tx(c.local_load_bytes_requested, seg);
+        c.local_store_tx = ideal_tx(c.local_store_bytes_requested, seg);
+        let new_total = retime(&c, occ, cfg);
+        let benefit = (timing.total - new_total).max(0.0);
+        if benefit > 0.0 {
+            out.push(Advisory {
+                rule: "coalesce-global-memory".into(),
+                transform: Transform::CoalesceMemory,
+                finding: format!(
+                    "only {:.0}% of transacted DRAM bytes were requested by lanes; \
+                     restructure the layout (AoS -> SoA) so each warp touches whole \
+                     {seg} B segments",
+                    input.metrics.mem_access_efficiency * 100.0,
+                ),
+                evidence: vec![
+                    Evidence::new("mem_access_efficiency", input.metrics.mem_access_efficiency),
+                    Evidence::new("gld_efficiency", input.metrics.gld_efficiency),
+                    Evidence::new("gst_efficiency", input.metrics.gst_efficiency),
+                    Evidence::new("total_transactions", stats.total_tx() as f64),
+                ],
+                sites: top_sites(
+                    input.hotspots,
+                    |r| {
+                        // Weight by wasted transactions: tx beyond the
+                        // site's own ideal count.
+                        r.stats
+                            .transactions
+                            .saturating_sub(ideal_tx(r.stats.bytes_requested, seg))
+                    },
+                    3,
+                ),
+                estimated_benefit_s: benefit,
+                estimated_speedup: speedup(timing.total, new_total),
+            });
+        }
+    }
+
+    // --- overlap-transfers: a sequential pipeline pays both DMA
+    // directions on the critical path; double buffering hides all but
+    // the slower direction behind the kernel.
+    if input.overlap == OverlapMode::Sequential && input.frames > 0 {
+        let kernel_pf = timing.total / input.frames as f64;
+        let seq_pf = input.h2d_per_frame + kernel_pf + input.d2h_per_frame;
+        let dbuf_pf = kernel_pf.max(input.h2d_per_frame).max(input.d2h_per_frame);
+        let benefit = (seq_pf - dbuf_pf).max(0.0) * input.frames as f64;
+        if benefit > 0.0 {
+            out.push(Advisory {
+                rule: "overlap-transfers".into(),
+                transform: Transform::OverlapTransfers,
+                finding: format!(
+                    "the compute engine starves {:.3} ms waiting on sequential PCIe \
+                     transfers; double-buffer uploads and downloads against kernel \
+                     execution",
+                    input.dma_starvation * 1e3,
+                ),
+                evidence: vec![
+                    Evidence::new("dma_starvation_s", input.dma_starvation),
+                    Evidence::new("h2d_per_frame_s", input.h2d_per_frame),
+                    Evidence::new("d2h_per_frame_s", input.d2h_per_frame),
+                    Evidence::new("kernel_per_frame_s", kernel_pf),
+                ],
+                sites: Vec::new(),
+                estimated_benefit_s: benefit,
+                estimated_speedup: speedup(seq_pf, dbuf_pf),
+            });
+        }
+    }
+
+    // --- remove-rank-sort: local-memory traffic is register spill from
+    // the per-pixel rank sort; an unconditional scan needs neither the
+    // spill arrays nor the data-dependent sort loop.
+    let local_tx = stats.local_load_tx + stats.local_store_tx;
+    if local_tx > 0 {
+        let mut c = stats.clone();
+        c.local_load_tx = 0;
+        c.local_store_tx = 0;
+        c.local_load_bytes_requested = 0;
+        c.local_store_bytes_requested = 0;
+        // Each spill slot issued ~1 cycle and moved ~2 segments (f64
+        // array, 32 lanes); fold that issue away with the traffic.
+        c.issue_cycles = (c.issue_cycles - local_tx as f64 / 2.0).max(0.0);
+        let new_total = retime(&c, occ, cfg);
+        let benefit = (timing.total - new_total).max(0.0);
+        if benefit > 0.0 {
+            out.push(Advisory {
+                rule: "remove-rank-sort".into(),
+                transform: Transform::RemoveRankSort,
+                finding: format!(
+                    "{local_tx} local-memory (spill) transactions come from the \
+                     per-pixel rank sort; replace it with an unconditional \
+                     rank-order scan",
+                ),
+                evidence: vec![
+                    Evidence::new("local_transactions", local_tx as f64),
+                    Evidence::new(
+                        "local_tx_share",
+                        local_tx as f64 / stats.total_tx().max(1) as f64,
+                    ),
+                    Evidence::new("branch_efficiency", input.metrics.branch_efficiency),
+                ],
+                sites: top_sites(input.hotspots, |r| r.stats.divergent_branch_slots, 3),
+                estimated_benefit_s: benefit,
+                estimated_speedup: speedup(timing.total, new_total),
+            });
+        }
+    }
+
+    // --- predicate-branches: gated on the sort being gone (until then
+    // the sort owns the divergence and predicating the update path is
+    // premature — the paper's D -> E ordering).
+    if local_tx == 0 && stats.divergent_branch_slots > 0 && input.metrics.branch_efficiency < 1.0 {
+        let divergence = 1.0 - input.metrics.branch_efficiency;
+        // Divergent update paths serialize into two partial-warp slots,
+        // each re-touching its parameter segments: predication folds the
+        // duplicated issue *and* the duplicated DRAM transactions away.
+        let keep = 1.0 - PREDICATION_RECOVERY * divergence;
+        let saved = stats.divergent_branch_slots as f64
+            + PREDICATION_RECOVERY * divergence * stats.issue_cycles;
+        let shrink = |v: u64| (v as f64 * keep).round() as u64;
+        let mut c = stats.clone();
+        c.issue_cycles = (c.issue_cycles - saved).max(0.0);
+        c.global_load_tx = shrink(c.global_load_tx);
+        c.global_store_tx = shrink(c.global_store_tx);
+        let new_total = retime(&c, occ, cfg);
+        let benefit = (timing.total - new_total).max(0.0);
+        if benefit > 0.0 {
+            out.push(Advisory {
+                rule: "predicate-branches".into(),
+                transform: Transform::PredicateBranches,
+                finding: format!(
+                    "branch efficiency is {:.1}%: divergent update paths serialize; \
+                     predicate the per-distribution updates so every lane executes \
+                     one path",
+                    input.metrics.branch_efficiency * 100.0,
+                ),
+                evidence: vec![
+                    Evidence::new("branch_efficiency", input.metrics.branch_efficiency),
+                    Evidence::new(
+                        "divergent_branch_slots",
+                        stats.divergent_branch_slots as f64,
+                    ),
+                    Evidence::new("stall_branch_divergence_s", input.stalls.branch_divergence),
+                ],
+                sites: top_sites(input.hotspots, |r| r.stats.divergent_branch_slots, 3),
+                estimated_benefit_s: benefit,
+                estimated_speedup: speedup(timing.total, new_total),
+            });
+        }
+    }
+
+    // --- reduce-register-pressure: when registers cap residency below
+    // the hardware block limit, freeing registers admits another block
+    // per SM and shrinks the latency bound.
+    let register_rule_applies =
+        occ.limiter == Limiter::Registers && occ.resident_blocks < cfg.max_blocks_per_sm;
+    let mut register_rule_fired = false;
+    if register_rule_applies && occ.resident_blocks > 0 {
+        let warps_per_block = occ.resident_warps / occ.resident_blocks;
+        let blocks = occ.resident_blocks + 1;
+        let warps = (warps_per_block * blocks).min(cfg.max_warps_per_sm);
+        let better = Occupancy {
+            resident_blocks: blocks,
+            resident_warps: warps,
+            resident_threads: warps * cfg.warp_size,
+            occupancy: warps as f64 / cfg.max_warps_per_sm as f64,
+            limiter: occ.limiter,
+        };
+        let new_total = retime(stats, &better, cfg);
+        let benefit = (timing.total - new_total).max(0.0);
+        if benefit > 0.0 {
+            register_rule_fired = true;
+            out.push(Advisory {
+                rule: "reduce-register-pressure".into(),
+                transform: Transform::ReduceRegisters,
+                finding: format!(
+                    "registers cap occupancy at {:.0}% ({} blocks/SM); recompute \
+                     cheap intermediates instead of keeping them live to fit \
+                     another block",
+                    occ.occupancy * 100.0,
+                    occ.resident_blocks,
+                ),
+                evidence: vec![
+                    Evidence::new("occupancy", occ.occupancy),
+                    Evidence::new("resident_blocks", occ.resident_blocks as f64),
+                    Evidence::new("stall_latency_exposure_s", input.stalls.latency_exposure),
+                ],
+                sites: Vec::new(),
+                estimated_benefit_s: benefit,
+                estimated_speedup: speedup(timing.total, new_total),
+            });
+        }
+    }
+
+    // --- tile-shared-memory: gated on register pressure being resolved
+    // (tiling spends shared memory, which costs occupancy — raise that
+    // ceiling first) and on the divergence work being done (the tiled
+    // kernel builds on the predicated scan).
+    if stats.shared_accesses == 0
+        && !register_rule_fired
+        && timing.bound != Bound::Issue
+        && input.metrics.mem_access_efficiency >= 0.5
+        && input.metrics.branch_efficiency >= 0.95
+    {
+        // Model-parameter traffic (everything except the 1 B/px frame in
+        // and mask out) amortizes over a group of TILE_GROUP frames
+        // staged in shared memory.
+        let frame_bytes = 2 * stats.lanes;
+        let param_share = if stats.bytes_requested() > 0 {
+            1.0 - (frame_bytes as f64 / stats.bytes_requested() as f64).min(1.0)
+        } else {
+            0.0
+        };
+        let factor = 1.0 - param_share * (1.0 - 1.0 / TILE_GROUP);
+        let shrink = |v: u64| (v as f64 * factor).round() as u64;
+        let mut c = stats.clone();
+        c.global_load_tx = shrink(c.global_load_tx);
+        c.global_store_tx = shrink(c.global_store_tx);
+        c.global_load_bytes_requested = shrink(c.global_load_bytes_requested);
+        c.global_store_bytes_requested = shrink(c.global_store_bytes_requested);
+        let new_total = retime(&c, occ, cfg);
+        let benefit = (timing.total - new_total).max(0.0);
+        if benefit > 0.0 {
+            out.push(Advisory {
+                rule: "tile-shared-memory".into(),
+                transform: Transform::TileSharedMemory,
+                finding: format!(
+                    "the kernel is {}-limited with coalesced access: {:.0}% of DRAM \
+                     traffic is model parameters; stage a group of frames through \
+                     shared memory to reuse them",
+                    match timing.bound {
+                        Bound::Bandwidth => "bandwidth",
+                        _ => "latency",
+                    },
+                    param_share * 100.0,
+                ),
+                evidence: vec![
+                    Evidence::new("param_traffic_share", param_share),
+                    Evidence::new("mem_access_efficiency", input.metrics.mem_access_efficiency),
+                    Evidence::new(
+                        "stall_memory_s",
+                        input.stalls.memory_dependency + input.stalls.latency_exposure,
+                    ),
+                ],
+                sites: top_sites(input.hotspots, |r| r.stats.transactions, 3),
+                estimated_benefit_s: benefit,
+                estimated_speedup: speedup(timing.total, new_total),
+            });
+        }
+    }
+
+    // --- pad-shared-records: bank conflicts replay shared accesses.
+    if stats.shared_replays > 0 {
+        let mut c = stats.clone();
+        c.issue_cycles = (c.issue_cycles - c.shared_replays as f64).max(0.0);
+        c.shared_replays = 0;
+        let new_total = retime(&c, occ, cfg);
+        let benefit = (timing.total - new_total).max(0.0);
+        if benefit > 0.0 {
+            out.push(Advisory {
+                rule: "pad-shared-records".into(),
+                transform: Transform::PadSharedMemory,
+                finding: format!(
+                    "{} shared-memory replays from bank conflicts; pad or re-stride \
+                     the shared layout",
+                    stats.shared_replays,
+                ),
+                evidence: vec![
+                    Evidence::new("shared_replays", stats.shared_replays as f64),
+                    Evidence::new("stall_shared_replay_s", input.stalls.shared_replay),
+                ],
+                sites: top_sites(input.hotspots, |r| r.stats.shared_replays, 3),
+                estimated_benefit_s: benefit,
+                estimated_speedup: speedup(timing.total, new_total),
+            });
+        }
+    }
+
+    rank(&mut out);
+    out
+}
+
+/// Sorts advisories by estimated benefit descending; ties break on the
+/// rule id so the order is total and deterministic.
+fn rank(out: &mut [Advisory]) {
+    out.sort_by(|a, b| {
+        b.estimated_benefit_s
+            .partial_cmp(&a.estimated_benefit_s)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.rule.cmp(&b.rule))
+    });
+}
+
+/// The structured diagnostic for a kernel whose launch footprint exceeds
+/// the device — [`crate::occupancy::occupancy`] returned `None`, so
+/// there is nothing to time and the only advice is to shrink the launch.
+pub fn unlaunchable_advisory(detail: &str) -> Advisory {
+    Advisory {
+        rule: "unlaunchable-kernel".into(),
+        transform: Transform::ShrinkLaunchFootprint,
+        finding: format!(
+            "the kernel cannot become resident on any SM: {detail}; reduce the \
+             block size, register footprint, or shared-memory allocation until \
+             at least one block fits",
+        ),
+        evidence: Vec::new(),
+        sites: Vec::new(),
+        estimated_benefit_s: 0.0,
+        estimated_speedup: 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stallreasons::kernel_stalls;
+
+    fn occ(limiter: Limiter, blocks: u32, warps: u32) -> Occupancy {
+        Occupancy {
+            resident_blocks: blocks,
+            resident_warps: warps,
+            resident_threads: warps * 32,
+            occupancy: warps as f64 / 48.0,
+            limiter,
+        }
+    }
+
+    fn run(stats: &KernelStats, o: &Occupancy, overlap: OverlapMode) -> Vec<Advisory> {
+        let cfg = GpuConfig::default();
+        let timing = kernel_time(stats, o, &cfg);
+        let stalls = kernel_stalls(stats, &timing, o);
+        let roof = roofline(stats, &timing, &cfg);
+        let metrics = DerivedMetrics::from_stats(stats, &cfg);
+        advise(&AdvisorInput {
+            stats,
+            metrics: &metrics,
+            occupancy: o,
+            timing: &timing,
+            stalls: &stalls,
+            roofline: &roof,
+            hotspots: &[],
+            overlap,
+            h2d_per_frame: 1e-4,
+            d2h_per_frame: 1e-4,
+            dma_starvation: 0.0,
+            frames: 8,
+            cfg: &cfg,
+        })
+    }
+
+    #[test]
+    fn uncoalesced_memory_fires_the_coalescing_rule_first() {
+        // 8x more transactions than the byte demand justifies.
+        let stats = KernelStats {
+            warps: 100_000,
+            issue_cycles: 50_000.0,
+            global_load_tx: 800_000,
+            global_load_bytes_requested: 12_800_000,
+            ..Default::default()
+        };
+        let o = occ(Limiter::Warps, 8, 48);
+        let advice = run(&stats, &o, OverlapMode::DoubleBuffered);
+        assert!(!advice.is_empty());
+        assert_eq!(advice[0].transform, Transform::CoalesceMemory);
+        assert!(advice[0].estimated_benefit_s > 0.0);
+        assert!(advice[0].estimated_speedup > 1.0);
+    }
+
+    #[test]
+    fn unlaunchable_diagnostic_is_structured() {
+        let a = unlaunchable_advisory("block needs 36864 registers, SM has 32768");
+        assert_eq!(a.transform, Transform::ShrinkLaunchFootprint);
+        assert!(a.finding.contains("36864"));
+        assert_eq!(a.estimated_benefit_s, 0.0);
+    }
+
+    #[test]
+    fn advisories_are_deterministic_and_benefit_ranked() {
+        let stats = KernelStats {
+            warps: 100_000,
+            issue_cycles: 500_000.0,
+            global_load_tx: 800_000,
+            global_load_bytes_requested: 12_800_000,
+            local_load_tx: 50_000,
+            local_store_tx: 50_000,
+            local_load_bytes_requested: 6_400_000,
+            local_store_bytes_requested: 6_400_000,
+            branch_slots: 10_000,
+            divergent_branch_slots: 4_000,
+            shared_replays: 2_000,
+            ..Default::default()
+        };
+        let o = occ(Limiter::Registers, 4, 24);
+        let a = run(&stats, &o, OverlapMode::Sequential);
+        let b = run(&stats, &o, OverlapMode::Sequential);
+        assert_eq!(a, b);
+        assert!(a.len() >= 2, "composite workload should fire several rules");
+        for w in a.windows(2) {
+            assert!(w[0].estimated_benefit_s >= w[1].estimated_benefit_s);
+        }
+    }
+
+    #[test]
+    fn roofline_places_low_intensity_kernels_under_the_memory_slope() {
+        let cfg = GpuConfig::default();
+        let stats = KernelStats {
+            flops_f64: 1_000_000,
+            global_load_tx: 1_000_000,
+            warps: 100_000,
+            ..Default::default()
+        };
+        let o = occ(Limiter::Warps, 8, 48);
+        let t = kernel_time(&stats, &o, &cfg);
+        let r = roofline(&stats, &t, &cfg);
+        assert!(!r.compute_bound);
+        assert!(r.arithmetic_intensity < r.ridge_intensity);
+        // f64-only mix halves the compute ceiling.
+        assert!((r.peak_compute_flops - cfg.peak_f32_flops() / cfg.f64_issue_cost).abs() < 1.0);
+        assert!(r.achieved_flops <= r.ceiling_flops * (1.0 + 1e-9));
+    }
+}

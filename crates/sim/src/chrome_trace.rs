@@ -14,6 +14,7 @@
 //!   tracks (`thread_name`).
 
 use crate::dma::FrameSpans;
+use crate::stallreasons::StallBreakdown;
 use crate::streams::StreamSchedule;
 use crate::telemetry::PipelineTelemetry;
 use serde::Value;
@@ -227,6 +228,47 @@ impl TraceBuilder {
         }
     }
 
+    /// Adds one stacked `ph:"C"` counter track decomposing the kernel's
+    /// busy time into stall reasons, on the same quantum clock as
+    /// [`add_counters`](Self::add_counters): at each quantum the mean
+    /// SM-active fraction is split across the reasons in the proportions
+    /// of the run-aggregate [`StallBreakdown`] (the analytic model has
+    /// no intra-launch phases, so the composition is stationary while
+    /// the kernel runs and zero while it does not).
+    pub fn add_stall_counters(
+        &mut self,
+        pid: u64,
+        telemetry: &PipelineTelemetry,
+        stalls: &StallBreakdown,
+    ) {
+        let n = telemetry.samples();
+        let total = stalls.sum();
+        if n == 0 || total <= 0.0 {
+            return;
+        }
+        for q in 0..=n {
+            let (idx, ts) = if q == n {
+                (n - 1, telemetry.makespan)
+            } else {
+                (q, telemetry.quantum_start(q))
+            };
+            let sms = telemetry.num_sms.max(1) as f64;
+            let active = telemetry.sm.iter().map(|s| s.active[idx]).sum::<f64>() / sms;
+            let args: Vec<(&str, Value)> = stalls
+                .entries()
+                .into_iter()
+                .map(|(name, secs)| (name, Value::F64(active * secs / total)))
+                .collect();
+            self.events.push(obj(vec![
+                ("name", Value::String("kernel stall reasons".to_string())),
+                ("ph", Value::String("C".to_string())),
+                ("pid", Value::U64(pid)),
+                ("ts", Value::F64(ts * 1e6)),
+                ("args", obj(args)),
+            ]));
+        }
+    }
+
     /// Finishes the trace as the JSON object Perfetto loads.
     pub fn finish(self) -> Value {
         Value::Object(vec![
@@ -383,6 +425,70 @@ mod tests {
         // counter sample sits at the end of the last span.
         let last_d2h_end = (sched.last().unwrap().d2h.end()) * 1e6;
         assert!((makespan_us - last_d2h_end).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stall_counters_share_the_pipeline_clock_and_partition_activity() {
+        use crate::occupancy::{Limiter, Occupancy};
+        use crate::stallreasons::kernel_stalls;
+        use crate::stats::KernelStats;
+        use crate::telemetry::{sample_schedule, TelemetryConfig};
+        use crate::timing::kernel_time;
+        let cfg = GpuConfig::default();
+        let sched = pipeline_schedule(3, 1.0, 2.0, 0.5, OverlapMode::Sequential, &cfg);
+        let stats = KernelStats {
+            blocks: 150,
+            warps: 600,
+            global_load_tx: 1000,
+            issue_cycles: 1e6,
+            divergent_branch_slots: 1000,
+            sync_slots: 500,
+            ..Default::default()
+        };
+        let occ = Occupancy {
+            resident_blocks: 8,
+            resident_warps: 32,
+            resident_threads: 1024,
+            occupancy: 32.0 / 48.0,
+            limiter: Limiter::Blocks,
+        };
+        let telemetry =
+            sample_schedule(&sched, &stats, &occ, &cfg, &TelemetryConfig { samples: 8 });
+        let timing = kernel_time(&stats, &occ, &cfg);
+        let stalls = kernel_stalls(&stats, &timing, &occ);
+        let mut b = TraceBuilder::new();
+        let pid = b.add_pipeline("level A", &sched);
+        b.add_stall_counters(pid, &telemetry, &stalls);
+        let trace = b.finish();
+        let evs = events(&trace);
+        let counters: Vec<&Value> = evs
+            .iter()
+            .filter(|e| field(e, "name") == &Value::String("kernel stall reasons".into()))
+            .collect();
+        // One track x (8 quanta + closing sample), same clock bounds.
+        assert_eq!(counters.len(), 9);
+        let makespan_us = telemetry.makespan * 1e6;
+        for c in &counters {
+            assert_eq!(field(c, "pid"), &Value::U64(pid));
+            let ts = match field(c, "ts") {
+                Value::F64(v) => *v,
+                other => panic!("ts must be f64, got {other:?}"),
+            };
+            assert!((0.0..=makespan_us + 1e-6).contains(&ts));
+            // The stacked reasons sum to the mean SM-active fraction.
+            let args = match field(c, "args") {
+                Value::Object(kv) => kv,
+                other => panic!("args must be object, got {other:?}"),
+            };
+            let sum: f64 = args
+                .iter()
+                .map(|(_, v)| match v {
+                    Value::F64(x) => *x,
+                    other => panic!("counter value must be f64, got {other:?}"),
+                })
+                .sum();
+            assert!((0.0..=1.0 + 1e-9).contains(&sum), "stacked sum {sum}");
+        }
     }
 
     #[test]

@@ -54,6 +54,7 @@
 //! allocation: out-of-range accesses panic with the kernel's `file:line`,
 //! or are absorbed and reported as findings under the sanitizer.
 
+pub mod advisor;
 pub mod cache;
 pub mod chrome_trace;
 pub mod config;
@@ -64,6 +65,7 @@ pub mod memory;
 pub mod occupancy;
 pub mod profile;
 pub mod sancheck;
+pub mod stallreasons;
 pub mod stats;
 pub mod streams;
 pub mod telemetry;
@@ -71,6 +73,7 @@ pub mod timing;
 pub mod trace;
 pub mod warp;
 
+pub use advisor::{advise, roofline, AdvisorInput, Advisory, Evidence, Roofline, Transform};
 pub use config::{CpuConfig, GpuConfig};
 pub use kernel::{
     launch, launch_with, Kernel, KernelResources, LaunchConfig, LaunchError, LaunchOptions,
@@ -80,10 +83,11 @@ pub use memory::{Buffer, DeviceMemory, MemoryError};
 pub use occupancy::{occupancy, Occupancy};
 pub use profile::{HotspotRow, SiteProfile, SiteStats};
 pub use sancheck::{CheckKind, Finding, SanReport};
+pub use stallreasons::{dma_starvation, kernel_stalls, site_stalls, SiteStallRow, StallBreakdown};
 pub use stats::{DerivedMetrics, KernelStats};
 pub use streams::{
     LatencyStats, StageTimes, StreamInput, StreamSchedule, StreamScheduler, DOUBLE_BUFFER,
 };
-pub use telemetry::{KernelSlice, PipelineTelemetry, SmSeries, TelemetryConfig};
+pub use telemetry::{KernelGauges, KernelSlice, PipelineTelemetry, SmSeries, TelemetryConfig};
 pub use timing::{kernel_time, KernelTiming};
 pub use trace::{site_source, SiteSource, Space};

@@ -31,6 +31,8 @@ pub struct SiteStats {
     pub shared_replays: u64,
     /// Scalar operations (arithmetic, summed over lanes).
     pub scalar_ops: u64,
+    /// Barrier slots.
+    pub sync_slots: u64,
 }
 
 impl SiteStats {
@@ -44,6 +46,7 @@ impl SiteStats {
         self.bytes_requested += o.bytes_requested;
         self.shared_replays += o.shared_replays;
         self.scalar_ops += o.scalar_ops;
+        self.sync_slots += o.sync_slots;
     }
 
     /// Share of this site's branch slots that diverged (0 when the site

@@ -1,0 +1,413 @@
+//! Warp-state stall-reason decomposition of the analytic timing model.
+//!
+//! [`crate::timing::kernel_time`] reports *how long* a kernel takes and
+//! which roofline term binds; this module explains *where that time
+//! goes*, in the taxonomy Nsight Compute's warp-state sampling uses:
+//!
+//! * **execute issue** — warp-instruction issue slots doing useful work,
+//! * **branch divergence** — re-issued branch slots whose lanes disagreed
+//!   (the serialized bodies of divergent regions remain attributed to the
+//!   sites that execute them, which the hotspot table already exposes),
+//! * **shared replay** — shared-memory bank-conflict replays,
+//! * **barrier wait** — `__syncthreads()` slots,
+//! * **memory dependency** — exposed DRAM stall when the kernel is
+//!   bandwidth-bound: wall time beyond what instruction issue explains,
+//! * **latency exposure** — exposed DRAM stall when the kernel is
+//!   latency-bound, i.e. the resident warps ([`Occupancy::limiter`] says
+//!   why there are no more) cannot cover the round-trip latency.
+//!
+//! The decomposition is *exact by construction* against the timing model:
+//! the issue-side buckets partition `t_issue` (each counter class adds
+//! exactly 1.0 weighted cycle per slot or replay, so subtracting them
+//! from `issue_cycles` leaves the useful-issue remainder), and the
+//! exposed-stall bucket is `total - t_issue`, which the three-way max
+//! guarantees is non-negative. Per-site rows distribute each bucket by
+//! that site's own counters (its issue-cycle composition; its share of
+//! DRAM transactions for the exposed stall), so summing the rows
+//! reproduces the kernel total to floating-point tolerance — the same
+//! conservation identity the telemetry integrals satisfy.
+//!
+//! DMA/overlap starvation is a *pipeline*-level reason — the compute
+//! engine idling between kernels while transfers run — measured from the
+//! scheduled frame spans with [`dma_starvation`]. It is reported beside
+//! the kernel decomposition, not inside it, because no kernel site is
+//! executing while the engine starves.
+
+use crate::dma::FrameSpans;
+use crate::occupancy::{Limiter, Occupancy};
+use crate::profile::HotspotRow;
+use crate::stats::KernelStats;
+use crate::timing::{Bound, KernelTiming};
+use serde::Serialize;
+
+/// Seconds of kernel wall time attributed to each stall reason.
+///
+/// The five kernel-level fields sum to the modelled kernel time
+/// ([`KernelTiming::total`]); see the module docs for the identity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct StallBreakdown {
+    /// Useful warp-instruction issue.
+    pub execute_issue: f64,
+    /// Divergent branch slots (re-issued branch instructions).
+    pub branch_divergence: f64,
+    /// Shared-memory bank-conflict replays.
+    pub shared_replay: f64,
+    /// Barrier (`sync`) slots.
+    pub barrier_wait: f64,
+    /// Exposed DRAM stall while bandwidth-bound.
+    pub memory_dependency: f64,
+    /// Exposed DRAM stall while latency-bound (occupancy-limited).
+    pub latency_exposure: f64,
+    /// What capped the resident warps when `latency_exposure > 0`.
+    pub latency_limiter: Option<Limiter>,
+}
+
+impl StallBreakdown {
+    /// Sum of all reason buckets — equals the modelled kernel seconds.
+    pub fn sum(&self) -> f64 {
+        self.execute_issue
+            + self.branch_divergence
+            + self.shared_replay
+            + self.barrier_wait
+            + self.memory_dependency
+            + self.latency_exposure
+    }
+
+    /// `(name, seconds)` of every bucket, in declaration order.
+    pub fn entries(&self) -> [(&'static str, f64); 6] {
+        [
+            ("execute_issue", self.execute_issue),
+            ("branch_divergence", self.branch_divergence),
+            ("shared_replay", self.shared_replay),
+            ("barrier_wait", self.barrier_wait),
+            ("memory_dependency", self.memory_dependency),
+            ("latency_exposure", self.latency_exposure),
+        ]
+    }
+
+    /// The largest bucket (declaration order breaks exact ties).
+    pub fn dominant(&self) -> (&'static str, f64) {
+        self.entries()
+            .into_iter()
+            .fold(("execute_issue", f64::MIN), |best, cand| {
+                if cand.1 > best.1 {
+                    cand
+                } else {
+                    best
+                }
+            })
+    }
+}
+
+/// One source site's stall decomposition.
+#[derive(Debug, Clone, Serialize)]
+pub struct SiteStallRow {
+    /// `file:line`, when resolved during a profiled launch.
+    pub source: Option<String>,
+    /// Seconds per reason at this site.
+    pub stalls: StallBreakdown,
+}
+
+/// Splits the issue-cycle composition of one counter set. Returns
+/// `(execute, divergence, replay, barrier)` in weighted issue cycles.
+fn issue_split(
+    issue_cycles: f64,
+    divergent: u64,
+    replays: u64,
+    syncs: u64,
+) -> (f64, f64, f64, f64) {
+    let mut div = divergent as f64;
+    let mut rep = replays as f64;
+    let mut syn = syncs as f64;
+    // Each class contributed exactly 1.0 weighted cycle per event, so the
+    // remainder is the useful issue. Traced kernels satisfy
+    // `div + rep + syn <= issue_cycles` by construction; hand-built
+    // counter sets may not, so renormalize rather than let the buckets
+    // overrun the issue time and break the conservation identity.
+    let stall = div + rep + syn;
+    if stall > issue_cycles && stall > 0.0 {
+        let shrink = issue_cycles.max(0.0) / stall;
+        div *= shrink;
+        rep *= shrink;
+        syn *= shrink;
+    }
+    let exec = (issue_cycles - div - rep - syn).max(0.0);
+    (exec, div, rep, syn)
+}
+
+/// Decomposes one kernel's modelled time into stall reasons.
+pub fn kernel_stalls(
+    stats: &KernelStats,
+    timing: &KernelTiming,
+    occ: &Occupancy,
+) -> StallBreakdown {
+    let (exec, div, rep, syn) = issue_split(
+        stats.issue_cycles,
+        stats.divergent_branch_slots,
+        stats.shared_replays,
+        stats.sync_slots,
+    );
+    // Seconds per weighted issue cycle: the issue bound spread back over
+    // its own cycles, so the four issue buckets sum to exactly `t_issue`.
+    let scale = if stats.issue_cycles > 0.0 {
+        timing.t_issue / stats.issue_cycles
+    } else {
+        0.0
+    };
+    // The three-way max guarantees total >= t_issue; the excess is DRAM
+    // stall the issue stream cannot cover.
+    let exposed = (timing.total - timing.t_issue).max(0.0);
+    let (memory_dependency, latency_exposure, latency_limiter) = match timing.bound {
+        Bound::Bandwidth => (exposed, 0.0, None),
+        Bound::Latency => (0.0, exposed, Some(occ.limiter)),
+        Bound::Issue => (0.0, 0.0, None),
+    };
+    StallBreakdown {
+        execute_issue: exec * scale,
+        branch_divergence: div * scale,
+        shared_replay: rep * scale,
+        barrier_wait: syn * scale,
+        memory_dependency,
+        latency_exposure,
+        latency_limiter,
+    }
+}
+
+/// Distributes the kernel decomposition over its source sites: issue-side
+/// buckets by each site's own issue-cycle composition, the exposed DRAM
+/// stall by each site's share of the transaction count. Summing the rows
+/// reproduces [`kernel_stalls`] to fp tolerance because the per-site
+/// counters sum to the kernel counters (asserted in the warp tests).
+pub fn site_stalls(
+    rows: &[HotspotRow],
+    stats: &KernelStats,
+    timing: &KernelTiming,
+    occ: &Occupancy,
+) -> Vec<SiteStallRow> {
+    let scale = if stats.issue_cycles > 0.0 {
+        timing.t_issue / stats.issue_cycles
+    } else {
+        0.0
+    };
+    let exposed = (timing.total - timing.t_issue).max(0.0);
+    let total_tx = stats.total_tx();
+    rows.iter()
+        .map(|row| {
+            let s = &row.stats;
+            let (exec, div, rep, syn) = issue_split(
+                s.issue_cycles,
+                s.divergent_branch_slots,
+                s.shared_replays,
+                s.sync_slots,
+            );
+            let tx_share = if total_tx == 0 {
+                0.0
+            } else {
+                s.transactions as f64 / total_tx as f64
+            };
+            let site_exposed = exposed * tx_share;
+            let (memory_dependency, latency_exposure, latency_limiter) = match timing.bound {
+                Bound::Bandwidth => (site_exposed, 0.0, None),
+                Bound::Latency => (0.0, site_exposed, Some(occ.limiter)),
+                Bound::Issue => (0.0, 0.0, None),
+            };
+            SiteStallRow {
+                source: row.source.clone(),
+                stalls: StallBreakdown {
+                    execute_issue: exec * scale,
+                    branch_divergence: div * scale,
+                    shared_replay: rep * scale,
+                    barrier_wait: syn * scale,
+                    memory_dependency,
+                    latency_exposure,
+                    latency_limiter,
+                },
+            }
+        })
+        .collect()
+}
+
+/// Compute-engine idle seconds up to the last kernel's completion: the
+/// time the SMs starve while DMA runs (large under [`Sequential`]
+/// transfers, near zero once double buffering overlaps them).
+///
+/// [`Sequential`]: crate::dma::OverlapMode::Sequential
+pub fn dma_starvation(schedule: &[FrameSpans]) -> f64 {
+    let Some(last) = schedule.last() else {
+        return 0.0;
+    };
+    let busy: f64 = schedule.iter().map(|f| f.kernel.dur).sum();
+    (last.kernel.end() - busy).max(0.0)
+}
+
+/// Renders per-site stall rows as an aligned text table (milliseconds).
+pub fn render_site_stalls(rows: &[SiteStallRow], n: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<52} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "source", "exec_ms", "diverge", "replay", "barrier", "mem_dep", "latency"
+    ));
+    for row in rows.iter().take(n) {
+        let source = row.source.as_deref().unwrap_or("<unresolved>");
+        let shown = if source.len() > 52 {
+            &source[source.len() - 52..]
+        } else {
+            source
+        };
+        let s = &row.stalls;
+        out.push_str(&format!(
+            "{:<52} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}\n",
+            shown,
+            s.execute_issue * 1e3,
+            s.branch_divergence * 1e3,
+            s.shared_replay * 1e3,
+            s.barrier_wait * 1e3,
+            s.memory_dependency * 1e3,
+            s.latency_exposure * 1e3,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use crate::dma::Span;
+    use crate::profile::SiteStats;
+    use crate::timing::kernel_time;
+
+    fn occ() -> Occupancy {
+        Occupancy {
+            resident_blocks: 8,
+            resident_warps: 32,
+            resident_threads: 1024,
+            occupancy: 32.0 / 48.0,
+            limiter: Limiter::Registers,
+        }
+    }
+
+    fn stats() -> KernelStats {
+        KernelStats {
+            issue_cycles: 10_000.0,
+            warps: 100_000,
+            divergent_branch_slots: 1_200,
+            shared_replays: 300,
+            sync_slots: 500,
+            global_load_tx: 60_000,
+            global_store_tx: 20_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn kernel_buckets_sum_to_modelled_time() {
+        let s = stats();
+        let o = occ();
+        let cfg = GpuConfig::default();
+        let t = kernel_time(&s, &o, &cfg);
+        let b = kernel_stalls(&s, &t, &o);
+        assert!((b.sum() - t.total).abs() / t.total < 1e-12);
+        // Memory-side stall carries the limiter label only when latency
+        // binds.
+        match t.bound {
+            Bound::Latency => assert_eq!(b.latency_limiter, Some(Limiter::Registers)),
+            _ => assert_eq!(b.latency_limiter, None),
+        }
+    }
+
+    #[test]
+    fn issue_bound_kernel_has_no_exposed_stall() {
+        let mut s = stats();
+        s.issue_cycles = 1e9;
+        let o = occ();
+        let cfg = GpuConfig::default();
+        let t = kernel_time(&s, &o, &cfg);
+        assert_eq!(t.bound, Bound::Issue);
+        let b = kernel_stalls(&s, &t, &o);
+        assert_eq!(b.memory_dependency, 0.0);
+        assert_eq!(b.latency_exposure, 0.0);
+        assert!((b.sum() - t.t_issue).abs() / t.t_issue < 1e-12);
+    }
+
+    #[test]
+    fn site_rows_conserve_the_kernel_breakdown() {
+        let s = stats();
+        let o = occ();
+        let cfg = GpuConfig::default();
+        let t = kernel_time(&s, &o, &cfg);
+        // Split the kernel counters over three synthetic sites.
+        let rows = vec![
+            HotspotRow {
+                source: Some("a.rs:1".into()),
+                stats: SiteStats {
+                    issue_cycles: 4_000.0,
+                    divergent_branch_slots: 1_200,
+                    transactions: 10_000,
+                    ..Default::default()
+                },
+            },
+            HotspotRow {
+                source: Some("b.rs:2".into()),
+                stats: SiteStats {
+                    issue_cycles: 5_500.0,
+                    shared_replays: 300,
+                    transactions: 70_000,
+                    ..Default::default()
+                },
+            },
+            HotspotRow {
+                source: Some("c.rs:3".into()),
+                stats: SiteStats {
+                    issue_cycles: 500.0,
+                    sync_slots: 500,
+                    ..Default::default()
+                },
+            },
+        ];
+        let site_rows = site_stalls(&rows, &s, &t, &o);
+        let total: f64 = site_rows.iter().map(|r| r.stalls.sum()).sum();
+        assert!(
+            (total - t.total).abs() / t.total < 1e-9,
+            "site stalls {total} != kernel time {}",
+            t.total
+        );
+        // Render path stays total-width stable and never panics.
+        assert!(render_site_stalls(&site_rows, 10).contains("a.rs:1"));
+    }
+
+    #[test]
+    fn zero_stats_decompose_to_zero() {
+        let s = KernelStats::default();
+        let o = occ();
+        let t = kernel_time(&s, &o, &GpuConfig::default());
+        let b = kernel_stalls(&s, &t, &o);
+        assert_eq!(b.sum(), 0.0);
+        assert_eq!(site_stalls(&[], &s, &t, &o).len(), 0);
+    }
+
+    #[test]
+    fn starvation_measures_compute_engine_gaps() {
+        let f = |h0: f64, k0: f64, d0: f64| FrameSpans {
+            h2d: Span {
+                start: h0,
+                dur: 1.0,
+            },
+            kernel: Span {
+                start: k0,
+                dur: 2.0,
+            },
+            d2h: Span {
+                start: d0,
+                dur: 1.0,
+            },
+        };
+        // Sequential: kernel waits out both transfers every frame.
+        let seq = vec![f(0.0, 1.0, 3.0), f(4.0, 5.0, 7.0)];
+        assert!((dma_starvation(&seq) - 3.0).abs() < 1e-12);
+        // Fully overlapped: back-to-back kernels never starve.
+        let ovl = vec![f(0.0, 1.0, 3.0), f(1.0, 3.0, 5.0)];
+        assert!((dma_starvation(&ovl) - 1.0).abs() < 1e-12);
+        assert_eq!(dma_starvation(&[]), 0.0);
+    }
+}

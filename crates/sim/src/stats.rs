@@ -231,6 +231,10 @@ fn ratio(num: u64, den: u64) -> f64 {
 pub struct DerivedMetrics {
     /// Branch efficiency in [0, 1].
     pub branch_efficiency: f64,
+    /// Global-load efficiency in [0, 1].
+    pub gld_efficiency: f64,
+    /// Global-store efficiency in [0, 1].
+    pub gst_efficiency: f64,
     /// Memory access efficiency in [0, 1] (can exceed 1 only if broadcast
     /// reads alias, which MoG never does).
     pub mem_access_efficiency: f64,
@@ -247,6 +251,8 @@ impl DerivedMetrics {
     pub fn from_stats(stats: &KernelStats, cfg: &GpuConfig) -> Self {
         DerivedMetrics {
             branch_efficiency: stats.branch_efficiency(),
+            gld_efficiency: stats.gld_efficiency(cfg),
+            gst_efficiency: stats.gst_efficiency(cfg),
             mem_access_efficiency: stats.mem_access_efficiency(cfg),
             store_transactions: stats.store_tx(),
             total_transactions: stats.total_tx(),

@@ -42,7 +42,7 @@
 use crate::config::GpuConfig;
 use crate::dma::{FrameSpans, Span};
 use crate::occupancy::Occupancy;
-use crate::stats::KernelStats;
+use crate::stats::{DerivedMetrics, KernelStats};
 use crate::streams::StreamSchedule;
 use serde::{Deserialize, Serialize};
 
@@ -452,7 +452,66 @@ const METRICS: &[Metric] = &[
         kind: "counter",
         help: "Cumulative DRAM bytes through the end of quantum q (monotone in q).",
     },
+    Metric {
+        name: "mogpu_kernel_branch_efficiency",
+        kind: "gauge",
+        help: "Non-divergent branch slots over branch slots for the pipeline's kernel.",
+    },
+    Metric {
+        name: "mogpu_kernel_gld_efficiency",
+        kind: "gauge",
+        help: "Requested over transacted global-load bytes for the pipeline's kernel.",
+    },
+    Metric {
+        name: "mogpu_kernel_gst_efficiency",
+        kind: "gauge",
+        help: "Requested over transacted global-store bytes for the pipeline's kernel.",
+    },
+    Metric {
+        name: "mogpu_kernel_mem_access_efficiency",
+        kind: "gauge",
+        help: "Requested over transacted DRAM bytes (all spaces) for the pipeline's kernel.",
+    },
+    Metric {
+        name: "mogpu_kernel_store_transactions",
+        kind: "gauge",
+        help: "DRAM store transactions of the pipeline's kernel over the run.",
+    },
+    Metric {
+        name: "mogpu_kernel_total_transactions",
+        kind: "gauge",
+        help: "DRAM transactions of the pipeline's kernel over the run.",
+    },
+    Metric {
+        name: "mogpu_kernel_occupancy",
+        kind: "gauge",
+        help: "Resident-warp occupancy of the pipeline's kernel; the limiter label names what caps it.",
+    },
 ];
+
+/// Per-kernel scalar gauges exported beside a pipeline's time series:
+/// the derived profiler metrics plus the occupancy value and its
+/// limiter label.
+#[derive(Debug, Clone)]
+pub struct KernelGauges {
+    /// Derived profiler metrics of the kernel's summed counters.
+    pub metrics: DerivedMetrics,
+    /// Occupancy in [0, 1].
+    pub occupancy: f64,
+    /// What caps the resident warps, e.g. `Registers`.
+    pub limiter: String,
+}
+
+impl KernelGauges {
+    /// Bundles a kernel's derived metrics and occupancy for exposition.
+    pub fn new(metrics: &DerivedMetrics, occ: &Occupancy) -> Self {
+        KernelGauges {
+            metrics: *metrics,
+            occupancy: occ.occupancy,
+            limiter: format!("{:?}", occ.limiter),
+        }
+    }
+}
 
 fn sample_line(out: &mut String, name: &str, labels: &[(&str, String)], value: f64) {
     out.push_str(name);
@@ -478,12 +537,15 @@ fn sample_line(out: &mut String, name: &str, labels: &[(&str, String)], value: f
 /// Renders one or more labelled pipelines in the Prometheus text
 /// exposition format (`# HELP`/`# TYPE` once per metric, samples grouped
 /// by metric, then pipeline, then SM, then quantum — deterministic).
-pub fn prometheus(pipelines: &[(String, &PipelineTelemetry)]) -> String {
+/// The optional [`KernelGauges`] adds the per-kernel derived metrics and
+/// occupancy; pipelines without one (e.g. stream aggregates) skip those
+/// samples while keeping the metric declarations.
+pub fn prometheus(pipelines: &[(String, &PipelineTelemetry, Option<KernelGauges>)]) -> String {
     let mut out = String::new();
     for m in METRICS {
         out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
         out.push_str(&format!("# TYPE {} {}\n", m.name, m.kind));
-        for (label, t) in pipelines {
+        for (label, t, gauges) in pipelines {
             let pl = |extra: Vec<(&'static str, String)>| -> Vec<(&'static str, String)> {
                 let mut l = vec![("pipeline", label.clone())];
                 l.extend(extra);
@@ -492,6 +554,34 @@ pub fn prometheus(pipelines: &[(String, &PipelineTelemetry)]) -> String {
             match m.name {
                 "mogpu_quantum_seconds" => sample_line(&mut out, m.name, &pl(vec![]), t.quantum),
                 "mogpu_makespan_seconds" => sample_line(&mut out, m.name, &pl(vec![]), t.makespan),
+                "mogpu_kernel_branch_efficiency"
+                | "mogpu_kernel_gld_efficiency"
+                | "mogpu_kernel_gst_efficiency"
+                | "mogpu_kernel_mem_access_efficiency"
+                | "mogpu_kernel_store_transactions"
+                | "mogpu_kernel_total_transactions"
+                | "mogpu_kernel_occupancy" => {
+                    if let Some(g) = gauges {
+                        let (labels, value) = match m.name {
+                            "mogpu_kernel_branch_efficiency" => {
+                                (pl(vec![]), g.metrics.branch_efficiency)
+                            }
+                            "mogpu_kernel_gld_efficiency" => (pl(vec![]), g.metrics.gld_efficiency),
+                            "mogpu_kernel_gst_efficiency" => (pl(vec![]), g.metrics.gst_efficiency),
+                            "mogpu_kernel_mem_access_efficiency" => {
+                                (pl(vec![]), g.metrics.mem_access_efficiency)
+                            }
+                            "mogpu_kernel_store_transactions" => {
+                                (pl(vec![]), g.metrics.store_transactions as f64)
+                            }
+                            "mogpu_kernel_total_transactions" => {
+                                (pl(vec![]), g.metrics.total_transactions as f64)
+                            }
+                            _ => (pl(vec![("limiter", g.limiter.clone())]), g.occupancy),
+                        };
+                        sample_line(&mut out, m.name, &labels, value);
+                    }
+                }
                 "mogpu_sm_occupancy"
                 | "mogpu_sm_ipc"
                 | "mogpu_sm_eligible_warps"
@@ -686,7 +776,7 @@ mod tests {
             1.0,
         );
         let t = sample_pipeline(&[k], &[], &cfg, &TelemetryConfig { samples: 2 });
-        let text = prometheus(&[("level \"W\"\n".to_string(), &t)]);
+        let text = prometheus(&[("level \"W\"\n".to_string(), &t, None)]);
         assert!(text.contains("pipeline=\"level \\\"W\\\"\\n\""));
         // No raw newline inside any sample line (only as terminator).
         for line in text.lines() {
@@ -705,7 +795,8 @@ mod tests {
             &cfg,
             &TelemetryConfig::default(),
         );
-        let text = prometheus(&[("level A".to_string(), &t)]);
+        let gauges = KernelGauges::new(&DerivedMetrics::from_stats(&stats(150), &cfg), &occ());
+        let text = prometheus(&[("level A".to_string(), &t, Some(gauges.clone()))]);
         for m in METRICS {
             assert!(text.contains(&format!("# HELP {} ", m.name)), "{}", m.name);
             assert!(
@@ -714,8 +805,11 @@ mod tests {
                 m.name
             );
         }
+        // Per-kernel gauges carry the limiter label.
+        assert!(text.contains("mogpu_kernel_occupancy{pipeline=\"level A\",limiter=\"Blocks\"}"));
+        assert!(text.contains("mogpu_kernel_branch_efficiency{pipeline=\"level A\"}"));
         // Deterministic output.
-        let again = prometheus(&[("level A".to_string(), &t)]);
+        let again = prometheus(&[("level A".to_string(), &t, Some(gauges))]);
         assert_eq!(text, again);
     }
 }

@@ -347,6 +347,7 @@ impl WarpAccumulator {
                     stats.sync_slots += 1;
                     if PROFILE {
                         delta.issue_cycles = 1.0;
+                        delta.sync_slots = 1;
                     }
                 }
             }

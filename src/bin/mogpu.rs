@@ -20,6 +20,7 @@ fn main() -> ExitCode {
         Some("ladder") => cmd_ladder(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
+        Some("advise") => cmd_advise(&args[1..]),
         Some("streams") => cmd_streams(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
@@ -49,6 +50,7 @@ COMMANDS:
     ladder    Climb optimization levels A..F, W(8) and print a table
     run       Background-subtract a Y4M clip (or a synthetic scene)
     profile   Hotspot table, roofline bounds, bottleneck classification
+    advise    Ranked optimization advisories from stall/roofline analysis
     streams   Serve N camera streams from one device, CUDA-streams style
     check     Sanitizer sweep over every shipped kernel
     metrics   Emit time-resolved telemetry in Prometheus text format
@@ -81,6 +83,17 @@ USAGE:
         Run with the source-attributed profiler on and print the hotspot
         table, roofline bounds, and bottleneck classification (default:
         level F on a synthetic QQVGA scene, top 10 hotspots).
+
+    mogpu advise [--level L] [--frames N] [--k K] [--float] [--tpb T]
+                 [--top N] [--json]
+        Analyze a profiled run with the guided-analysis advisor: decompose
+        the modelled kernel time into warp stall reasons, place the kernel
+        on the roofline, and print ranked advisories (finding, file:line
+        evidence, recommended transform, modelled benefit). At each ladder
+        level the top advisory names the paper's next optimization. --tpb
+        overrides the launch block size; an unlaunchable configuration is
+        reported as a structured diagnostic and exits nonzero (findings
+        alone never do). Default: level A, 16 frames, K=3, double.
 
     mogpu streams [--streams N] [--frames M] [--level L] [--k K] [--float]
                   [--buffers B] [--fps R] [--json]
@@ -388,6 +401,7 @@ impl ObsFlags {
                 let pid =
                     builder.add_pipeline(&format!("level {}", report.level), &report.schedule);
                 builder.add_counters(pid, &report.telemetry);
+                builder.add_stall_counters(pid, &report.telemetry, &report.stalls);
             }
             let json =
                 mogpu::json::to_string_pretty(&builder.finish()).map_err(|e| e.to_string())?;
@@ -398,9 +412,19 @@ impl ObsFlags {
             );
         }
         if let Some(path) = &self.metrics_out {
-            let pipelines: Vec<(String, &mogpu::sim::PipelineTelemetry)> = reports
+            let pipelines: Vec<(
+                String,
+                &mogpu::sim::PipelineTelemetry,
+                Option<mogpu::sim::KernelGauges>,
+            )> = reports
                 .iter()
-                .map(|r| (format!("level {}", r.level), &r.telemetry))
+                .map(|r| {
+                    (
+                        format!("level {}", r.level),
+                        &r.telemetry,
+                        Some(mogpu::sim::KernelGauges::new(&r.metrics, &r.occupancy)),
+                    )
+                })
                 .collect();
             let text = mogpu::sim::telemetry::prometheus(&pipelines);
             std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))?;
@@ -530,6 +554,175 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_advise(args: &[String]) -> Result<(), String> {
+    let level = parse_level(&opt_value(args, "--level").unwrap_or_else(|| "A".into()))?;
+    let n_frames: usize = opt_value(args, "--frames")
+        .map(|v| v.parse().unwrap_or(16))
+        .unwrap_or(16)
+        .max(2);
+    let k: usize = opt_value(args, "--k")
+        .map(|v| v.parse().unwrap_or(3))
+        .unwrap_or(3);
+    let use_f32 = opt_flag(args, "--float");
+    let json = opt_flag(args, "--json");
+    let top: usize = opt_value(args, "--top")
+        .map(|v| v.parse().unwrap_or(10))
+        .unwrap_or(10)
+        .max(1);
+    let tpb: Option<u32> = match opt_value(args, "--tpb") {
+        Some(v) => Some(v.parse().map_err(|_| format!("bad --tpb {v:?}"))?),
+        None => None,
+    };
+
+    let frames = SceneBuilder::new(Resolution::QQVGA)
+        .seed(7)
+        .walkers(3)
+        .build()
+        .render_sequence(n_frames)
+        .0
+        .into_frames();
+    let result = if use_f32 {
+        advise_run::<f32>(level, k, tpb, &frames)
+    } else {
+        advise_run::<f64>(level, k, tpb, &frames)
+    };
+    let profile = match result {
+        Ok(profile) => profile,
+        Err(mogpu::core::PipelineError::Launch(e)) => {
+            // The kernel never became resident: emit the structured
+            // diagnostic the rules engine defines for this case, then
+            // exit nonzero (invalid input, not a finding).
+            let advisory = mogpu::sim::advisor::unlaunchable_advisory(&e.to_string());
+            if json {
+                let doc = mogpu::json::json!({
+                    "level": level.name(),
+                    "launchable": false,
+                    "error": e.to_string(),
+                    "advisories": [advisory],
+                });
+                println!(
+                    "{}",
+                    mogpu::json::to_string_pretty(&doc).map_err(|e| e.to_string())?
+                );
+            } else {
+                println!("advisor — level {}: kernel is unlaunchable", level.name());
+                print_advisory(1, &advisory);
+            }
+            return Err(format!("kernel launch rejected: {e}"));
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+
+    if json {
+        let advisories = &profile.advisories[..top.min(profile.advisories.len())];
+        let doc = mogpu::json::json!({
+            "level": level.name(),
+            "launchable": true,
+            "frames": profile.frames,
+            "bottleneck": profile.bottleneck.to_string(),
+            "kernel_time_s": profile.timing.total,
+            "roofline": profile.roofline,
+            "stalls": profile.stalls,
+            "dma_starvation_s": profile.dma_starvation,
+            "advisories": advisories,
+        });
+        println!(
+            "{}",
+            mogpu::json::to_string_pretty(&doc).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+
+    println!(
+        "advisor — level {}, {} frames, K={k}, {}",
+        level.name(),
+        profile.frames,
+        if use_f32 { "float" } else { "double" }
+    );
+    println!("  bottleneck : {}", profile.bottleneck);
+    let roof = &profile.roofline;
+    println!(
+        "  roofline   : {:.3} FLOP/B, {:.2} GFLOP/s of {:.2} GFLOP/s {} ceiling",
+        roof.arithmetic_intensity,
+        roof.achieved_flops / 1e9,
+        roof.ceiling_flops / 1e9,
+        if roof.compute_bound {
+            "compute"
+        } else {
+            "memory"
+        },
+    );
+    let (reason, secs) = profile.stalls.dominant();
+    println!(
+        "  stalls     : {reason} dominates at {:.3} ms of {:.3} ms kernel time",
+        1e3 * secs,
+        1e3 * profile.stalls.sum(),
+    );
+    if profile.dma_starvation > 0.0 {
+        println!(
+            "  starvation : compute engine idle {:.3} ms waiting on DMA",
+            1e3 * profile.dma_starvation
+        );
+    }
+    if profile.advisories.is_empty() {
+        println!("no advisories: the profiled run is at the modelled optimum");
+        return Ok(());
+    }
+    for (i, advisory) in profile.advisories.iter().take(top).enumerate() {
+        print_advisory(i + 1, advisory);
+    }
+    Ok(())
+}
+
+fn print_advisory(rank: usize, a: &mogpu::sim::Advisory) {
+    println!(
+        "\n#{rank} {} -> {:?}: est. {:.3} ms saved ({:.2}x)",
+        a.rule,
+        a.transform,
+        1e3 * a.estimated_benefit_s,
+        a.estimated_speedup,
+    );
+    println!("   {}", a.finding);
+    if !a.evidence.is_empty() {
+        let ev: Vec<String> = a
+            .evidence
+            .iter()
+            .map(|e| {
+                if e.value.abs() >= 1000.0 && e.value.fract() == 0.0 {
+                    format!("{}={:.0}", e.metric, e.value)
+                } else {
+                    format!("{}={:.4}", e.metric, e.value)
+                }
+            })
+            .collect();
+        println!("   evidence: {}", ev.join(", "));
+    }
+    for site in &a.sites {
+        println!("   site: {site}");
+    }
+}
+
+fn advise_run<T: mogpu::core::DeviceReal>(
+    level: OptLevel,
+    k: usize,
+    tpb: Option<u32>,
+    frames: &[Frame<u8>],
+) -> Result<ProfileReport, mogpu::core::PipelineError> {
+    let mut gpu = GpuMog::<T>::new(
+        frames[0].resolution(),
+        MogParams::new(k),
+        level,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )?;
+    if let Some(t) = tpb {
+        gpu.set_threads_per_block(t);
+    }
+    gpu.set_profile_mode(ProfileMode::On);
+    gpu.process_all(&frames[1..])?;
+    Ok(gpu.take_profile_report().expect("profiling was enabled"))
+}
+
 fn cmd_streams(args: &[String]) -> Result<(), String> {
     let n_streams: usize = opt_value(args, "--streams")
         .map(|v| v.parse().unwrap_or(4))
@@ -656,8 +849,9 @@ fn cmd_streams(args: &[String]) -> Result<(), String> {
         );
     }
     if let Some(path) = &obs.metrics_out {
+        // Stream aggregates have no single-kernel identity, so no kernel gauges.
         let label = format!("{n_streams} streams, level {}", level.name());
-        let text = mogpu::sim::telemetry::prometheus(&[(label, &report.telemetry)]);
+        let text = mogpu::sim::telemetry::prometheus(&[(label, &report.telemetry, None)]);
         std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))?;
         println!("wrote Prometheus metrics to {}", path.display());
     }
@@ -692,6 +886,10 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
     let text = mogpu::sim::telemetry::prometheus(&[(
         format!("level {}", profile.level),
         &profile.telemetry,
+        Some(mogpu::sim::KernelGauges::new(
+            &profile.metrics,
+            &profile.occupancy,
+        )),
     )]);
     match out {
         Some(path) => {

@@ -1,0 +1,236 @@
+//! Integration tests for the guided-analysis advisor: the end-to-end
+//! acceptance bar is that at every optimization-ladder level the top
+//! advisory names the *next* optimization the paper applies, and that
+//! the stall-reason decomposition is exact against the timing model.
+
+use mogpu::prelude::*;
+use mogpu::sim::dma::OverlapMode;
+use mogpu::sim::occupancy::Limiter;
+use mogpu::sim::{
+    advise, kernel_stalls, kernel_time, roofline, AdvisorInput, Advisory, DerivedMetrics,
+    KernelStats, Occupancy, Transform,
+};
+use proptest::prelude::*;
+
+/// The standard ladder workload (same scene the CLI uses).
+fn scene_frames(n: usize) -> Vec<Frame<u8>> {
+    SceneBuilder::new(Resolution::QQVGA)
+        .seed(7)
+        .walkers(3)
+        .build()
+        .render_sequence(n)
+        .0
+        .into_frames()
+}
+
+fn profiled(level: OptLevel, frames: &[Frame<u8>]) -> ProfileReport {
+    let mut gpu = GpuMog::<f64>::new(
+        frames[0].resolution(),
+        MogParams::new(3),
+        level,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .unwrap();
+    gpu.set_profile_mode(ProfileMode::On);
+    gpu.process_all(&frames[1..]).unwrap();
+    gpu.take_profile_report().unwrap()
+}
+
+/// The paper's optimization ladder: at each level, the advisor must
+/// rediscover the transform that produces the *next* level.
+const NEXT_STEP: [(OptLevel, Transform); 6] = [
+    (OptLevel::A, Transform::CoalesceMemory),
+    (OptLevel::B, Transform::OverlapTransfers),
+    (OptLevel::C, Transform::RemoveRankSort),
+    (OptLevel::D, Transform::PredicateBranches),
+    (OptLevel::E, Transform::ReduceRegisters),
+    (OptLevel::F, Transform::TileSharedMemory),
+];
+
+#[test]
+fn top_advisory_rediscovers_the_papers_ladder() {
+    let frames = scene_frames(16);
+    for (level, want) in NEXT_STEP {
+        let p = profiled(level, &frames);
+        let top = p
+            .advisories
+            .first()
+            .unwrap_or_else(|| panic!("level {}: no advisories fired", p.level));
+        assert_eq!(
+            top.transform, want,
+            "level {}: top advisory is {:?} ({}), expected {:?}",
+            p.level, top.transform, top.rule, want
+        );
+        assert!(
+            top.estimated_benefit_s > 0.0 && top.estimated_speedup > 1.0,
+            "level {}: degenerate benefit {:?}",
+            p.level,
+            top
+        );
+    }
+}
+
+#[test]
+fn stall_reasons_conserve_the_modelled_kernel_time() {
+    let frames = scene_frames(10);
+    for level in OptLevel::LADDER
+        .into_iter()
+        .chain([OptLevel::Windowed { group: 8 }])
+    {
+        let p = profiled(level, &frames);
+        let total = p.timing.total;
+        assert!(total > 0.0);
+        // Kernel-level breakdown is exact.
+        assert!(
+            (p.stalls.sum() - total).abs() / total < 1e-9,
+            "level {}: stall reasons sum to {} of {total} s",
+            p.level,
+            p.stalls.sum()
+        );
+        // Per-site rows partition the same total.
+        let site_sum: f64 = p.site_stalls.iter().map(|r| r.stalls.sum()).sum();
+        assert!(
+            (site_sum - total).abs() / total < 1e-9,
+            "level {}: site stalls sum to {site_sum} of {total} s",
+            p.level,
+        );
+    }
+}
+
+#[test]
+fn advise_surfaces_in_profile_report_json() {
+    let frames = scene_frames(8);
+    let p = profiled(OptLevel::A, &frames);
+    let json = mogpu::json::to_value(&p).unwrap();
+    let advisories = json["advisories"].as_array().expect("advisories array");
+    assert!(!advisories.is_empty());
+    assert_eq!(
+        advisories[0]["transform"],
+        mogpu::json::Value::String("CoalesceMemory".into())
+    );
+    // Roofline and stall breakdown ride along machine-readably.
+    assert!(json["roofline"]["arithmetic_intensity"].as_f64().unwrap() > 0.0);
+    assert!(json["stalls"]["latency_exposure"].as_f64().unwrap() > 0.0);
+}
+
+// ---- property tests over synthetic rule-engine inputs ----
+
+fn arb_occupancy() -> impl Strategy<Value = Occupancy> {
+    (1u32..=8, 1u32..=6, 0u32..4).prop_map(|(blocks, warps_per_block, which)| {
+        let limiter = match which {
+            0 => Limiter::Warps,
+            1 => Limiter::Registers,
+            2 => Limiter::SharedMemory,
+            _ => Limiter::Blocks,
+        };
+        let warps = (blocks * warps_per_block).min(48);
+        Occupancy {
+            resident_blocks: blocks,
+            resident_warps: warps,
+            resident_threads: warps * 32,
+            occupancy: warps as f64 / 48.0,
+            limiter,
+        }
+    })
+}
+
+fn arb_stats() -> impl Strategy<Value = KernelStats> {
+    (
+        (
+            1_000u64..200_000,
+            10_000.0f64..1e6,
+            0u64..1_000_000,
+            1u64..100_000_000,
+        ),
+        (0u64..100_000, 0u64..20_000, 0u64..10_000, 0u64..10_000_000),
+    )
+        .prop_map(
+            |((warps, issue, gld_tx, gld_bytes), (local_tx, divergent, replays, flops))| {
+                KernelStats {
+                    warps,
+                    issue_cycles: issue,
+                    global_load_tx: gld_tx,
+                    global_load_bytes_requested: gld_bytes,
+                    local_load_tx: local_tx,
+                    local_load_bytes_requested: local_tx.saturating_mul(64),
+                    branch_slots: divergent * 2 + 1,
+                    divergent_branch_slots: divergent,
+                    shared_replays: replays,
+                    flops_f64: flops,
+                    ..Default::default()
+                }
+            },
+        )
+}
+
+fn run_rules(stats: &KernelStats, o: &Occupancy, overlap: OverlapMode) -> Vec<Advisory> {
+    let cfg = GpuConfig::tesla_c2075();
+    let timing = kernel_time(stats, o, &cfg);
+    let stalls = kernel_stalls(stats, &timing, o);
+    let roof = roofline(stats, &timing, &cfg);
+    let metrics = DerivedMetrics::from_stats(stats, &cfg);
+    advise(&AdvisorInput {
+        stats,
+        metrics: &metrics,
+        occupancy: o,
+        timing: &timing,
+        stalls: &stalls,
+        roofline: &roof,
+        hotspots: &[],
+        overlap,
+        h2d_per_frame: 1e-4,
+        d2h_per_frame: 1e-4,
+        dma_starvation: 0.0,
+        frames: 8,
+        cfg: &cfg,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The rules engine is a pure function: identical inputs give
+    /// identical advisories, ranked by non-increasing modelled benefit,
+    /// and every advisory it emits carries a positive benefit.
+    #[test]
+    fn advisories_are_deterministic_and_benefit_ranked(
+        stats in arb_stats(),
+        o in arb_occupancy(),
+        sequential in any::<bool>(),
+    ) {
+        let overlap = if sequential {
+            OverlapMode::Sequential
+        } else {
+            OverlapMode::DoubleBuffered
+        };
+        let a = run_rules(&stats, &o, overlap);
+        let b = run_rules(&stats, &o, overlap);
+        prop_assert_eq!(&a, &b);
+        for w in a.windows(2) {
+            prop_assert!(w[0].estimated_benefit_s >= w[1].estimated_benefit_s);
+        }
+        for adv in &a {
+            prop_assert!(adv.estimated_benefit_s > 0.0);
+            prop_assert!(adv.estimated_speedup >= 1.0);
+        }
+    }
+
+    /// Stall reasons partition the modelled time for *any* counter mix,
+    /// not just the shipped kernels.
+    #[test]
+    fn synthetic_stall_reasons_conserve_kernel_time(
+        stats in arb_stats(),
+        o in arb_occupancy(),
+    ) {
+        let cfg = GpuConfig::tesla_c2075();
+        let timing = kernel_time(&stats, &o, &cfg);
+        let stalls = kernel_stalls(&stats, &timing, &o);
+        let total = timing.total;
+        prop_assert!(total > 0.0);
+        prop_assert!(
+            (stalls.sum() - total).abs() / total < 1e-9,
+            "stall sum {} != total {}", stalls.sum(), total
+        );
+    }
+}

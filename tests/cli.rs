@@ -27,7 +27,8 @@ fn no_args_prints_help_listing_every_subcommand() {
     assert!(out.status.success(), "no-arg invocation must exit 0");
     let help = stdout(&out);
     for cmd in [
-        "info", "demo", "ladder", "run", "profile", "streams", "check", "metrics", "bench", "help",
+        "info", "demo", "ladder", "run", "profile", "advise", "streams", "check", "metrics",
+        "bench", "help",
     ] {
         assert!(
             help.contains(&format!("\n    {cmd} ")),
@@ -78,6 +79,66 @@ fn metrics_subcommand_emits_an_exposition_to_stdout() {
     let text = stdout(&out);
     assert!(text.starts_with("# HELP "));
     assert!(text.contains("# TYPE mogpu_dram_bytes_total counter"));
+}
+
+#[test]
+fn metrics_exposition_includes_per_kernel_gauges() {
+    let out = mogpu(&["metrics", "--frames", "4", "--level", "A"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("# TYPE mogpu_kernel_branch_efficiency gauge"));
+    assert!(text.contains("mogpu_kernel_gld_efficiency{pipeline=\"level A\"}"));
+    assert!(
+        text.contains("mogpu_kernel_occupancy{pipeline=\"level A\",limiter=\"Registers\"}"),
+        "missing occupancy gauge with limiter label:\n{text}"
+    );
+}
+
+#[test]
+fn advise_exits_zero_with_findings_and_ranks_the_papers_next_step() {
+    let out = mogpu(&["advise", "--level", "A", "--frames", "8"]);
+    assert!(
+        out.status.success(),
+        "findings must not fail the command; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("#1 coalesce-global-memory -> CoalesceMemory"));
+    assert!(text.contains("site: "), "no file:line evidence:\n{text}");
+
+    let json_out = mogpu(&["advise", "--level", "A", "--frames", "8", "--json"]);
+    assert!(json_out.status.success());
+    let doc: mogpu::json::Value = mogpu::json::from_str(stdout(&json_out).trim()).unwrap();
+    assert_eq!(doc["launchable"], mogpu::json::Value::Bool(true));
+    let advisories = doc["advisories"].as_array().unwrap();
+    assert_eq!(
+        advisories[0]["transform"],
+        mogpu::json::Value::String("CoalesceMemory".into())
+    );
+}
+
+#[test]
+fn advise_reports_an_unlaunchable_kernel_structurally_and_exits_nonzero() {
+    // 1024 threads/block at level B's 36 regs/thread exceeds the 32 K
+    // register file: no block can become resident.
+    let out = mogpu(&[
+        "advise", "--level", "B", "--frames", "4", "--tpb", "1024", "--json",
+    ]);
+    assert!(
+        !out.status.success(),
+        "unlaunchable input must exit nonzero"
+    );
+    let doc: mogpu::json::Value = mogpu::json::from_str(stdout(&out).trim()).unwrap();
+    assert_eq!(doc["launchable"], mogpu::json::Value::Bool(false));
+    let advisories = doc["advisories"].as_array().unwrap();
+    assert_eq!(
+        advisories[0]["transform"],
+        mogpu::json::Value::String("ShrinkLaunchFootprint".into())
+    );
+    assert_eq!(
+        advisories[0]["rule"],
+        mogpu::json::Value::String("unlaunchable-kernel".into())
+    );
 }
 
 #[test]

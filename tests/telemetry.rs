@@ -5,7 +5,7 @@
 
 use mogpu::json::Value;
 use mogpu::prelude::*;
-use mogpu::sim::telemetry::prometheus;
+use mogpu::sim::telemetry::{prometheus, KernelGauges};
 use std::collections::BTreeMap;
 
 fn scene_frames(n: usize) -> Vec<Frame<u8>> {
@@ -199,7 +199,8 @@ fn prometheus_round_trips_and_matches_the_report_series() {
     let frames = scene_frames(10);
     let report = run(OptLevel::Windowed { group: 8 }, &frames);
     let t = &report.telemetry;
-    let text = prometheus(&[("level W(8)".to_string(), t)]);
+    let gauges = KernelGauges::new(&report.metrics, &report.occupancy);
+    let text = prometheus(&[("level W(8)".to_string(), t, Some(gauges))]);
     let exp = parse_exposition(&text);
 
     // Every emitted metric carries help and type.
@@ -262,8 +263,8 @@ fn dram_byte_counter_is_monotone_in_time() {
     let a = run(OptLevel::A, &frames);
     let f = run(OptLevel::F, &frames);
     let text = prometheus(&[
-        ("level A".to_string(), &a.telemetry),
-        ("level F".to_string(), &f.telemetry),
+        ("level A".to_string(), &a.telemetry, None),
+        ("level F".to_string(), &f.telemetry, None),
     ]);
     let exp = parse_exposition(&text);
     // Group the counter samples per pipeline, order by the q label.
@@ -293,7 +294,8 @@ fn hostile_pipeline_labels_survive_the_round_trip() {
     let frames = scene_frames(4);
     let report = run(OptLevel::C, &frames);
     let evil = "cam\\era \"7\"\nbasement";
-    let text = prometheus(&[(evil.to_string(), &report.telemetry)]);
+    let gauges = KernelGauges::new(&report.metrics, &report.occupancy);
+    let text = prometheus(&[(evil.to_string(), &report.telemetry, Some(gauges))]);
     let exp = parse_exposition(&text);
     for samples in exp.samples.values() {
         for s in samples {
@@ -331,6 +333,7 @@ fn chrome_trace_gains_counter_tracks_on_the_same_clock() {
     let mut builder = mogpu::sim::chrome_trace::TraceBuilder::new();
     let pid = builder.add_pipeline("level C", &report.schedule);
     builder.add_counters(pid, &report.telemetry);
+    builder.add_stall_counters(pid, &report.telemetry, &report.stalls);
     let trace = mogpu::json::to_value(&builder.finish()).unwrap();
     let events = trace["traceEvents"].as_array().unwrap();
     let counters: Vec<&Value> = events
@@ -347,6 +350,12 @@ fn chrome_trace_gains_counter_tracks_on_the_same_clock() {
             "counter ts {ts} outside [0, {makespan_us}]"
         );
     }
+    // The stall-reason track rides the same clock as the other counters.
+    let stall_track: Vec<&&Value> = counters
+        .iter()
+        .filter(|e| e["name"] == Value::String("kernel stall reasons".into()))
+        .collect();
+    assert_eq!(stall_track.len(), report.telemetry.samples() + 1);
 }
 
 #[test]
