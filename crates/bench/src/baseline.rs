@@ -22,8 +22,10 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::Path;
 
-/// Format version of baseline files.
-pub const BASELINE_SCHEMA: u32 = 1;
+/// Format version of baseline files. Schema 2 added host-side simulator
+/// throughput (`multi_stream.sim_frames_per_sec`, gated by a one-sided
+/// floor) to schema 1's modelled metrics.
+pub const BASELINE_SCHEMA: u32 = 2;
 
 /// Default baseline location relative to the repository root.
 pub const DEFAULT_BASELINE_PATH: &str = "results/baselines/default.json";
@@ -69,6 +71,14 @@ pub struct Tolerances {
     pub occupancy_abs: f64,
     /// Absolute tolerance on multi-stream kernel utilization.
     pub utilization_abs: f64,
+    /// One-sided floor on host-side simulator throughput: the fresh
+    /// measurement fails only when it drops below
+    /// `baseline * (1 - sim_throughput_floor_rel)`. Unlike every other
+    /// metric this one is wall-clock (machine-dependent and noisy), so
+    /// the band is wide and improvements never fail — the gate exists to
+    /// catch *order-of-magnitude* simulator slowdowns, not to freeze a
+    /// number.
+    pub sim_throughput_floor_rel: f64,
 }
 
 impl Default for Tolerances {
@@ -80,6 +90,7 @@ impl Default for Tolerances {
             store_tx_rel: 0.01,
             occupancy_abs: 0.001,
             utilization_abs: 0.02,
+            sim_throughput_floor_rel: 0.75,
         }
     }
 }
@@ -110,6 +121,10 @@ pub struct StreamRecord {
     pub aggregate_fps: f64,
     /// Compute-engine busy fraction of the makespan.
     pub kernel_utilization: f64,
+    /// Host-side simulator throughput: frames *simulated* per wall-clock
+    /// second during the multi-stream run. The only non-deterministic
+    /// metric in the baseline; checked against a one-sided floor.
+    pub sim_frames_per_sec: f64,
 }
 
 /// A tolerance-annotated performance baseline.
@@ -202,7 +217,9 @@ pub fn measure(cfg: &BenchConfig, tolerances: Tolerances) -> Baseline {
     )
     .expect("multi-stream construction");
     let inputs: Vec<Vec<Frame<u8>>> = scenes.iter().map(|f| f[1..].to_vec()).collect();
+    let started = std::time::Instant::now();
     let r = multi.process_all(&inputs).expect("multi-stream run");
+    let wall_s = started.elapsed().as_secs_f64();
 
     Baseline {
         schema: BASELINE_SCHEMA,
@@ -214,6 +231,11 @@ pub fn measure(cfg: &BenchConfig, tolerances: Tolerances) -> Baseline {
             frames_per_stream: cfg.frames.saturating_sub(1),
             aggregate_fps: r.aggregate_fps,
             kernel_utilization: r.kernel_utilization,
+            sim_frames_per_sec: if wall_s > 0.0 {
+                r.total_frames as f64 / wall_s
+            } else {
+                f64::NAN
+            },
         },
     }
 }
@@ -266,6 +288,21 @@ fn diff(metric: String, base: f64, cur: f64, tolerance: f64, relative: bool) -> 
         kind: if relative { "relative" } else { "absolute" }.to_string(),
         // NaN anywhere (delta or allowed) must fail the comparison.
         pass: delta.is_finite() && delta.abs() <= allowed,
+    }
+}
+
+/// One-sided floor comparison for wall-clock metrics: passes while
+/// `cur >= base * (1 - tolerance)`; improvements always pass.
+fn diff_floor(metric: String, base: f64, cur: f64, tolerance: f64) -> MetricDiff {
+    let delta = cur - base;
+    MetricDiff {
+        metric,
+        baseline: base,
+        current: cur,
+        delta,
+        tolerance,
+        kind: "floor".to_string(),
+        pass: delta.is_finite() && cur >= base * (1.0 - tolerance),
     }
 }
 
@@ -328,6 +365,12 @@ pub fn check(baseline: &Baseline, current: &Baseline) -> CheckReport {
         t.utilization_abs,
         false,
     ));
+    diffs.push(diff_floor(
+        "streams.sim_frames_per_sec".to_string(),
+        baseline.multi_stream.sim_frames_per_sec,
+        current.multi_stream.sim_frames_per_sec,
+        t.sim_throughput_floor_rel,
+    ));
     CheckReport {
         pass: diffs.iter().all(|d| d.pass),
         diffs,
@@ -343,15 +386,15 @@ pub fn render_table(report: &CheckReport) -> String {
     ));
     out.push_str(&format!("{}\n", "-".repeat(88)));
     for d in &report.diffs {
-        let delta = if d.kind == "relative" && d.baseline.abs() > 1e-12 {
+        let delta = if d.kind != "absolute" && d.baseline.abs() > 1e-12 {
             format!("{:+.2}%", 100.0 * d.delta / d.baseline)
         } else {
             format!("{:+.4}", d.delta)
         };
-        let tol = if d.kind == "relative" {
-            format!("±{:.1}%", 100.0 * d.tolerance)
-        } else {
-            format!("±{}", d.tolerance)
+        let tol = match d.kind.as_str() {
+            "relative" => format!("±{:.1}%", 100.0 * d.tolerance),
+            "floor" => format!(">-{:.0}%", 100.0 * d.tolerance),
+            _ => format!("±{}", d.tolerance),
         };
         out.push_str(&format!(
             "{:<30} {:>14.4} {:>14.4} {:>10} {:>10}  {}\n",
@@ -394,10 +437,40 @@ mod tests {
         let fresh = measure(&cfg, Tolerances::default());
         let report = check(&recorded, &fresh);
         assert!(report.pass, "{}", render_table(&report));
-        // Determinism means the diffs are exactly zero, not merely small.
+        // Determinism means the diffs are exactly zero, not merely small
+        // — except the one wall-clock metric, which is gated by its
+        // floor instead.
         for d in &report.diffs {
-            assert_eq!(d.delta, 0.0, "{}", d.metric);
+            if d.kind == "floor" {
+                assert!(d.pass, "{}", d.metric);
+            } else {
+                assert_eq!(d.delta, 0.0, "{}", d.metric);
+            }
         }
+    }
+
+    #[test]
+    fn sim_throughput_floor_is_one_sided() {
+        let cfg = tiny_cfg();
+        let mut recorded = measure(&cfg, Tolerances::default());
+        let fresh = measure(&cfg, Tolerances::default());
+        let floor_of = |r: &CheckReport| {
+            r.diffs
+                .iter()
+                .find(|d| d.metric == "streams.sim_frames_per_sec")
+                .cloned()
+                .expect("floor metric present")
+        };
+        // A recorded value far above reality reads as a collapse and
+        // fails the floor.
+        recorded.multi_stream.sim_frames_per_sec = fresh.multi_stream.sim_frames_per_sec * 100.0;
+        let d = floor_of(&check(&recorded, &fresh));
+        assert!(!d.pass, "a 100x throughput collapse must fail the floor");
+        assert_eq!(d.kind, "floor");
+        // A recorded value far below reality is an improvement: floors
+        // are one-sided, so it passes.
+        recorded.multi_stream.sim_frames_per_sec = fresh.multi_stream.sim_frames_per_sec / 100.0;
+        assert!(floor_of(&check(&recorded, &fresh)).pass);
     }
 
     #[test]

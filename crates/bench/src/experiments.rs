@@ -1022,10 +1022,18 @@ pub fn exp_streams() -> serde_json::Value {
     );
 
     println!(
-        "{:<9} {:>13} {:>13} {:>10} {:>13} {:>13}",
-        "streams", "aggr fps", "ideal fps", "kern busy", "lat mean ms", "lat max ms"
+        "{:<9} {:>11} {:>11} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "streams",
+        "aggr fps",
+        "ideal fps",
+        "kern busy",
+        "mean ms",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "max ms"
     );
-    rule(76);
+    rule(96);
     let mut rows = Vec::new();
     for n in [1usize, 2, 4, 8, 16] {
         let report = run(&scenes(n), period);
@@ -1035,14 +1043,24 @@ pub fn exp_streams() -> serde_json::Value {
             .map(|s| s.latency.mean)
             .sum::<f64>()
             / n as f64;
+        // Tail latency across the whole fleet: percentiles of every
+        // frame's sojourn pooled over streams (not a mean of per-stream
+        // percentiles, which would understate the tail).
+        let pooled: Vec<f64> = (0..n)
+            .flat_map(|s| report.schedule.frame_latencies(s))
+            .collect();
+        let lat = mogpu_sim::streams::LatencyStats::from_samples(&pooled);
         let ideal = (n as f64 * camera_fps).min(1.0 / t_kernel);
         println!(
-            "{:<9} {:>13.0} {:>13.0} {:>10} {:>13.4} {:>13.4}",
+            "{:<9} {:>11.0} {:>11.0} {:>10} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
             n,
             report.aggregate_fps,
             ideal,
             pct(report.kernel_utilization),
             1e3 * lat_mean,
+            1e3 * lat.p50,
+            1e3 * lat.p95,
+            1e3 * lat.p99,
             1e3 * report.worst_latency()
         );
         rows.push(json!({
@@ -1051,10 +1069,14 @@ pub fn exp_streams() -> serde_json::Value {
             "ideal_fps": ideal,
             "kernel_utilization": report.kernel_utilization,
             "latency_mean_ms": 1e3 * lat_mean,
+            "latency_p50_ms": 1e3 * lat.p50,
+            "latency_p95_ms": 1e3 * lat.p95,
+            "latency_p99_ms": 1e3 * lat.p99,
+            "latency_p999_ms": 1e3 * lat.p999,
             "latency_max_ms": 1e3 * report.worst_latency(),
         }));
     }
-    rule(76);
+    rule(96);
     println!("aggregate throughput tracks n x camera rate until the compute engine");
     println!("saturates (~6 streams at this pacing), then plateaus at 1/kernel-time.");
     println!("Past saturation latency grows with cross-stream queueing but stays");

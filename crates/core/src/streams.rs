@@ -22,6 +22,7 @@ use crate::levels::OptLevel;
 use crate::pipeline::{GpuMog, PipelineError, RunReport};
 use mogpu_frame::{Frame, Mask, Resolution};
 use mogpu_mog::MogParams;
+use mogpu_sim::serving::{serving_report, ServingReport, ServingWindowConfig, SloConfig};
 use mogpu_sim::streams::{
     LatencyStats, StageTimes, StreamInput, StreamSchedule, StreamScheduler, DOUBLE_BUFFER,
 };
@@ -67,6 +68,10 @@ pub struct MultiStreamReport {
     /// shared-engine schedule (every stream's launches and copies on one
     /// clock).
     pub telemetry: PipelineTelemetry,
+    /// Serving observability: SLO-judged latency histograms, windowed
+    /// snapshots with monotone counters, and the structured event log
+    /// (see [`mogpu_sim::serving`]).
+    pub serving: ServingReport,
 }
 
 impl MultiStreamReport {
@@ -113,6 +118,9 @@ pub struct MultiGpuMog<T: DeviceReal> {
     cfg: GpuConfig,
     buffers_per_stream: usize,
     arrival_period: f64,
+    site: String,
+    slo: SloConfig,
+    window: ServingWindowConfig,
 }
 
 impl<T: DeviceReal> MultiGpuMog<T> {
@@ -150,6 +158,9 @@ impl<T: DeviceReal> MultiGpuMog<T> {
             cfg,
             buffers_per_stream: DOUBLE_BUFFER,
             arrival_period: 0.0,
+            site: format!("level {level}"),
+            slo: SloConfig::default(),
+            window: ServingWindowConfig::default(),
         })
     }
 
@@ -165,6 +176,22 @@ impl<T: DeviceReal> MultiGpuMog<T> {
     /// available up front.
     pub fn with_arrival_period(mut self, period: f64) -> Self {
         self.arrival_period = period.max(0.0);
+        self
+    }
+
+    /// Sets the serving SLO every frame's end-to-end latency is judged
+    /// against (default: 40 ms deadline, 1% error budget).
+    pub fn with_slo(mut self, slo: SloConfig) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// Sets the serving snapshot window on the schedule clock (seconds;
+    /// 0 = auto-size to makespan / 8).
+    pub fn with_window(mut self, window_s: f64) -> Self {
+        self.window = ServingWindowConfig {
+            window_s: window_s.max(0.0),
+        };
         self
     }
 
@@ -272,6 +299,16 @@ impl<T: DeviceReal> MultiGpuMog<T> {
             .collect::<Vec<_>>();
         let total_frames = schedule.total_frames();
         let makespan = schedule.makespan();
+        let arrival_periods = vec![self.arrival_period; inputs.len()];
+        let serving = serving_report(
+            &schedule,
+            &arrival_periods,
+            &self.cfg.name,
+            &self.site,
+            &self.slo,
+            &self.window,
+            Some(&telemetry),
+        );
         Ok(MultiStreamReport {
             per_stream,
             total_frames,
@@ -280,6 +317,7 @@ impl<T: DeviceReal> MultiGpuMog<T> {
             kernel_utilization: schedule.kernel_utilization(),
             schedule,
             telemetry,
+            serving,
         })
     }
 }
@@ -393,6 +431,47 @@ mod tests {
             m.process_all(&[Vec::new()]),
             Err(PipelineError::Config(_))
         ));
+    }
+
+    /// The embedded serving report agrees with the schedule: same frame
+    /// counts, frame-latency histogram percentiles bracketing the exact
+    /// per-stream percentiles, and device/site labels set.
+    #[test]
+    fn serving_report_agrees_with_schedule() {
+        let a = scene_frames(6, 8);
+        let b = scene_frames(7, 8);
+        let mut m = multi(&[a.clone(), b.clone()], OptLevel::F)
+            .with_slo(SloConfig {
+                deadline_s: 1e-6, // everything violates
+                error_budget: 0.01,
+            })
+            .with_window(0.0);
+        let r = m.process_all(&[a[1..].to_vec(), b[1..].to_vec()]).unwrap();
+        let serving = &r.serving;
+        assert_eq!(serving.device, GpuConfig::tesla_c2075().name);
+        assert_eq!(serving.site, "level F");
+        assert_eq!(serving.streams.len(), 2);
+        for (s, stream) in serving.streams.iter().enumerate() {
+            assert_eq!(stream.frames_completed as usize, r.per_stream[s].frames);
+            // Offline streams: e2e == sojourn, so every frame violates
+            // the 1 µs deadline and the exact p99 of the report's
+            // LatencyStats falls inside the histogram's p99 bucket.
+            assert_eq!(stream.slo_violations, stream.frames_completed);
+            let exact = r.per_stream[s].latency.p99;
+            let (lo, hi) = stream.frame_latency.quantile_bounds(0.99);
+            assert!(
+                exact > lo && exact <= hi,
+                "stream {s}: exact p99 {exact} outside ({lo}, {hi}]"
+            );
+        }
+        // Violations in the report equal violation events in the log.
+        let event_violations = serving
+            .events
+            .iter()
+            .filter(|e| e.event == mogpu_sim::serving::EventKind::SloViolation)
+            .count() as u64;
+        assert_eq!(serving.total_violations(), event_violations);
+        assert!((serving.makespan_s - r.makespan).abs() < 1e-12);
     }
 
     /// Device sojourn latency stays bounded as sequences grow — the

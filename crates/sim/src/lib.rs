@@ -65,6 +65,7 @@ pub mod memory;
 pub mod occupancy;
 pub mod profile;
 pub mod sancheck;
+pub mod serving;
 pub mod stallreasons;
 pub mod stats;
 pub mod streams;
@@ -83,6 +84,11 @@ pub use memory::{Buffer, DeviceMemory, MemoryError};
 pub use occupancy::{occupancy, Occupancy};
 pub use profile::{HotspotRow, SiteProfile, SiteStats};
 pub use sancheck::{CheckKind, Finding, SanReport};
+pub use serving::{
+    events_jsonl, prometheus_serving, serving_report, EventKind, LatencyHistogram,
+    LatencyPercentiles, ServingEvent, ServingReport, ServingSnapshot, ServingWindowConfig,
+    SloConfig, StreamServing, StreamWindow,
+};
 pub use stallreasons::{dma_starvation, kernel_stalls, site_stalls, SiteStallRow, StallBreakdown};
 pub use stats::{DerivedMetrics, KernelStats};
 pub use streams::{

@@ -83,14 +83,54 @@ impl StreamInput {
     }
 }
 
-/// Mean/max summary of per-frame device sojourn latency (upload start to
-/// download end) for one stream.
+/// Summary of per-frame device sojourn latency (upload start to download
+/// end) for one stream: mean/max plus exact nearest-rank percentiles —
+/// the tail the SLO accounting of [`crate::serving`] judges, which a
+/// mean/max pair hides.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LatencyStats {
     /// Mean sojourn seconds.
     pub mean: f64,
     /// Worst-case sojourn seconds.
     pub max: f64,
+    /// Median sojourn seconds (nearest-rank).
+    pub p50: f64,
+    /// 95th-percentile sojourn seconds (nearest-rank).
+    pub p95: f64,
+    /// 99th-percentile sojourn seconds (nearest-rank).
+    pub p99: f64,
+    /// 99.9th-percentile sojourn seconds (nearest-rank).
+    pub p999: f64,
+}
+
+impl LatencyStats {
+    /// Summarizes a latency sample slice (zeros when empty).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return LatencyStats {
+                mean: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                p999: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let at = |q: f64| -> f64 {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        LatencyStats {
+            mean: samples.iter().sum::<f64>() / samples.len() as f64,
+            max: *sorted.last().expect("non-empty"),
+            p50: at(0.50),
+            p95: at(0.95),
+            p99: at(0.99),
+            p999: at(0.999),
+        }
+    }
 }
 
 /// Result of scheduling N streams: per-stream, per-frame stage intervals
@@ -143,27 +183,20 @@ impl StreamSchedule {
         }
     }
 
+    /// Per-frame device sojourn latencies (upload start to download end)
+    /// of stream `s`, in frame order — the raw samples behind
+    /// [`Self::stream_latency`] and the serving histograms.
+    pub fn frame_latencies(&self, s: usize) -> Vec<f64> {
+        self.streams[s]
+            .iter()
+            .map(|f| f.d2h.end() - f.h2d.start)
+            .collect()
+    }
+
     /// Device sojourn latency (upload start to download end) of stream
     /// `s`. Returns zeros for an empty stream.
     pub fn stream_latency(&self, s: usize) -> LatencyStats {
-        let frames = &self.streams[s];
-        if frames.is_empty() {
-            return LatencyStats {
-                mean: 0.0,
-                max: 0.0,
-            };
-        }
-        let mut sum = 0.0f64;
-        let mut max = 0.0f64;
-        for f in frames {
-            let sojourn = f.d2h.end() - f.h2d.start;
-            sum += sojourn;
-            max = max.max(sojourn);
-        }
-        LatencyStats {
-            mean: sum / frames.len() as f64,
-            max,
-        }
+        LatencyStats::from_samples(&self.frame_latencies(s))
     }
 
     /// Completion time (last download end) of stream `s`; 0 if empty.
@@ -496,6 +529,27 @@ mod tests {
                 assert!(f.d2h.start >= f.kernel.end() - 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn latency_stats_percentiles_are_nearest_rank() {
+        // 100 samples 0.01..=1.00: nearest-rank pXX is exactly XX/100.
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
+        let l = LatencyStats::from_samples(&samples);
+        assert!((l.p50 - 0.50).abs() < 1e-12);
+        assert!((l.p95 - 0.95).abs() < 1e-12);
+        assert!((l.p99 - 0.99).abs() < 1e-12);
+        assert!((l.p999 - 1.00).abs() < 1e-12);
+        assert!((l.mean - 0.505).abs() < 1e-12);
+        assert_eq!(l.max, 1.0);
+        // Percentiles are monotone and bracketed by the schedule's own
+        // mean/max on a real schedule.
+        let sched = StreamScheduler::double_buffered()
+            .schedule(&[uniform_stream(20, 0.01, 1.0, 0.01)], &cfg());
+        let lat = sched.stream_latency(0);
+        assert!(lat.p50 <= lat.p95 && lat.p95 <= lat.p99);
+        assert!(lat.p99 <= lat.p999 && lat.p999 <= lat.max);
+        assert_eq!(sched.frame_latencies(0).len(), sched.streams[0].len());
     }
 
     #[test]

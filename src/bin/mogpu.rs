@@ -22,6 +22,7 @@ fn main() -> ExitCode {
         Some("profile") => cmd_profile(&args[1..]),
         Some("advise") => cmd_advise(&args[1..]),
         Some("streams") => cmd_streams(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
@@ -52,6 +53,7 @@ COMMANDS:
     profile   Hotspot table, roofline bounds, bottleneck classification
     advise    Ranked optimization advisories from stall/roofline analysis
     streams   Serve N camera streams from one device, CUDA-streams style
+    serve     Replay a serving report on a Prometheus scrape endpoint
     check     Sanitizer sweep over every shipped kernel
     metrics   Emit time-resolved telemetry in Prometheus text format
     bench     Record / check the performance-regression baseline
@@ -96,14 +98,36 @@ USAGE:
         alone never do). Default: level A, 16 frames, K=3, double.
 
     mogpu streams [--streams N] [--frames M] [--level L] [--k K] [--float]
-                  [--buffers B] [--fps R] [--json]
+                  [--buffers B] [--fps R] [--json] [--slo-ms D]
+                  [--error-budget E] [--window-ms W] [--events-out FILE.jsonl]
+                  [--serve-metrics HOST:PORT] [--serve-seconds S]
+                  [--replay-ms R]
         Serve N independent synthetic camera streams (distinct scenes)
         from one simulated device, CUDA-streams style: per-stream model
         state, shared compute/copy engines, B in-flight buffers per
         stream (default 2 = double buffering). --fps R paces each stream
         at R frames/s arrival (a live camera; default: offline, frames
-        available up front). Prints per-stream latency and aggregate
-        throughput; --json emits the same machine-readably.
+        available up front). Prints per-stream latency (mean and exact
+        p50/p95/p99 percentiles) and aggregate throughput; --json emits
+        the same machine-readably, including the full serving report.
+        Serving observability: every frame's end-to-end latency is
+        judged against an SLO of D ms (default 40) with error budget E
+        (default 0.01); the run is cut into schedule-clock windows of W
+        ms (default: makespan/8) with cumulative counters monotone
+        across windows. --events-out writes the JSONL event log
+        (frame_admitted / launch / frame_completed / slo_violation with
+        device+stream+site attribution). --serve-metrics binds a
+        dependency-free HTTP endpoint and replays the window snapshots
+        on /metrics (one window per --replay-ms of wall time, default
+        500), for --serve-seconds S (default 0 = until interrupted).
+
+    mogpu serve --report FILE.json [--addr HOST:PORT] [--serve-seconds S]
+                [--replay-ms R]
+        Replay a previously recorded serving report (`mogpu streams
+        --report-out FILE.json`, or a bare serving report) on a
+        Prometheus scrape endpoint at HOST:PORT (default
+        127.0.0.1:9184), advancing one window snapshot per --replay-ms
+        of wall time so scrapes see the counters grow monotonically.
 
     mogpu check [--frames N] [--k K] [--float] [--json]
         Run every shipped kernel (levels A..F, W8, adaptive, morph) under
@@ -744,6 +768,29 @@ fn cmd_streams(args: &[String]) -> Result<(), String> {
         .map(|v| v.parse().unwrap_or(0.0))
         .unwrap_or(0.0);
     let json = opt_flag(args, "--json");
+    let slo_ms: f64 = opt_value(args, "--slo-ms")
+        .map(|v| v.parse().unwrap_or(40.0))
+        .unwrap_or(40.0);
+    let error_budget: f64 = opt_value(args, "--error-budget")
+        .map(|v| v.parse().unwrap_or(0.01))
+        .unwrap_or(0.01);
+    let slo = mogpu::sim::serving::SloConfig {
+        deadline_s: slo_ms.max(0.0) / 1e3,
+        error_budget: error_budget.max(0.0),
+    };
+    let window_ms: f64 = opt_value(args, "--window-ms")
+        .map(|v| v.parse().unwrap_or(0.0))
+        .unwrap_or(0.0);
+    let window_s = window_ms.max(0.0) / 1e3;
+    let events_out = opt_value(args, "--events-out").map(PathBuf::from);
+    let serve_addr = opt_value(args, "--serve-metrics");
+    let serve_seconds: f64 = opt_value(args, "--serve-seconds")
+        .map(|v| v.parse().unwrap_or(0.0))
+        .unwrap_or(0.0);
+    let replay_s: f64 = opt_value(args, "--replay-ms")
+        .map(|v| v.parse().unwrap_or(500.0))
+        .unwrap_or(500.0)
+        / 1e3;
     let obs = ObsFlags::parse(args)?;
 
     // One distinct synthetic scene per camera.
@@ -760,40 +807,13 @@ fn cmd_streams(args: &[String]) -> Result<(), String> {
         })
         .collect();
     let report = if use_f32 {
-        run_streams::<f32>(&scenes, level, k, buffers, fps)?
+        run_streams::<f32>(&scenes, level, k, buffers, fps, slo, window_s)?
     } else {
-        run_streams::<f64>(&scenes, level, k, buffers, fps)?
+        run_streams::<f64>(&scenes, level, k, buffers, fps, slo, window_s)?
     };
 
+    let doc = streams_json_doc(&report, n_streams, n_frames, level, buffers, fps, slo);
     if json {
-        let streams: Vec<mogpu::json::Value> = report
-            .per_stream
-            .iter()
-            .enumerate()
-            .map(|(s, r)| {
-                mogpu::json::json!({
-                    "stream": s,
-                    "frames": r.frames,
-                    "kernel_s": r.kernel_time_total,
-                    "latency_mean_ms": 1e3 * r.latency.mean,
-                    "latency_max_ms": 1e3 * r.latency.max,
-                    "completion_s": r.completion,
-                    "fps": r.fps,
-                })
-            })
-            .collect();
-        let doc = mogpu::json::json!({
-            "streams": n_streams,
-            "frames_per_stream": n_frames - 1,
-            "level": level.name(),
-            "buffers_per_stream": buffers.max(1),
-            "arrival_fps": fps,
-            "total_frames": report.total_frames,
-            "makespan_s": report.makespan,
-            "aggregate_fps": report.aggregate_fps,
-            "kernel_utilization": report.kernel_utilization,
-            "per_stream": streams,
-        });
         println!(
             "{}",
             mogpu::json::to_string_pretty(&doc).map_err(|e| e.to_string())?
@@ -811,16 +831,29 @@ fn cmd_streams(args: &[String]) -> Result<(), String> {
             }
         );
         println!(
-            "{:<8} {:>7} {:>12} {:>12} {:>10} {:>9}",
-            "stream", "frames", "lat mean ms", "lat max ms", "done s", "fps"
+            "{:<8} {:>7} {:>10} {:>9} {:>9} {:>9} {:>9} {:>6} {:>10} {:>9}",
+            "stream",
+            "frames",
+            "mean ms",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "max ms",
+            "viol",
+            "done s",
+            "fps"
         );
         for (s, r) in report.per_stream.iter().enumerate() {
             println!(
-                "{:<8} {:>7} {:>12.3} {:>12.3} {:>10.4} {:>9.1}",
+                "{:<8} {:>7} {:>10.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>6} {:>10.4} {:>9.1}",
                 format!("s{s}"),
                 r.frames,
                 1e3 * r.latency.mean,
+                1e3 * r.latency.p50,
+                1e3 * r.latency.p95,
+                1e3 * r.latency.p99,
                 1e3 * r.latency.max,
+                report.serving.streams[s].slo_violations,
                 r.completion,
                 r.fps
             );
@@ -832,6 +865,30 @@ fn cmd_streams(args: &[String]) -> Result<(), String> {
             report.aggregate_fps,
             100.0 * report.kernel_utilization
         );
+        println!(
+            "slo: {:.1} ms deadline, {}/{} streams at SLO, {} violation(s), {} windows of {:.1} ms",
+            1e3 * slo.deadline_s,
+            report.serving.streams_at_slo(),
+            n_streams,
+            report.serving.total_violations(),
+            report.serving.snapshots.len(),
+            1e3 * report.serving.window_s,
+        );
+    }
+
+    if let Some(path) = &events_out {
+        let text = mogpu::sim::serving::events_jsonl(&report.serving.events);
+        std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!(
+            "wrote {} serving events to {}",
+            report.serving.events.len(),
+            path.display()
+        );
+    }
+    if let Some(path) = &obs.report_out {
+        let text = mogpu::json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("wrote multi-stream report to {}", path.display());
     }
 
     if let Some(path) = &obs.trace_out {
@@ -855,7 +912,126 @@ fn cmd_streams(args: &[String]) -> Result<(), String> {
         std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))?;
         println!("wrote Prometheus metrics to {}", path.display());
     }
+    if let Some(addr) = &serve_addr {
+        let label = format!("{n_streams} streams, level {}", level.name());
+        let extra = mogpu::sim::telemetry::prometheus(&[(label, &report.telemetry, None)]);
+        serve_metrics(report.serving, addr, replay_s, serve_seconds, extra)?;
+    }
     Ok(())
+}
+
+/// Machine-readable multi-stream report document: run shape, aggregate
+/// and per-stream latency summaries (with exact percentiles), and the
+/// full serving report (SLO accounting, windowed snapshots, event log).
+fn streams_json_doc(
+    report: &MultiStreamReport,
+    n_streams: usize,
+    n_frames: usize,
+    level: OptLevel,
+    buffers: usize,
+    fps: f64,
+    slo: mogpu::sim::serving::SloConfig,
+) -> mogpu::json::Value {
+    let streams: Vec<mogpu::json::Value> = report
+        .per_stream
+        .iter()
+        .enumerate()
+        .map(|(s, r)| {
+            mogpu::json::json!({
+                "stream": s,
+                "frames": r.frames,
+                "kernel_s": r.kernel_time_total,
+                "latency_mean_ms": 1e3 * r.latency.mean,
+                "latency_p50_ms": 1e3 * r.latency.p50,
+                "latency_p95_ms": 1e3 * r.latency.p95,
+                "latency_p99_ms": 1e3 * r.latency.p99,
+                "latency_p999_ms": 1e3 * r.latency.p999,
+                "latency_max_ms": 1e3 * r.latency.max,
+                "slo_violations": report.serving.streams[s].slo_violations,
+                "completion_s": r.completion,
+                "fps": r.fps,
+            })
+        })
+        .collect();
+    mogpu::json::json!({
+        "streams": n_streams,
+        "frames_per_stream": n_frames - 1,
+        "level": level.name(),
+        "buffers_per_stream": buffers.max(1),
+        "arrival_fps": fps,
+        "slo_deadline_ms": 1e3 * slo.deadline_s,
+        "slo_error_budget": slo.error_budget,
+        "total_frames": report.total_frames,
+        "makespan_s": report.makespan,
+        "aggregate_fps": report.aggregate_fps,
+        "kernel_utilization": report.kernel_utilization,
+        "streams_at_slo": report.serving.streams_at_slo(),
+        "slo_violations_total": report.serving.total_violations(),
+        "per_stream": streams,
+        "serving": report.serving,
+    })
+}
+
+/// Binds the scrape endpoint and serves snapshot replays until the
+/// duration elapses (0 = forever).
+fn serve_metrics(
+    serving: mogpu::sim::serving::ServingReport,
+    addr: &str,
+    replay_s: f64,
+    serve_seconds: f64,
+    extra_exposition: String,
+) -> Result<(), String> {
+    let server = mogpu::serve::MetricsServer::bind(addr, serving, replay_s)
+        .map_err(|e| format!("bind {addr}: {e}"))?
+        .with_extra_exposition(extra_exposition);
+    println!(
+        "serving /metrics on http://{} ({})",
+        server.local_addr(),
+        if serve_seconds > 0.0 {
+            format!("for {serve_seconds:.0} s")
+        } else {
+            "until interrupted".into()
+        }
+    );
+    let handled = server
+        .serve_for(serve_seconds)
+        .map_err(|e| format!("serve: {e}"))?;
+    println!("served {handled} request(s)");
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let report_path = PathBuf::from(opt_value(args, "--report").ok_or(
+        "usage: mogpu serve --report FILE.json [--addr HOST:PORT] [--serve-seconds N] [--replay-ms N]",
+    )?);
+    let addr = opt_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:9184".into());
+    let serve_seconds: f64 = opt_value(args, "--serve-seconds")
+        .map(|v| v.parse().unwrap_or(0.0))
+        .unwrap_or(0.0);
+    let replay_s: f64 = opt_value(args, "--replay-ms")
+        .map(|v| v.parse().unwrap_or(500.0))
+        .unwrap_or(500.0)
+        / 1e3;
+
+    let text = std::fs::read_to_string(&report_path)
+        .map_err(|e| format!("{}: {e}", report_path.display()))?;
+    let doc: mogpu::json::Value =
+        mogpu::json::from_str(&text).map_err(|e| format!("{}: {e}", report_path.display()))?;
+    // Accept either a `mogpu streams --report-out` document (serving
+    // report under the "serving" key) or a bare serving report.
+    let serving_value = doc.get("serving").unwrap_or(&doc);
+    let serving =
+        <mogpu::sim::serving::ServingReport as serde::Deserialize>::from_json_value(serving_value)
+            .map_err(|e| format!("{}: not a serving report: {e}", report_path.display()))?;
+    println!(
+        "replaying {}: device {:?}, {} stream(s), {} snapshot(s), {:.4} s makespan",
+        report_path.display(),
+        serving.device,
+        serving.streams.len(),
+        serving.snapshots.len(),
+        serving.makespan_s
+    );
+    serve_metrics(serving, &addr, replay_s, serve_seconds, String::new())
 }
 
 fn cmd_metrics(args: &[String]) -> Result<(), String> {
@@ -1113,6 +1289,8 @@ fn run_streams<T: mogpu::core::DeviceReal>(
     k: usize,
     buffers: usize,
     fps: f64,
+    slo: mogpu::sim::serving::SloConfig,
+    window_s: f64,
 ) -> Result<MultiStreamReport, String> {
     let seeds: Vec<&[u8]> = scenes.iter().map(|f| f[0].as_slice()).collect();
     let mut multi = MultiGpuMog::<T>::new(
@@ -1123,7 +1301,9 @@ fn run_streams<T: mogpu::core::DeviceReal>(
         GpuConfig::tesla_c2075(),
     )
     .map_err(|e| e.to_string())?
-    .with_buffers(buffers);
+    .with_buffers(buffers)
+    .with_slo(slo)
+    .with_window(window_s);
     if fps > 0.0 {
         multi = multi.with_arrival_period(1.0 / fps);
     }

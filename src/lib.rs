@@ -46,6 +46,8 @@
 //! assert_eq!(report.masks.len(), 7);
 //! ```
 
+pub mod serve;
+
 pub use mogpu_bench as bench;
 pub use mogpu_core as core;
 pub use mogpu_frame as frame;

@@ -27,8 +27,8 @@ fn no_args_prints_help_listing_every_subcommand() {
     assert!(out.status.success(), "no-arg invocation must exit 0");
     let help = stdout(&out);
     for cmd in [
-        "info", "demo", "ladder", "run", "profile", "advise", "streams", "check", "metrics",
-        "bench", "help",
+        "info", "demo", "ladder", "run", "profile", "advise", "streams", "serve", "check",
+        "metrics", "bench", "help",
     ] {
         assert!(
             help.contains(&format!("\n    {cmd} ")),
@@ -183,6 +183,76 @@ fn bench_check_passes_on_an_unmodified_rerun_and_fails_on_a_seeded_regression() 
     let doc: mogpu::json::Value = mogpu::json::from_str(stdout(&json_out).trim()).unwrap();
     assert_eq!(doc["pass"], mogpu::json::Value::Bool(false));
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `mogpu streams` with serving flags writes a JSONL event log and a
+/// report whose serving section `mogpu serve` can replay; violation
+/// counts agree between the report JSON and the event log.
+#[test]
+fn streams_serving_outputs_round_trip_through_serve() {
+    let dir = temp_dir("serving");
+    let events = dir.join("events.jsonl");
+    let report = dir.join("report.json");
+    let out = mogpu(&[
+        "streams",
+        "--streams",
+        "2",
+        "--frames",
+        "6",
+        "--level",
+        "C",
+        "--slo-ms",
+        "0.001", // 1 µs deadline: every frame violates
+        "--events-out",
+        events.to_str().unwrap(),
+        "--report-out",
+        report.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let doc: mogpu::json::Value =
+        mogpu::json::from_str(&std::fs::read_to_string(&report).unwrap()).unwrap();
+    let total = doc["slo_violations_total"].as_f64().unwrap() as u64;
+    assert_eq!(total, 10, "2 streams x 5 frames, all violating");
+    assert_eq!(doc["streams_at_slo"].as_f64().unwrap(), 0.0);
+
+    // Event log: one slo_violation line per violation, stable schema.
+    let log = std::fs::read_to_string(&events).unwrap();
+    let violations = log
+        .lines()
+        .map(|l| mogpu::json::from_str::<mogpu::json::Value>(l).unwrap())
+        .filter(|v| v["event"] == mogpu::json::Value::String("slo_violation".into()))
+        .count() as u64;
+    assert_eq!(violations, total);
+
+    // `mogpu serve` accepts the report (bind port 0, serve briefly).
+    let out = mogpu(&[
+        "serve",
+        "--report",
+        report.to_str().unwrap(),
+        "--addr",
+        "127.0.0.1:0",
+        "--serve-seconds",
+        "0.2",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("serving /metrics on http://127.0.0.1:"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_requires_a_report() {
+    let out = mogpu(&["serve"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--report"));
 }
 
 #[test]

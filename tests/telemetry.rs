@@ -172,7 +172,7 @@ fn parse_exposition(text: &str) -> Exposition {
             let name = it.next().unwrap().to_string();
             let ty = it.next().expect("type").to_string();
             assert!(
-                ["gauge", "counter"].contains(&ty.as_str()),
+                ["gauge", "counter", "histogram"].contains(&ty.as_str()),
                 "bad type {ty:?} for {name}"
             );
             assert!(
@@ -182,8 +182,16 @@ fn parse_exposition(text: &str) -> Exposition {
         } else {
             assert!(!line.starts_with('#'), "unrecognized comment {line:?}");
             let (name, sample) = parse_sample_line(line);
+            // Histogram samples (`x_bucket`, `x_sum`, `x_count`) are
+            // documented under their family name `x`.
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suf| name.strip_suffix(suf))
+                .filter(|base| exp.types.get(*base).map(String::as_str) == Some("histogram"))
+                .map(|base| base.to_string())
+                .unwrap_or_else(|| name.clone());
             assert!(
-                exp.help.contains_key(&name) && exp.types.contains_key(&name),
+                exp.help.contains_key(&family) && exp.types.contains_key(&family),
                 "sample for {name} before its # HELP/# TYPE"
             );
             exp.samples.entry(name).or_default().push(sample);
@@ -407,4 +415,168 @@ fn canonical_report_serialization_is_byte_stable() {
         mogpu::json::to_string_canonical_pretty(&parsed).unwrap(),
         first
     );
+}
+
+// ---- serving exposition (histogram families, snapshot counters) ----
+
+/// A small two-stream serving run whose report carries the serving
+/// section (histograms, snapshots, events).
+fn serving_run() -> MultiStreamReport {
+    let seqs: Vec<Vec<Frame<u8>>> = (0..2u64)
+        .map(|s| {
+            SceneBuilder::new(Resolution::TINY)
+                .seed(11 + s)
+                .walkers(2)
+                .build()
+                .render_sequence(7)
+                .0
+                .into_frames()
+        })
+        .collect();
+    let seeds: Vec<&[u8]> = seqs.iter().map(|f| f[0].as_slice()).collect();
+    let mut multi = MultiGpuMog::<f64>::new(
+        Resolution::TINY,
+        MogParams::default(),
+        OptLevel::F,
+        &seeds,
+        GpuConfig::tesla_c2075(),
+    )
+    .unwrap();
+    let inputs: Vec<Vec<Frame<u8>>> = seqs.iter().map(|f| f[1..].to_vec()).collect();
+    multi.process_all(&inputs).unwrap()
+}
+
+fn le_value(s: &Sample) -> f64 {
+    let le = &s.labels["le"];
+    if le == "+Inf" {
+        f64::INFINITY
+    } else {
+        le.parse().unwrap()
+    }
+}
+
+#[test]
+fn serving_exposition_emits_wellformed_cumulative_histograms() {
+    let report = serving_run();
+    let serving = &report.serving;
+    let text = mogpu::sim::prometheus_serving(serving, usize::MAX);
+    let exp = parse_exposition(&text);
+
+    for family in [
+        "mogpu_frame_latency_seconds",
+        "mogpu_e2e_latency_seconds",
+        "mogpu_pipeline_e2e_latency_seconds",
+    ] {
+        assert_eq!(exp.types[family], "histogram", "{family}");
+        let buckets = &exp.samples[&format!("{family}_bucket")];
+        let counts = &exp.samples[&format!("{family}_count")];
+        let sums = &exp.samples[&format!("{family}_sum")];
+
+        // Group buckets by their full label set minus `le`.
+        let mut series: BTreeMap<Vec<(String, String)>, Vec<&Sample>> = BTreeMap::new();
+        for b in buckets {
+            let key: Vec<(String, String)> = b
+                .labels
+                .iter()
+                .filter(|(k, _)| k.as_str() != "le")
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            series.entry(key).or_default().push(b);
+        }
+        assert_eq!(
+            series.len(),
+            counts.len(),
+            "{family}: one series per _count"
+        );
+        for (key, bs) in &series {
+            // `le` bounds strictly increasing, cumulative counts
+            // non-decreasing, terminated by a `+Inf` bucket.
+            let mut sorted = bs.clone();
+            sorted.sort_by(|a, b| le_value(a).partial_cmp(&le_value(b)).unwrap());
+            for w in sorted.windows(2) {
+                assert!(le_value(w[0]) < le_value(w[1]), "{family}: duplicate le");
+                assert!(
+                    w[0].value <= w[1].value,
+                    "{family}: cumulative bucket counts decreased for {key:?}"
+                );
+            }
+            let inf = sorted.last().unwrap();
+            assert!(le_value(inf).is_infinite(), "{family}: missing +Inf bucket");
+            let matches = |c: &&Sample| key.iter().all(|(k, v)| c.labels.get(k) == Some(v));
+            let count = counts
+                .iter()
+                .find(matches)
+                .unwrap_or_else(|| panic!("{family}: no _count for {key:?}"));
+            assert_eq!(inf.value, count.value, "{family}: +Inf bucket != _count");
+            let sum = sums.iter().find(matches).unwrap();
+            // Exact `_sum`: mean latency must sit within the observed
+            // bucket range (sanity that sum/count are consistent).
+            if count.value > 0.0 {
+                let mean = sum.value / count.value;
+                assert!(mean > 0.0 && mean.is_finite(), "{family}: bad _sum");
+            }
+        }
+    }
+
+    // Per-stream `_count` matches the report's completion counters.
+    let counts = &exp.samples["mogpu_frame_latency_seconds_count"];
+    for s in &serving.streams {
+        let c = counts
+            .iter()
+            .find(|c| c.labels["stream"] == s.stream.to_string())
+            .unwrap();
+        assert_eq!(c.value, s.frames_completed as f64);
+        assert_eq!(c.labels["device"], serving.device);
+    }
+}
+
+#[test]
+fn serving_counters_are_monotone_across_snapshots() {
+    let report = serving_run();
+    let serving = &report.serving;
+    assert!(serving.snapshots.len() > 1, "want multiple windows");
+
+    let counter_families = [
+        "mogpu_frames_completed_total",
+        "mogpu_slo_violations_total",
+        "mogpu_serving_dram_bytes_total",
+    ];
+    let mut last: BTreeMap<String, f64> = BTreeMap::new();
+    let mut last_clock = -1.0f64;
+    for i in 0..serving.snapshots.len() {
+        let exp = parse_exposition(&mogpu::sim::prometheus_serving(serving, i));
+        for family in counter_families {
+            for s in &exp.samples[family] {
+                let key = format!("{family}{:?}", s.labels);
+                let prev = last.insert(key.clone(), s.value).unwrap_or(0.0);
+                assert!(
+                    s.value >= prev,
+                    "{key} went backwards between snapshots {}: {} -> {}",
+                    i,
+                    prev,
+                    s.value
+                );
+            }
+        }
+        // Histogram _count is a counter too.
+        for s in &exp.samples["mogpu_e2e_latency_seconds_count"] {
+            let key = format!("e2e_count{:?}", s.labels);
+            let prev = last.insert(key.clone(), s.value).unwrap_or(0.0);
+            assert!(s.value >= prev, "{key} went backwards");
+        }
+        let clock = exp.samples["mogpu_serving_clock_seconds"][0].value;
+        assert!(clock > last_clock, "snapshot clock must advance");
+        last_clock = clock;
+    }
+    // The last snapshot's totals equal the final per-stream counters.
+    let exp = parse_exposition(&mogpu::sim::prometheus_serving(
+        serving,
+        serving.snapshots.len() - 1,
+    ));
+    let done: f64 = exp.samples["mogpu_frames_completed_total"]
+        .iter()
+        .map(|s| s.value)
+        .sum();
+    let total: u64 = serving.streams.iter().map(|s| s.frames_completed).sum();
+    assert_eq!(done, total as f64);
 }
