@@ -15,7 +15,7 @@ use crate::harness::{
     cpu_serial_hd_per_frame, default_params, ladder_row, run_level, standard_scene,
     standard_scene_seeded, SIM_RESOLUTION,
 };
-use mogpu_core::{MultiGpuMog, OptLevel};
+use mogpu_core::{FleetPipeline, MultiGpuMog, OptLevel};
 use mogpu_frame::Frame;
 use mogpu_sim::GpuConfig;
 use serde::{Deserialize, Serialize};
@@ -24,8 +24,16 @@ use std::path::Path;
 
 /// Format version of baseline files. Schema 2 added host-side simulator
 /// throughput (`multi_stream.sim_frames_per_sec`, gated by a one-sided
-/// floor) to schema 1's modelled metrics.
-pub const BASELINE_SCHEMA: u32 = 2;
+/// floor) to schema 1's modelled metrics. Schema 3 added the fleet
+/// record (`fleet.*`): a deterministic heterogeneous two-device run
+/// whose admission counts are gated exactly and whose modelled
+/// aggregate throughput is gated like the other fps metrics.
+pub const BASELINE_SCHEMA: u32 = 3;
+
+/// Device preset keys of the baseline fleet run: intentionally fewer
+/// devices than `BenchConfig::streams` offline streams, so admission
+/// control and shedding are both exercised by the gate.
+pub const FLEET_DEVICE_KEYS: [&str; 2] = ["c2075", "hbm"];
 
 /// Default baseline location relative to the repository root.
 pub const DEFAULT_BASELINE_PATH: &str = "results/baselines/default.json";
@@ -127,6 +135,25 @@ pub struct StreamRecord {
     pub sim_frames_per_sec: f64,
 }
 
+/// Recorded numbers of the fleet run (heterogeneous devices, offline
+/// streams, admission control). Everything here is modelled, so every
+/// metric is deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetRecord {
+    /// Device preset keys of the fleet, in device order.
+    pub devices: Vec<String>,
+    /// Streams offered to the dispatcher.
+    pub streams: usize,
+    /// Streams admission control placed on a device.
+    pub streams_admitted: usize,
+    /// Admitted streams served within their SLO for the whole run.
+    pub streams_at_slo: u64,
+    /// Frames shed by admission control (attributed drop events).
+    pub frames_dropped: u64,
+    /// Completed frames per modelled second of fleet makespan.
+    pub aggregate_fps: f64,
+}
+
 /// A tolerance-annotated performance baseline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Baseline {
@@ -140,6 +167,8 @@ pub struct Baseline {
     pub levels: BTreeMap<String, LevelRecord>,
     /// Multi-stream aggregate.
     pub multi_stream: StreamRecord,
+    /// Fleet-dispatch aggregate ([`FLEET_DEVICE_KEYS`]).
+    pub fleet: FleetRecord,
 }
 
 /// One compared metric in a [`check`] outcome.
@@ -221,6 +250,33 @@ pub fn measure(cfg: &BenchConfig, tolerances: Tolerances) -> Baseline {
     let r = multi.process_all(&inputs).expect("multi-stream run");
     let wall_s = started.elapsed().as_secs_f64();
 
+    // Fleet dispatch: the same per-stream scenes offered offline to a
+    // smaller heterogeneous fleet, so both admission and shedding are
+    // exercised. All metrics are modelled and deterministic.
+    let mut fleet_pipe = FleetPipeline::<f64>::new(
+        SIM_RESOLUTION,
+        default_params(cfg.k),
+        OptLevel::F,
+        &seeds,
+        &FLEET_DEVICE_KEYS,
+    )
+    .expect("fleet construction");
+    let fleet_run = fleet_pipe.process_all(&inputs).expect("fleet run");
+    let fleet_report = &fleet_run.report;
+    let completed = fleet_report.streams_admitted() * cfg.frames.saturating_sub(1);
+    let fleet = FleetRecord {
+        devices: FLEET_DEVICE_KEYS.iter().map(|k| k.to_string()).collect(),
+        streams: cfg.streams,
+        streams_admitted: fleet_report.streams_admitted(),
+        streams_at_slo: fleet_report.streams_at_slo(),
+        frames_dropped: fleet_report.frames_dropped(),
+        aggregate_fps: if fleet_report.makespan_s > 0.0 {
+            completed as f64 / fleet_report.makespan_s
+        } else {
+            0.0
+        },
+    };
+
     Baseline {
         schema: BASELINE_SCHEMA,
         config: *cfg,
@@ -237,6 +293,7 @@ pub fn measure(cfg: &BenchConfig, tolerances: Tolerances) -> Baseline {
                 f64::NAN
             },
         },
+        fleet,
     }
 }
 
@@ -371,6 +428,35 @@ pub fn check(baseline: &Baseline, current: &Baseline) -> CheckReport {
         current.multi_stream.sim_frames_per_sec,
         t.sim_throughput_floor_rel,
     ));
+    // Fleet: admission counts are integers produced by a deterministic
+    // planner — any drift at all is a behavior change, so the tolerance
+    // is exactly zero. Throughput is modelled time, gated like fps.
+    diffs.push(diff(
+        "fleet.aggregate_fps".to_string(),
+        baseline.fleet.aggregate_fps,
+        current.fleet.aggregate_fps,
+        t.fps_rel,
+        true,
+    ));
+    for (metric, base, cur) in [
+        (
+            "fleet.streams_admitted",
+            baseline.fleet.streams_admitted as f64,
+            current.fleet.streams_admitted as f64,
+        ),
+        (
+            "fleet.streams_at_slo",
+            baseline.fleet.streams_at_slo as f64,
+            current.fleet.streams_at_slo as f64,
+        ),
+        (
+            "fleet.frames_dropped",
+            baseline.fleet.frames_dropped as f64,
+            current.fleet.frames_dropped as f64,
+        ),
+    ] {
+        diffs.push(diff(metric.to_string(), base, cur, 0.0, false));
+    }
     CheckReport {
         pass: diffs.iter().all(|d| d.pass),
         diffs,
@@ -501,6 +587,34 @@ mod tests {
         recorded.levels.get_mut("A").unwrap().speedup *= 0.9;
         let report = check(&recorded, &fresh);
         assert!(!report.pass);
+    }
+
+    #[test]
+    fn fleet_record_exercises_shedding_and_gates_counts_exactly() {
+        // One more offline stream than the fleet has devices, so the
+        // recorded run must shed.
+        let cfg = BenchConfig {
+            streams: FLEET_DEVICE_KEYS.len() + 1,
+            ..tiny_cfg()
+        };
+        let mut recorded = measure(&cfg, Tolerances::default());
+        let fresh = measure(&cfg, Tolerances::default());
+        // The baseline fleet has fewer devices than offline streams, so
+        // the recorded run must show both admitted and shed streams.
+        assert!(recorded.fleet.streams_admitted > 0);
+        assert!(recorded.fleet.frames_dropped > 0);
+        assert!(recorded.fleet.aggregate_fps > 0.0);
+        // A single dropped-frame difference fails the zero-tolerance gate.
+        recorded.fleet.frames_dropped += 1;
+        let report = check(&recorded, &fresh);
+        assert!(!report.pass);
+        let failed: Vec<&str> = report
+            .diffs
+            .iter()
+            .filter(|d| !d.pass)
+            .map(|d| d.metric.as_str())
+            .collect();
+        assert_eq!(failed, ["fleet.frames_dropped"]);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! Entry point: [`pipeline::GpuMog`].
 
 pub mod device;
+pub mod fleet;
 pub mod kernels;
 pub mod layout;
 pub mod levels;
@@ -33,6 +34,7 @@ pub mod profile;
 pub mod streams;
 
 pub use device::DeviceReal;
+pub use fleet::{FleetPipeline, FleetRunReport};
 pub use layout::{DeviceModel, Layout};
 pub use levels::OptLevel;
 pub use pipeline::{AdaptiveGpuMog, GpuMog, PipelineError, RunReport};

@@ -268,7 +268,9 @@ impl<T: DeviceReal> MultiGpuMog<T> {
                 arrival_period: self.arrival_period,
             })
             .collect();
-        let schedule = StreamScheduler::new(self.buffers_per_stream).schedule(&inputs, &self.cfg);
+        let schedule = StreamScheduler::new(self.buffers_per_stream)
+            .try_schedule(&inputs, &self.cfg)
+            .map_err(|e| PipelineError::Config(format!("invalid stream input: {e}")))?;
         let per_stream_counters: Vec<(&mogpu_sim::KernelStats, &mogpu_sim::Occupancy)> =
             reports.iter().map(|r| (&r.stats, &r.occupancy)).collect();
         let telemetry = sample_streams(

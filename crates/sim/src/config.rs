@@ -181,6 +181,66 @@ impl GpuConfig {
         }
     }
 
+    /// A big-HBM datacenter part, modelled on a Pascal-P100-class GPU:
+    /// many small SMs, HBM2 stacked memory at ~20x the C2075's effective
+    /// bandwidth, a 16 GiB device pool, gen3 PCIe, and full-rate-class
+    /// FP64 (1/2 of FP32). In the fleet dispatcher this is the "scale-up"
+    /// device class: one of these holds several times the streams of a
+    /// Fermi card before either the compute engine or the memory budget
+    /// saturates.
+    pub fn hbm_p100() -> Self {
+        GpuConfig {
+            name: "Big-HBM datacenter GPU (P100-class, simulated)".to_string(),
+            num_sms: 56,
+            cores_per_sm: 64,
+            clock_hz: 1.33e9,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            registers_per_sm: 65536,
+            register_alloc_unit: 256,
+            shared_mem_per_sm: 64 * 1024,
+            shared_alloc_unit: 256,
+            shared_banks: 32,
+            max_threads_per_block: 1024,
+            segment_bytes: 128,
+            dram_peak_bw: 732.0e9, // HBM2, 4 stacks
+            dram_efficiency: 0.80,
+            mem_latency_cycles: 800.0,
+            mlp_per_warp: 4.0, // deep miss queues in front of HBM
+            issue_per_sm_per_cycle: 2.0,
+            f64_issue_cost: 2.0, // full-rate-class FP64 (1/2 of FP32)
+            copy_engines: 2,
+            pcie_bw: 3.0e9, // gen3, pageable staging
+            pcie_bw_pinned: 12.0e9,
+            dma_latency_s: 10e-6,
+            device_mem_bytes: 16 * 1024 * 1024 * 1024,
+            l2_bytes: 0,
+            l2_assoc: 16,
+        }
+    }
+
+    /// Looks up a device-class preset by its short CLI name. The accepted
+    /// names are [`GpuConfig::preset_names`]; unknown names return `None`
+    /// so callers can produce a structured error listing the choices.
+    pub fn preset(name: &str) -> Option<Self> {
+        match name {
+            "c2075" | "fermi" => Some(Self::tesla_c2075()),
+            "c2075-l2" => Some(Self::tesla_c2075_with_l2()),
+            "k20" | "kepler" => Some(Self::tesla_k20()),
+            "embedded" | "tegra" => Some(Self::embedded_tegra()),
+            "hbm" | "p100" => Some(Self::hbm_p100()),
+            _ => None,
+        }
+    }
+
+    /// Canonical short names accepted by [`GpuConfig::preset`], one per
+    /// distinct device class (aliases omitted).
+    pub fn preset_names() -> &'static [&'static str] {
+        &["c2075", "c2075-l2", "k20", "embedded", "hbm"]
+    }
+
     /// An embedded-class integrated GPU, modelled on a Tegra-K1-era
     /// mobile part: one big SM at a lower clock, LPDDR3 bandwidth shared
     /// with the CPU, and no PCIe (frames reach the GPU through the shared
@@ -335,6 +395,30 @@ mod tests {
         assert!(small.peak_f32_flops() < big.peak_f32_flops() / 2.0);
         assert!(small.dram_peak_bw < big.dram_peak_bw / 5.0);
         assert_eq!(small.num_sms, 1);
+    }
+
+    #[test]
+    fn hbm_preset_is_an_order_of_magnitude_stronger() {
+        let fermi = GpuConfig::tesla_c2075();
+        let hbm = GpuConfig::hbm_p100();
+        assert!(hbm.peak_f32_flops() > 4.0 * fermi.peak_f32_flops());
+        assert!(hbm.dram_peak_bw > 5.0 * fermi.dram_peak_bw);
+        assert!(hbm.device_mem_bytes > 2 * fermi.device_mem_bytes);
+    }
+
+    #[test]
+    fn preset_lookup_covers_every_canonical_name() {
+        for name in GpuConfig::preset_names() {
+            assert!(GpuConfig::preset(name).is_some(), "missing preset {name}");
+        }
+        assert_eq!(GpuConfig::preset("c2075"), Some(GpuConfig::tesla_c2075()));
+        assert_eq!(GpuConfig::preset("hbm"), Some(GpuConfig::hbm_p100()));
+        assert_eq!(GpuConfig::preset("p100"), Some(GpuConfig::hbm_p100()));
+        assert_eq!(
+            GpuConfig::preset("embedded"),
+            Some(GpuConfig::embedded_tegra())
+        );
+        assert_eq!(GpuConfig::preset("quantum"), None);
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod chrome_trace;
 pub mod config;
 pub mod cpu;
 pub mod dma;
+pub mod fleet;
 pub mod kernel;
 pub mod memory;
 pub mod occupancy;
@@ -76,6 +77,11 @@ pub mod warp;
 
 pub use advisor::{advise, roofline, AdvisorInput, Advisory, Evidence, Roofline, Transform};
 pub use config::{CpuConfig, GpuConfig};
+pub use fleet::{
+    advise_fleet, fleet_report, plan_fleet, prometheus_fleet, FleetAdvisory, FleetClass,
+    FleetDevice, FleetDeviceReport, FleetOptions, FleetPlan, FleetReport, FleetSpec, FleetStream,
+    ShedStream, StreamPlacement, FLEET_SCHEMA,
+};
 pub use kernel::{
     launch, launch_with, Kernel, KernelResources, LaunchConfig, LaunchError, LaunchOptions,
     LaunchReport, ThreadCtx,
@@ -92,7 +98,8 @@ pub use serving::{
 pub use stallreasons::{dma_starvation, kernel_stalls, site_stalls, SiteStallRow, StallBreakdown};
 pub use stats::{DerivedMetrics, KernelStats};
 pub use streams::{
-    LatencyStats, StageTimes, StreamInput, StreamSchedule, StreamScheduler, DOUBLE_BUFFER,
+    validate_stream_inputs, LatencyStats, ScheduleError, StageTimes, StreamInput, StreamSchedule,
+    StreamScheduler, DOUBLE_BUFFER,
 };
 pub use telemetry::{KernelGauges, KernelSlice, PipelineTelemetry, SmSeries, TelemetryConfig};
 pub use timing::{kernel_time, KernelTiming};

@@ -410,8 +410,11 @@ pub struct LatencyPercentiles {
 impl LatencyPercentiles {
     /// Nearest-rank percentiles of a sample slice (zeros when empty).
     pub fn from_samples(samples: &[f64]) -> Self {
+        // total_cmp (NaN sorts after +inf) keeps a poisoned sample from
+        // panicking the whole report; scheduler admission validation
+        // rejects such inputs before they reach here.
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        sorted.sort_by(f64::total_cmp);
         let at = |q: f64| -> f64 {
             if sorted.is_empty() {
                 return 0.0;
@@ -569,6 +572,11 @@ impl Default for ServingWindowConfig {
 /// offline streams, whose end-to-end latency is then the device
 /// sojourn). `telemetry`, when given, supplies the cumulative DRAM byte
 /// counter sampled into each snapshot.
+///
+/// The returned report always carries **at least one snapshot** (an
+/// empty schedule still yields one all-zero window), so consumers may
+/// index `snapshots.last()` — though [`prometheus_serving`] tolerates
+/// externally-produced reports that break this invariant.
 pub fn serving_report(
     schedule: &StreamSchedule,
     arrival_periods: &[f64],
@@ -649,14 +657,12 @@ pub fn serving_report(
     }
     events.sort_by(|a, b| {
         a.t_s
-            .partial_cmp(&b.t_s)
-            .expect("finite times")
+            .total_cmp(&b.t_s)
             .then(a.stream.cmp(&b.stream))
             .then(a.frame.cmp(&b.frame))
     });
     done.sort_by(|a, b| {
-        a.t.partial_cmp(&b.t)
-            .expect("finite times")
+        a.t.total_cmp(&b.t)
             .then(a.stream.cmp(&b.stream))
             .then(a.frame.cmp(&b.frame))
     });
@@ -765,7 +771,7 @@ pub fn serving_report(
 
 // ---- Prometheus exposition (histogram families + serving gauges) ----
 
-fn push_sample(out: &mut String, name: &str, labels: &[(&str, String)], value: f64) {
+pub(crate) fn push_sample(out: &mut String, name: &str, labels: &[(&str, String)], value: f64) {
     out.push_str(name);
     if !labels.is_empty() {
         out.push('{');
@@ -793,7 +799,7 @@ fn push_sample(out: &mut String, name: &str, labels: &[(&str, String)], value: f
     out.push('\n');
 }
 
-fn push_histogram(
+pub(crate) fn push_histogram(
     out: &mut String,
     name: &str,
     base_labels: &[(&str, String)],
@@ -813,7 +819,7 @@ fn push_histogram(
     push_sample(out, &format!("{name}_count"), base_labels, h.count as f64);
 }
 
-fn header(out: &mut String, name: &str, kind: &str, help: &str) {
+pub(crate) fn header(out: &mut String, name: &str, kind: &str, help: &str) {
     out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
 }
 
@@ -822,8 +828,26 @@ fn header(out: &mut String, name: &str, kind: &str, help: &str) {
 /// exposition format. Histogram families are proper `histogram` types
 /// with cumulative `le` buckets; counters are cumulative through the
 /// snapshot, so successive snapshots scrape as monotone counters.
+///
+/// [`serving_report`] always produces at least one snapshot, but a
+/// truncated or hand-edited report JSON may not; an empty `snapshots`
+/// renders a valid exposition whose families are present but carry no
+/// per-stream samples, instead of panicking the metrics server.
 pub fn prometheus_serving(report: &ServingReport, snapshot: usize) -> String {
-    let snap = &report.snapshots[snapshot.min(report.snapshots.len().saturating_sub(1))];
+    let empty = ServingSnapshot {
+        t_s: report.makespan_s,
+        streams: Vec::new(),
+        windows: Vec::new(),
+        streams_at_slo: 0,
+        dram_bytes_total: 0.0,
+    };
+    let snap = match report
+        .snapshots
+        .get(snapshot.min(report.snapshots.len().saturating_sub(1)))
+    {
+        Some(s) => s,
+        None => &empty,
+    };
     let dev = || ("device", report.device.clone());
     let mut out = String::new();
 
@@ -1196,6 +1220,57 @@ mod tests {
                 assert!(v.get(key).is_some(), "missing {key} in {line}");
             }
         }
+    }
+
+    #[test]
+    fn exact_percentiles_survive_non_finite_samples() {
+        // Regression: sorting used partial_cmp().expect("finite
+        // latencies") and panicked on NaN.
+        let p = LatencyPercentiles::from_samples(&[0.1, f64::NAN, 0.2]);
+        assert!((p.p50 - 0.2).abs() < 1e-12);
+        let p = LatencyPercentiles::from_samples(&[0.1, f64::INFINITY, 0.2]);
+        assert_eq!(p.p999, f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_snapshot_report_renders_valid_exposition() {
+        // Regression: a truncated/hand-edited report with no snapshots
+        // used to panic `prometheus_serving` via `snapshots[0]`.
+        let (sched, periods) = schedule_of(1, 3, 0.0);
+        let mut r = serving_report(
+            &sched,
+            &periods,
+            "d",
+            "s",
+            &SloConfig::default(),
+            &ServingWindowConfig::default(),
+            None,
+        );
+        assert!(!r.snapshots.is_empty(), "serving_report guarantees >= 1");
+        r.snapshots.clear();
+        let text = prometheus_serving(&r, 0);
+        assert!(text.contains("# TYPE mogpu_frame_latency_seconds histogram"));
+        assert!(text.contains("# TYPE mogpu_streams_at_slo gauge"));
+        assert!(text.contains("mogpu_streams_serving{device=\"d\"} 0"));
+        // Every non-comment line is a well-formed `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+                "bad sample line: {line}"
+            );
+        }
+        // An empty-schedule report still carries one snapshot.
+        let empty = serving_report(
+            &StreamScheduler::double_buffered().schedule(&[], &GpuConfig::tesla_c2075()),
+            &[],
+            "d",
+            "s",
+            &SloConfig::default(),
+            &ServingWindowConfig::default(),
+            None,
+        );
+        assert_eq!(empty.snapshots.len(), 1);
     }
 
     #[test]

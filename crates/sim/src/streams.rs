@@ -116,8 +116,12 @@ impl LatencyStats {
                 p999: 0.0,
             };
         }
+        // total_cmp keeps the sort total even if a NaN slips in (it sorts
+        // after +inf), so a poisoned sample degrades the percentiles
+        // instead of panicking the whole report. Admission validation in
+        // `try_schedule` rejects such inputs up front.
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        sorted.sort_by(f64::total_cmp);
         let at = |q: f64| -> f64 {
             let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
             sorted[rank - 1]
@@ -208,6 +212,42 @@ impl StreamSchedule {
     }
 }
 
+/// Why a stream set was rejected at scheduler admission: some stage time
+/// or arrival period was non-finite or negative, which would otherwise
+/// surface much later as a panic deep inside the latency statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleError {
+    /// Index of the offending stream.
+    pub stream: usize,
+    /// Frame index within the stream, or `None` when the stream-level
+    /// `arrival_period` is at fault.
+    pub frame: Option<usize>,
+    /// The field that failed validation (`"h2d"`, `"kernel"`, `"d2h"` or
+    /// `"arrival_period"`).
+    pub field: String,
+    /// The rejected value, rendered as text so NaN/inf survive JSON.
+    pub value: String,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.frame {
+            Some(i) => write!(
+                f,
+                "stream {} frame {}: {} = {} (must be finite and >= 0)",
+                self.stream, i, self.field, self.value
+            ),
+            None => write!(
+                f,
+                "stream {}: {} = {} (must be finite and >= 0)",
+                self.stream, self.field, self.value
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 /// The three schedulable stages, in per-frame dependency order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Stage {
@@ -268,7 +308,35 @@ impl StreamScheduler {
     /// and the in-flight buffer cap gates uploads (on the consuming
     /// kernel `buffers` frames back) and kernels (on the download that
     /// frees the mask buffer `buffers` frames back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stage duration or arrival period is non-finite or
+    /// negative; use [`Self::try_schedule`] to get a structured
+    /// [`ScheduleError`] instead.
     pub fn schedule(&self, streams: &[StreamInput], cfg: &GpuConfig) -> StreamSchedule {
+        match self.try_schedule(streams, cfg) {
+            Ok(s) => s,
+            Err(e) => panic!("invalid stream input: {e}"),
+        }
+    }
+
+    /// Validates every stage duration and arrival period (finite, `>= 0`)
+    /// and then schedules; the fallible twin of [`Self::schedule`] that
+    /// the serving paths use so a poisoned input (NaN stage time from a
+    /// corrupt report, negative period from a CLI typo) becomes a
+    /// structured [`ScheduleError`] at admission instead of a panic deep
+    /// inside the latency statistics.
+    pub fn try_schedule(
+        &self,
+        streams: &[StreamInput],
+        cfg: &GpuConfig,
+    ) -> Result<StreamSchedule, ScheduleError> {
+        validate_stream_inputs(streams)?;
+        Ok(self.schedule_validated(streams, cfg))
+    }
+
+    fn schedule_validated(&self, streams: &[StreamInput], cfg: &GpuConfig) -> StreamSchedule {
         let cap = self.buffers_per_stream;
         let two_copy_engines = cfg.copy_engines >= 2;
         // Engine availability. With a single copy engine, h2d and d2h
@@ -379,6 +447,37 @@ impl StreamScheduler {
             buffers_per_stream: cap,
         }
     }
+}
+
+/// The scheduler's admission rules as a standalone check: every stage
+/// duration and arrival period must be finite and non-negative. The
+/// fleet dispatcher validates each device class's view of the demands
+/// through this before any schedule is built.
+pub fn validate_stream_inputs(streams: &[StreamInput]) -> Result<(), ScheduleError> {
+    let bad = |v: f64| !v.is_finite() || v < 0.0;
+    for (s, input) in streams.iter().enumerate() {
+        if bad(input.arrival_period) {
+            return Err(ScheduleError {
+                stream: s,
+                frame: None,
+                field: "arrival_period".to_string(),
+                value: format!("{}", input.arrival_period),
+            });
+        }
+        for (i, st) in input.stages.iter().enumerate() {
+            for (field, v) in [("h2d", st.h2d), ("kernel", st.kernel), ("d2h", st.d2h)] {
+                if bad(v) {
+                    return Err(ScheduleError {
+                        stream: s,
+                        frame: Some(i),
+                        field: field.to_string(),
+                        value: format!("{v}"),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Keeps the candidate with the smallest (start, frame, stream, stage).
@@ -550,6 +649,57 @@ mod tests {
         assert!(lat.p50 <= lat.p95 && lat.p95 <= lat.p99);
         assert!(lat.p99 <= lat.p999 && lat.p999 <= lat.max);
         assert_eq!(sched.frame_latencies(0).len(), sched.streams[0].len());
+    }
+
+    #[test]
+    fn latency_stats_survive_non_finite_samples() {
+        // Regression: this used to panic via
+        // partial_cmp().expect("finite latencies").
+        let l = LatencyStats::from_samples(&[0.1, f64::NAN, 0.3]);
+        assert!(l.p50.is_finite() || l.p50.is_nan()); // no panic is the contract
+        let l = LatencyStats::from_samples(&[0.1, f64::INFINITY, 0.3]);
+        assert_eq!(l.max, f64::INFINITY);
+        assert!((l.p50 - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_schedule_rejects_non_finite_and_negative_inputs() {
+        let sch = StreamScheduler::double_buffered();
+        let nan_kernel = StreamInput::offline(vec![StageTimes::uniform(1e-3, f64::NAN, 1e-3)]);
+        let err = sch.try_schedule(&[nan_kernel], &cfg()).unwrap_err();
+        assert_eq!((err.stream, err.frame), (0, Some(0)));
+        assert_eq!(err.field, "kernel");
+        assert!(err.to_string().contains("NaN"), "{err}");
+
+        let inf_h2d = StreamInput::offline(vec![StageTimes::uniform(f64::INFINITY, 1e-3, 1e-3)]);
+        let ok = uniform_stream(2, 1e-3, 1e-3, 1e-3);
+        let err = sch
+            .try_schedule(&[ok.clone(), inf_h2d], &cfg())
+            .unwrap_err();
+        assert_eq!((err.stream, err.frame), (1, Some(0)));
+        assert_eq!(err.field, "h2d");
+
+        let neg_period = StreamInput {
+            stages: vec![StageTimes::uniform(1e-3, 1e-3, 1e-3)],
+            arrival_period: -0.5,
+        };
+        let err = sch.try_schedule(&[neg_period], &cfg()).unwrap_err();
+        assert_eq!((err.stream, err.frame), (0, None));
+        assert_eq!(err.field, "arrival_period");
+
+        // Valid inputs still schedule identically through both entry
+        // points.
+        assert_eq!(
+            sch.try_schedule(std::slice::from_ref(&ok), &cfg()).unwrap(),
+            sch.schedule(&[ok], &cfg())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid stream input")]
+    fn schedule_panics_with_structured_message_on_bad_input() {
+        let bad = StreamInput::offline(vec![StageTimes::uniform(1e-3, -1.0, 1e-3)]);
+        StreamScheduler::double_buffered().schedule(&[bad], &cfg());
     }
 
     #[test]

@@ -22,6 +22,7 @@ fn main() -> ExitCode {
         Some("profile") => cmd_profile(&args[1..]),
         Some("advise") => cmd_advise(&args[1..]),
         Some("streams") => cmd_streams(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
@@ -53,6 +54,7 @@ COMMANDS:
     profile   Hotspot table, roofline bounds, bottleneck classification
     advise    Ranked optimization advisories from stall/roofline analysis
     streams   Serve N camera streams from one device, CUDA-streams style
+    fleet     Shard N streams across M heterogeneous simulated devices
     serve     Replay a serving report on a Prometheus scrape endpoint
     check     Sanitizer sweep over every shipped kernel
     metrics   Emit time-resolved telemetry in Prometheus text format
@@ -96,6 +98,10 @@ USAGE:
         overrides the launch block size; an unlaunchable configuration is
         reported as a structured diagnostic and exits nonzero (findings
         alone never do). Default: level A, 16 frames, K=3, double.
+        With --fleet-report FILE.json (a `mogpu fleet --report-out` or
+        --json document), instead replays the fleet dispatcher with one
+        extra device of each class and prints which device class to add
+        next, ranked by the whole-run streams-at-SLO it would buy.
 
     mogpu streams [--streams N] [--frames M] [--level L] [--k K] [--float]
                   [--buffers B] [--fps R] [--json] [--slo-ms D]
@@ -120,6 +126,29 @@ USAGE:
         dependency-free HTTP endpoint and replays the window snapshots
         on /metrics (one window per --replay-ms of wall time, default
         500), for --serve-seconds S (default 0 = until interrupted).
+
+    mogpu fleet [--devices LIST] [--streams N] [--frames M] [--level L]
+                [--k K] [--float] [--buffers B] [--fps R] [--json]
+                [--slo-ms D] [--error-budget E] [--window-ms W]
+                [--headroom H] [--device-mem-mb MB] [--report-out FILE.json]
+                [--events-out FILE.jsonl] [--serve-metrics HOST:PORT]
+                [--serve-seconds S] [--replay-ms R]
+        Shard N synthetic camera streams across a fleet of heterogeneous
+        simulated devices. --devices is a comma-separated list of preset
+        keys (c2075, c2075-l2, k20, embedded, hbm; repeat a key for more
+        instances of that class; default c2075,embedded,hbm). Streams
+        are priced per class (one-frame probes) and placed greedily by
+        modelled load under per-device memory budgets; streams no device
+        can admit are *shed* — every frame becomes an attributed
+        frame_dropped event instead of an out-of-memory error.
+        --device-mem-mb overrides every device's memory budget (the
+        oversubscription lever), --headroom the load admission ceiling
+        (default 1.0). Prints per-device load/memory/SLO attainment,
+        shed streams, and the which-device-to-add-next advisory; --json
+        emits the full fleet report machine-readably. --events-out
+        writes the merged JSONL event log (all devices + drops).
+        --serve-metrics replays the fleet on a Prometheus endpoint with
+        per-device label cardinality and monotone drop counters.
 
     mogpu serve --report FILE.json [--addr HOST:PORT] [--serve-seconds S]
                 [--replay-ms R]
@@ -177,6 +206,24 @@ fn opt_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
+/// Parses `--replay-ms` into seconds. The replay interval divides the
+/// wall clock, so zero, negative and non-finite values are rejected
+/// here with a usable error instead of being clamped downstream.
+fn parse_replay_s(args: &[String]) -> Result<f64, String> {
+    match opt_value(args, "--replay-ms") {
+        None => Ok(mogpu::serve::DEFAULT_REPLAY_INTERVAL_S),
+        Some(v) => {
+            let ms: f64 = v.parse().map_err(|_| format!("bad --replay-ms {v:?}"))?;
+            if !ms.is_finite() || ms <= 0.0 {
+                return Err(format!(
+                    "--replay-ms must be a positive number of milliseconds, got {v:?}"
+                ));
+            }
+            Ok(ms / 1e3)
+        }
+    }
+}
+
 fn parse_level(s: &str) -> Result<OptLevel, String> {
     match s.to_ascii_uppercase().as_str() {
         "A" => Ok(OptLevel::A),
@@ -216,7 +263,10 @@ fn cmd_info() -> Result<(), String> {
         cpu.clock_hz / 1e9
     );
     println!("  DRAM        : {:.1} GB/s DDR3", cpu.dram_bw / 1e9);
-    println!("also available: GpuConfig::embedded_tegra(), ::tesla_c2075_with_l2()");
+    println!(
+        "device presets (mogpu fleet --devices): {}",
+        GpuConfig::preset_names().join(", ")
+    );
     Ok(())
 }
 
@@ -579,6 +629,9 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_advise(args: &[String]) -> Result<(), String> {
+    if let Some(path) = opt_value(args, "--fleet-report") {
+        return cmd_advise_fleet(&PathBuf::from(path), opt_flag(args, "--json"));
+    }
     let level = parse_level(&opt_value(args, "--level").unwrap_or_else(|| "A".into()))?;
     let n_frames: usize = opt_value(args, "--frames")
         .map(|v| v.parse().unwrap_or(16))
@@ -698,6 +751,51 @@ fn cmd_advise(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `mogpu advise --fleet-report FILE.json`: replay the fleet dispatcher
+/// from a recorded report and rank the device classes to add next.
+fn cmd_advise_fleet(path: &PathBuf, json: bool) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc: mogpu::json::Value =
+        mogpu::json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    // Accept either a `mogpu fleet --report-out` document (fleet report
+    // under the "report" key) or a bare fleet report.
+    let value = doc.get("report").unwrap_or(&doc);
+    let report = <mogpu::sim::fleet::FleetReport as serde::Deserialize>::from_json_value(value)
+        .map_err(|e| format!("{}: not a fleet report: {e}", path.display()))?;
+    let advisories = mogpu::sim::fleet::advise_fleet(&report);
+    if json {
+        let doc = mogpu::json::json!({
+            "devices": report.devices.len(),
+            "streams_total": report.streams_total(),
+            "streams_admitted": report.streams_admitted(),
+            "streams_at_slo": report.streams_at_slo(),
+            "frames_dropped": report.frames_dropped(),
+            "advisories": advisories,
+        });
+        println!(
+            "{}",
+            mogpu::json::to_string_pretty(&doc).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!(
+        "fleet advisor — {} device(s), {}/{} streams admitted, {} at SLO, {} frame(s) dropped",
+        report.devices.len(),
+        report.streams_admitted(),
+        report.streams_total(),
+        report.streams_at_slo(),
+        report.frames_dropped(),
+    );
+    if advisories.is_empty() {
+        println!("no device classes to evaluate");
+        return Ok(());
+    }
+    for (i, a) in advisories.iter().enumerate() {
+        print_fleet_advisory(i + 1, a);
+    }
+    Ok(())
+}
+
 fn print_advisory(rank: usize, a: &mogpu::sim::Advisory) {
     println!(
         "\n#{rank} {} -> {:?}: est. {:.3} ms saved ({:.2}x)",
@@ -787,10 +885,7 @@ fn cmd_streams(args: &[String]) -> Result<(), String> {
     let serve_seconds: f64 = opt_value(args, "--serve-seconds")
         .map(|v| v.parse().unwrap_or(0.0))
         .unwrap_or(0.0);
-    let replay_s: f64 = opt_value(args, "--replay-ms")
-        .map(|v| v.parse().unwrap_or(500.0))
-        .unwrap_or(500.0)
-        / 1e3;
+    let replay_s = parse_replay_s(args)?;
     let obs = ObsFlags::parse(args)?;
 
     // One distinct synthetic scene per camera.
@@ -1000,6 +1095,271 @@ fn serve_metrics(
     Ok(())
 }
 
+fn cmd_fleet(args: &[String]) -> Result<(), String> {
+    let devices_arg = opt_value(args, "--devices").unwrap_or_else(|| "c2075,embedded,hbm".into());
+    let keys: Vec<String> = devices_arg
+        .split(',')
+        .map(|k| k.trim().to_string())
+        .filter(|k| !k.is_empty())
+        .collect();
+    if keys.is_empty() {
+        return Err(format!(
+            "--devices needs at least one preset key (one of: {})",
+            GpuConfig::preset_names().join(", ")
+        ));
+    }
+    let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+    let n_streams: usize = opt_value(args, "--streams")
+        .map(|v| v.parse().unwrap_or(4))
+        .unwrap_or(4)
+        .max(1);
+    let n_frames: usize = opt_value(args, "--frames")
+        .map(|v| v.parse().unwrap_or(12))
+        .unwrap_or(12)
+        .max(2);
+    let level = parse_level(&opt_value(args, "--level").unwrap_or_else(|| "F".into()))?;
+    let k: usize = opt_value(args, "--k")
+        .map(|v| v.parse().unwrap_or(3))
+        .unwrap_or(3);
+    let use_f32 = opt_flag(args, "--float");
+    let buffers: usize = opt_value(args, "--buffers")
+        .map(|v| v.parse().unwrap_or(2))
+        .unwrap_or(2);
+    let fps: f64 = opt_value(args, "--fps")
+        .map(|v| v.parse().unwrap_or(0.0))
+        .unwrap_or(0.0);
+    let json = opt_flag(args, "--json");
+    let slo_ms: f64 = opt_value(args, "--slo-ms")
+        .map(|v| v.parse().unwrap_or(40.0))
+        .unwrap_or(40.0);
+    let error_budget: f64 = opt_value(args, "--error-budget")
+        .map(|v| v.parse().unwrap_or(0.01))
+        .unwrap_or(0.01);
+    let slo = mogpu::sim::serving::SloConfig {
+        deadline_s: slo_ms.max(0.0) / 1e3,
+        error_budget: error_budget.max(0.0),
+    };
+    let window_ms: f64 = opt_value(args, "--window-ms")
+        .map(|v| v.parse().unwrap_or(0.0))
+        .unwrap_or(0.0);
+    let window_s = window_ms.max(0.0) / 1e3;
+    let headroom: f64 = opt_value(args, "--headroom")
+        .map(|v| v.parse().unwrap_or(1.0))
+        .unwrap_or(1.0);
+    let device_mem: Option<usize> = match opt_value(args, "--device-mem-mb") {
+        Some(v) => {
+            let mb: f64 = v
+                .parse()
+                .map_err(|_| format!("bad --device-mem-mb {v:?}"))?;
+            if !mb.is_finite() || mb < 0.0 {
+                return Err(format!("--device-mem-mb must be >= 0, got {v:?}"));
+            }
+            Some((mb * 1024.0 * 1024.0) as usize)
+        }
+        None => None,
+    };
+    let events_out = opt_value(args, "--events-out").map(PathBuf::from);
+    let serve_addr = opt_value(args, "--serve-metrics");
+    let serve_seconds: f64 = opt_value(args, "--serve-seconds")
+        .map(|v| v.parse().unwrap_or(0.0))
+        .unwrap_or(0.0);
+    let replay_s = parse_replay_s(args)?;
+    let obs = ObsFlags::parse(args)?;
+
+    // One distinct synthetic scene per camera, as in `mogpu streams`.
+    let res = Resolution::QQVGA;
+    let scenes: Vec<Vec<Frame<u8>>> = (0..n_streams)
+        .map(|s| {
+            SceneBuilder::new(res)
+                .seed(100 + s as u64)
+                .walkers(2 + s % 3)
+                .build()
+                .render_sequence(n_frames)
+                .0
+                .into_frames()
+        })
+        .collect();
+    let run = if use_f32 {
+        run_fleet::<f32>(
+            &scenes, &key_refs, level, k, buffers, fps, slo, window_s, headroom, device_mem,
+        )?
+    } else {
+        run_fleet::<f64>(
+            &scenes, &key_refs, level, k, buffers, fps, slo, window_s, headroom, device_mem,
+        )?
+    };
+    let report = &run.report;
+
+    let doc = mogpu::json::json!({
+        "streams": n_streams,
+        "frames_per_stream": n_frames - 1,
+        "level": level.name(),
+        "buffers_per_stream": buffers.max(1),
+        "arrival_fps": fps,
+        "slo_deadline_ms": 1e3 * slo.deadline_s,
+        "slo_error_budget": slo.error_budget,
+        "streams_admitted": report.streams_admitted(),
+        "streams_shed": report.shed.len(),
+        "streams_at_slo": report.streams_at_slo(),
+        "frames_dropped": report.frames_dropped(),
+        "makespan_s": report.makespan_s,
+        "report": report,
+        "advisories": run.advisories,
+    });
+    if json {
+        println!(
+            "{}",
+            mogpu::json::to_string_pretty(&doc).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "fleet: {} device(s), {n_streams} streams x {} frames, level {}{}",
+            report.devices.len(),
+            n_frames - 1,
+            level.name(),
+            if fps > 0.0 {
+                format!(", arrivals at {fps:.0} fps")
+            } else {
+                ", offline".into()
+            }
+        );
+        println!(
+            "{:<12} {:<10} {:>7} {:>6} {:>14} {:>7} {:>10}",
+            "device", "class", "streams", "load", "mem MB", "at-SLO", "makespan s"
+        );
+        for d in &report.devices {
+            println!(
+                "{:<12} {:<10} {:>7} {:>6.2} {:>7.1}/{:<6.0} {:>4}/{:<2} {:>10.4}",
+                d.label,
+                report.classes[d.class].key,
+                d.admitted.len(),
+                d.load,
+                d.mem_used as f64 / (1024.0 * 1024.0),
+                d.mem_budget as f64 / (1024.0 * 1024.0),
+                d.serving.streams_at_slo(),
+                d.admitted.len(),
+                d.serving.makespan_s,
+            );
+        }
+        for s in &report.shed {
+            println!(
+                "shed: stream {} ({}; nearest miss {}), {} frame(s) dropped",
+                s.stream, s.reason, report.devices[s.device].label, s.frames
+            );
+        }
+        println!(
+            "fleet: {}/{} streams admitted, {} at SLO ({:.1} ms deadline), {} frame(s) dropped, makespan {:.4} s",
+            report.streams_admitted(),
+            report.streams_total(),
+            report.streams_at_slo(),
+            1e3 * slo.deadline_s,
+            report.frames_dropped(),
+            report.makespan_s,
+        );
+        if run.advisories.is_empty() {
+            println!("advisor: no device classes to evaluate");
+        } else {
+            for (i, a) in run.advisories.iter().enumerate() {
+                print_fleet_advisory(i + 1, a);
+            }
+        }
+    }
+
+    if let Some(path) = &events_out {
+        let events = report.all_events();
+        let text = mogpu::sim::serving::events_jsonl(&events);
+        std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!(
+            "wrote {} serving events to {}",
+            events.len(),
+            path.display()
+        );
+    }
+    if let Some(path) = &obs.report_out {
+        let text = mogpu::json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("wrote fleet report to {}", path.display());
+    }
+    if let Some(addr) = &serve_addr {
+        serve_fleet_metrics(run.report, addr, replay_s, serve_seconds)?;
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_fleet<T: mogpu::core::DeviceReal>(
+    scenes: &[Vec<Frame<u8>>],
+    keys: &[&str],
+    level: OptLevel,
+    k: usize,
+    buffers: usize,
+    fps: f64,
+    slo: mogpu::sim::serving::SloConfig,
+    window_s: f64,
+    headroom: f64,
+    device_mem: Option<usize>,
+) -> Result<FleetRunReport, String> {
+    let seeds: Vec<&[u8]> = scenes.iter().map(|f| f[0].as_slice()).collect();
+    let mut fleet = FleetPipeline::<T>::new(
+        scenes[0][0].resolution(),
+        MogParams::new(k),
+        level,
+        &seeds,
+        keys,
+    )
+    .map_err(|e| e.to_string())?
+    .with_buffers(buffers)
+    .with_slo(slo)
+    .with_window(window_s)
+    .with_headroom(headroom);
+    if fps > 0.0 {
+        fleet = fleet.with_arrival_period(1.0 / fps);
+    }
+    if let Some(bytes) = device_mem {
+        fleet = fleet.with_device_mem(bytes);
+    }
+    let frames: Vec<Vec<Frame<u8>>> = scenes.iter().map(|f| f[1..].to_vec()).collect();
+    fleet.process_all(&frames).map_err(|e| e.to_string())
+}
+
+fn print_fleet_advisory(rank: usize, a: &mogpu::sim::fleet::FleetAdvisory) {
+    println!(
+        "advisor #{rank} add {:?}: {:+} stream(s) at SLO (-> {}), {:+} dropped frame(s) (-> {})",
+        a.class,
+        a.streams_at_slo_gain,
+        a.streams_at_slo_after,
+        -a.frames_dropped_cut,
+        a.frames_dropped_after,
+    );
+    println!("   {}", a.finding);
+}
+
+/// Binds the scrape endpoint on a fleet report and replays its window
+/// snapshots until the duration elapses (0 = forever).
+fn serve_fleet_metrics(
+    report: mogpu::sim::fleet::FleetReport,
+    addr: &str,
+    replay_s: f64,
+    serve_seconds: f64,
+) -> Result<(), String> {
+    let server = mogpu::serve::MetricsServer::bind_fleet(addr, report, replay_s)
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "serving /metrics on http://{} ({})",
+        server.local_addr(),
+        if serve_seconds > 0.0 {
+            format!("for {serve_seconds:.0} s")
+        } else {
+            "until interrupted".into()
+        }
+    );
+    let handled = server
+        .serve_for(serve_seconds)
+        .map_err(|e| format!("serve: {e}"))?;
+    println!("served {handled} request(s)");
+    Ok(())
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let report_path = PathBuf::from(opt_value(args, "--report").ok_or(
         "usage: mogpu serve --report FILE.json [--addr HOST:PORT] [--serve-seconds N] [--replay-ms N]",
@@ -1008,10 +1368,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let serve_seconds: f64 = opt_value(args, "--serve-seconds")
         .map(|v| v.parse().unwrap_or(0.0))
         .unwrap_or(0.0);
-    let replay_s: f64 = opt_value(args, "--replay-ms")
-        .map(|v| v.parse().unwrap_or(500.0))
-        .unwrap_or(500.0)
-        / 1e3;
+    let replay_s = parse_replay_s(args)?;
 
     let text = std::fs::read_to_string(&report_path)
         .map_err(|e| format!("{}: {e}", report_path.display()))?;

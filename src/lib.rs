@@ -59,8 +59,8 @@ pub use serde_json as json;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use mogpu_core::{
-        DeviceModel, GpuMog, Layout, MultiGpuMog, MultiStreamReport, OptLevel, ProfileMode,
-        ProfileReport, RunReport, StreamRunReport,
+        DeviceModel, FleetPipeline, FleetRunReport, GpuMog, Layout, MultiGpuMog, MultiStreamReport,
+        OptLevel, ProfileMode, ProfileReport, RunReport, StreamRunReport,
     };
     pub use mogpu_frame::{
         Frame, FrameSequence, Mask, MovingObject, ObjectShape, Resolution, Scene, SceneBuilder,

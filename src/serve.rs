@@ -17,6 +17,7 @@
 //! Prometheus scraper or `curl` in CI, and the workspace vendors no async
 //! runtime.
 
+use mogpu_sim::fleet::{prometheus_fleet, FleetReport};
 use mogpu_sim::serving::{prometheus_serving, ServingReport};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -25,11 +26,33 @@ use std::time::{Duration, Instant};
 /// Default wall-clock seconds each snapshot window is served for.
 pub const DEFAULT_REPLAY_INTERVAL_S: f64 = 0.5;
 
+/// What the endpoint replays: one device's serving report, or a whole
+/// fleet report (per-device families under one exposition).
+enum Source {
+    Single(ServingReport),
+    Fleet(FleetReport),
+}
+
+impl Source {
+    /// How many replay snapshots the source carries.
+    fn snapshot_count(&self) -> usize {
+        match self {
+            Source::Single(r) => r.snapshots.len(),
+            Source::Fleet(r) => r
+                .devices
+                .iter()
+                .map(|d| d.serving.snapshots.len())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
 /// A running scrape endpoint.
 pub struct MetricsServer {
     listener: TcpListener,
     addr: SocketAddr,
-    report: ServingReport,
+    source: Source,
     replay_interval: Duration,
     /// Extra exposition text appended to every `/metrics` response
     /// (e.g. the full-run hardware telemetry).
@@ -37,28 +60,54 @@ pub struct MetricsServer {
     started: Instant,
 }
 
+/// A finite, positive replay interval: non-finite or non-positive
+/// values (a `--replay-ms 0` that slipped past CLI validation, or NaN
+/// from a corrupt config) fall back to [`DEFAULT_REPLAY_INTERVAL_S`] so
+/// the snapshot index math below can never divide by zero.
+fn clamp_interval(replay_interval_s: f64) -> f64 {
+    if replay_interval_s.is_finite() && replay_interval_s > 0.0 {
+        replay_interval_s
+    } else {
+        DEFAULT_REPLAY_INTERVAL_S
+    }
+}
+
 impl MetricsServer {
     /// Binds `addr` (e.g. `127.0.0.1:9184`; port 0 picks a free port)
     /// and prepares to serve `report`'s snapshots every
-    /// `replay_interval` seconds (values `<= 0` use
+    /// `replay_interval` seconds (non-finite or `<= 0` values use
     /// [`DEFAULT_REPLAY_INTERVAL_S`]).
     pub fn bind(
         addr: &str,
         report: ServingReport,
         replay_interval_s: f64,
     ) -> std::io::Result<MetricsServer> {
+        Self::bind_source(addr, Source::Single(report), replay_interval_s)
+    }
+
+    /// Like [`MetricsServer::bind`], but replays a fleet report: one
+    /// exposition carrying every device's families plus the fleet
+    /// gauges and drop counters.
+    pub fn bind_fleet(
+        addr: &str,
+        report: FleetReport,
+        replay_interval_s: f64,
+    ) -> std::io::Result<MetricsServer> {
+        Self::bind_source(addr, Source::Fleet(report), replay_interval_s)
+    }
+
+    fn bind_source(
+        addr: &str,
+        source: Source,
+        replay_interval_s: f64,
+    ) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let interval = if replay_interval_s > 0.0 {
-            replay_interval_s
-        } else {
-            DEFAULT_REPLAY_INTERVAL_S
-        };
         Ok(MetricsServer {
             listener,
             addr,
-            report,
-            replay_interval: Duration::from_secs_f64(interval),
+            source,
+            replay_interval: Duration::from_secs_f64(clamp_interval(replay_interval_s)),
             extra: String::new(),
             started: Instant::now(),
         })
@@ -79,13 +128,19 @@ impl MetricsServer {
     fn current_snapshot(&self) -> usize {
         let elapsed = self.started.elapsed().as_secs_f64();
         let per = self.replay_interval.as_secs_f64();
+        // `per` is always finite and positive (clamped at bind), so the
+        // quotient can only be a normal number.
         let i = (elapsed / per) as usize;
-        i.min(self.report.snapshots.len().saturating_sub(1))
+        i.min(self.source.snapshot_count().saturating_sub(1))
     }
 
     /// The exposition body a scrape arriving now receives.
     pub fn render(&self) -> String {
-        let mut body = prometheus_serving(&self.report, self.current_snapshot());
+        let snapshot = self.current_snapshot();
+        let mut body = match &self.source {
+            Source::Single(report) => prometheus_serving(report, snapshot),
+            Source::Fleet(report) => prometheus_fleet(report, snapshot),
+        };
         body.push_str(&self.extra);
         body
     }
@@ -248,6 +303,46 @@ mod tests {
         // After the replay finishes, the totals equal the whole run.
         assert_eq!(count_of(&last), 10.0);
         t.join().unwrap();
+    }
+
+    #[test]
+    fn zero_and_non_finite_replay_intervals_clamp_to_default() {
+        // Regression: `--replay-ms 0` used to make current_snapshot
+        // divide by zero and pin the replay to the last window.
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let server = MetricsServer::bind("127.0.0.1:0", report(), bad).unwrap();
+            assert_eq!(
+                server.replay_interval,
+                Duration::from_secs_f64(DEFAULT_REPLAY_INTERVAL_S),
+                "interval {bad} must clamp"
+            );
+            // Immediately after bind the replay must be at the FIRST
+            // snapshot, not pinned to the last.
+            assert_eq!(server.current_snapshot(), 0);
+            server.render(); // and render must not panic
+        }
+    }
+
+    #[test]
+    fn fleet_source_serves_device_cardinality() {
+        use mogpu_sim::fleet::{fleet_report, FleetOptions, FleetSpec, FleetStream};
+        let (spec, _) = FleetSpec::from_preset_keys(&["c2075", "hbm"]).unwrap();
+        let streams: Vec<FleetStream> = (0..4)
+            .map(|_| {
+                FleetStream::uniform(
+                    StreamInput::live(vec![StageTimes::uniform(1e-4, 5e-3, 1e-4); 6], 1.0 / 30.0),
+                    1 << 20,
+                    2,
+                )
+            })
+            .collect();
+        let fr = fleet_report(&spec, &streams, &FleetOptions::default()).unwrap();
+        let server = MetricsServer::bind_fleet("127.0.0.1:0", fr, 10.0).unwrap();
+        let body = server.render();
+        assert!(body.contains("device=\"c2075-0\""), "{body}");
+        assert!(body.contains("device=\"hbm-0\""));
+        assert!(body.contains("# TYPE mogpu_frames_dropped_total counter"));
+        assert!(body.contains("mogpu_fleet_devices 2"));
     }
 
     #[test]

@@ -27,7 +27,7 @@ fn no_args_prints_help_listing_every_subcommand() {
     assert!(out.status.success(), "no-arg invocation must exit 0");
     let help = stdout(&out);
     for cmd in [
-        "info", "demo", "ladder", "run", "profile", "advise", "streams", "serve", "check",
+        "info", "demo", "ladder", "run", "profile", "advise", "streams", "fleet", "serve", "check",
         "metrics", "bench", "help",
     ] {
         assert!(
@@ -246,6 +246,95 @@ fn streams_serving_outputs_round_trip_through_serve() {
     );
     assert!(stdout(&out).contains("serving /metrics on http://127.0.0.1:"));
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Regression: a serving report whose `snapshots` array is empty (an
+/// old recording, or a hand-edited file) used to panic the exposition
+/// renderer with an out-of-bounds index. `mogpu serve` must replay it
+/// as a valid, empty-but-well-formed exposition instead.
+#[test]
+fn serve_accepts_an_empty_snapshot_report_without_panicking() {
+    let dir = temp_dir("empty_snapshots");
+    let report = dir.join("report.json");
+    let out = mogpu(&[
+        "streams",
+        "--streams",
+        "2",
+        "--frames",
+        "4",
+        "--report-out",
+        report.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    // Strip the snapshots, as an older or truncated recording would.
+    // (The vendored Value has no IndexMut; walk the object entries.)
+    let mut doc: mogpu::json::Value =
+        mogpu::json::from_str(&std::fs::read_to_string(&report).unwrap()).unwrap();
+    {
+        let mogpu::json::Value::Object(entries) = &mut doc else {
+            panic!("report is not an object")
+        };
+        let serving = &mut entries
+            .iter_mut()
+            .find(|(k, _)| k == "serving")
+            .expect("report has a serving section")
+            .1;
+        let mogpu::json::Value::Object(serving) = serving else {
+            panic!("serving is not an object")
+        };
+        serving
+            .iter_mut()
+            .find(|(k, _)| k == "snapshots")
+            .expect("serving has snapshots")
+            .1 = mogpu::json::Value::Array(Vec::new());
+    }
+    std::fs::write(&report, mogpu::json::to_string_pretty(&doc).unwrap()).unwrap();
+
+    let out = mogpu(&[
+        "serve",
+        "--report",
+        report.to_str().unwrap(),
+        "--addr",
+        "127.0.0.1:0",
+        "--serve-seconds",
+        "0.2",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("0 snapshot(s)"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Regression: `--replay-ms 0` used to reach the replay clock as a zero
+/// divisor. The CLI now rejects zero, negative and non-numeric values
+/// up front on both subcommands that take the flag.
+#[test]
+fn replay_ms_must_be_positive() {
+    for args in [
+        &[
+            "streams",
+            "--streams",
+            "2",
+            "--frames",
+            "4",
+            "--replay-ms",
+            "0",
+        ][..],
+        &["serve", "--report", "x.json", "--replay-ms", "-250"][..],
+        &["serve", "--report", "x.json", "--replay-ms", "nan"][..],
+    ] {
+        let out = mogpu(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = String::from_utf8_lossy(&out.stderr).into_owned();
+        assert!(
+            err.contains("--replay-ms"),
+            "{args:?} stderr does not name the flag: {err}"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,250 @@
+//! Fleet-level integration tests: an oversubscribed fleet sheds
+//! streams gracefully — attributed `frame_dropped` events, not an OOM
+//! error — and the drop accounting agrees across every surface the run
+//! exposes (report JSON, Prometheus exposition, JSONL event log),
+//! while the streams that *were* admitted still meet their SLO.
+
+use serde::Deserialize;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn mogpu(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mogpu"))
+        .args(args)
+        .output()
+        .expect("spawn mogpu")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mogpu_fleet_{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs `mogpu fleet` writing both report and events, returning the
+/// parsed report document and the raw event log.
+fn run_fleet(dir: &Path, extra: &[&str]) -> (mogpu::json::Value, String) {
+    let report_path = dir.join("fleet.json");
+    let events_path = dir.join("events.jsonl");
+    let mut args = vec![
+        "fleet",
+        "--report-out",
+        report_path.to_str().unwrap(),
+        "--events-out",
+        events_path.to_str().unwrap(),
+    ];
+    args.extend_from_slice(extra);
+    let out = mogpu(&args);
+    assert!(
+        out.status.success(),
+        "stderr: {}\nstdout: {}",
+        String::from_utf8_lossy(&out.stderr),
+        stdout(&out)
+    );
+    let doc: mogpu::json::Value =
+        mogpu::json::from_str(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+    let log = std::fs::read_to_string(&events_path).unwrap();
+    (doc, log)
+}
+
+/// Sum of every `mogpu_frames_dropped_total{...} V` sample in an
+/// exposition body.
+fn dropped_total(exposition: &str) -> u64 {
+    exposition
+        .lines()
+        .filter(|l| l.starts_with("mogpu_frames_dropped_total{"))
+        .map(|l| {
+            l.rsplit(' ')
+                .next()
+                .unwrap()
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("bad sample line {l:?}")) as u64
+        })
+        .sum()
+}
+
+/// Five offline streams (utilization 1.0 each) on a two-device fleet:
+/// two streams admitted, three shed by load. The shed frame count must
+/// read identically from the report JSON, the final-snapshot Prometheus
+/// exposition, and the JSONL event log — and the two admitted streams
+/// must still be at SLO.
+#[test]
+fn oversubscribed_fleet_drop_counts_agree_across_all_surfaces() {
+    let dir = temp_dir("consistency");
+    let (doc, log) = run_fleet(
+        &dir,
+        &["--devices", "c2075,hbm", "--streams", "5", "--frames", "5"],
+    );
+
+    let admitted = doc["streams_admitted"].as_f64().unwrap() as u64;
+    let shed = doc["streams_shed"].as_f64().unwrap() as u64;
+    let at_slo = doc["streams_at_slo"].as_f64().unwrap() as u64;
+    let dropped = doc["frames_dropped"].as_f64().unwrap() as u64;
+    assert_eq!(admitted, 2, "one offline stream saturates each device");
+    assert_eq!(shed, 3);
+    assert_eq!(dropped, 3 * 4, "every frame of every shed stream drops");
+    assert_eq!(at_slo, admitted, "admitted streams stay at SLO");
+
+    // JSONL event log: one attributed frame_dropped line per drop.
+    let drop_lines: Vec<mogpu::json::Value> = log
+        .lines()
+        .map(|l| mogpu::json::from_str(l).unwrap())
+        .filter(|v: &mogpu::json::Value| {
+            v["event"] == mogpu::json::Value::String("frame_dropped".into())
+        })
+        .collect();
+    assert_eq!(drop_lines.len() as u64, dropped);
+    for line in &drop_lines {
+        assert!(
+            line["device"].as_str().is_some(),
+            "drop event without device attribution: {line:?}"
+        );
+        assert!(line["stream"].as_f64().is_some());
+        assert!(line["site"].as_str().is_some());
+    }
+
+    // Prometheus, replayed past the final snapshot: the cumulative drop
+    // counter family sums to the same total, with real device-label
+    // cardinality across the fleet.
+    let report =
+        <mogpu::sim::fleet::FleetReport as Deserialize>::from_json_value(&doc["report"]).unwrap();
+    let exposition = mogpu::sim::fleet::prometheus_fleet(&report, usize::MAX);
+    assert_eq!(dropped_total(&exposition), dropped);
+    let devices: std::collections::BTreeSet<&str> = exposition
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter_map(|l| l.split("device=\"").nth(1))
+        .filter_map(|rest| rest.split('"').next())
+        .collect();
+    assert!(
+        devices.len() >= 2,
+        "expected >= 2 distinct device labels, got {devices:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The fleet-merged latency histograms must equal the pooled per-device
+/// histograms bucket by bucket — merging is exact, not approximate.
+#[test]
+fn fleet_histograms_are_the_exact_pool_of_device_histograms() {
+    let dir = temp_dir("histograms");
+    let (doc, _) = run_fleet(
+        &dir,
+        &[
+            "--devices",
+            "c2075,embedded,hbm",
+            "--streams",
+            "3",
+            "--frames",
+            "6",
+        ],
+    );
+    let report =
+        <mogpu::sim::fleet::FleetReport as Deserialize>::from_json_value(&doc["report"]).unwrap();
+    assert_eq!(report.devices.len(), 3);
+
+    let mut pooled_frame = mogpu::sim::serving::LatencyHistogram::new();
+    let mut pooled_e2e = mogpu::sim::serving::LatencyHistogram::new();
+    for d in &report.devices {
+        pooled_frame.merge(&d.serving.pipeline_frame_latency);
+        pooled_e2e.merge(&d.serving.pipeline_e2e_latency);
+    }
+    assert_eq!(pooled_frame.counts, report.frame_latency.counts);
+    assert_eq!(pooled_e2e.counts, report.e2e_latency.counts);
+    assert!(
+        pooled_frame.counts.iter().sum::<u64>() > 0,
+        "histograms must not be trivially empty"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `mogpu advise --fleet-report` replays the recorded fleet with one
+/// extra device of each class and names the class to add next; on an
+/// oversubscribed fleet the best advisory has a positive benefit.
+#[test]
+fn advise_names_the_device_class_to_add_next() {
+    let dir = temp_dir("advise");
+    let report_path = dir.join("fleet.json");
+    let out = mogpu(&[
+        "fleet",
+        "--devices",
+        "c2075,embedded",
+        "--streams",
+        "4",
+        "--frames",
+        "5",
+        "--report-out",
+        report_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    let out = mogpu(&[
+        "advise",
+        "--fleet-report",
+        report_path.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc: mogpu::json::Value = mogpu::json::from_str(stdout(&out).trim()).unwrap();
+    let advisories = doc["advisories"].as_array().unwrap();
+    assert_eq!(advisories.len(), 2, "one counterfactual per class");
+    let best_gain = advisories[0]["streams_at_slo_gain"].as_f64().unwrap();
+    assert!(
+        best_gain > 0.0,
+        "adding a device to an oversubscribed fleet must buy SLO attainment: {advisories:?}"
+    );
+    for a in advisories {
+        assert!(a["class"].as_str().is_some());
+        assert!(a["finding"].as_str().unwrap().contains("device"));
+    }
+
+    // The human-readable form agrees on the winner.
+    let text_out = mogpu(&["advise", "--fleet-report", report_path.to_str().unwrap()]);
+    assert!(text_out.status.success());
+    let text = stdout(&text_out);
+    assert!(
+        text.contains(&format!(
+            "advisor #1 add \"{}\"",
+            advisories[0]["class"].as_str().unwrap()
+        )),
+        "text output disagrees with JSON ranking:\n{text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Memory-constrained fleets shed by memory (with device attribution)
+/// instead of failing with an out-of-memory error.
+#[test]
+fn memory_oversubscription_sheds_instead_of_erroring() {
+    let dir = temp_dir("memory");
+    let (doc, log) = run_fleet(
+        &dir,
+        &[
+            "--devices",
+            "c2075,hbm",
+            "--streams",
+            "2",
+            "--frames",
+            "4",
+            "--device-mem-mb",
+            "0.001",
+        ],
+    );
+    assert_eq!(doc["streams_admitted"].as_f64().unwrap() as u64, 0);
+    let report =
+        <mogpu::sim::fleet::FleetReport as Deserialize>::from_json_value(&doc["report"]).unwrap();
+    assert_eq!(report.shed.len(), 2);
+    for s in &report.shed {
+        assert_eq!(s.reason, "memory");
+    }
+    assert!(log.contains("\"frame_dropped\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
