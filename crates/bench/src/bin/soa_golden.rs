@@ -1,0 +1,114 @@
+//! Regenerates `tests/data/soa_golden.json`: the reference interpreter's
+//! raw warp statistics and mask digests for the standard workload across
+//! every ladder level, the windowed level, the adaptive path, and a
+//! sanitized run.
+//!
+//! `tests/soa_equivalence.rs` pins the current interpreter against this
+//! file bit for bit. The file is committed; rerun this tool ONLY when an
+//! intentional statistics-semantics change is being made (and say so in
+//! the commit message), never to paper over an accidental drift.
+
+use mogpu_bench::harness::{default_params, run_level, standard_frames, SIM_RESOLUTION};
+use mogpu_core::{AdaptiveGpuMog, GpuMog, OptLevel, RunReport};
+use mogpu_sim::GpuConfig;
+use serde_json::Value;
+
+/// Frames rendered per golden run (first seeds the model, 8 processed —
+/// one full level-W(8) group).
+const FRAMES: usize = 9;
+
+/// FNV-1a 64-bit over all mask bytes in frame order — a stable,
+/// dependency-free digest of the functional output.
+fn mask_digest(report: &RunReport) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for mask in &report.masks {
+        for &b in mask.as_slice() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+fn entry(report: &RunReport) -> Value {
+    Value::Object(vec![
+        ("mask_digest".into(), Value::String(mask_digest(report))),
+        ("stats".into(), serde_json::to_value(&report.stats).unwrap()),
+    ])
+}
+
+fn main() {
+    let frames = standard_frames(FRAMES);
+    let mut levels: Vec<(String, Value)> = Vec::new();
+    for level in OptLevel::LADDER
+        .into_iter()
+        .chain([OptLevel::Windowed { group: 8 }])
+    {
+        let report = run_level::<f64>(level, default_params(3), &frames);
+        levels.push((level.name(), entry(&report)));
+        eprintln!("{:<6} {}", level.name(), mask_digest(&report));
+    }
+
+    // f32 exercises the half-width model layout and f32 flop counters.
+    let f32_report = run_level::<f32>(OptLevel::F, default_params(3), &frames);
+
+    // Sanitized level-F run: must be finding-free and statistically
+    // indistinguishable from the plain run.
+    let mut san_gpu = GpuMog::<f64>::new(
+        SIM_RESOLUTION,
+        default_params(3),
+        OptLevel::F,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .expect("pipeline");
+    san_gpu.set_sanitize(true);
+    let san_report = san_gpu.process_all(&frames[1..]).expect("processing");
+    let san = san_gpu.take_san_report().expect("sanitizer report");
+
+    // The adaptive comparator path (one launch per frame, SoA layout,
+    // k_max = 5, scattered-complexity scene as in exp_adaptive).
+    let adaptive_frames = mogpu_frame::SceneBuilder::new(SIM_RESOLUTION)
+        .seed(0x1CC_2014)
+        .walkers(3)
+        .bimodal_fraction(0.25)
+        .bimodal_contrast(60.0)
+        .noise_sd(2.0)
+        .build()
+        .render_sequence(FRAMES)
+        .0
+        .into_frames();
+    let mut adaptive = AdaptiveGpuMog::<f64>::new(
+        SIM_RESOLUTION,
+        default_params(5),
+        adaptive_frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .expect("pipeline");
+    let adaptive_report = adaptive
+        .process_all(&adaptive_frames[1..])
+        .expect("processing");
+
+    let mut sanitized = entry(&san_report);
+    if let Value::Object(fields) = &mut sanitized {
+        fields.push(("findings".into(), Value::U64(san.findings().len() as u64)));
+    }
+    let golden = Value::Object(vec![
+        (
+            "resolution".into(),
+            Value::String(format!("{SIM_RESOLUTION}")),
+        ),
+        ("frames".into(), Value::U64(FRAMES as u64)),
+        ("levels".into(), Value::Object(levels)),
+        ("f32_f".into(), entry(&f32_report)),
+        ("sanitized_f".into(), sanitized),
+        ("adaptive".into(), entry(&adaptive_report)),
+    ]);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/data/soa_golden.json"
+    );
+    std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+    std::fs::write(path, serde_json::to_string_pretty(&golden).unwrap()).unwrap();
+    println!("wrote {path}");
+}

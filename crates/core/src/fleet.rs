@@ -22,6 +22,10 @@
 //! and copy-engine differences are what make the classes heterogeneous
 //! on the serving path). Memory footprints come from the probes'
 //! [`GpuMog::device_allocated`].
+//!
+//! Like the multi-stream pipeline, the functional pass rides on
+//! `GpuMog`'s cached launch plan ([`mogpu_sim::BatchLauncher`]): launch
+//! validation and occupancy are derived once per stream, not per frame.
 
 use crate::device::DeviceReal;
 use crate::levels::OptLevel;

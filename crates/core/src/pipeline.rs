@@ -19,7 +19,7 @@ use mogpu_mog::{HostModel, MogParams, ResolvedParams};
 use mogpu_sim::dma::{pipeline_schedule, timing_of, transfer_time, PipelineTiming};
 use mogpu_sim::telemetry::{sample_schedule, PipelineTelemetry, TelemetryConfig};
 use mogpu_sim::{
-    launch_with, Buffer, DerivedMetrics, DeviceMemory, GpuConfig, KernelStats, LaunchConfig,
+    BatchLauncher, Buffer, DerivedMetrics, DeviceMemory, GpuConfig, KernelStats, LaunchConfig,
     LaunchError, LaunchOptions, LaunchReport, MemoryError, Occupancy, SanReport, SiteProfile,
 };
 
@@ -151,6 +151,11 @@ pub struct GpuMog<T: DeviceReal> {
     frame_bufs: Vec<Buffer>,
     fg_bufs: Vec<Buffer>,
     threads_per_block: u32,
+    /// Launch plan cached across frames: the grid and kernel resources
+    /// are fixed by (resolution, level, k, block size), so grid
+    /// validation and occupancy derivation happen once per run instead
+    /// of once per frame. Cleared when the block size changes.
+    launcher: Option<BatchLauncher>,
     profile: ProfileMode,
     last_profile: Option<ProfileReport>,
     sanitize: bool,
@@ -208,6 +213,7 @@ impl<T: DeviceReal> GpuMog<T> {
             frame_bufs,
             fg_bufs,
             threads_per_block: THREADS_PER_BLOCK,
+            launcher: None,
             profile: ProfileMode::Off,
             last_profile: None,
             sanitize: false,
@@ -244,6 +250,8 @@ impl<T: DeviceReal> GpuMog<T> {
     /// structured diagnostic.
     pub fn set_threads_per_block(&mut self, tpb: u32) {
         self.threads_per_block = tpb.max(1);
+        // The cached plan was validated for the old grid.
+        self.launcher = None;
     }
 
     /// Enables or disables profiling for subsequent `process_all` calls.
@@ -303,17 +311,31 @@ impl<T: DeviceReal> GpuMog<T> {
         }
     }
 
+    /// Returns the cached launch plan, building (and validating) it on
+    /// first use after construction or a block-size change.
+    fn launcher(&mut self) -> Result<BatchLauncher, PipelineError> {
+        if let Some(l) = self.launcher {
+            return Ok(l);
+        }
+        let lc = LaunchConfig::cover(self.resolution.pixels(), self.threads_per_block);
+        let res = self
+            .level
+            .resources(self.threads_per_block, self.params.k, T::BYTES);
+        let l = BatchLauncher::new(&self.cfg, lc, res)?;
+        self.launcher = Some(l);
+        Ok(l)
+    }
+
     /// Processes a group of up to `level.group()` frames with one launch,
     /// returning the masks and the launch's report.
     fn process_group(
         &mut self,
         frames: &[&Frame<u8>],
     ) -> Result<(Vec<Mask>, LaunchReport), PipelineError> {
-        let pixels = self.resolution.pixels();
         for (slot, frame) in frames.iter().enumerate() {
             self.mem.upload(self.frame_bufs[slot], frame.as_slice());
         }
-        let lc = LaunchConfig::cover(pixels, self.threads_per_block);
+        let launcher = self.launcher()?;
         let opts = LaunchOptions {
             profile_sites: self.profile.is_on(),
             sanitize: self.sanitize,
@@ -323,7 +345,7 @@ impl<T: DeviceReal> GpuMog<T> {
                 let k = SortedKernel {
                     pass: self.frame_pass(0),
                 };
-                launch_with(&mut self.mem, &self.cfg, lc, &k, opts)?
+                launcher.launch(&mut self.mem, &self.cfg, &k, opts)
             }
             OptLevel::D => {
                 let k = ScanKernel {
@@ -331,7 +353,7 @@ impl<T: DeviceReal> GpuMog<T> {
                     predicated: false,
                     recompute_diff: false,
                 };
-                launch_with(&mut self.mem, &self.cfg, lc, &k, opts)?
+                launcher.launch(&mut self.mem, &self.cfg, &k, opts)
             }
             OptLevel::E => {
                 let k = ScanKernel {
@@ -339,7 +361,7 @@ impl<T: DeviceReal> GpuMog<T> {
                     predicated: true,
                     recompute_diff: false,
                 };
-                launch_with(&mut self.mem, &self.cfg, lc, &k, opts)?
+                launcher.launch(&mut self.mem, &self.cfg, &k, opts)
             }
             OptLevel::F => {
                 let k = ScanKernel {
@@ -347,7 +369,7 @@ impl<T: DeviceReal> GpuMog<T> {
                     predicated: true,
                     recompute_diff: true,
                 };
-                launch_with(&mut self.mem, &self.cfg, lc, &k, opts)?
+                launcher.launch(&mut self.mem, &self.cfg, &k, opts)
             }
             OptLevel::Windowed { .. } => {
                 let k = TiledKernel {
@@ -356,7 +378,7 @@ impl<T: DeviceReal> GpuMog<T> {
                     fgs: self.fg_bufs[..frames.len()].to_vec(),
                     record_stride: None,
                 };
-                launch_with(&mut self.mem, &self.cfg, lc, &k, opts)?
+                launcher.launch(&mut self.mem, &self.cfg, &k, opts)
             }
         };
 
@@ -817,6 +839,18 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
             profile_sites: self.profile.is_on(),
             sanitize: self.sanitize,
         };
+        let resources = mogpu_sim::KernelResources {
+            regs_per_thread: 33,
+            shared_bytes_per_block: 0,
+            local_f64_slots: 0,
+        };
+        // One grid for the whole sequence: validate and derive occupancy
+        // once, then launch per frame.
+        let launcher = BatchLauncher::new(
+            &self.cfg,
+            LaunchConfig::cover(pixels, THREADS_PER_BLOCK),
+            resources,
+        )?;
         for frame in frames {
             if frame.resolution() != self.resolution {
                 return Err(PipelineError::Config("frame resolution mismatch".into()));
@@ -829,21 +863,11 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
                     fg: self.fg_buf,
                     pixels,
                     prm: self.prm,
-                    resources: mogpu_sim::KernelResources {
-                        regs_per_thread: 33,
-                        shared_bytes_per_block: 0,
-                        local_f64_slots: 0,
-                    },
+                    resources,
                 },
                 active: self.active,
             };
-            let mut report = launch_with(
-                &mut self.mem,
-                &self.cfg,
-                LaunchConfig::cover(pixels, THREADS_PER_BLOCK),
-                &kernel,
-                opts,
-            )?;
+            let mut report = launcher.launch(&mut self.mem, &self.cfg, &kernel, opts);
             if let (Some(acc), Some(r)) = (san.as_mut(), report.sanitizer.take()) {
                 acc.merge(&r);
             }

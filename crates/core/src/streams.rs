@@ -5,7 +5,10 @@
 //! plus its double-buffered frame/mask buffers), allocated against a
 //! single shared device-memory budget — constructing more streams than
 //! the device can hold fails with the usual out-of-memory error instead
-//! of silently over-committing. Frames are executed *functionally* in
+//! of silently over-committing. Each stream also inherits `GpuMog`'s
+//! cached [`mogpu_sim::BatchLauncher`]: the grid is validated and
+//! occupancy derived once per stream, then every frame of the stream's
+//! sequence reuses that plan instead of re-deriving the launch setup. Frames are executed *functionally* in
 //! parallel across streams (rayon; streams share no model state), while
 //! *timing* is serialized through the [`StreamScheduler`]: one compute
 //! engine and `cfg.copy_engines` copy engines are list-scheduled across

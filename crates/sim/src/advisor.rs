@@ -530,12 +530,13 @@ pub fn advise(input: &AdvisorInput) -> Vec<Advisory> {
 }
 
 /// Sorts advisories by estimated benefit descending; ties break on the
-/// rule id so the order is total and deterministic.
+/// rule id so the order is total and deterministic. `total_cmp` keeps
+/// that true even for a NaN benefit estimate (it ranks above every
+/// finite benefit instead of comparing equal to everything).
 fn rank(out: &mut [Advisory]) {
     out.sort_by(|a, b| {
         b.estimated_benefit_s
-            .partial_cmp(&a.estimated_benefit_s)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.estimated_benefit_s)
             .then_with(|| a.rule.cmp(&b.rule))
     });
 }
@@ -595,6 +596,31 @@ mod tests {
             frames: 8,
             cfg: &cfg,
         })
+    }
+
+    /// Regression: `rank` used `partial_cmp().unwrap_or(Equal)`, so a
+    /// NaN benefit estimate compared equal to every other advisory and
+    /// the final order depended on rule emission order. `total_cmp`
+    /// must produce one deterministic total order with NaN on top.
+    #[test]
+    fn rank_is_total_and_deterministic_with_nan_benefit() {
+        let mk = |rule: &str, benefit: f64| Advisory {
+            rule: rule.into(),
+            transform: Transform::CoalesceMemory,
+            finding: String::new(),
+            evidence: Vec::new(),
+            sites: Vec::new(),
+            estimated_benefit_s: benefit,
+            estimated_speedup: 1.0,
+        };
+        let mut a = vec![mk("b", 0.5), mk("a", f64::NAN), mk("c", 2.0)];
+        let mut b = vec![mk("c", 2.0), mk("a", f64::NAN), mk("b", 0.5)];
+        rank(&mut a);
+        rank(&mut b);
+        let order: Vec<&str> = a.iter().map(|ad| ad.rule.as_str()).collect();
+        assert_eq!(order, ["a", "c", "b"], "NaN first, then descending");
+        let same: Vec<&str> = b.iter().map(|ad| ad.rule.as_str()).collect();
+        assert_eq!(order, same, "order must not depend on input order");
     }
 
     #[test]

@@ -17,10 +17,9 @@ use crate::profile::SiteProfile;
 use crate::sancheck::{BlockSan, SanReport};
 use crate::stats::KernelStats;
 use crate::timing::{kernel_time, KernelTiming};
-use crate::trace::{BuildPtrHasher, OpClass, Space};
+use crate::trace::{OpClass, Space};
 use crate::warp::WarpAccumulator;
 use rayon::prelude::*;
-use std::collections::HashMap;
 use std::panic::Location;
 
 /// Static resource footprint of a kernel, as `nvcc --ptxas-options=-v`
@@ -53,9 +52,18 @@ pub struct LaunchConfig {
 impl LaunchConfig {
     /// Grid covering `threads` total threads with the given block size
     /// (rounding the block count up, CUDA-style).
+    ///
+    /// # Panics
+    /// When the required block count exceeds `u32::MAX` (the 1-D grid
+    /// limit of the `blocks` field). The old cast silently truncated
+    /// here, launching a grid that covered almost none of the requested
+    /// threads.
     pub fn cover(threads: usize, threads_per_block: u32) -> Self {
+        let blocks = (threads as u64).div_ceil(threads_per_block.max(1) as u64);
         LaunchConfig {
-            blocks: (threads as u64).div_ceil(threads_per_block as u64) as u32,
+            blocks: u32::try_from(blocks).unwrap_or_else(|_| {
+                panic!("grid of {blocks} blocks ({threads} threads / {threads_per_block} per block) exceeds the u32 grid limit")
+            }),
             threads_per_block,
         }
     }
@@ -131,12 +139,29 @@ pub struct LaunchReport {
 /// be keyed by exact `(address, width)`, so an 8-byte store read back
 /// through a 4-byte load silently fell through to the stale pre-launch
 /// snapshot. Byte granularity also makes publishing order-independent
-/// within a block — the old map could hold overlapping entries of
-/// different widths and apply them in arbitrary hash order.)
-#[derive(Debug, Default)]
+/// within a block — cells are disjoint, so applying them in any order
+/// produces the same memory.)
+///
+/// The map is a purpose-built open-addressing table (multiply-shift hash,
+/// linear probing) over an insertion-ordered cell vector: the per-access
+/// lookup on the interpreter's hot path is one multiply and usually one
+/// probe, and [`WriteOverlay::clear`] recycles the allocation across
+/// blocks and launches.
+#[derive(Debug)]
 pub(crate) struct WriteOverlay {
-    cells: HashMap<u64, OverlayCell, BuildPtrHasher>,
+    /// Bucket → cell base address, or [`EMPTY_KEY`].
+    keys: Vec<u64>,
+    /// Bucket → index into `cells` (valid where `keys` is occupied).
+    slots: Vec<u32>,
+    /// `(base, cell)` in first-store order.
+    cells: Vec<(u64, OverlayCell)>,
+    /// `64 - log2(capacity)`.
+    shift: u32,
 }
+
+/// Sentinel for an empty overlay bucket. Cell bases are 8-byte-aligned
+/// device addresses, so the all-ones pattern can never collide.
+const EMPTY_KEY: u64 = u64::MAX;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct OverlayCell {
@@ -144,7 +169,83 @@ struct OverlayCell {
     bytes: [u8; 8],
 }
 
+impl Default for WriteOverlay {
+    fn default() -> Self {
+        let cap = 1024usize;
+        WriteOverlay {
+            keys: vec![EMPTY_KEY; cap],
+            slots: vec![0; cap],
+            cells: Vec::new(),
+            shift: 64 - cap.trailing_zeros(),
+        }
+    }
+}
+
 impl WriteOverlay {
+    #[inline]
+    fn bucket(&self, base: u64) -> usize {
+        (base.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize
+    }
+
+    /// Index of `base`'s cell, or `None` if the block has not stored into
+    /// that cell.
+    #[inline]
+    fn find(&self, base: u64) -> Option<usize> {
+        let mask = self.keys.len() - 1;
+        let mut b = self.bucket(base);
+        loop {
+            let k = self.keys[b];
+            if k == base {
+                return Some(self.slots[b] as usize);
+            }
+            if k == EMPTY_KEY {
+                return None;
+            }
+            b = (b + 1) & mask;
+        }
+    }
+
+    /// Index of `base`'s cell, appending a fresh one on first store.
+    #[inline]
+    fn find_or_insert(&mut self, base: u64) -> usize {
+        let mask = self.keys.len() - 1;
+        let mut b = self.bucket(base);
+        loop {
+            let k = self.keys[b];
+            if k == base {
+                return self.slots[b] as usize;
+            }
+            if k == EMPTY_KEY {
+                let ix = self.cells.len();
+                self.keys[b] = base;
+                self.slots[b] = ix as u32;
+                self.cells.push((base, OverlayCell::default()));
+                if self.cells.len() * 2 > self.keys.len() {
+                    self.grow();
+                }
+                return ix;
+            }
+            b = (b + 1) & mask;
+        }
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let cap = self.keys.len() * 2;
+        self.keys = vec![EMPTY_KEY; cap];
+        self.slots = vec![0; cap];
+        self.shift = 64 - cap.trailing_zeros();
+        let mask = cap - 1;
+        for (ix, &(base, _)) in self.cells.iter().enumerate() {
+            let mut b = (base.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize;
+            while self.keys[b] != EMPTY_KEY {
+                b = (b + 1) & mask;
+            }
+            self.keys[b] = base;
+            self.slots[b] = ix as u32;
+        }
+    }
+
     /// Records a store of `val` (little-endian access bytes) at `addr`.
     /// An access of width <= 8 touches at most two cells.
     fn store(&mut self, addr: u64, val: &[u8]) {
@@ -154,10 +255,9 @@ impl WriteOverlay {
             let base = a & !7;
             let off = (a - base) as usize;
             let n = (8 - off).min(val.len() - i);
-            let cell = self.cells.entry(base).or_default();
-            for j in 0..n {
-                cell.mask |= 1 << (off + j);
-            }
+            let ix = self.find_or_insert(base);
+            let cell = &mut self.cells[ix].1;
+            cell.mask |= (((1u16 << n) - 1) as u8) << off;
             cell.bytes[off..off + n].copy_from_slice(&val[i..i + n]);
             i += n;
         }
@@ -175,10 +275,15 @@ impl WriteOverlay {
             let base = a & !7;
             let off = (a - base) as usize;
             let n = (8 - off).min(width - i);
-            if let Some(cell) = self.cells.get(&base) {
-                for j in 0..n {
-                    if cell.mask & (1 << (off + j)) != 0 {
-                        out[i + j] = cell.bytes[off + j];
+            if let Some(ix) = self.find(base) {
+                let cell = &self.cells[ix].1;
+                if cell.mask == 0xFF {
+                    out[i..i + n].copy_from_slice(&cell.bytes[off..off + n]);
+                } else {
+                    for j in 0..n {
+                        if cell.mask & (1 << (off + j)) != 0 {
+                            out[i + j] = cell.bytes[off + j];
+                        }
                     }
                 }
             }
@@ -191,17 +296,72 @@ impl WriteOverlay {
     /// treats block-local stores as defining).
     pub(crate) fn is_written(&self, addr: u64) -> bool {
         let base = addr & !7;
-        self.cells
-            .get(&base)
-            .is_some_and(|c| c.mask & (1 << (addr - base)) != 0)
+        self.find(base)
+            .is_some_and(|ix| self.cells[ix].1.mask & (1 << (addr - base)) != 0)
     }
 
-    /// Applies the overlay to device memory, marking the published bytes
-    /// initialized.
-    fn publish(self, mem: &mut DeviceMemory) {
-        for (base, cell) in self.cells {
-            mem.apply_masked(base, cell.mask, cell.bytes);
-        }
+    /// Takes the block's cells for publication (in first-store order,
+    /// which is deterministic; cells are disjoint so application order
+    /// within a block cannot matter anyway) and resets the table so the
+    /// overlay is ready for the next block. The replacement vector comes
+    /// from the publish-side recycling pool, so in the common
+    /// one-worker case the cell storage never re-grows from zero.
+    fn take_cells(&mut self) -> Vec<(u64, OverlayCell)> {
+        self.keys.fill(EMPTY_KEY);
+        let fresh = CELL_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+        std::mem::replace(&mut self.cells, fresh)
+    }
+}
+
+thread_local! {
+    /// Emptied overlay cell vectors, recycled from the publish loop back
+    /// to `take_cells`. Both run on the launching thread when the block
+    /// fan-out is sequential (the common case on small machines), so the
+    /// per-block cell storage round-trips instead of reallocating.
+    static CELL_POOL: std::cell::RefCell<Vec<Vec<(u64, OverlayCell)>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Per-block interpreter scratch, pooled per rayon worker so the overlay
+/// table, the shared/local arenas, and — most importantly — the warp
+/// accumulator's interner and slot tables keep their capacity across
+/// blocks *and* launches instead of being re-allocated per block.
+#[derive(Default)]
+struct BlockScratch {
+    writes: WriteOverlay,
+    shared: Vec<u8>,
+    local: Vec<f64>,
+    acc: WarpAccumulator,
+}
+
+thread_local! {
+    static SCRATCH_POOL: std::cell::RefCell<Vec<BlockScratch>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// RAII handle returning its scratch to the worker-local pool when the
+/// rayon split that borrowed it ends.
+struct PooledScratch(BlockScratch);
+
+impl PooledScratch {
+    fn take() -> Self {
+        PooledScratch(
+            SCRATCH_POOL
+                .with(|p| p.borrow_mut().pop())
+                .unwrap_or_default(),
+        )
+    }
+}
+
+impl Drop for PooledScratch {
+    fn drop(&mut self) {
+        let scratch = std::mem::take(&mut self.0);
+        SCRATCH_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < 8 {
+                pool.push(scratch);
+            }
+        });
     }
 }
 
@@ -211,12 +371,19 @@ const LOCAL_BASE: u64 = 1 << 40;
 
 /// Per-thread execution context: thread identity, memory access, and event
 /// recording.
+///
+/// Lane-private interpreter state is stored structure-of-arrays per warp:
+/// `local` is the whole warp's spill arena (slot-major, lane-minor, so one
+/// slot's 32 lane copies are contiguous — the same interleaving Fermi uses
+/// for local memory), zeroed once per warp instead of once per lane.
 pub struct ThreadCtx<'a> {
     block_idx: u32,
     thread_idx: u32,
     threads_per_block: u32,
     blocks: u32,
     lane: u32,
+    warp_lanes: u32,
+    local_slots: u32,
     global_warp_id: u64,
     snapshot: &'a [u8],
     init: &'a InitMask,
@@ -463,7 +630,7 @@ impl ThreadCtx<'_> {
     #[track_caller]
     #[inline]
     fn check_local(&mut self, slot: usize, store: bool) -> bool {
-        if slot < self.local.len() {
+        if slot < self.local_slots as usize {
             return true;
         }
         let dir = if store { "store" } else { "load" };
@@ -471,7 +638,7 @@ impl ThreadCtx<'_> {
         let detail = format!(
             "local {dir} of slot {slot} is out of bounds for the kernel's {} declared f64 \
              spill slots",
-            self.local.len()
+            self.local_slots
         );
         match self.san.as_deref_mut() {
             Some(san) => {
@@ -485,9 +652,18 @@ impl ThreadCtx<'_> {
     #[inline]
     fn local_addr(&self, slot: usize) -> u64 {
         // Fermi interleaves local memory so that the 32 lanes' copies of
-        // one slot are contiguous: uniform slot accesses coalesce.
-        let slots = self.local.len() as u64;
+        // one slot are contiguous: uniform slot accesses coalesce. The
+        // product stays far below u64::MAX: global_warp_id < 2^37 (u32
+        // blocks x <=32 warps/block), slots and lane are small, so the
+        // address tops out around 2^50 above LOCAL_BASE.
+        let slots = self.local_slots as u64;
         LOCAL_BASE + ((self.global_warp_id * slots + slot as u64) * 32 + self.lane as u64) * 8
+    }
+
+    /// The warp-SoA arena index of this lane's copy of `slot`.
+    #[inline]
+    fn local_ix(&self, slot: usize) -> usize {
+        slot * self.warp_lanes as usize + self.lane as usize
     }
 
     /// Loads a per-thread local (spill) `f64` slot.
@@ -500,7 +676,7 @@ impl ThreadCtx<'_> {
         let addr = self.local_addr(slot);
         self.acc
             .record_mem(Location::caller(), Space::Local, false, addr, 8);
-        self.local[slot]
+        self.local[self.local_ix(slot)]
     }
 
     /// Stores a per-thread local (spill) `f64` slot.
@@ -513,7 +689,8 @@ impl ThreadCtx<'_> {
         let addr = self.local_addr(slot);
         self.acc
             .record_mem(Location::caller(), Space::Local, true, addr, 8);
-        self.local[slot] = v;
+        let ix = self.local_ix(slot);
+        self.local[ix] = v;
     }
 
     // ---- shared memory ----
@@ -670,52 +847,144 @@ pub fn launch_with(
     kernel: &dyn Kernel,
     opts: LaunchOptions,
 ) -> Result<LaunchReport, LaunchError> {
-    if lc.blocks == 0 || lc.threads_per_block == 0 {
-        return Err(LaunchError::InvalidConfig(format!(
-            "grid {}x{} has a zero dimension",
-            lc.blocks, lc.threads_per_block
-        )));
+    Ok(BatchLauncher::new(cfg, lc, kernel.resources())?.launch(mem, cfg, kernel, opts))
+}
+
+/// A pre-validated launch plan for a fixed grid and resource declaration.
+///
+/// [`launch_with`] re-checks the grid and re-derives occupancy on every
+/// call. A host loop that launches the same kernel shape once per frame —
+/// the paper's pipeline, where every frame is one more launch of an
+/// identical kernel over an identical grid — pays that setup per frame
+/// for no reason. `BatchLauncher::new` does the validation and occupancy
+/// derivation once; [`BatchLauncher::launch`] then runs any number of
+/// kernels that declare the same [`KernelResources`], infallibly.
+///
+/// The plan is only meaningful for the `cfg` it was validated against;
+/// launching under a different device configuration is a logic error
+/// (caught by `debug_assert` on the resource declaration, not the
+/// config).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchLauncher {
+    lc: LaunchConfig,
+    res: KernelResources,
+    occ: Occupancy,
+    local_slots: u32,
+}
+
+impl BatchLauncher {
+    /// Validates `lc` against `cfg` and derives occupancy for a kernel
+    /// declaring `res`, returning a reusable plan.
+    ///
+    /// # Errors
+    /// [`LaunchError::InvalidConfig`] for malformed grids,
+    /// [`LaunchError::ResourcesExceeded`] when no block can be resident.
+    pub fn new(
+        cfg: &GpuConfig,
+        lc: LaunchConfig,
+        res: KernelResources,
+    ) -> Result<Self, LaunchError> {
+        if lc.blocks == 0 || lc.threads_per_block == 0 {
+            return Err(LaunchError::InvalidConfig(format!(
+                "grid {}x{} has a zero dimension",
+                lc.blocks, lc.threads_per_block
+            )));
+        }
+        if lc.threads_per_block > cfg.max_threads_per_block {
+            return Err(LaunchError::InvalidConfig(format!(
+                "{} threads/block exceeds the device limit of {}",
+                lc.threads_per_block, cfg.max_threads_per_block
+            )));
+        }
+        let occ = occupancy(cfg, &lc, &res).ok_or_else(|| {
+            LaunchError::ResourcesExceeded(format!(
+                "{} regs/thread and {} B shared leave no resident block",
+                res.regs_per_thread, res.shared_bytes_per_block
+            ))
+        })?;
+        let local_slots = u32::try_from(res.local_f64_slots).map_err(|_| {
+            LaunchError::ResourcesExceeded(format!(
+                "{} local f64 slots per thread exceed the addressable limit",
+                res.local_f64_slots
+            ))
+        })?;
+        Ok(BatchLauncher {
+            lc,
+            res,
+            occ,
+            local_slots,
+        })
     }
-    if lc.threads_per_block > cfg.max_threads_per_block {
-        return Err(LaunchError::InvalidConfig(format!(
-            "{} threads/block exceeds the device limit of {}",
-            lc.threads_per_block, cfg.max_threads_per_block
-        )));
+
+    /// The grid this plan was validated for.
+    pub fn launch_config(&self) -> LaunchConfig {
+        self.lc
     }
-    let res = kernel.resources();
-    let occ = occupancy(cfg, &lc, &res).ok_or_else(|| {
-        LaunchError::ResourcesExceeded(format!(
-            "{} regs/thread and {} B shared leave no resident block",
-            res.regs_per_thread, res.shared_bytes_per_block
-        ))
-    })?;
+
+    /// The occupancy every launch of this plan will report.
+    pub fn occupancy(&self) -> Occupancy {
+        self.occ
+    }
+
+    /// Runs one pre-validated launch. `kernel` must declare the same
+    /// [`KernelResources`] the plan was built with.
+    pub fn launch(
+        &self,
+        mem: &mut DeviceMemory,
+        cfg: &GpuConfig,
+        kernel: &dyn Kernel,
+        opts: LaunchOptions,
+    ) -> LaunchReport {
+        debug_assert_eq!(
+            kernel.resources(),
+            self.res,
+            "kernel resources changed since BatchLauncher::new"
+        );
+        launch_prepared(mem, cfg, self, kernel, opts)
+    }
+}
+
+/// Shared launch body: executes the grid described by a validated plan.
+fn launch_prepared(
+    mem: &mut DeviceMemory,
+    cfg: &GpuConfig,
+    plan: &BatchLauncher,
+    kernel: &dyn Kernel,
+    opts: LaunchOptions,
+) -> LaunchReport {
+    let lc = plan.lc;
+    let res = plan.res;
+    let occ = plan.occ;
+    let local_slots = plan.local_slots;
 
     let tpb = lc.threads_per_block;
     let warps_per_block = tpb.div_ceil(cfg.warp_size) as u64;
+    let local_arena = res.local_f64_slots * cfg.warp_size as usize;
     let snapshot: &[u8] = mem.raw();
     let init: &InitMask = mem.init_mask();
 
     type BlockResult = (
-        WriteOverlay,
+        Vec<(u64, OverlayCell)>,
         KernelStats,
         Option<SiteProfile>,
         Option<SanReport>,
     );
     let results: Vec<BlockResult> = (0..lc.blocks)
         .into_par_iter()
-        .map(|b| {
-            let mut writes = WriteOverlay::default();
-            let mut shared = vec![0u8; res.shared_bytes_per_block];
-            let mut local = vec![0.0f64; res.local_f64_slots];
+        .map_init(PooledScratch::take, |scratch, b| {
+            let BlockScratch {
+                writes,
+                shared,
+                local,
+                acc,
+            } = &mut scratch.0;
+            shared.clear();
+            shared.resize(res.shared_bytes_per_block, 0);
+            acc.set_profiling(opts.profile_sites);
             let mut stats = KernelStats::default();
             let mut san = opts
                 .sanitize
                 .then(|| BlockSan::new(b, tpb, res.shared_bytes_per_block));
-            let mut acc = if opts.profile_sites {
-                WarpAccumulator::with_site_profile()
-            } else {
-                WarpAccumulator::new()
-            };
             // Optional L2: each block simulates a private slice of the
             // shared cache (see crate::cache for the approximation).
             let mut cache = if cfg.l2_bytes > 0 {
@@ -732,25 +1001,30 @@ pub fn launch_with(
             while w * cfg.warp_size < tpb {
                 let first = w * cfg.warp_size;
                 let last = (first + cfg.warp_size).min(tpb);
+                // The warp's whole spill arena is zeroed once here instead
+                // of per lane; lanes index it slot-major via `local_ix`.
+                local.clear();
+                local.resize(local_arena, 0.0);
                 for t in first..last {
                     acc.begin_lane();
                     if let Some(s) = san.as_mut() {
                         s.begin_thread(t);
                     }
-                    local.fill(0.0);
                     let mut ctx = ThreadCtx {
                         block_idx: b,
                         thread_idx: t,
                         threads_per_block: tpb,
                         blocks: lc.blocks,
                         lane: t - first,
+                        warp_lanes: cfg.warp_size,
+                        local_slots,
                         global_warp_id: b as u64 * warps_per_block + w as u64,
                         snapshot,
                         init,
-                        writes: &mut writes,
-                        shared: &mut shared,
-                        local: &mut local,
-                        acc: &mut acc,
+                        writes: &mut *writes,
+                        shared: shared.as_mut_slice(),
+                        local: local.as_mut_slice(),
+                        acc: &mut *acc,
                         san: san.as_mut(),
                     };
                     kernel.run(&mut ctx);
@@ -760,14 +1034,19 @@ pub fn launch_with(
             }
             stats.blocks = 1;
             let sites = acc.take_site_profile();
-            (writes, stats, sites, san.map(BlockSan::into_report))
+            (
+                writes.take_cells(),
+                stats,
+                sites,
+                san.map(BlockSan::into_report),
+            )
         })
         .collect();
 
     let mut stats = KernelStats::default();
     let mut sites = opts.profile_sites.then(SiteProfile::new);
     let mut sanitizer = opts.sanitize.then(SanReport::new);
-    for (writes, s, block_sites, block_san) in &results {
+    for (_, s, block_sites, block_san) in &results {
         stats.merge(s);
         if let (Some(total), Some(block)) = (&mut sites, block_sites) {
             total.merge(block);
@@ -775,23 +1054,32 @@ pub fn launch_with(
         if let (Some(total), Some(block)) = (&mut sanitizer, block_san) {
             total.merge(block);
         }
-        let _ = writes; // applied below; keep borrow order obvious
     }
     // Publish in block order: byte-granular cells are disjoint within a
     // block, and cross-block collisions resolve last-block-wins,
-    // deterministically.
-    for (writes, _, _, _) in results {
-        writes.publish(mem);
+    // deterministically. Emptied cell vectors go back to the pool for
+    // the next block's `take_cells`.
+    for (mut cells, _, _, _) in results {
+        for &(base, cell) in &cells {
+            mem.apply_masked(base, cell.mask, cell.bytes);
+        }
+        cells.clear();
+        CELL_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < 16 {
+                pool.push(cells);
+            }
+        });
     }
 
     let timing = kernel_time(&stats, &occ, cfg);
-    Ok(LaunchReport {
+    LaunchReport {
         stats,
         occupancy: occ,
         timing,
         sites,
         sanitizer,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -890,6 +1178,19 @@ mod tests {
         for i in 0..64 {
             assert_eq!(mem.read_f64(buf, i), 42.0);
         }
+    }
+
+    /// Regression for the silent `as u32` truncation in
+    /// [`LaunchConfig::cover`]: a thread count needing more than
+    /// `u32::MAX` blocks used to wrap around into a tiny grid that
+    /// covered almost none of the requested threads. It must panic.
+    #[test]
+    fn cover_panics_instead_of_truncating_huge_grids() {
+        let r = std::panic::catch_unwind(|| LaunchConfig::cover(usize::MAX, 1));
+        assert!(r.is_err(), "overflowing grid must panic, not truncate");
+        // The largest expressible grid still works at the boundary.
+        let lc = LaunchConfig::cover(u32::MAX as usize, 1);
+        assert_eq!(lc.blocks, u32::MAX);
     }
 
     #[test]

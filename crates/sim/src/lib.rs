@@ -74,6 +74,8 @@ pub mod telemetry;
 pub mod timing;
 pub mod trace;
 pub mod warp;
+#[doc(hidden)]
+pub mod warp_reference;
 
 pub use advisor::{advise, roofline, AdvisorInput, Advisory, Evidence, Roofline, Transform};
 pub use config::{CpuConfig, GpuConfig};
@@ -83,8 +85,8 @@ pub use fleet::{
     ShedStream, StreamPlacement, FLEET_SCHEMA,
 };
 pub use kernel::{
-    launch, launch_with, Kernel, KernelResources, LaunchConfig, LaunchError, LaunchOptions,
-    LaunchReport, ThreadCtx,
+    launch, launch_with, BatchLauncher, Kernel, KernelResources, LaunchConfig, LaunchError,
+    LaunchOptions, LaunchReport, ThreadCtx,
 };
 pub use memory::{Buffer, DeviceMemory, MemoryError};
 pub use occupancy::{occupancy, Occupancy};

@@ -114,6 +114,12 @@ pub(crate) struct InitMask {
 
 impl InitMask {
     /// Marks `len` bytes starting at `start` as initialized.
+    ///
+    /// Word-granular: the span is split into a partial head word, full
+    /// `!0` middle words, and a partial tail word, instead of setting one
+    /// bit per byte — uploads and kernel-store publication mark whole
+    /// frames, so the per-byte loop was a measurable share of launch
+    /// overhead.
     #[inline]
     pub(crate) fn mark(&mut self, start: usize, len: usize) {
         if len == 0 {
@@ -124,8 +130,21 @@ impl InitMask {
         if self.bits.len() < need {
             self.bits.resize(need, 0);
         }
-        for b in start..end {
-            self.bits[b / 64] |= 1 << (b % 64);
+        let first = start / 64;
+        let last = (end - 1) / 64;
+        let head = !0u64 << (start % 64);
+        // Bits of the exclusive end position, as a mask of everything
+        // strictly below it (`end % 64 == 0` means the last word is full).
+        let tail = match end % 64 {
+            0 => !0u64,
+            b => (1u64 << b) - 1,
+        };
+        if first == last {
+            self.bits[first] |= head & tail;
+        } else {
+            self.bits[first] |= head;
+            self.bits[first + 1..last].fill(!0);
+            self.bits[last] |= tail;
         }
     }
 
@@ -244,6 +263,13 @@ impl DeviceMemory {
     /// came from a bounds-checked kernel store.
     pub(crate) fn apply_masked(&mut self, base: u64, mask: u8, bytes: [u8; 8]) {
         let base = base as usize;
+        if mask == 0xFF {
+            // Fully-written cell — the overwhelmingly common case for
+            // f64/f32 stores: one 8-byte copy, one word-granular mark.
+            self.data[base..base + 8].copy_from_slice(&bytes);
+            self.init.mark(base, 8);
+            return;
+        }
         for (j, &v) in bytes.iter().enumerate() {
             if mask & (1 << j) != 0 {
                 self.data[base + j] = v;

@@ -126,6 +126,8 @@ impl SiteProfile {
 
     /// Resolved rows ranked by issue cycles, descending — the hotspot
     /// table order. Ties break on the source string so output is stable.
+    /// `total_cmp` keeps the order total even if a counter is NaN (a
+    /// poisoned row sorts first rather than scrambling the table).
     pub fn ranked_rows(&self) -> Vec<HotspotRow> {
         let mut rows: Vec<HotspotRow> = self
             .map
@@ -138,8 +140,7 @@ impl SiteProfile {
         rows.sort_by(|a, b| {
             b.stats
                 .issue_cycles
-                .partial_cmp(&a.stats.issue_cycles)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&a.stats.issue_cycles)
                 .then_with(|| a.source.cmp(&b.source))
         });
         rows
@@ -256,6 +257,31 @@ mod tests {
         assert_eq!(cycles, vec![8.0, 5.0, 2.0]);
         // Synthetic sites are unresolved but render without panicking.
         assert!(p.hotspot_table(10).contains("<unresolved>"));
+    }
+
+    /// Regression: ranking used `partial_cmp().unwrap_or(Equal)`, so a
+    /// NaN counter compared equal to everything and the sort order
+    /// depended on the hash map's iteration order. `total_cmp` must keep
+    /// the order total and deterministic: NaN ranks above every finite
+    /// cycle count (descending order puts it first).
+    #[test]
+    fn ranked_rows_order_is_total_with_nan_cycles() {
+        let mut p = SiteProfile::new();
+        for (site, cycles) in [(0x1000, 2.0), (0x2000, f64::NAN), (0x3000, 8.0)] {
+            p.add(
+                site,
+                &SiteStats {
+                    issue_cycles: cycles,
+                    ..Default::default()
+                },
+            );
+        }
+        let rows = p.ranked_rows();
+        assert!(rows[0].stats.issue_cycles.is_nan());
+        assert_eq!(rows[1].stats.issue_cycles, 8.0);
+        assert_eq!(rows[2].stats.issue_cycles, 2.0);
+        // And the table renders the poisoned row without panicking.
+        assert!(p.hotspot_table(10).contains("NaN"));
     }
 
     #[test]

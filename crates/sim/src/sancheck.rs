@@ -181,6 +181,25 @@ impl SanReport {
         }
     }
 
+    /// Counts one more occurrence of an existing `(check, space, site)`
+    /// finding without constructing a new one. Returns `false` when no
+    /// such finding exists yet — the caller then builds the full
+    /// [`Finding`] (message and source formatting happen only on that
+    /// first occurrence, keeping repeated findings allocation-free).
+    pub(crate) fn bump(&mut self, kind: CheckKind, space: Option<Space>, site: Site) -> bool {
+        match self
+            .findings
+            .iter_mut()
+            .find(|e| e.kind == kind && e.space == space && e.site == site)
+        {
+            Some(e) => {
+                e.occurrences += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Merges another report into this one (same dedup rule).
     pub fn merge(&mut self, other: &SanReport) {
         for f in &other.findings {
@@ -229,20 +248,22 @@ impl Serialize for SanReport {
     }
 }
 
-/// Resolves a site to `file:line` for use inside finding messages.
-fn source_of(site: Site) -> String {
-    site_source(site)
-        .map(|s| s.to_string())
-        .unwrap_or_else(|| "<unknown>".to_string())
+/// Formats a location as `file:line` for use inside finding messages
+/// (same shape as [`site_source`]'s display, but without touching the
+/// global site registry).
+fn source_of(loc: &'static Location<'static>) -> String {
+    format!("{}:{}", loc.file(), loc.line())
 }
 
 /// One shadow access record: who touched the byte, in which sync epoch,
-/// from which site.
+/// from which site. The raw location is kept instead of a registered
+/// [`Site`] so the hot shadow updates never touch the global site
+/// registry's lock; registration happens only when a finding is emitted.
 #[derive(Debug, Clone, Copy)]
 struct Access {
     thread: u32,
     epoch: u32,
-    site: Site,
+    loc: &'static Location<'static>,
 }
 
 /// Per-byte shadow state over a block's shared memory.
@@ -263,7 +284,7 @@ pub(crate) struct BlockSan {
     epoch: u32,
     shared: Vec<ShadowCell>,
     /// Per-thread ordered sequence of `sync()` sites (synccheck input).
-    sync_seqs: Vec<Vec<Site>>,
+    sync_seqs: Vec<Vec<&'static Location<'static>>>,
     report: SanReport,
 }
 
@@ -285,15 +306,24 @@ impl BlockSan {
         self.epoch = 0;
     }
 
+    /// Records one occurrence of a `(check, space, site)` finding. The
+    /// fast path — the finding already exists — is a counter bump; the
+    /// site registration and the `source`/`message` strings are built
+    /// only on a finding's first occurrence.
     fn emit(
         &mut self,
         kind: CheckKind,
         space: Option<Space>,
-        site: Site,
+        loc: &'static Location<'static>,
         addr: u64,
         width: usize,
-        message: String,
+        message: impl FnOnce() -> String,
     ) {
+        let site = loc as *const Location<'static> as usize;
+        if self.report.bump(kind, space, site) {
+            return;
+        }
+        register_site(site, loc);
         self.report.absorb(Finding {
             kind,
             space,
@@ -303,15 +333,9 @@ impl BlockSan {
             thread: self.thread,
             addr,
             width: width as u8,
-            message,
+            message: message(),
             occurrences: 1,
         });
-    }
-
-    fn site_of(loc: &'static Location<'static>) -> Site {
-        let site = loc as *const _ as usize;
-        register_site(site, loc);
-        site
     }
 
     /// memcheck: records an out-of-bounds access the context absorbed.
@@ -323,8 +347,9 @@ impl BlockSan {
         width: usize,
         message: String,
     ) {
-        let site = Self::site_of(loc);
-        self.emit(CheckKind::Memcheck, Some(space), site, addr, width, message);
+        self.emit(CheckKind::Memcheck, Some(space), loc, addr, width, || {
+            message
+        });
     }
 
     /// initcheck: a global load touched bytes never defined by the host
@@ -336,26 +361,26 @@ impl BlockSan {
         addr: u64,
         width: usize,
     ) {
-        let site = Self::site_of(loc);
         self.emit(
             CheckKind::Initcheck,
             Some(Space::Global),
-            site,
+            loc,
             addr,
             width,
-            format!(
-                "global load of {width} B at 0x{addr:x} (buffer @0x{:x}, +{} B) reads bytes \
-                 never written by the host or a kernel",
-                buf.addr(),
-                buf.len()
-            ),
+            || {
+                format!(
+                    "global load of {width} B at 0x{addr:x} (buffer @0x{:x}, +{} B) reads bytes \
+                     never written by the host or a kernel",
+                    buf.addr(),
+                    buf.len()
+                )
+            },
         );
     }
 
     /// Records a barrier arrival and advances the thread's sync epoch.
     pub(crate) fn on_sync(&mut self, loc: &'static Location<'static>) {
-        let site = Self::site_of(loc);
-        self.sync_seqs[self.thread as usize].push(site);
+        self.sync_seqs[self.thread as usize].push(loc);
         self.epoch += 1;
     }
 
@@ -366,7 +391,6 @@ impl BlockSan {
         off: usize,
         width: usize,
     ) {
-        let site = Self::site_of(loc);
         let (t, e) = (self.thread, self.epoch);
         let mut conflict: Option<(Access, bool)> = None; // (prior access, prior was a read)
         for cell in &mut self.shared[off..off + width] {
@@ -388,35 +412,36 @@ impl BlockSan {
             cell.last_write = Some(Access {
                 thread: t,
                 epoch: e,
-                site,
+                loc,
             });
         }
         if let Some((prior, prior_read)) = conflict {
-            let what = if prior_read { "read" } else { "write" };
-            let other = source_of(prior.site);
-            let msg = if prior.epoch == e {
-                format!(
-                    "shared-memory race: write of {width} B at offset {off} conflicts with a \
-                     {what} by thread {} at {other} in the same barrier interval (no \
-                     ctx.sync() between)",
-                    prior.thread
-                )
-            } else {
-                format!(
-                    "cross-lane shared-memory dataflow the sequential-lane model cannot \
-                     reproduce: write of {width} B at offset {off} in sync epoch {e} is \
-                     barrier-ordered before a {what} thread {} already performed in epoch {} \
-                     at {other}; the simulated value was stale",
-                    prior.thread, prior.epoch
-                )
-            };
             self.emit(
                 CheckKind::Racecheck,
                 Some(Space::Shared),
-                site,
+                loc,
                 off as u64,
                 width,
-                msg,
+                || {
+                    let what = if prior_read { "read" } else { "write" };
+                    let other = source_of(prior.loc);
+                    if prior.epoch == e {
+                        format!(
+                            "shared-memory race: write of {width} B at offset {off} conflicts \
+                             with a {what} by thread {} at {other} in the same barrier interval \
+                             (no ctx.sync() between)",
+                            prior.thread
+                        )
+                    } else {
+                        format!(
+                            "cross-lane shared-memory dataflow the sequential-lane model cannot \
+                             reproduce: write of {width} B at offset {off} in sync epoch {e} is \
+                             barrier-ordered before a {what} thread {} already performed in \
+                             epoch {} at {other}; the simulated value was stale",
+                            prior.thread, prior.epoch
+                        )
+                    }
+                },
             );
         }
     }
@@ -428,7 +453,6 @@ impl BlockSan {
         off: usize,
         width: usize,
     ) {
-        let site = Self::site_of(loc);
         let (t, e) = (self.thread, self.epoch);
         let mut uninit = false;
         let mut conflict: Option<Access> = None;
@@ -444,47 +468,50 @@ impl BlockSan {
             cell.last_read = Some(Access {
                 thread: t,
                 epoch: e,
-                site,
+                loc,
             });
         }
         if uninit {
             self.emit(
                 CheckKind::Initcheck,
                 Some(Space::Shared),
-                site,
+                loc,
                 off as u64,
                 width,
-                format!(
-                    "shared load of {width} B at offset {off} reads bytes no thread has \
-                     written (shared memory is undefined at block start)"
-                ),
+                || {
+                    format!(
+                        "shared load of {width} B at offset {off} reads bytes no thread has \
+                         written (shared memory is undefined at block start)"
+                    )
+                },
             );
         }
         if let Some(w) = conflict {
-            let other = source_of(w.site);
-            let msg = if w.epoch == e {
-                format!(
-                    "shared-memory race: read of {width} B at offset {off} conflicts with a \
-                     write by thread {} at {other} in the same barrier interval (no \
-                     ctx.sync() between)",
-                    w.thread
-                )
-            } else {
-                format!(
-                    "cross-lane shared-memory dataflow the sequential-lane model cannot \
-                     reproduce: read of {width} B at offset {off} in sync epoch {e} is \
-                     barrier-ordered before a write thread {} already performed in epoch {} \
-                     at {other}; the simulated value was stale",
-                    w.thread, w.epoch
-                )
-            };
             self.emit(
                 CheckKind::Racecheck,
                 Some(Space::Shared),
-                site,
+                loc,
                 off as u64,
                 width,
-                msg,
+                || {
+                    let other = source_of(w.loc);
+                    if w.epoch == e {
+                        format!(
+                            "shared-memory race: read of {width} B at offset {off} conflicts \
+                             with a write by thread {} at {other} in the same barrier interval \
+                             (no ctx.sync() between)",
+                            w.thread
+                        )
+                    } else {
+                        format!(
+                            "cross-lane shared-memory dataflow the sequential-lane model cannot \
+                             reproduce: read of {width} B at offset {off} in sync epoch {e} is \
+                             barrier-ordered before a write thread {} already performed in \
+                             epoch {} at {other}; the simulated value was stale",
+                            w.thread, w.epoch
+                        )
+                    }
+                },
             );
         }
     }
@@ -505,12 +532,12 @@ impl BlockSan {
         let rounds = self.sync_seqs.iter().map(|s| s.len()).max().unwrap_or(0);
         for n in 0..rounds {
             // site -> (arrivals, first arriving thread)
-            let mut by_site: Vec<(Site, u32, u32)> = Vec::new();
+            let mut by_site: Vec<(&'static Location<'static>, u32, u32)> = Vec::new();
             for (t, seq) in self.sync_seqs.iter().enumerate() {
-                if let Some(&site) = seq.get(n) {
-                    match by_site.iter_mut().find(|e| e.0 == site) {
+                if let Some(&loc) = seq.get(n) {
+                    match by_site.iter_mut().find(|e| std::ptr::eq(e.0, loc)) {
                         Some(e) => e.1 += 1,
-                        None => by_site.push((site, 1, t as u32)),
+                        None => by_site.push((loc, 1, t as u32)),
                     }
                 }
             }
@@ -521,11 +548,13 @@ impl BlockSan {
             let sites = by_site.len();
             by_site.sort_by(|a, b| {
                 a.1.cmp(&b.1).then_with(|| {
-                    let key = |s: Site| site_source(s).map(|p| (p.file, p.line, p.column));
+                    let key = |l: &'static Location<'static>| (l.file(), l.line(), l.column());
                     key(a.0).cmp(&key(b.0))
                 })
             });
-            let (site, count, thread) = by_site[0];
+            let (loc, count, thread) = by_site[0];
+            let site = loc as *const Location<'static> as usize;
+            register_site(site, loc);
             let (block, source) = (self.block, site_source(site).map(|s| s.to_string()));
             self.report.absorb(Finding {
                 kind: CheckKind::Synccheck,

@@ -203,20 +203,27 @@ impl LatencyHistogram {
     /// The `q`-quantile reconstructed from the buckets: the upper edge of
     /// the bucket holding the nearest-rank sample, so the estimate is
     /// within one [`bucket_width`] above the exact rank statistic. For
-    /// the overflow bucket the observed `max` is returned. 0 when empty.
+    /// the overflow bucket the observed `max` is returned.
+    ///
+    /// An empty histogram returns `NaN` — a deliberate sentinel, not a
+    /// fallthrough: a device whose streams were all shed has no latency
+    /// samples, and the old `0.0` read as a perfect p99 in merged fleet
+    /// reports. `NaN` is unmistakably "no data" (check with
+    /// [`f64::is_nan`]).
     pub fn quantile(&self, q: f64) -> f64 {
         match self.quantile_bucket(q) {
-            None => 0.0,
+            None => f64::NAN,
             Some(i) if i >= NUM_BOUNDS => self.max,
             Some(i) => bucket_bound(i),
         }
     }
 
     /// Lower/upper bounds bracketing the exact `q`-quantile: the edges of
-    /// the bucket holding the nearest-rank sample. `(0, 0)` when empty.
+    /// the bucket holding the nearest-rank sample. `(NaN, NaN)` when
+    /// empty — the same no-data sentinel as [`Self::quantile`].
     pub fn quantile_bounds(&self, q: f64) -> (f64, f64) {
         match self.quantile_bucket(q) {
-            None => (0.0, 0.0),
+            None => (f64::NAN, f64::NAN),
             Some(0) => (0.0, bucket_bound(0)),
             Some(i) if i >= NUM_BOUNDS => (bucket_bound(NUM_BOUNDS - 1), self.max),
             Some(i) => (bucket_bound(i - 1), bucket_bound(i)),
@@ -1089,12 +1096,21 @@ mod tests {
         }
     }
 
+    /// An empty histogram must answer quantile queries with the NaN
+    /// no-data sentinel — `0.0` would read as a perfect p99 when an
+    /// all-shed device's histogram is merged into a fleet report.
     #[test]
-    fn empty_histogram_quantiles_are_zero() {
+    fn empty_histogram_quantiles_are_the_nan_sentinel() {
         let h = LatencyHistogram::new();
-        assert_eq!(h.quantile(0.99), 0.0);
-        assert_eq!(h.quantile_bounds(0.5), (0.0, 0.0));
+        assert!(h.quantile(0.99).is_nan());
+        let (lo, hi) = h.quantile_bounds(0.5);
+        assert!(lo.is_nan() && hi.is_nan());
         assert_eq!(h.mean(), 0.0);
+        // One sample flips it back to real answers.
+        let h = LatencyHistogram::from_samples(&[0.010]);
+        assert!(h.quantile(0.99) > 0.0);
+        let (lo, hi) = h.quantile_bounds(0.99);
+        assert!(lo < hi && !lo.is_nan());
     }
 
     #[test]

@@ -565,7 +565,7 @@ mod tests {
         let s = uniform_stream(8, 0.5, 1.0, 0.5);
         let sched = StreamScheduler::double_buffered().schedule(&[s.clone(), s], &cfg());
         let mut kernels: Vec<Span> = sched.streams.iter().flatten().map(|f| f.kernel).collect();
-        kernels.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        kernels.sort_by(|a, b| a.start.total_cmp(&b.start));
         for w in kernels.windows(2) {
             assert!(w[1].start >= w[0].end() - 1e-12, "kernels overlap: {w:?}");
         }
@@ -604,7 +604,7 @@ mod tests {
             .flatten()
             .flat_map(|f| [f.h2d, f.d2h])
             .collect();
-        copies.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        copies.sort_by(|a, b| a.start.total_cmp(&b.start));
         for w in copies.windows(2) {
             assert!(w[1].start >= w[0].end() - 1e-12, "copies overlap: {w:?}");
         }

@@ -150,6 +150,109 @@ impl Hasher for PtrHasher {
 /// `BuildHasher` for [`PtrHasher`].
 pub type BuildPtrHasher = BuildHasherDefault<PtrHasher>;
 
+/// Interns [`Site`] pointers to dense small indices so the warp
+/// accumulator can keep all per-site state in flat arrays instead of hash
+/// maps (see [`crate::warp`]).
+///
+/// A kernel has a few dozen static sites, so the open-addressing table
+/// stays tiny and the hot lookup is one multiply, one shift, and — for
+/// well-distributed `Location` addresses — almost always a single probe.
+#[derive(Debug)]
+pub struct SiteInterner {
+    /// Open-addressing key table; 0 marks an empty bucket (sites are
+    /// `&'static Location` addresses and test constants, never null).
+    keys: Vec<Site>,
+    /// Dense index for the site in the same bucket of `keys`.
+    dense: Vec<u32>,
+    /// Dense index → site (insertion order).
+    sites: Vec<Site>,
+    /// Right-shift applied to the multiplied hash; `64 - log2(capacity)`.
+    shift: u32,
+}
+
+impl SiteInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        let cap = 128usize;
+        SiteInterner {
+            keys: vec![0; cap],
+            dense: vec![0; cap],
+            sites: Vec::new(),
+            shift: 64 - cap.trailing_zeros(),
+        }
+    }
+
+    /// Number of distinct sites interned.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether no site has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The site interned at dense index `d`.
+    pub fn site(&self, d: u32) -> Site {
+        self.sites[d as usize]
+    }
+
+    #[inline]
+    fn bucket(&self, site: Site) -> usize {
+        ((site as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize
+    }
+
+    /// Returns the dense index of `site`, assigning the next one on first
+    /// sight.
+    #[inline]
+    pub fn intern(&mut self, site: Site) -> u32 {
+        debug_assert_ne!(site, 0, "null site");
+        let mask = self.keys.len() - 1;
+        let mut b = self.bucket(site);
+        loop {
+            let k = self.keys[b];
+            if k == site {
+                return self.dense[b];
+            }
+            if k == 0 {
+                let d = self.sites.len() as u32;
+                self.sites.push(site);
+                self.keys[b] = site;
+                self.dense[b] = d;
+                // Capacity doubles at 1/2 load so probe chains stay short.
+                if self.sites.len() * 2 > self.keys.len() {
+                    self.grow();
+                }
+                return d;
+            }
+            b = (b + 1) & mask;
+        }
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let cap = self.keys.len() * 2;
+        self.keys = vec![0; cap];
+        self.dense = vec![0; cap];
+        self.shift = 64 - cap.trailing_zeros();
+        let mask = cap - 1;
+        for (d, &site) in self.sites.iter().enumerate() {
+            let mut b = ((site as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize;
+            while self.keys[b] != 0 {
+                b = (b + 1) & mask;
+            }
+            self.keys[b] = site;
+            self.dense[b] = d as u32;
+        }
+    }
+}
+
+impl Default for SiteInterner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Per-lane site → occurrence-count map, cleared at the start of each lane.
 #[derive(Debug, Default)]
 pub struct SiteCounters {
@@ -208,6 +311,32 @@ mod tests {
         let max = *buckets.iter().max().unwrap();
         let min = *buckets.iter().min().unwrap();
         assert!(max < 3 * min.max(1), "poor distribution: {buckets:?}");
+    }
+
+    #[test]
+    fn interner_assigns_dense_ids_in_first_sight_order() {
+        let mut it = SiteInterner::new();
+        assert!(it.is_empty());
+        assert_eq!(it.intern(0x1000), 0);
+        assert_eq!(it.intern(0x2000), 1);
+        assert_eq!(it.intern(0x1000), 0);
+        assert_eq!(it.intern(0x3000), 2);
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.site(1), 0x2000);
+    }
+
+    #[test]
+    fn interner_survives_growth() {
+        let mut it = SiteInterner::new();
+        // Far past the initial capacity, with aligned-pointer-style keys.
+        for i in 0..1000usize {
+            assert_eq!(it.intern(0x4000_0000 + i * 64) as usize, i);
+        }
+        for i in 0..1000usize {
+            assert_eq!(it.intern(0x4000_0000 + i * 64) as usize, i, "stable");
+            assert_eq!(it.site(i as u32), 0x4000_0000 + i * 64);
+        }
+        assert_eq!(it.len(), 1000);
     }
 
     #[test]

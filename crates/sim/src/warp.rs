@@ -1,17 +1,42 @@
 //! Warp-level slot accumulation: merging the 32 lanes of a warp into
 //! warp instructions and deriving coalescing / divergence / bank-conflict
 //! statistics.
+//!
+//! This is the simulator's hottest data structure — every recorded event
+//! of every lane passes through it — so it is laid out
+//! structure-of-arrays style around dense site indices: a
+//! [`SiteInterner`] maps `&'static Location` addresses to small integers
+//! once, and from then on the per-lane occurrence counters and the
+//! occurrence → slot table are flat arrays indexed directly. The hot
+//! `record_*` path performs no hashing (one multiply-shift probe in the
+//! interner) and no allocation (access vectors are recycled through a
+//! pool across warps). Slots are kept in program/insertion order, which
+//! is also what makes the fold deterministic.
+//!
+//! Statistics semantics are pinned bit-for-bit against the pre-SoA
+//! implementation preserved in [`crate::warp_reference`]; see
+//! `tests/soa_equivalence.rs`.
 
 use crate::config::GpuConfig;
 use crate::profile::{SiteProfile, SiteStats};
 use crate::stats::KernelStats;
-use crate::trace::{BuildPtrHasher, OpClass, Site, SiteCounters, Space};
-use std::collections::HashMap;
+use crate::trace::{OpClass, Site, SiteInterner, Space};
 use std::panic::Location;
 
 /// One warp-level instruction slot under construction.
 #[derive(Debug)]
-enum SlotAccum {
+struct Slot {
+    /// Original site pointer (for profile attribution).
+    site: Site,
+    /// Dense site index (to reset the slot table at warp end).
+    dense: u32,
+    /// Per-lane occurrence index this slot represents.
+    occ: u32,
+    kind: SlotKind,
+}
+
+#[derive(Debug)]
+enum SlotKind {
     Op {
         class: OpClass,
         max_count: u32,
@@ -40,22 +65,50 @@ enum SlotAccum {
 /// and clears the slot table.
 #[derive(Debug)]
 pub struct WarpAccumulator {
-    occ: SiteCounters,
-    slots: HashMap<(Site, u32), SlotAccum, BuildPtrHasher>,
+    interner: SiteInterner,
+    /// Per dense site: the current lane's occurrence counter.
+    occ: Vec<u32>,
+    /// Per dense site: occurrence → slot index for the current warp
+    /// (`u32::MAX` = no slot yet). Rows keep their allocation across
+    /// warps; entries are un-set per slot at warp end.
+    slot_of: Vec<Vec<u32>>,
+    /// Slots of the current warp, in first-recorded (program) order.
+    slots: Vec<Slot>,
+    /// Predicted slot index of the current lane's next event. Lanes of a
+    /// warp usually replay the previous lane's event sequence in program
+    /// order, so the common case needs no interner probe at all — just
+    /// an exact `(site, occurrence)` check against `slots[cursor]`.
+    cursor: u32,
     lanes_seen: u32,
     /// Per-site aggregation sink; `None` (the default) skips all
     /// attribution work.
     site_profile: Option<SiteProfile>,
+    /// Recycled access vectors for `SlotKind::Mem`, refilled at warp end
+    /// so steady-state recording never allocates.
+    access_pool: Vec<Vec<(u64, u8)>>,
+    /// Warp-end scratch: first-touch-ordered segment list of one slot.
+    segments: Vec<u64>,
+    /// Warp-end scratch: the 4-byte shared words of one slot.
+    words: Vec<u64>,
+    /// Warp-end scratch: distinct-word counts per shared bank.
+    bank_counts: Vec<u32>,
 }
 
 impl WarpAccumulator {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
         WarpAccumulator {
-            occ: SiteCounters::new(),
-            slots: HashMap::default(),
+            interner: SiteInterner::new(),
+            occ: Vec::new(),
+            slot_of: Vec::new(),
+            slots: Vec::new(),
+            cursor: 0,
             lanes_seen: 0,
             site_profile: None,
+            access_pool: Vec::new(),
+            segments: Vec::with_capacity(64),
+            words: Vec::with_capacity(64),
+            bank_counts: Vec::new(),
         }
     }
 
@@ -74,33 +127,100 @@ impl WarpAccumulator {
         self.site_profile.as_mut().map(std::mem::take)
     }
 
+    /// Switches site profiling on or off — used when a pooled accumulator
+    /// is reused by a launch with different [`crate::kernel::LaunchOptions`].
+    /// Turning it on starts from an empty profile.
+    pub fn set_profiling(&mut self, on: bool) {
+        match (on, self.site_profile.is_some()) {
+            (true, false) => self.site_profile = Some(SiteProfile::new()),
+            (false, true) => self.site_profile = None,
+            _ => {}
+        }
+    }
+
     /// Starts recording a new lane of the current warp.
     pub fn begin_lane(&mut self) {
-        self.occ.clear();
+        self.occ.fill(0);
+        self.cursor = 0;
         self.lanes_seen += 1;
     }
 
+    /// Resolves the warp slot for one event at `site`: `Ok(index)` when
+    /// the slot exists (an earlier lane reached this `(site, occurrence)`
+    /// first), `Err((dense, occ))` when the caller must push a new slot —
+    /// the table already points at `self.slots.len()`.
+    ///
+    /// The fast path predicts the slot from the cursor: when the lane is
+    /// replaying the warp's program order (the overwhelmingly common,
+    /// divergence-free case), `slots[cursor]` *is* this event's slot, and
+    /// the exact `(site, occurrence)` check proves it without touching
+    /// the interner — equivalent to the table lookup in `locate_slow`
+    /// because `slot_of[dense][occ]` was set to exactly this index when
+    /// the slot was created and is never overwritten within a warp.
     #[inline]
-    fn key(&mut self, site: Site) -> (Site, u32) {
-        (site, self.occ.next(site))
+    fn locate(&mut self, site: Site) -> Result<usize, (u32, u32)> {
+        let cur = self.cursor as usize;
+        if let Some(slot) = self.slots.get(cur) {
+            if slot.site == site && slot.occ == self.occ[slot.dense as usize] {
+                self.occ[slot.dense as usize] += 1;
+                self.cursor = cur as u32 + 1;
+                return Ok(cur);
+            }
+        }
+        self.locate_slow(site)
+    }
+
+    #[cold]
+    fn locate_slow(&mut self, site: Site) -> Result<usize, (u32, u32)> {
+        let dense = self.interner.intern(site) as usize;
+        if dense >= self.occ.len() {
+            self.occ.resize(dense + 1, 0);
+            self.slot_of.resize_with(dense + 1, Vec::new);
+        }
+        let occ = self.occ[dense];
+        self.occ[dense] = occ + 1;
+        let row = &mut self.slot_of[dense];
+        if (occ as usize) < row.len() {
+            let ix = row[occ as usize];
+            if ix != u32::MAX {
+                self.cursor = ix + 1;
+                return Ok(ix as usize);
+            }
+        } else {
+            row.resize(occ as usize + 1, u32::MAX);
+        }
+        let ix = self.slots.len() as u32;
+        row[occ as usize] = ix;
+        // The caller pushes the new slot at `ix`; predict the event after
+        // it at `ix + 1`.
+        self.cursor = ix + 1;
+        Err((dense as u32, occ))
     }
 
     /// Records `count` arithmetic operations of `class`.
     #[inline]
     pub fn record_op(&mut self, loc: &'static Location<'static>, class: OpClass, count: u32) {
-        let key = self.key(loc as *const _ as usize);
-        match self.slots.entry(key).or_insert(SlotAccum::Op {
-            class,
-            max_count: 0,
-            lanes: 0,
-        }) {
-            SlotAccum::Op {
-                max_count, lanes, ..
-            } => {
-                *max_count = (*max_count).max(count);
-                *lanes += 1;
-            }
-            other => debug_assert!(false, "slot kind mismatch at op slot: {other:?}"),
+        let site = loc as *const _ as usize;
+        match self.locate(site) {
+            Ok(ix) => match &mut self.slots[ix].kind {
+                SlotKind::Op {
+                    max_count, lanes, ..
+                } => {
+                    *max_count = (*max_count).max(count);
+                    *lanes += 1;
+                }
+                other => debug_assert!(false, "slot kind mismatch at op slot: {other:?}"),
+            },
+            Err((dense, occ)) => self.slots.push(Slot {
+                site,
+                dense,
+                occ,
+                kind: SlotKind::Op {
+                    class,
+                    max_count: count,
+                    lanes: 1,
+                },
+            }),
         }
     }
 
@@ -114,58 +234,85 @@ impl WarpAccumulator {
         addr: u64,
         width: u8,
     ) {
-        let key = self.key(loc as *const _ as usize);
-        match self.slots.entry(key).or_insert_with(|| SlotAccum::Mem {
-            space,
-            write,
-            bytes_requested: 0,
-            accesses: Vec::with_capacity(32),
-        }) {
-            SlotAccum::Mem {
-                bytes_requested,
-                accesses,
-                ..
-            } => {
-                *bytes_requested += width as u64;
+        let site = loc as *const _ as usize;
+        match self.locate(site) {
+            Ok(ix) => match &mut self.slots[ix].kind {
+                SlotKind::Mem {
+                    bytes_requested,
+                    accesses,
+                    ..
+                } => {
+                    *bytes_requested += width as u64;
+                    accesses.push((addr, width));
+                }
+                other => debug_assert!(false, "slot kind mismatch at mem slot: {other:?}"),
+            },
+            Err((dense, occ)) => {
+                let mut accesses = self
+                    .access_pool
+                    .pop()
+                    .unwrap_or_else(|| Vec::with_capacity(32));
                 accesses.push((addr, width));
+                self.slots.push(Slot {
+                    site,
+                    dense,
+                    occ,
+                    kind: SlotKind::Mem {
+                        space,
+                        write,
+                        bytes_requested: width as u64,
+                        accesses,
+                    },
+                });
             }
-            other => debug_assert!(false, "slot kind mismatch at mem slot: {other:?}"),
         }
     }
 
     /// Records a data-dependent branch outcome.
     #[inline]
     pub fn record_branch(&mut self, loc: &'static Location<'static>, taken: bool) {
-        let key = self.key(loc as *const _ as usize);
-        match self.slots.entry(key).or_insert(SlotAccum::Branch {
-            taken: 0,
-            not_taken: 0,
-        }) {
-            SlotAccum::Branch {
-                taken: t,
-                not_taken: n,
-            } => {
-                if taken {
-                    *t += 1;
-                } else {
-                    *n += 1;
+        let site = loc as *const _ as usize;
+        match self.locate(site) {
+            Ok(ix) => match &mut self.slots[ix].kind {
+                SlotKind::Branch {
+                    taken: t,
+                    not_taken: n,
+                } => {
+                    if taken {
+                        *t += 1;
+                    } else {
+                        *n += 1;
+                    }
                 }
-            }
-            other => debug_assert!(false, "slot kind mismatch at branch slot: {other:?}"),
+                other => debug_assert!(false, "slot kind mismatch at branch slot: {other:?}"),
+            },
+            Err((dense, occ)) => self.slots.push(Slot {
+                site,
+                dense,
+                occ,
+                kind: SlotKind::Branch {
+                    taken: taken as u32,
+                    not_taken: !taken as u32,
+                },
+            }),
         }
     }
 
     /// Records a `__syncthreads()`-style barrier.
     #[inline]
     pub fn record_sync(&mut self, loc: &'static Location<'static>) {
-        let key = self.key(loc as *const _ as usize);
-        match self
-            .slots
-            .entry(key)
-            .or_insert(SlotAccum::Sync { lanes: 0 })
-        {
-            SlotAccum::Sync { lanes } => *lanes += 1,
-            other => debug_assert!(false, "slot kind mismatch at sync slot: {other:?}"),
+        let site = loc as *const _ as usize;
+        match self.locate(site) {
+            Ok(ix) => match &mut self.slots[ix].kind {
+                SlotKind::Sync { lanes } => *lanes += 1,
+                other => debug_assert!(false, "slot kind mismatch at sync slot: {other:?}"),
+            },
+            Err((dense, occ)) => self.slots.push(Slot {
+                site,
+                dense,
+                occ,
+                kind: SlotKind::Sync { lanes: 1 },
+            }),
         }
     }
 
@@ -201,16 +348,21 @@ impl WarpAccumulator {
         mut cache: Option<&mut crate::cache::CacheModel>,
     ) {
         let seg = cfg.segment_bytes;
-        let mut segments: Vec<u64> = Vec::with_capacity(64);
-        for ((site, _occ), slot) in &self.slots {
+        if self.bank_counts.len() < cfg.shared_banks as usize {
+            self.bank_counts.resize(cfg.shared_banks as usize, 0);
+        }
+        // Move the slot list out so the scratch fields stay borrowable;
+        // it is drained (capacity retained) and swapped back below.
+        let mut slots = std::mem::take(&mut self.slots);
+        for slot in &slots {
             // Per-slot contribution, also attributed to the slot's source
             // site when profiling is on.
             let mut delta = SiteStats {
                 warp_slots: 1,
                 ..Default::default()
             };
-            match slot {
-                SlotAccum::Op {
+            match &slot.kind {
+                SlotKind::Op {
                     class,
                     max_count,
                     lanes,
@@ -231,7 +383,7 @@ impl WarpAccumulator {
                         OpClass::F64 => stats.flops_f64 += scalar,
                     }
                 }
-                SlotAccum::Mem {
+                SlotKind::Mem {
                     space,
                     write,
                     bytes_requested,
@@ -245,49 +397,64 @@ impl WarpAccumulator {
                         Space::Shared => {
                             // Bank conflicts: replays = max number of
                             // *distinct 4-byte words* mapping to one bank.
-                            let mut per_bank: HashMap<u32, Vec<u64>, BuildPtrHasher> =
-                                HashMap::default();
+                            // A word lives on exactly one bank, so global
+                            // sort+dedup then per-bank counting gives the
+                            // same per-bank distinct-word sets as the
+                            // per-bank lists the reference kept.
+                            self.words.clear();
                             for &(addr, width) in accesses {
                                 let mut w = addr / 4;
                                 let end = (addr + width as u64).div_ceil(4);
-                                while w < end.max(w + 1) {
-                                    let bank = (w % cfg.shared_banks as u64) as u32;
-                                    let words = per_bank.entry(bank).or_default();
-                                    if !words.contains(&w) {
-                                        words.push(w);
-                                    }
+                                loop {
+                                    self.words.push(w);
                                     w += 1;
                                     if w >= end {
                                         break;
                                     }
                                 }
                             }
-                            let degree =
-                                per_bank.values().map(|v| v.len()).max().unwrap_or(1) as u64;
+                            self.words.sort_unstable();
+                            self.words.dedup();
+                            let banks = cfg.shared_banks as u64;
+                            let mut degree = 1u64;
+                            for &w in &self.words {
+                                let b = (w % banks) as usize;
+                                self.bank_counts[b] += 1;
+                                degree = degree.max(self.bank_counts[b] as u64);
+                            }
+                            for &w in &self.words {
+                                self.bank_counts[(w % banks) as usize] = 0;
+                            }
                             stats.shared_accesses += accesses.len() as u64;
-                            stats.shared_replays += degree.saturating_sub(1);
+                            stats.shared_replays += degree - 1;
                             // Each replay is an extra issue of this slot.
-                            stats.issue_cycles += degree.saturating_sub(1) as f64;
+                            stats.issue_cycles += (degree - 1) as f64;
                             if PROFILE {
-                                delta.shared_replays = degree.saturating_sub(1);
-                                delta.issue_cycles += degree.saturating_sub(1) as f64;
+                                delta.shared_replays = degree - 1;
+                                delta.issue_cycles += (degree - 1) as f64;
                             }
                         }
                         Space::Global | Space::Local => {
-                            segments.clear();
-                            for &(addr, width) in accesses {
-                                let first = addr / seg;
-                                let last = (addr + width as u64 - 1) / seg;
-                                for s in first..=last {
-                                    if !segments.contains(&s) {
-                                        segments.push(s);
-                                    }
-                                }
-                            }
                             let tx = match cache.as_deref_mut() {
                                 Some(c) => {
+                                    // First-touch segment order is
+                                    // preserved: the L2 model is stateful,
+                                    // so the sequence of `access_segment`
+                                    // calls is semantics.
+                                    self.segments.clear();
+                                    for &(addr, width) in accesses {
+                                        let first = addr / seg;
+                                        let last = (addr + width as u64 - 1) / seg;
+                                        for s in first..=last {
+                                            if self.segments.last() != Some(&s)
+                                                && !self.segments.contains(&s)
+                                            {
+                                                self.segments.push(s);
+                                            }
+                                        }
+                                    }
                                     let mut misses = 0u64;
-                                    for &s in segments.iter() {
+                                    for &s in self.segments.iter() {
                                         if c.access_segment(s) {
                                             stats.l2_hits += 1;
                                         } else {
@@ -297,7 +464,35 @@ impl WarpAccumulator {
                                     }
                                     misses
                                 }
-                                None => segments.len() as u64,
+                                None => {
+                                    // Without a cache only the *count* of
+                                    // distinct segments matters, so the
+                                    // quadratic first-touch dedupe can be
+                                    // replaced by sort + dedup — ~5x
+                                    // cheaper for the strided slots of the
+                                    // unoptimized ladder levels. The
+                                    // `last()` check strips the runs of
+                                    // equal segments coalesced accesses
+                                    // produce before paying for the sort.
+                                    self.segments.clear();
+                                    for &(addr, width) in accesses {
+                                        let first = addr / seg;
+                                        let last = (addr + width as u64 - 1) / seg;
+                                        let mut s = first;
+                                        loop {
+                                            if self.segments.last() != Some(&s) {
+                                                self.segments.push(s);
+                                            }
+                                            if s >= last {
+                                                break;
+                                            }
+                                            s += 1;
+                                        }
+                                    }
+                                    self.segments.sort_unstable();
+                                    self.segments.dedup();
+                                    self.segments.len() as u64
+                                }
                             };
                             stats.mem_slots += 1;
                             stats.lane_mem_accesses += accesses.len() as u64;
@@ -327,7 +522,7 @@ impl WarpAccumulator {
                         }
                     }
                 }
-                SlotAccum::Branch { taken, not_taken } => {
+                SlotKind::Branch { taken, not_taken } => {
                     stats.issue_cycles += 1.0;
                     stats.branch_slots += 1;
                     stats.lane_branches += (*taken + *not_taken) as u64;
@@ -342,7 +537,7 @@ impl WarpAccumulator {
                         }
                     }
                 }
-                SlotAccum::Sync { .. } => {
+                SlotKind::Sync { .. } => {
                     stats.issue_cycles += 1.0;
                     stats.sync_slots += 1;
                     if PROFILE {
@@ -353,21 +548,29 @@ impl WarpAccumulator {
             }
             if PROFILE {
                 if let Some(profile) = &mut self.site_profile {
-                    if profile.add(*site, &delta) {
+                    if profile.add(slot.site, &delta) {
                         // First sighting of this site in the profile:
                         // resolve its source position. Sound cast: sites
                         // only enter `slots` through `record_*`, which
                         // takes `&'static Location`.
-                        let loc = unsafe { &*(*site as *const Location<'static>) };
-                        crate::trace::register_site(*site, loc);
+                        let loc = unsafe { &*(slot.site as *const Location<'static>) };
+                        crate::trace::register_site(slot.site, loc);
                     }
                 }
             }
         }
-        stats.warp_slots += self.slots.len() as u64;
+        stats.warp_slots += slots.len() as u64;
         stats.warps += 1;
         stats.lanes += self.lanes_seen as u64;
-        self.slots.clear();
+        // Reset the occurrence → slot table and recycle access vectors.
+        for slot in slots.drain(..) {
+            self.slot_of[slot.dense as usize][slot.occ as usize] = u32::MAX;
+            if let SlotKind::Mem { mut accesses, .. } = slot.kind {
+                accesses.clear();
+                self.access_pool.push(accesses);
+            }
+        }
+        self.slots = slots;
         self.lanes_seen = 0;
     }
 }
@@ -381,6 +584,7 @@ impl Default for WarpAccumulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::Site;
 
     fn cfg() -> GpuConfig {
         GpuConfig::tesla_c2075()
@@ -601,5 +805,31 @@ mod tests {
         });
         assert_eq!(stats.lanes, 7);
         assert_eq!(stats.global_load_tx, 1); // 56 B within one segment
+    }
+
+    #[test]
+    fn accumulator_reuse_across_warps_is_clean() {
+        // The SoA tables persist across warps (occurrence resets, slot
+        // table un-set, access vectors pooled): a second identical warp
+        // must fold identical statistics.
+        let mut acc = WarpAccumulator::new();
+        let mut first = KernelStats::default();
+        let mut second = KernelStats::default();
+        for (warp, stats) in [&mut first, &mut second].into_iter().enumerate() {
+            for lane in 0..32u32 {
+                acc.begin_lane();
+                for i in 0..3 {
+                    acc.record_op(site_a(), OpClass::Int, i + 1);
+                }
+                acc.record_mem(site_b(), Space::Global, warp == 1, lane as u64 * 8, 8);
+                acc.record_branch(site_a(), lane < 16);
+            }
+            acc.end_warp(&cfg(), stats);
+        }
+        assert_eq!(first.warp_slots, second.warp_slots);
+        assert_eq!(first.int_ops, second.int_ops);
+        assert_eq!(first.global_load_tx, second.global_store_tx);
+        assert_eq!(first.branch_slots, 1);
+        assert_eq!(second.divergent_branch_slots, 1);
     }
 }

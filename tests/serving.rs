@@ -61,7 +61,7 @@ proptest! {
     ) {
         let h = LatencyHistogram::from_samples(&samples);
         let mut sorted = samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
         let exact = sorted[rank - 1];
         let (lo, hi) = h.quantile_bounds(q);
@@ -128,7 +128,7 @@ fn quantile_from_buckets(text: &str, family: &str, stream: usize, q: f64) -> (f6
             (le, l.rsplit(' ').next().unwrap().parse::<f64>().unwrap())
         })
         .collect();
-    buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
     let count = buckets.last().expect("no buckets").1;
     assert!(count > 0.0, "{family} stream {stream}: empty histogram");
     let rank = (q * count).ceil().max(1.0);

@@ -492,7 +492,7 @@ fn serving_exposition_emits_wellformed_cumulative_histograms() {
             // `le` bounds strictly increasing, cumulative counts
             // non-decreasing, terminated by a `+Inf` bucket.
             let mut sorted = bs.clone();
-            sorted.sort_by(|a, b| le_value(a).partial_cmp(&le_value(b)).unwrap());
+            sorted.sort_by(|a, b| le_value(a).total_cmp(&le_value(b)));
             for w in sorted.windows(2) {
                 assert!(le_value(w[0]) < le_value(w[1]), "{family}: duplicate le");
                 assert!(

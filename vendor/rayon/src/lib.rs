@@ -49,12 +49,31 @@ pub struct ParMap<I, F> {
     f: F,
 }
 
+/// A mapped parallel range with per-worker state, ready to collect.
+pub struct ParMapInit<I, INIT, F> {
+    range: Range<I>,
+    init: INIT,
+    f: F,
+}
+
 macro_rules! impl_par_range {
     ($($t:ty),*) => {$(
         impl ParRange<$t> {
             /// Maps each index through `f`.
             pub fn map<T, F: Fn($t) -> T + Sync>(self, f: F) -> ParMap<$t, F> {
                 ParMap { range: self.range, f }
+            }
+
+            /// Maps each index through `f` with mutable per-worker state
+            /// created by `init` — rayon's `map_init`. `init` runs once
+            /// per worker chunk, so the state amortizes across every
+            /// index that worker processes.
+            pub fn map_init<T, S, INIT, F>(self, init: INIT, f: F) -> ParMapInit<$t, INIT, F>
+            where
+                INIT: Fn() -> S + Sync,
+                F: Fn(&mut S, $t) -> T + Sync,
+            {
+                ParMapInit { range: self.range, init, f }
             }
         }
 
@@ -81,6 +100,49 @@ macro_rules! impl_par_range {
                             let lo = start + (w * chunk) as $t;
                             let hi = (lo + chunk as $t).min(end);
                             s.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+                        })
+                        .collect();
+                    for h in handles {
+                        out.extend(h.join().expect("rayon shim worker panicked"));
+                    }
+                });
+                C::from(out)
+            }
+        }
+
+        impl<T, S, INIT, F> ParMapInit<$t, INIT, F>
+        where
+            T: Send,
+            INIT: Fn() -> S + Sync,
+            F: Fn(&mut S, $t) -> T + Sync,
+        {
+            /// Evaluates the map across scoped threads (one state per
+            /// worker) and collects the results in index order.
+            pub fn collect<C: From<Vec<T>>>(self) -> C {
+                let start = self.range.start;
+                let end = self.range.end;
+                let n = end.saturating_sub(start) as usize;
+                let workers = std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+                    .min(n.max(1));
+                let init = &self.init;
+                let f = &self.f;
+                if workers <= 1 || n <= 1 {
+                    let mut state = init();
+                    return C::from((start..end).map(|i| f(&mut state, i)).collect());
+                }
+                let chunk = n.div_ceil(workers);
+                let mut out: Vec<T> = Vec::with_capacity(n);
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let lo = start + (w * chunk) as $t;
+                            let hi = (lo + chunk as $t).min(end);
+                            s.spawn(move || {
+                                let mut state = init();
+                                (lo..hi).map(|i| f(&mut state, i)).collect::<Vec<T>>()
+                            })
                         })
                         .collect();
                     for h in handles {
