@@ -98,6 +98,17 @@ impl<T: DeviceReal> DeviceModel<T> {
         self.pixels * self.k * 3 * T::BYTES
     }
 
+    /// Byte intervals of the model's device buffers — the write set a
+    /// dataflow recorder attributes to host-side model initialization.
+    /// Under AoS the three handles alias one buffer; the set dedupes.
+    pub fn span_set(&self) -> mogpu_sim::IntervalSet {
+        let mut s = mogpu_sim::IntervalSet::new();
+        for b in [self.buf_w, self.buf_m, self.buf_sd] {
+            s.insert(b.addr(), b.addr() + b.len() as u64);
+        }
+        s
+    }
+
     #[inline]
     fn index(&self, pixel: usize, ki: usize, param: usize) -> (Buffer, usize) {
         debug_assert!(pixel < self.pixels && ki < self.k && param < 3);

@@ -10,7 +10,7 @@
 //! processed singly or in windowed groups (level W).
 
 use crate::device::DeviceReal;
-use crate::kernels::{FramePass, ScanKernel, SortedKernel, TiledKernel};
+use crate::kernels::{FramePass, MorphKernel, MorphOp, ScanKernel, SortedKernel, TiledKernel};
 use crate::layout::DeviceModel;
 use crate::levels::OptLevel;
 use crate::profile::{LaunchProfile, ProfileMode, ProfileReport};
@@ -19,8 +19,9 @@ use mogpu_mog::{HostModel, MogParams, ResolvedParams};
 use mogpu_sim::dma::{pipeline_schedule, timing_of, transfer_time, PipelineTiming};
 use mogpu_sim::telemetry::{sample_schedule, PipelineTelemetry, TelemetryConfig};
 use mogpu_sim::{
-    BatchLauncher, Buffer, DerivedMetrics, DeviceMemory, GpuConfig, KernelStats, LaunchConfig,
-    LaunchError, LaunchOptions, LaunchReport, MemoryError, Occupancy, SanReport, SiteProfile,
+    BatchLauncher, Buffer, DataflowGraph, DataflowRecorder, DerivedMetrics, DeviceMemory,
+    GpuConfig, IntervalSet, KernelStats, LaunchConfig, LaunchError, LaunchOptions, LaunchReport,
+    MemoryError, Occupancy, SanReport, SiteProfile,
 };
 
 /// Threads per block, as the paper selects.
@@ -160,6 +161,15 @@ pub struct GpuMog<T: DeviceReal> {
     last_profile: Option<ProfileReport>,
     sanitize: bool,
     last_san: Option<SanReport>,
+    /// Cross-launch dataflow recorder (None = recording off, the
+    /// default; launches then skip access capture entirely).
+    dataflow: Option<DataflowRecorder>,
+    /// Morphological-opening post-pass buffers, one `(tmp, out)` pair
+    /// per group slot; empty until [`GpuMog::enable_morphology`].
+    morph_bufs: Vec<(Buffer, Buffer)>,
+    /// Global frame counter across `process_all` calls, attributing
+    /// dataflow nodes to absolute frame indices.
+    frames_seen: usize,
 }
 
 impl<T: DeviceReal> GpuMog<T> {
@@ -218,6 +228,9 @@ impl<T: DeviceReal> GpuMog<T> {
             last_profile: None,
             sanitize: false,
             last_san: None,
+            dataflow: None,
+            morph_bufs: Vec::new(),
+            frames_seen: 0,
         })
     }
 
@@ -282,6 +295,54 @@ impl<T: DeviceReal> GpuMog<T> {
         self.last_san.take()
     }
 
+    /// Enables cross-launch dataflow recording for subsequent
+    /// `process_all` calls: every host upload, kernel launch, and host
+    /// download is summarized into byte-interval read/write sets and
+    /// stitched into the producer→consumer graph returned by
+    /// [`GpuMog::dataflow_graph`]. Capture is observational — counters,
+    /// masks, and timing are bit-identical to an unrecorded run. The
+    /// host-side model initialization that `new` already performed is
+    /// recorded as the graph's first node, so first-frame model reads
+    /// attribute to it rather than appearing unattributed.
+    pub fn enable_dataflow(&mut self) {
+        if self.dataflow.is_some() {
+            return;
+        }
+        let mut rec = DataflowRecorder::new();
+        rec.record_upload("host-init", None, self.model.span_set());
+        self.dataflow = Some(rec);
+    }
+
+    /// The dataflow graph recorded so far, or `None` when
+    /// [`GpuMog::enable_dataflow`] was never called.
+    pub fn dataflow_graph(&self) -> Option<DataflowGraph> {
+        self.dataflow.as_ref().map(DataflowRecorder::finish)
+    }
+
+    /// Enables the 3x3 morphological-opening post-pass (erode then
+    /// dilate, the paper's foreground-validation step) on every frame's
+    /// mask, launched inside this pipeline's device memory so the
+    /// MoG→morphology round trip is visible to the dataflow recorder.
+    /// Downloaded masks become the opened masks. Morphology counters are
+    /// recorded per launch in the dataflow graph but kept out of the
+    /// run's MoG kernel stats, so per-level profile metrics keep their
+    /// meaning.
+    ///
+    /// # Errors
+    /// Device out-of-memory for the per-slot scratch masks.
+    pub fn enable_morphology(&mut self) -> Result<(), PipelineError> {
+        if !self.morph_bufs.is_empty() {
+            return Ok(());
+        }
+        let pixels = self.resolution.pixels();
+        for _ in 0..self.fg_bufs.len() {
+            let tmp = self.mem.alloc(pixels)?;
+            let out = self.mem.alloc(pixels)?;
+            self.morph_bufs.push((tmp, out));
+        }
+        Ok(())
+    }
+
     /// The algorithm parameters.
     pub fn params(&self) -> &MogParams {
         &self.params
@@ -326,21 +387,71 @@ impl<T: DeviceReal> GpuMog<T> {
         Ok(l)
     }
 
-    /// Processes a group of up to `level.group()` frames with one launch,
-    /// returning the masks and the launch's report.
+    /// Runs the erode+dilate opening on one slot's foreground mask,
+    /// inside the pipeline's device memory (so the recorder sees the
+    /// MoG→morphology bytes), recording each launch as a `morphology`
+    /// node. The stats stay out of the MoG run aggregate.
+    fn run_morph(
+        &mut self,
+        slot: usize,
+        frame: usize,
+        opts: LaunchOptions,
+    ) -> Result<(), PipelineError> {
+        let (tmp, out) = self.morph_bufs[slot];
+        let lc = LaunchConfig::cover(self.resolution.pixels(), self.threads_per_block);
+        for (input, output, op) in [
+            (self.fg_bufs[slot], tmp, MorphOp::Erode),
+            (tmp, out, MorphOp::Dilate),
+        ] {
+            let k = MorphKernel {
+                input,
+                output,
+                width: self.resolution.width,
+                height: self.resolution.height,
+                op,
+            };
+            let mut report = mogpu_sim::launch_with(&mut self.mem, &self.cfg, lc, &k, opts)?;
+            if let Some(rec) = self.dataflow.as_mut() {
+                if let Some(access) = report.access.take() {
+                    rec.record_kernel(
+                        "morphology",
+                        Some(frame),
+                        access,
+                        report.stats.clone(),
+                        report.occupancy,
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Processes a group of up to `level.group()` frames with one launch
+    /// (`base` = absolute index of the group's first frame), returning
+    /// the masks and the launch's report.
     fn process_group(
         &mut self,
         frames: &[&Frame<u8>],
+        base: usize,
     ) -> Result<(Vec<Mask>, LaunchReport), PipelineError> {
         for (slot, frame) in frames.iter().enumerate() {
             self.mem.upload(self.frame_bufs[slot], frame.as_slice());
+            if let Some(rec) = self.dataflow.as_mut() {
+                let b = self.frame_bufs[slot];
+                rec.record_upload(
+                    "host-upload",
+                    Some(base + slot),
+                    IntervalSet::from_span(b.addr(), b.len() as u64),
+                );
+            }
         }
         let launcher = self.launcher()?;
         let opts = LaunchOptions {
             profile_sites: self.profile.is_on(),
             sanitize: self.sanitize,
+            dataflow: self.dataflow.is_some(),
         };
-        let report = match self.level {
+        let mut report = match self.level {
             OptLevel::A | OptLevel::B | OptLevel::C => {
                 let k = SortedKernel {
                     pass: self.frame_pass(0),
@@ -381,10 +492,41 @@ impl<T: DeviceReal> GpuMog<T> {
                 launcher.launch(&mut self.mem, &self.cfg, &k, opts)
             }
         };
+        if let Some(rec) = self.dataflow.as_mut() {
+            if let Some(access) = report.access.take() {
+                // A grouped (level-W) launch covers the whole chunk;
+                // attribute it to the group's first frame.
+                rec.record_kernel(
+                    "mog-update",
+                    Some(base),
+                    access,
+                    report.stats.clone(),
+                    report.occupancy,
+                );
+            }
+        }
+        let opened = !self.morph_bufs.is_empty();
+        if opened {
+            for slot in 0..frames.len() {
+                self.run_morph(slot, base + slot, opts)?;
+            }
+        }
 
         let mut masks = Vec::with_capacity(frames.len());
         for slot in 0..frames.len() {
-            let bytes = self.mem.download(self.fg_bufs[slot]);
+            let src = if opened {
+                self.morph_bufs[slot].1
+            } else {
+                self.fg_bufs[slot]
+            };
+            let bytes = self.mem.download(src);
+            if let Some(rec) = self.dataflow.as_mut() {
+                rec.record_download(
+                    "host-download",
+                    Some(base + slot),
+                    IntervalSet::from_span(src.addr(), src.len() as u64),
+                );
+            }
             masks.push(Frame::from_vec(self.resolution, bytes).expect("mask size"));
         }
         Ok((masks, report))
@@ -416,7 +558,9 @@ impl<T: DeviceReal> GpuMog<T> {
         let mut san = self.sanitize.then(SanReport::new);
         let frame_refs: Vec<&Frame<u8>> = frames.iter().collect();
         for chunk in frame_refs.chunks(group) {
-            let (group_masks, mut report) = self.process_group(chunk)?;
+            let base = self.frames_seen;
+            self.frames_seen += chunk.len();
+            let (group_masks, mut report) = self.process_group(chunk, base)?;
             if let (Some(acc), Some(r)) = (san.as_mut(), report.sanitizer.take()) {
                 acc.merge(&r);
             }
@@ -471,6 +615,11 @@ impl<T: DeviceReal> GpuMog<T> {
             &self.cfg,
             &TelemetryConfig::default(),
         );
+        let fusion = self
+            .dataflow
+            .as_ref()
+            .map(|r| r.finish().fusion_candidates())
+            .unwrap_or_default();
         self.last_profile = self.profile.is_on().then(|| {
             ProfileReport::assemble(
                 self.level.name(),
@@ -482,6 +631,7 @@ impl<T: DeviceReal> GpuMog<T> {
                 schedule,
                 launches,
                 std::mem::take(&mut sites),
+                &fusion,
                 &self.cfg,
             )
         });
@@ -687,6 +837,115 @@ mod tests {
     }
 
     #[test]
+    fn dataflow_recording_does_not_perturb_masks_or_stats() {
+        let frames = scene_frames(6);
+        let (plain, _) = run_level(OptLevel::F, &frames);
+        let mut gpu = GpuMog::<f64>::new(
+            Resolution::TINY,
+            MogParams::default(),
+            OptLevel::F,
+            frames[0].as_slice(),
+            GpuConfig::tesla_c2075(),
+        )
+        .unwrap();
+        gpu.enable_dataflow();
+        let traced = gpu.process_all(&frames[1..]).unwrap();
+        assert_eq!(plain.masks, traced.masks);
+        assert_eq!(plain.stats, traced.stats);
+        let graph = gpu.dataflow_graph().expect("graph after traced run");
+        assert!(graph.nodes.iter().any(|n| n.name == "mog-update"));
+    }
+
+    #[test]
+    fn dataflow_graph_conserves_bytes_and_surfaces_the_fusion_pair() {
+        let frames = scene_frames(6);
+        let mut gpu = GpuMog::<f64>::new(
+            Resolution::TINY,
+            MogParams::default(),
+            OptLevel::F,
+            frames[0].as_slice(),
+            GpuConfig::tesla_c2075(),
+        )
+        .unwrap();
+        gpu.enable_dataflow();
+        gpu.enable_morphology().unwrap();
+        gpu.process_all(&frames[1..]).unwrap();
+        let graph = gpu.dataflow_graph().expect("graph");
+
+        // Byte conservation, integer-exact: everything a node stores is
+        // either consumed downstream, dead, or live at exit.
+        for node in &graph.nodes {
+            assert_eq!(
+                node.stored_bytes,
+                node.consumed_bytes + node.dead_store_bytes + node.live_at_exit_bytes,
+                "conservation violated at {}",
+                node.name
+            );
+        }
+        // No edge can carry more than its producer stored.
+        for e in &graph.edges {
+            assert!(e.bytes <= graph.nodes[e.producer].stored_bytes);
+        }
+        // Exactly one aggregated candidate: mog-update feeding morphology.
+        let cands = graph.fusion_candidates();
+        assert_eq!(cands.len(), 1, "candidates: {cands:?}");
+        assert_eq!(cands[0].producer, "mog-update");
+        assert_eq!(cands[0].consumer, "morphology");
+        assert!(cands[0].edge_bytes > 0);
+        assert_eq!(cands[0].pairs, 5);
+    }
+
+    #[test]
+    fn morphology_opens_masks_without_touching_kernel_stats() {
+        let frames = scene_frames(6);
+        let (plain, _) = run_level(OptLevel::F, &frames);
+        let mut gpu = GpuMog::<f64>::new(
+            Resolution::TINY,
+            MogParams::default(),
+            OptLevel::F,
+            frames[0].as_slice(),
+            GpuConfig::tesla_c2075(),
+        )
+        .unwrap();
+        gpu.enable_morphology().unwrap();
+        let opened = gpu.process_all(&frames[1..]).unwrap();
+        // Morph launches run off to the side; the MoG counters and
+        // timing inputs are untouched.
+        assert_eq!(plain.stats, opened.stats);
+        assert_eq!(plain.masks.len(), opened.masks.len());
+        // An open (erode then dilate) never grows the foreground.
+        for (p, o) in plain.masks.iter().zip(&opened.masks) {
+            let fg_plain = p.as_slice().iter().filter(|&&v| v != 0).count();
+            let fg_open = o.as_slice().iter().filter(|&&v| v != 0).count();
+            assert!(fg_open <= fg_plain, "open grew the mask");
+        }
+    }
+
+    #[test]
+    fn adaptive_dataflow_graph_is_conservation_clean() {
+        let frames = scene_frames(5);
+        let mut gpu = AdaptiveGpuMog::<f64>::new(
+            Resolution::TINY,
+            MogParams::default(),
+            frames[0].as_slice(),
+            GpuConfig::tesla_c2075(),
+        )
+        .unwrap();
+        gpu.enable_dataflow();
+        gpu.process_all(&frames[1..]).unwrap();
+        let graph = gpu.dataflow_graph().expect("graph");
+        assert!(graph.nodes.iter().any(|n| n.name == "adaptive-update"));
+        for node in &graph.nodes {
+            assert_eq!(
+                node.stored_bytes,
+                node.consumed_bytes + node.dead_store_bytes + node.live_at_exit_bytes,
+                "conservation violated at {}",
+                node.name
+            );
+        }
+    }
+
+    #[test]
     fn f32_pipeline_runs() {
         let frames = scene_frames(5);
         let mut gpu = GpuMog::<f32>::new(
@@ -735,6 +994,8 @@ pub struct AdaptiveGpuMog<T: DeviceReal> {
     last_profile: Option<ProfileReport>,
     sanitize: bool,
     last_san: Option<SanReport>,
+    dataflow: Option<DataflowRecorder>,
+    frames_seen: usize,
 }
 
 impl<T: DeviceReal> AdaptiveGpuMog<T> {
@@ -785,12 +1046,37 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
             last_profile: None,
             sanitize: false,
             last_san: None,
+            dataflow: None,
+            frames_seen: 0,
         })
     }
 
     /// Enables or disables profiling for subsequent `process_all` calls.
     pub fn set_profile_mode(&mut self, mode: ProfileMode) {
         self.profile = mode;
+    }
+
+    /// Enables cross-launch dataflow recording, mirroring
+    /// [`GpuMog::enable_dataflow`]: the seeded model (and per-pixel
+    /// active counts) become the graph's host-init node.
+    pub fn enable_dataflow(&mut self) {
+        if self.dataflow.is_some() {
+            return;
+        }
+        let mut init = self.model.span_set();
+        init.insert(
+            self.active.addr(),
+            self.active.addr() + self.active.len() as u64,
+        );
+        let mut rec = DataflowRecorder::new();
+        rec.record_upload("host-init", None, init);
+        self.dataflow = Some(rec);
+    }
+
+    /// The dataflow graph recorded so far, or `None` when recording is
+    /// off.
+    pub fn dataflow_graph(&self) -> Option<DataflowGraph> {
+        self.dataflow.as_ref().map(DataflowRecorder::finish)
     }
 
     /// Takes the report of the most recent profiled `process_all`.
@@ -838,6 +1124,7 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
         let opts = LaunchOptions {
             profile_sites: self.profile.is_on(),
             sanitize: self.sanitize,
+            dataflow: self.dataflow.is_some(),
         };
         let resources = mogpu_sim::KernelResources {
             regs_per_thread: 33,
@@ -855,7 +1142,16 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
             if frame.resolution() != self.resolution {
                 return Err(PipelineError::Config("frame resolution mismatch".into()));
             }
+            let fi = self.frames_seen;
+            self.frames_seen += 1;
             self.mem.upload(self.frame_buf, frame.as_slice());
+            if let Some(rec) = self.dataflow.as_mut() {
+                rec.record_upload(
+                    "host-upload",
+                    Some(fi),
+                    IntervalSet::from_span(self.frame_buf.addr(), self.frame_buf.len() as u64),
+                );
+            }
             let kernel = crate::kernels::AdaptiveKernel {
                 pass: FramePass {
                     model: self.model,
@@ -870,6 +1166,17 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
             let mut report = launcher.launch(&mut self.mem, &self.cfg, &kernel, opts);
             if let (Some(acc), Some(r)) = (san.as_mut(), report.sanitizer.take()) {
                 acc.merge(&r);
+            }
+            if let Some(rec) = self.dataflow.as_mut() {
+                if let Some(access) = report.access.take() {
+                    rec.record_kernel(
+                        "adaptive-update",
+                        Some(fi),
+                        access,
+                        report.stats.clone(),
+                        report.occupancy,
+                    );
+                }
             }
             stats.merge(&report.stats);
             kernel_time += report.timing.total;
@@ -887,6 +1194,13 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
                     occupancy: report.occupancy,
                     timing: report.timing,
                 });
+            }
+            if let Some(rec) = self.dataflow.as_mut() {
+                rec.record_download(
+                    "host-download",
+                    Some(fi),
+                    IntervalSet::from_span(self.fg_buf.addr(), self.fg_buf.len() as u64),
+                );
             }
             masks.push(
                 Frame::from_vec(self.resolution, self.mem.download(self.fg_buf))
@@ -918,6 +1232,11 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
             &self.cfg,
             &TelemetryConfig::default(),
         );
+        let fusion = self
+            .dataflow
+            .as_ref()
+            .map(|r| r.finish().fusion_candidates())
+            .unwrap_or_default();
         self.last_profile = self.profile.is_on().then(|| {
             ProfileReport::assemble(
                 "adaptive".to_string(),
@@ -929,6 +1248,7 @@ impl<T: DeviceReal> AdaptiveGpuMog<T> {
                 schedule,
                 launches,
                 std::mem::take(&mut sites),
+                &fusion,
                 &self.cfg,
             )
         });

@@ -177,6 +177,7 @@ impl ProfileReport {
         schedule: Vec<FrameSpans>,
         launches: Vec<LaunchProfile>,
         sites: SiteProfile,
+        dataflow: &[mogpu_sim::FusionCandidate],
         cfg: &GpuConfig,
     ) -> Self {
         let frames = schedule.len();
@@ -254,6 +255,7 @@ impl ProfileReport {
             stalls: &stalls,
             roofline: &roof,
             hotspots: &hotspots,
+            dataflow,
             overlap,
             h2d_per_frame,
             d2h_per_frame,

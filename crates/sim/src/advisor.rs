@@ -27,6 +27,7 @@
 //! further — raise the ceiling first).
 
 use crate::config::GpuConfig;
+use crate::dataflow::FusionCandidate;
 use crate::dma::OverlapMode;
 use crate::occupancy::{Limiter, Occupancy};
 use crate::profile::HotspotRow;
@@ -115,6 +116,9 @@ pub enum Transform {
     ReduceRegisters,
     /// Stage frame groups through shared memory (F -> W).
     TileSharedMemory,
+    /// Fuse an adjacent producer/consumer launch pair so the bytes the
+    /// consumer reloads from DRAM stay on chip (ROADMAP level G).
+    FuseKernels,
     /// Pad or re-stride shared records to avoid bank conflicts.
     PadSharedMemory,
     /// Shrink the launch footprint (block size, registers, shared bytes)
@@ -179,6 +183,10 @@ pub struct AdvisorInput<'a> {
     pub roofline: &'a Roofline,
     /// Ranked source hotspots.
     pub hotspots: &'a [HotspotRow],
+    /// Adjacent-launch fusion candidates from the dataflow graph
+    /// ([`crate::dataflow::DataflowGraph::fusion_candidates`]), sorted by
+    /// edge bytes descending. Empty when the run did not record dataflow.
+    pub dataflow: &'a [FusionCandidate],
     /// Transfer scheduling mode of the run.
     pub overlap: OverlapMode,
     /// Modelled host-to-device seconds per frame.
@@ -202,6 +210,12 @@ const TILE_GROUP: f64 = 8.0;
 /// predication removes (both paths still execute; the branch overhead
 /// and half the duplicated control flow fold away).
 const PREDICATION_RECOVERY: f64 = 0.5;
+
+/// Minimum fraction of the consumer's external read bytes that must
+/// arrive over one adjacent-launch edge before fusion is recommended:
+/// below this the fused kernel would still reload most of its input
+/// from DRAM and the transform is not worth its complexity.
+const FUSION_MIN_EDGE_SHARE: f64 = 0.25;
 
 fn speedup(old: f64, new: f64) -> f64 {
     if new > 0.0 {
@@ -441,12 +455,90 @@ pub fn advise(input: &AdvisorInput) -> Vec<Advisory> {
         }
     }
 
+    // --- fuse-kernels: the dataflow graph found an adjacent launch pair
+    // whose intermediate round-trips through DRAM. Gated like the tile
+    // rule on the per-kernel ladder being exhausted (coalesced access,
+    // predicated branches, spill-free, register ceiling raised) and on a
+    // double-buffered schedule — fusion reshapes the launch structure,
+    // which is premature while cheaper per-kernel transforms remain; the
+    // paper's ladder ends at F and ROADMAP item 2 names fusion as the
+    // next rung. The benefit re-times both kernels with the edge bytes
+    // removed from the producer's stores and the consumer's loads: the
+    // fused kernel keeps the intermediate in registers/shared memory.
+    let mut fusion_fired = false;
+    if input.overlap == OverlapMode::DoubleBuffered
+        && local_tx == 0
+        && !register_rule_fired
+        && input.metrics.mem_access_efficiency >= 0.5
+        && input.metrics.branch_efficiency >= 0.95
+    {
+        let mut best: Option<(f64, f64, f64, &FusionCandidate)> = None;
+        for cand in input.dataflow {
+            if cand.consumer_read_bytes == 0 || cand.producer_stored_bytes == 0 {
+                continue;
+            }
+            let edge_share = cand.edge_bytes as f64 / cand.consumer_read_bytes as f64;
+            if edge_share < FUSION_MIN_EDGE_SHARE {
+                continue;
+            }
+            let old = retime(&cand.producer_stats, &cand.producer_occupancy, cfg)
+                + retime(&cand.consumer_stats, &cand.consumer_occupancy, cfg);
+            let keep_store = 1.0 - cand.edge_bytes as f64 / cand.producer_stored_bytes as f64;
+            let keep_load = 1.0 - edge_share;
+            let shrink = |v: u64, keep: f64| (v as f64 * keep).round() as u64;
+            let mut p = cand.producer_stats.clone();
+            p.global_store_tx = shrink(p.global_store_tx, keep_store);
+            p.global_store_bytes_requested = shrink(p.global_store_bytes_requested, keep_store);
+            let mut c = cand.consumer_stats.clone();
+            c.global_load_tx = shrink(c.global_load_tx, keep_load);
+            c.global_load_bytes_requested = shrink(c.global_load_bytes_requested, keep_load);
+            let new = retime(&p, &cand.producer_occupancy, cfg)
+                + retime(&c, &cand.consumer_occupancy, cfg);
+            let benefit = (old - new).max(0.0);
+            if benefit > 0.0 && best.as_ref().is_none_or(|(b, ..)| benefit > *b) {
+                best = Some((benefit, old, new, cand));
+            }
+        }
+        if let Some((benefit, old, new, cand)) = best {
+            fusion_fired = true;
+            out.push(Advisory {
+                rule: "fuse-kernels".into(),
+                transform: Transform::FuseKernels,
+                finding: format!(
+                    "{} adjacent {} -> {} launch pair(s) round-trip {} B through \
+                     DRAM ({:.0}% of the consumer's loads); fuse the kernels so the \
+                     intermediate stays in registers or shared memory",
+                    cand.pairs,
+                    cand.producer,
+                    cand.consumer,
+                    cand.edge_bytes,
+                    100.0 * cand.edge_bytes as f64 / cand.consumer_read_bytes as f64,
+                ),
+                evidence: vec![
+                    Evidence::new("edge_bytes", cand.edge_bytes as f64),
+                    Evidence::new(
+                        "edge_share_of_consumer_reads",
+                        cand.edge_bytes as f64 / cand.consumer_read_bytes as f64,
+                    ),
+                    Evidence::new("producer_stored_bytes", cand.producer_stored_bytes as f64),
+                    Evidence::new("launch_pairs", cand.pairs as f64),
+                ],
+                sites: Vec::new(),
+                estimated_benefit_s: benefit,
+                estimated_speedup: speedup(old, new),
+            });
+        }
+    }
+
     // --- tile-shared-memory: gated on register pressure being resolved
     // (tiling spends shared memory, which costs occupancy — raise that
-    // ceiling first) and on the divergence work being done (the tiled
-    // kernel builds on the predicated scan).
+    // ceiling first), on the divergence work being done (the tiled
+    // kernel builds on the predicated scan), and on no fusion advisory
+    // this run (fusion restructures the launches tiling would target —
+    // resolve the inter-kernel round trip before intra-kernel staging).
     if stats.shared_accesses == 0
         && !register_rule_fired
+        && !fusion_fired
         && timing.bound != Bound::Issue
         && input.metrics.mem_access_efficiency >= 0.5
         && input.metrics.branch_efficiency >= 0.95
@@ -589,6 +681,7 @@ mod tests {
             stalls: &stalls,
             roofline: &roof,
             hotspots: &[],
+            dataflow: &[],
             overlap,
             h2d_per_frame: 1e-4,
             d2h_per_frame: 1e-4,
@@ -673,6 +766,140 @@ mod tests {
         for w in a.windows(2) {
             assert!(w[0].estimated_benefit_s >= w[1].estimated_benefit_s);
         }
+    }
+
+    /// A post-level-F shaped counter set: coalesced, predicated,
+    /// spill-free, warp-limited. Under `run` (no dataflow evidence) the
+    /// tile rule fires; with a fat adjacent-launch edge the fusion rule
+    /// must fire instead.
+    fn post_f_stats() -> KernelStats {
+        KernelStats {
+            warps: 100_000,
+            lanes: 3_200_000,
+            issue_cycles: 400_000.0,
+            global_load_tx: 600_000,
+            global_load_bytes_requested: 76_800_000,
+            global_store_tx: 100_000,
+            global_store_bytes_requested: 12_800_000,
+            branch_slots: 10_000,
+            ..Default::default()
+        }
+    }
+
+    fn run_with_dataflow(
+        stats: &KernelStats,
+        o: &Occupancy,
+        dataflow: &[FusionCandidate],
+    ) -> Vec<Advisory> {
+        let cfg = GpuConfig::default();
+        let timing = kernel_time(stats, o, &cfg);
+        let stalls = kernel_stalls(stats, &timing, o);
+        let roof = roofline(stats, &timing, &cfg);
+        let metrics = DerivedMetrics::from_stats(stats, &cfg);
+        advise(&AdvisorInput {
+            stats,
+            metrics: &metrics,
+            occupancy: o,
+            timing: &timing,
+            stalls: &stalls,
+            roofline: &roof,
+            hotspots: &[],
+            dataflow,
+            overlap: OverlapMode::DoubleBuffered,
+            h2d_per_frame: 1e-4,
+            d2h_per_frame: 1e-4,
+            dma_starvation: 0.0,
+            frames: 8,
+            cfg: &cfg,
+        })
+    }
+
+    fn candidate(edge_bytes: u64, read_bytes: u64) -> FusionCandidate {
+        let o = occ(Limiter::Warps, 8, 48);
+        let producer = KernelStats {
+            warps: 50_000,
+            issue_cycles: 200_000.0,
+            global_load_tx: 300_000,
+            global_load_bytes_requested: 38_400_000,
+            global_store_tx: 100_000,
+            global_store_bytes_requested: 12_800_000,
+            ..Default::default()
+        };
+        let consumer = KernelStats {
+            warps: 50_000,
+            issue_cycles: 100_000.0,
+            global_load_tx: read_bytes.div_ceil(128),
+            global_load_bytes_requested: read_bytes,
+            global_store_tx: 10_000,
+            global_store_bytes_requested: 1_280_000,
+            ..Default::default()
+        };
+        FusionCandidate {
+            producer: "mog-update".into(),
+            consumer: "morphology".into(),
+            pairs: 8,
+            edge_bytes,
+            producer_stored_bytes: 12_800_000,
+            consumer_read_bytes: read_bytes,
+            producer_stats: producer,
+            consumer_stats: consumer,
+            producer_occupancy: o,
+            consumer_occupancy: o,
+        }
+    }
+
+    #[test]
+    fn fat_dataflow_edge_fires_fusion_first_and_suppresses_tiling() {
+        let stats = post_f_stats();
+        let o = occ(Limiter::Warps, 8, 48);
+        // Without dataflow evidence the post-F config recommends tiling.
+        let plain = run_with_dataflow(&stats, &o, &[]);
+        assert_eq!(plain[0].transform, Transform::TileSharedMemory);
+        // The whole consumer input arrives over the adjacent edge.
+        let cand = candidate(12_800_000, 12_800_000);
+        let advice = run_with_dataflow(&stats, &o, std::slice::from_ref(&cand));
+        assert_eq!(advice[0].transform, Transform::FuseKernels);
+        assert_eq!(advice[0].rule, "fuse-kernels");
+        assert!(advice[0].estimated_benefit_s > 0.0);
+        assert!(advice[0].estimated_speedup > 1.0);
+        assert!(advice[0].finding.contains("mog-update -> morphology"));
+        assert!(
+            !advice
+                .iter()
+                .any(|a| a.transform == Transform::TileSharedMemory),
+            "fusion restructures the launches tiling would target"
+        );
+    }
+
+    #[test]
+    fn thin_dataflow_edge_stays_below_the_fusion_threshold() {
+        let stats = post_f_stats();
+        let o = occ(Limiter::Warps, 8, 48);
+        // Edge carries under FUSION_MIN_EDGE_SHARE of the consumer reads.
+        let cand = candidate(1_280_000, 12_800_000);
+        let advice = run_with_dataflow(&stats, &o, std::slice::from_ref(&cand));
+        assert!(
+            !advice.iter().any(|a| a.transform == Transform::FuseKernels),
+            "thin edges must not recommend fusion"
+        );
+        assert_eq!(advice[0].transform, Transform::TileSharedMemory);
+    }
+
+    #[test]
+    fn fusion_is_gated_on_the_per_kernel_ladder_being_exhausted() {
+        let o = occ(Limiter::Warps, 8, 48);
+        let cand = candidate(12_800_000, 12_800_000);
+        // Residual spill traffic (pre-D shape): rank-sort removal first.
+        let mut spilled = post_f_stats();
+        spilled.local_load_tx = 50_000;
+        spilled.local_load_bytes_requested = 6_400_000;
+        let advice = run_with_dataflow(&spilled, &o, std::slice::from_ref(&cand));
+        assert!(!advice.iter().any(|a| a.transform == Transform::FuseKernels));
+        // Divergent branches (pre-E shape): predication first.
+        let mut divergent = post_f_stats();
+        divergent.divergent_branch_slots = 2_000;
+        let advice = run_with_dataflow(&divergent, &o, std::slice::from_ref(&cand));
+        assert!(!advice.iter().any(|a| a.transform == Transform::FuseKernels));
     }
 
     #[test]

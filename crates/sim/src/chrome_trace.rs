@@ -13,6 +13,7 @@
 //! * `ph: "M"` — metadata naming processes (`process_name`) and thread
 //!   tracks (`thread_name`).
 
+use crate::dataflow::{DataflowGraph, NodeKind};
 use crate::dma::FrameSpans;
 use crate::stallreasons::StallBreakdown;
 use crate::streams::StreamSchedule;
@@ -30,6 +31,7 @@ const TID_COPY_OUT: u64 = 2;
 pub struct TraceBuilder {
     events: Vec<Value>,
     next_pid: u64,
+    next_flow_id: u64,
 }
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
@@ -64,6 +66,24 @@ fn duration_event(name: String, cat: &str, pid: u64, tid: u64, start_s: f64, dur
         ("ts", Value::F64(start_s * 1e6)),
         ("dur", Value::F64(dur_s * 1e6)),
     ])
+}
+
+fn flow_event(name: &str, ph: &str, pid: u64, tid: u64, ts_s: f64, id: u64) -> Value {
+    let mut fields = vec![
+        ("name", Value::String(name.to_string())),
+        ("cat", Value::String("dataflow".to_string())),
+        ("ph", Value::String(ph.to_string())),
+        ("id", Value::U64(id)),
+        ("pid", Value::U64(pid)),
+        ("tid", Value::U64(tid)),
+        ("ts", Value::F64(ts_s * 1e6)),
+    ];
+    if ph == "f" {
+        // Bind the arrow head to the *enclosing* slice (the consumer
+        // kernel), not the next slice to start after ts.
+        fields.push(("bp", Value::String("e".to_string())));
+    }
+    obj(fields)
 }
 
 impl TraceBuilder {
@@ -171,6 +191,49 @@ impl TraceBuilder {
             }
         }
         pid
+    }
+
+    /// Overlays producer→consumer dataflow arrows (`ph:"s"`/`"f"` flow
+    /// pairs, cat `dataflow`) on the kernel slices of the process `pid`
+    /// returned by [`TraceBuilder::add_pipeline`]. Kernel→kernel edges of
+    /// `graph` between *different* frames are aggregated per frame pair
+    /// and drawn from the end of the producer frame's kernel slice to the
+    /// start of the consumer frame's slice, labelled with the kernel
+    /// names and bytes carried. Like counters, flows are opt-in: traces
+    /// without a recorded graph keep their exact event shape.
+    pub fn add_dataflow_flows(&mut self, pid: u64, schedule: &[FrameSpans], graph: &DataflowGraph) {
+        let mut by_frames: std::collections::BTreeMap<(usize, usize), (u64, String)> =
+            std::collections::BTreeMap::new();
+        for e in &graph.edges {
+            let p = &graph.nodes[e.producer];
+            let c = &graph.nodes[e.consumer];
+            if p.kind != NodeKind::Kernel || c.kind != NodeKind::Kernel {
+                continue;
+            }
+            let (Some(fp), Some(fc)) = (p.frame, c.frame) else {
+                continue;
+            };
+            // Intra-frame edges share one kernel slice on the schedule
+            // clock — there is nothing to draw an arrow between.
+            if fc <= fp || fc >= schedule.len() {
+                continue;
+            }
+            let entry = by_frames
+                .entry((fp, fc))
+                .or_insert_with(|| (0, format!("{} -> {}", p.name, c.name)));
+            entry.0 += e.bytes;
+        }
+        for ((fp, fc), (bytes, label)) in by_frames {
+            let id = self.next_flow_id;
+            self.next_flow_id += 1;
+            let name = format!("{label} ({bytes} B)");
+            let prod = &schedule[fp].kernel;
+            let cons = &schedule[fc].kernel;
+            self.events
+                .push(flow_event(&name, "s", pid, TID_COMPUTE, prod.end(), id));
+            self.events
+                .push(flow_event(&name, "f", pid, TID_COMPUTE, cons.start, id));
+        }
     }
 
     /// Merges telemetry counter tracks (`ph:"C"`) into the process `pid`
@@ -489,6 +552,93 @@ mod tests {
                 .sum();
             assert!((0.0..=1.0 + 1e-9).contains(&sum), "stacked sum {sum}");
         }
+    }
+
+    /// Satellite: flow pairs survive a JSON round trip with matching
+    /// id/cat, and their (pid, tid, ts) bind to the producer and
+    /// consumer kernel slices of the pipeline timeline.
+    #[test]
+    fn dataflow_flow_pairs_round_trip_and_bind_to_kernel_slices() {
+        use crate::dataflow::{DataflowRecorder, IntervalSet, LaunchAccess};
+        use crate::occupancy::{Limiter, Occupancy};
+        use crate::stats::KernelStats;
+        let cfg = GpuConfig::default();
+        let sched = pipeline_schedule(2, 1.0, 2.0, 0.5, OverlapMode::DoubleBuffered, &cfg);
+        let occ = Occupancy {
+            resident_blocks: 8,
+            resident_warps: 32,
+            resident_threads: 1024,
+            occupancy: 32.0 / 48.0,
+            limiter: Limiter::Warps,
+        };
+        // Frame 1's kernel reloads the 1024 model bytes frame 0 stored.
+        let span = IntervalSet::from_span(0, 1024);
+        let mut rec = DataflowRecorder::new();
+        rec.record_kernel(
+            "mog-update",
+            Some(0),
+            LaunchAccess {
+                reads: IntervalSet::new(),
+                writes: span.clone(),
+            },
+            KernelStats::default(),
+            occ,
+        );
+        rec.record_kernel(
+            "mog-update",
+            Some(1),
+            LaunchAccess {
+                reads: span.clone(),
+                writes: span,
+            },
+            KernelStats::default(),
+            occ,
+        );
+        let graph = rec.finish();
+        let mut b = TraceBuilder::new();
+        let pid = b.add_pipeline("level C", &sched);
+        b.add_dataflow_flows(pid, &sched, &graph);
+        let text = serde_json::to_string_canonical(&b.finish()).unwrap();
+        let trace: Value = serde_json::from_str(&text).unwrap();
+        let evs = events(&trace);
+        let starts: Vec<&Value> = evs
+            .iter()
+            .filter(|e| field(e, "ph") == &Value::String("s".into()))
+            .collect();
+        let finishes: Vec<&Value> = evs
+            .iter()
+            .filter(|e| field(e, "ph") == &Value::String("f".into()))
+            .collect();
+        assert_eq!(starts.len(), 1, "one cross-frame edge, one arrow");
+        assert_eq!(finishes.len(), 1);
+        let (s, f) = (starts[0], finishes[0]);
+        // The pair shares id, cat, and name, and names the kernels+bytes.
+        assert_eq!(field(s, "id"), field(f, "id"));
+        assert_eq!(field(s, "cat"), &Value::String("dataflow".into()));
+        assert_eq!(field(f, "cat"), &Value::String("dataflow".into()));
+        assert_eq!(field(s, "name"), field(f, "name"));
+        assert_eq!(
+            field(s, "name"),
+            &Value::String("mog-update -> mog-update (1024 B)".into())
+        );
+        // The head binds to its enclosing slice, not the next to start.
+        assert_eq!(field(f, "bp"), &Value::String("e".into()));
+        // Both ends bind to the compute track of this pipeline's process,
+        // inside the producer/consumer kernel slices respectively.
+        let ts = |e: &Value| match field(e, "ts") {
+            Value::F64(v) => *v,
+            other => panic!("ts must be f64, got {other:?}"),
+        };
+        for e in [s, f] {
+            assert_eq!(field(e, "pid"), &Value::U64(pid));
+            assert_eq!(field(e, "tid"), &Value::U64(TID_COMPUTE));
+        }
+        let k0 = &sched[0].kernel;
+        let k1 = &sched[1].kernel;
+        assert!((ts(s) - k0.end() * 1e6).abs() < 1e-9);
+        assert!((k0.start * 1e6..=k0.end() * 1e6).contains(&ts(s)));
+        assert!((ts(f) - k1.start * 1e6).abs() < 1e-9);
+        assert!((k1.start * 1e6..=k1.end() * 1e6).contains(&ts(f)));
     }
 
     #[test]

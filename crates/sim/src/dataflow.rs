@@ -1,0 +1,999 @@
+//! Cross-kernel dataflow tracing: per-launch global-memory access
+//! summaries stitched across consecutive launches into a
+//! producer→consumer memory-flow graph.
+//!
+//! The profiler, telemetry, and advisor all reason about one launch at a
+//! time; none of them can say *which bytes* stored by launch K are
+//! reloaded by launch K+1. That is exactly the evidence kernel fusion
+//! needs (ROADMAP item 2): a full global-memory round trip between two
+//! adjacent launches is DRAM traffic a fused kernel would keep in
+//! registers or shared memory. This module captures byte-interval
+//! read/write sets per launch (reusing the word-granular
+//! [`WriteOverlay`](crate::kernel) publish path, so the write set is
+//! exact and nearly free), records host uploads/downloads on the same
+//! program-order clock, and builds a [`DataflowGraph`] whose edges carry
+//! the bytes a consumer launch reloaded from each producer.
+//!
+//! Byte accounting is conservation-checked: every stored byte of every
+//! node is classified exactly once as *consumed* (read by a later node
+//! before being overwritten), *dead* (overwritten before any consumer
+//! read it), or *live at exit* (still owned, never consumed) — so
+//! `stored == consumed + dead + live` holds integer-exactly, and every
+//! edge's bytes are bounded by its producer's stored bytes.
+
+use crate::occupancy::Occupancy;
+use crate::stats::KernelStats;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// A normalized set of half-open byte intervals `[start, end)` over the
+/// device address space: sorted, disjoint, non-adjacent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    runs: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        IntervalSet::default()
+    }
+
+    /// A set holding one contiguous span of `len` bytes at `addr`.
+    pub fn from_span(addr: u64, len: u64) -> Self {
+        let mut s = IntervalSet::new();
+        s.insert(addr, addr + len);
+        s
+    }
+
+    /// Builds a set from arbitrary (possibly overlapping, unsorted) runs.
+    pub fn from_runs(mut runs: Vec<(u64, u64)>) -> Self {
+        normalize(&mut runs);
+        IntervalSet { runs }
+    }
+
+    /// Inserts `[start, end)`.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        self.runs.push((start, end));
+        normalize(&mut self.runs);
+    }
+
+    /// The normalized runs, sorted and disjoint.
+    pub fn runs(&self) -> &[(u64, u64)] {
+        &self.runs
+    }
+
+    /// True when the set holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Total bytes covered.
+    pub fn total_bytes(&self) -> u64 {
+        self.runs.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.runs.len() && j < other.runs.len() {
+            let (a0, a1) = self.runs[i];
+            let (b0, b1) = other.runs[j];
+            let lo = a0.max(b0);
+            let hi = a1.min(b1);
+            if lo < hi {
+                out.push((lo, hi));
+            }
+            if a1 <= b1 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { runs: out }
+    }
+
+    /// Set difference `self − other`.
+    pub fn subtract(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let mut j = 0;
+        for &(mut s, e) in &self.runs {
+            while j < other.runs.len() && other.runs[j].1 <= s {
+                j += 1;
+            }
+            let mut k = j;
+            while s < e {
+                if k >= other.runs.len() || other.runs[k].0 >= e {
+                    out.push((s, e));
+                    break;
+                }
+                let (b0, b1) = other.runs[k];
+                if b0 > s {
+                    out.push((s, b0));
+                }
+                s = s.max(b1);
+                k += 1;
+            }
+        }
+        IntervalSet { runs: out }
+    }
+
+    /// In-place union with `other`.
+    pub fn union_in_place(&mut self, other: &IntervalSet) {
+        if other.runs.is_empty() {
+            return;
+        }
+        self.runs.extend_from_slice(&other.runs);
+        normalize(&mut self.runs);
+    }
+}
+
+/// Merges a run vector in place: sort by start, coalesce overlapping and
+/// adjacent runs.
+fn normalize(runs: &mut Vec<(u64, u64)>) {
+    if runs.len() < 2 {
+        return;
+    }
+    runs.sort_unstable();
+    let mut w = 0;
+    for i in 1..runs.len() {
+        let (s, e) = runs[i];
+        if s <= runs[w].1 {
+            runs[w].1 = runs[w].1.max(e);
+        } else {
+            w += 1;
+            runs[w] = (s, e);
+        }
+    }
+    runs.truncate(w + 1);
+}
+
+/// Hot-path accumulator for byte runs: appends extend the last run when
+/// contiguous (the common case for lane-ordered accesses) and the vector
+/// is re-normalized whenever it grows past a bound, so memory stays
+/// proportional to the *distinct* intervals touched, not the access
+/// count.
+#[derive(Debug, Default)]
+pub(crate) struct IntervalCollector {
+    runs: Vec<(u64, u64)>,
+}
+
+/// Re-normalize the collector when the raw run vector grows past this.
+const COLLECTOR_NORMALIZE_AT: usize = 8192;
+
+impl IntervalCollector {
+    /// Records the half-open byte run `[start, end)`.
+    #[inline]
+    pub(crate) fn record_run(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        if let Some(last) = self.runs.last_mut() {
+            // Extend (or absorb into) the last run when the new one
+            // starts inside or immediately after it.
+            if start >= last.0 && start <= last.1 {
+                last.1 = last.1.max(end);
+                return;
+            }
+        }
+        self.runs.push((start, end));
+        if self.runs.len() >= COLLECTOR_NORMALIZE_AT {
+            normalize(&mut self.runs);
+        }
+    }
+
+    /// Records the written bytes of one 8-byte overlay cell at `base`.
+    #[inline]
+    pub(crate) fn record_cell(&mut self, base: u64, mask: u8) {
+        if mask == 0xFF {
+            self.record_run(base, base + 8);
+            return;
+        }
+        let mut i = 0u32;
+        while i < 8 {
+            if mask & (1 << i) != 0 {
+                let s = i;
+                while i < 8 && mask & (1 << i) != 0 {
+                    i += 1;
+                }
+                self.record_run(base + s as u64, base + i as u64);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Appends every run of a normalized set.
+    pub(crate) fn extend_set(&mut self, set: &IntervalSet) {
+        for &(s, e) in set.runs() {
+            self.record_run(s, e);
+        }
+    }
+
+    /// Drains the collector into a normalized [`IntervalSet`], keeping
+    /// the allocation for the next block.
+    pub(crate) fn take_set(&mut self) -> IntervalSet {
+        normalize(&mut self.runs);
+        IntervalSet {
+            runs: std::mem::take(&mut self.runs),
+        }
+    }
+
+    /// Clears the collector without releasing capacity.
+    pub(crate) fn clear(&mut self) {
+        self.runs.clear();
+    }
+}
+
+/// The global-memory access summary of one launch, attached to
+/// [`LaunchReport`](crate::kernel::LaunchReport) when
+/// [`LaunchOptions::dataflow`](crate::kernel::LaunchOptions) is set.
+///
+/// `reads` holds only *external* reads — bytes a thread loaded that its
+/// own block had not already stored — so it is exactly the launch's RAW
+/// demand on earlier producers. `writes` is the published store set,
+/// taken from the same overlay cells that update device memory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LaunchAccess {
+    /// Bytes loaded from outside the launch's own stores.
+    pub reads: IntervalSet,
+    /// Bytes stored (published to device memory).
+    pub writes: IntervalSet,
+}
+
+/// What kind of program-order event a dataflow node records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum NodeKind {
+    /// Host-to-device copy (or host-side initialization).
+    HostUpload,
+    /// A kernel launch.
+    Kernel,
+    /// Device-to-host copy.
+    HostDownload,
+}
+
+impl NodeKind {
+    /// Stable lower-case identifier used in DOT/JSON exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NodeKind::HostUpload => "host-upload",
+            NodeKind::Kernel => "kernel",
+            NodeKind::HostDownload => "host-download",
+        }
+    }
+}
+
+/// Kernel counters carried on a kernel node so fusion candidates can
+/// re-run the timing model per stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStats {
+    /// The launch's raw counters.
+    pub stats: KernelStats,
+    /// The launch's occupancy.
+    pub occupancy: Occupancy,
+}
+
+/// One recorded event in program order.
+#[derive(Debug, Clone)]
+struct RecordedNode {
+    kind: NodeKind,
+    name: String,
+    frame: Option<usize>,
+    reads: IntervalSet,
+    writes: IntervalSet,
+    stats: Option<NodeStats>,
+}
+
+/// Records uploads, launches, and downloads in program order and builds
+/// the [`DataflowGraph`].
+#[derive(Debug, Default)]
+pub struct DataflowRecorder {
+    nodes: Vec<RecordedNode>,
+}
+
+impl DataflowRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        DataflowRecorder::default()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Records a host-to-device write of `writes` under `name`
+    /// (e.g. `host-upload`, or `host-init` for construction-time model
+    /// state).
+    pub fn record_upload(&mut self, name: &str, frame: Option<usize>, writes: IntervalSet) {
+        self.nodes.push(RecordedNode {
+            kind: NodeKind::HostUpload,
+            name: name.to_string(),
+            frame,
+            reads: IntervalSet::new(),
+            writes,
+            stats: None,
+        });
+    }
+
+    /// Records a device-to-host read of `reads` under `name`.
+    pub fn record_download(&mut self, name: &str, frame: Option<usize>, reads: IntervalSet) {
+        self.nodes.push(RecordedNode {
+            kind: NodeKind::HostDownload,
+            name: name.to_string(),
+            frame,
+            reads,
+            writes: IntervalSet::new(),
+            stats: None,
+        });
+    }
+
+    /// Records a kernel launch with its access summary and counters.
+    pub fn record_kernel(
+        &mut self,
+        name: &str,
+        frame: Option<usize>,
+        access: LaunchAccess,
+        stats: KernelStats,
+        occupancy: Occupancy,
+    ) {
+        self.nodes.push(RecordedNode {
+            kind: NodeKind::Kernel,
+            name: name.to_string(),
+            frame,
+            reads: access.reads,
+            writes: access.writes,
+            stats: Some(NodeStats { stats, occupancy }),
+        });
+    }
+
+    /// Stitches the recorded events into the dataflow graph.
+    ///
+    /// Ownership semantics: the most recent writer of a byte owns it; a
+    /// read attributes its bytes to the current owners (one edge per
+    /// producer), a write transfers ownership and classifies the evicted
+    /// bytes as dead when no consumer had read them. A kernel reads the
+    /// pre-launch snapshot, so within one node reads are processed
+    /// before writes.
+    pub fn finish(&self) -> DataflowGraph {
+        let n = self.nodes.len();
+        let mut owned: Vec<IntervalSet> = vec![IntervalSet::new(); n];
+        let mut consumed: Vec<IntervalSet> = vec![IntervalSet::new(); n];
+        let mut dead: Vec<IntervalSet> = vec![IntervalSet::new(); n];
+        let mut unattributed: Vec<u64> = vec![0; n];
+        let mut reread: Vec<u64> = vec![0; n];
+        let mut downloaded = IntervalSet::new();
+        let mut edges: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+
+        for j in 0..n {
+            let node = &self.nodes[j];
+            // Reads first: attribute each byte to its current owner.
+            if !node.reads.is_empty() {
+                let mut attributed = IntervalSet::new();
+                for o in 0..j {
+                    if owned[o].is_empty() {
+                        continue;
+                    }
+                    let hit = owned[o].intersect(&node.reads);
+                    if hit.is_empty() {
+                        continue;
+                    }
+                    *edges.entry((o, j)).or_insert(0) += hit.total_bytes();
+                    consumed[o].union_in_place(&hit);
+                    attributed.union_in_place(&hit);
+                }
+                unattributed[j] = node.reads.subtract(&attributed).total_bytes();
+                if node.kind == NodeKind::HostDownload {
+                    downloaded.union_in_place(&node.reads);
+                }
+            }
+            // Writes second: evict previous owners, classify dead bytes.
+            if !node.writes.is_empty() {
+                if node.kind == NodeKind::HostUpload {
+                    reread[j] = node.writes.intersect(&downloaded).total_bytes();
+                }
+                for o in 0..j {
+                    if owned[o].is_empty() {
+                        continue;
+                    }
+                    let evicted = owned[o].intersect(&node.writes);
+                    if evicted.is_empty() {
+                        continue;
+                    }
+                    let died = evicted.subtract(&consumed[o]);
+                    dead[o].union_in_place(&died);
+                    owned[o] = owned[o].subtract(&evicted);
+                }
+                owned[j] = node.writes.clone();
+            }
+        }
+
+        let nodes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| {
+                let stored = node.writes.total_bytes();
+                let dead_bytes = dead[i].total_bytes();
+                // Bytes consumed and still owned stay classified as
+                // consumed; live-at-exit is what remains untouched.
+                let live = owned[i].subtract(&consumed[i]).total_bytes();
+                DataflowNode {
+                    kind: node.kind,
+                    name: node.name.clone(),
+                    frame: node.frame,
+                    read_bytes: node.reads.total_bytes(),
+                    stored_bytes: stored,
+                    consumed_bytes: stored - dead_bytes - live,
+                    dead_store_bytes: dead_bytes,
+                    live_at_exit_bytes: live,
+                    unattributed_read_bytes: unattributed[i],
+                    reread_from_host_bytes: reread[i],
+                    stats: node.stats.clone(),
+                }
+            })
+            .collect();
+        let edges = edges
+            .into_iter()
+            .map(|((producer, consumer), bytes)| DataflowEdge {
+                producer,
+                consumer,
+                bytes,
+            })
+            .collect();
+        DataflowGraph {
+            nodes,
+            edges,
+            reread_from_host_bytes: reread.iter().sum(),
+        }
+    }
+}
+
+/// One node of the dataflow graph, with its byte-conservation
+/// partition: `stored_bytes == consumed_bytes + dead_store_bytes +
+/// live_at_exit_bytes`, integer-exactly.
+#[derive(Debug, Clone)]
+pub struct DataflowNode {
+    /// Event kind.
+    pub kind: NodeKind,
+    /// Kernel or transfer name (e.g. `mog-update`, `host-upload`).
+    pub name: String,
+    /// Frame index the event belongs to, when per-frame.
+    pub frame: Option<usize>,
+    /// Bytes this node read from device memory.
+    pub read_bytes: u64,
+    /// Bytes this node stored.
+    pub stored_bytes: u64,
+    /// Stored bytes read by a later node before being overwritten.
+    pub consumed_bytes: u64,
+    /// Stored bytes overwritten before any consumer read them.
+    pub dead_store_bytes: u64,
+    /// Stored bytes still owned and unconsumed when recording ended.
+    pub live_at_exit_bytes: u64,
+    /// Read bytes with no recorded producer (host state from before
+    /// recording began).
+    pub unattributed_read_bytes: u64,
+    /// Upload bytes that had previously been downloaded — a round trip
+    /// through the host that device-resident handoff would avoid.
+    pub reread_from_host_bytes: u64,
+    /// Launch counters, present on kernel nodes.
+    pub stats: Option<NodeStats>,
+}
+
+/// One producer→consumer edge: bytes stored by `producer` and read by
+/// `consumer` while still owned by the producer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct DataflowEdge {
+    /// Producing node index.
+    pub producer: usize,
+    /// Consuming node index.
+    pub consumer: usize,
+    /// Bytes flowing along the edge.
+    pub bytes: u64,
+}
+
+/// The stitched producer→consumer memory-flow graph of a recorded run.
+#[derive(Debug, Clone)]
+pub struct DataflowGraph {
+    /// Program-ordered nodes.
+    pub nodes: Vec<DataflowNode>,
+    /// Byte-carrying edges, ordered by (producer, consumer).
+    pub edges: Vec<DataflowEdge>,
+    /// Total bytes uploaded that had previously been downloaded.
+    pub reread_from_host_bytes: u64,
+}
+
+/// An adjacent-launch fusion opportunity: every `producer`-named launch
+/// immediately followed by a `consumer`-named launch, aggregated over
+/// the run, with the bytes that round-trip through DRAM between them.
+#[derive(Debug, Clone)]
+pub struct FusionCandidate {
+    /// Producing kernel name.
+    pub producer: String,
+    /// Consuming kernel name.
+    pub consumer: String,
+    /// Adjacent launch pairs aggregated.
+    pub pairs: usize,
+    /// Bytes stored by the producer and reloaded by the adjacent
+    /// consumer (summed over pairs).
+    pub edge_bytes: u64,
+    /// Unique bytes the producer launches stored.
+    pub producer_stored_bytes: u64,
+    /// Unique bytes the consumer launches read.
+    pub consumer_read_bytes: u64,
+    /// Producer counters summed over the aggregated launches.
+    pub producer_stats: KernelStats,
+    /// Producer occupancy (identical across launches of one kernel).
+    pub producer_occupancy: Occupancy,
+    /// Consumer counters summed over the aggregated launches.
+    pub consumer_stats: KernelStats,
+    /// Consumer occupancy.
+    pub consumer_occupancy: Occupancy,
+}
+
+impl DataflowGraph {
+    /// Aggregates adjacent kernel-launch pairs into fusion candidates.
+    ///
+    /// Only *consecutive* kernel launches qualify (a fused kernel
+    /// replaces two back-to-back launches); pairs of the same kernel
+    /// name are skipped (fusing a kernel with itself is a tiling
+    /// question, not a fusion one), as are pairs with no byte flow.
+    /// Candidates are returned ordered by edge bytes descending, then
+    /// by name for determinism.
+    pub fn fusion_candidates(&self) -> Vec<FusionCandidate> {
+        let kernel_ix: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].kind == NodeKind::Kernel)
+            .collect();
+        let edge_bytes: BTreeMap<(usize, usize), u64> = self
+            .edges
+            .iter()
+            .map(|e| ((e.producer, e.consumer), e.bytes))
+            .collect();
+        let mut agg: BTreeMap<(String, String), FusionCandidate> = BTreeMap::new();
+        for w in kernel_ix.windows(2) {
+            let (p, c) = (w[0], w[1]);
+            let (pn, cn) = (&self.nodes[p], &self.nodes[c]);
+            if pn.name == cn.name {
+                continue;
+            }
+            let bytes = edge_bytes.get(&(p, c)).copied().unwrap_or(0);
+            if bytes == 0 {
+                continue;
+            }
+            let (Some(ps), Some(cs)) = (&pn.stats, &cn.stats) else {
+                continue;
+            };
+            let key = (pn.name.clone(), cn.name.clone());
+            let cand = agg.entry(key).or_insert_with(|| FusionCandidate {
+                producer: pn.name.clone(),
+                consumer: cn.name.clone(),
+                pairs: 0,
+                edge_bytes: 0,
+                producer_stored_bytes: 0,
+                consumer_read_bytes: 0,
+                producer_stats: KernelStats::default(),
+                producer_occupancy: ps.occupancy,
+                consumer_stats: KernelStats::default(),
+                consumer_occupancy: cs.occupancy,
+            });
+            cand.pairs += 1;
+            cand.edge_bytes += bytes;
+            cand.producer_stored_bytes += pn.stored_bytes;
+            cand.consumer_read_bytes += cn.read_bytes;
+            cand.producer_stats.merge(&ps.stats);
+            cand.consumer_stats.merge(&cs.stats);
+        }
+        let mut out: Vec<FusionCandidate> = agg.into_values().collect();
+        out.sort_by(|a, b| {
+            b.edge_bytes
+                .cmp(&a.edge_bytes)
+                .then_with(|| a.producer.cmp(&b.producer))
+                .then_with(|| a.consumer.cmp(&b.consumer))
+        });
+        out
+    }
+
+    /// Renders the graph in Graphviz DOT, kernels as ellipses and host
+    /// transfers as boxes, edge labels carrying the flowing bytes.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph dataflow {\n  rankdir=LR;\n");
+        for (i, node) in self.nodes.iter().enumerate() {
+            let shape = match node.kind {
+                NodeKind::Kernel => "ellipse",
+                _ => "box",
+            };
+            let frame = node.frame.map(|f| format!(" f{f}")).unwrap_or_default();
+            let mut detail = format!("{} B stored", node.stored_bytes);
+            if node.dead_store_bytes > 0 {
+                detail.push_str(&format!(", {} B dead", node.dead_store_bytes));
+            }
+            out.push_str(&format!(
+                "  n{i} [label=\"{}{frame}\\n{detail}\" shape={shape}];\n",
+                node.name
+            ));
+        }
+        for e in &self.edges {
+            out.push_str(&format!(
+                "  n{} -> n{} [label=\"{} B\"];\n",
+                e.producer, e.consumer, e.bytes
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// The graph as a JSON value (serialize with
+    /// `to_string_canonical_pretty` for byte-stable output). Kernel
+    /// counters are omitted — they are launch-report detail, not graph
+    /// structure.
+    pub fn to_json(&self) -> serde_json::Value {
+        let nodes: Vec<serde_json::Value> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                serde_json::json!({
+                    "id": i,
+                    "kind": n.kind.as_str(),
+                    "name": n.name,
+                    "frame": n.frame,
+                    "read_bytes": n.read_bytes,
+                    "stored_bytes": n.stored_bytes,
+                    "consumed_bytes": n.consumed_bytes,
+                    "dead_store_bytes": n.dead_store_bytes,
+                    "live_at_exit_bytes": n.live_at_exit_bytes,
+                    "unattributed_read_bytes": n.unattributed_read_bytes,
+                    "reread_from_host_bytes": n.reread_from_host_bytes,
+                })
+            })
+            .collect();
+        let edges: Vec<serde_json::Value> = self
+            .edges
+            .iter()
+            .map(|e| {
+                serde_json::json!({
+                    "producer": e.producer,
+                    "consumer": e.consumer,
+                    "bytes": e.bytes,
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "nodes": nodes,
+            "edges": edges,
+            "reread_from_host_bytes": self.reread_from_host_bytes,
+        })
+    }
+
+    /// Prometheus text exposition of the graph: edge bytes aggregated by
+    /// producer/consumer kernel name, dead-store and re-read-from-host
+    /// bytes by node name.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut edge_by_name: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for e in &self.edges {
+            let key = (
+                self.nodes[e.producer].name.clone(),
+                self.nodes[e.consumer].name.clone(),
+            );
+            *edge_by_name.entry(key).or_insert(0) += e.bytes;
+        }
+        out.push_str(
+            "# HELP mogpu_dataflow_edge_bytes Bytes stored by the producer and \
+             reloaded by the consumer.\n# TYPE mogpu_dataflow_edge_bytes counter\n",
+        );
+        for ((p, c), bytes) in &edge_by_name {
+            out.push_str(&format!(
+                "mogpu_dataflow_edge_bytes{{producer=\"{p}\",consumer=\"{c}\"}} {bytes}\n"
+            ));
+        }
+        let mut dead_by_name: BTreeMap<String, u64> = BTreeMap::new();
+        for n in &self.nodes {
+            *dead_by_name.entry(n.name.clone()).or_insert(0) += n.dead_store_bytes;
+        }
+        out.push_str(
+            "# HELP mogpu_dataflow_dead_store_bytes Bytes stored but overwritten \
+             before any consumer read them.\n\
+             # TYPE mogpu_dataflow_dead_store_bytes counter\n",
+        );
+        for (name, bytes) in &dead_by_name {
+            out.push_str(&format!(
+                "mogpu_dataflow_dead_store_bytes{{node=\"{name}\"}} {bytes}\n"
+            ));
+        }
+        out.push_str(
+            "# HELP mogpu_dataflow_reread_from_host_bytes Uploaded bytes that had \
+             previously been downloaded (host round trip).\n\
+             # TYPE mogpu_dataflow_reread_from_host_bytes counter\n",
+        );
+        out.push_str(&format!(
+            "mogpu_dataflow_reread_from_host_bytes {}\n",
+            self.reread_from_host_bytes
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::Limiter;
+
+    fn occ() -> Occupancy {
+        Occupancy {
+            resident_blocks: 8,
+            resident_warps: 48,
+            resident_threads: 48 * 32,
+            occupancy: 1.0,
+            limiter: Limiter::Warps,
+        }
+    }
+
+    fn access(reads: &[(u64, u64)], writes: &[(u64, u64)]) -> LaunchAccess {
+        LaunchAccess {
+            reads: IntervalSet::from_runs(reads.to_vec()),
+            writes: IntervalSet::from_runs(writes.to_vec()),
+        }
+    }
+
+    #[test]
+    fn interval_set_normalizes_overlaps_and_adjacency() {
+        let s = IntervalSet::from_runs(vec![(10, 20), (15, 25), (25, 30), (40, 50)]);
+        assert_eq!(s.runs(), &[(10, 30), (40, 50)]);
+        assert_eq!(s.total_bytes(), 30);
+    }
+
+    #[test]
+    fn interval_set_ops_are_exact() {
+        let a = IntervalSet::from_runs(vec![(0, 100)]);
+        let b = IntervalSet::from_runs(vec![(10, 20), (50, 120)]);
+        assert_eq!(a.intersect(&b).runs(), &[(10, 20), (50, 100)]);
+        assert_eq!(a.subtract(&b).runs(), &[(0, 10), (20, 50)]);
+        let mut u = a.clone();
+        u.union_in_place(&b);
+        assert_eq!(u.runs(), &[(0, 120)]);
+        // Conservation of the partition: |a| = |a∩b| + |a−b|.
+        assert_eq!(
+            a.total_bytes(),
+            a.intersect(&b).total_bytes() + a.subtract(&b).total_bytes()
+        );
+    }
+
+    #[test]
+    fn collector_coalesces_contiguous_runs_and_cells() {
+        let mut c = IntervalCollector::default();
+        c.record_run(0, 8);
+        c.record_run(8, 16);
+        c.record_run(4, 12); // overlapping, inside the last run
+        assert_eq!(c.take_set().runs(), &[(0, 16)]);
+        c.record_cell(64, 0b0110_0101);
+        let s = c.take_set();
+        assert_eq!(s.runs(), &[(64, 65), (66, 67), (69, 71)]);
+    }
+
+    #[test]
+    fn graph_edges_attribute_bytes_to_the_owning_producer() {
+        let mut r = DataflowRecorder::new();
+        r.record_upload("host-upload", Some(0), IntervalSet::from_span(0, 100));
+        r.record_kernel(
+            "producer",
+            Some(0),
+            access(&[(0, 100)], &[(200, 300)]),
+            KernelStats::default(),
+            occ(),
+        );
+        r.record_kernel(
+            "consumer",
+            Some(0),
+            access(&[(200, 260)], &[(400, 410)]),
+            KernelStats::default(),
+            occ(),
+        );
+        r.record_download("host-download", Some(0), IntervalSet::from_span(400, 10));
+        let g = r.finish();
+        assert_eq!(g.nodes.len(), 4);
+        // upload→producer (100 B), producer→consumer (60 B),
+        // consumer→download (10 B).
+        assert_eq!(
+            g.edges,
+            vec![
+                DataflowEdge {
+                    producer: 0,
+                    consumer: 1,
+                    bytes: 100
+                },
+                DataflowEdge {
+                    producer: 1,
+                    consumer: 2,
+                    bytes: 60
+                },
+                DataflowEdge {
+                    producer: 2,
+                    consumer: 3,
+                    bytes: 10
+                },
+            ]
+        );
+        assert_eq!(g.nodes[1].consumed_bytes, 60);
+        assert_eq!(g.nodes[1].live_at_exit_bytes, 40);
+        assert_eq!(g.nodes[1].dead_store_bytes, 0);
+    }
+
+    #[test]
+    fn dead_stores_are_bytes_overwritten_before_consumption() {
+        let mut r = DataflowRecorder::new();
+        r.record_kernel(
+            "a",
+            Some(0),
+            access(&[], &[(0, 100)]),
+            KernelStats::default(),
+            occ(),
+        );
+        // b consumes half of a's bytes, then c overwrites all of them.
+        r.record_kernel(
+            "b",
+            Some(0),
+            access(&[(0, 50)], &[]),
+            KernelStats::default(),
+            occ(),
+        );
+        r.record_kernel(
+            "c",
+            Some(0),
+            access(&[], &[(0, 100)]),
+            KernelStats::default(),
+            occ(),
+        );
+        let g = r.finish();
+        let a = &g.nodes[0];
+        assert_eq!(a.stored_bytes, 100);
+        assert_eq!(a.consumed_bytes, 50);
+        assert_eq!(a.dead_store_bytes, 50);
+        assert_eq!(a.live_at_exit_bytes, 0);
+        // c's stores are never read: all live at exit.
+        assert_eq!(g.nodes[2].live_at_exit_bytes, 100);
+    }
+
+    /// The acceptance-criterion invariant: every node's stored bytes
+    /// partition exactly into consumed + dead + live-at-exit, and every
+    /// edge is bounded by its producer's stored bytes.
+    #[test]
+    fn byte_conservation_holds_on_a_multi_frame_pipeline() {
+        let mut r = DataflowRecorder::new();
+        r.record_upload("host-init", None, IntervalSet::from_span(1000, 640));
+        for f in 0..4 {
+            r.record_upload("host-upload", Some(f), IntervalSet::from_span(0, 64));
+            r.record_kernel(
+                "mog-update",
+                Some(f),
+                access(&[(0, 64), (1000, 1640)], &[(1000, 1640), (2000, 2064)]),
+                KernelStats::default(),
+                occ(),
+            );
+            r.record_kernel(
+                "morphology",
+                Some(f),
+                access(&[(2000, 2064)], &[(3000, 3064)]),
+                KernelStats::default(),
+                occ(),
+            );
+            r.record_download("host-download", Some(f), IntervalSet::from_span(3000, 64));
+        }
+        let g = r.finish();
+        for (i, n) in g.nodes.iter().enumerate() {
+            assert_eq!(
+                n.stored_bytes,
+                n.consumed_bytes + n.dead_store_bytes + n.live_at_exit_bytes,
+                "node {i} ({}) violates the stored-byte partition",
+                n.name
+            );
+        }
+        for e in &g.edges {
+            assert!(
+                e.bytes <= g.nodes[e.producer].stored_bytes,
+                "edge {}→{} carries more bytes than its producer stored",
+                e.producer,
+                e.consumer
+            );
+        }
+        // The mask round trip: each mog-update launch's 64 mask bytes are
+        // consumed by the adjacent morphology launch.
+        let cands = g.fusion_candidates();
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].producer, "mog-update");
+        assert_eq!(cands[0].consumer, "morphology");
+        assert_eq!(cands[0].pairs, 4);
+        assert_eq!(cands[0].edge_bytes, 4 * 64);
+    }
+
+    #[test]
+    fn reread_from_host_counts_download_then_upload_round_trips() {
+        let mut r = DataflowRecorder::new();
+        r.record_kernel(
+            "k",
+            Some(0),
+            access(&[], &[(0, 100)]),
+            KernelStats::default(),
+            occ(),
+        );
+        r.record_download("host-download", Some(0), IntervalSet::from_span(0, 100));
+        r.record_upload("host-upload", Some(1), IntervalSet::from_span(50, 100));
+        let g = r.finish();
+        assert_eq!(g.reread_from_host_bytes, 50);
+        assert_eq!(g.nodes[2].reread_from_host_bytes, 50);
+    }
+
+    #[test]
+    fn self_pairs_and_zero_byte_pairs_are_not_candidates() {
+        let mut r = DataflowRecorder::new();
+        // erode→dilate of the same logical stage share a name: skipped.
+        r.record_kernel(
+            "morphology",
+            Some(0),
+            access(&[], &[(0, 64)]),
+            KernelStats::default(),
+            occ(),
+        );
+        r.record_kernel(
+            "morphology",
+            Some(0),
+            access(&[(0, 64)], &[(100, 164)]),
+            KernelStats::default(),
+            occ(),
+        );
+        // A following kernel with no byte flow from the previous one.
+        r.record_kernel(
+            "other",
+            Some(0),
+            access(&[(5000, 5064)], &[(6000, 6064)]),
+            KernelStats::default(),
+            occ(),
+        );
+        assert!(r.finish().fusion_candidates().is_empty());
+    }
+
+    #[test]
+    fn exports_render_nodes_and_edges() {
+        let mut r = DataflowRecorder::new();
+        r.record_kernel(
+            "mog-update",
+            Some(0),
+            access(&[], &[(0, 64)]),
+            KernelStats::default(),
+            occ(),
+        );
+        r.record_kernel(
+            "morphology",
+            Some(0),
+            access(&[(0, 64)], &[(100, 164)]),
+            KernelStats::default(),
+            occ(),
+        );
+        let g = r.finish();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph dataflow {"));
+        assert!(dot.contains("n0 -> n1 [label=\"64 B\"]"));
+        let json = g.to_json();
+        let edges = json.get("edges").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(edges[0].get("bytes").and_then(|v| v.as_u64()), Some(64));
+        let nodes = json.get("nodes").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(
+            nodes[0].get("name").and_then(|v| v.as_str()),
+            Some("mog-update")
+        );
+        let prom = g.prometheus();
+        assert!(prom.contains(
+            "mogpu_dataflow_edge_bytes{producer=\"mog-update\",consumer=\"morphology\"} 64"
+        ));
+        assert!(prom.contains("# TYPE mogpu_dataflow_dead_store_bytes counter"));
+    }
+}

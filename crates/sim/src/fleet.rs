@@ -41,8 +41,8 @@
 
 use crate::config::GpuConfig;
 use crate::serving::{
-    header, push_histogram, push_sample, serving_report, EventKind, LatencyHistogram, ServingEvent,
-    ServingReport, ServingWindowConfig, SloConfig,
+    header, push_histogram, push_quantiles, push_sample, serving_report, EventKind,
+    LatencyHistogram, ServingEvent, ServingReport, ServingWindowConfig, SloConfig,
 };
 use crate::streams::{
     validate_stream_inputs, ScheduleError, StreamInput, StreamSchedule, StreamScheduler,
@@ -699,19 +699,53 @@ pub fn prometheus_fleet(report: &FleetReport, snapshot: usize) -> String {
     }
     header(
         &mut out,
+        "mogpu_pipeline_e2e_latency_quantile_seconds",
+        "gauge",
+        "Per-device end-to-end latency quantiles from the merged buckets (absent until a frame completes).",
+    );
+    for (d, snap) in report.devices.iter().zip(&snaps) {
+        let Some(snap) = snap else { continue };
+        let mut merged = LatencyHistogram::new();
+        for s in &snap.streams {
+            merged.merge(&s.e2e_latency);
+        }
+        push_quantiles(
+            &mut out,
+            "mogpu_pipeline_e2e_latency_quantile_seconds",
+            &[("device", d.label.clone())],
+            &merged,
+        );
+    }
+    header(
+        &mut out,
         "mogpu_fleet_e2e_latency_seconds",
         "histogram",
         "End-to-end latency across the whole fleet (all devices merged).",
     );
-    {
-        let mut merged = LatencyHistogram::new();
-        for snap in snaps.iter().flatten() {
-            for s in &snap.streams {
-                merged.merge(&s.e2e_latency);
-            }
+    let mut fleet_merged = LatencyHistogram::new();
+    for snap in snaps.iter().flatten() {
+        for s in &snap.streams {
+            fleet_merged.merge(&s.e2e_latency);
         }
-        push_histogram(&mut out, "mogpu_fleet_e2e_latency_seconds", &[], &merged);
     }
+    push_histogram(
+        &mut out,
+        "mogpu_fleet_e2e_latency_seconds",
+        &[],
+        &fleet_merged,
+    );
+    header(
+        &mut out,
+        "mogpu_fleet_e2e_latency_quantile_seconds",
+        "gauge",
+        "Fleet-wide end-to-end latency quantiles from the merged buckets (absent until a frame completes).",
+    );
+    push_quantiles(
+        &mut out,
+        "mogpu_fleet_e2e_latency_quantile_seconds",
+        &[],
+        &fleet_merged,
+    );
 
     header(
         &mut out,
@@ -1255,6 +1289,41 @@ mod tests {
                     .sum::<u64>())
                 .sum::<u64>()
         );
+    }
+
+    /// Satellite: a fleet that sheds *every* stream serves no frames, so
+    /// every latency histogram is empty and every quantile-derived gauge
+    /// must be skipped — the exposition must contain no `NaN` sentinel
+    /// and every sample line must parse.
+    #[test]
+    fn all_shed_fleet_exposition_parses_without_nan_quantiles() {
+        let (spec, _) = three_class_spec();
+        let spec = spec.with_budget(1 << 20); // 1 MiB: below every demand
+        let streams: Vec<FleetStream> = (0..4)
+            .map(|_| live(1e-3, 1.0 / 30.0, 4, 8 << 20, 3))
+            .collect();
+        let report = fleet_report(&spec, &streams, &FleetOptions::default()).unwrap();
+        assert_eq!(report.shed.len(), 4, "every stream sheds");
+        assert_eq!(report.e2e_latency.count, 0);
+        let text = prometheus_fleet(&report, usize::MAX);
+        assert!(
+            !text.contains("NaN"),
+            "empty histograms must skip quantiles"
+        );
+        assert!(
+            text.contains("# TYPE mogpu_fleet_e2e_latency_quantile_seconds gauge"),
+            "family header survives the skip"
+        );
+        assert!(!text
+            .lines()
+            .any(|l| !l.starts_with('#') && l.contains("_quantile_seconds")));
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf",
+                "unscrapeable sample line: {line}"
+            );
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! (`if ctx.global_thread_id() >= n { return; }`).
 
 use crate::config::GpuConfig;
+use crate::dataflow::{IntervalCollector, IntervalSet, LaunchAccess};
 use crate::memory::{Buffer, DeviceMemory, InitMask};
 use crate::occupancy::{occupancy, Occupancy};
 use crate::profile::SiteProfile;
@@ -111,6 +112,11 @@ pub struct LaunchOptions {
     /// out-of-bounds accesses are recorded and absorbed instead of
     /// panicking.
     pub sanitize: bool,
+    /// Capture the launch's global-memory byte-interval read/write sets
+    /// and attach a [`LaunchAccess`] to the report (see
+    /// [`crate::dataflow`]). Off by default; purely observational — the
+    /// functional results and counters are bit-identical either way.
+    pub dataflow: bool,
 }
 
 /// Everything a launch produces: the profiler counters, the occupancy, and
@@ -129,6 +135,9 @@ pub struct LaunchReport {
     /// Sanitizer findings, present when [`LaunchOptions::sanitize`] was
     /// set (empty report = clean launch).
     pub sanitizer: Option<SanReport>,
+    /// Global-memory access summary, present when
+    /// [`LaunchOptions::dataflow`] was set.
+    pub access: Option<LaunchAccess>,
 }
 
 /// Byte-granular read-your-writes overlay for one block's global stores.
@@ -332,6 +341,7 @@ struct BlockScratch {
     shared: Vec<u8>,
     local: Vec<f64>,
     acc: WarpAccumulator,
+    reads: IntervalCollector,
 }
 
 thread_local! {
@@ -392,6 +402,7 @@ pub struct ThreadCtx<'a> {
     local: &'a mut [f64],
     acc: &'a mut WarpAccumulator,
     san: Option<&'a mut BlockSan>,
+    reads: Option<&'a mut IntervalCollector>,
 }
 
 impl ThreadCtx<'_> {
@@ -548,6 +559,30 @@ impl ThreadCtx<'_> {
         self.writes.load(self.snapshot, addr, width)
     }
 
+    /// Dataflow hook for a bounds-valid global load: records the byte
+    /// runs this block reads from *outside* its own stores — exactly
+    /// the launch's RAW demand on earlier producers. Bytes the block
+    /// already stored are read-your-writes, not cross-launch flow.
+    #[inline]
+    fn record_external_read(&mut self, addr: u64, width: usize) {
+        let Some(reads) = self.reads.as_deref_mut() else {
+            return;
+        };
+        let mut start = None;
+        for a in addr..addr + width as u64 {
+            if self.writes.is_written(a) {
+                if let Some(s) = start.take() {
+                    reads.record_run(s, a);
+                }
+            } else if start.is_none() {
+                start = Some(a);
+            }
+        }
+        if let Some(s) = start {
+            reads.record_run(s, addr + width as u64);
+        }
+    }
+
     /// Loads an `f64` from global memory at element index `idx` of `buf`.
     #[track_caller]
     #[inline]
@@ -558,6 +593,7 @@ impl ThreadCtx<'_> {
         let loc = Location::caller();
         self.acc.record_mem(loc, Space::Global, false, addr, 8);
         self.check_global_init(loc, buf, addr, 8);
+        self.record_external_read(addr, 8);
         f64::from_le_bytes(self.read_bytes(addr, 8).to_le_bytes())
     }
 
@@ -583,6 +619,7 @@ impl ThreadCtx<'_> {
         let loc = Location::caller();
         self.acc.record_mem(loc, Space::Global, false, addr, 4);
         self.check_global_init(loc, buf, addr, 4);
+        self.record_external_read(addr, 4);
         f32::from_le_bytes((self.read_bytes(addr, 4) as u32).to_le_bytes())
     }
 
@@ -608,6 +645,7 @@ impl ThreadCtx<'_> {
         let loc = Location::caller();
         self.acc.record_mem(loc, Space::Global, false, addr, 1);
         self.check_global_init(loc, buf, addr, 1);
+        self.record_external_read(addr, 1);
         self.read_bytes(addr, 1) as u8
     }
 
@@ -968,6 +1006,7 @@ fn launch_prepared(
         KernelStats,
         Option<SiteProfile>,
         Option<SanReport>,
+        Option<IntervalSet>,
     );
     let results: Vec<BlockResult> = (0..lc.blocks)
         .into_par_iter()
@@ -977,9 +1016,13 @@ fn launch_prepared(
                 shared,
                 local,
                 acc,
+                reads,
             } = &mut scratch.0;
             shared.clear();
             shared.resize(res.shared_bytes_per_block, 0);
+            if opts.dataflow {
+                reads.clear();
+            }
             acc.set_profiling(opts.profile_sites);
             let mut stats = KernelStats::default();
             let mut san = opts
@@ -1026,6 +1069,11 @@ fn launch_prepared(
                         local: local.as_mut_slice(),
                         acc: &mut *acc,
                         san: san.as_mut(),
+                        reads: if opts.dataflow {
+                            Some(&mut *reads)
+                        } else {
+                            None
+                        },
                     };
                     kernel.run(&mut ctx);
                 }
@@ -1034,11 +1082,13 @@ fn launch_prepared(
             }
             stats.blocks = 1;
             let sites = acc.take_site_profile();
+            let block_reads = opts.dataflow.then(|| reads.take_set());
             (
                 writes.take_cells(),
                 stats,
                 sites,
                 san.map(BlockSan::into_report),
+                block_reads,
             )
         })
         .collect();
@@ -1046,7 +1096,7 @@ fn launch_prepared(
     let mut stats = KernelStats::default();
     let mut sites = opts.profile_sites.then(SiteProfile::new);
     let mut sanitizer = opts.sanitize.then(SanReport::new);
-    for (_, s, block_sites, block_san) in &results {
+    for (_, s, block_sites, block_san, _) in &results {
         stats.merge(s);
         if let (Some(total), Some(block)) = (&mut sites, block_sites) {
             total.merge(block);
@@ -1058,8 +1108,20 @@ fn launch_prepared(
     // Publish in block order: byte-granular cells are disjoint within a
     // block, and cross-block collisions resolve last-block-wins,
     // deterministically. Emptied cell vectors go back to the pool for
-    // the next block's `take_cells`.
-    for (mut cells, _, _, _) in results {
+    // the next block's `take_cells`. The dataflow write set is read off
+    // the same cells, so it is exactly the published bytes.
+    let mut access_cols = opts
+        .dataflow
+        .then(|| (IntervalCollector::default(), IntervalCollector::default()));
+    for (mut cells, _, _, _, block_reads) in results {
+        if let Some((rcol, wcol)) = access_cols.as_mut() {
+            if let Some(r) = &block_reads {
+                rcol.extend_set(r);
+            }
+            for &(base, cell) in &cells {
+                wcol.record_cell(base, cell.mask);
+            }
+        }
         for &(base, cell) in &cells {
             mem.apply_masked(base, cell.mask, cell.bytes);
         }
@@ -1071,6 +1133,10 @@ fn launch_prepared(
             }
         });
     }
+    let access = access_cols.map(|(mut rcol, mut wcol)| LaunchAccess {
+        reads: rcol.take_set(),
+        writes: wcol.take_set(),
+    });
 
     let timing = kernel_time(&stats, &occ, cfg);
     LaunchReport {
@@ -1079,6 +1145,7 @@ fn launch_prepared(
         timing,
         sites,
         sanitizer,
+        access,
     }
 }
 
@@ -1650,6 +1717,51 @@ mod tests {
         assert!(report.sanitizer.as_ref().unwrap().is_clean());
         assert_eq!(report.stats, plain.stats);
         assert_eq!(mem2.download(output2), plain_out);
+    }
+
+    /// Dataflow capture is purely observational: counters and functional
+    /// output are bit-identical to a plain launch, and the attached
+    /// access summary is the exact byte span of the kernel's external
+    /// loads and published stores.
+    #[test]
+    fn dataflow_capture_is_exact_and_transparent() {
+        let n = 1000;
+        let (mut mem, input, output) = setup(n);
+        let k = DoubleKernel { input, output, n };
+        let cfg = GpuConfig::default();
+        let plain = launch(&mut mem, &cfg, LaunchConfig::cover(n, 128), &k).unwrap();
+        let plain_out = mem.download(output);
+        assert!(plain.access.is_none(), "plain launches attach no summary");
+
+        let (mut mem2, input2, output2) = setup(n);
+        let k2 = DoubleKernel {
+            input: input2,
+            output: output2,
+            n,
+        };
+        let report = launch_with(
+            &mut mem2,
+            &cfg,
+            LaunchConfig::cover(n, 128),
+            &k2,
+            LaunchOptions {
+                dataflow: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.stats, plain.stats);
+        assert_eq!(mem2.download(output2), plain_out);
+        let access = report.access.expect("dataflow was requested");
+        let bytes = (8 * n) as u64;
+        assert_eq!(
+            access.reads.runs(),
+            &[(input2.addr(), input2.addr() + bytes)]
+        );
+        assert_eq!(
+            access.writes.runs(),
+            &[(output2.addr(), output2.addr() + bytes)]
+        );
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod cache;
 pub mod chrome_trace;
 pub mod config;
 pub mod cpu;
+pub mod dataflow;
 pub mod dma;
 pub mod fleet;
 pub mod kernel;
@@ -79,6 +80,10 @@ pub mod warp_reference;
 
 pub use advisor::{advise, roofline, AdvisorInput, Advisory, Evidence, Roofline, Transform};
 pub use config::{CpuConfig, GpuConfig};
+pub use dataflow::{
+    DataflowEdge, DataflowGraph, DataflowNode, DataflowRecorder, FusionCandidate, IntervalSet,
+    LaunchAccess, NodeKind, NodeStats,
+};
 pub use fleet::{
     advise_fleet, fleet_report, plan_fleet, prometheus_fleet, FleetAdvisory, FleetClass,
     FleetDevice, FleetDeviceReport, FleetOptions, FleetPlan, FleetReport, FleetSpec, FleetStream,

@@ -398,6 +398,62 @@ pub fn events_jsonl(events: &[ServingEvent]) -> String {
     out
 }
 
+/// Streams [`ServingEvent`]s to a JSONL file through a [`BufWriter`]
+/// instead of materializing the whole run's event string in memory for
+/// one `std::fs::write` at the end.
+///
+/// Lines are buffered, so a single `write_event` is one formatted line
+/// plus an amortized syscall; the writer flushes on [`Drop`], so a run
+/// that terminates early (an error propagated past the writer) still
+/// leaves a complete, parseable file containing every event recorded
+/// before the termination point.
+///
+/// [`BufWriter`]: std::io::BufWriter
+#[derive(Debug)]
+pub struct EventLogWriter {
+    out: std::io::BufWriter<std::fs::File>,
+}
+
+impl EventLogWriter {
+    /// Creates (or truncates) `path` behind a buffered writer.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(EventLogWriter {
+            out: std::io::BufWriter::new(std::fs::File::create(path)?),
+        })
+    }
+
+    /// Appends one event as one canonical-JSON line.
+    pub fn write_event(&mut self, event: &ServingEvent) -> std::io::Result<()> {
+        use std::io::Write;
+        let line = serde_json::to_string_canonical(event).expect("serializable event");
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")
+    }
+
+    /// Appends a batch of events, one line each.
+    pub fn write_events(&mut self, events: &[ServingEvent]) -> std::io::Result<()> {
+        for e in events {
+            self.write_event(e)?;
+        }
+        Ok(())
+    }
+
+    /// Forces buffered lines to the file (also happens on drop).
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        use std::io::Write;
+        self.out.flush()
+    }
+}
+
+impl Drop for EventLogWriter {
+    fn drop(&mut self) {
+        // BufWriter flushes on drop too, but only best-effort inside its
+        // own Drop; doing it here keeps the guarantee local to this type
+        // (and documented) rather than inherited.
+        let _ = self.flush();
+    }
+}
+
 // ---- per-stream accounting, snapshots, and the report ----
 
 /// Exact latency percentiles (nearest-rank over the true samples, not
@@ -830,6 +886,27 @@ pub(crate) fn header(out: &mut String, name: &str, kind: &str, help: &str) {
     out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
 }
 
+/// Emits `quantile`-labelled gauges reconstructed from the histogram
+/// buckets — and emits *nothing* when the histogram is empty:
+/// [`LatencyHistogram::quantile`] returns its `NaN` sentinel there, and
+/// `NaN` is a parse error to most Prometheus scrapers, so an all-shed
+/// device must drop the family rather than expose the sentinel.
+pub(crate) fn push_quantiles(
+    out: &mut String,
+    name: &str,
+    base_labels: &[(&str, String)],
+    h: &LatencyHistogram,
+) {
+    if h.count == 0 {
+        return;
+    }
+    for q in [0.5, 0.95, 0.99] {
+        let mut labels = base_labels.to_vec();
+        labels.push(("quantile", format!("{q}")));
+        push_sample(out, name, &labels, h.quantile(q));
+    }
+}
+
 /// Renders the serving metrics of one snapshot (by index into
 /// `report.snapshots`; clamped to the last) in the Prometheus text
 /// exposition format. Histogram families are proper `histogram` types
@@ -894,18 +971,28 @@ pub fn prometheus_serving(report: &ServingReport, snapshot: usize) -> String {
         "histogram",
         "End-to-end latency across all streams of the device (merged histogram).",
     );
-    {
-        let mut merged = LatencyHistogram::new();
-        for s in &snap.streams {
-            merged.merge(&s.e2e_latency);
-        }
-        push_histogram(
-            &mut out,
-            "mogpu_pipeline_e2e_latency_seconds",
-            &[dev()],
-            &merged,
-        );
+    let mut merged = LatencyHistogram::new();
+    for s in &snap.streams {
+        merged.merge(&s.e2e_latency);
     }
+    push_histogram(
+        &mut out,
+        "mogpu_pipeline_e2e_latency_seconds",
+        &[dev()],
+        &merged,
+    );
+    header(
+        &mut out,
+        "mogpu_pipeline_e2e_latency_quantile_seconds",
+        "gauge",
+        "End-to-end latency quantiles reconstructed from the merged buckets (absent until a frame completes).",
+    );
+    push_quantiles(
+        &mut out,
+        "mogpu_pipeline_e2e_latency_quantile_seconds",
+        &[dev()],
+        &merged,
+    );
 
     header(
         &mut out,
@@ -1287,6 +1374,88 @@ mod tests {
             None,
         );
         assert_eq!(empty.snapshots.len(), 1);
+    }
+
+    /// Satellite: the buffered event-log writer must leave a complete,
+    /// parseable JSONL file even when the run terminates early — the
+    /// writer is dropped mid-run without an explicit flush and the file
+    /// must still hold every line written before the termination point.
+    #[test]
+    fn event_log_writer_leaves_a_complete_file_when_dropped_early() {
+        let (sched, periods) = schedule_of(2, 4, 1.0 / 30.0);
+        let r = serving_report(
+            &sched,
+            &periods,
+            "d",
+            "s",
+            &SloConfig::default(),
+            &ServingWindowConfig::default(),
+            None,
+        );
+        assert!(r.events.len() >= 8, "schedule produces a real event stream");
+        let path = std::env::temp_dir().join(format!(
+            "mogpu-eventlog-early-drop-{}.jsonl",
+            std::process::id()
+        ));
+        {
+            let mut w = EventLogWriter::create(&path).unwrap();
+            w.write_events(&r.events).unwrap();
+            // Simulated early termination: drop without flush.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        // Byte-identical to the in-memory rendering, and every line
+        // round-trips back into a ServingEvent.
+        assert_eq!(text, events_jsonl(&r.events));
+        let parsed: Vec<ServingEvent> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("parseable line"))
+            .collect();
+        assert_eq!(parsed, r.events);
+    }
+
+    /// Satellite: quantile-derived gauges follow the histogram when it
+    /// has data and are skipped entirely — family header only, no `NaN`
+    /// sentinel samples — when it is empty.
+    #[test]
+    fn quantile_gauges_track_the_histogram_and_are_skipped_when_empty() {
+        let (sched, periods) = schedule_of(2, 6, 0.0);
+        let r = serving_report(
+            &sched,
+            &periods,
+            "d",
+            "s",
+            &SloConfig::default(),
+            &ServingWindowConfig::default(),
+            None,
+        );
+        let text = prometheus_serving(&r, usize::MAX);
+        assert!(text.contains("# TYPE mogpu_pipeline_e2e_latency_quantile_seconds gauge"));
+        let mut merged = LatencyHistogram::new();
+        for s in &r.snapshots.last().unwrap().streams {
+            merged.merge(&s.e2e_latency);
+        }
+        for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+            let needle = format!(
+                "mogpu_pipeline_e2e_latency_quantile_seconds{{device=\"d\",quantile=\"{label}\"}}"
+            );
+            let line = text
+                .lines()
+                .find(|l| l.starts_with(&needle))
+                .unwrap_or_else(|| panic!("missing {needle}"));
+            let v: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v.is_finite());
+            assert_eq!(v, merged.quantile(q));
+        }
+        // Empty histogram: the family header stays, the samples go.
+        let mut empty = r.clone();
+        empty.snapshots.clear();
+        let text = prometheus_serving(&empty, 0);
+        assert!(text.contains("# TYPE mogpu_pipeline_e2e_latency_quantile_seconds gauge"));
+        assert!(
+            !text.contains("mogpu_pipeline_e2e_latency_quantile_seconds{"),
+            "empty histogram must not expose the NaN sentinel"
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("advise") => cmd_advise(&args[1..]),
+        Some("dataflow") => cmd_dataflow(&args[1..]),
         Some("streams") => cmd_streams(&args[1..]),
         Some("fleet") => cmd_fleet(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
@@ -53,6 +54,7 @@ COMMANDS:
     run       Background-subtract a Y4M clip (or a synthetic scene)
     profile   Hotspot table, roofline bounds, bottleneck classification
     advise    Ranked optimization advisories from stall/roofline analysis
+    dataflow  Cross-kernel memory-flow graph: who produces what, who reads it
     streams   Serve N camera streams from one device, CUDA-streams style
     fleet     Shard N streams across M heterogeneous simulated devices
     serve     Replay a serving report on a Prometheus scrape endpoint
@@ -102,6 +104,21 @@ USAGE:
         --json document), instead replays the fleet dispatcher with one
         extra device of each class and prints which device class to add
         next, ranked by the whole-run streams-at-SLO it would buy.
+
+    mogpu dataflow [--level L] [--frames N] [--k K] [--float] [--json]
+                   [--dot-out FILE.dot] [--metrics-out FILE.prom]
+        Trace every global-memory access of a profiled synthetic run
+        (MoG update followed by the morphology open) and stitch the
+        per-launch read/write sets into a producer->consumer dataflow
+        graph: nodes are launches, edges carry the bytes stored by one
+        launch and loaded by the next, and every node accounts for its
+        stores exactly (consumed + dead + live-at-exit). Prints
+        Graphviz DOT to stdout by default; --json emits the canonical
+        JSON document (byte-stable across runs), --dot-out/--metrics-out
+        write the DOT and Prometheus counter forms to files. The same
+        graph feeds `mogpu advise`, where the fat MoG->morphology edge
+        surfaces as a kernel-fusion advisory once the per-kernel ladder
+        is exhausted. Default: level F, 16 frames, K=3, double.
 
     mogpu streams [--streams N] [--frames M] [--level L] [--k K] [--float]
                   [--buffers B] [--fps R] [--json] [--slo-ms D]
@@ -375,11 +392,12 @@ fn cmd_ladder(args: &[String]) -> Result<(), String> {
         );
     }
     let mut profiles: Vec<ProfileReport> = Vec::new();
+    let mut graphs: Vec<Option<mogpu::sim::DataflowGraph>> = Vec::new();
     for level in OptLevel::LADDER
         .into_iter()
         .chain([OptLevel::Windowed { group: 8 }])
     {
-        let (report, prof) = if use_f32 {
+        let (report, prof, graph) = if use_f32 {
             run_level_profiled::<f32>(level, k, &frames, profile)?
         } else {
             run_level_profiled::<f64>(level, k, &frames, profile)?
@@ -399,6 +417,9 @@ fn cmd_ladder(args: &[String]) -> Result<(), String> {
                 bottleneck,
             );
         }
+        if prof.is_some() {
+            graphs.push(graph);
+        }
         profiles.extend(prof);
     }
     if json {
@@ -407,7 +428,7 @@ fn cmd_ladder(args: &[String]) -> Result<(), String> {
             mogpu::json::to_string_pretty(&profiles).map_err(|e| e.to_string())?
         );
     }
-    obs.write(&profiles)?;
+    obs.write_traced(&profiles, &graphs)?;
     Ok(())
 }
 
@@ -416,7 +437,14 @@ fn run_level_profiled<T: mogpu::core::DeviceReal>(
     k: usize,
     frames: &[Frame<u8>],
     profile: bool,
-) -> Result<(RunReport, Option<ProfileReport>), String> {
+) -> Result<
+    (
+        RunReport,
+        Option<ProfileReport>,
+        Option<mogpu::sim::DataflowGraph>,
+    ),
+    String,
+> {
     let mut gpu = GpuMog::<T>::new(
         frames[0].resolution(),
         MogParams::new(k),
@@ -427,9 +455,13 @@ fn run_level_profiled<T: mogpu::core::DeviceReal>(
     .map_err(|e| e.to_string())?;
     if profile {
         gpu.set_profile_mode(ProfileMode::On);
+        // Recording is transparent (bit-identical masks and counters);
+        // the graph feeds the Chrome-trace flow arrows.
+        gpu.enable_dataflow();
     }
     let run = gpu.process_all(&frames[1..]).map_err(|e| e.to_string())?;
-    Ok((run, gpu.take_profile_report()))
+    let graph = gpu.dataflow_graph();
+    Ok((run, gpu.take_profile_report(), graph))
 }
 
 /// Observability flags shared by demo / ladder / run / profile / streams.
@@ -460,6 +492,16 @@ impl ObsFlags {
 
     /// Writes the requested outputs from the collected reports.
     fn write(&self, reports: &[ProfileReport]) -> Result<(), String> {
+        self.write_traced(reports, &[])
+    }
+
+    /// Like [`ObsFlags::write`], with a per-report dataflow graph whose
+    /// cross-launch edges become Chrome-trace flow arrows.
+    fn write_traced(
+        &self,
+        reports: &[ProfileReport],
+        graphs: &[Option<mogpu::sim::DataflowGraph>],
+    ) -> Result<(), String> {
         if let Some(path) = &self.report_out {
             let json = if reports.len() == 1 {
                 mogpu::json::to_string_pretty(&reports[0]).map_err(|e| e.to_string())?
@@ -471,11 +513,14 @@ impl ObsFlags {
         }
         if let Some(path) = &self.trace_out {
             let mut builder = mogpu::sim::chrome_trace::TraceBuilder::new();
-            for report in reports {
+            for (i, report) in reports.iter().enumerate() {
                 let pid =
                     builder.add_pipeline(&format!("level {}", report.level), &report.schedule);
                 builder.add_counters(pid, &report.telemetry);
                 builder.add_stall_counters(pid, &report.telemetry, &report.stalls);
+                if let Some(Some(graph)) = graphs.get(i) {
+                    builder.add_dataflow_flows(pid, &report.schedule, graph);
+                }
             }
             let json =
                 mogpu::json::to_string_pretty(&builder.finish()).map_err(|e| e.to_string())?;
@@ -548,13 +593,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     };
     let res = frames[0].resolution();
 
-    let (report, prof) = if use_f32 {
+    let (report, prof, graph) = if use_f32 {
         run_level_profiled::<f32>(level, k, &frames, obs.wanted())?
     } else {
         run_level_profiled::<f64>(level, k, &frames, obs.wanted())?
     };
     if let Some(profile) = prof {
-        obs.write(&[profile])?;
+        obs.write_traced(&[profile], &[graph])?;
     }
 
     println!("level {} results:", level.name());
@@ -617,14 +662,14 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
             .into_frames(),
     };
 
-    let (_, prof) = if use_f32 {
+    let (_, prof, graph) = if use_f32 {
         run_level_profiled::<f32>(level, k, &frames, true)?
     } else {
         run_level_profiled::<f64>(level, k, &frames, true)?
     };
     let profile = prof.expect("profiling was enabled");
     print!("{}", profile.text(top));
-    obs.write(&[profile])?;
+    obs.write_traced(&[profile], &[graph])?;
     Ok(())
 }
 
@@ -841,8 +886,98 @@ fn advise_run<T: mogpu::core::DeviceReal>(
         gpu.set_threads_per_block(t);
     }
     gpu.set_profile_mode(ProfileMode::On);
+    // Record the cross-kernel dataflow graph alongside the profile so
+    // the advisor can see producer->consumer byte overlap. Morphology
+    // gives the MoG kernel a downstream consumer, as in the paper's
+    // full pipeline; per-kernel metrics are unaffected.
+    gpu.enable_dataflow();
+    gpu.enable_morphology()?;
     gpu.process_all(&frames[1..])?;
     Ok(gpu.take_profile_report().expect("profiling was enabled"))
+}
+
+fn cmd_dataflow(args: &[String]) -> Result<(), String> {
+    // New command, strict surface: reject anything unrecognized instead
+    // of silently ignoring a typo'd flag.
+    let valued = ["--level", "--frames", "--k", "--dot-out", "--metrics-out"];
+    let bare = ["--float", "--json"];
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if valued.contains(&a) {
+            if args.get(i + 1).is_none() {
+                return Err(format!("{a} needs a value"));
+            }
+            i += 2;
+        } else if bare.contains(&a) {
+            i += 1;
+        } else {
+            return Err(format!("unknown dataflow option {a:?}; try `mogpu help`"));
+        }
+    }
+
+    let level = parse_level(&opt_value(args, "--level").unwrap_or_else(|| "F".into()))?;
+    let n_frames: usize = opt_value(args, "--frames")
+        .map(|v| v.parse().unwrap_or(16))
+        .unwrap_or(16)
+        .max(2);
+    let k: usize = opt_value(args, "--k")
+        .map(|v| v.parse().unwrap_or(3))
+        .unwrap_or(3);
+    let use_f32 = opt_flag(args, "--float");
+    let json = opt_flag(args, "--json");
+    let dot_out = opt_value(args, "--dot-out").map(PathBuf::from);
+    let metrics_out = opt_value(args, "--metrics-out").map(PathBuf::from);
+
+    let frames = SceneBuilder::new(Resolution::QQVGA)
+        .seed(7)
+        .walkers(3)
+        .build()
+        .render_sequence(n_frames)
+        .0
+        .into_frames();
+    let graph = if use_f32 {
+        dataflow_run::<f32>(level, k, &frames)
+    } else {
+        dataflow_run::<f64>(level, k, &frames)
+    }
+    .map_err(|e| e.to_string())?;
+
+    if let Some(path) = &dot_out {
+        std::fs::write(path, graph.to_dot()).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("wrote dataflow DOT to {}", path.display());
+    }
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, graph.prometheus()).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("wrote dataflow Prometheus counters to {}", path.display());
+    }
+    if json {
+        println!(
+            "{}",
+            mogpu::json::to_string_canonical_pretty(&graph.to_json()).map_err(|e| e.to_string())?
+        );
+    } else if dot_out.is_none() {
+        print!("{}", graph.to_dot());
+    }
+    Ok(())
+}
+
+fn dataflow_run<T: mogpu::core::DeviceReal>(
+    level: OptLevel,
+    k: usize,
+    frames: &[Frame<u8>],
+) -> Result<mogpu::sim::DataflowGraph, mogpu::core::PipelineError> {
+    let mut gpu = GpuMog::<T>::new(
+        frames[0].resolution(),
+        MogParams::new(k),
+        level,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )?;
+    gpu.enable_dataflow();
+    gpu.enable_morphology()?;
+    gpu.process_all(&frames[1..])?;
+    Ok(gpu.dataflow_graph().expect("dataflow was enabled"))
 }
 
 fn cmd_streams(args: &[String]) -> Result<(), String> {
@@ -972,8 +1107,12 @@ fn cmd_streams(args: &[String]) -> Result<(), String> {
     }
 
     if let Some(path) = &events_out {
-        let text = mogpu::sim::serving::events_jsonl(&report.serving.events);
-        std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut writer = mogpu::sim::serving::EventLogWriter::create(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        writer
+            .write_events(&report.serving.events)
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("{}: {e}", path.display()))?;
         println!(
             "wrote {} serving events to {}",
             report.serving.events.len(),
@@ -1267,8 +1406,12 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
 
     if let Some(path) = &events_out {
         let events = report.all_events();
-        let text = mogpu::sim::serving::events_jsonl(&events);
-        std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut writer = mogpu::sim::serving::EventLogWriter::create(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        writer
+            .write_events(&events)
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("{}: {e}", path.display()))?;
         println!(
             "wrote {} serving events to {}",
             events.len(),
@@ -1410,7 +1553,7 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
         .render_sequence(n_frames)
         .0
         .into_frames();
-    let (_, prof) = if use_f32 {
+    let (_, prof, _) = if use_f32 {
         run_level_profiled::<f32>(level, k, &frames, true)?
     } else {
         run_level_profiled::<f64>(level, k, &frames, true)?

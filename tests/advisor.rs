@@ -178,6 +178,7 @@ fn run_rules(stats: &KernelStats, o: &Occupancy, overlap: OverlapMode) -> Vec<Ad
         stalls: &stalls,
         roofline: &roof,
         hotspots: &[],
+        dataflow: &[],
         overlap,
         h2d_per_frame: 1e-4,
         d2h_per_frame: 1e-4,

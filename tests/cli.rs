@@ -27,8 +27,8 @@ fn no_args_prints_help_listing_every_subcommand() {
     assert!(out.status.success(), "no-arg invocation must exit 0");
     let help = stdout(&out);
     for cmd in [
-        "info", "demo", "ladder", "run", "profile", "advise", "streams", "fleet", "serve", "check",
-        "metrics", "bench", "help",
+        "info", "demo", "ladder", "run", "profile", "advise", "dataflow", "streams", "fleet",
+        "serve", "check", "metrics", "bench", "help",
     ] {
         assert!(
             help.contains(&format!("\n    {cmd} ")),
@@ -115,6 +115,57 @@ fn advise_exits_zero_with_findings_and_ranks_the_papers_next_step() {
         advisories[0]["transform"],
         mogpu::json::Value::String("CoalesceMemory".into())
     );
+}
+
+#[test]
+fn advise_at_level_f_ranks_kernel_fusion_from_the_dataflow_graph() {
+    let out = mogpu(&["advise", "--level", "F", "--frames", "8", "--json"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc: mogpu::json::Value = mogpu::json::from_str(stdout(&out).trim()).unwrap();
+    let advisories = doc["advisories"].as_array().unwrap();
+    assert!(!advisories.is_empty(), "level F must still advise fusion");
+    assert_eq!(
+        advisories[0]["transform"],
+        mogpu::json::Value::String("FuseKernels".into())
+    );
+    let benefit = advisories[0]["estimated_benefit_s"].as_f64().unwrap();
+    assert!(benefit > 0.0, "fusion benefit must be positive: {benefit}");
+}
+
+#[test]
+fn dataflow_rejects_unknown_options() {
+    let out = mogpu(&["dataflow", "--frames", "6", "--bogus"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("unknown dataflow option"), "stderr: {err}");
+}
+
+#[test]
+fn dataflow_json_is_byte_stable_and_dot_names_the_kernels() {
+    let first = mogpu(&["dataflow", "--frames", "6", "--json"]);
+    assert!(
+        first.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let second = mogpu(&["dataflow", "--frames", "6", "--json"]);
+    assert!(second.status.success());
+    assert_eq!(
+        first.stdout, second.stdout,
+        "dataflow --json must be byte-stable across identical runs"
+    );
+    let doc: mogpu::json::Value = mogpu::json::from_str(stdout(&first).trim()).unwrap();
+    assert!(!doc["edges"].as_array().unwrap().is_empty());
+    assert!(!doc["nodes"].as_array().unwrap().is_empty());
+
+    let dot = stdout(&mogpu(&["dataflow", "--frames", "6"]));
+    assert!(dot.starts_with("digraph dataflow {"), "dot head: {dot:?}");
+    assert!(dot.contains("mog-update"), "dot must name the MoG kernel");
+    assert!(dot.contains("morphology"), "dot must name the morph kernel");
 }
 
 #[test]

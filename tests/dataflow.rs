@@ -1,0 +1,183 @@
+//! End-to-end tests of the cross-kernel dataflow tracer: byte
+//! conservation on a real pipeline, the exported forms (DOT, canonical
+//! JSON, Prometheus counters), and the fusion advisory the graph feeds.
+
+use mogpu::prelude::*;
+use mogpu::sim::NodeKind;
+
+fn scene(n: usize) -> Vec<Frame<u8>> {
+    SceneBuilder::new(Resolution::QQVGA)
+        .seed(7)
+        .walkers(3)
+        .build()
+        .render_sequence(n)
+        .0
+        .into_frames()
+}
+
+fn traced_graph(level: OptLevel, frames: &[Frame<u8>]) -> mogpu::sim::DataflowGraph {
+    let mut gpu = GpuMog::<f64>::new(
+        frames[0].resolution(),
+        MogParams::default(),
+        level,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .unwrap();
+    gpu.enable_dataflow();
+    gpu.enable_morphology().unwrap();
+    gpu.process_all(&frames[1..]).unwrap();
+    gpu.dataflow_graph().expect("dataflow was enabled")
+}
+
+/// Every byte is accounted for, integer-exactly: a node's stores split
+/// into consumed + dead + live-at-exit, and no edge carries more than
+/// its producer stored or its consumer read.
+#[test]
+fn bytes_are_conserved_across_the_full_pipeline() {
+    let frames = scene(8);
+    for level in [OptLevel::A, OptLevel::F] {
+        let graph = traced_graph(level, &frames);
+        assert!(graph.nodes.len() > 10, "level {level}");
+        for node in &graph.nodes {
+            assert_eq!(
+                node.stored_bytes,
+                node.consumed_bytes + node.dead_store_bytes + node.live_at_exit_bytes,
+                "level {level}, node {}",
+                node.name
+            );
+        }
+        let mut consumed = vec![0u64; graph.nodes.len()];
+        for e in &graph.edges {
+            assert!(e.bytes <= graph.nodes[e.producer].stored_bytes);
+            assert!(e.bytes <= graph.nodes[e.consumer].read_bytes);
+            consumed[e.producer] += e.bytes;
+        }
+        // Per-producer edge totals can overcount consumed bytes only
+        // through fan-out (two consumers of one store); each single
+        // edge is bounded above by what the producer ever stored.
+        for (i, node) in graph.nodes.iter().enumerate() {
+            if consumed[i] > 0 {
+                assert!(node.stored_bytes > 0, "edges out of a storeless node");
+            }
+        }
+    }
+}
+
+/// The morphology open reads the MoG foreground mask: the aggregated
+/// candidate list is exactly that one producer->consumer pair, with one
+/// pair per processed frame.
+#[test]
+fn the_fusion_candidate_is_the_mog_to_morphology_edge() {
+    let frames = scene(8);
+    let graph = traced_graph(OptLevel::F, &frames);
+    let cands = graph.fusion_candidates();
+    assert_eq!(cands.len(), 1, "{cands:?}");
+    let c = &cands[0];
+    assert_eq!(c.producer, "mog-update");
+    assert_eq!(c.consumer, "morphology");
+    assert_eq!(c.pairs, frames.len() - 1);
+    assert!(c.edge_bytes > 0);
+    assert!(c.edge_bytes <= c.producer_stored_bytes);
+    assert!(c.edge_bytes <= c.consumer_read_bytes);
+    // The mask is one byte per pixel per frame.
+    let mask_bytes = (Resolution::QQVGA.pixels() * (frames.len() - 1)) as u64;
+    assert_eq!(c.edge_bytes, mask_bytes);
+}
+
+/// Uploaded frame data is read by the MoG kernel, never re-read from
+/// host twice, and dead stores show up where the pipeline genuinely
+/// overwrites without reading (per-frame mask overwritten next frame).
+#[test]
+fn host_edges_and_dead_stores_are_attributed() {
+    let frames = scene(6);
+    let graph = traced_graph(OptLevel::F, &frames);
+    let uploads: Vec<_> = graph
+        .nodes
+        .iter()
+        .filter(|n| n.kind == NodeKind::HostUpload)
+        .collect();
+    // host-init plus one upload per processed frame.
+    assert_eq!(uploads.len(), frames.len());
+    for up in &uploads {
+        assert!(
+            up.stored_bytes > 0 && up.dead_store_bytes == 0,
+            "every uploaded byte must be consumed: {} has {} dead",
+            up.name,
+            up.dead_store_bytes
+        );
+    }
+    let downloads: Vec<_> = graph
+        .nodes
+        .iter()
+        .filter(|n| n.kind == NodeKind::HostDownload)
+        .collect();
+    assert_eq!(downloads.len(), frames.len() - 1);
+    for dl in &downloads {
+        assert!(dl.read_bytes > 0, "download must read device memory");
+    }
+}
+
+/// All three machine-readable exports agree with the graph.
+#[test]
+fn exports_are_consistent_with_the_graph() {
+    let frames = scene(6);
+    let graph = traced_graph(OptLevel::F, &frames);
+
+    let dot = graph.to_dot();
+    assert!(dot.starts_with("digraph dataflow {"));
+    assert_eq!(
+        dot.matches(" -> ").count(),
+        graph.edges.len(),
+        "one DOT arrow per edge"
+    );
+
+    let json = graph.to_json();
+    assert_eq!(
+        json.get("nodes").and_then(|n| n.as_array()).unwrap().len(),
+        graph.nodes.len()
+    );
+    assert_eq!(
+        json.get("edges").and_then(|e| e.as_array()).unwrap().len(),
+        graph.edges.len()
+    );
+    // Canonical serialization is deterministic.
+    let a = mogpu::json::to_string_canonical(&json).unwrap();
+    let b = mogpu::json::to_string_canonical(&graph.to_json()).unwrap();
+    assert_eq!(a, b);
+
+    let prom = graph.prometheus();
+    assert!(prom.contains("# TYPE mogpu_dataflow_edge_bytes counter"));
+    assert!(prom.contains("# TYPE mogpu_dataflow_dead_store_bytes counter"));
+    let total_edge_bytes: u64 = graph.edges.iter().map(|e| e.bytes).sum();
+    assert!(
+        prom.contains("mogpu_dataflow_edge_bytes{"),
+        "labelled edge samples missing:\n{prom}"
+    );
+    assert!(total_edge_bytes > 0);
+}
+
+/// The graph is observational: recording it must not move a single bit
+/// of output or a single profiler counter.
+#[test]
+fn tracing_is_transparent_to_the_frozen_pipeline() {
+    let frames = scene(8);
+    let run = |trace: bool| {
+        let mut gpu = GpuMog::<f64>::new(
+            Resolution::QQVGA,
+            MogParams::default(),
+            OptLevel::F,
+            frames[0].as_slice(),
+            GpuConfig::tesla_c2075(),
+        )
+        .unwrap();
+        if trace {
+            gpu.enable_dataflow();
+        }
+        gpu.process_all(&frames[1..]).unwrap()
+    };
+    let plain = run(false);
+    let traced = run(true);
+    assert_eq!(plain.masks, traced.masks);
+    assert_eq!(plain.stats, traced.stats);
+}
