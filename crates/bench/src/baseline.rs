@@ -15,7 +15,7 @@ use crate::harness::{
     cpu_serial_hd_per_frame, default_params, ladder_row, run_level, standard_scene,
     standard_scene_seeded, SIM_RESOLUTION,
 };
-use mogpu_core::{FleetPipeline, MultiGpuMog, OptLevel};
+use mogpu_core::{FleetPipeline, MultiGpuMog, OptLevel, ProfileReport as CoreProfileReport};
 use mogpu_frame::Frame;
 use mogpu_sim::GpuConfig;
 use serde::{Deserialize, Serialize};
@@ -27,8 +27,11 @@ use std::path::Path;
 /// floor) to schema 1's modelled metrics. Schema 3 added the fleet
 /// record (`fleet.*`): a deterministic heterogeneous two-device run
 /// whose admission counts are gated exactly and whose modelled
-/// aggregate throughput is gated like the other fps metrics.
-pub const BASELINE_SCHEMA: u32 = 3;
+/// aggregate throughput is gated like the other fps metrics. Schema 4
+/// added `reports`: per-level slim profile-report pointers (paths
+/// relative to the baseline file) that let a failing `bench check`
+/// attribute the drift with `mogpu diff` instead of only naming it.
+pub const BASELINE_SCHEMA: u32 = 4;
 
 /// Device preset keys of the baseline fleet run: intentionally fewer
 /// devices than `BenchConfig::streams` offline streams, so admission
@@ -169,6 +172,11 @@ pub struct Baseline {
     pub multi_stream: StreamRecord,
     /// Fleet-dispatch aggregate ([`FLEET_DEVICE_KEYS`]).
     pub fleet: FleetRecord,
+    /// Per-level slim profile reports recorded next to the baseline,
+    /// keyed by level name; values are paths relative to the baseline
+    /// file. Empty when the baseline was measured without attribution
+    /// (e.g. in-memory comparisons).
+    pub reports: BTreeMap<String, String>,
 }
 
 /// One compared metric in a [`check`] outcome.
@@ -294,7 +302,166 @@ pub fn measure(cfg: &BenchConfig, tolerances: Tolerances) -> Baseline {
             },
         },
         fleet,
+        reports: BTreeMap::new(),
     }
+}
+
+/// Slims a full profile report down to the fields `mogpu diff` consumes
+/// for attribution: identity, headline fps, the summed counters, and the
+/// per-site decomposition. Drops the bulky per-launch/telemetry series
+/// so per-level files stay a few KB in git.
+pub fn slim_report(report: &CoreProfileReport) -> serde_json::Value {
+    let full = serde_json::to_value(report).expect("serializable");
+    let keys = [
+        "level",
+        "frames",
+        "fps",
+        "stats",
+        "metrics",
+        "occupancy",
+        "timing",
+        "stalls",
+        "site_stalls",
+        "hotspots",
+    ];
+    serde_json::Value::Object(
+        keys.iter()
+            .filter_map(|k| full.get(k).map(|v| (k.to_string(), v.clone())))
+            .collect(),
+    )
+}
+
+/// File-system-safe name of a ladder level ("W(8)" -> "W8").
+fn level_file_name(level: &str) -> String {
+    level
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect()
+}
+
+/// Resolves a recorded level name back to its [`OptLevel`].
+fn level_from_name(name: &str) -> Option<OptLevel> {
+    OptLevel::LADDER
+        .into_iter()
+        .chain([OptLevel::Windowed { group: 8 }])
+        .find(|l| l.name() == name)
+}
+
+/// Profiles a level over the baseline workload and returns its slim
+/// report document.
+fn slim_level_value(cfg: &BenchConfig, level: OptLevel) -> serde_json::Value {
+    let frames = standard_scene(SIM_RESOLUTION)
+        .render_sequence(cfg.frames)
+        .0
+        .into_frames();
+    slim_report(&crate::harness::profile_level::<f64>(
+        level,
+        default_params(cfg.k),
+        &frames,
+    ))
+}
+
+/// Profiles every recorded ladder level over the baseline's workload and
+/// writes slim per-level reports into `reports/` next to the baseline
+/// file, filling [`Baseline::reports`] with the relative paths.
+///
+/// # Errors
+/// I/O errors creating the reports directory or writing a report file.
+pub fn attach_reports(baseline: &mut Baseline, baseline_path: &Path) -> Result<(), String> {
+    let dir = baseline_path
+        .parent()
+        .unwrap_or(Path::new("."))
+        .to_path_buf();
+    let levels: Vec<String> = baseline.levels.keys().cloned().collect();
+    for name in levels {
+        let Some(level) = level_from_name(&name) else {
+            return Err(format!("unknown recorded level {name:?}"));
+        };
+        let slim = slim_level_value(&baseline.config, level);
+        let rel = format!("reports/{}.json", level_file_name(&name));
+        let path = dir.join(&rel);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+        }
+        let text = serde_json::to_string_canonical_pretty(&slim).expect("serializable");
+        std::fs::write(&path, format!("{text}\n"))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        baseline.reports.insert(name, rel);
+    }
+    Ok(())
+}
+
+/// Attributes a failing [`check`] with `sim::diff`: for every ladder
+/// level with a failing metric and a stored slim report, the stored
+/// (baseline-side) report is diffed against a freshly profiled one over
+/// the baseline's workload. Failing stream/fleet metrics carry no stored
+/// reports and are listed in the diff's notes instead. Returns `None`
+/// when the check passed.
+///
+/// # Errors
+/// Unreadable/malformed stored reports, or a diff-engine error.
+pub fn attribute_failures(
+    baseline: &Baseline,
+    report: &CheckReport,
+    baseline_path: &Path,
+) -> Result<Option<mogpu_sim::diff::DiffReport>, String> {
+    if report.pass {
+        return Ok(None);
+    }
+    let dir = baseline_path.parent().unwrap_or(Path::new("."));
+    // A metric id is "<level>.<field>" for ladder metrics; everything
+    // else (streams.*, fleet.*) has no per-level report behind it.
+    let mut failing_levels: Vec<String> = Vec::new();
+    let mut unattributed: Vec<String> = Vec::new();
+    for d in report.diffs.iter().filter(|d| !d.pass) {
+        let prefix = d.metric.split('.').next().unwrap_or("");
+        if baseline.levels.contains_key(prefix) {
+            if !failing_levels.iter().any(|l| l == prefix) {
+                failing_levels.push(prefix.to_string());
+            }
+        } else {
+            unattributed.push(d.metric.clone());
+        }
+    }
+    let mut stored: Vec<serde_json::Value> = Vec::new();
+    let mut fresh: Vec<serde_json::Value> = Vec::new();
+    let mut notes: Vec<String> = Vec::new();
+    for name in &failing_levels {
+        let Some(rel) = baseline.reports.get(name) else {
+            notes.push(format!(
+                "level {name} failed but the baseline carries no stored report \
+                 (re-record with `mogpu bench record`)"
+            ));
+            continue;
+        };
+        let path = dir.join(rel);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("stored report {}: {e}", path.display()))?;
+        let value: serde_json::Value = serde_json::from_str(&text)
+            .map_err(|e| format!("stored report {}: {e}", path.display()))?;
+        let Some(level) = level_from_name(name) else {
+            notes.push(format!("unknown recorded level {name:?}"));
+            continue;
+        };
+        stored.push(value);
+        fresh.push(slim_level_value(&baseline.config, level));
+    }
+    let gpu = GpuConfig::tesla_c2075();
+    let mut diff_report = mogpu_sim::diff::diff_values(
+        &serde_json::Value::Array(stored),
+        &serde_json::Value::Array(fresh),
+        "baseline",
+        "current",
+        &gpu,
+    )?;
+    diff_report.notes.extend(notes);
+    for metric in unattributed {
+        diff_report.notes.push(format!(
+            "failing metric {metric} has no per-level profile report; \
+             see the check table for its raw delta"
+        ));
+    }
+    Ok(Some(diff_report))
 }
 
 /// Writes a baseline as canonical pretty JSON (byte-stable for git).

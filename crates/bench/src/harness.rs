@@ -1,7 +1,7 @@
 //! Shared experiment machinery: the standard workload, level runners, and
 //! the full-HD projection.
 
-use mogpu_core::{DeviceReal, GpuMog, OptLevel, RunReport};
+use mogpu_core::{DeviceReal, GpuMog, OptLevel, ProfileMode, ProfileReport, RunReport};
 use mogpu_frame::{Frame, Resolution, Scene, SceneBuilder};
 use mogpu_mog::MogParams;
 use mogpu_sim::cpu::CpuModel;
@@ -65,6 +65,27 @@ pub fn run_level<T: DeviceReal>(
     )
     .expect("pipeline construction");
     gpu.process_all(&frames[1..]).expect("processing")
+}
+
+/// Runs one optimization level with the source-attributed profiler on
+/// and returns the full profile report — the attribution side-channel of
+/// the bench gate (`mogpu diff` consumes the slimmed serialization).
+pub fn profile_level<T: DeviceReal>(
+    level: OptLevel,
+    params: MogParams,
+    frames: &[Frame<u8>],
+) -> ProfileReport {
+    let mut gpu = GpuMog::<T>::new(
+        frames[0].resolution(),
+        params,
+        level,
+        frames[0].as_slice(),
+        GpuConfig::tesla_c2075(),
+    )
+    .expect("pipeline construction");
+    gpu.set_profile_mode(ProfileMode::On);
+    gpu.process_all(&frames[1..]).expect("processing");
+    gpu.take_profile_report().expect("profiling was enabled")
 }
 
 /// Per-frame numbers projected from the simulation resolution to the

@@ -60,6 +60,7 @@ pub mod chrome_trace;
 pub mod config;
 pub mod cpu;
 pub mod dataflow;
+pub mod diff;
 pub mod dma;
 pub mod fleet;
 pub mod kernel;
@@ -83,6 +84,11 @@ pub use config::{CpuConfig, GpuConfig};
 pub use dataflow::{
     DataflowEdge, DataflowGraph, DataflowNode, DataflowRecorder, FusionCandidate, IntervalSet,
     LaunchAccess, NodeKind, NodeStats,
+};
+pub use diff::{
+    dataflow_diff, detect_kind, diff_values, histogram_diff, BucketDelta, CounterDiff,
+    DataflowDiff, DiffReport, FleetDiff, HistogramDiff, KernelDiff, MetricDelta, ReasonDelta,
+    ServingDiff, SiteDiff, StreamDiff, TelemetryDiff, DIFF_SCHEMA,
 };
 pub use fleet::{
     advise_fleet, fleet_report, plan_fleet, prometheus_fleet, FleetAdvisory, FleetClass,

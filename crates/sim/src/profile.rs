@@ -8,12 +8,12 @@
 //! path allocates nothing and touches no site map.
 
 use crate::trace::{site_source, BuildPtrHasher, Site, SiteSource};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Counters attributed to one source site, summed over every warp slot
 /// the site produced during a launch.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct SiteStats {
     /// Weighted issue cycles spent on this site's slots.
     pub issue_cycles: f64,
@@ -68,7 +68,7 @@ pub struct SiteProfile {
 
 /// One row of the ranked hotspot table: a site resolved to its source
 /// position plus its aggregated counters.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HotspotRow {
     /// `file:line` when the site was captured during a profiled launch.
     pub source: Option<String>,

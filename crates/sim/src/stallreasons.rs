@@ -38,13 +38,13 @@ use crate::occupancy::{Limiter, Occupancy};
 use crate::profile::HotspotRow;
 use crate::stats::KernelStats;
 use crate::timing::{Bound, KernelTiming};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Seconds of kernel wall time attributed to each stall reason.
 ///
 /// The five kernel-level fields sum to the modelled kernel time
 /// ([`KernelTiming::total`]); see the module docs for the identity.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct StallBreakdown {
     /// Useful warp-instruction issue.
     pub execute_issue: f64,
@@ -100,7 +100,7 @@ impl StallBreakdown {
 }
 
 /// One source site's stall decomposition.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SiteStallRow {
     /// `file:line`, when resolved during a profiled launch.
     pub source: Option<String>,

@@ -80,9 +80,17 @@ pub struct WarpAccumulator {
     /// an exact `(site, occurrence)` check against `slots[cursor]`.
     cursor: u32,
     lanes_seen: u32,
-    /// Per-site aggregation sink; `None` (the default) skips all
-    /// attribution work.
-    site_profile: Option<SiteProfile>,
+    /// Whether per-site attribution is on (off by default).
+    profiling: bool,
+    /// Per dense site: batched attribution accumulator. Indexed by
+    /// `Slot::dense`, so the profiled warp-end path is a plain vector
+    /// add instead of a per-slot hash probe; materialized into a
+    /// [`SiteProfile`] only in [`WarpAccumulator::take_site_profile`].
+    site_acc: Vec<SiteStats>,
+    /// Per dense site: whether the site was already registered with the
+    /// global source-location registry (registration is idempotent, the
+    /// flag just avoids re-taking the registry lock per warp).
+    site_registered: Vec<bool>,
     /// Recycled access vectors for `SlotKind::Mem`, refilled at warp end
     /// so steady-state recording never allocates.
     access_pool: Vec<Vec<(u64, u8)>>,
@@ -104,7 +112,9 @@ impl WarpAccumulator {
             slots: Vec::new(),
             cursor: 0,
             lanes_seen: 0,
-            site_profile: None,
+            profiling: false,
+            site_acc: Vec::new(),
+            site_registered: Vec::new(),
             access_pool: Vec::new(),
             segments: Vec::with_capacity(64),
             words: Vec::with_capacity(64),
@@ -116,26 +126,40 @@ impl WarpAccumulator {
     /// counters to its source site.
     pub fn with_site_profile() -> Self {
         WarpAccumulator {
-            site_profile: Some(SiteProfile::new()),
+            profiling: true,
             ..Self::new()
         }
     }
 
     /// Takes the accumulated per-site profile (if site profiling was
     /// enabled), leaving an empty one behind.
+    ///
+    /// This is where the dense per-site accumulator is materialized into
+    /// a keyed [`SiteProfile`] — once per block, not once per warp slot.
     pub fn take_site_profile(&mut self) -> Option<SiteProfile> {
-        self.site_profile.as_mut().map(std::mem::take)
+        if !self.profiling {
+            return None;
+        }
+        let mut profile = SiteProfile::new();
+        for (dense, acc) in self.site_acc.iter_mut().enumerate() {
+            // Sites the profiled warps never touched keep the default
+            // all-zero entry; every touched site has `warp_slots >= 1`.
+            if acc.warp_slots > 0 {
+                profile.add(self.interner.site(dense as u32), acc);
+                *acc = SiteStats::default();
+            }
+        }
+        Some(profile)
     }
 
     /// Switches site profiling on or off — used when a pooled accumulator
     /// is reused by a launch with different [`crate::kernel::LaunchOptions`].
     /// Turning it on starts from an empty profile.
     pub fn set_profiling(&mut self, on: bool) {
-        match (on, self.site_profile.is_some()) {
-            (true, false) => self.site_profile = Some(SiteProfile::new()),
-            (false, true) => self.site_profile = None,
-            _ => {}
+        if on && !self.profiling {
+            self.site_acc.fill_with(SiteStats::default);
         }
+        self.profiling = on;
     }
 
     /// Starts recording a new lane of the current warp.
@@ -334,7 +358,7 @@ impl WarpAccumulator {
     ) {
         // Monomorphize so the common unprofiled path carries no
         // per-slot attribution work at all.
-        if self.site_profile.is_some() {
+        if self.profiling {
             self.end_warp_impl::<true>(cfg, stats, cache);
         } else {
             self.end_warp_impl::<false>(cfg, stats, cache);
@@ -547,15 +571,23 @@ impl WarpAccumulator {
                 }
             }
             if PROFILE {
-                if let Some(profile) = &mut self.site_profile {
-                    if profile.add(slot.site, &delta) {
-                        // First sighting of this site in the profile:
-                        // resolve its source position. Sound cast: sites
-                        // only enter `slots` through `record_*`, which
-                        // takes `&'static Location`.
-                        let loc = unsafe { &*(slot.site as *const Location<'static>) };
-                        crate::trace::register_site(slot.site, loc);
-                    }
+                // Batched attribution: fold the slot's delta into the
+                // dense per-site row; the keyed profile is materialized
+                // once per block in `take_site_profile`.
+                let dense = slot.dense as usize;
+                if dense >= self.site_acc.len() {
+                    self.site_acc.resize_with(dense + 1, SiteStats::default);
+                    self.site_registered.resize(dense + 1, false);
+                }
+                self.site_acc[dense].merge(&delta);
+                if !self.site_registered[dense] {
+                    self.site_registered[dense] = true;
+                    // First sighting of this site in the profile:
+                    // resolve its source position. Sound cast: sites
+                    // only enter `slots` through `record_*`, which
+                    // takes `&'static Location`.
+                    let loc = unsafe { &*(slot.site as *const Location<'static>) };
+                    crate::trace::register_site(slot.site, loc);
                 }
             }
         }

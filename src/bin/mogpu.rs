@@ -21,6 +21,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("advise") => cmd_advise(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         Some("dataflow") => cmd_dataflow(&args[1..]),
         Some("streams") => cmd_streams(&args[1..]),
         Some("fleet") => cmd_fleet(&args[1..]),
@@ -54,6 +55,7 @@ COMMANDS:
     run       Background-subtract a Y4M clip (or a synthetic scene)
     profile   Hotspot table, roofline bounds, bottleneck classification
     advise    Ranked optimization advisories from stall/roofline analysis
+    diff      Differential profiling: attribute the delta between two runs
     dataflow  Cross-kernel memory-flow graph: who produces what, who reads it
     streams   Serve N camera streams from one device, CUDA-streams style
     fleet     Shard N streams across M heterogeneous simulated devices
@@ -104,6 +106,25 @@ USAGE:
         --json document), instead replays the fleet dispatcher with one
         extra device of each class and prints which device class to add
         next, ranked by the whole-run streams-at-SLO it would buy.
+
+    mogpu diff A.json B.json [--json] [--top N] [--out FILE.json]
+               [--dot-out FILE.dot] [--metrics-out FILE.prom] [--config P]
+        Differential profiling: diff two serialized reports of the same
+        kind — profile reports (`--report-out`, single or ladder array),
+        streams/serving reports, fleet reports, bench baselines, or
+        dataflow graph JSON — and attribute the movement. For profile
+        reports the kernel-time delta is decomposed through the stall
+        reason buckets (the bucket deltas sum to the kernel delta
+        exactly), per-site deltas carry file:line evidence, and each
+        counter set is priced by a counterfactual re-run of the timing
+        model (swap one counter at a time, the advisor's machinery).
+        Histogram-carrying reports diff per bucket plus p50/p95/p99
+        shifts; dataflow graphs get a what-changed overlay (--dot-out
+        writes Graphviz DOT with grown edges red, shrunk green). --json
+        prints the canonical byte-stable DiffReport, --out writes it,
+        --metrics-out writes mogpu_diff_* Prometheus gauges, --top
+        bounds the text tables (default 10), --config picks the device
+        preset used for counterfactual re-timing (default c2075).
 
     mogpu dataflow [--level L] [--frames N] [--k K] [--float] [--json]
                    [--dot-out FILE.dot] [--metrics-out FILE.prom]
@@ -191,13 +212,20 @@ USAGE:
     mogpu bench record [--out FILE.json] [--frames N] [--k K] [--streams S]
         Measure the ladder (A..F, W8) and a multi-stream run over the
         standard deterministic workload and write a tolerance-annotated
-        performance baseline (default: results/baselines/default.json).
+        performance baseline (default: results/baselines/default.json)
+        plus slim per-level profile reports under reports/ next to it —
+        the stored side of the drift attribution `bench check` emits.
 
-    mogpu bench check [--baseline FILE.json] [--json]
+    mogpu bench check [--baseline FILE.json] [--json] [--diff-out FILE]
         Re-measure with the baseline's recorded workload shape and diff
         against it metric by metric. Prints a table (or JSON with
         --json) and exits nonzero if any metric drifts beyond its
         tolerance — regressions and unexplained improvements both fail.
+        On failure the drift is attributed through `mogpu diff`: stored
+        per-level reports vs fresh profiles, stall-bucket and counter
+        deltas with file:line evidence on stderr, and the canonical
+        DiffReport JSON written to --diff-out (default: diff.json next
+        to the baseline) for CI artifact capture.
 
     Observability (demo / ladder / run / profile / streams):
         --report-out FILE.json   machine-readable profile report(s),
@@ -894,6 +922,88 @@ fn advise_run<T: mogpu::core::DeviceReal>(
     gpu.enable_morphology()?;
     gpu.process_all(&frames[1..])?;
     Ok(gpu.take_profile_report().expect("profiling was enabled"))
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    // Strict surface like `dataflow`: exactly two positional report
+    // paths, reject unknown flags instead of silently ignoring typos.
+    let valued = ["--top", "--out", "--dot-out", "--metrics-out", "--config"];
+    let bare = ["--json"];
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if valued.contains(&a) {
+            if args.get(i + 1).is_none() {
+                return Err(format!("{a} needs a value"));
+            }
+            i += 2;
+        } else if bare.contains(&a) {
+            i += 1;
+        } else if a.starts_with('-') {
+            return Err(format!("unknown diff option {a:?}; try `mogpu help`"));
+        } else {
+            paths.push(PathBuf::from(a));
+            i += 1;
+        }
+    }
+    if paths.len() != 2 {
+        return Err(format!(
+            "diff needs exactly two report files, got {} (usage: mogpu diff A.json B.json)",
+            paths.len()
+        ));
+    }
+    let json = opt_flag(args, "--json");
+    let top: usize = match opt_value(args, "--top") {
+        Some(v) => v.parse().map_err(|_| format!("bad --top {v:?}"))?,
+        None => 10,
+    };
+    let cfg = match opt_value(args, "--config") {
+        Some(name) => GpuConfig::preset(&name).ok_or_else(|| {
+            format!(
+                "unknown --config {name:?}; presets: {}",
+                GpuConfig::preset_names().join(", ")
+            )
+        })?,
+        None => GpuConfig::tesla_c2075(),
+    };
+
+    let load = |path: &PathBuf| -> Result<mogpu::json::Value, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        mogpu::json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let (a, b) = (load(&paths[0])?, load(&paths[1])?);
+    let label = |p: &PathBuf| p.display().to_string();
+    let report = mogpu::sim::diff_values(&a, &b, &label(&paths[0]), &label(&paths[1]), &cfg)?;
+
+    if let Some(path) = opt_value(args, "--out").map(PathBuf::from) {
+        let text = mogpu::json::to_string_canonical_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(&path, text + "\n").map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!("wrote diff report to {}", path.display());
+    }
+    if let Some(path) = opt_value(args, "--dot-out").map(PathBuf::from) {
+        let Some(df) = &report.dataflow else {
+            return Err(
+                "--dot-out needs two dataflow graph documents (`mogpu dataflow --json`)".into(),
+            );
+        };
+        std::fs::write(&path, df.to_dot()).map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!("wrote dataflow diff overlay to {}", path.display());
+    }
+    if let Some(path) = opt_value(args, "--metrics-out").map(PathBuf::from) {
+        std::fs::write(&path, report.prometheus(top))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!("wrote diff metrics to {}", path.display());
+    }
+    if json {
+        println!(
+            "{}",
+            mogpu::json::to_string_canonical_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", report.text(top));
+    }
+    Ok(())
 }
 
 fn cmd_dataflow(args: &[String]) -> Result<(), String> {
@@ -1603,7 +1713,10 @@ fn cmd_bench_record(args: &[String]) -> Result<(), String> {
     cfg.frames = cfg.frames.max(2);
     cfg.streams = cfg.streams.max(1);
 
-    let baseline = mogpu::bench::baseline::measure(&cfg, mogpu::bench::Tolerances::default());
+    let mut baseline = mogpu::bench::baseline::measure(&cfg, mogpu::bench::Tolerances::default());
+    // Per-level slim profile reports next to the baseline: the stored
+    // side of the attribution a failing `bench check` emits.
+    mogpu::bench::baseline::attach_reports(&mut baseline, &out)?;
     mogpu::bench::baseline::write_baseline(&baseline, &out)
         .map_err(|e| format!("{}: {e}", out.display()))?;
     println!(
@@ -1613,6 +1726,14 @@ fn cmd_bench_record(args: &[String]) -> Result<(), String> {
         cfg.frames - 1,
         cfg.k,
         out.display()
+    );
+    println!(
+        "recorded {} per-level profile reports under {}",
+        baseline.reports.len(),
+        out.parent()
+            .unwrap_or(std::path::Path::new("."))
+            .join("reports")
+            .display()
     );
     Ok(())
 }
@@ -1638,6 +1759,31 @@ fn cmd_bench_check(args: &[String]) -> Result<(), String> {
         println!("{}", mogpu::bench::baseline::render_table(&report));
     }
     if !report.pass {
+        // Attribute the drift before failing: stored per-level reports
+        // vs fresh profiles, through the differential engine. The text
+        // goes to stderr (CI logs), the canonical JSON next to the
+        // baseline (CI artifacts).
+        match mogpu::bench::baseline::attribute_failures(&baseline, &report, &path) {
+            Ok(Some(diff_report)) => {
+                let diff_path = opt_value(args, "--diff-out")
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| {
+                        path.parent()
+                            .unwrap_or(std::path::Path::new("."))
+                            .join("diff.json")
+                    });
+                let text = mogpu::json::to_string_canonical_pretty(&diff_report)
+                    .map_err(|e| e.to_string())?;
+                if let Err(e) = std::fs::write(&diff_path, text + "\n") {
+                    eprintln!("warning: cannot write {}: {e}", diff_path.display());
+                } else {
+                    eprintln!("wrote drift attribution to {}", diff_path.display());
+                }
+                eprint!("{}", diff_report.text(10));
+            }
+            Ok(None) => {}
+            Err(e) => eprintln!("warning: drift attribution failed: {e}"),
+        }
         return Err(format!(
             "performance drifted beyond tolerance of {}",
             path.display()

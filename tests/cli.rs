@@ -27,8 +27,8 @@ fn no_args_prints_help_listing_every_subcommand() {
     assert!(out.status.success(), "no-arg invocation must exit 0");
     let help = stdout(&out);
     for cmd in [
-        "info", "demo", "ladder", "run", "profile", "advise", "dataflow", "streams", "fleet",
-        "serve", "check", "metrics", "bench", "help",
+        "info", "demo", "ladder", "run", "profile", "advise", "diff", "dataflow", "streams",
+        "fleet", "serve", "check", "metrics", "bench", "help",
     ] {
         assert!(
             help.contains(&format!("\n    {cmd} ")),
@@ -233,6 +233,95 @@ fn bench_check_passes_on_an_unmodified_rerun_and_fails_on_a_seeded_regression() 
     assert!(!json_out.status.success());
     let doc: mogpu::json::Value = mogpu::json::from_str(stdout(&json_out).trim()).unwrap();
     assert_eq!(doc["pass"], mogpu::json::Value::Bool(false));
+
+    // The failing gate wrote a drift attribution next to the baseline:
+    // a schema-tagged DiffReport for the failing level, plus the text
+    // rendering on stderr.
+    let err = String::from_utf8_lossy(&json_out.stderr).into_owned();
+    assert!(
+        err.contains("wrote drift attribution"),
+        "stderr does not announce the diff: {err}"
+    );
+    let diff_path = dir.join("diff.json");
+    let diff: mogpu::json::Value =
+        mogpu::json::from_str(&std::fs::read_to_string(&diff_path).unwrap()).unwrap();
+    assert_eq!(diff["schema"].as_u64(), Some(1));
+    assert!(
+        diff["kernels"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|k| k["a_level"].as_str() == Some("F")),
+        "diff does not attribute the failing level F"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn diff_compares_two_profile_reports_byte_stably() {
+    let dir = temp_dir("diff");
+    let a = dir.join("a.json");
+    let f = dir.join("f.json");
+    for (level, path) in [("A", &a), ("F", &f)] {
+        let out = mogpu(&[
+            "profile",
+            "--level",
+            level,
+            "--frames",
+            "3",
+            "--report-out",
+            path.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // A vs F: the text rendering names the moved stall buckets with
+    // file:line evidence; --json is canonical and byte-stable.
+    let text = mogpu(&["diff", a.to_str().unwrap(), f.to_str().unwrap()]);
+    assert!(
+        text.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&text.stderr)
+    );
+    let rendered = stdout(&text);
+    assert!(
+        rendered.contains(".rs:"),
+        "no file:line evidence:\n{rendered}"
+    );
+
+    let j1 = mogpu(&["diff", a.to_str().unwrap(), f.to_str().unwrap(), "--json"]);
+    let j2 = mogpu(&["diff", a.to_str().unwrap(), f.to_str().unwrap(), "--json"]);
+    assert!(j1.status.success());
+    assert_eq!(j1.stdout, j2.stdout, "diff --json is not byte-stable");
+    let doc: mogpu::json::Value = mogpu::json::from_str(stdout(&j1).trim()).unwrap();
+    assert_eq!(doc["kind"].as_str(), Some("profile"));
+    let kernel = &doc["kernels"].as_array().unwrap()[0];
+    assert!(
+        kernel["counters"].as_array().unwrap()[0]["counter"]
+            .as_str()
+            .unwrap()
+            .starts_with("global_"),
+        "top counter is not a coalescing counter"
+    );
+
+    // Self-diff: every delta is zero and fully attributed.
+    let selfd = mogpu(&["diff", f.to_str().unwrap(), f.to_str().unwrap(), "--json"]);
+    assert!(selfd.status.success());
+    let doc: mogpu::json::Value = mogpu::json::from_str(stdout(&selfd).trim()).unwrap();
+    let kernel = &doc["kernels"].as_array().unwrap()[0];
+    assert_eq!(kernel["time_delta_s"].as_f64(), Some(0.0));
+    assert_eq!(kernel["attributed_fraction"].as_f64(), Some(1.0));
+
+    // Strict flag parsing, mirroring the other subcommands.
+    let bad = mogpu(&["diff", a.to_str().unwrap(), f.to_str().unwrap(), "--bogus"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("--bogus"));
+    let one = mogpu(&["diff", a.to_str().unwrap()]);
+    assert!(!one.status.success());
     std::fs::remove_dir_all(&dir).ok();
 }
 
